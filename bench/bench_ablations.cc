@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *  1. Compression method (live): ADMM block-circulant vs ESE-style
+ *     magnitude pruning at matched *effective* storage on the
+ *     synthetic ASR task — the Sec. IV argument (structure wins once
+ *     indices are paid for).
+ *  2. FFT/IFFT decoupling off -> on (computation model).
+ *  3. GRU stage-sharing boost off -> on (hardware model).
+ *  4. Compute-unit count sweep (latency/throughput trade-off).
+ *  5. Quantization bit width sweep at the accelerator level.
+ */
+
+#include <iostream>
+
+#include "admm/admm_trainer.hh"
+#include "admm/transfer.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "circulant/mult_model.hh"
+#include "hw/accelerator_model.hh"
+#include "nn/gru.hh"
+#include "prune/magnitude_pruner.hh"
+#include "speech/dataset.hh"
+#include "speech/per.hh"
+
+using namespace ernn;
+using namespace ernn::bench;
+
+namespace
+{
+
+void
+compressionAblation()
+{
+    banner("Ablation 1: block-circulant (ADMM) vs magnitude pruning "
+           "at matched effective storage (live)");
+
+    // A deliberately hard task (many phones, heavy noise, fast
+    // transitions) so compression differences are visible.
+    speech::AsrDataConfig dcfg;
+    dcfg.numPhones = 16;
+    dcfg.featureDim = 12;
+    dcfg.trainUtterances = fullMode() ? 72 : 32;
+    dcfg.testUtterances = 24;
+    dcfg.emissionNoise = 1.1;
+    dcfg.minPhoneLen = 2;
+    dcfg.maxPhoneLen = 4;
+    const auto data = speech::makeSyntheticAsr(dcfg);
+
+    nn::ModelSpec dense_spec;
+    dense_spec.type = nn::ModelType::Gru;
+    dense_spec.inputDim = 12;
+    dense_spec.numClasses = 16;
+    dense_spec.layerSizes = {32};
+
+    auto pretrained = [&](std::uint64_t seed) {
+        nn::StackedRnn m = nn::buildModel(dense_spec);
+        Rng rng(seed);
+        m.initXavier(rng);
+        nn::TrainConfig tc;
+        tc.epochs = 10;
+        tc.lr = 1e-2;
+        nn::Trainer(m, tc).train(data.train);
+        return m;
+    };
+
+    TextTable table("4x effective compression, same training budget");
+    table.setHeader({"method", "stored params (weights)",
+                     "regular structure", "PER (%)"});
+
+    {
+        nn::StackedRnn dense = pretrained(100);
+        std::size_t weights = 0;
+        auto *gru = dynamic_cast<nn::GruLayer *>(&dense.layer(0));
+        for (nn::LinearOp *op :
+             {&gru->wzx(), &gru->wrx(), &gru->wcx(), &gru->wzc(),
+              &gru->wrc(), &gru->wcc()})
+            weights += op->paramCount();
+        table.addRow({"dense baseline", std::to_string(weights),
+                      "yes",
+                      fmtReal(speech::evaluatePer(dense, data.test),
+                              2)});
+    }
+
+    {
+        // Block-circulant at block 4 = exactly 4x, no indices.
+        nn::StackedRnn dense = pretrained(100);
+        nn::ModelSpec circ = dense_spec;
+        circ.blockSizes = {4};
+        admm::AdmmConfig acfg;
+        acfg.rho = 0.5;
+        acfg.rhoGrowth = 1.5;
+        acfg.iterations = 6;
+        acfg.epochsPerIteration = 3;
+        acfg.convergenceTol = 0.02;
+        acfg.train.lr = 1e-2;
+        acfg.train.batchSize = 2;
+        admm::AdmmTrainer trainer(dense, acfg);
+        admm::constrainFromSpec(trainer, dense, circ);
+        trainer.run(data.train);
+        trainer.hardProject();
+        nn::StackedRnn compressed = nn::buildModel(circ);
+        admm::transferWeights(dense, compressed);
+        std::size_t weights = 0;
+        auto *gru =
+            dynamic_cast<nn::GruLayer *>(&compressed.layer(0));
+        for (nn::LinearOp *op :
+             {&gru->wzx(), &gru->wrx(), &gru->wcx(), &gru->wzc(),
+              &gru->wrc(), &gru->wcc()})
+            weights += op->paramCount();
+        table.addRow({"block-circulant (ADMM), block 4",
+                      std::to_string(weights), "yes",
+                      fmtReal(speech::evaluatePer(compressed,
+                                                  data.test), 2)});
+    }
+
+    {
+        // Pruning to 87.5% sparsity: 8x raw = 4x effective once the
+        // per-weight index is stored.
+        nn::StackedRnn dense = pretrained(100);
+        prune::PruneConfig pcfg;
+        pcfg.sparsity = 0.875;
+        pcfg.iterations = 6;
+        pcfg.epochsPerIteration = 3;
+        pcfg.train.lr = 1e-2;
+        pcfg.train.batchSize = 2;
+        prune::MagnitudePruner pruner(dense, pcfg);
+        prune::targetAllDense(pruner, dense);
+        pruner.run(data.train);
+        table.addRow({"magnitude pruning, 87.5% sparse (+indices)",
+                      std::to_string(pruner.effectiveParams()), "no",
+                      fmtReal(speech::evaluatePer(dense, data.test),
+                              2)});
+    }
+    table.print(std::cout);
+    std::cout << "At equal effective storage the structured model "
+                 "needs no indices and keeps the regular dataflow "
+                 "the FPGA exploits (Sec. IV / Table III).\n";
+}
+
+void
+decouplingAblation()
+{
+    banner("Ablation 2: FFT/IFFT decoupling (computation model)");
+    TextTable table;
+    table.setHeader({"layer", "block", "mults coupled",
+                     "mults decoupled", "saving"});
+    for (std::size_t layer : {512u, 1024u}) {
+        for (std::size_t lb : {8u, 16u}) {
+            const auto off = circulant::layerMultCount(
+                layer, layer, lb,
+                circulant::FftCostConvention::Optimized, false);
+            const auto on = circulant::layerMultCount(
+                layer, layer, lb,
+                circulant::FftCostConvention::Optimized, true);
+            table.addRow({std::to_string(layer), std::to_string(lb),
+                          fmtGrouped(static_cast<long long>(
+                              off.total())),
+                          fmtGrouped(static_cast<long long>(
+                              on.total())),
+                          fmtTimes(static_cast<Real>(off.total()) /
+                                       static_cast<Real>(on.total()),
+                                   2)});
+        }
+    }
+    table.print(std::cout);
+}
+
+void
+hardwareAblations()
+{
+    banner("Ablations 3-5: hardware model design choices "
+           "(E-RNN FFT8 workloads, KU060)");
+
+    const nn::ModelSpec lstm = paperLstmLayer(8);
+    const nn::ModelSpec gru = paperGruLayer(8);
+
+    // 3. GRU stage-sharing boost.
+    hw::HwCalibration no_boost = hw::defaultCalibration();
+    no_boost.gruPipelineBoost = 1.0;
+    const auto gru_on = hw::evaluateDesign(gru, hw::xcku060());
+    const auto gru_off =
+        hw::evaluateDesign(gru, hw::xcku060(), 12, no_boost);
+    TextTable boost("GRU CU stage sharing (TDM of CGPipe stages "
+                    "1-2)");
+    boost.setHeader({"configuration", "latency (us)", "FPS"});
+    boost.addRow({"dedicated stages (off)",
+                  fmtReal(gru_off.latencyUs, 1),
+                  fmtGrouped(static_cast<long long>(gru_off.fps))});
+    boost.addRow({"TDM-shared stages (on)",
+                  fmtReal(gru_on.latencyUs, 1),
+                  fmtGrouped(static_cast<long long>(gru_on.fps))});
+    boost.print(std::cout);
+
+    // 4. Compute-unit count.
+    TextTable cus("Compute units: streams in flight vs per-frame "
+                  "latency");
+    cus.setHeader({"CUs", "latency (us)", "FPS", "FPS x latency"});
+    for (std::size_t n : {1u, 2u, 3u, 4u, 6u}) {
+        hw::HwCalibration cal = hw::defaultCalibration();
+        cal.computeUnits = n;
+        const auto d = hw::evaluateDesign(lstm, hw::xcku060(), 12,
+                                          cal);
+        cus.addRow({std::to_string(n), fmtReal(d.latencyUs, 1),
+                    fmtGrouped(static_cast<long long>(d.fps)),
+                    fmtReal(d.fps * d.latencyUs / 1e6, 2)});
+    }
+    cus.print(std::cout);
+    std::cout << "Throughput is CU-invariant (work-conserving PEs); "
+                 "more CUs trade per-stream latency for streams in "
+                 "flight. The paper's designs sit at 3.\n";
+
+    // 5. Bit width at the accelerator level.
+    TextTable bits("Weight bit width (PE datapath cost vs "
+                   "throughput)");
+    bits.setHeader({"bits", "PEs", "latency (us)", "FPS", "power (W)",
+                    "FPS/W"});
+    for (int b : {8, 12, 16}) {
+        const auto d = hw::evaluateDesign(lstm, hw::xcku060(), b);
+        bits.addRow({std::to_string(b), std::to_string(d.numPe),
+                     fmtReal(d.latencyUs, 1),
+                     fmtGrouped(static_cast<long long>(d.fps)),
+                     fmtReal(d.powerWatts, 1),
+                     fmtGrouped(static_cast<long long>(
+                         d.fpsPerWatt))});
+    }
+    bits.print(std::cout);
+    std::cout << "16 -> 12 bits buys <10% performance (the paper's "
+                 "attribution for the C-LSTM gap), while accuracy "
+                 "holds (Sec. VII-D).\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    compressionAblation();
+    decouplingAblation();
+    hardwareAblations();
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 2 reproduction: the Phase I algorithm trace on the paper's
+ * setting — ESE's LSTM-1024/proj-512 baseline, KU060 BRAM sanity
+ * check, block size optimization between the two bounds, the
+ * LSTM->GRU switch, and the input/output-matrix fine-tuning — with
+ * the training-trial count the paper bounds at ~5.
+ */
+
+#include <iostream>
+
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "ernn/explorer.hh"
+
+using namespace ernn;
+using namespace ernn::bench;
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Fig. 2: the Phase-I algorithm of E-RNN "
+           "(trace on the calibrated TIMIT oracle)");
+
+    nn::ModelSpec baseline;
+    baseline.type = nn::ModelType::Lstm;
+    baseline.inputDim = 153;
+    baseline.numClasses = 39;
+    baseline.layerSizes = {1024, 1024};
+    baseline.peephole = true;
+    baseline.projectionSize = 512;
+
+    for (Real budget : {0.30, 0.10}) {
+        std::cout << "\n--- accuracy requirement: max degradation "
+                  << fmtReal(budget, 2) << "% ---\n";
+        speech::TimitOracle oracle;
+        core::Phase1Config cfg;
+        cfg.maxPerDegradation = budget;
+        core::Phase2Config p2;
+        const auto result = core::optimizeDesign(
+            oracle, baseline, hw::xcku060(), cfg, p2);
+        std::cout << core::renderReport(result);
+    }
+    return 0;
+}

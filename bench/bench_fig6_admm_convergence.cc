@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 6 reproduction: the ADMM structured-training procedure — the
+ * primal residual ||W - Z|| driving the weights onto the
+ * block-circulant set while the task loss keeps improving, followed
+ * by the exact hard projection. Runs live on the synthetic ASR task.
+ */
+
+#include <iostream>
+
+#include "admm/admm_trainer.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "speech/dataset.hh"
+#include "speech/per.hh"
+
+using namespace ernn;
+using namespace ernn::bench;
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Fig. 6: ADMM-based structured matrix training "
+           "(live, synthetic ASR task)");
+
+    speech::AsrDataConfig dcfg;
+    dcfg.numPhones = 8;
+    dcfg.featureDim = 16;
+    dcfg.trainUtterances = fullMode() ? 96 : 40;
+    dcfg.testUtterances = 24;
+    const auto data = speech::makeSyntheticAsr(dcfg);
+
+    nn::ModelSpec dense_spec;
+    dense_spec.type = nn::ModelType::Gru;
+    dense_spec.inputDim = 16;
+    dense_spec.numClasses = 8;
+    dense_spec.layerSizes = {32};
+
+    nn::StackedRnn model = nn::buildModel(dense_spec);
+    Rng rng(2019);
+    model.initXavier(rng);
+
+    // Pretrain (ADMM initializes from a pretrained model, Fig. 6).
+    nn::TrainConfig pre;
+    pre.epochs = 6;
+    pre.lr = 1e-2;
+    nn::Trainer(model, pre).train(data.train);
+    std::cout << "pretrained dense PER: "
+              << fmtReal(speech::evaluatePer(model, data.test), 2)
+              << "%\n\n";
+
+    nn::ModelSpec circ_spec = dense_spec;
+    circ_spec.blockSizes = {4};
+    admm::AdmmConfig acfg;
+    acfg.rho = 0.5;
+    acfg.rhoGrowth = 1.5;
+    acfg.iterations = fullMode() ? 12 : 8;
+    acfg.epochsPerIteration = 3;
+    acfg.convergenceTol = 0.01;
+    acfg.train.lr = 1e-2;
+    acfg.train.batchSize = 2;
+
+    admm::AdmmTrainer trainer(model, acfg);
+    admm::constrainFromSpec(trainer, model, circ_spec);
+    const admm::AdmmResult result = trainer.run(data.train);
+
+    TextTable table("ADMM iterations (Z converges && W ~ Z)");
+    table.setHeader({"iter", "train loss", "||W-Z||_F",
+                     "||W-Z||/||W||"});
+    for (const auto &log : result.log) {
+        table.addRow({std::to_string(log.iteration),
+                      fmtReal(log.trainLoss, 4),
+                      fmtReal(log.primalResidual, 4),
+                      fmtReal(log.relativeResidual, 4)});
+    }
+    table.print(std::cout);
+    std::cout << (result.converged ?
+                      "converged below tolerance\n" :
+                      "iteration budget reached\n");
+
+    trainer.hardProject();
+    std::cout << "after hard projection, PER: "
+              << fmtReal(speech::evaluatePer(model, data.test), 2)
+              << "% (retrain-to-structured complete)\n";
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the computational kernels: the
+ * FFT engine, dense vs block-circulant matvec across block sizes
+ * (the CPU-side analogue of the paper's compression/acceleration
+ * trade-off), projection, quantization, and activations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/random.hh"
+#include "circulant/block_circulant.hh"
+#include "nn/activation.hh"
+#include "quant/fixed_point.hh"
+#include "tensor/fft.hh"
+#include "tensor/matrix.hh"
+
+using namespace ernn;
+
+namespace
+{
+
+Vector
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(n);
+    rng.fillNormal(v, 1.0);
+    return v;
+}
+
+void
+BM_Rfft(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Vector x = randomVector(n, n);
+    for (auto _ : state) {
+        auto spec = fft::rfft(x);
+        benchmark::DoNotOptimize(spec);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Rfft)->RangeMultiplier(4)->Range(8, 2048);
+
+void
+BM_Irfft(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto spec = fft::rfft(randomVector(n, n));
+    for (auto _ : state) {
+        auto x = fft::irfft(spec, n);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_Irfft)->RangeMultiplier(4)->Range(8, 2048);
+
+void
+BM_DenseMatvec(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    Matrix w(n, n);
+    w.initXavier(rng);
+    const Vector x = randomVector(n, 2);
+    for (auto _ : state) {
+        auto y = w.matvec(x);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0) *
+        state.range(0));
+}
+BENCHMARK(BM_DenseMatvec)->Arg(512)->Arg(1024);
+
+void
+BM_CirculantMatvec(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto lb = static_cast<std::size_t>(state.range(1));
+    Rng rng(3);
+    circulant::BlockCirculantMatrix w(n, n, lb);
+    w.initXavier(rng);
+    const Vector x = randomVector(n, 4);
+    (void)w.matvec(x); // warm the spectrum cache
+    for (auto _ : state) {
+        auto y = w.matvec(x);
+        benchmark::DoNotOptimize(y);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0) *
+        state.range(0));
+}
+BENCHMARK(BM_CirculantMatvec)
+    ->Args({512, 4})
+    ->Args({512, 8})
+    ->Args({512, 16})
+    ->Args({512, 64})
+    ->Args({1024, 8})
+    ->Args({1024, 16});
+
+void
+BM_CirculantProjection(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    Matrix dense(n, n);
+    dense.initXavier(rng);
+    for (auto _ : state) {
+        auto proj = circulant::BlockCirculantMatrix::fromDense(
+            dense, 8);
+        benchmark::DoNotOptimize(proj);
+    }
+}
+BENCHMARK(BM_CirculantProjection)->Arg(256)->Arg(512);
+
+void
+BM_Quantize12Bit(benchmark::State &state)
+{
+    std::vector<Real> buf = randomVector(
+        static_cast<std::size_t>(state.range(0)), 6);
+    const auto fmt = quant::chooseFormat(12, 4.0);
+    for (auto _ : state) {
+        auto copy = buf;
+        benchmark::DoNotOptimize(quant::quantizeInPlace(copy, fmt));
+    }
+}
+BENCHMARK(BM_Quantize12Bit)->Arg(1 << 14);
+
+void
+BM_ActivationExactVsPwl(benchmark::State &state)
+{
+    const bool pwl = state.range(0) != 0;
+    Vector v = randomVector(4096, 7);
+    const nn::PiecewiseLinear approx(nn::ActKind::Tanh, 64, 8.0);
+    for (auto _ : state) {
+        Vector copy = v;
+        if (pwl)
+            approx.apply(copy);
+        else
+            nn::applyActivation(nn::ActKind::Tanh, copy);
+        benchmark::DoNotOptimize(copy);
+    }
+}
+BENCHMARK(BM_ActivationExactVsPwl)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Table II reproduction: PER of GRU models as a function of layer
+ * size and block size — calibrated TIMIT values plus a live measured
+ * study on the synthetic ASR task. Set ERNN_FULL=1 for the extended
+ * sweep. Structure mirrors bench_table1_lstm_accuracy.cc.
+ */
+
+#include <iostream>
+
+#include "admm/admm_trainer.hh"
+#include "admm/transfer.hh"
+#include "base/logging.hh"
+#include "bench_util.hh"
+#include "speech/dataset.hh"
+#include "speech/per.hh"
+#include "speech/timit_oracle.hh"
+
+using namespace ernn;
+using namespace ernn::bench;
+
+namespace
+{
+
+void
+printCalibratedTable()
+{
+    TextTable table("PERs are the paper's measurements; degradations "
+                    "recomputed vs. baselines");
+    table.setHeader({"ID", "Layer Size", "Block Size", "PER (%)",
+                     "Degradation (%)"});
+    speech::TimitOracle oracle;
+    for (const auto &row :
+         speech::TimitOracle::tableRows(nn::ModelType::Gru)) {
+        const Real base =
+            oracle.baselinePer(nn::ModelType::Gru, row.layers);
+        table.addRow({std::to_string(row.id),
+                      fmtDashList(row.layers),
+                      row.blocks.empty() ? "-" : fmtDashList(row.blocks),
+                      fmtReal(row.per, 2),
+                      row.blocks.empty() ?
+                          "-" : fmtReal(row.per - base, 2)});
+    }
+    table.print(std::cout);
+}
+
+Real
+measuredPer(std::size_t hidden, std::size_t block,
+            const speech::AsrDataset &data)
+{
+    nn::ModelSpec dense_spec;
+    dense_spec.type = nn::ModelType::Gru;
+    dense_spec.inputDim = data.featureDim;
+    dense_spec.numClasses = data.numPhones;
+    dense_spec.layerSizes = {hidden};
+
+    nn::StackedRnn model = nn::buildModel(dense_spec);
+    Rng rng(4321 + hidden + block);
+    model.initXavier(rng);
+
+    nn::TrainConfig tc;
+    tc.epochs = fullMode() ? 14 : 8;
+    tc.lr = 1e-2;
+    nn::Trainer(model, tc).train(data.train);
+    if (block <= 1)
+        return speech::evaluatePer(model, data.test);
+
+    nn::ModelSpec circ_spec = dense_spec;
+    circ_spec.blockSizes = {block};
+    admm::AdmmConfig acfg;
+    acfg.rho = 0.5;
+    acfg.rhoGrowth = 1.5;
+    acfg.iterations = fullMode() ? 8 : 5;
+    acfg.epochsPerIteration = 3;
+    acfg.convergenceTol = 0.02;
+    acfg.train.lr = 1e-2;
+    acfg.train.batchSize = 2;
+    admm::AdmmTrainer admm_trainer(model, acfg);
+    admm::constrainFromSpec(admm_trainer, model, circ_spec);
+    admm_trainer.run(data.train);
+    admm_trainer.hardProject();
+
+    nn::StackedRnn compressed = nn::buildModel(circ_spec);
+    admm::transferWeights(model, compressed);
+    return speech::evaluatePer(compressed, data.test);
+}
+
+void
+printMeasuredTable()
+{
+    speech::AsrDataConfig dcfg;
+    dcfg.numPhones = 8;
+    dcfg.featureDim = 16;
+    dcfg.trainUtterances = fullMode() ? 96 : 40;
+    dcfg.testUtterances = 24;
+    const auto data = speech::makeSyntheticAsr(dcfg);
+
+    std::vector<std::size_t> hiddens = {32};
+    std::vector<std::size_t> blocks = {1, 2, 4, 8};
+    if (fullMode()) {
+        hiddens = {32, 64};
+        blocks = {1, 2, 4, 8, 16};
+    }
+
+    TextTable table("Measured on the synthetic ASR task "
+                    "(ADMM-trained block-circulant GRU)");
+    table.setHeader({"Layer Size", "Block Size", "PER (%)",
+                     "Degradation (%)"});
+    for (auto hidden : hiddens) {
+        Real base_per = 0.0;
+        for (auto block : blocks) {
+            const Real per = measuredPer(hidden, block, data);
+            if (block <= 1)
+                base_per = per;
+            table.addRow({std::to_string(hidden),
+                          block <= 1 ? "-" : std::to_string(block),
+                          fmtReal(per, 2),
+                          block <= 1 ? "-" :
+                              fmtReal(per - base_per, 2)});
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    banner("Table II: comparison among GRU based RNN models "
+           "(paper-calibrated TIMIT values)");
+    printCalibratedTable();
+    banner("Table II (live measurement, synthetic ASR substitute)");
+    printMeasuredTable();
+    std::cout << "\nObservation (Sec. IV): GRU matches LSTM accuracy "
+                 "with fewer parameters; the block-size trend is the "
+                 "same.\n";
+    return 0;
+}

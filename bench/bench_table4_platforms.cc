@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table IV reproduction: the two FPGA platforms, plus the PE
+ * capacity each can host per the resource model.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "hw/resource_model.hh"
+
+using namespace ernn;
+using namespace ernn::bench;
+
+int
+main()
+{
+    banner("Table IV: comparison of the two selected FPGA platforms");
+
+    TextTable table;
+    table.setHeader({"FPGA Platform", "DSP", "BRAM", "LUT", "FF",
+                     "Process"});
+    for (const auto *p : hw::allPlatforms()) {
+        table.addRow({p->name, fmtGrouped(static_cast<long long>(p->dsp)),
+                      fmtGrouped(static_cast<long long>(p->bramBlocks)),
+                      fmtGrouped(static_cast<long long>(p->lut)),
+                      fmtGrouped(static_cast<long long>(p->ff)),
+                      std::to_string(p->processNm) + "nm"});
+    }
+    table.print(std::cout);
+
+    TextTable pes("Derived PE capacity (resource model, 12-bit)");
+    pes.setHeader({"Platform", "PEs @ FFT8", "PEs @ FFT16",
+                   "PEs @ FFT32"});
+    for (const auto *p : hw::allPlatforms()) {
+        pes.addRow({p->name,
+                    std::to_string(hw::peCount(*p, 8, 12)),
+                    std::to_string(hw::peCount(*p, 16, 12)),
+                    std::to_string(hw::peCount(*p, 32, 12))});
+    }
+    pes.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches: paper-vs-model
+ * comparison rows, environment-controlled full sweeps, and common
+ * model specs.
+ */
+
+#ifndef ERNN_BENCH_BENCH_UTIL_HH
+#define ERNN_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "base/strings.hh"
+#include "base/table.hh"
+#include "nn/model_builder.hh"
+
+namespace ernn::bench
+{
+
+/** True when ERNN_FULL=1 requests the complete (slow) sweep. */
+inline bool
+fullMode()
+{
+    const char *env = std::getenv("ERNN_FULL");
+    return env && std::string(env) == "1";
+}
+
+/** "model (paper)" formatted cell, e.g. "13.4 (13.7)". */
+inline std::string
+vsPaper(Real model, Real paper, int decimals = 1)
+{
+    return fmtReal(model, decimals) + " (" + fmtReal(paper, decimals) +
+           ")";
+}
+
+/** The Table III LSTM workload: top layer of LSTM-1024/proj-512. */
+inline nn::ModelSpec
+paperLstmLayer(std::size_t block)
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 153;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024};
+    if (block > 1)
+        spec.blockSizes = {block};
+    spec.peephole = true;
+    spec.projectionSize = 512;
+    return spec;
+}
+
+/** The Table III GRU workload: top layer of GRU-1024. */
+inline nn::ModelSpec
+paperGruLayer(std::size_t block)
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Gru;
+    spec.inputDim = 153;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024};
+    if (block > 1)
+        spec.blockSizes = {block};
+    return spec;
+}
+
+/** Standard bench banner. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "\n================================================"
+                 "=============\n"
+              << what << "\n"
+              << "================================================"
+                 "=============\n";
+}
+
+} // namespace ernn::bench
+
+#endif // ERNN_BENCH_BENCH_UTIL_HH

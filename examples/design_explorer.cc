@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Design-space exploration at paper scale: run the two-phase E-RNN
+ * flow (Fig. 2 + Sec. VII) for several accuracy budgets on both
+ * FPGA platforms, using the calibrated TIMIT oracle, and print the
+ * resulting designs side by side.
+ */
+
+#include <iostream>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "base/table.hh"
+#include "ernn/explorer.hh"
+
+using namespace ernn;
+
+int
+main()
+{
+    setLogQuiet(true);
+
+    nn::ModelSpec baseline;
+    baseline.type = nn::ModelType::Lstm;
+    baseline.inputDim = 153;
+    baseline.numClasses = 39;
+    baseline.layerSizes = {1024, 1024};
+    baseline.peephole = true;
+    baseline.projectionSize = 512;
+    std::cout << "baseline: " << baseline.describe()
+              << " (the ESE acoustic model)\n";
+
+    TextTable summary("E-RNN designs across accuracy budgets");
+    summary.setHeader({"budget (%)", "platform", "final model",
+                       "trials", "bits", "latency (us)", "FPS",
+                       "FPS/W"});
+
+    for (Real budget : {0.05, 0.15, 0.30}) {
+        for (const auto *platform : hw::allPlatforms()) {
+            speech::TimitOracle oracle;
+            core::Phase1Config p1;
+            p1.maxPerDegradation = budget;
+            const auto result = core::optimizeDesign(
+                oracle, baseline, *platform, p1);
+            if (!result.phase1.feasible) {
+                summary.addRow({fmtReal(budget, 2), platform->name,
+                                "infeasible", "-", "-", "-", "-",
+                                "-"});
+                continue;
+            }
+            const auto &d = result.phase2.design;
+            summary.addRow(
+                {fmtReal(budget, 2), platform->name,
+                 result.phase1.finalSpec.describe(),
+                 std::to_string(result.phase1.trainingTrials),
+                 std::to_string(result.phase2.weightBits),
+                 fmtReal(d.latencyUs, 1),
+                 fmtGrouped(static_cast<long long>(d.fps)),
+                 fmtGrouped(static_cast<long long>(d.fpsPerWatt))});
+        }
+    }
+    summary.print(std::cout);
+
+    // Full report for the paper's setting.
+    std::cout << "\nFull report for the 0.30% budget on KU060:\n\n";
+    speech::TimitOracle oracle;
+    core::Phase1Config p1;
+    p1.maxPerDegradation = 0.30;
+    const auto result =
+        core::optimizeDesign(oracle, baseline, hw::xcku060(), p1);
+    std::cout << core::renderReport(result);
+    return 0;
+}

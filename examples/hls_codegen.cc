@@ -1,0 +1,83 @@
+/**
+ * @file
+ * HLS design automation (Fig. 13): generate the operation graph of a
+ * compressed RNN, schedule it, emit the C-like HLS source to a file,
+ * and verify the generated program functionally via the interpreter.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/strings.hh"
+#include "hls/codegen.hh"
+#include "hls/interpreter.hh"
+#include "hls/scheduler.hh"
+#include "hls/weight_store.hh"
+
+using namespace ernn;
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 16;
+    spec.numClasses = 8;
+    spec.layerSizes = {32};
+    spec.blockSizes = {8};
+    spec.peephole = true;
+    spec.projectionSize = 16;
+    std::cout << "RNN architecture specification: " << spec.describe()
+              << "\n";
+
+    // Graph generator.
+    const hls::OpGraph graph = hls::buildGraph(spec);
+    std::cout << "operation graph: " << graph.size() << " nodes, "
+              << graph.count(hls::OpType::MatVec)
+              << " matvec templates, critical path complexity "
+              << fmtReal(graph.criticalPathComplexity(), 2) << "\n";
+
+    // Operation scheduler.
+    const hls::Schedule schedule = hls::scheduleGraph(graph);
+    std::cout << "schedule: makespan " << schedule.makespan
+              << " cycles, matvec utilization "
+              << fmtPercent(schedule.utilization(
+                     hls::ResourceClass::MatVec, {}))
+              << "%\n";
+
+    // Code generator.
+    const std::string code = hls::generateCode(graph, &schedule);
+    const std::string path =
+        argc > 1 ? argv[1] : "ernn_generated_step.c";
+    std::ofstream out(path);
+    out << code;
+    out.close();
+    std::cout << "generated " << code.size() << " bytes of HLS C to "
+              << path << "\n";
+
+    // Functional verification through the interpreter.
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(99);
+    model.initXavier(rng);
+    const hls::WeightStore store =
+        hls::WeightStore::fromModel(model, spec);
+    hls::Interpreter interp(graph, store);
+
+    nn::Sequence xs(8, Vector(16));
+    for (auto &x : xs)
+        rng.fillNormal(x, 1.0);
+    const nn::Sequence expect = model.forwardLogits(xs);
+    const nn::Sequence got = interp.run(xs);
+    Real worst = 0.0;
+    for (std::size_t t = 0; t < got.size(); ++t)
+        for (std::size_t k = 0; k < got[t].size(); ++k)
+            worst = std::max(worst,
+                             std::abs(got[t][k] - expect[t][k]));
+    std::cout << "interpreted graph vs software model: max |diff| "
+              << fmtReal(worst, 12) << "\n";
+    return 0;
+}

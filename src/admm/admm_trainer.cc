@@ -1,0 +1,177 @@
+#include "admm/admm_trainer.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "nn/gru.hh"
+#include "nn/lstm.hh"
+
+namespace ernn::admm
+{
+
+using circulant::BlockCirculantMatrix;
+
+AdmmTrainer::AdmmTrainer(nn::StackedRnn &model, const AdmmConfig &cfg)
+    : model_(model), cfg_(cfg), rho_(cfg.rho)
+{
+    ernn_assert(cfg.rho > 0, "ADMM rho must be positive");
+    ernn_assert(cfg.iterations > 0, "need at least one iteration");
+}
+
+void
+AdmmTrainer::constrain(nn::LinearOp &op, std::size_t block_size)
+{
+    ernn_assert(op.denseWeight() != nullptr,
+                "ADMM constrains dense ops (W is unconstrained; "
+                "the structure lives in Z)");
+    ernn_assert(block_size >= 2, "block size must be >= 2");
+    Constraint c;
+    c.op = &op;
+    c.blockSize = block_size;
+    // Z initialized to the projection of the pretrained W
+    // ("initialize from pretrained model", Fig. 6).
+    c.z = BlockCirculantMatrix::fromDense(*op.denseWeight(),
+                                          block_size).toDense();
+    c.u = Matrix(op.outDim(), op.inDim());
+    constraints_.push_back(std::move(c));
+}
+
+void
+AdmmTrainer::gradHook(nn::ParamRegistry &)
+{
+    // Subproblem 1: add rho * (W - Z + U) to the weight gradient.
+    for (auto &c : constraints_) {
+        const Matrix &w = *c.op->denseWeight();
+        Matrix &g = *c.op->denseGrad();
+        const std::size_t n = w.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            g.raw()[k] += rho_ *
+                (w.raw()[k] - c.z.raw()[k] + c.u.raw()[k]);
+        }
+    }
+}
+
+void
+AdmmTrainer::updateZU()
+{
+    for (auto &c : constraints_) {
+        const Matrix &w = *c.op->denseWeight();
+        // Z = Proj(W + U): Euclidean mapping (Eqn. 6).
+        Matrix wu = w;
+        wu.axpy(1.0, c.u);
+        c.z = BlockCirculantMatrix::fromDense(wu,
+                                              c.blockSize).toDense();
+        // U += W - Z.
+        c.u.axpy(1.0, w);
+        c.u.axpy(-1.0, c.z);
+    }
+}
+
+Real
+AdmmTrainer::maxRelativeResidual() const
+{
+    Real worst = 0.0;
+    for (const auto &c : constraints_) {
+        const Matrix &w = *c.op->denseWeight();
+        const Real norm = std::max(w.frobeniusNorm(), 1e-12);
+        worst = std::max(worst, w.frobeniusDistance(c.z) / norm);
+    }
+    return worst;
+}
+
+AdmmResult
+AdmmTrainer::run(const nn::SequenceDataset &data)
+{
+    ernn_assert(!constraints_.empty(),
+                "no constraints registered; call constrain() first");
+
+    nn::TrainConfig tc = cfg_.train;
+    tc.epochs = cfg_.epochsPerIteration;
+    nn::Trainer trainer(model_, tc);
+    trainer.setGradHook(
+        [this](nn::ParamRegistry &reg) { gradHook(reg); });
+
+    AdmmResult result;
+    for (std::size_t k = 0; k < cfg_.iterations; ++k) {
+        const nn::TrainResult tr = trainer.train(data);
+
+        updateZU();
+
+        AdmmIterationLog log;
+        log.iteration = k;
+        log.trainLoss = tr.finalLoss();
+        Real primal = 0.0;
+        for (const auto &c : constraints_) {
+            primal = std::max(
+                primal, c.op->denseWeight()->frobeniusDistance(c.z));
+        }
+        log.primalResidual = primal;
+        log.relativeResidual = maxRelativeResidual();
+        result.log.push_back(log);
+
+        if (cfg_.verbose) {
+            ernn_inform("ADMM iter " << k << " loss " << log.trainLoss
+                        << " rel residual "
+                        << log.relativeResidual);
+        }
+        if (log.relativeResidual < cfg_.convergenceTol) {
+            result.converged = true;
+            break;
+        }
+        rho_ *= cfg_.rhoGrowth;
+    }
+    return result;
+}
+
+void
+AdmmTrainer::hardProject()
+{
+    for (auto &c : constraints_) {
+        Matrix &w = *c.op->denseWeight();
+        w = BlockCirculantMatrix::fromDense(w, c.blockSize).toDense();
+    }
+}
+
+void
+constrainFromSpec(AdmmTrainer &trainer, nn::StackedRnn &model,
+                  const nn::ModelSpec &spec)
+{
+    ernn_assert(model.numLayers() == spec.layerSizes.size(),
+                "constrainFromSpec: layer count mismatch");
+    for (std::size_t l = 0; l < model.numLayers(); ++l) {
+        const std::size_t rec_block = spec.blockFor(l);
+        const std::size_t in_block = spec.inputBlockFor(l);
+        nn::RnnLayer &layer = model.layer(l);
+        if (auto *lstm = dynamic_cast<nn::LstmLayer *>(&layer)) {
+            if (in_block >= 2) {
+                trainer.constrain(lstm->wix(), in_block);
+                trainer.constrain(lstm->wfx(), in_block);
+                trainer.constrain(lstm->wcx(), in_block);
+                trainer.constrain(lstm->wox(), in_block);
+                if (lstm->wym())
+                    trainer.constrain(*lstm->wym(), in_block);
+            }
+            if (rec_block >= 2) {
+                trainer.constrain(lstm->wir(), rec_block);
+                trainer.constrain(lstm->wfr(), rec_block);
+                trainer.constrain(lstm->wcr(), rec_block);
+                trainer.constrain(lstm->wor(), rec_block);
+            }
+        } else if (auto *gru = dynamic_cast<nn::GruLayer *>(&layer)) {
+            if (in_block >= 2) {
+                trainer.constrain(gru->wzx(), in_block);
+                trainer.constrain(gru->wrx(), in_block);
+                trainer.constrain(gru->wcx(), in_block);
+            }
+            if (rec_block >= 2) {
+                trainer.constrain(gru->wzc(), rec_block);
+                trainer.constrain(gru->wrc(), rec_block);
+                trainer.constrain(gru->wcc(), rec_block);
+            }
+        } else {
+            ernn_panic("unknown layer kind " << layer.kindName());
+        }
+    }
+}
+
+} // namespace ernn::admm

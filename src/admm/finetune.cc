@@ -1,0 +1,33 @@
+#include "admm/finetune.hh"
+
+#include "nn/loss.hh"
+
+namespace ernn::admm
+{
+
+namespace
+{
+
+Real
+datasetLoss(nn::StackedRnn &model, const nn::SequenceDataset &data)
+{
+    const nn::EvalResult eval = nn::Trainer::evaluate(model, data);
+    return eval.crossEntropy;
+}
+
+} // namespace
+
+FinetuneResult
+finetuneCirculant(nn::StackedRnn &compressed,
+                  const nn::SequenceDataset &data,
+                  const nn::TrainConfig &cfg)
+{
+    FinetuneResult result;
+    result.lossBefore = datasetLoss(compressed, data);
+    nn::Trainer trainer(compressed, cfg);
+    result.training = trainer.train(data);
+    result.lossAfter = datasetLoss(compressed, data);
+    return result;
+}
+
+} // namespace ernn::admm

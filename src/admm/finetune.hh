@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Post-projection fine-tuning: the final step of Fig. 6 ("Retrain to
+ * obtain the block circulant model"). After ADMM converges and the
+ * weights are hard-projected, the compressed model is retrained
+ * directly in its circulant parameterization — gradients accumulate
+ * on the generators (one vector per block), which is exactly how the
+ * paper describes training in the block-circulant format.
+ */
+
+#ifndef ERNN_ADMM_FINETUNE_HH
+#define ERNN_ADMM_FINETUNE_HH
+
+#include "nn/trainer.hh"
+
+namespace ernn::admm
+{
+
+/** Fine-tuning outcome. */
+struct FinetuneResult
+{
+    Real lossBefore = 0.0;
+    Real lossAfter = 0.0;
+    nn::TrainResult training;
+};
+
+/**
+ * Retrain a compressed (block-circulant) model on the task for a few
+ * epochs. The model trains through its generator parameters; the
+ * structure is preserved by construction.
+ */
+FinetuneResult finetuneCirculant(nn::StackedRnn &compressed,
+                                 const nn::SequenceDataset &data,
+                                 const nn::TrainConfig &cfg);
+
+} // namespace ernn::admm
+
+#endif // ERNN_ADMM_FINETUNE_HH

@@ -1,0 +1,89 @@
+#include "admm/transfer.hh"
+
+#include "base/logging.hh"
+#include "circulant/block_circulant.hh"
+#include "nn/gru.hh"
+#include "nn/lstm.hh"
+
+namespace ernn::admm
+{
+
+namespace
+{
+
+/** Project/copy one weight matrix across representations. */
+void
+copyOp(nn::LinearOp &src, nn::LinearOp &dst)
+{
+    ernn_assert(src.inDim() == dst.inDim() &&
+                src.outDim() == dst.outDim(),
+                "transfer: op shape mismatch");
+    const Matrix dense = src.denseWeight() ?
+        *src.denseWeight() : src.circulantWeight()->toDense();
+    if (dst.denseWeight()) {
+        *dst.denseWeight() = dense;
+    } else {
+        *dst.circulantWeight() =
+            circulant::BlockCirculantMatrix::fromDense(
+                dense, dst.blockSize());
+        dst.circulantWeight()->invalidateSpectra();
+    }
+}
+
+} // namespace
+
+void
+transferWeights(nn::StackedRnn &src, nn::StackedRnn &dst)
+{
+    ernn_assert(src.numLayers() == dst.numLayers(),
+                "transfer: layer count mismatch");
+
+    for (std::size_t l = 0; l < src.numLayers(); ++l) {
+        nn::RnnLayer &a = src.layer(l);
+        nn::RnnLayer &b = dst.layer(l);
+        ernn_assert(a.kindName() == b.kindName(),
+                    "transfer: layer kind mismatch at " << l);
+        if (auto *la = dynamic_cast<nn::LstmLayer *>(&a)) {
+            auto *lb = dynamic_cast<nn::LstmLayer *>(&b);
+            copyOp(la->wix(), lb->wix());
+            copyOp(la->wfx(), lb->wfx());
+            copyOp(la->wcx(), lb->wcx());
+            copyOp(la->wox(), lb->wox());
+            copyOp(la->wir(), lb->wir());
+            copyOp(la->wfr(), lb->wfr());
+            copyOp(la->wcr(), lb->wcr());
+            copyOp(la->wor(), lb->wor());
+            if (la->wym()) {
+                ernn_assert(lb->wym(), "transfer: projection mismatch");
+                copyOp(*la->wym(), *lb->wym());
+            }
+        } else if (auto *ga = dynamic_cast<nn::GruLayer *>(&a)) {
+            auto *gb = dynamic_cast<nn::GruLayer *>(&b);
+            copyOp(ga->wzx(), gb->wzx());
+            copyOp(ga->wrx(), gb->wrx());
+            copyOp(ga->wcx(), gb->wcx());
+            copyOp(ga->wzc(), gb->wzc());
+            copyOp(ga->wrc(), gb->wrc());
+            copyOp(ga->wcc(), gb->wcc());
+        } else {
+            ernn_panic("transfer: unknown layer kind");
+        }
+    }
+
+    // Biases, peepholes, and the classifier transfer verbatim via
+    // name-matched equal-size registry views. Weight views whose
+    // sizes differ across representations were handled above.
+    nn::ParamRegistry &ra = src.params();
+    nn::ParamRegistry &rb = dst.params();
+    for (auto &vb : rb.views()) {
+        for (const auto &va : ra.views()) {
+            if (va.name == vb.name && va.size == vb.size) {
+                std::copy(va.data, va.data + va.size, vb.data);
+                break;
+            }
+        }
+    }
+    rb.notifyUpdated();
+}
+
+} // namespace ernn::admm

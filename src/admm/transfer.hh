@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Weight transfer between model representations: after ADMM training
+ * and hard projection, the dense model's (now circulant-valued)
+ * weights are moved into a compressed model built from the target
+ * spec — the deployable artifact of Phase I.
+ */
+
+#ifndef ERNN_ADMM_TRANSFER_HH
+#define ERNN_ADMM_TRANSFER_HH
+
+#include "nn/rnn.hh"
+
+namespace ernn::admm
+{
+
+/**
+ * Copy all weights from @p src into @p dst.
+ *
+ * The two models must share layer geometry (types and sizes). Weight
+ * matrices are projected onto the destination's representation
+ * (dense -> circulant uses the Euclidean mapping, which is exact
+ * when the source weights are already circulant-valued); biases,
+ * peepholes, and the classifier transfer verbatim.
+ */
+void transferWeights(nn::StackedRnn &src, nn::StackedRnn &dst);
+
+} // namespace ernn::admm
+
+#endif // ERNN_ADMM_TRANSFER_HH

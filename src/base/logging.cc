@@ -1,0 +1,85 @@
+#include "base/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace ernn
+{
+
+namespace
+{
+
+std::atomic<std::size_t> warn_counter{0};
+std::atomic<bool> quiet{false};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+namespace detail
+{
+
+std::string
+location(const char *file, int line)
+{
+    return std::string(file) + ":" + std::to_string(line);
+}
+
+void
+log(LogLevel level, const std::string &what)
+{
+    if (level == LogLevel::Warn)
+        warn_counter.fetch_add(1, std::memory_order_relaxed);
+    if (quiet.load(std::memory_order_relaxed))
+        return;
+    std::cerr << levelName(level) << ": " << what << "\n";
+}
+
+void
+logAndDie(LogLevel level, const std::string &where, const std::string &what)
+{
+    std::cerr << levelName(level) << ": " << what << " @ " << where << "\n";
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+std::size_t
+warnCount()
+{
+    return warn_counter.load(std::memory_order_relaxed);
+}
+
+void
+resetWarnCount()
+{
+    warn_counter.store(0, std::memory_order_relaxed);
+}
+
+void
+setLogQuiet(bool q)
+{
+    quiet.store(q, std::memory_order_relaxed);
+}
+
+bool
+logQuiet()
+{
+    return quiet.load(std::memory_order_relaxed);
+}
+
+} // namespace ernn

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic() is for internal invariant violations (library bugs): it
+ * aborts. fatal() is for unrecoverable user errors (bad configuration,
+ * impossible design constraints): it exits with an error code. warn()
+ * and inform() report conditions without stopping execution.
+ */
+
+#ifndef ERNN_BASE_LOGGING_HH
+#define ERNN_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ernn
+{
+
+/** Severity levels understood by the logging backend. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail
+{
+
+/** Emit a formatted log record; Fatal exits, Panic aborts. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &where,
+                            const std::string &what);
+
+/** Emit a non-fatal log record to stderr. */
+void log(LogLevel level, const std::string &what);
+
+/** Build a "file:line" location string. */
+std::string location(const char *file, int line);
+
+} // namespace detail
+
+/** Number of warnings emitted so far (useful in tests). */
+std::size_t warnCount();
+
+/** Reset the warning counter (useful in tests). */
+void resetWarnCount();
+
+/**
+ * Enable or disable inform()/warn() output. Benches that print paper
+ * tables disable chatter to keep their stdout machine-comparable.
+ */
+void setLogQuiet(bool quiet);
+
+/** @return whether chatty logging is currently suppressed. */
+bool logQuiet();
+
+} // namespace ernn
+
+/** Report an internal library bug and abort. */
+#define ernn_panic(msg)                                                     \
+    do {                                                                    \
+        std::ostringstream ernn_ss_;                                        \
+        ernn_ss_ << msg;                                                    \
+        ::ernn::detail::logAndDie(::ernn::LogLevel::Panic,                  \
+            ::ernn::detail::location(__FILE__, __LINE__), ernn_ss_.str()); \
+    } while (0)
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define ernn_fatal(msg)                                                     \
+    do {                                                                    \
+        std::ostringstream ernn_ss_;                                        \
+        ernn_ss_ << msg;                                                    \
+        ::ernn::detail::logAndDie(::ernn::LogLevel::Fatal,                  \
+            ::ernn::detail::location(__FILE__, __LINE__), ernn_ss_.str()); \
+    } while (0)
+
+/** Report a suspicious-but-survivable condition. */
+#define ernn_warn(msg)                                                      \
+    do {                                                                    \
+        std::ostringstream ernn_ss_;                                        \
+        ernn_ss_ << msg;                                                    \
+        ::ernn::detail::log(::ernn::LogLevel::Warn, ernn_ss_.str());        \
+    } while (0)
+
+/** Report normal operating status. */
+#define ernn_inform(msg)                                                    \
+    do {                                                                    \
+        std::ostringstream ernn_ss_;                                        \
+        ernn_ss_ << msg;                                                    \
+        ::ernn::detail::log(::ernn::LogLevel::Inform, ernn_ss_.str());      \
+    } while (0)
+
+/** panic() unless the given invariant holds. */
+#define ernn_assert(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ernn_panic("assertion '" #cond "' failed: " << msg);            \
+        }                                                                   \
+    } while (0)
+
+#endif // ERNN_BASE_LOGGING_HH

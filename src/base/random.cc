@@ -1,0 +1,126 @@
+#include "base/random.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn
+{
+
+namespace
+{
+
+/** splitmix64: seed expander recommended by the xoshiro authors. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : hasSpare_(false), spare_(0)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+Real
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<Real>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+Real
+Rng::uniform(Real lo, Real hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    ernn_assert(n > 0, "index() requires a non-empty range");
+    return static_cast<std::size_t>(uniform() * static_cast<Real>(n)) % n;
+}
+
+Real
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    Real u1 = 0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const Real u2 = uniform();
+    const Real mag = std::sqrt(-2.0 * std::log(u1));
+    const Real two_pi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(two_pi * u2);
+    hasSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+Real
+Rng::normal(Real mean, Real stddev)
+{
+    return mean + stddev * normal();
+}
+
+void
+Rng::fillNormal(std::vector<Real> &buf, Real stddev)
+{
+    for (auto &v : buf)
+        v = normal(0.0, stddev);
+}
+
+void
+Rng::fillUniform(std::vector<Real> &buf, Real bound)
+{
+    for (auto &v : buf)
+        v = uniform(-bound, bound);
+}
+
+void
+Rng::shuffle(std::vector<std::size_t> &idx)
+{
+    for (std::size_t i = idx.size(); i > 1; --i)
+        std::swap(idx[i - 1], idx[index(i)]);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(nextU64());
+}
+
+} // namespace ernn

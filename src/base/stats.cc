@@ -1,0 +1,115 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn
+{
+
+void
+RunningStat::add(Real x)
+{
+    ++n_;
+    sum_ += x;
+    const Real delta = x - mean_;
+    mean_ += delta / static_cast<Real>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const Real delta = other.mean_ - mean_;
+    const std::size_t n = n_ + other.n_;
+    const Real na = static_cast<Real>(n_);
+    const Real nb = static_cast<Real>(other.n_);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<Real>(n);
+    mean_ = (na * mean_ + nb * other.mean_) / static_cast<Real>(n);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = n;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+Real
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<Real>(n_ - 1);
+}
+
+Real
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Ema::Ema(Real decay)
+    : decay_(decay)
+{
+    ernn_assert(decay > 0.0 && decay < 1.0, "EMA decay must be in (0,1)");
+}
+
+void
+Ema::add(Real x)
+{
+    if (empty_) {
+        value_ = x;
+        empty_ = false;
+    } else {
+        value_ = decay_ * value_ + (1.0 - decay_) * x;
+    }
+}
+
+Histogram::Histogram(Real lo, Real hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    ernn_assert(hi > lo, "histogram range must be non-empty");
+    ernn_assert(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(Real x)
+{
+    const Real t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<long>(t * static_cast<Real>(bins_.size()));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(bins_.size()) - 1);
+    ++bins_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+std::string
+Histogram::sparkline() const
+{
+    static const char levels[] = " .:-=+*#%@";
+    std::size_t peak = 0;
+    for (auto b : bins_)
+        peak = std::max(peak, b);
+    std::string out;
+    out.reserve(bins_.size());
+    for (auto b : bins_) {
+        const std::size_t idx =
+            peak ? (b * 9 + peak - 1) / peak : 0;
+        out.push_back(levels[std::min<std::size_t>(idx, 9)]);
+    }
+    return out;
+}
+
+} // namespace ernn

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by trainers, benches, and
+ * the hardware model for reporting.
+ */
+
+#ifndef ERNN_BASE_STATS_HH
+#define ERNN_BASE_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ernn
+{
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Fold one sample into the accumulator. */
+    void add(Real x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Drop all samples. */
+    void reset();
+
+    std::size_t count() const { return n_; }
+    Real mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    Real variance() const;
+
+    /** Sample standard deviation. */
+    Real stddev() const;
+
+    Real min() const { return n_ ? min_ : 0.0; }
+    Real max() const { return n_ ? max_ : 0.0; }
+    Real sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    Real mean_ = 0.0;
+    Real m2_ = 0.0;
+    Real sum_ = 0.0;
+    Real min_ = std::numeric_limits<Real>::infinity();
+    Real max_ = -std::numeric_limits<Real>::infinity();
+};
+
+/**
+ * Exponential moving average, used for smoothed training-loss
+ * reporting.
+ */
+class Ema
+{
+  public:
+    /** @param decay smoothing factor in (0, 1); higher = smoother. */
+    explicit Ema(Real decay = 0.98);
+
+    /** Fold a sample; the first sample initializes the average. */
+    void add(Real x);
+
+    Real value() const { return value_; }
+    bool empty() const { return empty_; }
+
+  private:
+    Real decay_;
+    Real value_ = 0.0;
+    bool empty_ = true;
+};
+
+/**
+ * Fixed-bin histogram over a closed range; out-of-range samples clamp
+ * to the edge bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(Real lo, Real hi, std::size_t bins);
+
+    void add(Real x);
+    std::size_t count() const { return total_; }
+    const std::vector<std::size_t> &bins() const { return bins_; }
+
+    /** Render a compact one-line ASCII sparkline of the histogram. */
+    std::string sparkline() const;
+
+  private:
+    Real lo_, hi_;
+    std::vector<std::size_t> bins_;
+    std::size_t total_ = 0;
+};
+
+} // namespace ernn
+
+#endif // ERNN_BASE_STATS_HH

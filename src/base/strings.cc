@@ -1,0 +1,138 @@
+#include "base/strings.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ernn
+{
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+fmtReal(Real v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtGrouped(long long v)
+{
+    const bool neg = v < 0;
+    unsigned long long u = neg ?
+        static_cast<unsigned long long>(-(v + 1)) + 1ull :
+        static_cast<unsigned long long>(v);
+    std::string digits = std::to_string(u);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (neg)
+        out.push_back('-');
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+fmtTimes(Real v, int decimals)
+{
+    return fmtReal(v, decimals) + "x";
+}
+
+std::string
+fmtPercent(Real fraction, int decimals)
+{
+    return fmtReal(fraction * 100.0, decimals);
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    if (bytes >= 1024.0 * 1024.0)
+        return fmtReal(bytes / (1024.0 * 1024.0), 2) + " MB";
+    if (bytes >= 1024.0)
+        return fmtReal(bytes / 1024.0, 1) + " KB";
+    return fmtReal(bytes, 0) + " B";
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+fmtDashList(const std::vector<std::size_t> &vals)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (i)
+            os << "-";
+        os << vals[i];
+    }
+    return os.str();
+}
+
+} // namespace ernn

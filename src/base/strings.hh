@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small string helpers shared by the table printer, the HLS code
+ * generator, and the benches.
+ */
+
+#ifndef ERNN_BASE_STRINGS_HH
+#define ERNN_BASE_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ernn
+{
+
+/** Split a string on a single-character delimiter (keeps empties). */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Trim ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/** @return true when @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Format a Real with the given number of decimals. */
+std::string fmtReal(Real v, int decimals = 2);
+
+/**
+ * Format a count with thousands separators, e.g. 179687 -> "179,687",
+ * matching the paper's table style.
+ */
+std::string fmtGrouped(long long v);
+
+/** Format a ratio like "37.4x". */
+std::string fmtTimes(Real v, int decimals = 1);
+
+/** Format a percentage like "87.7". */
+std::string fmtPercent(Real fraction, int decimals = 1);
+
+/** Format a byte count in human units (KB/MB). */
+std::string fmtBytes(double bytes);
+
+/** Left/right pad a string with spaces to the given width. */
+std::string padLeft(const std::string &s, std::size_t width);
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Render "256-256-256" style layer/block configuration strings. */
+std::string fmtDashList(const std::vector<std::size_t> &vals);
+
+} // namespace ernn
+
+#endif // ERNN_BASE_STRINGS_HH

@@ -1,0 +1,93 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "base/strings.hh"
+
+namespace ernn
+{
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header and all rows.
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            width[c] = std::max(width[c], cells[c].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        if (!r.separator)
+            measure(r.cells);
+
+    std::size_t total = 1;
+    for (auto w : width)
+        total += w + 3;
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto rule = [&]() { os << std::string(total, '-') << "\n"; };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            os << " " << padRight(cell, width[c]) << " |";
+        }
+        os << "\n";
+    };
+
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto &r : rows_) {
+        if (r.separator)
+            rule();
+        else
+            emit(r.cells);
+    }
+    rule();
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace ernn

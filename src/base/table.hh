@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table renderer used by the benches to print paper-style
+ * tables (Tables I-IV) with aligned columns.
+ */
+
+#ifndef ERNN_BASE_TABLE_HH
+#define ERNN_BASE_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ernn
+{
+
+/**
+ * A simple column-aligned table. Rows are added as vectors of cell
+ * strings; rendering computes column widths and draws separators.
+ */
+class TextTable
+{
+  public:
+    /** @param title caption rendered above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; ragged rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator at this position. */
+    void addSeparator();
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render into a string. */
+    std::string render() const;
+
+    /** Render to an output stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace ernn
+
+#endif // ERNN_BASE_TABLE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the E-RNN library.
+ */
+
+#ifndef ERNN_BASE_TYPES_HH
+#define ERNN_BASE_TYPES_HH
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace ernn
+{
+
+/**
+ * Scalar type used throughout the numerical stack.
+ *
+ * Double precision keeps the FFT round-trip error and the
+ * finite-difference gradient checks far away from tolerance cliffs;
+ * the quantization module models reduced precision explicitly on top
+ * of this type.
+ */
+using Real = double;
+
+/** Complex companion of Real, used by the FFT and frequency-domain ops. */
+using Complex = std::complex<Real>;
+
+/** Unsigned cycle count used by the hardware model and the simulator. */
+using Cycles = std::uint64_t;
+
+} // namespace ernn
+
+#endif // ERNN_BASE_TYPES_HH

@@ -1,0 +1,327 @@
+#include "circulant/block_circulant.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn::circulant
+{
+
+namespace
+{
+
+/**
+ * acc += w ⊙ x over packed real-spectrum bins (plain product, used by
+ * the transposed matvec, which is a circular convolution).
+ */
+void
+accumulatePlainProduct(fft::CVector &acc, const fft::CVector &w,
+                       const fft::CVector &x)
+{
+    const std::size_t m = acc.size() - 1;
+    acc[0] += Complex(w[0].real() * x[0].real(), 0);
+    acc[m] += Complex(w[m].real() * x[m].real(), 0);
+    for (std::size_t k = 1; k < m; ++k) {
+        const Real wr = w[k].real(), wi = w[k].imag();
+        const Real xr = x[k].real(), xi = x[k].imag();
+        acc[k] += Complex(wr * xr - wi * xi, wr * xi + wi * xr);
+    }
+    if (fft::OpCount::enabled())
+        fft::OpCount::addEltwiseMults(2 + 4 * (m - 1));
+}
+
+} // namespace
+
+BlockCirculantMatrix::BlockCirculantMatrix(std::size_t rows,
+                                           std::size_t cols,
+                                           std::size_t block_size)
+    : rows_(rows), cols_(cols), blockSize_(block_size)
+{
+    ernn_assert(block_size >= 1, "block size must be positive");
+    ernn_assert(fft::isPowerOfTwo(block_size),
+                "block size " << block_size << " is not a power of two");
+    ernn_assert(rows % block_size == 0,
+                "rows " << rows << " not divisible by block size "
+                        << block_size);
+    ernn_assert(cols % block_size == 0,
+                "cols " << cols << " not divisible by block size "
+                        << block_size);
+    blockRows_ = rows / block_size;
+    blockCols_ = cols / block_size;
+    gen_.assign(blockRows_ * blockCols_ * blockSize_, 0.0);
+}
+
+BlockCirculantMatrix
+BlockCirculantMatrix::fromDense(const Matrix &dense,
+                                std::size_t block_size)
+{
+    BlockCirculantMatrix out(dense.rows(), dense.cols(), block_size);
+    const std::size_t lb = block_size;
+    const Real inv = 1.0 / static_cast<Real>(lb);
+    for (std::size_t i = 0; i < out.blockRows_; ++i) {
+        for (std::size_t j = 0; j < out.blockCols_; ++j) {
+            Real *g = out.generator(i, j);
+            for (std::size_t d = 0; d < lb; ++d) {
+                Real sum = 0.0;
+                for (std::size_t r = 0; r < lb; ++r) {
+                    sum += dense.at(i * lb + r,
+                                    j * lb + (r + d) % lb);
+                }
+                g[d] = sum * inv;
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+BlockCirculantMatrix::toDense() const
+{
+    Matrix out(rows_, cols_);
+    const std::size_t lb = blockSize_;
+    for (std::size_t i = 0; i < blockRows_; ++i) {
+        for (std::size_t j = 0; j < blockCols_; ++j) {
+            const Real *g = generator(i, j);
+            for (std::size_t r = 0; r < lb; ++r)
+                for (std::size_t c = 0; c < lb; ++c)
+                    out.at(i * lb + r, j * lb + c) =
+                        g[(c + lb - r) % lb];
+        }
+    }
+    return out;
+}
+
+Real
+BlockCirculantMatrix::compressionRatio() const
+{
+    if (gen_.empty())
+        return 1.0;
+    return static_cast<Real>(rows_ * cols_) /
+           static_cast<Real>(paramCount());
+}
+
+Real *
+BlockCirculantMatrix::generator(std::size_t i, std::size_t j)
+{
+    return gen_.data() + (i * blockCols_ + j) * blockSize_;
+}
+
+const Real *
+BlockCirculantMatrix::generator(std::size_t i, std::size_t j) const
+{
+    return gen_.data() + (i * blockCols_ + j) * blockSize_;
+}
+
+void
+BlockCirculantMatrix::initXavier(Rng &rng)
+{
+    // Match the dense-equivalent variance: each generator entry is
+    // replicated Lb times in the dense matrix, but fan-in/out are
+    // those of the dense matrix.
+    const Real bound = std::sqrt(6.0 / static_cast<Real>(rows_ + cols_));
+    rng.fillUniform(gen_, bound);
+    invalidateSpectra();
+}
+
+void
+BlockCirculantMatrix::invalidateSpectra()
+{
+    spectraValid_ = false;
+}
+
+void
+BlockCirculantMatrix::ensureSpectra() const
+{
+    if (spectraValid_)
+        return;
+    const std::size_t bins = blockSize_ / 2 + 1;
+    spectra_.assign(blockRows_ * blockCols_ * bins, Complex(0, 0));
+    Vector tmp(blockSize_);
+    for (std::size_t b = 0; b < blockRows_ * blockCols_; ++b) {
+        const Real *g = gen_.data() + b * blockSize_;
+        tmp.assign(g, g + blockSize_);
+        const fft::CVector spec = fft::rfft(tmp);
+        std::copy(spec.begin(), spec.end(),
+                  spectra_.begin() + b * bins);
+    }
+    spectraValid_ = true;
+}
+
+Vector
+BlockCirculantMatrix::matvec(const Vector &x, MatvecMode mode) const
+{
+    Vector y(rows_, 0.0);
+    matvecAcc(x, y, mode);
+    return y;
+}
+
+void
+BlockCirculantMatrix::matvecAcc(const Vector &x, Vector &y,
+                                MatvecMode mode) const
+{
+    ernn_assert(x.size() == cols_, "matvec: x size " << x.size()
+                << " != cols " << cols_);
+    ernn_assert(y.size() == rows_, "matvec: y size mismatch");
+    const std::size_t lb = blockSize_;
+
+    if (mode == MatvecMode::Naive || lb == 1) {
+        for (std::size_t i = 0; i < blockRows_; ++i) {
+            for (std::size_t j = 0; j < blockCols_; ++j) {
+                const Real *g = generator(i, j);
+                for (std::size_t r = 0; r < lb; ++r) {
+                    Real s = 0.0;
+                    for (std::size_t c = 0; c < lb; ++c)
+                        s += g[(c + lb - r) % lb] * x[j * lb + c];
+                    y[i * lb + r] += s;
+                }
+            }
+        }
+        return;
+    }
+
+    ensureSpectra();
+    const std::size_t bins = lb / 2 + 1;
+
+    // FFT(x_j) once per input segment (decoupling, Fig. 7): q FFTs.
+    std::vector<fft::CVector> xfft(blockCols_);
+    Vector seg(lb);
+    for (std::size_t j = 0; j < blockCols_; ++j) {
+        seg.assign(x.begin() + j * lb, x.begin() + (j + 1) * lb);
+        xfft[j] = fft::rfft(seg);
+    }
+
+    // Accumulate in the frequency domain; one IFFT per output
+    // segment: p IFFTs.
+    fft::CVector acc(bins);
+    for (std::size_t i = 0; i < blockRows_; ++i) {
+        std::fill(acc.begin(), acc.end(), Complex(0, 0));
+        for (std::size_t j = 0; j < blockCols_; ++j) {
+            const Complex *w =
+                spectra_.data() + (i * blockCols_ + j) * bins;
+            const fft::CVector wv(w, w + bins);
+            fft::accumulateConjProduct(acc, wv, xfft[j]);
+        }
+        const Vector yi = fft::irfft(acc, lb);
+        for (std::size_t r = 0; r < lb; ++r)
+            y[i * lb + r] += yi[r];
+    }
+}
+
+void
+BlockCirculantMatrix::matvecTransposeAcc(const Vector &dy,
+                                         Vector &dx) const
+{
+    ernn_assert(dy.size() == rows_, "matvecT: dy size mismatch");
+    ernn_assert(dx.size() == cols_, "matvecT: dx size mismatch");
+    const std::size_t lb = blockSize_;
+
+    if (lb == 1) {
+        for (std::size_t i = 0; i < blockRows_; ++i)
+            for (std::size_t j = 0; j < blockCols_; ++j)
+                dx[j] += generator(i, j)[0] * dy[i];
+        return;
+    }
+
+    ensureSpectra();
+    const std::size_t bins = lb / 2 + 1;
+
+    std::vector<fft::CVector> dyfft(blockRows_);
+    Vector seg(lb);
+    for (std::size_t i = 0; i < blockRows_; ++i) {
+        seg.assign(dy.begin() + i * lb, dy.begin() + (i + 1) * lb);
+        dyfft[i] = fft::rfft(seg);
+    }
+
+    fft::CVector acc(bins);
+    for (std::size_t j = 0; j < blockCols_; ++j) {
+        std::fill(acc.begin(), acc.end(), Complex(0, 0));
+        for (std::size_t i = 0; i < blockRows_; ++i) {
+            const Complex *w =
+                spectra_.data() + (i * blockCols_ + j) * bins;
+            const fft::CVector wv(w, w + bins);
+            accumulatePlainProduct(acc, wv, dyfft[i]);
+        }
+        const Vector dxj = fft::irfft(acc, lb);
+        for (std::size_t c = 0; c < lb; ++c)
+            dx[j * lb + c] += dxj[c];
+    }
+}
+
+void
+BlockCirculantMatrix::generatorGradAcc(const Vector &x,
+                                       const Vector &dy,
+                                       BlockCirculantMatrix &grad) const
+{
+    ernn_assert(x.size() == cols_ && dy.size() == rows_,
+                "generatorGradAcc: size mismatch");
+    ernn_assert(grad.rows_ == rows_ && grad.cols_ == cols_ &&
+                grad.blockSize_ == blockSize_,
+                "generatorGradAcc: grad shape mismatch");
+    const std::size_t lb = blockSize_;
+
+    if (lb == 1) {
+        for (std::size_t i = 0; i < blockRows_; ++i)
+            for (std::size_t j = 0; j < blockCols_; ++j)
+                grad.generator(i, j)[0] += dy[i] * x[j];
+        return;
+    }
+
+    const std::size_t bins = lb / 2 + 1;
+    std::vector<fft::CVector> xfft(blockCols_), dyfft(blockRows_);
+    Vector seg(lb);
+    for (std::size_t j = 0; j < blockCols_; ++j) {
+        seg.assign(x.begin() + j * lb, x.begin() + (j + 1) * lb);
+        xfft[j] = fft::rfft(seg);
+    }
+    for (std::size_t i = 0; i < blockRows_; ++i) {
+        seg.assign(dy.begin() + i * lb, dy.begin() + (i + 1) * lb);
+        dyfft[i] = fft::rfft(seg);
+    }
+
+    fft::CVector acc(bins);
+    for (std::size_t i = 0; i < blockRows_; ++i) {
+        for (std::size_t j = 0; j < blockCols_; ++j) {
+            std::fill(acc.begin(), acc.end(), Complex(0, 0));
+            fft::accumulateConjProduct(acc, dyfft[i], xfft[j]);
+            const Vector g = fft::irfft(acc, lb);
+            Real *gptr = grad.generator(i, j);
+            for (std::size_t d = 0; d < lb; ++d)
+                gptr[d] += g[d];
+        }
+    }
+    grad.invalidateSpectra();
+}
+
+Real
+BlockCirculantMatrix::distanceFromDense(const Matrix &dense) const
+{
+    ernn_assert(dense.rows() == rows_ && dense.cols() == cols_,
+                "distanceFromDense: shape mismatch");
+    const std::size_t lb = blockSize_;
+    Real s = 0.0;
+    for (std::size_t i = 0; i < blockRows_; ++i) {
+        for (std::size_t j = 0; j < blockCols_; ++j) {
+            const Real *g = generator(i, j);
+            for (std::size_t r = 0; r < lb; ++r) {
+                for (std::size_t c = 0; c < lb; ++c) {
+                    const Real d = dense.at(i * lb + r, j * lb + c) -
+                                   g[(c + lb - r) % lb];
+                    s += d * d;
+                }
+            }
+        }
+    }
+    return std::sqrt(s);
+}
+
+Real
+BlockCirculantMatrix::frobeniusNorm() const
+{
+    // Each generator entry appears Lb times in the dense matrix.
+    Real s = 0.0;
+    for (auto v : gen_)
+        s += v * v;
+    return std::sqrt(s * static_cast<Real>(blockSize_));
+}
+
+} // namespace ernn::circulant

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Block-circulant weight matrix (Sec. III of the paper).
+ *
+ * A rows x cols matrix is partitioned into p x q square blocks of
+ * size Lb; each block is a circulant matrix fully described by its
+ * first row ("generator"): W[r][c] = w[(c - r) mod Lb]. Storage drops
+ * from O(rows*cols) to O(rows*cols/Lb) and the matvec drops to
+ * O(n log n) via the FFT (Fig. 4):
+ *
+ *     a_i = IFFT( sum_j conj(FFT(w_ij)) ∘ FFT(x_j) )
+ *
+ * The conjugate appears because a first-row circulant matvec is a
+ * circular correlation — this is the "Conj" block in the paper's PE
+ * (Fig. 10). FFT/IFFT decoupling (Sec. V-A1, Fig. 7) is structural:
+ * the q input-segment FFTs are computed once, accumulation happens in
+ * the frequency domain, and only p IFFTs run per matvec.
+ */
+
+#ifndef ERNN_CIRCULANT_BLOCK_CIRCULANT_HH
+#define ERNN_CIRCULANT_BLOCK_CIRCULANT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "tensor/fft.hh"
+#include "tensor/matrix.hh"
+#include "tensor/vector_ops.hh"
+
+namespace ernn::circulant
+{
+
+/** Strategy used by matvec-type entry points. */
+enum class MatvecMode
+{
+    Fft,   //!< decoupled FFT path (production)
+    Naive, //!< direct O(rows*cols) evaluation from generators (oracle)
+};
+
+class BlockCirculantMatrix
+{
+  public:
+    BlockCirculantMatrix() = default;
+
+    /**
+     * Construct an all-zero block-circulant matrix.
+     *
+     * @param rows, cols overall dimensions; both must be divisible by
+     *                   @p block_size
+     * @param block_size Lb, a power of two (the paper constrains
+     *                   block sizes to powers of two)
+     */
+    BlockCirculantMatrix(std::size_t rows, std::size_t cols,
+                         std::size_t block_size);
+
+    /**
+     * Euclidean projection of a dense matrix onto the block-circulant
+     * set (Eqn. 6 / Fig. 5): each generator entry is the mean of its
+     * wrapped block diagonal. This is the optimal (closest in
+     * Frobenius norm) circulant approximation, used as the ADMM
+     * proximal step.
+     */
+    static BlockCirculantMatrix fromDense(const Matrix &dense,
+                                          std::size_t block_size);
+
+    /** Materialize the dense equivalent. */
+    Matrix toDense() const;
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t blockSize() const { return blockSize_; }
+    std::size_t blockRows() const { return blockRows_; } //!< p
+    std::size_t blockCols() const { return blockCols_; } //!< q
+
+    /** Number of stored parameters: p * q * Lb. */
+    std::size_t paramCount() const { return gen_.size(); }
+
+    /** Dense-to-circulant parameter compression ratio (= Lb). */
+    Real compressionRatio() const;
+
+    /** Mutable view of the generator of block (i, j), Lb entries. */
+    Real *generator(std::size_t i, std::size_t j);
+    const Real *generator(std::size_t i, std::size_t j) const;
+
+    /** Flat generator storage (p*q*Lb entries, trainable params). */
+    std::vector<Real> &raw() { return gen_; }
+    const std::vector<Real> &raw() const { return gen_; }
+
+    /** Xavier init matching the dense equivalent's fan-in/out. */
+    void initXavier(Rng &rng);
+
+    /**
+     * Mark cached generator spectra stale. Must be called after any
+     * direct mutation of raw()/generator() contents.
+     */
+    void invalidateSpectra();
+
+    /** y = W x. */
+    Vector matvec(const Vector &x, MatvecMode mode = MatvecMode::Fft)
+        const;
+
+    /** y += W x. */
+    void matvecAcc(const Vector &x, Vector &y,
+                   MatvecMode mode = MatvecMode::Fft) const;
+
+    /** dx += Wᵀ dy (circular convolution per block, FFT path). */
+    void matvecTransposeAcc(const Vector &dy, Vector &dx) const;
+
+    /**
+     * grad.gen += dL/dgen given upstream gradient dy and input x.
+     * The generator gradient of block (i,j) is the circular
+     * correlation of dy_i with x_j.
+     */
+    void generatorGradAcc(const Vector &x, const Vector &dy,
+                          BlockCirculantMatrix &grad) const;
+
+    /** Frobenius distance ‖this - dense‖_F without materializing. */
+    Real distanceFromDense(const Matrix &dense) const;
+
+    /** Frobenius norm of the (implicit) dense matrix. */
+    Real frobeniusNorm() const;
+
+  private:
+    void ensureSpectra() const;
+
+    std::size_t rows_ = 0, cols_ = 0;
+    std::size_t blockSize_ = 0;
+    std::size_t blockRows_ = 0, blockCols_ = 0;
+
+    /** Generators, laid out [i][j][d] contiguously. */
+    std::vector<Real> gen_;
+
+    /**
+     * Cached rfft of every generator, (Lb/2+1) bins per block, laid
+     * out [i][j][bin]. Rebuilt lazily after invalidateSpectra().
+     */
+    mutable std::vector<Complex> spectra_;
+    mutable bool spectraValid_ = false;
+};
+
+} // namespace ernn::circulant
+
+#endif // ERNN_CIRCULANT_BLOCK_CIRCULANT_HH

@@ -1,0 +1,100 @@
+#include "circulant/mult_model.hh"
+
+#include "base/logging.hh"
+#include "tensor/fft.hh"
+
+namespace ernn::circulant
+{
+
+namespace
+{
+
+/** Real multiplications of one forward transform of size Lb. */
+std::uint64_t
+fftCost(std::size_t lb, FftCostConvention convention)
+{
+    switch (convention) {
+      case FftCostConvention::Optimized:
+        return fft::rfftRealMults(lb);
+      case FftCostConvention::ConservativeComplex:
+        // Full complex radix-2 FFT: (Lb/2)*log2(Lb) butterflies,
+        // 4 real multipliers each, no trivial-twiddle pruning.
+        return 4 * (lb / 2) * fft::log2Ceil(lb);
+    }
+    return 0;
+}
+
+std::uint64_t
+eltwiseCost(std::size_t lb)
+{
+    return fft::eltwiseRealMults(lb);
+}
+
+} // namespace
+
+LayerMultCount
+layerMultCount(std::size_t rows, std::size_t cols,
+               std::size_t block_size, FftCostConvention convention,
+               bool decoupled)
+{
+    ernn_assert(block_size >= 2, "layerMultCount: block size >= 2");
+    ernn_assert(rows % block_size == 0 && cols % block_size == 0,
+                "layerMultCount: dimensions not divisible by block");
+    const std::uint64_t p = rows / block_size;
+    const std::uint64_t q = cols / block_size;
+
+    LayerMultCount out;
+    out.fftCalls = decoupled ? q : p * q;
+    out.ifftCalls = decoupled ? p : p * q;
+    out.fftMults = out.fftCalls * fftCost(block_size, convention);
+    out.ifftMults = out.ifftCalls * fftCost(block_size, convention);
+    out.eltwiseMults = p * q * eltwiseCost(block_size);
+    return out;
+}
+
+Real
+normalizedMults(std::size_t layer_size, std::size_t block_size,
+                FftCostConvention convention)
+{
+    const auto c =
+        layerMultCount(layer_size, layer_size, block_size, convention);
+    const Real dense =
+        static_cast<Real>(layer_size) * static_cast<Real>(layer_size);
+    return static_cast<Real>(c.total()) / dense;
+}
+
+std::size_t
+blockSizeUpperBound(std::size_t layer_size, Real improvement,
+                    std::size_t cap)
+{
+    std::size_t best = 2;
+    Real prev = normalizedMults(layer_size, 2,
+                                FftCostConvention::ConservativeComplex);
+    for (std::size_t lb = 4; lb <= cap && lb <= layer_size; lb <<= 1) {
+        const Real cur = normalizedMults(
+            layer_size, lb, FftCostConvention::ConservativeComplex);
+        if (prev - cur < improvement * prev)
+            return best;
+        best = lb;
+        prev = cur;
+    }
+    return best;
+}
+
+std::vector<MultSweepPoint>
+multSweep(std::size_t layer_size, std::size_t max_block)
+{
+    std::vector<MultSweepPoint> out;
+    for (std::size_t lb = 2; lb <= max_block && lb <= layer_size;
+         lb <<= 1) {
+        out.push_back(MultSweepPoint{
+            lb,
+            normalizedMults(layer_size, lb,
+                            FftCostConvention::Optimized),
+            normalizedMults(layer_size, lb,
+                            FftCostConvention::ConservativeComplex)});
+    }
+    return out;
+}
+
+} // namespace ernn::circulant

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Analytic computation model for the block-circulant matvec
+ * (Sec. V of the paper; reproduces Fig. 7 and Fig. 8).
+ *
+ * Two counting conventions are provided:
+ *
+ *  - Optimized: an exact mirror of the multiplications this library's
+ *    FFT kernels execute (real-FFT packing, trivial-twiddle skipping,
+ *    shift-based IFFT scaling). Tests assert it equals the runtime
+ *    instrumentation bit-for-bit.
+ *
+ *  - ConservativeComplex: the hardware-oriented convention in which
+ *    the PE instantiates a full complex FFT datapath of size Lb
+ *    (4 real multipliers per butterfly, no real-input halving). This
+ *    is the convention under which the paper's Sec. V observation —
+ *    reduction converges around block size 32-64 and the count rises
+ *    again for very large blocks — emerges.
+ */
+
+#ifndef ERNN_CIRCULANT_MULT_MODEL_HH
+#define ERNN_CIRCULANT_MULT_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ernn::circulant
+{
+
+/** FFT cost convention, see file comment. */
+enum class FftCostConvention { Optimized, ConservativeComplex };
+
+/** Breakdown of one block-circulant matvec's cost. */
+struct LayerMultCount
+{
+    std::uint64_t fftMults = 0;     //!< input-segment FFTs
+    std::uint64_t ifftMults = 0;    //!< output-segment IFFTs
+    std::uint64_t eltwiseMults = 0; //!< frequency-domain products
+    std::uint64_t fftCalls = 0;     //!< forward transform invocations
+    std::uint64_t ifftCalls = 0;    //!< inverse transform invocations
+
+    std::uint64_t total() const
+    {
+        return fftMults + ifftMults + eltwiseMults;
+    }
+};
+
+/**
+ * Multiplication/transform counts for one rows x cols matvec with
+ * block size Lb.
+ *
+ * @param decoupled apply FFT/IFFT decoupling (Sec. V-A1): q input
+ *                  FFTs and p output IFFTs instead of p*q of each
+ */
+LayerMultCount layerMultCount(std::size_t rows, std::size_t cols,
+                              std::size_t block_size,
+                              FftCostConvention convention =
+                                  FftCostConvention::Optimized,
+                              bool decoupled = true);
+
+/**
+ * Total real multiplications normalized by the dense baseline
+ * (rows * cols), i.e. the y-axis of Fig. 8.
+ */
+Real normalizedMults(std::size_t layer_size, std::size_t block_size,
+                     FftCostConvention convention =
+                         FftCostConvention::Optimized);
+
+/**
+ * The Sec. V-B observation as a procedure: the largest useful block
+ * size, i.e. the smallest Lb at which doubling the block size no
+ * longer reduces the (conservative-convention) multiplication count
+ * by more than @p improvement, capped at @p cap (64 in the paper).
+ */
+std::size_t blockSizeUpperBound(std::size_t layer_size,
+                                Real improvement = 0.05,
+                                std::size_t cap = 64);
+
+/** Sweep of normalized multiplication counts over powers of two. */
+struct MultSweepPoint
+{
+    std::size_t blockSize;
+    Real normalizedOptimized;
+    Real normalizedConservative;
+};
+
+/** Evaluate the Fig. 8 series for block sizes 2 .. max_block. */
+std::vector<MultSweepPoint> multSweep(std::size_t layer_size,
+                                      std::size_t max_block);
+
+} // namespace ernn::circulant
+
+#endif // ERNN_CIRCULANT_MULT_MODEL_HH

@@ -1,0 +1,77 @@
+#include "ernn/explorer.hh"
+
+#include <sstream>
+
+#include "base/strings.hh"
+
+namespace ernn::core
+{
+
+ExplorationResult
+optimizeDesign(speech::AccuracyOracle &oracle,
+               const nn::ModelSpec &baseline,
+               const hw::FpgaPlatform &platform, Phase1Config p1,
+               Phase2Config p2)
+{
+    ExplorationResult result;
+    Phase1Optimizer phase1(oracle, platform, p1);
+    result.phase1 = phase1.run(baseline);
+    if (result.phase1.feasible) {
+        Phase2Optimizer phase2(platform, p2);
+        result.phase2 = phase2.run(result.phase1.finalSpec);
+    }
+    return result;
+}
+
+std::string
+renderReport(const ExplorationResult &result)
+{
+    std::ostringstream os;
+    os << "=== E-RNN Phase I (Fig. 2) ===\n";
+    os << "block size bounds: [" << result.phase1.blockLowerBound
+       << ", " << result.phase1.blockUpperBound << "]\n";
+    for (const auto &step : result.phase1.trace) {
+        os << "  " << (step.accepted ? "[ok]  " : "[no]  ")
+           << step.description;
+        if (step.trainingTrial)
+            os << " (training trial, degradation "
+               << fmtReal(step.degradation, 2) << "%)";
+        os << "\n";
+    }
+    os << "training trials: " << result.phase1.trainingTrials << "\n";
+    if (!result.phase1.feasible) {
+        os << "INFEASIBLE under the given constraints\n";
+        return os.str();
+    }
+    os << "final model: " << result.phase1.finalSpec.describe()
+       << " (degradation " << fmtReal(result.phase1.finalDegradation, 2)
+       << "%)\n\n";
+
+    const Phase2Result &p2 = result.phase2;
+    os << "=== E-RNN Phase II ===\n";
+    os << "quantization: " << p2.weightBits << "-bit fixed (degradation "
+       << fmtReal(p2.quantDegradation, 3) << "%)\n";
+    os << "activation: piecewise linear, " << p2.activationSegments
+       << " segments (max err sigmoid "
+       << fmtReal(p2.sigmoidMaxError, 5) << ", tanh "
+       << fmtReal(p2.tanhMaxError, 5) << ")\n";
+    const hw::DesignPoint &d = p2.design;
+    os << "platform: " << d.platformName << ", " << d.numPe
+       << " PEs in " << d.numCu << " CUs\n";
+    os << "utilization: DSP " << fmtPercent(d.dspUtil) << "%, BRAM "
+       << fmtPercent(d.bramUtil) << "%, LUT "
+       << fmtPercent(d.lutUtil) << "%, FF " << fmtPercent(d.ffUtil)
+       << "%\n";
+    os << "latency " << fmtReal(d.latencyUs, 1) << " us | "
+       << fmtGrouped(static_cast<long long>(d.fps)) << " FPS | "
+       << fmtReal(d.powerWatts, 1) << " W | "
+       << fmtGrouped(static_cast<long long>(d.fpsPerWatt))
+       << " FPS/W\n";
+    os << "cycle-sim cross-check: "
+       << fmtReal(p2.simCrossCheck.latencyUs, 1) << " us, "
+       << fmtGrouped(static_cast<long long>(p2.simCrossCheck.fps))
+       << " FPS\n";
+    return os.str();
+}
+
+} // namespace ernn::core

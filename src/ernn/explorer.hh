@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The complete E-RNN design-optimization flow: Phase I (model
+ * derivation under the accuracy constraint) followed by Phase II
+ * (hardware mapping), with human-readable reporting.
+ */
+
+#ifndef ERNN_ERNN_EXPLORER_HH
+#define ERNN_ERNN_EXPLORER_HH
+
+#include <string>
+
+#include "ernn/phase1.hh"
+#include "ernn/phase2.hh"
+
+namespace ernn::core
+{
+
+/** Combined Phase I + Phase II outcome. */
+struct ExplorationResult
+{
+    Phase1Result phase1;
+    Phase2Result phase2;
+};
+
+/**
+ * Run the full E-RNN flow for a dense LSTM baseline on a platform.
+ */
+ExplorationResult optimizeDesign(
+    speech::AccuracyOracle &oracle, const nn::ModelSpec &baseline,
+    const hw::FpgaPlatform &platform, Phase1Config p1 = {},
+    Phase2Config p2 = {});
+
+/** Render the decision trace and final design as text. */
+std::string renderReport(const ExplorationResult &result);
+
+} // namespace ernn::core
+
+#endif // ERNN_ERNN_EXPLORER_HH

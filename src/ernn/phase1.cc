@@ -1,0 +1,151 @@
+#include "ernn/phase1.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "circulant/mult_model.hh"
+#include "hw/resource_model.hh"
+
+namespace ernn::core
+{
+
+Phase1Optimizer::Phase1Optimizer(speech::AccuracyOracle &oracle,
+                                 const hw::FpgaPlatform &platform,
+                                 Phase1Config cfg)
+    : oracle_(oracle), platform_(platform), cfg_(cfg)
+{
+}
+
+Phase1Result
+Phase1Optimizer::run(const nn::ModelSpec &baseline)
+{
+    ernn_assert(baseline.type == nn::ModelType::Lstm,
+                "Phase I starts from the LSTM baseline");
+    ernn_assert(baseline.isDenseBaseline(),
+                "Phase I starts from a dense baseline");
+
+    Phase1Result result;
+    const std::size_t trials_before = oracle_.trialCount();
+
+    auto blockedSpec = [&](std::size_t lb) {
+        nn::ModelSpec spec = baseline;
+        spec.blockSizes.assign(spec.layerSizes.size(), lb);
+        return spec;
+    };
+
+    // ------------------------------------------------------------
+    // Step 1: sanity check — the smallest block size whose model
+    // fits into on-chip BRAM is the lower bound. No training needed.
+    // ------------------------------------------------------------
+    const std::size_t lb_min = hw::minBlockSizeForBram(
+        baseline, cfg_.weightBits, platform_);
+    if (lb_min == 0) {
+        result.feasible = false;
+        result.trace.push_back(
+            {"step 1: model cannot fit into BRAM at any block size",
+             baseline, 0.0, false, false});
+        return result;
+    }
+    result.blockLowerBound = std::max<std::size_t>(lb_min, 2);
+    result.trace.push_back(
+        {"step 1: BRAM sanity check -> block size lower bound " +
+             std::to_string(result.blockLowerBound),
+         blockedSpec(result.blockLowerBound), 0.0, false, true});
+
+    // ------------------------------------------------------------
+    // Upper bound from the bottom-up computation model (Sec. V).
+    // ------------------------------------------------------------
+    std::size_t max_layer = 0;
+    for (auto h : baseline.layerSizes)
+        max_layer = std::max(max_layer, h);
+    result.blockUpperBound = std::min(
+        cfg_.maxBlockSize,
+        circulant::blockSizeUpperBound(max_layer, 0.05,
+                                       cfg_.maxBlockSize));
+    result.blockUpperBound =
+        std::max(result.blockUpperBound, result.blockLowerBound);
+    result.trace.push_back(
+        {"bottom-up bound (Sec. V): block size upper bound " +
+             std::to_string(result.blockUpperBound),
+         blockedSpec(result.blockUpperBound), 0.0, false, true});
+
+    // ------------------------------------------------------------
+    // Step 2: block size optimization — the largest block size in
+    // [lower, upper] meeting the accuracy budget. Searching from the
+    // top keeps the number of training trials at log2(range).
+    // ------------------------------------------------------------
+    nn::ModelSpec chosen;
+    bool found = false;
+    for (std::size_t lb = result.blockUpperBound;
+         lb >= result.blockLowerBound; lb /= 2) {
+        nn::ModelSpec spec = blockedSpec(lb);
+        const Real deg = oracle_.degradation(spec);
+        const bool ok = deg <= cfg_.maxPerDegradation;
+        result.trace.push_back(
+            {"step 2: try block size " + std::to_string(lb), spec,
+             deg, true, ok});
+        if (ok) {
+            chosen = spec;
+            result.finalDegradation = deg;
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        result.feasible = false;
+        result.trainingTrials = oracle_.trialCount() - trials_before;
+        return result;
+    }
+
+    // ------------------------------------------------------------
+    // Step 3a: model type — switch to GRU with the block size fixed
+    // ("the GRU model will be fitted into BRAM because it is smaller
+    // than LSTM"); a single training trial.
+    // ------------------------------------------------------------
+    if (cfg_.tryGru) {
+        nn::ModelSpec gru = chosen;
+        gru.type = nn::ModelType::Gru;
+        gru.peephole = false;
+        gru.projectionSize = 0;
+        const Real deg = oracle_.degradation(gru);
+        const bool ok = deg <= cfg_.maxPerDegradation;
+        result.trace.push_back(
+            {"step 3: switch LSTM -> GRU", gru, deg, true, ok});
+        if (ok) {
+            chosen = gru;
+            result.finalDegradation = deg;
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Step 3b: fine tuning — raise the block size of the
+    // input/output matrices one step (they do not propagate through
+    // time, so they are less accuracy-critical).
+    // ------------------------------------------------------------
+    if (cfg_.tryInputBlockIncrease) {
+        const std::size_t cur = chosen.blockFor(0);
+        const std::size_t larger = cur * 2;
+        if (larger <= cfg_.maxBlockSize) {
+            nn::ModelSpec tuned = chosen;
+            tuned.inputBlockSizes.assign(tuned.layerSizes.size(),
+                                         larger);
+            const Real deg = oracle_.degradation(tuned);
+            const bool ok = deg <= cfg_.maxPerDegradation;
+            result.trace.push_back(
+                {"step 3: input/output matrices at block " +
+                     std::to_string(larger),
+                 tuned, deg, true, ok});
+            if (ok) {
+                chosen = tuned;
+                result.finalDegradation = deg;
+            }
+        }
+    }
+
+    result.finalSpec = chosen;
+    result.feasible = true;
+    result.trainingTrials = oracle_.trialCount() - trials_before;
+    return result;
+}
+
+} // namespace ernn::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * E-RNN Phase I (Sec. VI, Fig. 2): derive the RNN model — type,
+ * layer size, block size, and the input/output-matrix fine-tuning —
+ * under the overall accuracy constraint, in a handful of training
+ * trials.
+ *
+ * The two design-exploration observations bound the search:
+ *  - top-down (Sec. IV): block size is optimized before layer size,
+ *    so the layer geometry of the baseline is kept;
+ *  - bottom-up (Sec. V): computation reduction converges around
+ *    block size 32-64, capping the search from above; the BRAM
+ *    sanity check caps it from below.
+ */
+
+#ifndef ERNN_ERNN_PHASE1_HH
+#define ERNN_ERNN_PHASE1_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/platform.hh"
+#include "speech/timit_oracle.hh"
+
+namespace ernn::core
+{
+
+/** Phase I configuration. */
+struct Phase1Config
+{
+    /** Overall accuracy requirement: max PER degradation (%) vs.
+     *  the dense baseline (the paper uses ESE's 0.30%). */
+    Real maxPerDegradation = 0.30;
+
+    int weightBits = 12;          //!< storage quantization for BRAM
+    std::size_t maxBlockSize = 64; //!< Sec. V cap
+    bool tryGru = true;            //!< step 3: LSTM -> GRU switch
+    bool tryInputBlockIncrease = true; //!< step 3: fine tuning
+};
+
+/** One decision of the Phase I trace. */
+struct Phase1Step
+{
+    std::string description;
+    nn::ModelSpec spec;
+    Real degradation = 0.0;
+    bool trainingTrial = false;
+    bool accepted = false;
+};
+
+/** Phase I outcome. */
+struct Phase1Result
+{
+    bool feasible = false;
+    nn::ModelSpec finalSpec;
+    Real finalDegradation = 0.0;
+    std::size_t blockLowerBound = 0; //!< from the BRAM sanity check
+    std::size_t blockUpperBound = 0; //!< from the computation model
+    std::size_t trainingTrials = 0;
+    std::vector<Phase1Step> trace;
+};
+
+class Phase1Optimizer
+{
+  public:
+    Phase1Optimizer(speech::AccuracyOracle &oracle,
+                    const hw::FpgaPlatform &platform,
+                    Phase1Config cfg = {});
+
+    /**
+     * Run Phase I starting from a dense LSTM baseline spec ("we
+     * start from the LSTM RNN baseline model due to its high
+     * reliability").
+     */
+    Phase1Result run(const nn::ModelSpec &baseline);
+
+  private:
+    speech::AccuracyOracle &oracle_;
+    const hw::FpgaPlatform &platform_;
+    Phase1Config cfg_;
+};
+
+} // namespace ernn::core
+
+#endif // ERNN_ERNN_PHASE1_HH

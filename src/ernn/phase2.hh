@@ -1,0 +1,76 @@
+/**
+ * @file
+ * E-RNN Phase II (Sec. VII): hardware-oriented optimization given
+ * the Phase I model — PE count, quantization bit width, activation
+ * implementation, and the resulting design point, cross-checked by
+ * the cycle-level simulator.
+ */
+
+#ifndef ERNN_ERNN_PHASE2_HH
+#define ERNN_ERNN_PHASE2_HH
+
+#include <functional>
+
+#include "hw/accelerator_model.hh"
+#include "nn/activation.hh"
+#include "quant/fixed_point.hh"
+#include "sim/pipeline.hh"
+
+namespace ernn::core
+{
+
+/** Phase II configuration. */
+struct Phase2Config
+{
+    std::vector<int> bitCandidates = {8, 10, 12, 16};
+    /** Budget for quantization-induced PER degradation (%); the
+     *  paper keeps it under 0.1%. */
+    Real maxQuantDegradation = 0.10;
+
+    std::vector<std::size_t> segmentCandidates = {16, 32, 64, 128,
+                                                  256};
+    Real activationRange = 8.0;
+};
+
+/** Phase II outcome. */
+struct Phase2Result
+{
+    int weightBits = 12;
+    Real quantDegradation = 0.0;
+    std::vector<std::pair<int, Real>> bitSweep;
+
+    std::size_t activationSegments = 64;
+    Real sigmoidMaxError = 0.0;
+    Real tanhMaxError = 0.0;
+
+    hw::DesignPoint design;
+    sim::AcceleratorSimResult simCrossCheck;
+};
+
+class Phase2Optimizer
+{
+  public:
+    /** Maps a bit width to expected PER degradation (%). */
+    using QuantOracle = std::function<Real(int)>;
+
+    explicit Phase2Optimizer(const hw::FpgaPlatform &platform,
+                             Phase2Config cfg = {});
+
+    /**
+     * Optimize the hardware design for a Phase I model.
+     *
+     * @param quant_oracle degradation model for the bit-width
+     *        search; pass {} for the built-in analytic model (which
+     *        reproduces the paper's "12-bit is a safe design").
+     */
+    Phase2Result run(const nn::ModelSpec &spec,
+                     QuantOracle quant_oracle = {});
+
+  private:
+    const hw::FpgaPlatform &platform_;
+    Phase2Config cfg_;
+};
+
+} // namespace ernn::core
+
+#endif // ERNN_ERNN_PHASE2_HH

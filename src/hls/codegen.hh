@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Code generator of the HLS framework (Fig. 13): turns a scheduled
+ * op graph into C/C++ source in the style the paper feeds to the
+ * Xilinx SDx backend — one function per time step, HLS pragmas, and
+ * calls into the primitive-operation templates
+ * ("FFT -> element-wise multiplication -> IFFT", sigma, tanh,
+ * point-wise add/mul).
+ */
+
+#ifndef ERNN_HLS_CODEGEN_HH
+#define ERNN_HLS_CODEGEN_HH
+
+#include <string>
+
+#include "hls/op_graph.hh"
+#include "hls/scheduler.hh"
+
+namespace ernn::hls
+{
+
+/** Code generation options. */
+struct CodegenOptions
+{
+    std::string functionName = "ernn_step";
+    bool emitPragmas = true;  //!< #pragma HLS annotations
+    bool emitSchedule = true; //!< per-op start-cycle comments
+    int weightBits = 12;
+    int fracBits = 8;
+};
+
+/**
+ * Emit C-like HLS source implementing one time step of the graph.
+ * When a schedule is supplied, each statement is annotated with its
+ * start cycle and resource binding.
+ */
+std::string generateCode(const OpGraph &graph,
+                         const Schedule *schedule = nullptr,
+                         const CodegenOptions &options = {});
+
+} // namespace ernn::hls
+
+#endif // ERNN_HLS_CODEGEN_HH

@@ -1,0 +1,141 @@
+#include "hls/interpreter.hh"
+
+#include "base/logging.hh"
+
+namespace ernn::hls
+{
+
+Interpreter::Interpreter(const OpGraph &graph,
+                         const WeightStore &weights,
+                         InterpreterOptions options)
+    : graph_(graph), weights_(weights), options_(options)
+{
+    graph_.validate();
+}
+
+void
+Interpreter::resetState()
+{
+    state_.clear();
+}
+
+Vector
+Interpreter::step(const Vector &input)
+{
+    std::vector<Vector> values(graph_.size());
+    std::map<std::string, Vector> pending_writes;
+
+    auto postprocess = [this](Vector &v) {
+        if (options_.valueFormat)
+            for (auto &x : v)
+                x = options_.valueFormat->quantize(x);
+    };
+
+    for (std::size_t id : graph_.topoOrder()) {
+        const OpNode &node = graph_.node(id);
+        Vector out;
+        switch (node.type) {
+          case OpType::StateRead:
+            if (node.payload == "input") {
+                ernn_assert(input.size() == node.dim,
+                            "interpreter input dim mismatch");
+                out = input;
+            } else {
+                auto it = state_.find(node.payload);
+                out = it != state_.end() ? it->second
+                                         : Vector(node.dim, 0.0);
+            }
+            break;
+          case OpType::StateWrite:
+            pending_writes[node.payload] = values[node.inputs[0]];
+            out = values[node.inputs[0]];
+            break;
+          case OpType::Concat:
+            out = concat(values[node.inputs[0]],
+                         values[node.inputs[1]]);
+            break;
+          case OpType::Slice: {
+            const Vector &src = values[node.inputs[0]];
+            ernn_assert(node.offset + node.dim <= src.size(),
+                        "slice out of range");
+            out.assign(src.begin() + static_cast<long>(node.offset),
+                       src.begin() +
+                           static_cast<long>(node.offset + node.dim));
+            break;
+          }
+          case OpType::MatVec:
+            out = weights_.matvec(node.payload)(
+                values[node.inputs[0]]);
+            postprocess(out);
+            break;
+          case OpType::DiagMul:
+            out = hadamard(values[node.inputs[0]],
+                           weights_.vector(node.payload));
+            postprocess(out);
+            break;
+          case OpType::PointwiseMul:
+            out = hadamard(values[node.inputs[0]],
+                           values[node.inputs[1]]);
+            postprocess(out);
+            break;
+          case OpType::PointwiseAdd:
+            out = values[node.inputs[0]];
+            addInPlace(out, values[node.inputs[1]]);
+            postprocess(out);
+            break;
+          case OpType::AddBias:
+            out = values[node.inputs[0]];
+            addInPlace(out, weights_.vector(node.payload));
+            postprocess(out);
+            break;
+          case OpType::OneMinus:
+            out = values[node.inputs[0]];
+            for (auto &v : out)
+                v = 1.0 - v;
+            break;
+          case OpType::Sigmoid:
+            out = values[node.inputs[0]];
+            if (options_.sigmoidImpl)
+                options_.sigmoidImpl->apply(out);
+            else
+                nn::applyActivation(nn::ActKind::Sigmoid, out);
+            postprocess(out);
+            break;
+          case OpType::Tanh:
+            out = values[node.inputs[0]];
+            if (options_.tanhImpl)
+                options_.tanhImpl->apply(out);
+            else
+                nn::applyActivation(nn::ActKind::Tanh, out);
+            postprocess(out);
+            break;
+        }
+        ernn_assert(out.size() == node.dim,
+                    "node " << node.name << " produced "
+                            << out.size() << " values, expected "
+                            << node.dim);
+        values[id] = std::move(out);
+    }
+
+    // Double-buffer commit: state updates become visible only to
+    // the next time step.
+    for (auto &kv : pending_writes)
+        state_[kv.first] = std::move(kv.second);
+
+    auto it = state_.find("logits");
+    ernn_assert(it != state_.end(), "graph produced no logits");
+    return it->second;
+}
+
+nn::Sequence
+Interpreter::run(const nn::Sequence &frames)
+{
+    resetState();
+    nn::Sequence out;
+    out.reserve(frames.size());
+    for (const auto &frame : frames)
+        out.push_back(step(frame));
+    return out;
+}
+
+} // namespace ernn::hls

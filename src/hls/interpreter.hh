@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Op-graph interpreter: executes a generated operation graph with
+ * double-buffered state semantics (writes commit at the end of each
+ * time step). With default options it must agree with the nn/
+ * forward pass bit-for-bit in spirit; with hardware options it
+ * models the deployed datapath: fixed-point value quantization after
+ * every operation and piecewise-linear activations (the Phase II
+ * configuration).
+ */
+
+#ifndef ERNN_HLS_INTERPRETER_HH
+#define ERNN_HLS_INTERPRETER_HH
+
+#include <map>
+
+#include "hls/op_graph.hh"
+#include "hls/weight_store.hh"
+#include "nn/activation.hh"
+#include "quant/fixed_point.hh"
+
+namespace ernn::hls
+{
+
+/** Optional hardware-datapath behaviours. */
+struct InterpreterOptions
+{
+    /** Quantize every produced value (nullptr = exact). */
+    const quant::FixedPointFormat *valueFormat = nullptr;
+
+    /** PWL activation implementations (nullptr = exact). */
+    const nn::PiecewiseLinear *sigmoidImpl = nullptr;
+    const nn::PiecewiseLinear *tanhImpl = nullptr;
+};
+
+class Interpreter
+{
+  public:
+    Interpreter(const OpGraph &graph, const WeightStore &weights,
+                InterpreterOptions options = {});
+
+    /** Clear all state buffers (between utterances). */
+    void resetState();
+
+    /** Execute one time step; returns the "logits" buffer. */
+    Vector step(const Vector &input);
+
+    /** Reset state and run a whole sequence of frames. */
+    nn::Sequence run(const nn::Sequence &frames);
+
+  private:
+    const OpGraph &graph_;
+    const WeightStore &weights_;
+    InterpreterOptions options_;
+    std::map<std::string, Vector> state_;
+};
+
+} // namespace ernn::hls
+
+#endif // ERNN_HLS_INTERPRETER_HH

@@ -1,0 +1,289 @@
+#include "hls/op_graph.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ernn::hls
+{
+
+std::string
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::StateRead: return "state_read";
+      case OpType::StateWrite: return "state_write";
+      case OpType::Concat: return "concat";
+      case OpType::Slice: return "slice";
+      case OpType::MatVec: return "matvec_fft";
+      case OpType::DiagMul: return "diag_mul";
+      case OpType::PointwiseMul: return "pointwise_mul";
+      case OpType::PointwiseAdd: return "pointwise_add";
+      case OpType::AddBias: return "add_bias";
+      case OpType::OneMinus: return "one_minus";
+      case OpType::Sigmoid: return "sigmoid";
+      case OpType::Tanh: return "tanh";
+    }
+    return "?";
+}
+
+std::size_t
+OpGraph::add(OpNode node)
+{
+    node.id = nodes_.size();
+    for (auto in : node.inputs) {
+        ernn_assert(in < node.id,
+                    "op graph edge must point backward ("
+                        << in << " -> " << node.id << ")");
+    }
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+}
+
+std::size_t
+OpGraph::count(OpType type) const
+{
+    std::size_t n = 0;
+    for (const auto &node : nodes_)
+        n += node.type == type;
+    return n;
+}
+
+std::vector<std::size_t>
+OpGraph::topoOrder() const
+{
+    // Append-only construction makes identity order topological.
+    std::vector<std::size_t> order(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        order[i] = i;
+    return order;
+}
+
+Real
+OpGraph::criticalPathComplexity() const
+{
+    std::vector<Real> dist(nodes_.size(), 0.0);
+    Real best = 0.0;
+    for (const auto &node : nodes_) {
+        Real in_dist = 0.0;
+        for (auto in : node.inputs)
+            in_dist = std::max(in_dist, dist[in]);
+        dist[node.id] = in_dist + node.complexity;
+        best = std::max(best, dist[node.id]);
+    }
+    return best;
+}
+
+void
+OpGraph::validate() const
+{
+    for (const auto &node : nodes_) {
+        for (auto in : node.inputs) {
+            ernn_assert(in < node.id, "op graph has a forward edge");
+            ernn_assert(nodes_[in].dim > 0, "node with zero dim");
+        }
+    }
+}
+
+namespace
+{
+
+/** Matvec abstract complexity: ~rows*cols/blockSize, scaled so a
+ *  1024-wide pointwise op is 1.0 (the paper's 128x example). */
+Real
+matvecComplexity(std::size_t rows, std::size_t cols, std::size_t lb)
+{
+    return static_cast<Real>(rows) * static_cast<Real>(cols) /
+           static_cast<Real>(std::max<std::size_t>(lb, 1)) / 1024.0;
+}
+
+struct GraphBuilder
+{
+    OpGraph graph;
+
+    std::size_t
+    read(const std::string &buf, std::size_t dim)
+    {
+        return graph.add({0, OpType::StateRead, "read " + buf, {},
+                          dim, buf, 0, 0.05});
+    }
+
+    std::size_t
+    write(const std::string &buf, std::size_t src)
+    {
+        return graph.add({0, OpType::StateWrite, "write " + buf,
+                          {src}, graph.node(src).dim, buf, 0, 0.05});
+    }
+
+    std::size_t
+    unary(OpType type, const std::string &name, std::size_t a,
+          const std::string &payload = "")
+    {
+        return graph.add({0, type, name, {a}, graph.node(a).dim,
+                          payload, 0, 1.0});
+    }
+
+    std::size_t
+    binary(OpType type, const std::string &name, std::size_t a,
+           std::size_t b)
+    {
+        ernn_assert(graph.node(a).dim == graph.node(b).dim,
+                    "binary op dim mismatch in " << name);
+        return graph.add({0, type, name, {a, b}, graph.node(a).dim,
+                          "", 0, 1.0});
+    }
+
+    std::size_t
+    concat(std::size_t a, std::size_t b)
+    {
+        return graph.add({0, OpType::Concat, "concat", {a, b},
+                          graph.node(a).dim + graph.node(b).dim, "",
+                          0, 0.1});
+    }
+
+    std::size_t
+    slice(std::size_t a, std::size_t offset, std::size_t dim,
+          const std::string &name)
+    {
+        return graph.add({0, OpType::Slice, name, {a}, dim, "",
+                          offset, 0.05});
+    }
+
+    std::size_t
+    matvec(const std::string &weight, std::size_t x,
+           std::size_t out_dim, std::size_t lb)
+    {
+        return graph.add({0, OpType::MatVec, weight, {x}, out_dim,
+                          weight, 0,
+                          matvecComplexity(out_dim,
+                                           graph.node(x).dim, lb)});
+    }
+};
+
+} // namespace
+
+OpGraph
+buildGraph(const nn::ModelSpec &spec)
+{
+    spec.validate();
+    GraphBuilder b;
+
+    std::size_t x = b.read("input", spec.inputDim);
+
+    for (std::size_t l = 0; l < spec.layerSizes.size(); ++l) {
+        const std::string tag = "l" + std::to_string(l);
+        const std::size_t h = spec.layerSizes[l];
+        const std::size_t lb = spec.blockFor(l);
+
+        if (spec.type == nn::ModelType::Lstm) {
+            const std::size_t out = spec.layerOutputSize(l);
+            const std::size_t y_prev = b.read(tag + ".y", out);
+            const std::size_t c_prev = b.read(tag + ".c", h);
+            const std::size_t xy = b.concat(x, y_prev);
+
+            // Fused gate matvec W(ifco)(xr) [x; y'], Sec. II-A.
+            const std::size_t fused =
+                b.matvec(tag + ".W(ifco)(xr)", xy, 4 * h, lb);
+            std::size_t ipre = b.slice(fused, 0, h, "i_pre");
+            std::size_t fpre = b.slice(fused, h, h, "f_pre");
+            std::size_t gpre = b.slice(fused, 2 * h, h, "g_pre");
+            std::size_t opre = b.slice(fused, 3 * h, h, "o_pre");
+
+            if (spec.peephole) {
+                ipre = b.binary(OpType::PointwiseAdd, "i+peep", ipre,
+                                b.unary(OpType::DiagMul, "wic.c'",
+                                        c_prev, tag + ".wic"));
+                fpre = b.binary(OpType::PointwiseAdd, "f+peep", fpre,
+                                b.unary(OpType::DiagMul, "wfc.c'",
+                                        c_prev, tag + ".wfc"));
+            }
+            const std::size_t i = b.unary(
+                OpType::Sigmoid, "i",
+                b.unary(OpType::AddBias, "i+b", ipre, tag + ".bi"));
+            const std::size_t f = b.unary(
+                OpType::Sigmoid, "f",
+                b.unary(OpType::AddBias, "f+b", fpre, tag + ".bf"));
+            const std::size_t g = b.unary(
+                OpType::Tanh, "g",
+                b.unary(OpType::AddBias, "g+b", gpre, tag + ".bc"));
+
+            // c = f.c' + g.i (Eqn. 1d)
+            const std::size_t c = b.binary(
+                OpType::PointwiseAdd, "c",
+                b.binary(OpType::PointwiseMul, "f.c'", f, c_prev),
+                b.binary(OpType::PointwiseMul, "g.i", g, i));
+
+            if (spec.peephole) {
+                opre = b.binary(OpType::PointwiseAdd, "o+peep", opre,
+                                b.unary(OpType::DiagMul, "woc.c",
+                                        c, tag + ".woc"));
+            }
+            const std::size_t o = b.unary(
+                OpType::Sigmoid, "o",
+                b.unary(OpType::AddBias, "o+b", opre, tag + ".bo"));
+
+            // m = o . h(c) (Eqn. 1f)
+            const std::size_t m = b.binary(
+                OpType::PointwiseMul, "m", o,
+                b.unary(OpType::Tanh, "h(c)", c));
+
+            std::size_t y = m;
+            if (spec.projectionSize) {
+                y = b.matvec(tag + ".Wym", m, spec.projectionSize,
+                             spec.inputBlockFor(l));
+            }
+            b.write(tag + ".c", c);
+            b.write(tag + ".y", y);
+            x = y;
+        } else {
+            const std::size_t c_prev = b.read(tag + ".c", h);
+            const std::size_t xc = b.concat(x, c_prev);
+
+            // Fused W(zr)(xc) [x; c'], Sec. II-B.
+            const std::size_t fused =
+                b.matvec(tag + ".W(zr)(xc)", xc, 2 * h, lb);
+            const std::size_t z = b.unary(
+                OpType::Sigmoid, "z",
+                b.unary(OpType::AddBias, "z+b",
+                        b.slice(fused, 0, h, "z_pre"), tag + ".bz"));
+            const std::size_t r = b.unary(
+                OpType::Sigmoid, "r",
+                b.unary(OpType::AddBias, "r+b",
+                        b.slice(fused, h, h, "r_pre"), tag + ".br"));
+
+            // c~ = h(Wcx x + Wcc (r.c') + b) (Eqn. 2c)
+            const std::size_t s = b.binary(OpType::PointwiseMul,
+                                           "r.c'", r, c_prev);
+            const std::size_t cand = b.unary(
+                OpType::Tanh, "c~",
+                b.unary(OpType::AddBias, "c~+b",
+                        b.binary(OpType::PointwiseAdd, "c~_pre",
+                                 b.matvec(tag + ".Wcx", x, h,
+                                          spec.inputBlockFor(l)),
+                                 b.matvec(tag + ".Wcc", s, h, lb)),
+                        tag + ".bc"));
+
+            // c = (1-z).c' + z.c~ (Eqn. 2d)
+            const std::size_t c = b.binary(
+                OpType::PointwiseAdd, "c",
+                b.binary(OpType::PointwiseMul, "(1-z).c'",
+                         b.unary(OpType::OneMinus, "1-z", z), c_prev),
+                b.binary(OpType::PointwiseMul, "z.c~", z, cand));
+            b.write(tag + ".c", c);
+            x = c;
+        }
+    }
+
+    // Softmax classifier head (host-side in the paper's deployment,
+    // still part of the functional graph).
+    const std::size_t logits =
+        b.matvec("classifier.W", x, spec.numClasses, 1);
+    const std::size_t biased = b.unary(OpType::AddBias, "logits+b",
+                                       logits, "classifier.b");
+    b.write("logits", biased);
+
+    b.graph.validate();
+    return std::move(b.graph);
+}
+
+} // namespace ernn::hls

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Operation graph generator of the HLS framework (Fig. 13): unrolls
+ * one RNN time step into a directed acyclic graph of primitive
+ * operations. The feedback edges (c_t, y_t) are deliberately removed
+ * and replaced by state-buffer reads/writes — "we deliberately
+ * remove the feedback edges of ct and yt, which are taken care of by
+ * the double-buffer mechanism".
+ */
+
+#ifndef ERNN_HLS_OP_GRAPH_HH
+#define ERNN_HLS_OP_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/model_builder.hh"
+
+namespace ernn::hls
+{
+
+/** Primitive operation templates (the Template Generator set). */
+enum class OpType
+{
+    StateRead,    //!< read a state buffer (x, c_{t-1}, y_{t-1})
+    StateWrite,   //!< write a state buffer (c_t, y_t, logits)
+    Concat,       //!< [a; b]
+    Slice,        //!< contiguous sub-vector
+    MatVec,       //!< FFT->eltwise->IFFT (or dense) matvec
+    DiagMul,      //!< peephole: stored diagonal times vector
+    PointwiseMul, //!< a ⊙ b
+    PointwiseAdd, //!< a + b
+    AddBias,      //!< a + stored bias
+    OneMinus,     //!< 1 - a
+    Sigmoid,      //!< logistic activation
+    Tanh,         //!< hyperbolic tangent activation
+};
+
+/** Printable op-type name. */
+std::string opTypeName(OpType type);
+
+/** One node of the operation graph. */
+struct OpNode
+{
+    std::size_t id = 0;
+    OpType type = OpType::StateRead;
+    std::string name;                //!< human-readable label
+    std::vector<std::size_t> inputs; //!< producer node ids
+    std::size_t dim = 0;             //!< output width
+    std::string payload;             //!< weight/buffer key
+    std::size_t offset = 0;          //!< Slice offset
+    /** Abstract computational weight used by the scheduler (the
+     *  paper: matvec is ~128x a pointwise op). */
+    Real complexity = 1.0;
+};
+
+/** Append-only DAG (inputs always reference earlier nodes). */
+class OpGraph
+{
+  public:
+    /** Add a node; returns its id. */
+    std::size_t add(OpNode node);
+
+    const std::vector<OpNode> &nodes() const { return nodes_; }
+    const OpNode &node(std::size_t id) const { return nodes_[id]; }
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Count nodes of one type. */
+    std::size_t count(OpType type) const;
+
+    /** Node ids in a valid topological order. */
+    std::vector<std::size_t> topoOrder() const;
+
+    /** Longest dependency chain weighted by complexity. */
+    Real criticalPathComplexity() const;
+
+    /** Panic if any edge points forward (graph must be a DAG). */
+    void validate() const;
+
+  private:
+    std::vector<OpNode> nodes_;
+};
+
+/**
+ * Unroll one time step of the model into an op graph, fusing the
+ * gate matrices into single matvecs (W(ifco)(xr), W(rz)(xc)) the
+ * way the paper's CU does.
+ */
+OpGraph buildGraph(const nn::ModelSpec &spec);
+
+} // namespace ernn::hls
+
+#endif // ERNN_HLS_OP_GRAPH_HH

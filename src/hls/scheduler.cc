@@ -1,0 +1,142 @@
+#include "hls/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace ernn::hls
+{
+
+ResourceClass
+resourceOf(OpType type)
+{
+    switch (type) {
+      case OpType::MatVec:
+        return ResourceClass::MatVec;
+      case OpType::DiagMul:
+      case OpType::PointwiseMul:
+      case OpType::PointwiseAdd:
+      case OpType::AddBias:
+      case OpType::OneMinus:
+        return ResourceClass::Pointwise;
+      case OpType::Sigmoid:
+      case OpType::Tanh:
+        return ResourceClass::Activation;
+      case OpType::StateRead:
+      case OpType::StateWrite:
+      case OpType::Concat:
+      case OpType::Slice:
+        return ResourceClass::Buffer;
+    }
+    return ResourceClass::Buffer;
+}
+
+std::string
+resourceName(ResourceClass res)
+{
+    switch (res) {
+      case ResourceClass::MatVec: return "matvec";
+      case ResourceClass::Pointwise: return "pointwise";
+      case ResourceClass::Activation: return "activation";
+      case ResourceClass::Buffer: return "buffer";
+    }
+    return "?";
+}
+
+Cycles
+opCycles(const OpNode &node, const SchedulerConfig &cfg)
+{
+    switch (resourceOf(node.type)) {
+      case ResourceClass::MatVec:
+        return std::max<Cycles>(1, static_cast<Cycles>(std::ceil(
+            node.complexity * cfg.matvecCycleFactor)));
+      case ResourceClass::Pointwise:
+      case ResourceClass::Activation:
+        return std::max<Cycles>(1, static_cast<Cycles>(std::ceil(
+            static_cast<Real>(node.dim) / cfg.vectorCycleFactor)));
+      case ResourceClass::Buffer:
+        return 1;
+    }
+    return 1;
+}
+
+Real
+Schedule::utilization(ResourceClass res,
+                      const SchedulerConfig &cfg) const
+{
+    std::size_t units = 1;
+    switch (res) {
+      case ResourceClass::MatVec: units = cfg.matvecUnits; break;
+      case ResourceClass::Pointwise:
+        units = cfg.pointwiseUnits;
+        break;
+      case ResourceClass::Activation:
+        units = cfg.activationUnits;
+        break;
+      case ResourceClass::Buffer: units = cfg.bufferUnits; break;
+    }
+    Cycles busy = 0;
+    for (const auto &op : ops)
+        if (op.res == res)
+            busy += op.finish - op.start;
+    if (makespan == 0)
+        return 0.0;
+    return static_cast<Real>(busy) /
+           (static_cast<Real>(makespan) * static_cast<Real>(units));
+}
+
+Schedule
+scheduleGraph(const OpGraph &graph, const SchedulerConfig &cfg)
+{
+    graph.validate();
+
+    auto units_of = [&cfg](ResourceClass res) {
+        switch (res) {
+          case ResourceClass::MatVec: return cfg.matvecUnits;
+          case ResourceClass::Pointwise: return cfg.pointwiseUnits;
+          case ResourceClass::Activation:
+            return cfg.activationUnits;
+          case ResourceClass::Buffer: return cfg.bufferUnits;
+        }
+        return std::size_t{1};
+    };
+
+    // Per-resource-class unit free times.
+    std::map<ResourceClass, std::vector<Cycles>> unit_free;
+    for (auto res : {ResourceClass::MatVec, ResourceClass::Pointwise,
+                     ResourceClass::Activation,
+                     ResourceClass::Buffer})
+        unit_free[res].assign(units_of(res), 0);
+
+    Schedule sched;
+    sched.ops.resize(graph.size());
+
+    for (std::size_t id : graph.topoOrder()) {
+        const OpNode &node = graph.node(id);
+        const ResourceClass res = resourceOf(node.type);
+        const Cycles dur = opCycles(node, cfg);
+
+        Cycles ready = 0;
+        for (auto in : node.inputs)
+            ready = std::max(ready, sched.ops[in].finish);
+
+        // Earliest-available unit of the class.
+        auto &frees = unit_free[res];
+        std::size_t best_unit = 0;
+        for (std::size_t u = 1; u < frees.size(); ++u)
+            if (frees[u] < frees[best_unit])
+                best_unit = u;
+
+        const Cycles start = std::max(ready, frees[best_unit]);
+        const Cycles finish = start + dur;
+        frees[best_unit] = finish;
+
+        sched.ops[id] = ScheduledOp{id, res, best_unit, start, finish};
+        sched.makespan = std::max(sched.makespan, finish);
+    }
+    return sched;
+}
+
+} // namespace ernn::hls

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Operation scheduler of the HLS framework (Fig. 13): maps the op
+ * graph onto limited hardware resource classes and produces a
+ * pipeline schedule. "The computational complexities of the
+ * primitive operations exhibit a highly skewed distribution ...
+ * the objective is to maximize throughput under hardware resource
+ * constraints."
+ */
+
+#ifndef ERNN_HLS_SCHEDULER_HH
+#define ERNN_HLS_SCHEDULER_HH
+
+#include "base/types.hh"
+#include "hls/op_graph.hh"
+
+namespace ernn::hls
+{
+
+/** Hardware resource classes an op can bind to. */
+enum class ResourceClass { MatVec, Pointwise, Activation, Buffer };
+
+/** Which resource class executes an op type. */
+ResourceClass resourceOf(OpType type);
+
+/** Printable resource-class name. */
+std::string resourceName(ResourceClass res);
+
+/** Scheduler resource capacities and timing factors. */
+struct SchedulerConfig
+{
+    std::size_t matvecUnits = 1;   //!< PE arrays
+    std::size_t pointwiseUnits = 2;
+    std::size_t activationUnits = 2;
+    std::size_t bufferUnits = 4;
+
+    /** Cycles per unit of abstract matvec complexity. */
+    Real matvecCycleFactor = 128.0;
+    /** Cycles per pointwise/activation op (vector-wide lanes). */
+    Real vectorCycleFactor = 16.0;
+};
+
+/** One scheduled operation. */
+struct ScheduledOp
+{
+    std::size_t node = 0;
+    ResourceClass res = ResourceClass::Buffer;
+    std::size_t unit = 0;
+    Cycles start = 0;
+    Cycles finish = 0;
+};
+
+/** Complete schedule of a graph. */
+struct Schedule
+{
+    std::vector<ScheduledOp> ops; //!< indexed by node id
+    Cycles makespan = 0;
+
+    /** Busy fraction of a resource class over the makespan. */
+    Real utilization(ResourceClass res, const SchedulerConfig &cfg)
+        const;
+};
+
+/** Cycle cost of one op under the config. */
+Cycles opCycles(const OpNode &node, const SchedulerConfig &cfg);
+
+/**
+ * Dependency- and resource-constrained list scheduling in
+ * topological order (ops start as early as their inputs and an idle
+ * unit of their class allow).
+ */
+Schedule scheduleGraph(const OpGraph &graph,
+                       const SchedulerConfig &cfg = {});
+
+} // namespace ernn::hls
+
+#endif // ERNN_HLS_SCHEDULER_HH

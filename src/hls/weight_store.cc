@@ -1,0 +1,184 @@
+#include "hls/weight_store.hh"
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "nn/gru.hh"
+#include "nn/lstm.hh"
+
+namespace ernn::hls
+{
+
+void
+WeightStore::addMatVec(const std::string &name, MatVecFn fn)
+{
+    matvecs_[name] = std::move(fn);
+}
+
+void
+WeightStore::addVector(const std::string &name, Vector values)
+{
+    vectors_[name] = std::move(values);
+}
+
+bool
+WeightStore::hasMatVec(const std::string &name) const
+{
+    return matvecs_.count(name) > 0;
+}
+
+bool
+WeightStore::hasVector(const std::string &name) const
+{
+    return vectors_.count(name) > 0;
+}
+
+const WeightStore::MatVecFn &
+WeightStore::matvec(const std::string &name) const
+{
+    auto it = matvecs_.find(name);
+    ernn_assert(it != matvecs_.end(), "unknown matvec weight "
+                << name);
+    return it->second;
+}
+
+const Vector &
+WeightStore::vector(const std::string &name) const
+{
+    auto it = vectors_.find(name);
+    ernn_assert(it != vectors_.end(), "unknown vector weight "
+                << name);
+    return it->second;
+}
+
+WeightStore
+WeightStore::fromModel(nn::StackedRnn &model, const nn::ModelSpec &spec)
+{
+    ernn_assert(model.numLayers() == spec.layerSizes.size(),
+                "weight store: model/spec mismatch");
+    WeightStore store;
+
+    for (std::size_t l = 0; l < model.numLayers(); ++l) {
+        const std::string tag = "l" + std::to_string(l);
+        nn::RnnLayer &layer = model.layer(l);
+        if (auto *lstm = dynamic_cast<nn::LstmLayer *>(&layer)) {
+            const std::size_t in = lstm->config().inputSize;
+            // Fused W(ifco)(xr) over [x; y'] in gate order i,f,c,o.
+            store.addMatVec(tag + ".W(ifco)(xr)",
+                [lstm, in](const Vector &v) {
+                    const Vector x(v.begin(), v.begin() +
+                                   static_cast<long>(in));
+                    const Vector y(v.begin() + static_cast<long>(in),
+                                   v.end());
+                    Vector out;
+                    Vector part, tmp;
+                    for (auto pair :
+                         {std::pair<nn::LinearOp *, nn::LinearOp *>
+                              {&lstm->wix(), &lstm->wir()},
+                          {&lstm->wfx(), &lstm->wfr()},
+                          {&lstm->wcx(), &lstm->wcr()},
+                          {&lstm->wox(), &lstm->wor()}}) {
+                        pair.first->forward(x, part);
+                        pair.second->forward(y, tmp);
+                        addInPlace(part, tmp);
+                        out.insert(out.end(), part.begin(),
+                                   part.end());
+                    }
+                    return out;
+                });
+            if (lstm->wym()) {
+                store.addMatVec(tag + ".Wym",
+                    [lstm](const Vector &v) {
+                        Vector out;
+                        lstm->wym()->forward(v, out);
+                        return out;
+                    });
+            }
+        } else if (auto *gru = dynamic_cast<nn::GruLayer *>(&layer)) {
+            const std::size_t in = gru->config().inputSize;
+            store.addMatVec(tag + ".W(zr)(xc)",
+                [gru, in](const Vector &v) {
+                    const Vector x(v.begin(), v.begin() +
+                                   static_cast<long>(in));
+                    const Vector c(v.begin() + static_cast<long>(in),
+                                   v.end());
+                    Vector out;
+                    Vector part, tmp;
+                    for (auto pair :
+                         {std::pair<nn::LinearOp *, nn::LinearOp *>
+                              {&gru->wzx(), &gru->wzc()},
+                          {&gru->wrx(), &gru->wrc()}}) {
+                        pair.first->forward(x, part);
+                        pair.second->forward(c, tmp);
+                        addInPlace(part, tmp);
+                        out.insert(out.end(), part.begin(),
+                                   part.end());
+                    }
+                    return out;
+                });
+            store.addMatVec(tag + ".Wcx", [gru](const Vector &v) {
+                Vector out;
+                gru->wcx().forward(v, out);
+                return out;
+            });
+            store.addMatVec(tag + ".Wcc", [gru](const Vector &v) {
+                Vector out;
+                gru->wcc().forward(v, out);
+                return out;
+            });
+        } else {
+            ernn_panic("weight store: unknown layer kind");
+        }
+    }
+
+    // Bias / peephole / classifier values via the registry: the
+    // registry names them "layerN.bi" etc.; the graph uses "lN.bi".
+    for (const auto &view : model.params().views()) {
+        if (startsWith(view.name, "classifier.")) {
+            if (view.name == "classifier.b")
+                store.addVector("classifier.b",
+                                Vector(view.data,
+                                       view.data + view.size));
+            continue;
+        }
+        if (!startsWith(view.name, "layer"))
+            continue;
+        const auto parts = split(view.name, '.');
+        if (parts.size() != 2)
+            continue;
+        const std::string &field = parts[1];
+        if (field.size() >= 2 &&
+            (field[0] == 'b' ||
+             (field[0] == 'w' && field.size() == 3))) {
+            // biases (bi, bf, ...) and peepholes (wic, wfc, woc).
+            const std::string ltag =
+                "l" + parts[0].substr(std::string("layer").size());
+            store.addVector(ltag + "." + field,
+                            Vector(view.data, view.data + view.size));
+        }
+    }
+
+    store.addMatVec("classifier.W", [&model](const Vector &v) {
+        // Reuse the registry-registered classifier weights through a
+        // dense matvec snapshot-free path.
+        const auto &views = model.params().views();
+        for (const auto &view : views) {
+            if (view.name == "classifier.w") {
+                const std::size_t in = v.size();
+                const std::size_t out = view.size / in;
+                Vector y(out, 0.0);
+                for (std::size_t r = 0; r < out; ++r) {
+                    Real s = 0.0;
+                    for (std::size_t c = 0; c < in; ++c)
+                        s += view.data[r * in + c] * v[c];
+                    y[r] = s;
+                }
+                return y;
+            }
+        }
+        ernn_panic("classifier weights not found");
+    });
+
+    return store;
+}
+
+} // namespace ernn::hls

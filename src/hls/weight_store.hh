@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Weight binding for the HLS interpreter: maps the op graph's weight
+ * keys onto the live model parameters. Matvec entries are callbacks
+ * into the model's LinearOps (so the fused W(ifco)(xr) runs through
+ * the real FFT-based kernels); bias/peephole entries are value
+ * snapshots. Build the store after the weights are final (e.g. after
+ * ADMM projection and quantization).
+ */
+
+#ifndef ERNN_HLS_WEIGHT_STORE_HH
+#define ERNN_HLS_WEIGHT_STORE_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "nn/model_builder.hh"
+
+namespace ernn::hls
+{
+
+class WeightStore
+{
+  public:
+    using MatVecFn = std::function<Vector(const Vector &)>;
+
+    void addMatVec(const std::string &name, MatVecFn fn);
+    void addVector(const std::string &name, Vector values);
+
+    bool hasMatVec(const std::string &name) const;
+    bool hasVector(const std::string &name) const;
+
+    const MatVecFn &matvec(const std::string &name) const;
+    const Vector &vector(const std::string &name) const;
+
+    /**
+     * Bind every weight the graph of @p spec references to the live
+     * ops of @p model (which must have been built from the same
+     * spec).
+     */
+    static WeightStore fromModel(nn::StackedRnn &model,
+                                 const nn::ModelSpec &spec);
+
+  private:
+    std::map<std::string, MatVecFn> matvecs_;
+    std::map<std::string, Vector> vectors_;
+};
+
+} // namespace ernn::hls
+
+#endif // ERNN_HLS_WEIGHT_STORE_HH

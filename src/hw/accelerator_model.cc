@@ -1,0 +1,106 @@
+#include "hw/accelerator_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn::hw
+{
+
+WorkloadOps
+workloadOps(const nn::ModelSpec &spec)
+{
+    WorkloadOps out;
+    for (const auto &w : nn::weightInventory(spec)) {
+        if (w.cls == nn::WeightClass::Classifier)
+            continue;
+        out.params += w.params();
+        out.denseParams += w.denseParams();
+        const std::size_t lb = std::max<std::size_t>(w.blockSize, 1);
+        const Real p = static_cast<Real>(w.rows / lb);
+        const Real q = static_cast<Real>(w.cols / lb);
+        out.blockOps += p * q;
+        out.transformOps += p + q;
+    }
+    const HwCalibration &cal = defaultCalibration();
+    const Real pw_per_elem = spec.type == nn::ModelType::Lstm ?
+        cal.lstmPointwiseOpsPerElem : cal.gruPointwiseOpsPerElem;
+    for (auto h : spec.layerSizes)
+        out.pointwiseElems += pw_per_elem * static_cast<Real>(h);
+    return out;
+}
+
+DesignPoint
+evaluateDesign(const nn::ModelSpec &spec, const FpgaPlatform &platform,
+               int bits, const HwCalibration &cal,
+               const std::string &label)
+{
+    spec.validate();
+    const WorkloadOps ops = workloadOps(spec);
+
+    std::size_t headline_block = 1;
+    for (std::size_t l = 0; l < spec.layerSizes.size(); ++l)
+        headline_block = std::max({headline_block, spec.blockFor(l),
+                                   spec.inputBlockFor(l)});
+    ernn_assert(headline_block >= 2,
+                "evaluateDesign: dense models are not mapped to the "
+                "block-circulant accelerator (use the ESE baseline)");
+
+    DesignPoint d;
+    d.label = label;
+    d.platformName = platform.name;
+    d.weightBits = bits;
+    d.blockSize = headline_block;
+    d.params = ops.params;
+    d.compressionRatio = static_cast<Real>(ops.denseParams) /
+                         static_cast<Real>(std::max<std::size_t>(
+                             ops.params, 1));
+
+    const PeCost pe = peCost(headline_block, bits, cal);
+    d.numPe = peCount(platform, headline_block, bits, cal);
+    d.numCu = cal.computeUnits;
+
+    // CGPipe latency: the recurrent dependency serializes frames of
+    // one stream, so a frame traverses every stage on its CU's PEs.
+    const Real pe_per_cu =
+        static_cast<Real>(d.numPe) / static_cast<Real>(d.numCu);
+    Real effective_ops =
+        (ops.blockOps + ops.transformOps) * cal.cyclesPerBlockOp;
+    if (spec.type == nn::ModelType::Gru)
+        effective_ops /= cal.gruPipelineBoost;
+    const Real matvec_cycles = effective_ops / pe_per_cu;
+    const Real pointwise_cycles =
+        ops.pointwiseElems / cal.pointwiseLanes;
+    d.latencyCycles = static_cast<Cycles>(
+        std::ceil(matvec_cycles + pointwise_cycles));
+    d.latencyUs = static_cast<Real>(d.latencyCycles) *
+                  platform.cyclePeriodUs();
+
+    // One frame in flight per CU.
+    d.fps = static_cast<Real>(d.numCu) * platform.clockMhz * 1e6 /
+            static_cast<Real>(d.latencyCycles);
+
+    // Resource utilization.
+    const Real dsp_used = pe.dsp * static_cast<Real>(d.numPe);
+    const Real lut_used = pe.lut * static_cast<Real>(d.numPe) +
+                          30000.0; // controller + PCIE + collector
+    const Real ff_used = pe.ff * static_cast<Real>(d.numPe) +
+                         30000.0 * cal.ffPerLut;
+    const BramDemand bram =
+        bramDemand(spec, bits, platform, d.numPe, cal);
+
+    d.dspUtil = dsp_used / static_cast<Real>(platform.dsp);
+    d.lutUtil = lut_used / static_cast<Real>(platform.lut);
+    d.ffUtil = ff_used / static_cast<Real>(platform.ff);
+    d.bramUtil = bram.blocks / static_cast<Real>(platform.bramBlocks);
+
+    // Power: static + dynamic per active resource.
+    d.powerWatts = platform.staticWatts + dsp_used * cal.wattsPerDsp +
+                   lut_used / 1000.0 * cal.wattsPerKiloLut +
+                   bram.blocks * cal.wattsPerBramBlock;
+    d.fpsPerWatt = d.fps / d.powerWatts;
+    return d;
+}
+
+} // namespace ernn::hw

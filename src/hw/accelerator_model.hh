@@ -1,0 +1,74 @@
+/**
+ * @file
+ * End-to-end accelerator model (Figs. 9-12): maps a ModelSpec onto a
+ * platform and predicts the quantities Table III reports — resource
+ * utilization, per-frame latency, throughput (FPS), power, and
+ * energy efficiency (FPS/W).
+ *
+ * Structure of the model:
+ *  - operation counts per frame come from the block-circulant
+ *    computation model (one block op per (i,j) frequency-domain
+ *    product, plus input FFTs / output IFFTs after decoupling);
+ *  - the PE count comes from the resource model;
+ *  - the accelerator hosts `computeUnits` CUs, each running an
+ *    independent voice stream (Fig. 9). The recurrent dependency
+ *    (y_t feeds frame t+1) forbids pipelining consecutive frames of
+ *    one stream, so per-frame latency covers all CGPipe stages and
+ *    FPS = numCU * f_clk / latency_cycles.
+ */
+
+#ifndef ERNN_HW_ACCELERATOR_MODEL_HH
+#define ERNN_HW_ACCELERATOR_MODEL_HH
+
+#include <string>
+
+#include "hw/resource_model.hh"
+
+namespace ernn::hw
+{
+
+/** Per-frame operation counts of a model on the accelerator. */
+struct WorkloadOps
+{
+    Real blockOps = 0.0;     //!< frequency-domain block products
+    Real transformOps = 0.0; //!< input FFTs + output IFFTs
+    Real pointwiseElems = 0.0;
+    std::size_t params = 0;      //!< stored weight parameters
+    std::size_t denseParams = 0; //!< dense-equivalent weights
+};
+
+/** Count per-frame work (classifier excluded: the softmax layer
+ *  runs host-side, as in ESE). */
+WorkloadOps workloadOps(const nn::ModelSpec &spec);
+
+/** Everything Table III reports about one design. */
+struct DesignPoint
+{
+    std::string label;
+    std::string platformName;
+    int weightBits = 0;
+    std::size_t blockSize = 1; //!< headline (max) block size
+
+    std::size_t params = 0;
+    Real compressionRatio = 1.0;
+
+    std::size_t numPe = 0;
+    std::size_t numCu = 0;
+    Real dspUtil = 0.0, bramUtil = 0.0, lutUtil = 0.0, ffUtil = 0.0;
+
+    Cycles latencyCycles = 0;
+    Real latencyUs = 0.0;
+    Real fps = 0.0;
+    Real powerWatts = 0.0;
+    Real fpsPerWatt = 0.0;
+};
+
+/** Evaluate an E-RNN design for a spec on a platform. */
+DesignPoint evaluateDesign(
+    const nn::ModelSpec &spec, const FpgaPlatform &platform,
+    int bits = 12, const HwCalibration &cal = defaultCalibration(),
+    const std::string &label = "E-RNN");
+
+} // namespace ernn::hw
+
+#endif // ERNN_HW_ACCELERATOR_MODEL_HH

@@ -1,0 +1,71 @@
+#include "hw/baselines.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn::hw
+{
+
+DesignPoint
+eseDesignPoint(const nn::ModelSpec &dense_spec,
+               const FpgaPlatform &platform, const HwCalibration &cal)
+{
+    ernn_assert(dense_spec.isDenseBaseline(),
+                "ESE prunes a dense model");
+    const WorkloadOps ops = workloadOps(dense_spec);
+
+    DesignPoint d;
+    d.label = "ESE";
+    d.platformName = platform.name;
+    d.weightBits = 12;
+    d.blockSize = 1;
+
+    // Pruning keeps `density` of the weights, but every survivor
+    // needs an index: the effective compression is ~4.5:1.
+    const Real nnz =
+        static_cast<Real>(ops.denseParams) * cal.eseSparseDensity;
+    d.params = static_cast<std::size_t>(nnz * 2.0); // weight + index
+    d.compressionRatio = static_cast<Real>(ops.denseParams) /
+                         static_cast<Real>(d.params);
+
+    // Sparse matvec on the MAC array: irregularity (one weight
+    // indexing another) and off-chip activation LUTs gate the
+    // achievable utilization.
+    const Real cycles =
+        nnz / (cal.eseMacUnits * cal.eseEfficiency);
+    d.latencyCycles = static_cast<Cycles>(std::ceil(cycles));
+    d.latencyUs = static_cast<Real>(d.latencyCycles) *
+                  platform.cyclePeriodUs();
+
+    // Single frame in flight (Table III: FPS = 1 / latency).
+    d.numCu = 1;
+    d.numPe = static_cast<std::size_t>(cal.eseMacUnits);
+    d.fps = 1e6 / d.latencyUs;
+
+    // ESE's published KU060 utilization.
+    d.dspUtil = 0.545;
+    d.bramUtil = 0.877;
+    d.lutUtil = 0.886;
+    d.ffUtil = 0.683;
+
+    d.powerWatts = cal.eseMeasuredWatts;
+    d.fpsPerWatt = d.fps / d.powerWatts;
+    return d;
+}
+
+DesignPoint
+clstmDesignPoint(const nn::ModelSpec &spec,
+                 const FpgaPlatform &platform, const HwCalibration &cal)
+{
+    // Same structural model as E-RNN, at 16 bits and with the
+    // scheduling penalty applied to the matvec pipeline.
+    HwCalibration clstm = cal;
+    clstm.cyclesPerBlockOp =
+        cal.cyclesPerBlockOp * cal.clstmSchedulePenalty;
+    DesignPoint d = evaluateDesign(spec, platform, 16, clstm,
+                                   "C-LSTM");
+    return d;
+}
+
+} // namespace ernn::hw

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Baseline accelerator models the paper compares against:
+ *
+ *  - ESE (Han et al., FPGA'17): pruned sparse LSTM. Weights compress
+ *    4-6x once indices are counted; the irregular structure limits
+ *    parallel PE utilization and the LUT-table activations stall the
+ *    pipeline — ESE therefore keeps a single frame in flight
+ *    (FPS = 1 / latency in Table III).
+ *
+ *  - C-LSTM (Wang et al., FPGA'18): the same block-circulant
+ *    framework at 16-bit quantization, without E-RNN's PE-level
+ *    optimization and systematic scheduling (the paper attributes
+ *    <10% of the gap to quantization and the rest to the design
+ *    framework).
+ */
+
+#ifndef ERNN_HW_BASELINES_HH
+#define ERNN_HW_BASELINES_HH
+
+#include "hw/accelerator_model.hh"
+
+namespace ernn::hw
+{
+
+/**
+ * ESE on its published platform (KU060). The workload is the
+ * LSTM-1024/proj-512 top layer the paper benchmarks.
+ */
+DesignPoint eseDesignPoint(
+    const nn::ModelSpec &dense_spec,
+    const FpgaPlatform &platform = xcku060(),
+    const HwCalibration &cal = defaultCalibration());
+
+/** C-LSTM with the given block size on the 7V3 (its published
+ *  platform). @p spec must be the block-circulant spec. */
+DesignPoint clstmDesignPoint(
+    const nn::ModelSpec &spec,
+    const FpgaPlatform &platform = adm7v3(),
+    const HwCalibration &cal = defaultCalibration());
+
+} // namespace ernn::hw
+
+#endif // ERNN_HW_BASELINES_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Calibration constants of the hardware model.
+ *
+ * The model is structural — operation counts come from the
+ * block-circulant computation model, PE counts from the paper's
+ * #PE = min(DSP/dPE, LUT/dPE) rule, latency from the CGPipe laws —
+ * but mapping abstract operations onto a real device needs a small
+ * number of technology constants. Each constant below is calibrated
+ * once against a single anchor (the E-RNN FFT8 LSTM design point of
+ * Table III) or carries the paper's stated cause; everything else in
+ * Table III must then *emerge* from the model. See EXPERIMENTS.md
+ * for the resulting paper-vs-model deltas.
+ */
+
+#ifndef ERNN_HW_CALIBRATION_HH
+#define ERNN_HW_CALIBRATION_HH
+
+#include "base/types.hh"
+
+namespace ernn::hw
+{
+
+struct HwCalibration
+{
+    /**
+     * Average cycles one PE spends per block operation (one
+     * frequency-domain block product plus its share of FFT/IFFT and
+     * accumulation work, including TDM switch overhead). Calibrated
+     * to the 13.7 us KU060 FFT8 LSTM latency.
+     */
+    Real cyclesPerBlockOp = 2.15;
+
+    /**
+     * Compute units: independent voice streams in flight. Every
+     * E-RNN / C-LSTM row of Table III satisfies FPS x latency ~ 3.0
+     * (three CUs); ESE processes a single stream (1.0).
+     */
+    std::size_t computeUnits = 3;
+
+    /**
+     * GRU CU efficiency advantage: CGPipe stages 1 and 2 share PE
+     * hardware via TDM (Sec. VII-C2), which keeps the multipliers
+     * busier than the LSTM's three dedicated stages. Calibrated to
+     * the GRU-vs-LSTM FFT8 pair of Table III.
+     */
+    Real gruPipelineBoost = 1.47;
+
+    /** DSP slices per complex multiplier (Karatsuba, <=18-bit). */
+    Real dspPerComplexMult = 3.0;
+
+    /** Extra DSP fabric factor for 16-bit datapaths (C-LSTM). */
+    Real dsp16BitFactor = 1.33;
+
+    /** LUTs per PE: bits * (lutPerBitBlock * Lb + lutPerBitBase). */
+    Real lutPerBitBlock = 12.0;
+    Real lutPerBitBase = 40.0;
+
+    /** FFs track LUTs in these register-rich pipelines. */
+    Real ffPerLut = 1.05;
+
+    /** Achievable utilization before routing congestion. */
+    Real dspUtilTarget = 0.97;
+    Real lutUtilTarget = 0.82;
+
+    /**
+     * BRAM banking: each PE needs independent weight/input banks to
+     * sustain one block op per cycle, plus global I/O and double
+     * buffers. Banking (not raw bits) dominates BRAM utilization.
+     */
+    Real bramBanksPerPe = 6.5;
+    Real bramFixedBlocks = 60.0;
+
+    /**
+     * Spectrum-domain weight storage: FFT(w) has Lb/2 + 1 bins, but
+     * bins 0 and Lb/2 of a real spectrum are purely real, so the
+     * packed storage is exactly Lb reals per Lb-entry generator —
+     * pre-transforming the weights costs no extra BRAM.
+     */
+    Real spectrumStorageFactor(std::size_t) const { return 1.0; }
+
+    /** Pointwise-stage throughput (parallel multiplier lanes). */
+    Real pointwiseLanes = 64.0;
+
+    /** Per-element pointwise work (Eqns. 1d-1g / 2c-2d). */
+    Real lstmPointwiseOpsPerElem = 8.0;
+    Real gruPointwiseOpsPerElem = 6.0;
+
+    /** Dynamic power per active resource (W). */
+    Real wattsPerDsp = 3.3e-3;
+    Real wattsPerKiloLut = 9.0e-3;
+    Real wattsPerBramBlock = 3.0e-3;
+
+    /** C-LSTM's operation scheduler lacks E-RNN's PE-level
+     *  optimization; the paper attributes most of the 1.33x gap to
+     *  it (quantization covers "less than 10%"). */
+    Real clstmSchedulePenalty = 1.18;
+
+    /** ESE: irregular sparse network limits parallel PE utilization
+     *  and activations go through off-chip LUTs; calibrated to ESE's
+     *  published 57 us / 17,544 FPS KU060 design point. */
+    Real eseSparseDensity = 0.10;   //!< nonzeros after pruning
+    Real eseMacUnits = 1024.0;      //!< ESE's multiplier array
+    Real eseEfficiency = 0.0281;    //!< irregularity + LUT stalls
+    Real eseMeasuredWatts = 41.0;   //!< ESE's reported board power
+};
+
+/** The library-wide default calibration. */
+const HwCalibration &defaultCalibration();
+
+} // namespace ernn::hw
+
+#endif // ERNN_HW_CALIBRATION_HH

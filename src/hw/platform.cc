@@ -1,0 +1,29 @@
+#include "hw/platform.hh"
+
+namespace ernn::hw
+{
+
+const FpgaPlatform &
+adm7v3()
+{
+    static const FpgaPlatform p{
+        "ADM-PCIE-7V3", 3600, 1470, 859200, 429600, 28, 200.0, 7.0};
+    return p;
+}
+
+const FpgaPlatform &
+xcku060()
+{
+    // 20nm process: lower static power than the 28nm Virtex-7.
+    static const FpgaPlatform p{
+        "XCKU060", 2760, 1080, 331680, 663360, 20, 200.0, 5.0};
+    return p;
+}
+
+std::vector<const FpgaPlatform *>
+allPlatforms()
+{
+    return {&adm7v3(), &xcku060()};
+}
+
+} // namespace ernn::hw

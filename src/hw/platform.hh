@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FPGA platform descriptions (Table IV of the paper).
+ */
+
+#ifndef ERNN_HW_PLATFORM_HH
+#define ERNN_HW_PLATFORM_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ernn::hw
+{
+
+/** Static resources of one FPGA board. */
+struct FpgaPlatform
+{
+    std::string name;
+    std::size_t dsp = 0;       //!< DSP slices
+    std::size_t bramBlocks = 0; //!< 36Kb BRAM blocks
+    std::size_t lut = 0;
+    std::size_t ff = 0;
+    int processNm = 0;         //!< manufacturing process
+    Real clockMhz = 200.0;     //!< the paper runs both at 200 MHz
+    Real staticWatts = 7.0;    //!< board static power
+
+    /** Total BRAM capacity in bits (36Kb per block). */
+    Real bramBits() const
+    {
+        return static_cast<Real>(bramBlocks) * 36.0 * 1024.0;
+    }
+
+    /** Clock period in microseconds. */
+    Real cyclePeriodUs() const { return 1.0 / clockMhz; }
+};
+
+/** ADM-PCIE-7V3 (Xilinx Virtex-7 690t), per Table IV. */
+const FpgaPlatform &adm7v3();
+
+/** Xilinx Kintex UltraScale KU060, per Table IV. */
+const FpgaPlatform &xcku060();
+
+/** Both platforms, in the paper's order. */
+std::vector<const FpgaPlatform *> allPlatforms();
+
+} // namespace ernn::hw
+
+#endif // ERNN_HW_PLATFORM_HH

@@ -1,0 +1,121 @@
+#include "hw/resource_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "tensor/fft.hh"
+
+namespace ernn::hw
+{
+
+const HwCalibration &
+defaultCalibration()
+{
+    static const HwCalibration cal;
+    return cal;
+}
+
+PeCost
+peCost(std::size_t block_size, int bits, const HwCalibration &cal)
+{
+    ernn_assert(fft::isPowerOfTwo(block_size) && block_size >= 2,
+                "PE block size must be a power of two >= 2");
+    // Complex multipliers in the datapath: forward + inverse
+    // real-FFT (trivial twiddles pruned, halved by the real-input
+    // symmetry) plus the frequency-domain dot product over
+    // Lb/2 + 1 bins.
+    const Real fft_cmults = static_cast<Real>(
+        fft::complexFftRealMults(block_size)) / 4.0 / 2.0;
+    const Real dot_cmults =
+        static_cast<Real>(block_size / 2 + 1);
+    const Real cmults = 2.0 * fft_cmults + dot_cmults;
+
+    PeCost cost;
+    cost.dsp = cal.dspPerComplexMult * cmults;
+    if (bits > 12)
+        cost.dsp *= cal.dsp16BitFactor;
+    cost.lut = static_cast<Real>(bits) *
+               (cal.lutPerBitBlock * static_cast<Real>(block_size) +
+                cal.lutPerBitBase);
+    cost.ff = cost.lut * cal.ffPerLut;
+    return cost;
+}
+
+std::size_t
+peCount(const FpgaPlatform &platform, std::size_t block_size, int bits,
+        const HwCalibration &cal)
+{
+    const PeCost cost = peCost(block_size, bits, cal);
+    const Real by_dsp =
+        static_cast<Real>(platform.dsp) * cal.dspUtilTarget / cost.dsp;
+    const Real by_lut =
+        static_cast<Real>(platform.lut) * cal.lutUtilTarget / cost.lut;
+    const auto n = static_cast<std::size_t>(
+        std::floor(std::min(by_dsp, by_lut)));
+    ernn_assert(n >= 1, "platform cannot host even one PE");
+    return n;
+}
+
+BramDemand
+bramDemand(const nn::ModelSpec &spec, int bits,
+           const FpgaPlatform &platform, std::size_t num_pe,
+           const HwCalibration &cal)
+{
+    BramDemand out;
+    for (const auto &w : nn::weightInventory(spec)) {
+        const Real factor = w.blockSize > 1 ?
+            cal.spectrumStorageFactor(w.blockSize) : 1.0;
+        out.weightBits += static_cast<Real>(w.params()) * factor *
+                          static_cast<Real>(bits);
+    }
+    // Biases and peepholes are tiny but on-chip too.
+    std::size_t bias_elems = 0;
+    for (std::size_t l = 0; l < spec.layerSizes.size(); ++l) {
+        const std::size_t gates =
+            spec.type == nn::ModelType::Lstm ? 4 : 3;
+        bias_elems += gates * spec.layerSizes[l];
+        if (spec.peephole && spec.type == nn::ModelType::Lstm)
+            bias_elems += 3 * spec.layerSizes[l];
+    }
+    out.weightBits += static_cast<Real>(bias_elems * bits);
+
+    // Input/output and inter-stage double buffers.
+    Real buffer_elems = static_cast<Real>(spec.inputDim);
+    for (std::size_t l = 0; l < spec.layerSizes.size(); ++l)
+        buffer_elems += 4.0 * static_cast<Real>(spec.layerSizes[l]);
+    out.bufferBits = buffer_elems * static_cast<Real>(bits) * 2.0;
+
+    const Real bits_blocks =
+        (out.weightBits + out.bufferBits) / (36.0 * 1024.0);
+    const Real banking_blocks =
+        cal.bramBanksPerPe * static_cast<Real>(num_pe) +
+        cal.bramFixedBlocks;
+    out.blocks = std::max(bits_blocks, banking_blocks);
+    out.fits = out.blocks <= static_cast<Real>(platform.bramBlocks);
+    return out;
+}
+
+std::size_t
+minBlockSizeForBram(const nn::ModelSpec &dense_spec, int bits,
+                    const FpgaPlatform &platform,
+                    const HwCalibration &cal)
+{
+    for (std::size_t lb = 1; lb <= 128; lb <<= 1) {
+        nn::ModelSpec spec = dense_spec;
+        spec.blockSizes.assign(spec.layerSizes.size(), lb);
+        spec.inputBlockSizes.clear();
+        // Bit-capacity check only: PE banking is a Phase II concern.
+        const BramDemand d = bramDemand(spec, bits, platform, 0, cal);
+        const Real capacity =
+            static_cast<Real>(platform.bramBlocks) * 36.0 * 1024.0;
+        // Keep a margin of BRAM for inputs/outputs (the paper:
+        // "a block size 8 will be safer in order to allocate certain
+        // portion of BRAM for inputs/outputs").
+        if (d.weightBits + d.bufferBits <= 0.85 * capacity)
+            return lb;
+    }
+    return 0;
+}
+
+} // namespace ernn::hw

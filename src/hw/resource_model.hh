@@ -1,0 +1,70 @@
+/**
+ * @file
+ * FPGA resource model: PE cost (Fig. 10), PE count
+ * (#PE = min(DSP/dDSP, LUT/dLUT), Sec. VII-B), BRAM sizing and the
+ * Phase I sanity check ("does the whole RNN model fit into on-chip
+ * BRAM?").
+ */
+
+#ifndef ERNN_HW_RESOURCE_MODEL_HH
+#define ERNN_HW_RESOURCE_MODEL_HH
+
+#include "hw/calibration.hh"
+#include "hw/platform.hh"
+#include "nn/model_builder.hh"
+
+namespace ernn::hw
+{
+
+/** Resource cost of one processing element. */
+struct PeCost
+{
+    Real dsp = 0.0;
+    Real lut = 0.0;
+    Real ff = 0.0;
+};
+
+/**
+ * Cost of a PE built for FFT size @p block_size at the given weight
+ * bit width: two real-valued FFT datapaths, the conjugate/dot
+ * product multipliers, and the accumulator (Fig. 10).
+ */
+PeCost peCost(std::size_t block_size, int bits,
+              const HwCalibration &cal = defaultCalibration());
+
+/** #PE = min over the binding resource (Sec. VII-B). */
+std::size_t peCount(const FpgaPlatform &platform,
+                    std::size_t block_size, int bits,
+                    const HwCalibration &cal = defaultCalibration());
+
+/** BRAM demand of a model (bits and blocks). */
+struct BramDemand
+{
+    Real weightBits = 0.0;  //!< spectrum-domain weights + biases
+    Real bufferBits = 0.0;  //!< I/O and double buffers
+    Real blocks = 0.0;      //!< 36Kb blocks incl. banking
+    bool fits = false;      //!< within the platform's BRAM
+};
+
+/**
+ * BRAM needed to hold the whole model on-chip with the given number
+ * of PEs (banking-aware). This implements Phase I's step-one sanity
+ * check.
+ */
+BramDemand bramDemand(const nn::ModelSpec &spec, int bits,
+                      const FpgaPlatform &platform, std::size_t num_pe,
+                      const HwCalibration &cal = defaultCalibration());
+
+/**
+ * Smallest power-of-two block size whose model fits into the
+ * platform's BRAM (the lower bound Phase I step one derives).
+ * Returns 0 when even the largest sensible block size does not fit.
+ */
+std::size_t minBlockSizeForBram(
+    const nn::ModelSpec &dense_spec, int bits,
+    const FpgaPlatform &platform,
+    const HwCalibration &cal = defaultCalibration());
+
+} // namespace ernn::hw
+
+#endif // ERNN_HW_RESOURCE_MODEL_HH

@@ -1,0 +1,184 @@
+#include "nn/gru.hh"
+
+#include "base/logging.hh"
+
+namespace ernn::nn
+{
+
+GruLayer::GruLayer(const GruConfig &cfg)
+    : cfg_(cfg)
+{
+    ernn_assert(cfg.inputSize > 0 && cfg.hiddenSize > 0,
+                "GRU needs positive input/hidden sizes");
+    const std::size_t in = cfg.inputSize;
+    const std::size_t h = cfg.hiddenSize;
+
+    wzx_ = makeLinear(h, in, cfg.blockSizeInput);
+    wrx_ = makeLinear(h, in, cfg.blockSizeInput);
+    wcx_ = makeLinear(h, in, cfg.blockSizeInput);
+    wzc_ = makeLinear(h, h, cfg.blockSizeRecurrent);
+    wrc_ = makeLinear(h, h, cfg.blockSizeRecurrent);
+    wcc_ = makeLinear(h, h, cfg.blockSizeRecurrent);
+
+    bz_.assign(h, 0.0); br_.assign(h, 0.0); bc_.assign(h, 0.0);
+    dbz_.assign(h, 0.0); dbr_.assign(h, 0.0); dbc_.assign(h, 0.0);
+}
+
+Sequence
+GruLayer::forward(const Sequence &xs)
+{
+    const std::size_t h = cfg_.hiddenSize;
+
+    cache_.clear();
+    cache_.reserve(xs.size());
+
+    Vector c_prev(h, 0.0);
+    Sequence ys;
+    ys.reserve(xs.size());
+
+    Vector tmp(h);
+    for (const Vector &x : xs) {
+        ernn_assert(x.size() == cfg_.inputSize,
+                    "GRU input dim mismatch");
+        StepCache st;
+        st.x = x;
+        st.cPrev = c_prev;
+
+        // Update gate (Eqn. 2a).
+        wzx_->forward(x, st.z);
+        wzc_->forward(c_prev, tmp);
+        addInPlace(st.z, tmp);
+        addInPlace(st.z, bz_);
+        applyActivation(ActKind::Sigmoid, st.z);
+
+        // Reset gate (Eqn. 2b).
+        wrx_->forward(x, st.r);
+        wrc_->forward(c_prev, tmp);
+        addInPlace(st.r, tmp);
+        addInPlace(st.r, br_);
+        applyActivation(ActKind::Sigmoid, st.r);
+
+        // Candidate state from the reset-gated history (Eqn. 2c).
+        st.s = hadamard(st.r, c_prev);
+        wcx_->forward(x, st.cand);
+        wcc_->forward(st.s, tmp);
+        addInPlace(st.cand, tmp);
+        addInPlace(st.cand, bc_);
+        applyActivation(cfg_.candidateAct, st.cand);
+
+        // State blend (Eqn. 2d): c = (1-z).c' + z.c~
+        st.c.resize(h);
+        for (std::size_t k = 0; k < h; ++k)
+            st.c[k] = (1.0 - st.z[k]) * c_prev[k] +
+                      st.z[k] * st.cand[k];
+
+        c_prev = st.c;
+        ys.push_back(st.c);
+        cache_.push_back(std::move(st));
+    }
+    return ys;
+}
+
+Sequence
+GruLayer::backward(const Sequence &dys)
+{
+    ernn_assert(dys.size() == cache_.size(),
+                "GRU backward: sequence length mismatch (forward "
+                "must precede backward)");
+    const std::size_t h = cfg_.hiddenSize;
+    const std::size_t t_len = cache_.size();
+
+    Sequence dxs(t_len);
+    Vector dc_rec(h, 0.0);
+
+    for (std::size_t ti = t_len; ti-- > 0;) {
+        const StepCache &st = cache_[ti];
+        ernn_assert(dys[ti].size() == h, "GRU backward: dy mismatch");
+
+        Vector dc = dys[ti];
+        addInPlace(dc, dc_rec);
+
+        // c = (1-z).c' + z.c~
+        Vector dz(h), dcand(h), dc_prev(h);
+        for (std::size_t k = 0; k < h; ++k) {
+            dz[k] = dc[k] * (st.cand[k] - st.cPrev[k]);
+            dcand[k] = dc[k] * st.z[k];
+            dc_prev[k] = dc[k] * (1.0 - st.z[k]);
+        }
+
+        // Candidate pre-activation.
+        Vector dcand_pre(h);
+        for (std::size_t k = 0; k < h; ++k)
+            dcand_pre[k] = dcand[k] *
+                actDerivFromOutput(cfg_.candidateAct, st.cand[k]);
+
+        Vector dx(cfg_.inputSize, 0.0);
+        Vector ds(h, 0.0);
+        wcx_->backward(st.x, dcand_pre, &dx);
+        wcc_->backward(st.s, dcand_pre, &ds);
+        addInPlace(dbc_, dcand_pre);
+
+        // s = r . c'
+        Vector dr = hadamard(ds, st.cPrev);
+        hadamardAcc(dc_prev, ds, st.r);
+
+        Vector dz_pre(h), dr_pre(h);
+        for (std::size_t k = 0; k < h; ++k) {
+            dz_pre[k] = dz[k] * st.z[k] * (1.0 - st.z[k]);
+            dr_pre[k] = dr[k] * st.r[k] * (1.0 - st.r[k]);
+        }
+
+        wzx_->backward(st.x, dz_pre, &dx);
+        wzc_->backward(st.cPrev, dz_pre, &dc_prev);
+        addInPlace(dbz_, dz_pre);
+
+        wrx_->backward(st.x, dr_pre, &dx);
+        wrc_->backward(st.cPrev, dr_pre, &dc_prev);
+        addInPlace(dbr_, dr_pre);
+
+        dxs[ti] = std::move(dx);
+        dc_rec = std::move(dc_prev);
+    }
+    return dxs;
+}
+
+void
+GruLayer::registerParams(ParamRegistry &reg, const std::string &prefix)
+{
+    wzx_->registerParams(reg, prefix + ".wzx");
+    wrx_->registerParams(reg, prefix + ".wrx");
+    wcx_->registerParams(reg, prefix + ".wcx");
+    wzc_->registerParams(reg, prefix + ".wzc");
+    wrc_->registerParams(reg, prefix + ".wrc");
+    wcc_->registerParams(reg, prefix + ".wcc");
+
+    auto addVec = [&](const char *name, Vector &v, Vector &g) {
+        reg.add(ParamView{prefix + name, v.data(), g.data(), v.size(),
+                          {}});
+    };
+    addVec(".bz", bz_, dbz_);
+    addVec(".br", br_, dbr_);
+    addVec(".bc", bc_, dbc_);
+}
+
+void
+GruLayer::initXavier(Rng &rng)
+{
+    wzx_->initXavier(rng);
+    wrx_->initXavier(rng);
+    wcx_->initXavier(rng);
+    wzc_->initXavier(rng);
+    wrc_->initXavier(rng);
+    wcc_->initXavier(rng);
+}
+
+std::size_t
+GruLayer::paramCount() const
+{
+    return wzx_->paramCount() + wrx_->paramCount() +
+           wcx_->paramCount() + wzc_->paramCount() +
+           wrc_->paramCount() + wcc_->paramCount() + bz_.size() +
+           br_.size() + bc_.size();
+}
+
+} // namespace ernn::nn

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * GRU layer implementing Eqn. (2) of the paper: update gate z, reset
+ * gate r, candidate state c~ computed from the reset-gated previous
+ * state, and the convex state blend c_t = (1-z).c' + z.c~.
+ *
+ * The paper's GRU reads the previous *cell state* c_{t-1} in both
+ * gates (there is no separate hidden state), and the layer output is
+ * c_t itself.
+ */
+
+#ifndef ERNN_NN_GRU_HH
+#define ERNN_NN_GRU_HH
+
+#include <memory>
+
+#include "nn/activation.hh"
+#include "nn/layer.hh"
+#include "nn/linear_op.hh"
+
+namespace ernn::nn
+{
+
+/** Static configuration of one GRU layer. */
+struct GruConfig
+{
+    std::size_t inputSize = 0;  //!< dim of x_t
+    std::size_t hiddenSize = 0; //!< dim of c_t (the "layer size")
+
+    std::size_t blockSizeInput = 1;     //!< W{z,r,c~}x
+    std::size_t blockSizeRecurrent = 1; //!< W{z,r}c and Wc~c
+
+    ActKind candidateAct = ActKind::Tanh; //!< h in Eqn. (2c)
+};
+
+class GruLayer : public RnnLayer
+{
+  public:
+    explicit GruLayer(const GruConfig &cfg);
+
+    std::size_t inputSize() const override { return cfg_.inputSize; }
+    std::size_t outputSize() const override { return cfg_.hiddenSize; }
+
+    Sequence forward(const Sequence &xs) override;
+    Sequence backward(const Sequence &dys) override;
+
+    void registerParams(ParamRegistry &reg,
+                        const std::string &prefix) override;
+    void initXavier(Rng &rng) override;
+    std::size_t paramCount() const override;
+    std::string kindName() const override { return "gru"; }
+
+    const GruConfig &config() const { return cfg_; }
+
+    /// @{ Weight accessors.
+    LinearOp &wzx() { return *wzx_; }
+    LinearOp &wrx() { return *wrx_; }
+    LinearOp &wcx() { return *wcx_; }
+    LinearOp &wzc() { return *wzc_; }
+    LinearOp &wrc() { return *wrc_; }
+    LinearOp &wcc() { return *wcc_; }
+    /// @}
+
+  private:
+    struct StepCache
+    {
+        Vector x, cPrev;
+        Vector z, r, s, cand, c;
+    };
+
+    GruConfig cfg_;
+
+    std::unique_ptr<LinearOp> wzx_, wrx_, wcx_;
+    std::unique_ptr<LinearOp> wzc_, wrc_, wcc_;
+
+    Vector bz_, br_, bc_;
+    Vector dbz_, dbr_, dbc_;
+
+    std::vector<StepCache> cache_;
+};
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_GRU_HH

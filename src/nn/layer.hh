@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Abstract recurrent layer interface shared by the LSTM and GRU
+ * cells. Layers cache their most recent forward pass internally, so a
+ * backward() call must follow the matching forward() (the trainer
+ * processes one sequence at a time, as the paper's CU does).
+ */
+
+#ifndef ERNN_NN_LAYER_HH
+#define ERNN_NN_LAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "nn/param.hh"
+#include "tensor/vector_ops.hh"
+
+namespace ernn::nn
+{
+
+/** A sequence is a vector of per-frame feature vectors. */
+using Sequence = std::vector<Vector>;
+
+class RnnLayer
+{
+  public:
+    virtual ~RnnLayer() = default;
+
+    virtual std::size_t inputSize() const = 0;
+    virtual std::size_t outputSize() const = 0;
+
+    /**
+     * Run the layer over a sequence starting from zero state,
+     * caching activations for backward().
+     */
+    virtual Sequence forward(const Sequence &xs) = 0;
+
+    /**
+     * BPTT through the cached forward pass.
+     *
+     * @param dys upstream gradient w.r.t. each output frame
+     * @return gradient w.r.t. each input frame
+     */
+    virtual Sequence backward(const Sequence &dys) = 0;
+
+    /** Register every trainable buffer. */
+    virtual void registerParams(ParamRegistry &reg,
+                                const std::string &prefix) = 0;
+
+    /** Initialize weights. */
+    virtual void initXavier(Rng &rng) = 0;
+
+    /** Number of stored (possibly compressed) parameters. */
+    virtual std::size_t paramCount() const = 0;
+
+    /** "lstm" or "gru". */
+    virtual std::string kindName() const = 0;
+};
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_LAYER_HH

@@ -1,0 +1,87 @@
+#include "nn/linear_op.hh"
+
+#include "base/logging.hh"
+
+namespace ernn::nn
+{
+
+DenseLinear::DenseLinear(std::size_t out_dim, std::size_t in_dim)
+    : w_(out_dim, in_dim), g_(out_dim, in_dim)
+{
+}
+
+void
+DenseLinear::forward(const Vector &x, Vector &y) const
+{
+    y.assign(w_.rows(), 0.0);
+    w_.matvecAcc(x, y);
+}
+
+void
+DenseLinear::backward(const Vector &x, const Vector &dy, Vector *dx)
+{
+    g_.outerAcc(dy, x);
+    if (dx)
+        w_.matvecTransposeAcc(dy, *dx);
+}
+
+void
+DenseLinear::registerParams(ParamRegistry &reg,
+                            const std::string &prefix)
+{
+    reg.add(ParamView{prefix, w_.data(), g_.data(), w_.size(), {}});
+}
+
+CirculantLinear::CirculantLinear(std::size_t out_dim,
+                                 std::size_t in_dim,
+                                 std::size_t block_size)
+    : w_(out_dim, in_dim, block_size), g_(out_dim, in_dim, block_size)
+{
+}
+
+std::unique_ptr<CirculantLinear>
+CirculantLinear::fromDense(const Matrix &dense, std::size_t block_size)
+{
+    auto op = std::make_unique<CirculantLinear>(
+        dense.rows(), dense.cols(), block_size);
+    op->w_ = circulant::BlockCirculantMatrix::fromDense(dense,
+                                                        block_size);
+    op->w_.invalidateSpectra();
+    return op;
+}
+
+void
+CirculantLinear::forward(const Vector &x, Vector &y) const
+{
+    y.assign(w_.rows(), 0.0);
+    w_.matvecAcc(x, y, mode_);
+}
+
+void
+CirculantLinear::backward(const Vector &x, const Vector &dy, Vector *dx)
+{
+    w_.generatorGradAcc(x, dy, g_);
+    if (dx)
+        w_.matvecTransposeAcc(dy, *dx);
+}
+
+void
+CirculantLinear::registerParams(ParamRegistry &reg,
+                                const std::string &prefix)
+{
+    reg.add(ParamView{prefix, w_.raw().data(), g_.raw().data(),
+                      w_.raw().size(),
+                      [this]() { w_.invalidateSpectra(); }});
+}
+
+std::unique_ptr<LinearOp>
+makeLinear(std::size_t out_dim, std::size_t in_dim,
+           std::size_t block_size)
+{
+    if (block_size <= 1)
+        return std::make_unique<DenseLinear>(out_dim, in_dim);
+    return std::make_unique<CirculantLinear>(out_dim, in_dim,
+                                             block_size);
+}
+
+} // namespace ernn::nn

@@ -1,0 +1,59 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn::nn
+{
+
+Vector
+softmax(const Vector &logits)
+{
+    ernn_assert(!logits.empty(), "softmax of empty vector");
+    const Real peak = *std::max_element(logits.begin(), logits.end());
+    Vector probs(logits.size());
+    Real denom = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        probs[i] = std::exp(logits[i] - peak);
+        denom += probs[i];
+    }
+    for (auto &p : probs)
+        p /= denom;
+    return probs;
+}
+
+LossResult
+softmaxCrossEntropy(const Sequence &logits,
+                    const std::vector<int> &labels)
+{
+    ernn_assert(logits.size() == labels.size(),
+                "loss: frame/label count mismatch");
+    LossResult out;
+    out.frames = logits.size();
+    out.dlogits.resize(logits.size());
+
+    const Real inv_t = logits.empty() ?
+        0.0 : 1.0 / static_cast<Real>(logits.size());
+
+    for (std::size_t t = 0; t < logits.size(); ++t) {
+        const int label = labels[t];
+        ernn_assert(label >= 0 &&
+                    static_cast<std::size_t>(label) < logits[t].size(),
+                    "loss: label " << label << " out of range");
+        Vector probs = softmax(logits[t]);
+        const Real p = std::max(probs[static_cast<std::size_t>(label)],
+                                1e-300);
+        out.loss += -std::log(p) * inv_t;
+        if (argmax(probs) == static_cast<std::size_t>(label))
+            ++out.correct;
+        // d(mean CE)/dlogits = (probs - onehot) / T
+        probs[static_cast<std::size_t>(label)] -= 1.0;
+        scaleInPlace(probs, inv_t);
+        out.dlogits[t] = std::move(probs);
+    }
+    return out;
+}
+
+} // namespace ernn::nn

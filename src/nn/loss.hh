@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Framewise softmax cross-entropy: the training objective of the
+ * acoustic model (each frame is classified into a phone class).
+ */
+
+#ifndef ERNN_NN_LOSS_HH
+#define ERNN_NN_LOSS_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "nn/layer.hh"
+#include "tensor/vector_ops.hh"
+
+namespace ernn::nn
+{
+
+/** Softmax probabilities of a logit vector (numerically stable). */
+Vector softmax(const Vector &logits);
+
+/** Result of a sequence-level loss evaluation. */
+struct LossResult
+{
+    Real loss = 0.0;          //!< mean cross-entropy per frame
+    std::size_t correct = 0;  //!< frames whose argmax matches
+    std::size_t frames = 0;   //!< total frames
+    Sequence dlogits;         //!< gradient w.r.t. each logit frame
+};
+
+/**
+ * Mean framewise cross-entropy over a sequence, with gradients.
+ *
+ * @param logits one logit vector per frame
+ * @param labels one class index per frame (same length)
+ */
+LossResult softmaxCrossEntropy(const Sequence &logits,
+                               const std::vector<int> &labels);
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_LOSS_HH

@@ -1,0 +1,284 @@
+#include "nn/lstm.hh"
+
+#include "base/logging.hh"
+
+namespace ernn::nn
+{
+
+LstmLayer::LstmLayer(const LstmConfig &cfg)
+    : cfg_(cfg)
+{
+    ernn_assert(cfg.inputSize > 0 && cfg.hiddenSize > 0,
+                "LSTM needs positive input/hidden sizes");
+    const std::size_t in = cfg.inputSize;
+    const std::size_t h = cfg.hiddenSize;
+    const std::size_t rec = cfg.outputSize();
+
+    wix_ = makeLinear(h, in, cfg.blockSizeInput);
+    wfx_ = makeLinear(h, in, cfg.blockSizeInput);
+    wcx_ = makeLinear(h, in, cfg.blockSizeInput);
+    wox_ = makeLinear(h, in, cfg.blockSizeInput);
+
+    wir_ = makeLinear(h, rec, cfg.blockSizeRecurrent);
+    wfr_ = makeLinear(h, rec, cfg.blockSizeRecurrent);
+    wcr_ = makeLinear(h, rec, cfg.blockSizeRecurrent);
+    wor_ = makeLinear(h, rec, cfg.blockSizeRecurrent);
+
+    if (cfg.projectionSize)
+        wym_ = makeLinear(cfg.projectionSize, h,
+                          cfg.blockSizeProjection);
+
+    bi_.assign(h, 0.0); bf_.assign(h, 0.0);
+    bc_.assign(h, 0.0); bo_.assign(h, 0.0);
+    dbi_.assign(h, 0.0); dbf_.assign(h, 0.0);
+    dbc_.assign(h, 0.0); dbo_.assign(h, 0.0);
+
+    if (cfg.peephole) {
+        wic_.assign(h, 0.0); wfc_.assign(h, 0.0); woc_.assign(h, 0.0);
+        dwic_.assign(h, 0.0); dwfc_.assign(h, 0.0);
+        dwoc_.assign(h, 0.0);
+    }
+}
+
+Sequence
+LstmLayer::forward(const Sequence &xs)
+{
+    const std::size_t h = cfg_.hiddenSize;
+    const std::size_t out_dim = cfg_.outputSize();
+
+    cache_.clear();
+    cache_.reserve(xs.size());
+
+    Vector y_prev(out_dim, 0.0);
+    Vector c_prev(h, 0.0);
+    Sequence ys;
+    ys.reserve(xs.size());
+
+    Vector tmp(h);
+    for (const Vector &x : xs) {
+        ernn_assert(x.size() == cfg_.inputSize,
+                    "LSTM input dim mismatch");
+        StepCache st;
+        st.x = x;
+        st.yPrev = y_prev;
+        st.cPrev = c_prev;
+
+        // Input gate: i = sigma(Wix x + Wir y' + wic.c' + bi)
+        wix_->forward(x, st.i);
+        wir_->forward(y_prev, tmp);
+        addInPlace(st.i, tmp);
+        if (cfg_.peephole)
+            hadamardAcc(st.i, wic_, c_prev);
+        addInPlace(st.i, bi_);
+        applyActivation(ActKind::Sigmoid, st.i);
+
+        // Forget gate.
+        wfx_->forward(x, st.f);
+        wfr_->forward(y_prev, tmp);
+        addInPlace(st.f, tmp);
+        if (cfg_.peephole)
+            hadamardAcc(st.f, wfc_, c_prev);
+        addInPlace(st.f, bf_);
+        applyActivation(ActKind::Sigmoid, st.f);
+
+        // Cell input (no peephole, Eqn. 1c).
+        wcx_->forward(x, st.g);
+        wcr_->forward(y_prev, tmp);
+        addInPlace(st.g, tmp);
+        addInPlace(st.g, bc_);
+        applyActivation(cfg_.cellInputAct, st.g);
+
+        // Cell state: c = f.c' + g.i (Eqn. 1d).
+        st.c.assign(h, 0.0);
+        hadamardAcc(st.c, st.f, c_prev);
+        hadamardAcc(st.c, st.g, st.i);
+
+        // Output gate (peephole reads the *current* c, Eqn. 1e).
+        wox_->forward(x, st.o);
+        wor_->forward(y_prev, tmp);
+        addInPlace(st.o, tmp);
+        if (cfg_.peephole)
+            hadamardAcc(st.o, woc_, st.c);
+        addInPlace(st.o, bo_);
+        applyActivation(ActKind::Sigmoid, st.o);
+
+        // Cell output m = o . h(c) (Eqn. 1f).
+        st.hc = activated(cfg_.outputAct, st.c);
+        st.m = hadamard(st.o, st.hc);
+
+        // Projected output (Eqn. 1g).
+        Vector y;
+        if (wym_)
+            wym_->forward(st.m, y);
+        else
+            y = st.m;
+
+        y_prev = y;
+        c_prev = st.c;
+        ys.push_back(std::move(y));
+        cache_.push_back(std::move(st));
+    }
+    return ys;
+}
+
+Sequence
+LstmLayer::backward(const Sequence &dys)
+{
+    ernn_assert(dys.size() == cache_.size(),
+                "LSTM backward: sequence length mismatch (forward "
+                "must precede backward)");
+    const std::size_t h = cfg_.hiddenSize;
+    const std::size_t out_dim = cfg_.outputSize();
+    const std::size_t t_len = cache_.size();
+
+    Sequence dxs(t_len);
+    Vector dy_rec(out_dim, 0.0);
+    Vector dc_rec(h, 0.0);
+
+    for (std::size_t ti = t_len; ti-- > 0;) {
+        const StepCache &st = cache_[ti];
+        ernn_assert(dys[ti].size() == out_dim,
+                    "LSTM backward: dy dim mismatch");
+
+        Vector dy = dys[ti];
+        addInPlace(dy, dy_rec);
+
+        // Through the projection.
+        Vector dm;
+        if (wym_) {
+            dm.assign(h, 0.0);
+            wym_->backward(st.m, dy, &dm);
+        } else {
+            dm = dy;
+        }
+
+        // m = o . h(c)
+        Vector do_gate = hadamard(dm, st.hc);
+        Vector dc(h, 0.0);
+        for (std::size_t k = 0; k < h; ++k)
+            dc[k] = dm[k] * st.o[k] *
+                    actDerivFromOutput(cfg_.outputAct, st.hc[k]);
+        addInPlace(dc, dc_rec);
+
+        // Output gate pre-activation; its peephole feeds back into
+        // dc at the *same* timestep (o_t reads c_t).
+        Vector do_pre(h);
+        for (std::size_t k = 0; k < h; ++k)
+            do_pre[k] = do_gate[k] * st.o[k] * (1.0 - st.o[k]);
+        if (cfg_.peephole) {
+            hadamardAcc(dwoc_, do_pre, st.c);
+            hadamardAcc(dc, woc_, do_pre);
+        }
+
+        // c = f.c' + g.i
+        Vector di = hadamard(dc, st.g);
+        Vector dg = hadamard(dc, st.i);
+        Vector df = hadamard(dc, st.cPrev);
+        Vector dc_prev = hadamard(dc, st.f);
+
+        Vector di_pre(h), df_pre(h), dg_pre(h);
+        for (std::size_t k = 0; k < h; ++k) {
+            di_pre[k] = di[k] * st.i[k] * (1.0 - st.i[k]);
+            df_pre[k] = df[k] * st.f[k] * (1.0 - st.f[k]);
+            dg_pre[k] = dg[k] *
+                        actDerivFromOutput(cfg_.cellInputAct, st.g[k]);
+        }
+
+        if (cfg_.peephole) {
+            hadamardAcc(dwic_, di_pre, st.cPrev);
+            hadamardAcc(dwfc_, df_pre, st.cPrev);
+            hadamardAcc(dc_prev, wic_, di_pre);
+            hadamardAcc(dc_prev, wfc_, df_pre);
+        }
+
+        addInPlace(dbi_, di_pre);
+        addInPlace(dbf_, df_pre);
+        addInPlace(dbc_, dg_pre);
+        addInPlace(dbo_, do_pre);
+
+        Vector dx(cfg_.inputSize, 0.0);
+        wix_->backward(st.x, di_pre, &dx);
+        wfx_->backward(st.x, df_pre, &dx);
+        wcx_->backward(st.x, dg_pre, &dx);
+        wox_->backward(st.x, do_pre, &dx);
+
+        Vector dy_prev(out_dim, 0.0);
+        wir_->backward(st.yPrev, di_pre, &dy_prev);
+        wfr_->backward(st.yPrev, df_pre, &dy_prev);
+        wcr_->backward(st.yPrev, dg_pre, &dy_prev);
+        wor_->backward(st.yPrev, do_pre, &dy_prev);
+
+        dxs[ti] = std::move(dx);
+        dy_rec = std::move(dy_prev);
+        dc_rec = std::move(dc_prev);
+    }
+    return dxs;
+}
+
+void
+LstmLayer::registerParams(ParamRegistry &reg, const std::string &prefix)
+{
+    wix_->registerParams(reg, prefix + ".wix");
+    wfx_->registerParams(reg, prefix + ".wfx");
+    wcx_->registerParams(reg, prefix + ".wcx");
+    wox_->registerParams(reg, prefix + ".wox");
+    wir_->registerParams(reg, prefix + ".wir");
+    wfr_->registerParams(reg, prefix + ".wfr");
+    wcr_->registerParams(reg, prefix + ".wcr");
+    wor_->registerParams(reg, prefix + ".wor");
+    if (wym_)
+        wym_->registerParams(reg, prefix + ".wym");
+
+    auto addVec = [&](const char *name, Vector &v, Vector &g) {
+        reg.add(ParamView{prefix + name, v.data(), g.data(), v.size(),
+                          {}});
+    };
+    addVec(".bi", bi_, dbi_);
+    addVec(".bf", bf_, dbf_);
+    addVec(".bc", bc_, dbc_);
+    addVec(".bo", bo_, dbo_);
+    if (cfg_.peephole) {
+        addVec(".wic", wic_, dwic_);
+        addVec(".wfc", wfc_, dwfc_);
+        addVec(".woc", woc_, dwoc_);
+    }
+}
+
+void
+LstmLayer::initXavier(Rng &rng)
+{
+    wix_->initXavier(rng);
+    wfx_->initXavier(rng);
+    wcx_->initXavier(rng);
+    wox_->initXavier(rng);
+    wir_->initXavier(rng);
+    wfr_->initXavier(rng);
+    wcr_->initXavier(rng);
+    wor_->initXavier(rng);
+    if (wym_)
+        wym_->initXavier(rng);
+    // Standard trick: bias the forget gate open at init.
+    fill(bf_, 1.0);
+    if (cfg_.peephole) {
+        rng.fillUniform(wic_, 0.1);
+        rng.fillUniform(wfc_, 0.1);
+        rng.fillUniform(woc_, 0.1);
+    }
+}
+
+std::size_t
+LstmLayer::paramCount() const
+{
+    std::size_t n = wix_->paramCount() + wfx_->paramCount() +
+                    wcx_->paramCount() + wox_->paramCount() +
+                    wir_->paramCount() + wfr_->paramCount() +
+                    wcr_->paramCount() + wor_->paramCount();
+    if (wym_)
+        n += wym_->paramCount();
+    n += bi_.size() + bf_.size() + bc_.size() + bo_.size();
+    if (cfg_.peephole)
+        n += wic_.size() + wfc_.size() + woc_.size();
+    return n;
+}
+
+} // namespace ernn::nn

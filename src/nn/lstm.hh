@@ -1,0 +1,112 @@
+/**
+ * @file
+ * LSTM layer implementing Eqn. (1) of the paper: input/forget/output
+ * gates, optional diagonal peephole connections (Wic, Wfc, Woc), and
+ * an optional output projection Wym (the "LSTM-1024 w/ projection-512"
+ * configuration of ESE / Table III).
+ *
+ * Every weight matrix is a LinearOp, so each matrix class (input,
+ * recurrent, projection) can independently be dense or
+ * block-circulant with its own block size — this is exactly the
+ * degree of freedom Phase I's fine-tuning step exploits (larger block
+ * size for input/output matrices).
+ */
+
+#ifndef ERNN_NN_LSTM_HH
+#define ERNN_NN_LSTM_HH
+
+#include <memory>
+
+#include "nn/activation.hh"
+#include "nn/layer.hh"
+#include "nn/linear_op.hh"
+
+namespace ernn::nn
+{
+
+/** Static configuration of one LSTM layer. */
+struct LstmConfig
+{
+    std::size_t inputSize = 0;      //!< dim of x_t
+    std::size_t hiddenSize = 0;     //!< dim of c_t (the "layer size")
+    std::size_t projectionSize = 0; //!< dim of y_t; 0 disables Wym
+    bool peephole = false;          //!< diagonal Wic/Wfc/Woc
+
+    std::size_t blockSizeInput = 1;      //!< W{i,f,c,o}x
+    std::size_t blockSizeRecurrent = 1;  //!< W{i,f,c,o}r
+    std::size_t blockSizeProjection = 1; //!< Wym
+
+    /**
+     * Activation of the cell input g_t. Eqn. (1c) of the paper
+     * prints sigma; the Google LSTM it cites ([22], Sak et al.) uses
+     * tanh, which is the default here and trains markedly better.
+     */
+    ActKind cellInputAct = ActKind::Tanh;
+    ActKind outputAct = ActKind::Tanh; //!< h in Eqn. (1f)
+
+    /** Output dimension: projection size if enabled, else hidden. */
+    std::size_t outputSize() const
+    {
+        return projectionSize ? projectionSize : hiddenSize;
+    }
+};
+
+class LstmLayer : public RnnLayer
+{
+  public:
+    explicit LstmLayer(const LstmConfig &cfg);
+
+    std::size_t inputSize() const override { return cfg_.inputSize; }
+    std::size_t outputSize() const override
+    {
+        return cfg_.outputSize();
+    }
+
+    Sequence forward(const Sequence &xs) override;
+    Sequence backward(const Sequence &dys) override;
+
+    void registerParams(ParamRegistry &reg,
+                        const std::string &prefix) override;
+    void initXavier(Rng &rng) override;
+    std::size_t paramCount() const override;
+    std::string kindName() const override { return "lstm"; }
+
+    const LstmConfig &config() const { return cfg_; }
+
+    /// @{ Weight accessors (used by ADMM and the hardware mapper).
+    LinearOp &wix() { return *wix_; }
+    LinearOp &wfx() { return *wfx_; }
+    LinearOp &wcx() { return *wcx_; }
+    LinearOp &wox() { return *wox_; }
+    LinearOp &wir() { return *wir_; }
+    LinearOp &wfr() { return *wfr_; }
+    LinearOp &wcr() { return *wcr_; }
+    LinearOp &wor() { return *wor_; }
+    LinearOp *wym() { return wym_.get(); }
+    /// @}
+
+  private:
+    struct StepCache
+    {
+        Vector x, yPrev, cPrev;
+        Vector i, f, g, o, c, hc, m;
+    };
+
+    LstmConfig cfg_;
+
+    std::unique_ptr<LinearOp> wix_, wfx_, wcx_, wox_;
+    std::unique_ptr<LinearOp> wir_, wfr_, wcr_, wor_;
+    std::unique_ptr<LinearOp> wym_;
+
+    Vector bi_, bf_, bc_, bo_;
+    Vector dbi_, dbf_, dbc_, dbo_;
+
+    Vector wic_, wfc_, woc_;
+    Vector dwic_, dwfc_, dwoc_;
+
+    std::vector<StepCache> cache_;
+};
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_LSTM_HH

@@ -1,0 +1,219 @@
+#include "nn/model_builder.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "nn/gru.hh"
+#include "nn/lstm.hh"
+
+namespace ernn::nn
+{
+
+namespace
+{
+
+std::size_t
+roundUp(std::size_t v, std::size_t multiple)
+{
+    if (multiple <= 1)
+        return v;
+    return (v + multiple - 1) / multiple * multiple;
+}
+
+} // namespace
+
+std::string
+modelTypeName(ModelType type)
+{
+    return type == ModelType::Lstm ? "LSTM" : "GRU";
+}
+
+std::size_t
+ModelSpec::blockFor(std::size_t l) const
+{
+    if (l < blockSizes.size() && blockSizes[l] > 1)
+        return blockSizes[l];
+    return 1;
+}
+
+std::size_t
+ModelSpec::inputBlockFor(std::size_t l) const
+{
+    if (l < inputBlockSizes.size() && inputBlockSizes[l] > 1)
+        return inputBlockSizes[l];
+    return blockFor(l);
+}
+
+std::size_t
+ModelSpec::layerOutputSize(std::size_t l) const
+{
+    ernn_assert(l < layerSizes.size(), "layer index out of range");
+    if (type == ModelType::Lstm && projectionSize)
+        return projectionSize;
+    return layerSizes[l];
+}
+
+bool
+ModelSpec::isDenseBaseline() const
+{
+    for (std::size_t l = 0; l < layerSizes.size(); ++l)
+        if (blockFor(l) > 1 || inputBlockFor(l) > 1)
+            return false;
+    return true;
+}
+
+void
+ModelSpec::validate() const
+{
+    ernn_assert(inputDim > 0, "spec: inputDim required");
+    ernn_assert(numClasses > 1, "spec: numClasses required");
+    ernn_assert(!layerSizes.empty(), "spec: at least one layer");
+    ernn_assert(blockSizes.empty() ||
+                blockSizes.size() == layerSizes.size(),
+                "spec: blockSizes must match layer count");
+    ernn_assert(inputBlockSizes.empty() ||
+                inputBlockSizes.size() == layerSizes.size(),
+                "spec: inputBlockSizes must match layer count");
+    for (std::size_t l = 0; l < layerSizes.size(); ++l) {
+        const std::size_t lb = blockFor(l);
+        ernn_assert(layerSizes[l] % lb == 0,
+                    "spec: layer " << l << " size " << layerSizes[l]
+                    << " not divisible by block " << lb);
+        if (projectionSize) {
+            ernn_assert(projectionSize % lb == 0,
+                        "spec: projection size not divisible by "
+                        "block " << lb);
+        }
+    }
+}
+
+std::string
+ModelSpec::describe() const
+{
+    std::ostringstream os;
+    os << modelTypeName(type) << " " << fmtDashList(layerSizes);
+    if (!isDenseBaseline()) {
+        std::vector<std::size_t> blocks;
+        for (std::size_t l = 0; l < layerSizes.size(); ++l)
+            blocks.push_back(blockFor(l));
+        os << " blocks " << fmtDashList(blocks);
+        if (!inputBlockSizes.empty()) {
+            std::vector<std::size_t> in_blocks;
+            for (std::size_t l = 0; l < layerSizes.size(); ++l)
+                in_blocks.push_back(inputBlockFor(l));
+            if (in_blocks != blocks)
+                os << " (input " << fmtDashList(in_blocks) << ")";
+        }
+    } else {
+        os << " dense";
+    }
+    if (peephole)
+        os << " peephole";
+    if (projectionSize)
+        os << " proj" << projectionSize;
+    return os.str();
+}
+
+StackedRnn
+buildModel(const ModelSpec &spec)
+{
+    spec.validate();
+    StackedRnn model;
+    std::size_t in_dim = spec.inputDim;
+    for (std::size_t l = 0; l < spec.layerSizes.size(); ++l) {
+        const std::size_t in_block = spec.inputBlockFor(l);
+        ernn_assert(in_dim % in_block == 0,
+                    "buildModel: input dim " << in_dim
+                    << " of layer " << l
+                    << " not divisible by block " << in_block
+                    << " (pad the features)");
+        if (spec.type == ModelType::Lstm) {
+            LstmConfig cfg;
+            cfg.inputSize = in_dim;
+            cfg.hiddenSize = spec.layerSizes[l];
+            cfg.projectionSize = spec.projectionSize;
+            cfg.peephole = spec.peephole;
+            cfg.blockSizeInput = in_block;
+            cfg.blockSizeRecurrent = spec.blockFor(l);
+            cfg.blockSizeProjection =
+                spec.projectionSize ? spec.inputBlockFor(l) : 1;
+            model.addLayer(std::make_unique<LstmLayer>(cfg));
+            in_dim = cfg.outputSize();
+        } else {
+            GruConfig cfg;
+            cfg.inputSize = in_dim;
+            cfg.hiddenSize = spec.layerSizes[l];
+            cfg.blockSizeInput = in_block;
+            cfg.blockSizeRecurrent = spec.blockFor(l);
+            model.addLayer(std::make_unique<GruLayer>(cfg));
+            in_dim = cfg.hiddenSize;
+        }
+    }
+    model.setClassifier(spec.numClasses);
+    return model;
+}
+
+std::vector<WeightMatrixInfo>
+weightInventory(const ModelSpec &spec)
+{
+    spec.validate();
+    std::vector<WeightMatrixInfo> out;
+    std::size_t in_dim = spec.inputDim;
+
+    for (std::size_t l = 0; l < spec.layerSizes.size(); ++l) {
+        const std::size_t h = spec.layerSizes[l];
+        const std::size_t rec_dim = spec.layerOutputSize(l);
+        const std::size_t lb = spec.blockFor(l);
+        const std::size_t in_lb = spec.inputBlockFor(l);
+        const std::string ltag = "layer" + std::to_string(l);
+
+        const bool lstm = spec.type == ModelType::Lstm;
+        const std::size_t n_gates = lstm ? 4 : 3;
+
+        // Input-side fused matrix W(*)(x): n_gates stacked H x I.
+        out.push_back(WeightMatrixInfo{
+            ltag + (lstm ? ".W(ifco)x" : ".W(zrc)x"), l,
+            WeightClass::Input, n_gates * h, roundUp(in_dim, in_lb),
+            in_lb});
+
+        // Recurrent fused matrix.
+        out.push_back(WeightMatrixInfo{
+            ltag + (lstm ? ".W(ifco)r" : ".W(zrc)c"), l,
+            WeightClass::Recurrent, n_gates * h,
+            roundUp(rec_dim, lb), lb});
+
+        if (lstm && spec.projectionSize) {
+            out.push_back(WeightMatrixInfo{
+                ltag + ".Wym", l, WeightClass::Projection,
+                spec.projectionSize, roundUp(h, in_lb), in_lb});
+        }
+        in_dim = rec_dim;
+    }
+
+    out.push_back(WeightMatrixInfo{"classifier.W",
+                                   spec.layerSizes.size() - 1,
+                                   WeightClass::Classifier,
+                                   spec.numClasses, in_dim, 1});
+    return out;
+}
+
+std::size_t
+totalWeightParams(const ModelSpec &spec)
+{
+    std::size_t n = 0;
+    for (const auto &w : weightInventory(spec))
+        n += w.params();
+    return n;
+}
+
+std::size_t
+totalDenseParams(const ModelSpec &spec)
+{
+    std::size_t n = 0;
+    for (const auto &w : weightInventory(spec))
+        n += w.denseParams();
+    return n;
+}
+
+} // namespace ernn::nn

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Declarative RNN model specification and builder. A ModelSpec is the
+ * object Phase I optimizes (model type, layer sizes, per-layer block
+ * sizes, fine-tuning overrides for the input/output matrices) and the
+ * object Phase II maps to hardware; buildModel() turns it into a
+ * runnable StackedRnn, and weightInventory() enumerates every weight
+ * matrix for the hardware resource model.
+ */
+
+#ifndef ERNN_NN_MODEL_BUILDER_HH
+#define ERNN_NN_MODEL_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/rnn.hh"
+
+namespace ernn::nn
+{
+
+/** RNN cell family. */
+enum class ModelType { Lstm, Gru };
+
+/** "LSTM" / "GRU". */
+std::string modelTypeName(ModelType type);
+
+/** Complete declarative description of an acoustic model. */
+struct ModelSpec
+{
+    ModelType type = ModelType::Lstm;
+    std::size_t inputDim = 0;
+    std::size_t numClasses = 0;
+
+    /** Hidden size (dim of c_t) per stacked layer. */
+    std::vector<std::size_t> layerSizes;
+
+    /**
+     * Block size per layer (applies to that layer's weight
+     * matrices); empty or 1 entries mean dense (the "-" rows of
+     * Tables I/II).
+     */
+    std::vector<std::size_t> blockSizes;
+
+    /**
+     * Optional per-layer override for the input-side matrices (W*x
+     * and Wym): Phase I step 3 raises the block size of "relatively
+     * unimportant weight matrices ... the input and output matrices".
+     * Empty means "same as blockSizes".
+     */
+    std::vector<std::size_t> inputBlockSizes;
+
+    bool peephole = false;          //!< LSTM diagonal peepholes
+    std::size_t projectionSize = 0; //!< LSTM output projection (0=off)
+
+    /** Effective block size of layer @p l 's recurrent matrices. */
+    std::size_t blockFor(std::size_t l) const;
+
+    /** Effective block size of layer @p l 's input-side matrices. */
+    std::size_t inputBlockFor(std::size_t l) const;
+
+    /** Output dim of layer @p l (projection-aware). */
+    std::size_t layerOutputSize(std::size_t l) const;
+
+    /** True when every layer is dense (a baseline row). */
+    bool isDenseBaseline() const;
+
+    /** Panic on inconsistent dimensions. */
+    void validate() const;
+
+    /** e.g. "LSTM 1024-1024 blocks 8-8 peephole proj512". */
+    std::string describe() const;
+};
+
+/** Instantiate a runnable model from a spec (weights zeroed). */
+StackedRnn buildModel(const ModelSpec &spec);
+
+/** The role a weight matrix plays (drives hw mapping and Phase I). */
+enum class WeightClass { Input, Recurrent, Projection, Classifier };
+
+/** One weight matrix of the model, as the hardware sees it. */
+struct WeightMatrixInfo
+{
+    std::string name;
+    std::size_t layer = 0;
+    WeightClass cls = WeightClass::Input;
+    std::size_t rows = 0;
+    std::size_t cols = 0; //!< padded up to a block-size multiple
+    std::size_t blockSize = 1;
+
+    /** Stored parameter count (after circulant compression). */
+    std::size_t params() const
+    {
+        return rows * cols / blockSize;
+    }
+
+    /** Dense-equivalent parameter count. */
+    std::size_t denseParams() const { return rows * cols; }
+};
+
+/**
+ * Enumerate every weight matrix of the spec. Input dims that are not
+ * multiples of the block size are padded up (the standard deployment
+ * trick for e.g. TIMIT's 153-dim features).
+ */
+std::vector<WeightMatrixInfo> weightInventory(const ModelSpec &spec);
+
+/** Total stored weight parameters across the inventory. */
+std::size_t totalWeightParams(const ModelSpec &spec);
+
+/** Dense-equivalent total, for compression-ratio reporting. */
+std::size_t totalDenseParams(const ModelSpec &spec);
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_MODEL_BUILDER_HH

@@ -1,0 +1,96 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn::nn
+{
+
+namespace
+{
+
+void
+ensureState(std::vector<std::vector<Real>> &state,
+            const ParamRegistry &reg)
+{
+    if (state.size() == reg.views().size())
+        return;
+    ernn_assert(state.empty(),
+                "optimizer reused with a different registry");
+    state.resize(reg.views().size());
+    for (std::size_t i = 0; i < reg.views().size(); ++i)
+        state[i].assign(reg.views()[i].size, 0.0);
+}
+
+} // namespace
+
+Sgd::Sgd(Real lr, Real momentum)
+    : Optimizer(lr), momentum_(momentum)
+{
+}
+
+void
+Sgd::step(ParamRegistry &reg)
+{
+    ensureState(velocity_, reg);
+    for (std::size_t i = 0; i < reg.views().size(); ++i) {
+        ParamView &p = reg.views()[i];
+        std::vector<Real> &vel = velocity_[i];
+        for (std::size_t k = 0; k < p.size; ++k) {
+            vel[k] = momentum_ * vel[k] - lr_ * p.grad[k];
+            p.data[k] += vel[k];
+        }
+        if (p.onUpdate)
+            p.onUpdate();
+    }
+}
+
+Adam::Adam(Real lr, Real beta1, Real beta2, Real eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+}
+
+void
+Adam::step(ParamRegistry &reg)
+{
+    ensureState(m_, reg);
+    ensureState(v_, reg);
+    ++t_;
+    const Real bc1 = 1.0 - std::pow(beta1_, static_cast<Real>(t_));
+    const Real bc2 = 1.0 - std::pow(beta2_, static_cast<Real>(t_));
+    for (std::size_t i = 0; i < reg.views().size(); ++i) {
+        ParamView &p = reg.views()[i];
+        std::vector<Real> &m = m_[i];
+        std::vector<Real> &v = v_[i];
+        for (std::size_t k = 0; k < p.size; ++k) {
+            const Real g = p.grad[k];
+            m[k] = beta1_ * m[k] + (1.0 - beta1_) * g;
+            v[k] = beta2_ * v[k] + (1.0 - beta2_) * g * g;
+            const Real mhat = m[k] / bc1;
+            const Real vhat = v[k] / bc2;
+            p.data[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+        if (p.onUpdate)
+            p.onUpdate();
+    }
+}
+
+Real
+clipGradNorm(ParamRegistry &reg, Real max_norm)
+{
+    Real sq = 0.0;
+    for (const auto &p : reg.views())
+        for (std::size_t k = 0; k < p.size; ++k)
+            sq += p.grad[k] * p.grad[k];
+    const Real norm = std::sqrt(sq);
+    if (norm > max_norm && norm > 0.0) {
+        const Real scale = max_norm / norm;
+        for (auto &p : reg.views())
+            for (std::size_t k = 0; k < p.size; ++k)
+                p.grad[k] *= scale;
+    }
+    return norm;
+}
+
+} // namespace ernn::nn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * First-order optimizers over a ParamRegistry. ADMM subproblem 1
+ * (Eqn. 5) is "solved by stochastic gradient descent" in the paper;
+ * Adam is provided because "ADMM-based training is compatible with
+ * recent progress in stochastic gradient descent (e.g., ADAM)".
+ */
+
+#ifndef ERNN_NN_OPTIMIZER_HH
+#define ERNN_NN_OPTIMIZER_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "nn/param.hh"
+
+namespace ernn::nn
+{
+
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Apply one update from the accumulated gradients. */
+    virtual void step(ParamRegistry &reg) = 0;
+
+    Real learningRate() const { return lr_; }
+    void setLearningRate(Real lr) { lr_ = lr; }
+
+  protected:
+    explicit Optimizer(Real lr) : lr_(lr) {}
+    Real lr_;
+};
+
+/** SGD with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(Real lr, Real momentum = 0.9);
+    void step(ParamRegistry &reg) override;
+
+  private:
+    Real momentum_;
+    std::vector<std::vector<Real>> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    explicit Adam(Real lr, Real beta1 = 0.9, Real beta2 = 0.999,
+                  Real eps = 1e-8);
+    void step(ParamRegistry &reg) override;
+
+  private:
+    Real beta1_, beta2_, eps_;
+    std::uint64_t t_ = 0;
+    std::vector<std::vector<Real>> m_, v_;
+};
+
+/**
+ * Scale all gradients so their global L2 norm is at most
+ * @p max_norm (no-op when already below).
+ *
+ * @return the pre-clipping global norm
+ */
+Real clipGradNorm(ParamRegistry &reg, Real max_norm);
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_OPTIMIZER_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Parameter registry: a flat, named view over every trainable buffer
+ * in a model. Optimizers, gradient clipping, and the ADMM trainer all
+ * operate on these views without knowing the owning layer types.
+ */
+
+#ifndef ERNN_NN_PARAM_HH
+#define ERNN_NN_PARAM_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ernn::nn
+{
+
+/** A contiguous trainable buffer and its gradient. */
+struct ParamView
+{
+    std::string name;
+    Real *data = nullptr;
+    Real *grad = nullptr;
+    std::size_t size = 0;
+    /** Invoked after the optimizer writes data (e.g. to invalidate
+     *  cached generator spectra). May be empty. */
+    std::function<void()> onUpdate;
+};
+
+/** Ordered collection of parameter views for one model. */
+class ParamRegistry
+{
+  public:
+    void add(ParamView view) { views_.push_back(std::move(view)); }
+
+    std::vector<ParamView> &views() { return views_; }
+    const std::vector<ParamView> &views() const { return views_; }
+
+    /** Total number of scalars across all views. */
+    std::size_t totalParams() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : views_)
+            n += v.size;
+        return n;
+    }
+
+    /** Zero every gradient buffer. */
+    void zeroGrad()
+    {
+        for (auto &v : views_)
+            for (std::size_t i = 0; i < v.size; ++i)
+                v.grad[i] = 0.0;
+    }
+
+    /** Notify all owners that data buffers changed. */
+    void notifyUpdated()
+    {
+        for (auto &v : views_)
+            if (v.onUpdate)
+                v.onUpdate();
+    }
+
+  private:
+    std::vector<ParamView> views_;
+};
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_PARAM_HH

@@ -1,0 +1,133 @@
+#include "nn/rnn.hh"
+
+#include "base/logging.hh"
+
+namespace ernn::nn
+{
+
+void
+StackedRnn::addLayer(std::unique_ptr<RnnLayer> layer)
+{
+    ernn_assert(!registryBuilt_,
+                "cannot add layers after params() was built");
+    if (!layers_.empty()) {
+        ernn_assert(layers_.back()->outputSize() == layer->inputSize(),
+                    "layer dim chain broken: "
+                        << layers_.back()->outputSize() << " -> "
+                        << layer->inputSize());
+    }
+    layers_.push_back(std::move(layer));
+}
+
+void
+StackedRnn::setClassifier(std::size_t num_classes)
+{
+    ernn_assert(!layers_.empty(), "add layers before the classifier");
+    ernn_assert(!registryBuilt_,
+                "cannot set classifier after params() was built");
+    numClasses_ = num_classes;
+    classifier_ = std::make_unique<DenseLinear>(
+        num_classes, layers_.back()->outputSize());
+    classBias_.assign(num_classes, 0.0);
+    dClassBias_.assign(num_classes, 0.0);
+}
+
+std::size_t
+StackedRnn::inputSize() const
+{
+    ernn_assert(!layers_.empty(), "empty model");
+    return layers_.front()->inputSize();
+}
+
+std::size_t
+StackedRnn::paramCount() const
+{
+    std::size_t n = 0;
+    for (const auto &l : layers_)
+        n += l->paramCount();
+    if (classifier_)
+        n += classifier_->paramCount() + classBias_.size();
+    return n;
+}
+
+void
+StackedRnn::initXavier(Rng &rng)
+{
+    for (auto &l : layers_)
+        l->initXavier(rng);
+    if (classifier_)
+        classifier_->initXavier(rng);
+}
+
+Sequence
+StackedRnn::forwardLogits(const Sequence &xs)
+{
+    ernn_assert(classifier_, "classifier not attached");
+    lastInput_ = xs;
+    lastOutputs_.clear();
+    lastOutputs_.reserve(layers_.size());
+
+    const Sequence *cur = &xs;
+    for (auto &l : layers_) {
+        lastOutputs_.push_back(l->forward(*cur));
+        cur = &lastOutputs_.back();
+    }
+
+    Sequence logits(cur->size());
+    for (std::size_t t = 0; t < cur->size(); ++t) {
+        classifier_->forward((*cur)[t], logits[t]);
+        addInPlace(logits[t], classBias_);
+    }
+    return logits;
+}
+
+void
+StackedRnn::backwardFromLogits(const Sequence &dlogits)
+{
+    ernn_assert(classifier_, "classifier not attached");
+    ernn_assert(!lastOutputs_.empty() &&
+                dlogits.size() == lastOutputs_.back().size(),
+                "backwardFromLogits without matching forward");
+
+    const Sequence &top = lastOutputs_.back();
+    Sequence dtop(dlogits.size());
+    for (std::size_t t = 0; t < dlogits.size(); ++t) {
+        dtop[t].assign(top[t].size(), 0.0);
+        classifier_->backward(top[t], dlogits[t], &dtop[t]);
+        addInPlace(dClassBias_, dlogits[t]);
+    }
+
+    Sequence grad = std::move(dtop);
+    for (std::size_t li = layers_.size(); li-- > 0;)
+        grad = layers_[li]->backward(grad);
+}
+
+std::vector<int>
+StackedRnn::predictFrames(const Sequence &xs)
+{
+    const Sequence logits = forwardLogits(xs);
+    std::vector<int> out(logits.size());
+    for (std::size_t t = 0; t < logits.size(); ++t)
+        out[t] = static_cast<int>(argmax(logits[t]));
+    return out;
+}
+
+ParamRegistry &
+StackedRnn::params()
+{
+    if (!registryBuilt_) {
+        for (std::size_t i = 0; i < layers_.size(); ++i)
+            layers_[i]->registerParams(registry_,
+                                       "layer" + std::to_string(i));
+        if (classifier_) {
+            classifier_->registerParams(registry_, "classifier.w");
+            registry_.add(ParamView{"classifier.b", classBias_.data(),
+                                    dClassBias_.data(),
+                                    classBias_.size(), {}});
+        }
+        registryBuilt_ = true;
+    }
+    return registry_;
+}
+
+} // namespace ernn::nn

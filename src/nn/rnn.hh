@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stacked RNN acoustic model: a pile of LSTM/GRU layers plus a dense
+ * softmax classifier, mirroring the paper's "stack multiple RNN
+ * layers to build our network" (Sec. IV).
+ */
+
+#ifndef ERNN_NN_RNN_HH
+#define ERNN_NN_RNN_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/linear_op.hh"
+#include "nn/param.hh"
+
+namespace ernn::nn
+{
+
+class StackedRnn
+{
+  public:
+    StackedRnn() = default;
+
+    /** Append a recurrent layer; dims must chain. */
+    void addLayer(std::unique_ptr<RnnLayer> layer);
+
+    /** Attach the softmax classifier head (dense). */
+    void setClassifier(std::size_t num_classes);
+
+    std::size_t numLayers() const { return layers_.size(); }
+    RnnLayer &layer(std::size_t i) { return *layers_[i]; }
+    const RnnLayer &layer(std::size_t i) const { return *layers_[i]; }
+    std::size_t numClasses() const { return numClasses_; }
+    std::size_t inputSize() const;
+
+    /** Total stored parameters (layers + classifier). */
+    std::size_t paramCount() const;
+
+    /** Initialize all weights from the given RNG. */
+    void initXavier(Rng &rng);
+
+    /**
+     * Forward over a sequence, producing one logit frame per input
+     * frame; caches everything needed by backward().
+     */
+    Sequence forwardLogits(const Sequence &xs);
+
+    /** BPTT from logit gradients (after forwardLogits). */
+    void backwardFromLogits(const Sequence &dlogits);
+
+    /** Greedy per-frame class predictions. */
+    std::vector<int> predictFrames(const Sequence &xs);
+
+    /**
+     * Build (once) and return the parameter registry. The registry
+     * holds raw pointers into the layers, so the model must not be
+     * structurally modified afterwards.
+     */
+    ParamRegistry &params();
+
+  private:
+    std::vector<std::unique_ptr<RnnLayer>> layers_;
+    std::unique_ptr<DenseLinear> classifier_;
+    Vector classBias_, dClassBias_;
+    std::size_t numClasses_ = 0;
+
+    /** Per-layer outputs of the last forward (inputs to the next). */
+    std::vector<Sequence> lastOutputs_;
+    Sequence lastInput_;
+
+    ParamRegistry registry_;
+    bool registryBuilt_ = false;
+};
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_RNN_HH

@@ -1,0 +1,96 @@
+#include "nn/serialize.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace ernn::nn
+{
+
+namespace
+{
+
+constexpr const char *magic = "ernn-checkpoint-v1";
+
+} // namespace
+
+void
+saveParams(StackedRnn &model, std::ostream &os)
+{
+    ParamRegistry &reg = model.params();
+    os << magic << "\n" << reg.views().size() << "\n";
+    os << std::setprecision(17);
+    for (const auto &view : reg.views()) {
+        os << view.name << " " << view.size << "\n";
+        for (std::size_t k = 0; k < view.size; ++k) {
+            os << view.data[k]
+               << ((k + 1) % 8 == 0 || k + 1 == view.size ?
+                       '\n' : ' ');
+        }
+    }
+}
+
+void
+saveParams(StackedRnn &model, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        ernn_fatal("cannot open checkpoint file " << path);
+    saveParams(model, os);
+    if (!os)
+        ernn_fatal("failed writing checkpoint " << path);
+}
+
+void
+loadParams(StackedRnn &model, std::istream &is)
+{
+    std::string header;
+    is >> header;
+    if (header != magic)
+        ernn_fatal("not an E-RNN checkpoint (bad magic '" << header
+                   << "')");
+    std::size_t views = 0;
+    is >> views;
+    ParamRegistry &reg = model.params();
+    if (views != reg.views().size())
+        ernn_fatal("checkpoint has " << views << " views, model has "
+                   << reg.views().size());
+
+    for (std::size_t v = 0; v < views; ++v) {
+        std::string name;
+        std::size_t size = 0;
+        is >> name >> size;
+        ParamView *target = nullptr;
+        for (auto &view : reg.views()) {
+            if (view.name == name) {
+                target = &view;
+                break;
+            }
+        }
+        if (!target)
+            ernn_fatal("checkpoint view '" << name
+                       << "' not present in the model");
+        if (target->size != size)
+            ernn_fatal("checkpoint view '" << name << "' has " << size
+                       << " values, model expects " << target->size);
+        for (std::size_t k = 0; k < size; ++k) {
+            if (!(is >> target->data[k]))
+                ernn_fatal("truncated checkpoint at view '" << name
+                           << "'");
+        }
+    }
+    reg.notifyUpdated();
+}
+
+void
+loadParams(StackedRnn &model, const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        ernn_fatal("cannot open checkpoint file " << path);
+    loadParams(model, is);
+}
+
+} // namespace ernn::nn

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Model checkpointing: save/load every trainable parameter of a
+ * model through its registry. The format is a self-describing text
+ * file (name, size, values per view), so checkpoints survive
+ * refactors that do not rename parameters and stay diffable.
+ */
+
+#ifndef ERNN_NN_SERIALIZE_HH
+#define ERNN_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/rnn.hh"
+
+namespace ernn::nn
+{
+
+/** Write all parameters to a stream. */
+void saveParams(StackedRnn &model, std::ostream &os);
+
+/** Write all parameters to a file; fatal on I/O failure. */
+void saveParams(StackedRnn &model, const std::string &path);
+
+/**
+ * Load parameters from a stream into a structurally identical model
+ * (same registry names and sizes). Unknown or missing views are
+ * fatal: a checkpoint must match its architecture.
+ */
+void loadParams(StackedRnn &model, std::istream &is);
+
+/** Load parameters from a file; fatal on I/O failure. */
+void loadParams(StackedRnn &model, const std::string &path);
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_SERIALIZE_HH

@@ -1,0 +1,98 @@
+#include "nn/trainer.hh"
+
+#include <numeric>
+
+#include "base/logging.hh"
+#include "nn/loss.hh"
+
+namespace ernn::nn
+{
+
+Trainer::Trainer(StackedRnn &model, const TrainConfig &cfg)
+    : model_(model), cfg_(cfg)
+{
+    if (cfg.optimizer == TrainConfig::Opt::Adam)
+        opt_ = std::make_unique<Adam>(cfg.lr);
+    else
+        opt_ = std::make_unique<Sgd>(cfg.lr);
+}
+
+TrainResult
+Trainer::train(const SequenceDataset &data)
+{
+    ernn_assert(!data.empty(), "training on an empty dataset");
+    ParamRegistry &reg = model_.params();
+    Rng shuffle_rng(cfg_.shuffleSeed);
+
+    TrainResult result;
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        shuffle_rng.shuffle(order);
+        Real epoch_loss = 0.0;
+        Real last_norm = 0.0;
+        std::size_t seqs = 0;
+        std::size_t in_batch = 0;
+
+        reg.zeroGrad();
+        for (std::size_t idx : order) {
+            const SequenceExample &ex = data[idx];
+            const Sequence logits = model_.forwardLogits(ex.frames);
+            const LossResult loss =
+                softmaxCrossEntropy(logits, ex.labels);
+            model_.backwardFromLogits(loss.dlogits);
+            epoch_loss += loss.loss;
+            ++seqs;
+            ++in_batch;
+
+            if (in_batch == cfg_.batchSize || seqs == data.size()) {
+                // Average the batch gradient.
+                const Real inv =
+                    1.0 / static_cast<Real>(in_batch);
+                for (auto &p : reg.views())
+                    for (std::size_t k = 0; k < p.size; ++k)
+                        p.grad[k] *= inv;
+                if (hook_)
+                    hook_(reg);
+                last_norm = clipGradNorm(reg, cfg_.clipNorm);
+                opt_->step(reg);
+                reg.zeroGrad();
+                in_batch = 0;
+            }
+        }
+
+        EpochLog log;
+        log.trainLoss = epoch_loss / static_cast<Real>(seqs);
+        log.gradNorm = last_norm;
+        result.epochs.push_back(log);
+        if (cfg_.verbose) {
+            ernn_inform("epoch " << epoch + 1 << "/" << cfg_.epochs
+                        << " loss " << log.trainLoss);
+        }
+    }
+    return result;
+}
+
+EvalResult
+Trainer::evaluate(StackedRnn &model, const SequenceDataset &data)
+{
+    EvalResult out;
+    Real loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (const auto &ex : data) {
+        const Sequence logits = model.forwardLogits(ex.frames);
+        const LossResult loss = softmaxCrossEntropy(logits, ex.labels);
+        loss_sum += loss.loss * static_cast<Real>(loss.frames);
+        correct += loss.correct;
+        out.frames += loss.frames;
+    }
+    if (out.frames) {
+        out.frameAccuracy = static_cast<Real>(correct) /
+                            static_cast<Real>(out.frames);
+        out.crossEntropy = loss_sum / static_cast<Real>(out.frames);
+    }
+    return out;
+}
+
+} // namespace ernn::nn

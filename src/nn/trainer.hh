@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sequence trainer: mini-batch BPTT with gradient clipping over a
+ * dataset of labeled frame sequences, plus evaluation helpers. The
+ * ADMM trainer builds on this via the gradient hook (the quadratic
+ * regularizer of Eqn. 5 is injected between backward and the
+ * optimizer step).
+ */
+
+#ifndef ERNN_NN_TRAINER_HH
+#define ERNN_NN_TRAINER_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/random.hh"
+#include "nn/optimizer.hh"
+#include "nn/rnn.hh"
+
+namespace ernn::nn
+{
+
+/** One labeled utterance: per-frame features and phone labels. */
+struct SequenceExample
+{
+    Sequence frames;
+    std::vector<int> labels;
+};
+
+using SequenceDataset = std::vector<SequenceExample>;
+
+/** Trainer configuration. */
+struct TrainConfig
+{
+    std::size_t epochs = 5;
+    Real lr = 1e-2;
+    Real clipNorm = 5.0;
+    std::size_t batchSize = 4; //!< sequences per optimizer step
+    std::uint64_t shuffleSeed = 1;
+    enum class Opt { Sgd, Adam };
+    Opt optimizer = Opt::Adam;
+    bool verbose = false;
+};
+
+/** Per-epoch training log entry. */
+struct EpochLog
+{
+    Real trainLoss = 0.0;
+    Real gradNorm = 0.0;
+};
+
+/** Aggregate training result. */
+struct TrainResult
+{
+    std::vector<EpochLog> epochs;
+    Real finalLoss() const
+    {
+        return epochs.empty() ? 0.0 : epochs.back().trainLoss;
+    }
+};
+
+/** Evaluation metrics on a dataset. */
+struct EvalResult
+{
+    Real frameAccuracy = 0.0;
+    Real crossEntropy = 0.0;
+    std::size_t frames = 0;
+};
+
+class Trainer
+{
+  public:
+    /** Called after gradients are accumulated, before the step. */
+    using GradHook = std::function<void(ParamRegistry &)>;
+
+    Trainer(StackedRnn &model, const TrainConfig &cfg);
+
+    /** Install an ADMM-style gradient hook (may be empty). */
+    void setGradHook(GradHook hook) { hook_ = std::move(hook); }
+
+    /** Run the configured number of epochs. */
+    TrainResult train(const SequenceDataset &data);
+
+    /** Forward-only evaluation. */
+    static EvalResult evaluate(StackedRnn &model,
+                               const SequenceDataset &data);
+
+  private:
+    StackedRnn &model_;
+    TrainConfig cfg_;
+    std::unique_ptr<Optimizer> opt_;
+    GradHook hook_;
+};
+
+} // namespace ernn::nn
+
+#endif // ERNN_NN_TRAINER_HH

@@ -1,0 +1,171 @@
+#include "prune/magnitude_pruner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "nn/gru.hh"
+#include "nn/lstm.hh"
+
+namespace ernn::prune
+{
+
+MagnitudePruner::MagnitudePruner(nn::StackedRnn &model,
+                                 const PruneConfig &cfg)
+    : model_(model), cfg_(cfg)
+{
+    ernn_assert(cfg.sparsity > 0.0 && cfg.sparsity < 1.0,
+                "sparsity must be in (0, 1)");
+    ernn_assert(cfg.iterations >= 1, "need at least one iteration");
+}
+
+void
+MagnitudePruner::target(nn::LinearOp &op)
+{
+    ernn_assert(op.denseWeight() != nullptr,
+                "magnitude pruning operates on dense weights");
+    Target t;
+    t.op = &op;
+    t.mask.assign(op.denseWeight()->size(), true);
+    targets_.push_back(std::move(t));
+}
+
+void
+MagnitudePruner::pruneToSparsity(Real sparsity)
+{
+    // Global threshold across all targeted weights (ESE prunes by
+    // magnitude network-wide).
+    std::vector<Real> mags;
+    for (const auto &t : targets_) {
+        const auto &raw = t.op->denseWeight()->raw();
+        for (Real w : raw)
+            mags.push_back(std::abs(w));
+    }
+    ernn_assert(!mags.empty(), "no weights targeted");
+    const auto k = static_cast<std::size_t>(
+        sparsity * static_cast<Real>(mags.size()));
+    if (k == 0)
+        return;
+    std::nth_element(mags.begin(), mags.begin() +
+                     static_cast<long>(k - 1), mags.end());
+    const Real threshold = mags[k - 1];
+
+    for (auto &t : targets_) {
+        const auto &raw = t.op->denseWeight()->raw();
+        for (std::size_t i = 0; i < raw.size(); ++i)
+            t.mask[i] = std::abs(raw[i]) > threshold;
+    }
+    applyMasks();
+}
+
+void
+MagnitudePruner::applyMasks()
+{
+    for (auto &t : targets_) {
+        auto &raw = t.op->denseWeight()->raw();
+        for (std::size_t i = 0; i < raw.size(); ++i)
+            if (!t.mask[i])
+                raw[i] = 0.0;
+    }
+}
+
+void
+MagnitudePruner::gradHook()
+{
+    // Masked weights receive no gradient, so the optimizer (with
+    // zero-initialized moments) leaves them at exactly zero.
+    for (auto &t : targets_) {
+        auto &grad = t.op->denseGrad()->raw();
+        for (std::size_t i = 0; i < grad.size(); ++i)
+            if (!t.mask[i])
+                grad[i] = 0.0;
+    }
+}
+
+PruneResult
+MagnitudePruner::run(const nn::SequenceDataset &data)
+{
+    ernn_assert(!targets_.empty(), "no pruning targets registered");
+
+    nn::TrainConfig tc = cfg_.train;
+    tc.epochs = cfg_.epochsPerIteration;
+    nn::Trainer trainer(model_, tc);
+    trainer.setGradHook([this](nn::ParamRegistry &) { gradHook(); });
+
+    PruneResult result;
+    for (std::size_t k = 1; k <= cfg_.iterations; ++k) {
+        // Gradual schedule: ramp the sparsity toward the target.
+        const Real step_sparsity = cfg_.sparsity *
+            static_cast<Real>(k) /
+            static_cast<Real>(cfg_.iterations);
+        pruneToSparsity(step_sparsity);
+        const nn::TrainResult tr = trainer.train(data);
+        applyMasks(); // guard against any residual drift
+
+        PruneIterationLog log;
+        log.iteration = k - 1;
+        log.targetSparsity = step_sparsity;
+        log.trainLoss = tr.finalLoss();
+        result.log.push_back(log);
+        if (cfg_.verbose) {
+            ernn_inform("prune iter " << k << " sparsity "
+                        << step_sparsity << " loss "
+                        << log.trainLoss);
+        }
+    }
+    result.achievedSparsity = sparsity();
+    return result;
+}
+
+Real
+MagnitudePruner::sparsity() const
+{
+    std::size_t zeros = 0, total = 0;
+    for (const auto &t : targets_) {
+        const auto &raw = t.op->denseWeight()->raw();
+        for (Real w : raw) {
+            zeros += w == 0.0;
+            ++total;
+        }
+    }
+    return total ? static_cast<Real>(zeros) /
+                       static_cast<Real>(total) : 0.0;
+}
+
+std::size_t
+MagnitudePruner::nonzeroCount() const
+{
+    std::size_t nnz = 0;
+    for (const auto &t : targets_) {
+        const auto &raw = t.op->denseWeight()->raw();
+        for (Real w : raw)
+            nnz += w != 0.0;
+    }
+    return nnz;
+}
+
+void
+targetAllDense(MagnitudePruner &pruner, nn::StackedRnn &model)
+{
+    for (std::size_t l = 0; l < model.numLayers(); ++l) {
+        nn::RnnLayer &layer = model.layer(l);
+        if (auto *lstm = dynamic_cast<nn::LstmLayer *>(&layer)) {
+            for (nn::LinearOp *op :
+                 {&lstm->wix(), &lstm->wfx(), &lstm->wcx(),
+                  &lstm->wox(), &lstm->wir(), &lstm->wfr(),
+                  &lstm->wcr(), &lstm->wor()})
+                pruner.target(*op);
+            if (lstm->wym())
+                pruner.target(*lstm->wym());
+        } else if (auto *gru = dynamic_cast<nn::GruLayer *>(&layer)) {
+            for (nn::LinearOp *op :
+                 {&gru->wzx(), &gru->wrx(), &gru->wcx(), &gru->wzc(),
+                  &gru->wrc(), &gru->wcc()})
+                pruner.target(*op);
+        } else {
+            ernn_panic("unknown layer kind");
+        }
+    }
+}
+
+} // namespace ernn::prune

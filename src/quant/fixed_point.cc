@@ -1,0 +1,187 @@
+#include "quant/fixed_point.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn::quant
+{
+
+Real
+FixedPointFormat::step() const
+{
+    return std::ldexp(1.0, -fracBits);
+}
+
+Real
+FixedPointFormat::maxVal() const
+{
+    return std::ldexp(1.0, totalBits - 1 - fracBits) - step();
+}
+
+Real
+FixedPointFormat::minVal() const
+{
+    return -std::ldexp(1.0, totalBits - 1 - fracBits);
+}
+
+Real
+FixedPointFormat::quantize(Real x) const
+{
+    const Real s = step();
+    const Real q = std::nearbyint(x / s) * s;
+    return std::clamp(q, minVal(), maxVal());
+}
+
+std::string
+FixedPointFormat::name() const
+{
+    return "Q" + std::to_string(totalBits - 1 - fracBits) + "." +
+           std::to_string(fracBits);
+}
+
+FixedPointFormat
+chooseFormat(int total_bits, Real max_abs)
+{
+    ernn_assert(total_bits >= 2 && total_bits <= 32,
+                "unsupported bit width " << total_bits);
+    // Integer bits needed to represent max_abs (sign bit excluded).
+    int int_bits = 0;
+    Real capacity = 1.0;
+    while (capacity < max_abs && int_bits < total_bits - 1) {
+        capacity *= 2.0;
+        ++int_bits;
+    }
+    FixedPointFormat fmt;
+    fmt.totalBits = total_bits;
+    fmt.fracBits = total_bits - 1 - int_bits;
+    return fmt;
+}
+
+Real
+quantizeInPlace(std::vector<Real> &buf, const FixedPointFormat &fmt)
+{
+    Real sq = 0.0;
+    for (auto &v : buf) {
+        const Real q = fmt.quantize(v);
+        const Real e = v - q;
+        sq += e * e;
+        v = q;
+    }
+    return buf.empty() ?
+        0.0 : std::sqrt(sq / static_cast<Real>(buf.size()));
+}
+
+Real
+QuantReport::worstRmsError() const
+{
+    Real worst = 0.0;
+    for (const auto &t : tensors)
+        worst = std::max(worst, t.rmsError);
+    return worst;
+}
+
+Real
+QuantReport::totalBytes() const
+{
+    std::size_t params = 0;
+    for (const auto &t : tensors)
+        params += t.count;
+    return static_cast<Real>(params) * static_cast<Real>(bits) / 8.0;
+}
+
+QuantReport
+quantizeParams(nn::ParamRegistry &reg, int bits)
+{
+    QuantReport report;
+    report.bits = bits;
+    for (auto &view : reg.views()) {
+        Real max_abs = 0.0;
+        for (std::size_t k = 0; k < view.size; ++k)
+            max_abs = std::max(max_abs, std::abs(view.data[k]));
+
+        const FixedPointFormat fmt = chooseFormat(bits, max_abs);
+        Real sq = 0.0;
+        for (std::size_t k = 0; k < view.size; ++k) {
+            const Real q = fmt.quantize(view.data[k]);
+            const Real e = view.data[k] - q;
+            sq += e * e;
+            view.data[k] = q;
+        }
+        if (view.onUpdate)
+            view.onUpdate();
+
+        TensorQuantReport t;
+        t.name = view.name;
+        t.format = fmt;
+        t.maxAbs = max_abs;
+        t.count = view.size;
+        t.rmsError = view.size ?
+            std::sqrt(sq / static_cast<Real>(view.size)) : 0.0;
+        report.tensors.push_back(std::move(t));
+    }
+    return report;
+}
+
+QuantReport
+quantizeDataset(nn::SequenceDataset &data, int bits)
+{
+    Real max_abs = 0.0;
+    std::size_t count = 0;
+    for (const auto &ex : data)
+        for (const auto &f : ex.frames)
+            for (Real v : f) {
+                max_abs = std::max(max_abs, std::abs(v));
+                ++count;
+            }
+
+    const FixedPointFormat fmt = chooseFormat(bits, max_abs);
+    Real sq = 0.0;
+    for (auto &ex : data) {
+        for (auto &f : ex.frames) {
+            for (auto &v : f) {
+                const Real q = fmt.quantize(v);
+                sq += (v - q) * (v - q);
+                v = q;
+            }
+        }
+    }
+
+    QuantReport report;
+    report.bits = bits;
+    TensorQuantReport t;
+    t.name = "features";
+    t.format = fmt;
+    t.maxAbs = max_abs;
+    t.count = count;
+    t.rmsError = count ?
+        std::sqrt(sq / static_cast<Real>(count)) : 0.0;
+    report.tensors.push_back(std::move(t));
+    return report;
+}
+
+BitSearchResult
+selectWeightBits(const std::function<Real(int)> &degradation_of,
+                 const std::vector<int> &candidates,
+                 Real max_degradation)
+{
+    ernn_assert(!candidates.empty(), "no candidate bit widths");
+    BitSearchResult out;
+    out.bits = candidates.back();
+    bool chosen = false;
+    for (int bits : candidates) {
+        const Real deg = degradation_of(bits);
+        out.sweep.emplace_back(bits, deg);
+        if (!chosen && deg <= max_degradation) {
+            out.bits = bits;
+            out.degradation = deg;
+            chosen = true;
+        }
+    }
+    if (!chosen)
+        out.degradation = out.sweep.back().second;
+    return out;
+}
+
+} // namespace ernn::quant

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fixed-point quantization (Sec. VII-D of the paper).
+ *
+ * E-RNN replaces floating point with fixed-point arithmetic; the
+ * number of fractional bits per tensor is chosen from the observed
+ * numerical range ("we first analyze the numerical range of inputs
+ * and trained weights ... then initialize the integer and fractional
+ * part"), which is exactly what chooseFormat() does. Each tensor
+ * (layer) carries its own static scaling — its format — matching the
+ * paper's per-layer static scaling factor.
+ */
+
+#ifndef ERNN_QUANT_FIXED_POINT_HH
+#define ERNN_QUANT_FIXED_POINT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "nn/param.hh"
+#include "nn/trainer.hh"
+
+namespace ernn::quant
+{
+
+/** A signed fixed-point format: totalBits with fracBits fraction. */
+struct FixedPointFormat
+{
+    int totalBits = 12;
+    int fracBits = 8;
+
+    /** Quantization step 2^-fracBits. */
+    Real step() const;
+
+    /** Largest representable value. */
+    Real maxVal() const;
+
+    /** Smallest (most negative) representable value. */
+    Real minVal() const;
+
+    /** Round-to-nearest with saturation. */
+    Real quantize(Real x) const;
+
+    /** e.g. "Q3.8" (integer.fraction, excluding the sign bit). */
+    std::string name() const;
+};
+
+/**
+ * Choose the fractional bit count that covers [-maxAbs, maxAbs]
+ * without saturation — the per-tensor static scaling factor.
+ */
+FixedPointFormat chooseFormat(int total_bits, Real max_abs);
+
+/** Quantize a buffer in place; @return the RMS rounding error. */
+Real quantizeInPlace(std::vector<Real> &buf,
+                     const FixedPointFormat &fmt);
+
+/** Per-tensor quantization record. */
+struct TensorQuantReport
+{
+    std::string name;
+    FixedPointFormat format;
+    Real maxAbs = 0.0;
+    Real rmsError = 0.0;
+    std::size_t count = 0;
+};
+
+/** Whole-model quantization record. */
+struct QuantReport
+{
+    int bits = 0;
+    std::vector<TensorQuantReport> tensors;
+
+    Real worstRmsError() const;
+    Real totalBytes() const; //!< storage at `bits` per parameter
+};
+
+/**
+ * Quantize every parameter view of a model in place with per-view
+ * range analysis (the paper's 12-bit weight quantization).
+ */
+QuantReport quantizeParams(nn::ParamRegistry &reg, int bits);
+
+/** Quantize every feature frame of a dataset in place. */
+QuantReport quantizeDataset(nn::SequenceDataset &data, int bits);
+
+/** Result of the Phase II bit-width search. */
+struct BitSearchResult
+{
+    int bits = 0;             //!< chosen width
+    Real degradation = 0.0;   //!< metric at the chosen width
+    std::vector<std::pair<int, Real>> sweep; //!< all evaluated pairs
+};
+
+/**
+ * Smallest bit width whose accuracy degradation stays within budget.
+ *
+ * @param degradation_of  callback evaluating the degradation at a
+ *                        given bit width (e.g. PER delta)
+ * @param candidates      widths to try, ascending
+ * @param max_degradation acceptance threshold
+ */
+BitSearchResult selectWeightBits(
+    const std::function<Real(int)> &degradation_of,
+    const std::vector<int> &candidates, Real max_degradation);
+
+} // namespace ernn::quant
+
+#endif // ERNN_QUANT_FIXED_POINT_HH

@@ -1,0 +1,152 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace ernn::sim
+{
+
+PipelineResult
+simulatePipeline(const std::vector<PipelineStage> &stages,
+                 std::size_t frames, bool recurrent_dependency)
+{
+    ernn_assert(!stages.empty(), "pipeline needs stages");
+    ernn_assert(frames >= 1, "pipeline needs frames");
+
+    std::map<std::size_t, Cycles> resource_free;
+    PipelineResult result;
+    result.frameFinish.resize(frames, 0);
+
+    Cycles prev_frame_done = 0;
+    for (std::size_t f = 0; f < frames; ++f) {
+        Cycles data_ready = recurrent_dependency ? prev_frame_done : 0;
+        for (const auto &st : stages) {
+            Cycles &free_at = resource_free[st.resource];
+            const Cycles start = std::max(data_ready, free_at);
+            const Cycles finish = start + st.duration;
+            free_at = finish;
+            data_ready = finish;
+        }
+        result.frameFinish[f] = data_ready;
+        prev_frame_done = data_ready;
+    }
+
+    result.firstFrameLatency = result.frameFinish[0];
+    result.makespan = result.frameFinish.back();
+    result.steadyInterval = frames >= 2 ?
+        result.frameFinish[frames - 1] - result.frameFinish[frames - 2] :
+        result.frameFinish[0];
+    return result;
+}
+
+Cycles
+simulateTdmMatvec(std::size_t block_ops, std::size_t num_pe,
+                  Cycles cycles_per_op)
+{
+    ernn_assert(num_pe >= 1, "need at least one PE");
+    // Literal round-robin dispatch over PE free lists.
+    std::vector<Cycles> pe_free(num_pe, 0);
+    std::size_t next = 0;
+    Cycles makespan = 0;
+    for (std::size_t op = 0; op < block_ops; ++op) {
+        pe_free[next] += cycles_per_op;
+        makespan = std::max(makespan, pe_free[next]);
+        next = (next + 1) % num_pe;
+    }
+    return makespan;
+}
+
+std::vector<PipelineStage>
+buildCuStages(const nn::ModelSpec &spec, std::size_t pe_per_cu,
+              const hw::HwCalibration &cal)
+{
+    ernn_assert(pe_per_cu >= 1, "CU needs PEs");
+
+    // Partition the weight matrices into the CGPipe stages of
+    // Figs. 11 (LSTM) and 12 (GRU).
+    Real stage1_ops = 0.0, stage2_ops = 0.0;
+    for (const auto &w : nn::weightInventory(spec)) {
+        if (w.cls == nn::WeightClass::Classifier)
+            continue;
+        const std::size_t lb = std::max<std::size_t>(w.blockSize, 1);
+        const Real p = static_cast<Real>(w.rows / lb);
+        const Real q = static_cast<Real>(w.cols / lb);
+        const Real ops = p * q + p + q;
+        if (spec.type == nn::ModelType::Lstm) {
+            // Stage 1: W(ifco)(xr); stage 3: the projection Wym.
+            if (w.cls == nn::WeightClass::Projection)
+                stage2_ops += ops;
+            else
+                stage1_ops += ops;
+        } else {
+            // Stage 1: W(rz)(xc); stage 2: Wc~x and Wc~c (shared
+            // hardware, TDM).
+            if (w.cls == nn::WeightClass::Recurrent)
+                stage1_ops += ops;
+            else
+                stage2_ops += ops;
+        }
+    }
+
+    Real scale = cal.cyclesPerBlockOp / static_cast<Real>(pe_per_cu);
+    if (spec.type == nn::ModelType::Gru)
+        scale /= cal.gruPipelineBoost;
+
+    Real pointwise = 0.0;
+    const Real pw_per_elem = spec.type == nn::ModelType::Lstm ?
+        cal.lstmPointwiseOpsPerElem : cal.gruPointwiseOpsPerElem;
+    for (auto h : spec.layerSizes)
+        pointwise += pw_per_elem * static_cast<Real>(h);
+    const auto pw_cycles = static_cast<Cycles>(
+        std::ceil(pointwise / cal.pointwiseLanes));
+
+    auto cyc = [&](Real ops) {
+        return static_cast<Cycles>(std::ceil(ops * scale));
+    };
+
+    std::vector<PipelineStage> stages;
+    if (spec.type == nn::ModelType::Lstm) {
+        stages.push_back({"matvec W(ifco)(xr)", cyc(stage1_ops), 0});
+        stages.push_back({"pointwise+activation", pw_cycles, 1});
+        stages.push_back({"projection Wym", cyc(stage2_ops), 2});
+    } else {
+        // GRU stages 1 and 2 share resource 0 (TDM, Sec. VII-C2).
+        stages.push_back({"matvec W(rz)(xc)", cyc(stage1_ops), 0});
+        stages.push_back({"matvec Wc~x / Wc~c", cyc(stage2_ops), 0});
+        stages.push_back({"pointwise+activation", pw_cycles, 1});
+    }
+    return stages;
+}
+
+AcceleratorSimResult
+simulateAccelerator(const nn::ModelSpec &spec,
+                    const hw::FpgaPlatform &platform, int bits,
+                    const hw::HwCalibration &cal, std::size_t frames)
+{
+    std::size_t headline_block = 1;
+    for (std::size_t l = 0; l < spec.layerSizes.size(); ++l)
+        headline_block = std::max({headline_block, spec.blockFor(l),
+                                   spec.inputBlockFor(l)});
+    const std::size_t total_pe =
+        hw::peCount(platform, headline_block, bits, cal);
+    const std::size_t pe_per_cu = std::max<std::size_t>(
+        total_pe / cal.computeUnits, 1);
+
+    const auto stages = buildCuStages(spec, pe_per_cu, cal);
+    const PipelineResult one_cu =
+        simulatePipeline(stages, frames, true);
+
+    AcceleratorSimResult out;
+    out.frameLatency = one_cu.steadyInterval;
+    out.latencyUs = static_cast<Real>(out.frameLatency) *
+                    platform.cyclePeriodUs();
+    out.fps = static_cast<Real>(cal.computeUnits) *
+              platform.clockMhz * 1e6 /
+              static_cast<Real>(out.frameLatency);
+    return out;
+}
+
+} // namespace ernn::sim

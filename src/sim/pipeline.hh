@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cycle-level simulation of the CU coarse-grained pipeline
+ * (Sec. VII-C): stages with durations and resource bindings, double
+ * buffers between stages, TDM sharing of PEs, and the recurrent
+ * dependency that serializes consecutive frames of one voice stream.
+ *
+ * The simulator exists to *validate* the analytic laws the hw model
+ * uses (latency = sum of stage cycles per stream; steady interval =
+ * bottleneck resource occupancy; TDM matvec = ceil(ops/PE) * c) —
+ * tests assert the two agree.
+ */
+
+#ifndef ERNN_SIM_PIPELINE_HH
+#define ERNN_SIM_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/accelerator_model.hh"
+
+namespace ernn::sim
+{
+
+/** One CGPipe stage: a duration bound to a hardware resource. */
+struct PipelineStage
+{
+    std::string name;
+    Cycles duration = 0;
+    std::size_t resource = 0; //!< stages sharing a resource TDM it
+};
+
+/** Outcome of simulating a stage pipeline over many frames. */
+struct PipelineResult
+{
+    Cycles firstFrameLatency = 0;
+    Cycles steadyInterval = 0; //!< completion spacing in steady state
+    Cycles makespan = 0;       //!< total cycles for all frames
+    std::vector<Cycles> frameFinish;
+};
+
+/**
+ * Simulate @p frames frames flowing through the stages.
+ *
+ * @param recurrent_dependency when true, frame f's first stage
+ *        cannot start before frame f-1 fully completes (the y_{t-1}
+ *        feedback within one voice stream). When false, frames are
+ *        independent and double buffering overlaps them subject to
+ *        resource conflicts.
+ */
+PipelineResult simulatePipeline(
+    const std::vector<PipelineStage> &stages, std::size_t frames,
+    bool recurrent_dependency);
+
+/**
+ * Simulate a TDM matvec: @p block_ops block operations round-robined
+ * over @p num_pe PEs at @p cycles_per_op each.
+ *
+ * @return the makespan in cycles (== ceil(ops / PEs) * cycles).
+ */
+Cycles simulateTdmMatvec(std::size_t block_ops, std::size_t num_pe,
+                         Cycles cycles_per_op);
+
+/** Build the CGPipe stage list of one CU for a model spec. */
+std::vector<PipelineStage> buildCuStages(
+    const nn::ModelSpec &spec, std::size_t pe_per_cu,
+    const hw::HwCalibration &cal = hw::defaultCalibration());
+
+/** Simulated accelerator-level numbers (to compare with the model). */
+struct AcceleratorSimResult
+{
+    Cycles frameLatency = 0;
+    Real latencyUs = 0.0;
+    Real fps = 0.0;
+};
+
+/**
+ * Simulate `numCu` CUs each running an independent stream and report
+ * per-frame latency and aggregate FPS.
+ */
+AcceleratorSimResult simulateAccelerator(
+    const nn::ModelSpec &spec, const hw::FpgaPlatform &platform,
+    int bits = 12,
+    const hw::HwCalibration &cal = hw::defaultCalibration(),
+    std::size_t frames = 32);
+
+} // namespace ernn::sim
+
+#endif // ERNN_SIM_PIPELINE_HH

@@ -1,0 +1,121 @@
+#include "speech/dataset.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace ernn::speech
+{
+
+namespace
+{
+
+/** Per-phone emission prototypes and the transition structure. */
+struct PhoneModel
+{
+    std::vector<Vector> prototypes; //!< [phone][featureDim]
+    std::vector<std::vector<Real>> transitions; //!< row-stochastic
+
+    PhoneModel(const AsrDataConfig &cfg, Rng &rng)
+    {
+        prototypes.resize(cfg.numPhones);
+        for (auto &proto : prototypes) {
+            proto.resize(cfg.featureDim);
+            rng.fillNormal(proto, 1.2);
+        }
+        // Random transition preferences with self-transitions
+        // forbidden (duration is modeled explicitly).
+        transitions.assign(cfg.numPhones,
+                           std::vector<Real>(cfg.numPhones, 0.0));
+        for (std::size_t a = 0; a < cfg.numPhones; ++a) {
+            Real sum = 0.0;
+            for (std::size_t b = 0; b < cfg.numPhones; ++b) {
+                if (a == b)
+                    continue;
+                transitions[a][b] = 0.2 + rng.uniform();
+                sum += transitions[a][b];
+            }
+            for (auto &p : transitions[a])
+                p /= sum;
+        }
+    }
+
+    std::size_t
+    next(std::size_t phone, Rng &rng) const
+    {
+        Real u = rng.uniform();
+        for (std::size_t b = 0; b < transitions[phone].size(); ++b) {
+            u -= transitions[phone][b];
+            if (u <= 0.0)
+                return b;
+        }
+        return transitions[phone].size() - 1;
+    }
+};
+
+nn::SequenceExample
+makeUtterance(const AsrDataConfig &cfg, const PhoneModel &model,
+              Rng &rng)
+{
+    const std::size_t frames =
+        cfg.minFrames + rng.index(cfg.maxFrames - cfg.minFrames + 1);
+
+    nn::SequenceExample ex;
+    ex.frames.reserve(frames);
+    ex.labels.reserve(frames);
+
+    std::size_t phone = rng.index(cfg.numPhones);
+    std::size_t remaining = 0;
+    Vector state(cfg.featureDim, 0.0);
+
+    for (std::size_t t = 0; t < frames; ++t) {
+        if (remaining == 0) {
+            if (t > 0)
+                phone = model.next(phone, rng);
+            remaining = cfg.minPhoneLen +
+                rng.index(cfg.maxPhoneLen - cfg.minPhoneLen + 1);
+        }
+        --remaining;
+
+        Vector emission = model.prototypes[phone];
+        for (auto &v : emission)
+            v += rng.normal(0.0, cfg.emissionNoise);
+
+        // AR(1) smoothing: temporally coherent features.
+        for (std::size_t k = 0; k < cfg.featureDim; ++k)
+            state[k] = cfg.arCoefficient * state[k] +
+                       (1.0 - cfg.arCoefficient) * emission[k];
+
+        ex.frames.push_back(state);
+        ex.labels.push_back(static_cast<int>(phone));
+    }
+    return ex;
+}
+
+} // namespace
+
+AsrDataset
+makeSyntheticAsr(const AsrDataConfig &cfg)
+{
+    ernn_assert(cfg.numPhones >= 2, "need at least two phones");
+    ernn_assert(cfg.maxFrames >= cfg.minFrames, "bad frame range");
+    ernn_assert(cfg.maxPhoneLen >= cfg.minPhoneLen,
+                "bad phone length range");
+
+    Rng rng(cfg.seed);
+    const PhoneModel model(cfg, rng);
+
+    AsrDataset out;
+    out.numPhones = cfg.numPhones;
+    out.featureDim = cfg.featureDim;
+    out.train.reserve(cfg.trainUtterances);
+    out.test.reserve(cfg.testUtterances);
+    for (std::size_t i = 0; i < cfg.trainUtterances; ++i)
+        out.train.push_back(makeUtterance(cfg, model, rng));
+    for (std::size_t i = 0; i < cfg.testUtterances; ++i)
+        out.test.push_back(makeUtterance(cfg, model, rng));
+    return out;
+}
+
+} // namespace ernn::speech

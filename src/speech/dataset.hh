@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic phone-recognition dataset — the repository's TIMIT
+ * substitute (see DESIGN.md §4).
+ *
+ * Each utterance is generated from a first-order Markov chain over
+ * phone classes; a phone occupies a random number of consecutive
+ * frames; frames emit a phone-prototype feature vector corrupted by
+ * Gaussian noise and smoothed by an AR(1) filter (mimicking the
+ * temporal coherence of filterbank features). The task exercises
+ * exactly the paper's pipeline: framewise RNN classification, repeat
+ * collapsing, and phone-error-rate scoring.
+ */
+
+#ifndef ERNN_SPEECH_DATASET_HH
+#define ERNN_SPEECH_DATASET_HH
+
+#include <cstdint>
+
+#include "nn/trainer.hh"
+
+namespace ernn::speech
+{
+
+/** Generator configuration; defaults give a seconds-scale CPU task. */
+struct AsrDataConfig
+{
+    std::size_t numPhones = 12;       //!< phone classes
+    std::size_t featureDim = 16;      //!< feature vector size
+    std::size_t trainUtterances = 48;
+    std::size_t testUtterances = 16;
+    std::size_t minFrames = 30;
+    std::size_t maxFrames = 50;
+    std::size_t minPhoneLen = 3;      //!< min frames per phone
+    std::size_t maxPhoneLen = 7;
+    Real emissionNoise = 0.45;        //!< per-frame feature noise
+    Real arCoefficient = 0.5;         //!< AR(1) smoothing
+    std::uint64_t seed = 20190216;    //!< HPCA'19 :-)
+};
+
+/** Generated dataset with a fixed train/test split. */
+struct AsrDataset
+{
+    nn::SequenceDataset train;
+    nn::SequenceDataset test;
+    std::size_t numPhones = 0;
+    std::size_t featureDim = 0;
+};
+
+/** Deterministically generate a dataset from the config. */
+AsrDataset makeSyntheticAsr(const AsrDataConfig &cfg);
+
+} // namespace ernn::speech
+
+#endif // ERNN_SPEECH_DATASET_HH

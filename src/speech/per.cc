@@ -1,0 +1,67 @@
+#include "speech/per.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ernn::speech
+{
+
+std::vector<int>
+collapseRepeats(const std::vector<int> &labels)
+{
+    std::vector<int> out;
+    for (int v : labels)
+        if (out.empty() || out.back() != v)
+            out.push_back(v);
+    return out;
+}
+
+std::size_t
+editDistance(const std::vector<int> &a, const std::vector<int> &b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<std::size_t> prev(m + 1), cur(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+Real
+sequencePer(const std::vector<int> &predicted_frames,
+            const std::vector<int> &reference_frames)
+{
+    const auto hyp = collapseRepeats(predicted_frames);
+    const auto ref = collapseRepeats(reference_frames);
+    ernn_assert(!ref.empty(), "empty reference sequence");
+    return static_cast<Real>(editDistance(hyp, ref)) /
+           static_cast<Real>(ref.size());
+}
+
+Real
+evaluatePer(nn::StackedRnn &model, const nn::SequenceDataset &data)
+{
+    std::size_t errors = 0;
+    std::size_t ref_tokens = 0;
+    for (const auto &ex : data) {
+        const auto hyp =
+            collapseRepeats(model.predictFrames(ex.frames));
+        const auto ref = collapseRepeats(ex.labels);
+        errors += editDistance(hyp, ref);
+        ref_tokens += ref.size();
+    }
+    ernn_assert(ref_tokens > 0, "PER over empty dataset");
+    return 100.0 * static_cast<Real>(errors) /
+           static_cast<Real>(ref_tokens);
+}
+
+} // namespace ernn::speech

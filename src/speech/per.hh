@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Phone error rate (PER): the paper's accuracy metric for TIMIT.
+ * Framewise predictions are collapsed (consecutive repeats merged)
+ * into phone sequences and scored with Levenshtein edit distance
+ * against the collapsed references.
+ */
+
+#ifndef ERNN_SPEECH_PER_HH
+#define ERNN_SPEECH_PER_HH
+
+#include <vector>
+
+#include "nn/rnn.hh"
+#include "nn/trainer.hh"
+
+namespace ernn::speech
+{
+
+/** Merge consecutive duplicate labels into one phone token. */
+std::vector<int> collapseRepeats(const std::vector<int> &labels);
+
+/** Levenshtein distance between two token sequences. */
+std::size_t editDistance(const std::vector<int> &a,
+                         const std::vector<int> &b);
+
+/** PER between two framewise label streams (collapse, then edit). */
+Real sequencePer(const std::vector<int> &predicted_frames,
+                 const std::vector<int> &reference_frames);
+
+/** Dataset-level PER of a model, as a percentage (0-100). */
+Real evaluatePer(nn::StackedRnn &model,
+                 const nn::SequenceDataset &data);
+
+} // namespace ernn::speech
+
+#endif // ERNN_SPEECH_PER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Calibrated TIMIT accuracy oracle.
+ *
+ * We cannot train 1024-unit LSTMs on the licensed TIMIT corpus in
+ * this environment, but Phase I only consumes (model spec -> PER)
+ * queries. This oracle returns the paper's own measurements (every
+ * row of Tables I and II verbatim) for configurations the paper
+ * evaluated, and a smooth parametric degradation model — fitted to
+ * those rows — for configurations it did not (e.g. block size 32,
+ * or a raised input-matrix block size during Phase I fine-tuning).
+ * See DESIGN.md §4 for the substitution rationale.
+ */
+
+#ifndef ERNN_SPEECH_TIMIT_ORACLE_HH
+#define ERNN_SPEECH_TIMIT_ORACLE_HH
+
+#include <vector>
+
+#include "nn/model_builder.hh"
+
+namespace ernn::speech
+{
+
+/** Generic accuracy oracle interface consumed by Phase I. */
+class AccuracyOracle
+{
+  public:
+    virtual ~AccuracyOracle() = default;
+
+    /** Absolute PER (%) of the given model spec. */
+    virtual Real per(const nn::ModelSpec &spec) = 0;
+
+    /** PER degradation (%) vs. the matching dense baseline. */
+    virtual Real degradation(const nn::ModelSpec &spec) = 0;
+
+    /** Number of per() queries made so far ("training trials"). */
+    virtual std::size_t trialCount() const = 0;
+};
+
+class TimitOracle : public AccuracyOracle
+{
+  public:
+    /** One row of Table I or II. */
+    struct Row
+    {
+        int id;
+        nn::ModelType type;
+        std::vector<std::size_t> layers;
+        std::vector<std::size_t> blocks; //!< empty = dense baseline
+        bool peephole;
+        bool projection;
+        Real per;
+    };
+
+    TimitOracle() = default;
+
+    Real per(const nn::ModelSpec &spec) override;
+    Real degradation(const nn::ModelSpec &spec) override;
+    std::size_t trialCount() const override { return trials_; }
+
+    /** Dense-baseline PER for a given type and layer stack. */
+    Real baselinePer(nn::ModelType type,
+                     const std::vector<std::size_t> &layers) const;
+
+    /** The verbatim rows of Table I (LSTM) or Table II (GRU). */
+    static const std::vector<Row> &tableRows(nn::ModelType type);
+
+    /** Reset the trial counter (between Phase I runs). */
+    void resetTrials() { trials_ = 0; }
+
+  private:
+    Real perImpl(const nn::ModelSpec &spec) const;
+    std::size_t trials_ = 0;
+};
+
+} // namespace ernn::speech
+
+#endif // ERNN_SPEECH_TIMIT_ORACLE_HH

@@ -1,0 +1,125 @@
+#include "tensor/matrix.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+void
+Matrix::setZero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+void
+Matrix::initXavier(Rng &rng)
+{
+    const Real bound =
+        std::sqrt(6.0 / static_cast<Real>(rows_ + cols_));
+    rng.fillUniform(data_, bound);
+}
+
+Vector
+Matrix::matvec(const Vector &x) const
+{
+    Vector y(rows_, 0.0);
+    matvecAcc(x, y);
+    return y;
+}
+
+void
+Matrix::matvecAcc(const Vector &x, Vector &y) const
+{
+    ernn_assert(x.size() == cols_, "matvec: x has " << x.size()
+                << " entries, expected " << cols_);
+    ernn_assert(y.size() == rows_, "matvec: y has " << y.size()
+                << " entries, expected " << rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const Real *row = data_.data() + r * cols_;
+        Real s = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            s += row[c] * x[c];
+        y[r] += s;
+    }
+}
+
+void
+Matrix::matvecTransposeAcc(const Vector &dy, Vector &dx) const
+{
+    ernn_assert(dy.size() == rows_, "matvecT: dy size mismatch");
+    ernn_assert(dx.size() == cols_, "matvecT: dx size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const Real *row = data_.data() + r * cols_;
+        const Real g = dy[r];
+        if (g == 0.0)
+            continue;
+        for (std::size_t c = 0; c < cols_; ++c)
+            dx[c] += row[c] * g;
+    }
+}
+
+void
+Matrix::outerAcc(const Vector &dy, const Vector &x)
+{
+    ernn_assert(dy.size() == rows_, "outerAcc: dy size mismatch");
+    ernn_assert(x.size() == cols_, "outerAcc: x size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) {
+        Real *row = data_.data() + r * cols_;
+        const Real g = dy[r];
+        if (g == 0.0)
+            continue;
+        for (std::size_t c = 0; c < cols_; ++c)
+            row[c] += g * x[c];
+    }
+}
+
+void
+Matrix::axpy(Real a, const Matrix &other)
+{
+    ernn_assert(rows_ == other.rows_ && cols_ == other.cols_,
+                "Matrix::axpy shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += a * other.data_[i];
+}
+
+Real
+Matrix::frobeniusNorm() const
+{
+    Real s = 0.0;
+    for (auto v : data_)
+        s += v * v;
+    return std::sqrt(s);
+}
+
+Real
+Matrix::frobeniusDistance(const Matrix &other) const
+{
+    ernn_assert(rows_ == other.rows_ && cols_ == other.cols_,
+                "frobeniusDistance shape mismatch");
+    Real s = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        const Real d = data_[i] - other.data_[i];
+        s += d * d;
+    }
+    return std::sqrt(s);
+}
+
+bool
+Matrix::approxEqual(const Matrix &other, Real tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::abs(data_[i] - other.data_[i]) > tol)
+            return false;
+    return true;
+}
+
+} // namespace ernn

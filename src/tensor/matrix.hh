@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Row-major dense matrix with exactly the operations the RNN stack
+ * needs: matvec, transposed matvec accumulation (for backprop), and
+ * outer-product accumulation (for weight gradients).
+ */
+
+#ifndef ERNN_TENSOR_MATRIX_HH
+#define ERNN_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+#include "tensor/vector_ops.hh"
+
+namespace ernn
+{
+
+/** Dense row-major matrix of Reals. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct a rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    Real &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    Real at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    Real *data() { return data_.data(); }
+    const Real *data() const { return data_.data(); }
+    std::vector<Real> &raw() { return data_; }
+    const std::vector<Real> &raw() const { return data_; }
+
+    /** Set every entry to zero. */
+    void setZero();
+
+    /**
+     * Glorot/Xavier-style uniform initialization with bound
+     * sqrt(6 / (rows + cols)), the init used for all RNN weights.
+     */
+    void initXavier(Rng &rng);
+
+    /** y = A x. @p x must have cols() entries. */
+    Vector matvec(const Vector &x) const;
+
+    /** y += A x. */
+    void matvecAcc(const Vector &x, Vector &y) const;
+
+    /** dx += Aᵀ dy (backprop through a linear map). */
+    void matvecTransposeAcc(const Vector &dy, Vector &dx) const;
+
+    /** this += dy xᵀ (gradient of a linear map wrt its weights). */
+    void outerAcc(const Vector &dy, const Vector &x);
+
+    /** this += a * other (same shape). */
+    void axpy(Real a, const Matrix &other);
+
+    /** Frobenius norm. */
+    Real frobeniusNorm() const;
+
+    /** Frobenius norm of (this - other). */
+    Real frobeniusDistance(const Matrix &other) const;
+
+    /** Elementwise equality within an absolute tolerance. */
+    bool approxEqual(const Matrix &other, Real tol) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<Real> data_;
+};
+
+} // namespace ernn
+
+#endif // ERNN_TENSOR_MATRIX_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared finite-difference gradient checking helpers for the RNN
+ * layer tests. A layer's analytic BPTT gradients are compared against
+ * central differences of a quadratic tracking loss
+ * L = 0.5 * sum_t ||y_t - target_t||^2.
+ */
+
+#ifndef ERNN_TESTS_GRAD_CHECK_HH
+#define ERNN_TESTS_GRAD_CHECK_HH
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "nn/layer.hh"
+#include "nn/param.hh"
+
+namespace ernn::nn::testing
+{
+
+/** Quadratic loss of a forward pass against fixed targets. */
+inline Real
+trackingLoss(RnnLayer &layer, const Sequence &xs,
+             const Sequence &targets)
+{
+    const Sequence ys = layer.forward(xs);
+    Real loss = 0.0;
+    for (std::size_t t = 0; t < ys.size(); ++t)
+        for (std::size_t k = 0; k < ys[t].size(); ++k) {
+            const Real d = ys[t][k] - targets[t][k];
+            loss += 0.5 * d * d;
+        }
+    return loss;
+}
+
+/** dL/dy_t for the tracking loss. */
+inline Sequence
+trackingGrad(const Sequence &ys, const Sequence &targets)
+{
+    Sequence dys(ys.size());
+    for (std::size_t t = 0; t < ys.size(); ++t) {
+        dys[t].resize(ys[t].size());
+        for (std::size_t k = 0; k < ys[t].size(); ++k)
+            dys[t][k] = ys[t][k] - targets[t][k];
+    }
+    return dys;
+}
+
+/**
+ * Check every parameter's analytic gradient against central
+ * differences. Also checks the input gradients dx.
+ *
+ * @param layer    layer under test (weights already initialized)
+ * @param reg      its parameter registry
+ * @param xs       input sequence
+ * @param seed     RNG seed for the targets
+ * @param tol      absolute tolerance on the gradient mismatch
+ */
+inline void
+checkLayerGradients(RnnLayer &layer, ParamRegistry &reg,
+                    const Sequence &xs, std::uint64_t seed,
+                    Real tol = 2e-6)
+{
+    Rng rng(seed);
+    const Sequence probe = layer.forward(xs);
+    Sequence targets(probe.size());
+    for (std::size_t t = 0; t < probe.size(); ++t) {
+        targets[t].resize(probe[t].size());
+        rng.fillNormal(targets[t], 1.0);
+    }
+
+    // Analytic gradients.
+    reg.zeroGrad();
+    const Sequence ys = layer.forward(xs);
+    const Sequence dxs = layer.backward(trackingGrad(ys, targets));
+
+    const Real h = 1e-6;
+    std::size_t checked = 0;
+    for (auto &view : reg.views()) {
+        for (std::size_t k = 0; k < view.size; ++k) {
+            const Real saved = view.data[k];
+            view.data[k] = saved + h;
+            reg.notifyUpdated();
+            const Real up = trackingLoss(layer, xs, targets);
+            view.data[k] = saved - h;
+            reg.notifyUpdated();
+            const Real down = trackingLoss(layer, xs, targets);
+            view.data[k] = saved;
+            reg.notifyUpdated();
+
+            const Real numeric = (up - down) / (2.0 * h);
+            EXPECT_NEAR(view.grad[k], numeric, tol)
+                << view.name << "[" << k << "]";
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0u);
+
+    // Input gradients via finite differences.
+    Sequence xs_mut = xs;
+    for (std::size_t t = 0; t < xs.size(); ++t) {
+        for (std::size_t k = 0; k < xs[t].size(); ++k) {
+            const Real saved = xs_mut[t][k];
+            xs_mut[t][k] = saved + h;
+            const Real up = trackingLoss(layer, xs_mut, targets);
+            xs_mut[t][k] = saved - h;
+            const Real down = trackingLoss(layer, xs_mut, targets);
+            xs_mut[t][k] = saved;
+            const Real numeric = (up - down) / (2.0 * h);
+            EXPECT_NEAR(dxs[t][k], numeric, tol)
+                << "dx[" << t << "][" << k << "]";
+        }
+    }
+}
+
+/** Random sequence helper. */
+inline Sequence
+randomSequence(std::size_t t_len, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Sequence xs(t_len);
+    for (auto &x : xs) {
+        x.resize(dim);
+        rng.fillNormal(x, 1.0);
+    }
+    return xs;
+}
+
+} // namespace ernn::nn::testing
+
+#endif // ERNN_TESTS_GRAD_CHECK_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Activation tests: exact values, derivative identities, and the
+ * piecewise-linear hardware approximation (error bounds, saturation,
+ * monotone improvement with segment count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hh"
+
+using namespace ernn;
+using namespace ernn::nn;
+
+TEST(Activation, SigmoidKnownValues)
+{
+    EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+    EXPECT_NEAR(sigmoid(100.0), 1.0, 1e-12);
+    EXPECT_NEAR(sigmoid(-100.0), 0.0, 1e-12);
+    EXPECT_NEAR(sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-15);
+    // Symmetry: sigma(-x) = 1 - sigma(x).
+    for (Real x : {0.3, 1.7, 4.2})
+        EXPECT_NEAR(sigmoid(-x), 1.0 - sigmoid(x), 1e-15);
+}
+
+TEST(Activation, TanhMatchesStd)
+{
+    for (Real x : {-3.0, -0.5, 0.0, 0.5, 3.0})
+        EXPECT_DOUBLE_EQ(tanhAct(x), std::tanh(x));
+}
+
+TEST(Activation, DerivativeFromOutputIdentity)
+{
+    const Real h = 1e-6;
+    for (Real x : {-2.0, -0.4, 0.0, 0.9, 2.5}) {
+        const Real sy = sigmoid(x);
+        const Real numeric_s = (sigmoid(x + h) - sigmoid(x - h)) /
+                               (2.0 * h);
+        EXPECT_NEAR(actDerivFromOutput(ActKind::Sigmoid, sy),
+                    numeric_s, 1e-8);
+
+        const Real ty = std::tanh(x);
+        const Real numeric_t = (std::tanh(x + h) - std::tanh(x - h)) /
+                               (2.0 * h);
+        EXPECT_NEAR(actDerivFromOutput(ActKind::Tanh, ty),
+                    numeric_t, 1e-8);
+    }
+}
+
+TEST(Activation, VectorApplication)
+{
+    Vector v{-1.0, 0.0, 1.0};
+    applyActivation(ActKind::Sigmoid, v);
+    EXPECT_NEAR(v[1], 0.5, 1e-15);
+    EXPECT_NEAR(v[0] + v[2], 1.0, 1e-15);
+    const Vector t = activated(ActKind::Tanh, Vector{0.0});
+    EXPECT_DOUBLE_EQ(t[0], 0.0);
+}
+
+class PwlSegments : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PwlSegments, ApproximationErrorWithinBound)
+{
+    const std::size_t segs = GetParam();
+    for (ActKind kind : {ActKind::Sigmoid, ActKind::Tanh}) {
+        PiecewiseLinear pwl(kind, segs, 8.0);
+        // Chord interpolation error of a C2 function on [a,b] is at
+        // most max|f''| * (b-a)^2 / 8; |f''| <= 1 for tanh, <= 0.1
+        // for sigmoid. Use the tanh bound for both.
+        const Real step = 16.0 / static_cast<Real>(segs);
+        const Real bound = step * step / 8.0 + 1e-3;
+        EXPECT_LE(pwl.maxError(), bound)
+            << actName(kind) << " with " << segs << " segments";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentSweep, PwlSegments,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+TEST(Pwl, ErrorDecreasesMonotonicallyWithSegments)
+{
+    Real prev = 1e9;
+    for (std::size_t segs : {8, 16, 32, 64, 128, 256}) {
+        PiecewiseLinear pwl(ActKind::Tanh, segs, 8.0);
+        const Real err = pwl.maxError();
+        EXPECT_LT(err, prev) << segs << " segments";
+        prev = err;
+    }
+}
+
+TEST(Pwl, SaturatesOutsideRange)
+{
+    PiecewiseLinear sig(ActKind::Sigmoid, 32, 6.0);
+    EXPECT_DOUBLE_EQ(sig.eval(100.0), 1.0);
+    EXPECT_DOUBLE_EQ(sig.eval(-100.0), 0.0);
+    PiecewiseLinear th(ActKind::Tanh, 32, 6.0);
+    EXPECT_DOUBLE_EQ(th.eval(100.0), 1.0);
+    EXPECT_DOUBLE_EQ(th.eval(-100.0), -1.0);
+}
+
+TEST(Pwl, ExactAtInteriorSegmentEndpoints)
+{
+    // The extreme endpoints (+-range) saturate by design, so only
+    // interior segment boundaries interpolate the exact function.
+    PiecewiseLinear pwl(ActKind::Tanh, 16, 4.0);
+    for (int s = 1; s < 16; ++s) {
+        const Real x = -4.0 + 0.5 * static_cast<Real>(s);
+        EXPECT_NEAR(pwl.eval(x), std::tanh(x), 1e-12) << "x=" << x;
+    }
+}
+
+TEST(Pwl, SixtyFourSegmentsIsHardwareAccurate)
+{
+    // Phase II uses PWL activations; with 64 segments over [-8, 8]
+    // the error is far below the 12-bit quantization step (2^-7).
+    PiecewiseLinear sig(ActKind::Sigmoid, 64, 8.0);
+    PiecewiseLinear th(ActKind::Tanh, 64, 8.0);
+    EXPECT_LT(sig.maxError(), 1.0 / 128.0);
+    EXPECT_LT(th.maxError(), 1.0 / 64.0);
+}
+
+TEST(Pwl, ApplyMatchesEval)
+{
+    PiecewiseLinear pwl(ActKind::Sigmoid, 32, 8.0);
+    Vector v{-2.0, 0.1, 3.0};
+    Vector expect = v;
+    for (auto &x : expect)
+        x = pwl.eval(x);
+    pwl.apply(v);
+    EXPECT_EQ(v, expect);
+}

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * ADMM structured-training tests: residual convergence (the Fig. 6
+ * behaviour), exactness of the hard projection, weight transfer into
+ * the compressed model, and the accuracy advantage over direct
+ * projection that motivates ADMM in the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "admm/admm_trainer.hh"
+#include "admm/transfer.hh"
+#include "circulant/block_circulant.hh"
+#include "nn/gru.hh"
+#include "nn/model_builder.hh"
+#include "speech/dataset.hh"
+
+using namespace ernn;
+using namespace ernn::nn;
+using namespace ernn::admm;
+
+namespace
+{
+
+speech::AsrDataset
+tinyDataset()
+{
+    speech::AsrDataConfig cfg;
+    cfg.numPhones = 6;
+    cfg.featureDim = 8;
+    cfg.trainUtterances = 20;
+    cfg.testUtterances = 8;
+    cfg.minFrames = 18;
+    cfg.maxFrames = 26;
+    return speech::makeSyntheticAsr(cfg);
+}
+
+ModelSpec
+denseSpec()
+{
+    ModelSpec spec;
+    spec.type = ModelType::Gru;
+    spec.inputDim = 8;
+    spec.numClasses = 6;
+    spec.layerSizes = {16};
+    return spec;
+}
+
+ModelSpec
+circulantSpec(std::size_t block)
+{
+    ModelSpec spec = denseSpec();
+    spec.blockSizes = {block};
+    return spec;
+}
+
+/** Max relative distance of all constrained weights to the
+ *  block-circulant set. */
+Real
+structureGap(StackedRnn &model, std::size_t block)
+{
+    Real worst = 0.0;
+    auto *gru = dynamic_cast<GruLayer *>(&model.layer(0));
+    for (LinearOp *op : {&gru->wzx(), &gru->wrx(), &gru->wcx(),
+                         &gru->wzc(), &gru->wrc(), &gru->wcc()}) {
+        const Matrix &w = *op->denseWeight();
+        const auto proj =
+            circulant::BlockCirculantMatrix::fromDense(w, block);
+        worst = std::max(worst, proj.distanceFromDense(w) /
+                                    std::max(w.frobeniusNorm(), 1e-12));
+    }
+    return worst;
+}
+
+} // namespace
+
+TEST(Admm, ResidualShrinksOverIterations)
+{
+    const auto data = tinyDataset();
+    StackedRnn model = buildModel(denseSpec());
+    Rng rng(11);
+    model.initXavier(rng);
+
+    // Pretrain briefly (ADMM starts from a pretrained model).
+    TrainConfig pre;
+    pre.epochs = 3;
+    pre.lr = 5e-3;
+    Trainer(model, pre).train(data.train);
+
+    AdmmConfig cfg;
+    cfg.rho = 0.5;
+    cfg.rhoGrowth = 1.5;
+    cfg.iterations = 6;
+    cfg.epochsPerIteration = 3;
+    cfg.convergenceTol = 0.0; // run all iterations
+    cfg.train.lr = 2e-2;
+    cfg.train.batchSize = 2;
+
+    AdmmTrainer admm(model, cfg);
+    constrainFromSpec(admm, model, circulantSpec(4));
+    EXPECT_EQ(admm.constraintCount(), 6u);
+
+    const AdmmResult result = admm.run(data.train);
+    ASSERT_EQ(result.log.size(), 6u);
+    // The relative residual must fall substantially from its first
+    // value (the weights approach the structured format).
+    EXPECT_LT(result.log.back().relativeResidual,
+              0.6 * result.log.front().relativeResidual);
+}
+
+TEST(Admm, HardProjectionLandsExactlyOnConstraintSet)
+{
+    const auto data = tinyDataset();
+    StackedRnn model = buildModel(denseSpec());
+    Rng rng(12);
+    model.initXavier(rng);
+
+    AdmmConfig cfg;
+    cfg.rho = 2e-2;
+    cfg.iterations = 2;
+    cfg.epochsPerIteration = 1;
+    cfg.train.lr = 5e-3;
+
+    AdmmTrainer admm(model, cfg);
+    constrainFromSpec(admm, model, circulantSpec(4));
+    admm.run(data.train);
+
+    EXPECT_GT(structureGap(model, 4), 0.0);
+    admm.hardProject();
+    EXPECT_NEAR(structureGap(model, 4), 0.0, 1e-12);
+}
+
+TEST(Admm, AdmmTrainingTightensStructureVsPlainTraining)
+{
+    const auto data = tinyDataset();
+
+    // Plain training leaves the weights far from circulant.
+    StackedRnn plain = buildModel(denseSpec());
+    Rng rng1(13);
+    plain.initXavier(rng1);
+    TrainConfig tc;
+    tc.epochs = 8;
+    tc.lr = 5e-3;
+    Trainer(plain, tc).train(data.train);
+    const Real plain_gap = structureGap(plain, 4);
+
+    // ADMM training pulls them close.
+    StackedRnn structured = buildModel(denseSpec());
+    Rng rng2(13);
+    structured.initXavier(rng2);
+    AdmmConfig cfg;
+    cfg.rho = 0.5;
+    cfg.rhoGrowth = 1.5;
+    cfg.iterations = 6;
+    cfg.epochsPerIteration = 3;
+    cfg.convergenceTol = 0.0;
+    cfg.train.lr = 2e-2;
+    cfg.train.batchSize = 2;
+    AdmmTrainer admm(structured, cfg);
+    constrainFromSpec(admm, structured, circulantSpec(4));
+    admm.run(data.train);
+    const Real admm_gap = structureGap(structured, 4);
+
+    EXPECT_LT(admm_gap, 0.5 * plain_gap);
+}
+
+TEST(Admm, TransferPreservesOutputsAfterHardProjection)
+{
+    const auto data = tinyDataset();
+    StackedRnn dense = buildModel(denseSpec());
+    Rng rng(14);
+    dense.initXavier(rng);
+
+    AdmmConfig cfg;
+    cfg.rho = 2e-2;
+    cfg.iterations = 2;
+    cfg.epochsPerIteration = 1;
+    cfg.train.lr = 5e-3;
+    AdmmTrainer admm(dense, cfg);
+    constrainFromSpec(admm, dense, circulantSpec(4));
+    admm.run(data.train);
+    admm.hardProject();
+
+    StackedRnn compressed = buildModel(circulantSpec(4));
+    transferWeights(dense, compressed);
+    EXPECT_LT(compressed.paramCount(), dense.paramCount());
+
+    // The projected dense model and the compressed model are the
+    // same function.
+    const Sequence &probe = data.test[0].frames;
+    const Sequence a = dense.forwardLogits(probe);
+    const Sequence b = compressed.forwardLogits(probe);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t)
+        for (std::size_t k = 0; k < a[t].size(); ++k)
+            EXPECT_NEAR(a[t][k], b[t][k], 1e-8);
+}
+
+TEST(Admm, ConstrainRejectsCirculantOps)
+{
+    StackedRnn model = buildModel(circulantSpec(4));
+    AdmmConfig cfg;
+    AdmmTrainer admm(model, cfg);
+    auto *gru = dynamic_cast<GruLayer *>(&model.layer(0));
+    EXPECT_DEATH(admm.constrain(gru->wzc(), 4), "dense");
+}
+
+TEST(Admm, ConvergenceFlagStopsEarly)
+{
+    const auto data = tinyDataset();
+    StackedRnn model = buildModel(denseSpec());
+    Rng rng(15);
+    model.initXavier(rng);
+
+    AdmmConfig cfg;
+    cfg.rho = 0.5;
+    cfg.rhoGrowth = 1.5;
+    cfg.iterations = 20;
+    cfg.epochsPerIteration = 3;
+    cfg.convergenceTol = 0.1;
+    cfg.train.lr = 2e-2;
+    cfg.train.batchSize = 2;
+    AdmmTrainer admm(model, cfg);
+    constrainFromSpec(admm, model, circulantSpec(4));
+    const AdmmResult result = admm.run(data.train);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.log.size(), 20u);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the base substrate: RNG determinism, statistics
+ * accumulators, string formatting, and the table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/strings.hh"
+#include "base/table.hh"
+
+using namespace ernn;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const Real u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard)
+{
+    Rng rng(11);
+    RunningStat st;
+    for (int i = 0; i < 20000; ++i)
+        st.add(rng.normal());
+    EXPECT_NEAR(st.mean(), 0.0, 0.03);
+    EXPECT_NEAR(st.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, IndexStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LT(rng.index(7), 7u);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(5);
+    std::vector<std::size_t> idx{0, 1, 2, 3, 4, 5, 6, 7};
+    rng.shuffle(idx);
+    std::set<std::size_t> seen(idx.begin(), idx.end());
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(9);
+    Rng child = a.fork();
+    EXPECT_NE(a.nextU64(), child.nextU64());
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat st;
+    for (Real v : {1.0, 2.0, 3.0, 4.0})
+        st.add(v);
+    EXPECT_EQ(st.count(), 4u);
+    EXPECT_DOUBLE_EQ(st.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(st.min(), 1.0);
+    EXPECT_DOUBLE_EQ(st.max(), 4.0);
+    EXPECT_NEAR(st.variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(st.sum(), 10.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const Real v = std::sin(static_cast<Real>(i));
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(Ema, ConvergesTowardConstant)
+{
+    Ema ema(0.9);
+    for (int i = 0; i < 200; ++i)
+        ema.add(5.0);
+    EXPECT_NEAR(ema.value(), 5.0, 1e-9);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-10.0); // clamps to first bin
+    h.add(0.1);
+    h.add(0.9);
+    h.add(10.0); // clamps to last bin
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[3], 2u);
+    EXPECT_EQ(h.sparkline().size(), 4u);
+}
+
+TEST(Strings, SplitJoinTrim)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+    EXPECT_EQ(trim("  hi \n"), "hi");
+    EXPECT_TRUE(startsWith("bench_table3", "bench_"));
+}
+
+TEST(Strings, NumberFormatting)
+{
+    EXPECT_EQ(fmtGrouped(179687), "179,687");
+    EXPECT_EQ(fmtGrouped(0), "0");
+    EXPECT_EQ(fmtGrouped(-1234567), "-1,234,567");
+    EXPECT_EQ(fmtTimes(37.42, 1), "37.4x");
+    EXPECT_EQ(fmtPercent(0.877, 1), "87.7");
+    EXPECT_EQ(fmtReal(20.83, 2), "20.83");
+    EXPECT_EQ(fmtDashList({256, 256, 256}), "256-256-256");
+}
+
+TEST(TextTable, RendersAlignedGrid)
+{
+    TextTable t("Table X");
+    t.setHeader({"ID", "Value"});
+    t.addRow({"1", "20.83"});
+    t.addRow({"2", "longer-cell"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Table X"), std::string::npos);
+    EXPECT_NE(out.find("20.83"), std::string::npos);
+    EXPECT_NE(out.find("longer-cell"), std::string::npos);
+    // All data lines must share the same width.
+    const auto lines = split(out, '\n');
+    std::size_t width = 0;
+    for (const auto &l : lines) {
+        if (l.empty() || l == "Table X")
+            continue;
+        if (!width)
+            width = l.size();
+        EXPECT_EQ(l.size(), width) << "ragged line: " << l;
+    }
+    EXPECT_EQ(t.rows(), 2u);
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * FFT engine tests: correctness against the naive DFT, real-FFT
+ * round trips, linearity, Parseval, and the multiplication-count
+ * instrumentation (runtime counters vs. analytic mirrors).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "tensor/fft.hh"
+
+using namespace ernn;
+using namespace ernn::fft;
+
+namespace
+{
+
+CVector
+randomComplex(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    CVector v(n);
+    for (auto &c : v)
+        c = Complex(rng.normal(), rng.normal());
+    return v;
+}
+
+Vector
+randomReal(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(n);
+    rng.fillNormal(v, 1.0);
+    return v;
+}
+
+} // namespace
+
+class FftSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftSizes, MatchesNaiveDft)
+{
+    const std::size_t n = GetParam();
+    CVector a = randomComplex(n, 100 + n);
+    const CVector expect = naiveDft(a, false);
+    fftInPlace(a, false);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(a[k].real(), expect[k].real(), 1e-9) << "bin " << k;
+        EXPECT_NEAR(a[k].imag(), expect[k].imag(), 1e-9) << "bin " << k;
+    }
+}
+
+TEST_P(FftSizes, InverseRoundTrip)
+{
+    const std::size_t n = GetParam();
+    const CVector orig = randomComplex(n, 200 + n);
+    CVector a = orig;
+    fftInPlace(a, false);
+    fftInPlace(a, true);
+    for (std::size_t k = 0; k < n; ++k)
+        EXPECT_NEAR(std::abs(a[k] - orig[k]), 0.0, 1e-10);
+}
+
+TEST_P(FftSizes, RfftMatchesComplexFft)
+{
+    const std::size_t n = GetParam();
+    const Vector x = randomReal(n, 300 + n);
+    CVector full(n);
+    for (std::size_t i = 0; i < n; ++i)
+        full[i] = Complex(x[i], 0);
+    fftInPlace(full, false);
+
+    const CVector packed = rfft(x);
+    ASSERT_EQ(packed.size(), n / 2 + 1);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+        EXPECT_NEAR(packed[k].real(), full[k].real(), 1e-9)
+            << "bin " << k;
+        EXPECT_NEAR(packed[k].imag(), full[k].imag(), 1e-9)
+            << "bin " << k;
+    }
+}
+
+TEST_P(FftSizes, IrfftRoundTrip)
+{
+    const std::size_t n = GetParam();
+    const Vector x = randomReal(n, 400 + n);
+    const Vector back = irfft(rfft(x), n);
+    ASSERT_EQ(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST_P(FftSizes, Parseval)
+{
+    const std::size_t n = GetParam();
+    if (n < 2)
+        GTEST_SKIP();
+    const Vector x = randomReal(n, 500 + n);
+    Real time_energy = 0;
+    for (auto v : x)
+        time_energy += v * v;
+    const CVector spec = rfft(x);
+    Real freq_energy = std::norm(spec[0]) + std::norm(spec[n / 2]);
+    for (std::size_t k = 1; k < n / 2; ++k)
+        freq_energy += 2.0 * std::norm(spec[k]);
+    EXPECT_NEAR(freq_energy / static_cast<Real>(n), time_energy, 1e-8);
+}
+
+TEST_P(FftSizes, RuntimeMultCountMatchesAnalyticModel)
+{
+    const std::size_t n = GetParam();
+    const Vector x = randomReal(n, 600 + n);
+    {
+        OpCountScope scope;
+        (void)rfft(x);
+        const auto c = scope.counters();
+        EXPECT_EQ(c.realMults, rfftRealMults(n)) << "rfft size " << n;
+        EXPECT_EQ(c.fftCalls, 1u);
+    }
+    {
+        const CVector spec = rfft(x);
+        OpCountScope scope;
+        (void)irfft(spec, n);
+        const auto c = scope.counters();
+        EXPECT_EQ(c.realMults, irfftRealMults(n)) << "irfft size " << n;
+        EXPECT_EQ(c.ifftCalls, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128,
+                                           256, 512, 1024));
+
+TEST(Fft, LinearityOfTransform)
+{
+    const std::size_t n = 64;
+    const Vector x = randomReal(n, 1);
+    const Vector y = randomReal(n, 2);
+    Vector z(n);
+    for (std::size_t i = 0; i < n; ++i)
+        z[i] = 2.0 * x[i] - 3.0 * y[i];
+    const CVector fx = rfft(x), fy = rfft(y), fz = rfft(z);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+        const Complex expect = 2.0 * fx[k] - 3.0 * fy[k];
+        EXPECT_NEAR(std::abs(fz[k] - expect), 0.0, 1e-9);
+    }
+}
+
+TEST(Fft, TrivialSizesCostNoMultiplications)
+{
+    // Sizes 2 and 4 involve only trivial twiddles (Sec. V-A2).
+    EXPECT_EQ(rfftRealMults(2), 0u);
+    EXPECT_EQ(rfftRealMults(4), 0u);
+    EXPECT_EQ(complexFftRealMults(2), 0u);
+    EXPECT_EQ(complexFftRealMults(4), 0u);
+    EXPECT_GT(complexFftRealMults(8), 0u);
+}
+
+TEST(Fft, KnownSpectrumOfImpulse)
+{
+    Vector x(8, 0.0);
+    x[0] = 1.0;
+    const CVector spec = rfft(x);
+    for (std::size_t k = 0; k <= 4; ++k) {
+        EXPECT_NEAR(spec[k].real(), 1.0, 1e-12);
+        EXPECT_NEAR(spec[k].imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, KnownSpectrumOfConstant)
+{
+    Vector x(8, 1.0);
+    const CVector spec = rfft(x);
+    EXPECT_NEAR(spec[0].real(), 8.0, 1e-12);
+    for (std::size_t k = 1; k <= 4; ++k)
+        EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, AccumulateConjProductMatchesCorrelation)
+{
+    // IFFT(conj(FFT(w)) ∘ FFT(x))[r] must equal
+    // sum_c w[(c - r) mod n] x[c] (circular correlation).
+    const std::size_t n = 16;
+    const Vector w = randomReal(n, 10);
+    const Vector x = randomReal(n, 11);
+
+    CVector acc(n / 2 + 1, Complex(0, 0));
+    accumulateConjProduct(acc, rfft(w), rfft(x));
+    const Vector got = irfft(acc, n);
+
+    for (std::size_t r = 0; r < n; ++r) {
+        Real expect = 0;
+        for (std::size_t c = 0; c < n; ++c)
+            expect += w[(c + n - r) % n] * x[c];
+        EXPECT_NEAR(got[r], expect, 1e-9) << "lag " << r;
+    }
+}
+
+TEST(Fft, EltwiseCountMatchesFormula)
+{
+    const std::size_t n = 32;
+    const Vector w = randomReal(n, 20);
+    const Vector x = randomReal(n, 21);
+    const CVector fw = rfft(w), fx = rfft(x);
+    CVector acc(n / 2 + 1, Complex(0, 0));
+    OpCountScope scope;
+    accumulateConjProduct(acc, fw, fx);
+    EXPECT_EQ(scope.counters().eltwiseMults, eltwiseRealMults(n));
+    EXPECT_EQ(scope.counters().eltwiseMults, 2u * n - 2u);
+}
+
+TEST(Fft, CountersDisabledByDefault)
+{
+    OpCount::setEnabled(false);
+    OpCount::reset();
+    (void)rfft(randomReal(64, 30));
+    EXPECT_EQ(OpCount::snapshot().realMults, 0u);
+    EXPECT_EQ(OpCount::snapshot().fftCalls, 0u);
+}
+
+TEST(Fft, Log2CeilAndPowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(8), 3u);
+    EXPECT_EQ(log2Ceil(9), 4u);
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * GRU layer tests: forward against an independent reference of
+ * Eqn. (2), finite-difference gradients, and the LSTM/GRU parameter
+ * ratio the paper's Phase I exploits (GRU is smaller).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "grad_check.hh"
+#include "nn/gru.hh"
+#include "nn/lstm.hh"
+
+using namespace ernn;
+using namespace ernn::nn;
+using ernn::nn::testing::checkLayerGradients;
+using ernn::nn::testing::randomSequence;
+
+namespace
+{
+
+Matrix
+denseOf(LinearOp &op)
+{
+    if (op.denseWeight())
+        return *op.denseWeight();
+    return op.circulantWeight()->toDense();
+}
+
+/** Independent scalar-loop reference of Eqn. (2). */
+Sequence
+referenceGru(GruLayer &layer, const Sequence &xs)
+{
+    const std::size_t h = layer.config().hiddenSize;
+    const Matrix wzx = denseOf(layer.wzx()), wrx = denseOf(layer.wrx());
+    const Matrix wcx = denseOf(layer.wcx()), wzc = denseOf(layer.wzc());
+    const Matrix wrc = denseOf(layer.wrc()), wcc = denseOf(layer.wcc());
+
+    ParamRegistry reg;
+    layer.registerParams(reg, "g");
+    auto find = [&](const std::string &name) -> const Real * {
+        for (const auto &v : reg.views())
+            if (v.name == name)
+                return v.data;
+        ADD_FAILURE() << "missing param " << name;
+        return nullptr;
+    };
+    const Real *bz = find("g.bz");
+    const Real *br = find("g.br");
+    const Real *bc = find("g.bc");
+
+    Vector c(h, 0.0);
+    Sequence ys;
+    for (const Vector &x : xs) {
+        const Vector zx = wzx.matvec(x), zc = wzc.matvec(c);
+        const Vector rx = wrx.matvec(x), rc = wrc.matvec(c);
+        Vector z(h), r(h), s(h);
+        for (std::size_t k = 0; k < h; ++k) {
+            z[k] = sigmoid(zx[k] + zc[k] + bz[k]);
+            r[k] = sigmoid(rx[k] + rc[k] + br[k]);
+            s[k] = r[k] * c[k];
+        }
+        const Vector cx = wcx.matvec(x), cs = wcc.matvec(s);
+        Vector cn(h);
+        for (std::size_t k = 0; k < h; ++k) {
+            const Real cand = std::tanh(cx[k] + cs[k] + bc[k]);
+            cn[k] = (1.0 - z[k]) * c[k] + z[k] * cand;
+        }
+        c = cn;
+        ys.push_back(c);
+    }
+    return ys;
+}
+
+} // namespace
+
+class GruBlocks : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GruBlocks, ForwardMatchesReference)
+{
+    GruConfig cfg;
+    cfg.inputSize = 4;
+    cfg.hiddenSize = 8;
+    cfg.blockSizeInput = GetParam();
+    cfg.blockSizeRecurrent = GetParam();
+
+    GruLayer layer(cfg);
+    Rng rng(300);
+    layer.initXavier(rng);
+
+    const Sequence xs = randomSequence(5, 4, 17);
+    const Sequence got = layer.forward(xs);
+    const Sequence expect = referenceGru(layer, xs);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t t = 0; t < got.size(); ++t)
+        for (std::size_t k = 0; k < got[t].size(); ++k)
+            EXPECT_NEAR(got[t][k], expect[t][k], 1e-9)
+                << "t=" << t << " k=" << k;
+}
+
+TEST_P(GruBlocks, GradientsMatchFiniteDifferences)
+{
+    GruConfig cfg;
+    cfg.inputSize = 4;
+    cfg.hiddenSize = 4;
+    cfg.blockSizeInput = GetParam();
+    cfg.blockSizeRecurrent = GetParam();
+
+    GruLayer layer(cfg);
+    Rng rng(400);
+    layer.initXavier(rng);
+    ParamRegistry reg;
+    layer.registerParams(reg, "g");
+
+    checkLayerGradients(layer, reg, randomSequence(3, 4, 18), 19);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, GruBlocks,
+                         ::testing::Values(1, 2, 4));
+
+TEST(Gru, OutputIsTheCellState)
+{
+    GruConfig cfg;
+    cfg.inputSize = 3;
+    cfg.hiddenSize = 6;
+    GruLayer layer(cfg);
+    EXPECT_EQ(layer.outputSize(), 6u);
+    EXPECT_EQ(layer.kindName(), "gru");
+}
+
+TEST(Gru, HasFewerParamsThanLstmAtSameSize)
+{
+    // GRU: 6 matrices + 3 biases vs LSTM: 8 matrices + 4 biases —
+    // the reason Phase I's step 3 switches to GRU when accuracy
+    // permits (less computation and storage).
+    GruConfig gcfg;
+    gcfg.inputSize = 16;
+    gcfg.hiddenSize = 16;
+    GruLayer gru(gcfg);
+
+    LstmConfig lcfg;
+    lcfg.inputSize = 16;
+    lcfg.hiddenSize = 16;
+    LstmLayer lstm(lcfg);
+
+    EXPECT_LT(gru.paramCount(), lstm.paramCount());
+    EXPECT_NEAR(static_cast<Real>(gru.paramCount()) /
+                    static_cast<Real>(lstm.paramCount()),
+                0.75, 0.02);
+}
+
+TEST(Gru, ZeroWeightsFixAtZeroState)
+{
+    GruConfig cfg;
+    cfg.inputSize = 3;
+    cfg.hiddenSize = 4;
+    GruLayer layer(cfg);
+    // z = r = 0.5, cand = tanh(0) = 0, c = 0.5*0 + 0.5*0 = 0.
+    const Sequence ys = layer.forward(randomSequence(3, 3, 20));
+    for (const auto &y : ys)
+        for (Real v : y)
+            EXPECT_DOUBLE_EQ(v, 0.0);
+}

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * HLS framework tests: op-graph structure, interpreter equivalence
+ * with the nn/ forward pass (the strongest integration check in the
+ * repository), hardware-mode interpretation (quantized + PWL),
+ * scheduler legality, and code generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "hls/codegen.hh"
+#include "hls/interpreter.hh"
+#include "hls/op_graph.hh"
+#include "hls/scheduler.hh"
+#include "hls/weight_store.hh"
+#include "nn/model_builder.hh"
+
+using namespace ernn;
+using namespace ernn::hls;
+
+namespace
+{
+
+nn::ModelSpec
+lstmSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 8;
+    spec.numClasses = 5;
+    spec.layerSizes = {16, 16};
+    spec.blockSizes = {4, 4};
+    spec.peephole = true;
+    spec.projectionSize = 8;
+    return spec;
+}
+
+nn::ModelSpec
+gruSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Gru;
+    spec.inputDim = 8;
+    spec.numClasses = 5;
+    spec.layerSizes = {16};
+    spec.blockSizes = {4};
+    return spec;
+}
+
+nn::Sequence
+randomFrames(std::size_t t, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Sequence xs(t);
+    for (auto &x : xs) {
+        x.resize(dim);
+        rng.fillNormal(x, 1.0);
+    }
+    return xs;
+}
+
+} // namespace
+
+TEST(OpGraph, LstmStructure)
+{
+    const OpGraph g = buildGraph(lstmSpec());
+    g.validate();
+    // Per LSTM layer: fused gate matvec + projection; plus the
+    // classifier: 2*2 + 1 matvecs.
+    EXPECT_EQ(g.count(OpType::MatVec), 5u);
+    // Four slices per layer (i, f, g, o pre-activations).
+    EXPECT_EQ(g.count(OpType::Slice), 8u);
+    // Three sigmoid gates per layer.
+    EXPECT_EQ(g.count(OpType::Sigmoid), 6u);
+    // g, h(c) per layer.
+    EXPECT_EQ(g.count(OpType::Tanh), 4u);
+    // Peepholes: 3 diag muls per layer.
+    EXPECT_EQ(g.count(OpType::DiagMul), 6u);
+    EXPECT_GT(g.criticalPathComplexity(), 0.0);
+}
+
+TEST(OpGraph, GruStructure)
+{
+    const OpGraph g = buildGraph(gruSpec());
+    // Fused W(zr)(xc), Wcx, Wcc, classifier.
+    EXPECT_EQ(g.count(OpType::MatVec), 4u);
+    EXPECT_EQ(g.count(OpType::Sigmoid), 2u);
+    EXPECT_EQ(g.count(OpType::Tanh), 1u);
+    EXPECT_EQ(g.count(OpType::OneMinus), 1u);
+    EXPECT_EQ(g.count(OpType::DiagMul), 0u);
+}
+
+TEST(OpGraph, MatvecDominatesComplexityAtPaperScale)
+{
+    // The paper: matvec complexity is ~128x a pointwise op; the
+    // scheduler depends on this skew. It appears at ASR scale
+    // (layer size 1024), not on toy layers.
+    nn::ModelSpec spec = lstmSpec();
+    spec.inputDim = 160;
+    spec.layerSizes = {1024, 1024};
+    spec.blockSizes = {8, 8};
+    spec.projectionSize = 512;
+    const OpGraph g = buildGraph(spec);
+    Real matvec_c = 0.0, other_c = 0.0;
+    for (const auto &node : g.nodes()) {
+        if (node.type == OpType::MatVec)
+            matvec_c += node.complexity;
+        else
+            other_c += node.complexity;
+    }
+    EXPECT_GT(matvec_c, other_c);
+}
+
+class InterpreterEquivalence
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InterpreterEquivalence, MatchesNnForward)
+{
+    const nn::ModelSpec spec = GetParam() == 0 ? lstmSpec() : gruSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(42);
+    model.initXavier(rng);
+
+    const OpGraph graph = buildGraph(spec);
+    const WeightStore store = WeightStore::fromModel(model, spec);
+    Interpreter interp(graph, store);
+
+    const nn::Sequence xs = randomFrames(6, spec.inputDim, 7);
+    const nn::Sequence expect = model.forwardLogits(xs);
+    const nn::Sequence got = interp.run(xs);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t t = 0; t < got.size(); ++t) {
+        ASSERT_EQ(got[t].size(), expect[t].size()) << "t=" << t;
+        for (std::size_t k = 0; k < got[t].size(); ++k)
+            EXPECT_NEAR(got[t][k], expect[t][k], 1e-9)
+                << "t=" << t << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellTypes, InterpreterEquivalence,
+                         ::testing::Values(0, 1),
+                         [](const ::testing::TestParamInfo<int> &i) {
+                             return i.param == 0 ? "lstm" : "gru";
+                         });
+
+TEST(Interpreter, HardwareModeStaysCloseToExact)
+{
+    // 12-bit values + 64-segment PWL activations: the hardware
+    // datapath must track the exact one closely (Sec. VII-D: the
+    // degradation is "very small").
+    const nn::ModelSpec spec = gruSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(43);
+    model.initXavier(rng);
+
+    const OpGraph graph = buildGraph(spec);
+    const WeightStore store = WeightStore::fromModel(model, spec);
+
+    Interpreter exact(graph, store);
+    quant::FixedPointFormat fmt{12, 7};
+    nn::PiecewiseLinear sig(nn::ActKind::Sigmoid, 64, 8.0);
+    nn::PiecewiseLinear th(nn::ActKind::Tanh, 64, 8.0);
+    InterpreterOptions hw_opts;
+    hw_opts.valueFormat = &fmt;
+    hw_opts.sigmoidImpl = &sig;
+    hw_opts.tanhImpl = &th;
+    Interpreter hw(graph, store, hw_opts);
+
+    const nn::Sequence xs = randomFrames(6, spec.inputDim, 8);
+    const nn::Sequence a = exact.run(xs);
+    const nn::Sequence b = hw.run(xs);
+    for (std::size_t t = 0; t < a.size(); ++t)
+        for (std::size_t k = 0; k < a[t].size(); ++k)
+            EXPECT_NEAR(a[t][k], b[t][k], 0.15)
+                << "t=" << t << " k=" << k;
+}
+
+TEST(Interpreter, StateResetsBetweenRuns)
+{
+    const nn::ModelSpec spec = gruSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(44);
+    model.initXavier(rng);
+    const OpGraph graph = buildGraph(spec);
+    const WeightStore store = WeightStore::fromModel(model, spec);
+    Interpreter interp(graph, store);
+
+    const nn::Sequence xs = randomFrames(4, spec.inputDim, 9);
+    const nn::Sequence a = interp.run(xs);
+    const nn::Sequence b = interp.run(xs);
+    for (std::size_t t = 0; t < a.size(); ++t)
+        for (std::size_t k = 0; k < a[t].size(); ++k)
+            EXPECT_DOUBLE_EQ(a[t][k], b[t][k]);
+}
+
+TEST(Scheduler, RespectsDependenciesAndResources)
+{
+    const OpGraph g = buildGraph(lstmSpec());
+    const SchedulerConfig cfg;
+    const Schedule s = scheduleGraph(g, cfg);
+
+    ASSERT_EQ(s.ops.size(), g.size());
+    for (const auto &node : g.nodes()) {
+        const auto &op = s.ops[node.id];
+        EXPECT_EQ(op.finish - op.start, opCycles(node, cfg));
+        for (auto in : node.inputs)
+            EXPECT_GE(op.start, s.ops[in].finish)
+                << node.name << " started before its input";
+    }
+
+    // No two ops may overlap on the same unit.
+    for (const auto &a : s.ops) {
+        for (const auto &b : s.ops) {
+            if (a.node >= b.node || a.res != b.res ||
+                a.unit != b.unit)
+                continue;
+            const bool disjoint =
+                a.finish <= b.start || b.finish <= a.start;
+            EXPECT_TRUE(disjoint)
+                << "ops " << a.node << " and " << b.node
+                << " overlap on " << resourceName(a.res) << a.unit;
+        }
+    }
+}
+
+TEST(Scheduler, MakespanAtLeastCriticalPathAndBottleneck)
+{
+    const OpGraph g = buildGraph(gruSpec());
+    const SchedulerConfig cfg;
+    const Schedule s = scheduleGraph(g, cfg);
+
+    // Lower bound 1: matvec bottleneck (1 unit).
+    Cycles matvec_work = 0;
+    for (const auto &node : g.nodes())
+        if (resourceOf(node.type) == ResourceClass::MatVec)
+            matvec_work += opCycles(node, cfg);
+    EXPECT_GE(s.makespan, matvec_work);
+    EXPECT_LE(s.utilization(ResourceClass::MatVec, cfg), 1.0);
+    EXPECT_GT(s.utilization(ResourceClass::MatVec, cfg), 0.3);
+}
+
+TEST(Scheduler, MoreMatvecUnitsNeverHurt)
+{
+    const OpGraph g = buildGraph(lstmSpec());
+    SchedulerConfig one;
+    SchedulerConfig two;
+    two.matvecUnits = 2;
+    EXPECT_GE(scheduleGraph(g, one).makespan,
+              scheduleGraph(g, two).makespan);
+}
+
+TEST(Codegen, EmitsCompilableLookingSource)
+{
+    const OpGraph g = buildGraph(lstmSpec());
+    const Schedule s = scheduleGraph(g);
+    CodegenOptions opts;
+    const std::string code = generateCode(g, &s, opts);
+
+    EXPECT_NE(code.find("void"), std::string::npos);
+    EXPECT_NE(code.find("ernn_step"), std::string::npos);
+    EXPECT_NE(code.find("#pragma HLS"), std::string::npos);
+    EXPECT_NE(code.find("matvec_fft"), std::string::npos);
+    EXPECT_NE(code.find("act_sigmoid_pwl"), std::string::npos);
+    EXPECT_NE(code.find("W_l0_W_ifco__xr_"), std::string::npos);
+    EXPECT_NE(code.find("// cycle"), std::string::npos);
+
+    // Balanced braces.
+    const auto opens = std::count(code.begin(), code.end(), '{');
+    const auto closes = std::count(code.begin(), code.end(), '}');
+    EXPECT_EQ(opens, closes);
+}
+
+TEST(Codegen, PragmasCanBeDisabled)
+{
+    const OpGraph g = buildGraph(gruSpec());
+    CodegenOptions opts;
+    opts.emitPragmas = false;
+    const std::string code = generateCode(g, nullptr, opts);
+    EXPECT_EQ(code.find("#pragma"), std::string::npos);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Whole-pipeline integration test, mirroring the E-RNN deployment
+ * flow on the synthetic ASR task:
+ *
+ *   train dense -> ADMM structured training -> hard projection ->
+ *   transfer into the compressed model -> quantize -> evaluate PER
+ *   -> build the HLS graph -> interpret in hardware mode ->
+ *   Phase II hardware mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "admm/admm_trainer.hh"
+#include "admm/transfer.hh"
+#include "ernn/phase2.hh"
+#include "hls/interpreter.hh"
+#include "hls/weight_store.hh"
+#include "nn/model_builder.hh"
+#include "quant/fixed_point.hh"
+#include "speech/dataset.hh"
+#include "speech/per.hh"
+
+using namespace ernn;
+
+TEST(Integration, FullErnnDeploymentFlow)
+{
+    // 1. Synthetic ASR task (TIMIT substitute).
+    speech::AsrDataConfig dcfg;
+    dcfg.numPhones = 6;
+    dcfg.featureDim = 8;
+    dcfg.trainUtterances = 28;
+    dcfg.testUtterances = 10;
+    dcfg.minFrames = 20;
+    dcfg.maxFrames = 30;
+    auto data = speech::makeSyntheticAsr(dcfg);
+
+    // 2. Dense baseline training.
+    nn::ModelSpec dense_spec;
+    dense_spec.type = nn::ModelType::Gru;
+    dense_spec.inputDim = 8;
+    dense_spec.numClasses = 6;
+    dense_spec.layerSizes = {16};
+    nn::StackedRnn dense = nn::buildModel(dense_spec);
+    Rng rng(77);
+    dense.initXavier(rng);
+    nn::TrainConfig tc;
+    tc.epochs = 8;
+    tc.lr = 1e-2;
+    nn::Trainer(dense, tc).train(data.train);
+    const Real dense_per = speech::evaluatePer(dense, data.test);
+
+    // 3. ADMM structured training toward block size 4.
+    nn::ModelSpec circ_spec = dense_spec;
+    circ_spec.blockSizes = {4};
+    admm::AdmmConfig acfg;
+    acfg.rho = 0.5;
+    acfg.rhoGrowth = 1.5;
+    acfg.iterations = 6;
+    acfg.epochsPerIteration = 3;
+    acfg.convergenceTol = 0.02;
+    acfg.train.lr = 1e-2;
+    acfg.train.batchSize = 2;
+    admm::AdmmTrainer admm_trainer(dense, acfg);
+    admm::constrainFromSpec(admm_trainer, dense, circ_spec);
+    admm_trainer.run(data.train);
+    admm_trainer.hardProject();
+
+    // 4. Transfer into the compressed (generator-only) model.
+    nn::StackedRnn compressed = nn::buildModel(circ_spec);
+    admm::transferWeights(dense, compressed);
+    EXPECT_LT(compressed.paramCount(), dense.paramCount());
+
+    const Real circ_per = speech::evaluatePer(compressed, data.test);
+    // The compressed model must stay usable: the paper reports
+    // ~0.1-0.3% degradation at TIMIT scale; our tiny task tolerates
+    // a few points.
+    EXPECT_LT(circ_per, dense_per + 12.0);
+    EXPECT_LT(circ_per, 55.0);
+
+    // 5. Quantize weights to 12 bits; PER must barely move.
+    const Real pre_quant_per = circ_per;
+    quant::quantizeParams(compressed.params(), 12);
+    const Real post_quant_per =
+        speech::evaluatePer(compressed, data.test);
+    EXPECT_NEAR(post_quant_per, pre_quant_per, 3.0);
+
+    // 6. HLS path: graph + hardware-mode interpreter agrees with
+    // the nn forward pass on classifications.
+    const hls::OpGraph graph = hls::buildGraph(circ_spec);
+    const hls::WeightStore store =
+        hls::WeightStore::fromModel(compressed, circ_spec);
+    quant::FixedPointFormat fmt{12, 7};
+    nn::PiecewiseLinear sig(nn::ActKind::Sigmoid, 128, 8.0);
+    nn::PiecewiseLinear th(nn::ActKind::Tanh, 128, 8.0);
+    hls::InterpreterOptions hw_opts;
+    hw_opts.valueFormat = &fmt;
+    hw_opts.sigmoidImpl = &sig;
+    hw_opts.tanhImpl = &th;
+    hls::Interpreter interp(graph, store, hw_opts);
+
+    std::size_t agree = 0, total = 0;
+    for (std::size_t u = 0; u < 3; ++u) {
+        const auto &ex = data.test[u];
+        const nn::Sequence sw = compressed.forwardLogits(ex.frames);
+        const nn::Sequence hw_out = interp.run(ex.frames);
+        for (std::size_t t = 0; t < sw.size(); ++t) {
+            agree += argmax(sw[t]) == argmax(hw_out[t]);
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<Real>(agree) / static_cast<Real>(total),
+              0.9);
+
+    // 7. Phase II hardware mapping of the paper-scale analogue.
+    nn::ModelSpec deploy = circ_spec;
+    deploy.inputDim = 153;
+    deploy.layerSizes = {1024};
+    deploy.blockSizes = {8};
+    deploy.numClasses = 39;
+    core::Phase2Optimizer p2(hw::xcku060());
+    const core::Phase2Result r = p2.run(deploy);
+    EXPECT_EQ(r.weightBits, 12);
+    EXPECT_GT(r.design.fps, 100000.0);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * LinearOp tests: dense/circulant forward agreement with reference
+ * math, adjoint identities through backward(), parameter
+ * registration, and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "nn/linear_op.hh"
+
+using namespace ernn;
+using namespace ernn::nn;
+
+namespace
+{
+
+Vector
+randomVec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(n);
+    rng.fillNormal(v, 1.0);
+    return v;
+}
+
+} // namespace
+
+TEST(DenseLinear, ForwardMatchesMatrix)
+{
+    Rng rng(1);
+    DenseLinear op(3, 5);
+    op.initXavier(rng);
+    const Vector x = randomVec(5, 2);
+    Vector y;
+    op.forward(x, y);
+    const Vector expect = op.denseWeight()->matvec(x);
+    ASSERT_EQ(y.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(y[i], expect[i], 1e-12);
+}
+
+TEST(DenseLinear, BackwardAccumulatesOuterAndTranspose)
+{
+    Rng rng(3);
+    DenseLinear op(2, 3);
+    op.initXavier(rng);
+    const Vector x{1.0, -2.0, 0.5};
+    const Vector dy{0.3, -0.7};
+
+    Vector dx(3, 0.0);
+    op.backward(x, dy, &dx);
+
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_NEAR(op.denseGrad()->at(r, c), dy[r] * x[c], 1e-12);
+
+    Vector expect_dx(3, 0.0);
+    op.denseWeight()->matvecTransposeAcc(dy, expect_dx);
+    for (std::size_t c = 0; c < 3; ++c)
+        EXPECT_NEAR(dx[c], expect_dx[c], 1e-12);
+}
+
+class CirculantLinearBlocks
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(CirculantLinearBlocks, ForwardMatchesDenseEquivalent)
+{
+    const std::size_t lb = GetParam();
+    Rng rng(10 + lb);
+    CirculantLinear op(2 * lb, 3 * lb, lb);
+    op.initXavier(rng);
+    const Vector x = randomVec(3 * lb, 20 + lb);
+    Vector y;
+    op.forward(x, y);
+    const Vector expect = op.circulantWeight()->toDense().matvec(x);
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], expect[i], 1e-9);
+}
+
+TEST_P(CirculantLinearBlocks, AdjointIdentityThroughBackward)
+{
+    // <W x, dy> == <x, W^T dy>
+    const std::size_t lb = GetParam();
+    Rng rng(30 + lb);
+    CirculantLinear op(2 * lb, 2 * lb, lb);
+    op.initXavier(rng);
+    const Vector x = randomVec(2 * lb, 40 + lb);
+    const Vector dy = randomVec(2 * lb, 41 + lb);
+
+    Vector wx;
+    op.forward(x, wx);
+    Vector wtdy(2 * lb, 0.0);
+    op.backward(x, dy, &wtdy);
+    EXPECT_NEAR(dot(wx, dy), dot(x, wtdy), 1e-9);
+}
+
+TEST_P(CirculantLinearBlocks, GeneratorGradientByFiniteDifference)
+{
+    // L = <W x, dy>, so dL/dgen must match central differences.
+    const std::size_t lb = GetParam();
+    Rng rng(50 + lb);
+    CirculantLinear op(lb * 2, lb * 2, lb);
+    op.initXavier(rng);
+    const Vector x = randomVec(lb * 2, 60 + lb);
+    const Vector dy = randomVec(lb * 2, 61 + lb);
+
+    ParamRegistry reg;
+    op.registerParams(reg, "w");
+    reg.zeroGrad();
+    op.backward(x, dy, nullptr);
+
+    auto &view = reg.views()[0];
+    auto loss = [&]() {
+        Vector y;
+        op.forward(x, y);
+        return dot(y, dy);
+    };
+    const Real h = 1e-6;
+    for (std::size_t k = 0; k < view.size; ++k) {
+        const Real saved = view.data[k];
+        view.data[k] = saved + h;
+        reg.notifyUpdated();
+        const Real up = loss();
+        view.data[k] = saved - h;
+        reg.notifyUpdated();
+        const Real down = loss();
+        view.data[k] = saved;
+        reg.notifyUpdated();
+        EXPECT_NEAR(view.grad[k], (up - down) / (2 * h), 1e-6)
+            << "gen[" << k << "]";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, CirculantLinearBlocks,
+                         ::testing::Values(2, 4, 8));
+
+TEST(CirculantLinear, FromDenseIsTheProjection)
+{
+    Rng rng(70);
+    Matrix dense(8, 8);
+    dense.initXavier(rng);
+    auto op = CirculantLinear::fromDense(dense, 4);
+    const auto expect =
+        circulant::BlockCirculantMatrix::fromDense(dense, 4);
+    for (std::size_t i = 0; i < expect.raw().size(); ++i)
+        EXPECT_NEAR(op->circulantWeight()->raw()[i],
+                    expect.raw()[i], 1e-12);
+}
+
+TEST(CirculantLinear, ParamCountReflectsCompression)
+{
+    CirculantLinear op(16, 32, 8);
+    EXPECT_EQ(op.paramCount(), 16u * 32u / 8u);
+    EXPECT_EQ(op.blockSize(), 8u);
+}
+
+TEST(MakeLinear, FactorySelectsRepresentation)
+{
+    auto dense = makeLinear(4, 4, 1);
+    EXPECT_NE(dense->denseWeight(), nullptr);
+    EXPECT_EQ(dense->circulantWeight(), nullptr);
+
+    auto circ = makeLinear(4, 4, 2);
+    EXPECT_EQ(circ->denseWeight(), nullptr);
+    EXPECT_NE(circ->circulantWeight(), nullptr);
+    EXPECT_EQ(circ->blockSize(), 2u);
+}
+
+TEST(ParamRegistry, OnUpdateInvalidatesSpectra)
+{
+    // Mutating generators through the registry and calling
+    // notifyUpdated must change subsequent matvec results.
+    Rng rng(80);
+    CirculantLinear op(4, 4, 4);
+    op.initXavier(rng);
+    const Vector x = randomVec(4, 81);
+    Vector y1;
+    op.forward(x, y1);
+
+    ParamRegistry reg;
+    op.registerParams(reg, "w");
+    reg.views()[0].data[0] += 2.0;
+    reg.notifyUpdated();
+
+    Vector y2;
+    op.forward(x, y2);
+    Real diff = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        diff += std::abs(y1[i] - y2[i]);
+    EXPECT_GT(diff, 0.5);
+}

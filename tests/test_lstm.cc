@@ -1,0 +1,241 @@
+/**
+ * @file
+ * LSTM layer tests: forward pass against an independent hand-rolled
+ * reference of Eqn. (1), and finite-difference gradient checks across
+ * configurations (peephole / projection / circulant weights).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "grad_check.hh"
+#include "nn/lstm.hh"
+
+using namespace ernn;
+using namespace ernn::nn;
+using ernn::nn::testing::checkLayerGradients;
+using ernn::nn::testing::randomSequence;
+
+namespace
+{
+
+/** Fetch the dense equivalent of any LinearOp. */
+Matrix
+denseOf(LinearOp &op)
+{
+    if (op.denseWeight())
+        return *op.denseWeight();
+    return op.circulantWeight()->toDense();
+}
+
+/**
+ * Independent scalar-loop reference of Eqn. (1), written directly
+ * from the paper's equations (no shared code with LstmLayer).
+ */
+Sequence
+referenceLstm(LstmLayer &layer, const Sequence &xs)
+{
+    const LstmConfig &cfg = layer.config();
+    const std::size_t h = cfg.hiddenSize;
+    const std::size_t out = cfg.outputSize();
+
+    const Matrix wix = denseOf(layer.wix()), wfx = denseOf(layer.wfx());
+    const Matrix wcx = denseOf(layer.wcx()), wox = denseOf(layer.wox());
+    const Matrix wir = denseOf(layer.wir()), wfr = denseOf(layer.wfr());
+    const Matrix wcr = denseOf(layer.wcr()), wor = denseOf(layer.wor());
+
+    // Pull biases/peepholes through the registry.
+    ParamRegistry reg;
+    layer.registerParams(reg, "l");
+    auto find = [&](const std::string &name) -> const ParamView & {
+        for (const auto &v : reg.views())
+            if (v.name == name)
+                return v;
+        ADD_FAILURE() << "missing param " << name;
+        static ParamView dummy;
+        return dummy;
+    };
+    const ParamView &bi = find("l.bi"), &bf = find("l.bf");
+    const ParamView &bc = find("l.bc"), &bo = find("l.bo");
+
+    Vector c(h, 0.0), y(out, 0.0);
+    Sequence ys;
+    for (const Vector &x : xs) {
+        Vector i(h), f(h), g(h), o(h), cn(h), m(h);
+        const Vector ix = wix.matvec(x), ir = wir.matvec(y);
+        const Vector fx = wfx.matvec(x), fr = wfr.matvec(y);
+        const Vector gx = wcx.matvec(x), gr = wcr.matvec(y);
+        const Vector ox = wox.matvec(x), orr = wor.matvec(y);
+        for (std::size_t k = 0; k < h; ++k) {
+            Real ipre = ix[k] + ir[k] + bi.data[k];
+            Real fpre = fx[k] + fr[k] + bf.data[k];
+            if (cfg.peephole) {
+                ipre += find("l.wic").data[k] * c[k];
+                fpre += find("l.wfc").data[k] * c[k];
+            }
+            i[k] = sigmoid(ipre);
+            f[k] = sigmoid(fpre);
+            const Real gpre = gx[k] + gr[k] + bc.data[k];
+            g[k] = cfg.cellInputAct == ActKind::Tanh ?
+                       std::tanh(gpre) : sigmoid(gpre);
+            cn[k] = f[k] * c[k] + g[k] * i[k];
+        }
+        for (std::size_t k = 0; k < h; ++k) {
+            Real opre = ox[k] + orr[k] + bo.data[k];
+            if (cfg.peephole)
+                opre += find("l.woc").data[k] * cn[k];
+            o[k] = sigmoid(opre);
+            m[k] = o[k] * (cfg.outputAct == ActKind::Tanh ?
+                               std::tanh(cn[k]) : sigmoid(cn[k]));
+        }
+        if (layer.wym()) {
+            y = denseOf(*layer.wym()).matvec(m);
+        } else {
+            y = m;
+        }
+        c = cn;
+        ys.push_back(y);
+    }
+    return ys;
+}
+
+} // namespace
+
+struct LstmCase
+{
+    bool peephole;
+    std::size_t projection;
+    std::size_t block;
+    const char *name;
+};
+
+class LstmConfigs : public ::testing::TestWithParam<LstmCase>
+{
+};
+
+TEST_P(LstmConfigs, ForwardMatchesReference)
+{
+    const LstmCase &tc = GetParam();
+    LstmConfig cfg;
+    cfg.inputSize = 4;
+    cfg.hiddenSize = 8;
+    cfg.projectionSize = tc.projection;
+    cfg.peephole = tc.peephole;
+    cfg.blockSizeInput = tc.block;
+    cfg.blockSizeRecurrent = tc.block;
+    cfg.blockSizeProjection = tc.block;
+
+    LstmLayer layer(cfg);
+    Rng rng(100);
+    layer.initXavier(rng);
+
+    const Sequence xs = randomSequence(5, 4, 7);
+    const Sequence got = layer.forward(xs);
+    const Sequence expect = referenceLstm(layer, xs);
+
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t t = 0; t < got.size(); ++t) {
+        ASSERT_EQ(got[t].size(), expect[t].size());
+        for (std::size_t k = 0; k < got[t].size(); ++k)
+            EXPECT_NEAR(got[t][k], expect[t][k], 1e-9)
+                << "t=" << t << " k=" << k;
+    }
+}
+
+TEST_P(LstmConfigs, GradientsMatchFiniteDifferences)
+{
+    const LstmCase &tc = GetParam();
+    LstmConfig cfg;
+    cfg.inputSize = 4;
+    cfg.hiddenSize = 4;
+    cfg.projectionSize = tc.projection ? 4 : 0;
+    cfg.peephole = tc.peephole;
+    cfg.blockSizeInput = tc.block;
+    cfg.blockSizeRecurrent = tc.block;
+    cfg.blockSizeProjection = tc.block;
+
+    LstmLayer layer(cfg);
+    Rng rng(200);
+    layer.initXavier(rng);
+    ParamRegistry reg;
+    layer.registerParams(reg, "l");
+
+    const Sequence xs = randomSequence(3, 4, 8);
+    checkLayerGradients(layer, reg, xs, 9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, LstmConfigs,
+    ::testing::Values(LstmCase{false, 0, 1, "plain"},
+                      LstmCase{true, 0, 1, "peephole"},
+                      LstmCase{true, 4, 1, "peephole_projection"},
+                      LstmCase{false, 0, 2, "circulant2"},
+                      LstmCase{true, 4, 4, "circulant4_full"}),
+    [](const ::testing::TestParamInfo<LstmCase> &info) {
+        return info.param.name;
+    });
+
+TEST(Lstm, OutputDimsFollowProjection)
+{
+    LstmConfig cfg;
+    cfg.inputSize = 6;
+    cfg.hiddenSize = 10;
+    cfg.projectionSize = 4;
+    LstmLayer layer(cfg);
+    EXPECT_EQ(layer.outputSize(), 4u);
+    const Sequence ys = layer.forward(randomSequence(3, 6, 1));
+    EXPECT_EQ(ys.size(), 3u);
+    EXPECT_EQ(ys[0].size(), 4u);
+}
+
+TEST(Lstm, ParamCountCountsCompression)
+{
+    LstmConfig dense_cfg;
+    dense_cfg.inputSize = 8;
+    dense_cfg.hiddenSize = 8;
+    LstmConfig circ_cfg = dense_cfg;
+    circ_cfg.blockSizeInput = 4;
+    circ_cfg.blockSizeRecurrent = 4;
+
+    LstmLayer dense(dense_cfg), circ(circ_cfg);
+    // 8 weight matrices compress 4x; biases stay.
+    const std::size_t dense_w = 8 * 8 * 8;
+    const std::size_t bias = 4 * 8;
+    EXPECT_EQ(dense.paramCount(), dense_w + bias);
+    EXPECT_EQ(circ.paramCount(), dense_w / 4 + bias);
+}
+
+TEST(Lstm, ZeroInputGivesZeroFirstOutputWithZeroWeights)
+{
+    // With all-zero parameters: i = f = o = sigma(0) = 0.5,
+    // g = tanh(0) = 0, so c = 0 and y = 0.
+    LstmConfig cfg;
+    cfg.inputSize = 3;
+    cfg.hiddenSize = 5;
+    LstmLayer layer(cfg);
+    const Sequence ys = layer.forward(randomSequence(2, 3, 3));
+    for (const auto &y : ys)
+        for (Real v : y)
+            EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Lstm, StateResetsBetweenSequences)
+{
+    LstmConfig cfg;
+    cfg.inputSize = 3;
+    cfg.hiddenSize = 4;
+    cfg.peephole = true;
+    LstmLayer layer(cfg);
+    Rng rng(5);
+    layer.initXavier(rng);
+
+    const Sequence xs = randomSequence(4, 3, 6);
+    const Sequence y1 = layer.forward(xs);
+    (void)layer.forward(randomSequence(4, 3, 7));
+    const Sequence y2 = layer.forward(xs);
+    for (std::size_t t = 0; t < y1.size(); ++t)
+        for (std::size_t k = 0; k < y1[t].size(); ++k)
+            EXPECT_DOUBLE_EQ(y1[t][k], y2[t][k]);
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dense matrix and vector-op tests: matvec against hand references,
+ * backprop identities, and pointwise primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "tensor/matrix.hh"
+#include "tensor/vector_ops.hh"
+
+using namespace ernn;
+
+TEST(VectorOps, PointwisePrimitives)
+{
+    Vector a{1, 2, 3}, b{4, 5, 6};
+    addInPlace(a, b);
+    EXPECT_EQ(a, (Vector{5, 7, 9}));
+    subInPlace(a, b);
+    EXPECT_EQ(a, (Vector{1, 2, 3}));
+    EXPECT_EQ(hadamard(a, b), (Vector{4, 10, 18}));
+    axpy(a, 2.0, b);
+    EXPECT_EQ(a, (Vector{9, 12, 15}));
+    EXPECT_DOUBLE_EQ(dot(b, b), 77.0);
+    EXPECT_DOUBLE_EQ(maxAbs(Vector{-7, 3}), 7.0);
+    EXPECT_EQ(concat(Vector{1}, Vector{2, 3}), (Vector{1, 2, 3}));
+    EXPECT_EQ(argmax(Vector{0.1, 0.9, 0.5}), 1u);
+}
+
+TEST(Matrix, MatvecAgainstHandReference)
+{
+    Matrix a(2, 3);
+    // [1 2 3; 4 5 6]
+    a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+    a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+    const Vector y = a.matvec({1, 0, -1});
+    EXPECT_DOUBLE_EQ(y[0], -2.0);
+    EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, TransposeMatvecIsAdjoint)
+{
+    // <A x, y> == <x, A^T y> for random A, x, y.
+    Rng rng(17);
+    Matrix a(5, 7);
+    a.initXavier(rng);
+    Vector x(7), y(5);
+    rng.fillNormal(x, 1.0);
+    rng.fillNormal(y, 1.0);
+
+    const Vector ax = a.matvec(x);
+    Vector aty(7, 0.0);
+    a.matvecTransposeAcc(y, aty);
+    EXPECT_NEAR(dot(ax, y), dot(x, aty), 1e-10);
+}
+
+TEST(Matrix, OuterAccGradientIdentity)
+{
+    // d/dW of <W x, dy> is dy x^T.
+    Matrix g(3, 2);
+    g.outerAcc({1, 2, 3}, {10, 20});
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(g.at(0, 1), 20.0);
+    EXPECT_DOUBLE_EQ(g.at(2, 1), 60.0);
+}
+
+TEST(Matrix, FrobeniusNormAndDistance)
+{
+    Matrix a(2, 2), b(2, 2);
+    a.at(0, 0) = 3;
+    a.at(1, 1) = 4;
+    EXPECT_DOUBLE_EQ(a.frobeniusNorm(), 5.0);
+    EXPECT_DOUBLE_EQ(a.frobeniusDistance(b), 5.0);
+    EXPECT_TRUE(a.approxEqual(a, 0.0));
+    EXPECT_FALSE(a.approxEqual(b, 1.0));
+}
+
+TEST(Matrix, XavierBoundRespected)
+{
+    Rng rng(23);
+    Matrix a(64, 64);
+    a.initXavier(rng);
+    const Real bound = std::sqrt(6.0 / 128.0);
+    for (auto v : a.raw()) {
+        EXPECT_LE(v, bound);
+        EXPECT_GE(v, -bound);
+    }
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the Sec. V computation model: the analytic counts must
+ * match the instrumented kernels exactly, and the model must exhibit
+ * the paper's qualitative observations (0.5x at block size 2,
+ * convergence of the reduction, decoupling savings).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "circulant/block_circulant.hh"
+#include "circulant/mult_model.hh"
+#include "tensor/fft.hh"
+
+using namespace ernn;
+using namespace ernn::circulant;
+
+class MultModelVsRuntime
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MultModelVsRuntime, AnalyticCountEqualsInstrumentedKernels)
+{
+    const std::size_t lb = GetParam();
+    const std::size_t rows = 4 * lb, cols = 2 * lb;
+    Rng rng(lb);
+    BlockCirculantMatrix w(rows, cols, lb);
+    w.initXavier(rng);
+    Vector x(cols);
+    rng.fillNormal(x, 1.0);
+    (void)w.matvec(x); // warm the weight-spectrum cache
+
+    fft::OpCountScope scope;
+    (void)w.matvec(x);
+    const auto runtime = scope.counters();
+    const auto model = layerMultCount(rows, cols, lb,
+                                      FftCostConvention::Optimized);
+
+    EXPECT_EQ(runtime.realMults, model.total());
+    EXPECT_EQ(runtime.fftCalls, model.fftCalls);
+    EXPECT_EQ(runtime.ifftCalls, model.ifftCalls);
+    EXPECT_EQ(runtime.eltwiseMults, model.eltwiseMults);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, MultModelVsRuntime,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(MultModel, BlockSizeTwoHalvesTheMultiplications)
+{
+    // Paper Fig. 8: at block size 2 the normalized count is 0.5 —
+    // size-2 FFTs are multiplication-free and each block contributes
+    // 2 real products.
+    EXPECT_DOUBLE_EQ(
+        normalizedMults(512, 2, FftCostConvention::Optimized), 0.5);
+    EXPECT_NEAR(
+        normalizedMults(512, 2, FftCostConvention::ConservativeComplex),
+        0.5, 0.02);
+}
+
+TEST(MultModel, ReductionIsMonotoneThroughModerateBlockSizes)
+{
+    for (std::size_t n : {512u, 1024u}) {
+        Real prev = 1.0;
+        for (std::size_t lb = 2; lb <= 64; lb <<= 1) {
+            const Real cur =
+                normalizedMults(n, lb, FftCostConvention::Optimized);
+            EXPECT_LT(cur, prev) << "n=" << n << " lb=" << lb;
+            prev = cur;
+        }
+    }
+}
+
+TEST(MultModel, ConservativeConventionShowsConvergenceAndUptick)
+{
+    // Sec. V-B observation: the reduction converges around 32-64 and
+    // the count rises again for very large blocks (hardware FFT cost
+    // overtakes the elementwise savings).
+    const std::size_t n = 512;
+    const Real at32 =
+        normalizedMults(n, 32, FftCostConvention::ConservativeComplex);
+    const Real at64 =
+        normalizedMults(n, 64, FftCostConvention::ConservativeComplex);
+    const Real at128 =
+        normalizedMults(n, 128, FftCostConvention::ConservativeComplex);
+    const Real at512 =
+        normalizedMults(n, 512, FftCostConvention::ConservativeComplex);
+
+    // Still improving up to 64, but by less and less...
+    EXPECT_LT(at64, at32);
+    EXPECT_LT(at32 - at64, 0.5 * at32);
+    // ...essentially flat by 128, and increasing at the extreme.
+    EXPECT_LT(std::abs(at128 - at64), 0.35 * at64);
+    EXPECT_GT(at512, at128);
+}
+
+TEST(MultModel, UpperBoundRecommendationIsInPaperRange)
+{
+    // The paper sets the upper bound of block size optimization at
+    // 32 or 64 for ASR-sized layers.
+    for (std::size_t n : {512u, 1024u}) {
+        const std::size_t ub = blockSizeUpperBound(n);
+        EXPECT_GE(ub, 16u) << "layer " << n;
+        EXPECT_LE(ub, 64u) << "layer " << n;
+    }
+}
+
+TEST(MultModel, DecouplingReducesTransformCalls)
+{
+    // Fig. 7: decoupling takes p*q forward+inverse FFTs to q and p.
+    const auto coupled = layerMultCount(
+        512, 512, 8, FftCostConvention::Optimized, false);
+    const auto decoupled = layerMultCount(
+        512, 512, 8, FftCostConvention::Optimized, true);
+    EXPECT_EQ(coupled.fftCalls, 64u * 64u);
+    EXPECT_EQ(decoupled.fftCalls, 64u);
+    EXPECT_EQ(decoupled.ifftCalls, 64u);
+    EXPECT_LT(decoupled.total(), coupled.total());
+    // Elementwise work is unchanged by decoupling.
+    EXPECT_EQ(coupled.eltwiseMults, decoupled.eltwiseMults);
+}
+
+TEST(MultModel, SweepCoversRequestedRange)
+{
+    const auto sweep = multSweep(1024, 256);
+    ASSERT_EQ(sweep.size(), 8u); // 2,4,8,16,32,64,128,256
+    EXPECT_EQ(sweep.front().blockSize, 2u);
+    EXPECT_EQ(sweep.back().blockSize, 256u);
+    for (const auto &pt : sweep) {
+        EXPECT_GT(pt.normalizedOptimized, 0.0);
+        EXPECT_LT(pt.normalizedOptimized, 1.0);
+        EXPECT_GT(pt.normalizedConservative, 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Phase I tests: the Fig. 2 algorithm must reproduce the paper's
+ * decisions on the calibrated TIMIT oracle — block bounds from the
+ * BRAM check and the computation model, the largest feasible block
+ * size, the LSTM->GRU switch, the input-matrix fine-tuning — all
+ * within ~5 training trials.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ernn/phase1.hh"
+
+using namespace ernn;
+using namespace ernn::core;
+
+namespace
+{
+
+nn::ModelSpec
+eseBaseline()
+{
+    // The ESE baseline the paper starts from: dense LSTM-1024 x2
+    // with projection 512 and peepholes.
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 153;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024, 1024};
+    spec.peephole = true;
+    spec.projectionSize = 512;
+    return spec;
+}
+
+} // namespace
+
+TEST(Phase1, ReproducesPaperDecisionOnTimitOracle)
+{
+    speech::TimitOracle oracle;
+    Phase1Optimizer opt(oracle, hw::xcku060());
+    const Phase1Result r = opt.run(eseBaseline());
+
+    ASSERT_TRUE(r.feasible);
+    // Paper: lower bound 4-8 (BRAM fit), upper bound 32-64 (Sec. V).
+    EXPECT_GE(r.blockLowerBound, 2u);
+    EXPECT_LE(r.blockLowerBound, 8u);
+    EXPECT_GE(r.blockUpperBound, 16u);
+    EXPECT_LE(r.blockUpperBound, 64u);
+
+    // The accuracy budget of 0.30% admits block 16 but not 32
+    // (Table I: 16-16 degrades 0.31 ~ budget; the oracle's ADMM
+    // numbers give 0.31 for LSTM and the GRU switch keeps it
+    // within budget). The final model must use block size 16 or 8.
+    const std::size_t final_block = r.finalSpec.blockFor(0);
+    EXPECT_TRUE(final_block == 8 || final_block == 16)
+        << "got block " << final_block;
+    EXPECT_LE(r.finalDegradation, 0.30 + 1e-9);
+
+    // Paper: "the total number of training trials is limited to
+    // around 5".
+    EXPECT_LE(r.trainingTrials, 6u);
+    EXPECT_GE(r.trainingTrials, 2u);
+}
+
+TEST(Phase1, SwitchesToGruWhenAccuracyAllows)
+{
+    speech::TimitOracle oracle;
+    Phase1Config cfg;
+    cfg.maxPerDegradation = 0.30;
+    Phase1Optimizer opt(oracle, hw::xcku060(), cfg);
+    const Phase1Result r = opt.run(eseBaseline());
+    ASSERT_TRUE(r.feasible);
+    // The paper: "we can switch safely from LSTM to GRU" — with the
+    // 0.30% budget the GRU at the chosen block size stays in budget.
+    EXPECT_EQ(r.finalSpec.type, nn::ModelType::Gru);
+}
+
+TEST(Phase1, TightBudgetKeepsSmallBlocks)
+{
+    speech::TimitOracle oracle;
+    Phase1Config cfg;
+    cfg.maxPerDegradation = 0.05; // "very tight" accuracy requirement
+    Phase1Optimizer opt(oracle, hw::xcku060(), cfg);
+    const Phase1Result r = opt.run(eseBaseline());
+    ASSERT_TRUE(r.feasible);
+    // Table I: at 1024-1024 only block 4 is essentially free.
+    EXPECT_LE(r.finalSpec.blockFor(0), 8u);
+    EXPECT_LE(r.finalDegradation, 0.05);
+}
+
+TEST(Phase1, LooseBudgetReachesTheUpperBound)
+{
+    speech::TimitOracle oracle;
+    Phase1Config cfg;
+    cfg.maxPerDegradation = 5.0; // accuracy barely matters
+    Phase1Optimizer opt(oracle, hw::xcku060(), cfg);
+    const Phase1Result r = opt.run(eseBaseline());
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.finalSpec.blockFor(0), r.blockUpperBound);
+    // One step-2 trial suffices when the top block size passes.
+    EXPECT_LE(r.trainingTrials, 4u);
+}
+
+TEST(Phase1, InfeasibleWhenNoBlockSizeMeetsBudget)
+{
+    speech::TimitOracle oracle;
+    Phase1Config cfg;
+    cfg.maxPerDegradation = -1.0; // impossible budget
+    Phase1Optimizer opt(oracle, hw::xcku060(), cfg);
+    const Phase1Result r = opt.run(eseBaseline());
+    EXPECT_FALSE(r.feasible);
+}
+
+TEST(Phase1, FineTuningRaisesInputBlocksWithinBudget)
+{
+    speech::TimitOracle oracle;
+    Phase1Config cfg;
+    cfg.tryGru = false; // isolate the input-matrix fine-tuning
+    Phase1Optimizer opt(oracle, hw::xcku060(), cfg);
+    const Phase1Result r = opt.run(eseBaseline());
+    ASSERT_TRUE(r.feasible);
+    // When accepted, the input block size is exactly one power of
+    // two above the recurrent one (paper: at most 2 block types).
+    const std::size_t rec = r.finalSpec.blockFor(0);
+    const std::size_t in = r.finalSpec.inputBlockFor(0);
+    EXPECT_TRUE(in == rec || in == 2 * rec);
+    EXPECT_LE(r.finalDegradation, cfg.maxPerDegradation + 1e-9);
+}
+
+TEST(Phase1, TraceRecordsEveryTrainingTrial)
+{
+    speech::TimitOracle oracle;
+    Phase1Optimizer opt(oracle, hw::xcku060());
+    const Phase1Result r = opt.run(eseBaseline());
+    std::size_t trial_steps = 0;
+    for (const auto &step : r.trace)
+        trial_steps += step.trainingTrial;
+    EXPECT_EQ(trial_steps, r.trainingTrials);
+    EXPECT_GE(r.trace.size(), 4u); // bounds + at least 2 decisions
+}
+
+TEST(Phase1, RejectsNonLstmOrNonDenseBaselines)
+{
+    speech::TimitOracle oracle;
+    Phase1Optimizer opt(oracle, hw::xcku060());
+    nn::ModelSpec gru = eseBaseline();
+    gru.type = nn::ModelType::Gru;
+    gru.peephole = false;
+    gru.projectionSize = 0;
+    EXPECT_DEATH(opt.run(gru), "LSTM");
+
+    nn::ModelSpec blocked = eseBaseline();
+    blocked.blockSizes = {8, 8};
+    EXPECT_DEATH(opt.run(blocked), "dense");
+}

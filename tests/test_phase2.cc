@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Phase II tests: the bit-width search must land on the paper's
+ * 12-bit choice, the activation implementation must hide under the
+ * quantization step, and the hardware mapping must agree with the
+ * cycle-level simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ernn/explorer.hh"
+#include "ernn/phase2.hh"
+
+using namespace ernn;
+using namespace ernn::core;
+
+namespace
+{
+
+nn::ModelSpec
+compressedGru(std::size_t block)
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Gru;
+    spec.inputDim = 153;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024};
+    spec.blockSizes = {block};
+    return spec;
+}
+
+} // namespace
+
+TEST(Phase2, SelectsTwelveBitQuantization)
+{
+    Phase2Optimizer opt(hw::xcku060());
+    const Phase2Result r = opt.run(compressedGru(8));
+    // The paper: "The bit length is optimized to be 12 bits ...
+    // 12-bit weight quantization is in general a safe design."
+    EXPECT_EQ(r.weightBits, 12);
+    EXPECT_LE(r.quantDegradation, 0.10);
+    EXPECT_EQ(r.bitSweep.size(), 4u);
+    // 8 bits must have failed the budget.
+    EXPECT_GT(r.bitSweep.front().second, 0.10);
+}
+
+TEST(Phase2, CustomQuantOracleIsHonored)
+{
+    Phase2Optimizer opt(hw::xcku060());
+    // An oracle where even 8 bits is fine.
+    const Phase2Result r = opt.run(
+        compressedGru(8), [](int) { return 0.01; });
+    EXPECT_EQ(r.weightBits, 8);
+}
+
+TEST(Phase2, ActivationErrorHidesUnderQuantizationStep)
+{
+    Phase2Optimizer opt(hw::xcku060());
+    const Phase2Result r = opt.run(compressedGru(8));
+    const quant::FixedPointFormat fmt =
+        quant::chooseFormat(r.weightBits, 4.0);
+    EXPECT_LE(r.sigmoidMaxError, fmt.step());
+    EXPECT_LE(r.tanhMaxError, fmt.step());
+    EXPECT_GE(r.activationSegments, 32u);
+}
+
+TEST(Phase2, DesignAndSimulatorAgree)
+{
+    Phase2Optimizer opt(hw::adm7v3());
+    const Phase2Result r = opt.run(compressedGru(16));
+    EXPECT_NEAR(r.simCrossCheck.latencyUs, r.design.latencyUs,
+                0.08 * r.design.latencyUs);
+    EXPECT_NEAR(r.simCrossCheck.fps, r.design.fps,
+                0.08 * r.design.fps);
+}
+
+TEST(Explorer, EndToEndFlowProducesDeployableDesign)
+{
+    speech::TimitOracle oracle;
+    nn::ModelSpec baseline;
+    baseline.type = nn::ModelType::Lstm;
+    baseline.inputDim = 153;
+    baseline.numClasses = 39;
+    baseline.layerSizes = {1024, 1024};
+    baseline.peephole = true;
+    baseline.projectionSize = 512;
+
+    const ExplorationResult r =
+        optimizeDesign(oracle, baseline, hw::xcku060());
+    ASSERT_TRUE(r.phase1.feasible);
+    EXPECT_EQ(r.phase2.weightBits, 12);
+    // The end-to-end flow maps the full two-layer network (not
+    // just the Table III top layer), so throughput is lower.
+    EXPECT_GT(r.phase2.design.fps, 30000.0);
+    EXPECT_GT(r.phase2.design.fpsPerWatt, 1500.0);
+
+    const std::string report = renderReport(r);
+    EXPECT_NE(report.find("Phase I"), std::string::npos);
+    EXPECT_NE(report.find("Phase II"), std::string::npos);
+    EXPECT_NE(report.find("training trials"), std::string::npos);
+    EXPECT_NE(report.find("FPS/W"), std::string::npos);
+}
+
+TEST(Explorer, InfeasiblePhase1ShortCircuits)
+{
+    speech::TimitOracle oracle;
+    nn::ModelSpec baseline;
+    baseline.type = nn::ModelType::Lstm;
+    baseline.inputDim = 153;
+    baseline.numClasses = 39;
+    baseline.layerSizes = {1024, 1024};
+    baseline.peephole = true;
+    baseline.projectionSize = 512;
+
+    Phase1Config p1;
+    p1.maxPerDegradation = -1.0;
+    const ExplorationResult r =
+        optimizeDesign(oracle, baseline, hw::xcku060(), p1);
+    EXPECT_FALSE(r.phase1.feasible);
+    const std::string report = renderReport(r);
+    EXPECT_NE(report.find("INFEASIBLE"), std::string::npos);
+}

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Cross-cutting algebraic property tests (parameterized sweeps):
+ * linearity and closure of the circulant algebra, FFT theorems, the
+ * projection as a linear idempotent operator, quantization
+ * idempotence, and metric properties of the edit distance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "base/random.hh"
+#include "circulant/block_circulant.hh"
+#include "quant/fixed_point.hh"
+#include "speech/per.hh"
+#include "tensor/fft.hh"
+
+using namespace ernn;
+using circulant::BlockCirculantMatrix;
+
+namespace
+{
+
+Vector
+randomVec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vector v(n);
+    rng.fillNormal(v, 1.0);
+    return v;
+}
+
+Matrix
+randomMat(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(r, c);
+    for (auto &v : m.raw())
+        v = rng.normal();
+    return m;
+}
+
+} // namespace
+
+class CirculantAlgebra
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>>
+{
+  protected:
+    std::size_t lb() const { return std::get<0>(GetParam()); }
+    std::uint64_t seed() const
+    {
+        return 9000 + lb() * 100 +
+               static_cast<std::uint64_t>(std::get<1>(GetParam()));
+    }
+};
+
+TEST_P(CirculantAlgebra, MatvecIsLinear)
+{
+    const std::size_t n = 2 * lb();
+    Rng rng(seed());
+    BlockCirculantMatrix w(n, n, lb());
+    w.initXavier(rng);
+    const Vector x = randomVec(n, seed() + 1);
+    const Vector y = randomVec(n, seed() + 2);
+
+    Vector xy(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xy[i] = 2.5 * x[i] - 0.5 * y[i];
+
+    const Vector wxy = w.matvec(xy);
+    const Vector wx = w.matvec(x);
+    const Vector wy = w.matvec(y);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(wxy[i], 2.5 * wx[i] - 0.5 * wy[i], 1e-9);
+}
+
+TEST_P(CirculantAlgebra, CirculantProductIsCirculant)
+{
+    // Circulant matrices form a commutative algebra: the product of
+    // two circulant blocks is circulant (this is why the frequency
+    // domain diagonalizes them).
+    const std::size_t n = lb();
+    if (n < 2)
+        GTEST_SKIP();
+    Rng rng(seed());
+    BlockCirculantMatrix a(n, n, n), b(n, n, n);
+    a.initXavier(rng);
+    b.initXavier(rng);
+    const Matrix da = a.toDense(), db = b.toDense();
+
+    Matrix prod(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            Real s = 0;
+            for (std::size_t k = 0; k < n; ++k)
+                s += da.at(i, k) * db.at(k, j);
+            prod.at(i, j) = s;
+        }
+
+    // Distance of the product to its circulant projection is zero.
+    const auto proj = BlockCirculantMatrix::fromDense(prod, n);
+    EXPECT_NEAR(proj.distanceFromDense(prod), 0.0, 1e-9);
+}
+
+TEST_P(CirculantAlgebra, ProjectionIsLinear)
+{
+    const std::size_t n = 2 * lb();
+    const Matrix a = randomMat(n, n, seed() + 3);
+    const Matrix b = randomMat(n, n, seed() + 4);
+    Matrix combo = a;
+    combo.axpy(-1.7, b); // combo = a - 1.7 b  (axpy adds)
+    // Rebuild as a + (-1.7) b exactly:
+    const auto pa = BlockCirculantMatrix::fromDense(a, lb());
+    const auto pb = BlockCirculantMatrix::fromDense(b, lb());
+    const auto pc = BlockCirculantMatrix::fromDense(combo, lb());
+    for (std::size_t i = 0; i < pc.raw().size(); ++i)
+        EXPECT_NEAR(pc.raw()[i], pa.raw()[i] - 1.7 * pb.raw()[i],
+                    1e-9);
+}
+
+TEST_P(CirculantAlgebra, ProjectionNeverIncreasesNorm)
+{
+    // The Euclidean projection onto a linear subspace is a
+    // contraction.
+    const std::size_t n = 2 * lb();
+    const Matrix a = randomMat(n, n, seed() + 5);
+    const auto p = BlockCirculantMatrix::fromDense(a, lb());
+    EXPECT_LE(p.frobeniusNorm(), a.frobeniusNorm() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, CirculantAlgebra,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(0, 1)));
+
+class FftTheorems : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftTheorems, CircularShiftTheorem)
+{
+    // Shifting the input rotates spectral phases:
+    // FFT(shift_s(x))[k] = FFT(x)[k] * exp(-2*pi*i*k*s/n).
+    const std::size_t n = GetParam();
+    const Vector x = randomVec(n, 31 + n);
+    const std::size_t s = n / 4 + 1;
+    Vector shifted(n);
+    for (std::size_t i = 0; i < n; ++i)
+        shifted[(i + s) % n] = x[i];
+
+    const auto fx = fft::rfft(x);
+    const auto fs = fft::rfft(shifted);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+        const Real ang = -2.0 * M_PI * static_cast<Real>(k * s) /
+                         static_cast<Real>(n);
+        const Complex expect =
+            fx[k] * Complex(std::cos(ang), std::sin(ang));
+        EXPECT_NEAR(std::abs(fs[k] - expect), 0.0, 1e-9)
+            << "bin " << k;
+    }
+}
+
+TEST_P(FftTheorems, ConvolutionTheorem)
+{
+    // IFFT(FFT(a) . FFT(b)) equals the circular convolution a * b.
+    const std::size_t n = GetParam();
+    const Vector a = randomVec(n, 41 + n);
+    const Vector b = randomVec(n, 42 + n);
+
+    const auto fa = fft::rfft(a);
+    const auto fb = fft::rfft(b);
+    fft::CVector prod(n / 2 + 1);
+    for (std::size_t k = 0; k <= n / 2; ++k)
+        prod[k] = fa[k] * fb[k];
+    const Vector got = fft::irfft(prod, n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        Real expect = 0;
+        for (std::size_t j = 0; j < n; ++j)
+            expect += a[j] * b[(i + n - j) % n];
+        EXPECT_NEAR(got[i], expect, 1e-9) << "lag " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftTheorems,
+                         ::testing::Values(4, 8, 16, 64, 256));
+
+TEST(QuantProperties, QuantizationIsIdempotent)
+{
+    Rng rng(51);
+    const quant::FixedPointFormat fmt = quant::chooseFormat(12, 4.0);
+    for (int i = 0; i < 500; ++i) {
+        const Real x = rng.uniform(-6.0, 6.0);
+        const Real q1 = fmt.quantize(x);
+        EXPECT_DOUBLE_EQ(fmt.quantize(q1), q1);
+    }
+}
+
+TEST(QuantProperties, QuantizationIsMonotone)
+{
+    const quant::FixedPointFormat fmt = quant::chooseFormat(10, 2.0);
+    Rng rng(52);
+    for (int i = 0; i < 500; ++i) {
+        const Real a = rng.uniform(-4.0, 4.0);
+        const Real b = rng.uniform(-4.0, 4.0);
+        if (a <= b)
+            EXPECT_LE(fmt.quantize(a), fmt.quantize(b));
+        else
+            EXPECT_GE(fmt.quantize(a), fmt.quantize(b));
+    }
+}
+
+TEST(EditDistanceProperties, IsAMetric)
+{
+    Rng rng(61);
+    auto random_seq = [&rng]() {
+        std::vector<int> s(rng.index(8) + 1);
+        for (auto &v : s)
+            v = static_cast<int>(rng.index(4));
+        return s;
+    };
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto a = random_seq();
+        const auto b = random_seq();
+        const auto c = random_seq();
+        // Identity, symmetry, triangle inequality.
+        EXPECT_EQ(speech::editDistance(a, a), 0u);
+        EXPECT_EQ(speech::editDistance(a, b),
+                  speech::editDistance(b, a));
+        EXPECT_LE(speech::editDistance(a, c),
+                  speech::editDistance(a, b) +
+                      speech::editDistance(b, c));
+    }
+}
+
+TEST(EditDistanceProperties, BoundedByLengths)
+{
+    Rng rng(62);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<int> a(rng.index(10) + 1), b(rng.index(10) + 1);
+        for (auto &v : a)
+            v = static_cast<int>(rng.index(5));
+        for (auto &v : b)
+            v = static_cast<int>(rng.index(5));
+        const std::size_t d = speech::editDistance(a, b);
+        EXPECT_LE(d, std::max(a.size(), b.size()));
+        EXPECT_GE(d + std::min(a.size(), b.size()),
+                  std::max(a.size(), b.size()));
+    }
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fixed-point quantization tests: format arithmetic, range-driven
+ * format selection, error bounds, model quantization with small
+ * accuracy impact (the paper's 12-bit observation), and the Phase II
+ * bit-width search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/model_builder.hh"
+#include "nn/trainer.hh"
+#include "quant/fixed_point.hh"
+#include "speech/dataset.hh"
+#include "speech/per.hh"
+
+using namespace ernn;
+using namespace ernn::quant;
+
+TEST(FixedPointFormat, StepAndRange)
+{
+    FixedPointFormat fmt{12, 8};
+    EXPECT_DOUBLE_EQ(fmt.step(), 1.0 / 256.0);
+    EXPECT_DOUBLE_EQ(fmt.minVal(), -8.0);
+    EXPECT_DOUBLE_EQ(fmt.maxVal(), 8.0 - 1.0 / 256.0);
+    EXPECT_EQ(fmt.name(), "Q3.8");
+}
+
+TEST(FixedPointFormat, QuantizeRoundsToGrid)
+{
+    FixedPointFormat fmt{8, 4}; // step 1/16
+    EXPECT_DOUBLE_EQ(fmt.quantize(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(fmt.quantize(0.06), 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(fmt.quantize(-0.03), 0.0);
+    // Saturation.
+    EXPECT_DOUBLE_EQ(fmt.quantize(100.0), fmt.maxVal());
+    EXPECT_DOUBLE_EQ(fmt.quantize(-100.0), fmt.minVal());
+}
+
+TEST(FixedPointFormat, QuantizationErrorBoundedByHalfStep)
+{
+    FixedPointFormat fmt{12, 9};
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const Real x = rng.uniform(-3.9, 3.9);
+        EXPECT_LE(std::abs(x - fmt.quantize(x)), fmt.step() / 2 + 1e-15);
+    }
+}
+
+TEST(ChooseFormat, CoversTheObservedRange)
+{
+    for (Real max_abs : {0.3, 0.9, 1.5, 3.0, 7.9, 100.0}) {
+        const FixedPointFormat fmt = chooseFormat(12, max_abs);
+        EXPECT_GE(fmt.maxVal() + fmt.step(), max_abs)
+            << "maxAbs " << max_abs;
+    }
+    // Small ranges get more fractional bits.
+    EXPECT_GT(chooseFormat(12, 0.4).fracBits,
+              chooseFormat(12, 3.0).fracBits);
+}
+
+TEST(ChooseFormat, MoreBitsNeverIncreaseError)
+{
+    Rng rng(2);
+    std::vector<Real> ref(512);
+    rng.fillNormal(ref, 1.0);
+    Real prev = 1e9;
+    for (int bits : {6, 8, 10, 12, 16}) {
+        auto buf = ref;
+        const Real err = quantizeInPlace(buf, chooseFormat(bits, 4.0));
+        EXPECT_LT(err, prev) << bits << " bits";
+        prev = err;
+    }
+}
+
+TEST(QuantizeParams, TwelveBitsKeepsModelAccuracy)
+{
+    // Train a small model, quantize weights+inputs to 12 bits, and
+    // verify the PER moves by well under the paper's 0.1% margin
+    // scaled to this task.
+    speech::AsrDataConfig dcfg;
+    dcfg.numPhones = 6;
+    dcfg.featureDim = 8;
+    dcfg.trainUtterances = 24;
+    dcfg.testUtterances = 10;
+    auto data = speech::makeSyntheticAsr(dcfg);
+
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Gru;
+    spec.inputDim = 8;
+    spec.numClasses = 6;
+    spec.layerSizes = {16};
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(3);
+    model.initXavier(rng);
+    nn::TrainConfig tc;
+    tc.epochs = 8;
+    tc.lr = 5e-3;
+    nn::Trainer(model, tc).train(data.train);
+
+    const Real per_before = speech::evaluatePer(model, data.test);
+    const QuantReport wr = quantizeParams(model.params(), 12);
+    auto quantized_data = data.test;
+    quantizeDataset(quantized_data, 12);
+    const Real per_after = speech::evaluatePer(model, quantized_data);
+
+    EXPECT_FALSE(wr.tensors.empty());
+    EXPECT_LT(wr.worstRmsError(), 0.01);
+    EXPECT_NEAR(per_after, per_before, 2.0); // percentage points
+}
+
+TEST(QuantizeParams, ReportAccountsStorage)
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Gru;
+    spec.inputDim = 8;
+    spec.numClasses = 4;
+    spec.layerSizes = {8};
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(4);
+    model.initXavier(rng);
+
+    const QuantReport report = quantizeParams(model.params(), 12);
+    std::size_t params = 0;
+    for (const auto &t : report.tensors)
+        params += t.count;
+    EXPECT_EQ(params, model.paramCount());
+    EXPECT_NEAR(report.totalBytes(),
+                static_cast<Real>(params) * 12.0 / 8.0, 1e-9);
+}
+
+TEST(SelectWeightBits, PicksSmallestAcceptableWidth)
+{
+    // Synthetic degradation curve: 8 bits is too lossy, 10+ fine.
+    auto deg = [](int bits) {
+        return bits >= 10 ? 0.05 : 0.5;
+    };
+    const BitSearchResult r =
+        selectWeightBits(deg, {8, 10, 12, 16}, 0.1);
+    EXPECT_EQ(r.bits, 10);
+    EXPECT_DOUBLE_EQ(r.degradation, 0.05);
+    EXPECT_EQ(r.sweep.size(), 4u);
+}
+
+TEST(SelectWeightBits, FallsBackToWidestWhenNoneFit)
+{
+    auto deg = [](int) { return 1.0; };
+    const BitSearchResult r = selectWeightBits(deg, {8, 12}, 0.1);
+    EXPECT_EQ(r.bits, 12);
+    EXPECT_DOUBLE_EQ(r.degradation, 1.0);
+}

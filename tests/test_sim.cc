@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Pipeline simulator tests: the cycle-level simulation must obey the
+ * textbook pipeline laws and agree with the analytic accelerator
+ * model within tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline.hh"
+
+using namespace ernn;
+using namespace ernn::sim;
+
+TEST(Pipeline, IndependentFramesReachMaxStageThroughput)
+{
+    // Double-buffered stages on distinct resources: steady interval
+    // equals the bottleneck stage.
+    const std::vector<PipelineStage> stages{
+        {"s1", 100, 0}, {"s2", 40, 1}, {"s3", 60, 2}};
+    const PipelineResult r = simulatePipeline(stages, 50, false);
+    EXPECT_EQ(r.firstFrameLatency, 200u);
+    EXPECT_EQ(r.steadyInterval, 100u);
+    // Makespan = fill + (F-1) * II.
+    EXPECT_EQ(r.makespan, 200u + 49u * 100u);
+}
+
+TEST(Pipeline, SharedResourceSerializesStages)
+{
+    // GRU-style TDM: stages 1 and 2 share resource 0, so the steady
+    // interval is their sum.
+    const std::vector<PipelineStage> stages{
+        {"s1", 100, 0}, {"s2", 80, 0}, {"s3", 20, 1}};
+    const PipelineResult r = simulatePipeline(stages, 50, false);
+    EXPECT_EQ(r.firstFrameLatency, 200u);
+    EXPECT_EQ(r.steadyInterval, 180u);
+}
+
+TEST(Pipeline, RecurrentDependencySerializesFrames)
+{
+    // Within one voice stream, frame t+1 needs y_t: interval equals
+    // the full per-frame latency.
+    const std::vector<PipelineStage> stages{
+        {"s1", 100, 0}, {"s2", 40, 1}, {"s3", 60, 2}};
+    const PipelineResult r = simulatePipeline(stages, 20, true);
+    EXPECT_EQ(r.firstFrameLatency, 200u);
+    EXPECT_EQ(r.steadyInterval, 200u);
+    EXPECT_EQ(r.makespan, 20u * 200u);
+}
+
+TEST(Pipeline, SingleStageDegenerates)
+{
+    const PipelineResult r =
+        simulatePipeline({{"only", 7, 0}}, 3, false);
+    EXPECT_EQ(r.firstFrameLatency, 7u);
+    EXPECT_EQ(r.steadyInterval, 7u);
+    EXPECT_EQ(r.makespan, 21u);
+}
+
+TEST(TdmMatvec, EqualsCeilFormula)
+{
+    for (std::size_t ops : {1u, 7u, 64u, 1000u, 43008u}) {
+        for (std::size_t pe : {1u, 3u, 41u, 125u}) {
+            const Cycles sim = simulateTdmMatvec(ops, pe, 2);
+            const Cycles analytic = 2ull * ((ops + pe - 1) / pe);
+            EXPECT_EQ(sim, analytic) << ops << " ops on " << pe;
+        }
+    }
+}
+
+TEST(CuStages, LstmHasThreeStagesOnDistinctResources)
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 153;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024};
+    spec.blockSizes = {8};
+    spec.peephole = true;
+    spec.projectionSize = 512;
+
+    const auto stages = buildCuStages(spec, 40);
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_NE(stages[0].resource, stages[1].resource);
+    EXPECT_NE(stages[1].resource, stages[2].resource);
+    // Stage 1 (gates) dominates the projection stage.
+    EXPECT_GT(stages[0].duration, stages[2].duration);
+}
+
+TEST(CuStages, GruSharesMatvecHardware)
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Gru;
+    spec.inputDim = 153;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024};
+    spec.blockSizes = {8};
+
+    const auto stages = buildCuStages(spec, 40);
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_EQ(stages[0].resource, stages[1].resource);
+}
+
+TEST(SimVsModel, LatencyAgreesWithAnalyticModel)
+{
+    // The simulator and the closed-form accelerator model must agree
+    // on per-frame latency within a few percent (they share op
+    // counts but the simulator adds stage rounding).
+    for (auto type : {nn::ModelType::Lstm, nn::ModelType::Gru}) {
+        nn::ModelSpec spec;
+        spec.type = type;
+        spec.inputDim = 153;
+        spec.numClasses = 39;
+        spec.layerSizes = {1024};
+        spec.blockSizes = {8};
+        if (type == nn::ModelType::Lstm) {
+            spec.peephole = true;
+            spec.projectionSize = 512;
+        }
+
+        const hw::DesignPoint model =
+            hw::evaluateDesign(spec, hw::xcku060());
+        const AcceleratorSimResult sim =
+            simulateAccelerator(spec, hw::xcku060());
+
+        EXPECT_NEAR(sim.latencyUs, model.latencyUs,
+                    0.06 * model.latencyUs)
+            << nn::modelTypeName(type);
+        EXPECT_NEAR(sim.fps, model.fps, 0.06 * model.fps)
+            << nn::modelTypeName(type);
+    }
+}
+
+TEST(SimVsModel, SimulatedFft8LstmNearTableIII)
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 153;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024};
+    spec.blockSizes = {8};
+    spec.peephole = true;
+    spec.projectionSize = 512;
+
+    const AcceleratorSimResult r =
+        simulateAccelerator(spec, hw::xcku060());
+    EXPECT_NEAR(r.latencyUs, 13.7, 2.0);
+}

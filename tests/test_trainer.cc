@@ -1,0 +1,255 @@
+/**
+ * @file
+ * End-to-end training tests: the loss must fall, the model must beat
+ * chance on the synthetic ASR task, circulant models must train, and
+ * the loss/softmax utilities must be exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hh"
+#include "nn/model_builder.hh"
+#include "nn/trainer.hh"
+#include "speech/dataset.hh"
+#include "speech/per.hh"
+
+using namespace ernn;
+using namespace ernn::nn;
+
+namespace
+{
+
+speech::AsrDataset
+tinyDataset()
+{
+    speech::AsrDataConfig cfg;
+    cfg.numPhones = 6;
+    cfg.featureDim = 8;
+    cfg.trainUtterances = 24;
+    cfg.testUtterances = 8;
+    cfg.minFrames = 20;
+    cfg.maxFrames = 30;
+    return speech::makeSyntheticAsr(cfg);
+}
+
+ModelSpec
+tinySpec(ModelType type, std::size_t block)
+{
+    ModelSpec spec;
+    spec.type = type;
+    spec.inputDim = 8;
+    spec.numClasses = 6;
+    spec.layerSizes = {16};
+    if (block > 1)
+        spec.blockSizes = {block};
+    return spec;
+}
+
+} // namespace
+
+TEST(Softmax, NormalizesAndOrders)
+{
+    const Vector p = softmax({1.0, 3.0, 2.0});
+    EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+    EXPECT_GT(p[1], p[2]);
+    EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Softmax, StableForHugeLogits)
+{
+    const Vector p = softmax({1000.0, 1000.0});
+    EXPECT_NEAR(p[0], 0.5, 1e-12);
+    EXPECT_FALSE(std::isnan(p[1]));
+}
+
+TEST(Loss, CrossEntropyKnownValue)
+{
+    // Uniform logits over 4 classes: CE = log(4) per frame.
+    Sequence logits{Vector(4, 0.0), Vector(4, 0.0)};
+    const LossResult r = softmaxCrossEntropy(logits, {1, 2});
+    EXPECT_NEAR(r.loss, std::log(4.0), 1e-12);
+    EXPECT_EQ(r.frames, 2u);
+}
+
+TEST(Loss, GradientSumsToZeroPerFrame)
+{
+    Sequence logits{Vector{0.3, -0.2, 1.0}};
+    const LossResult r = softmaxCrossEntropy(logits, {2});
+    Real sum = 0;
+    for (Real g : r.dlogits[0])
+        sum += g;
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(Loss, GradientMatchesFiniteDifference)
+{
+    Sequence logits{Vector{0.5, -1.0, 0.2, 0.0}};
+    const std::vector<int> labels{1};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+    const Real h = 1e-6;
+    for (std::size_t k = 0; k < 4; ++k) {
+        Sequence up = logits, down = logits;
+        up[0][k] += h;
+        down[0][k] -= h;
+        const Real numeric =
+            (softmaxCrossEntropy(up, labels).loss -
+             softmaxCrossEntropy(down, labels).loss) / (2 * h);
+        EXPECT_NEAR(r.dlogits[0][k], numeric, 1e-8);
+    }
+}
+
+TEST(Trainer, LossDecreasesOnDenseGru)
+{
+    const auto data = tinyDataset();
+    StackedRnn model = buildModel(tinySpec(ModelType::Gru, 1));
+    Rng rng(1);
+    model.initXavier(rng);
+
+    TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.lr = 5e-3;
+    Trainer trainer(model, cfg);
+    const TrainResult result = trainer.train(data.train);
+
+    ASSERT_EQ(result.epochs.size(), 6u);
+    EXPECT_LT(result.epochs.back().trainLoss,
+              0.75 * result.epochs.front().trainLoss);
+}
+
+TEST(Trainer, BeatsChanceOnHeldOutData)
+{
+    const auto data = tinyDataset();
+    StackedRnn model = buildModel(tinySpec(ModelType::Gru, 1));
+    Rng rng(2);
+    model.initXavier(rng);
+
+    TrainConfig cfg;
+    cfg.epochs = 10;
+    cfg.lr = 5e-3;
+    Trainer trainer(model, cfg);
+    trainer.train(data.train);
+
+    const EvalResult eval = Trainer::evaluate(model, data.test);
+    // Chance is 1/6; the synthetic task is very learnable.
+    EXPECT_GT(eval.frameAccuracy, 0.5);
+
+    const Real per = speech::evaluatePer(model, data.test);
+    EXPECT_LT(per, 60.0);
+}
+
+TEST(Trainer, CirculantLstmTrains)
+{
+    const auto data = tinyDataset();
+    StackedRnn model = buildModel(tinySpec(ModelType::Lstm, 4));
+    Rng rng(3);
+    model.initXavier(rng);
+
+    TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.lr = 5e-3;
+    Trainer trainer(model, cfg);
+    const TrainResult result = trainer.train(data.train);
+    EXPECT_LT(result.epochs.back().trainLoss,
+              0.8 * result.epochs.front().trainLoss);
+}
+
+TEST(Trainer, GradHookReceivesRegistry)
+{
+    const auto data = tinyDataset();
+    StackedRnn model = buildModel(tinySpec(ModelType::Gru, 1));
+    Rng rng(4);
+    model.initXavier(rng);
+
+    TrainConfig cfg;
+    cfg.epochs = 1;
+    std::size_t calls = 0;
+    Trainer trainer(model, cfg);
+    trainer.setGradHook([&](ParamRegistry &reg) {
+        ++calls;
+        EXPECT_GT(reg.totalParams(), 0u);
+    });
+    trainer.train(data.train);
+    // 24 sequences / batch 4 = 6 optimizer steps.
+    EXPECT_EQ(calls, 6u);
+}
+
+TEST(Trainer, ClipGradNormBoundsTheNorm)
+{
+    StackedRnn model = buildModel(tinySpec(ModelType::Gru, 1));
+    Rng rng(5);
+    model.initXavier(rng);
+    ParamRegistry &reg = model.params();
+    for (auto &v : reg.views())
+        for (std::size_t k = 0; k < v.size; ++k)
+            v.grad[k] = 10.0;
+    const Real before = clipGradNorm(reg, 1.0);
+    EXPECT_GT(before, 1.0);
+    Real sq = 0;
+    for (auto &v : reg.views())
+        for (std::size_t k = 0; k < v.size; ++k)
+            sq += v.grad[k] * v.grad[k];
+    EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-9);
+}
+
+TEST(ModelBuilder, InventoryMatchesPaperTopLayerCounts)
+{
+    // Table III: LSTM-1024 w/ proj-512, input 153 padded; top layer
+    // ~3.25M dense params -> 0.41M at block 8 (7.9:1) and 0.20M at
+    // block 16.
+    ModelSpec spec;
+    spec.type = ModelType::Lstm;
+    spec.inputDim = 153;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024, 1024};
+    spec.blockSizes = {8, 8};
+    spec.peephole = true;
+    spec.projectionSize = 512;
+
+    const auto inv = weightInventory(spec);
+    // Top layer = layer index 1: input + recurrent + projection.
+    std::size_t top_params = 0;
+    std::size_t top_dense = 0;
+    for (const auto &w : inv) {
+        if (w.layer == 1 && w.cls != WeightClass::Classifier) {
+            top_params += w.params();
+            top_dense += w.denseParams();
+        }
+    }
+    EXPECT_NEAR(static_cast<Real>(top_dense), 4.72e6, 0.1e6);
+    EXPECT_NEAR(static_cast<Real>(top_params), 0.59e6, 0.05e6);
+    EXPECT_NEAR(static_cast<Real>(top_dense) /
+                    static_cast<Real>(top_params), 8.0, 0.1);
+}
+
+TEST(ModelBuilder, DescribeIsHumanReadable)
+{
+    ModelSpec spec;
+    spec.type = ModelType::Lstm;
+    spec.inputDim = 16;
+    spec.numClasses = 10;
+    spec.layerSizes = {1024, 1024};
+    spec.blockSizes = {8, 8};
+    spec.peephole = true;
+    spec.projectionSize = 512;
+    const std::string s = spec.describe();
+    EXPECT_NE(s.find("LSTM"), std::string::npos);
+    EXPECT_NE(s.find("1024-1024"), std::string::npos);
+    EXPECT_NE(s.find("8-8"), std::string::npos);
+    EXPECT_NE(s.find("proj512"), std::string::npos);
+}
+
+TEST(ModelBuilder, BuildsRunnableModelsOfBothTypes)
+{
+    for (ModelType type : {ModelType::Lstm, ModelType::Gru}) {
+        ModelSpec spec = tinySpec(type, 4);
+        StackedRnn model = buildModel(spec);
+        Rng rng(6);
+        model.initXavier(rng);
+        Sequence xs(3, Vector(8, 0.1));
+        const Sequence logits = model.forwardLogits(xs);
+        EXPECT_EQ(logits.size(), 3u);
+        EXPECT_EQ(logits[0].size(), 6u);
+    }
+}
