@@ -15,6 +15,7 @@
 #include "hls/interpreter.hh"
 #include "hls/scheduler.hh"
 #include "hls/weight_store.hh"
+#include "runtime/session.hh"
 
 using namespace ernn;
 using namespace ernn::bench;
@@ -67,7 +68,8 @@ main()
     }
     std::cout << "    ...\n";
 
-    // Functional check: interpret the graph against the nn forward.
+    // Functional check: interpret the graph against the serving path
+    // (compiled model + inference session).
     nn::StackedRnn model = nn::buildModel(spec);
     Rng rng(13);
     model.initXavier(rng);
@@ -78,7 +80,9 @@ main()
     nn::Sequence xs(5, Vector(16));
     for (auto &x : xs)
         rng.fillNormal(x, 1.0);
-    const nn::Sequence expect = model.forwardLogits(xs);
+    const runtime::CompiledModel compiled = runtime::compile(model);
+    runtime::InferenceSession session = compiled.createSession();
+    const nn::Sequence expect = session.logits(xs);
     const nn::Sequence got = interp.run(xs);
     Real worst = 0.0;
     for (std::size_t t = 0; t < got.size(); ++t)

@@ -3,7 +3,9 @@
  * Google-benchmark microbenchmarks of the computational kernels: the
  * FFT engine, dense vs block-circulant matvec across block sizes
  * (the CPU-side analogue of the paper's compression/acceleration
- * trade-off), projection, quantization, and activations.
+ * trade-off), projection, quantization, activations, and the serving
+ * path (legacy training-forward inference vs a batched CirculantFFT
+ * InferenceSession on the paper-scale 2x1024/block-64 LSTM).
  */
 
 #include <benchmark/benchmark.h>
@@ -11,7 +13,9 @@
 #include "base/random.hh"
 #include "circulant/block_circulant.hh"
 #include "nn/activation.hh"
+#include "nn/model_builder.hh"
 #include "quant/fixed_point.hh"
+#include "runtime/session.hh"
 #include "tensor/fft.hh"
 #include "tensor/matrix.hh"
 
@@ -126,6 +130,82 @@ BM_Quantize12Bit(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Quantize12Bit)->Arg(1 << 14);
+
+// --- Serving path: legacy per-call inference vs batched session ---
+
+/** The acceptance workload: a 2x1024 LSTM with block-64 circulant
+ *  weights (the paper-scale deployed geometry). */
+nn::ModelSpec
+servingSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 128;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024, 1024};
+    spec.blockSizes = {64, 64};
+    return spec;
+}
+
+std::vector<nn::Sequence>
+servingBatch(std::size_t utterances, std::size_t frames,
+             std::size_t dim)
+{
+    Rng rng(17);
+    std::vector<nn::Sequence> batch(utterances);
+    for (auto &utt : batch) {
+        utt.assign(frames, Vector(dim));
+        for (auto &f : utt)
+            rng.fillNormal(f, 1.0);
+    }
+    return batch;
+}
+
+/** Old path: StackedRnn::predictFrames per utterance (the training
+ *  forward — caches every activation, allocates per matvec). */
+void
+BM_LegacyPredictFrames(benchmark::State &state)
+{
+    const nn::ModelSpec spec = servingSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(18);
+    model.initXavier(rng);
+    const auto batch = servingBatch(
+        static_cast<std::size_t>(state.range(0)), 4, spec.inputDim);
+
+    for (auto _ : state) {
+        for (const auto &utt : batch) {
+            auto preds = model.predictFrames(utt);
+            benchmark::DoNotOptimize(preds);
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0) * 4);
+}
+BENCHMARK(BM_LegacyPredictFrames)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/** New path: one CompiledModel (CirculantFFT backend), one batched
+ *  InferenceSession, zero steady-state allocation. */
+void
+BM_SessionBatchedRun(benchmark::State &state)
+{
+    const nn::ModelSpec spec = servingSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(18);
+    model.initXavier(rng);
+    runtime::CompiledModel compiled = runtime::compile(model);
+    runtime::InferenceSession session = compiled.createSession();
+    const auto batch = servingBatch(
+        static_cast<std::size_t>(state.range(0)), 4, spec.inputDim);
+
+    for (auto _ : state) {
+        auto result = session.run(batch);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0) * 4);
+}
+BENCHMARK(BM_SessionBatchedRun)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void
 BM_ActivationExactVsPwl(benchmark::State &state)

@@ -20,6 +20,7 @@
 #include "admm/transfer.hh"
 #include "base/logging.hh"
 #include "bench_util.hh"
+#include "runtime/session.hh"
 #include "speech/dataset.hh"
 #include "speech/per.hh"
 #include "speech/timit_oracle.hh"
@@ -78,8 +79,12 @@ measuredPer(nn::ModelType type, std::size_t hidden, std::size_t block,
     tc.epochs = fullMode() ? 14 : 8;
     tc.lr = 1e-2;
     nn::Trainer(model, tc).train(data.train);
-    if (block <= 1)
-        return speech::evaluatePer(model, data.test);
+    if (block <= 1) {
+        // Score through the frozen serving artifact, not the
+        // training-path forward.
+        return speech::evaluatePer(runtime::compile(model),
+                                   data.test);
+    }
 
     // ADMM structured training toward the block-circulant format.
     nn::ModelSpec circ_spec = dense_spec;
@@ -99,7 +104,8 @@ measuredPer(nn::ModelType type, std::size_t hidden, std::size_t block,
 
     nn::StackedRnn compressed = nn::buildModel(circ_spec);
     admm::transferWeights(model, compressed);
-    return speech::evaluatePer(compressed, data.test);
+    return speech::evaluatePer(runtime::compile(compressed),
+                               data.test);
 }
 
 void

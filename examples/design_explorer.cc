@@ -6,12 +6,14 @@
  * resulting designs side by side.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "base/table.hh"
 #include "ernn/explorer.hh"
+#include "runtime/session.hh"
 
 using namespace ernn;
 
@@ -69,5 +71,42 @@ main()
     const auto result =
         core::optimizeDesign(oracle, baseline, hw::xcku060(), p1);
     std::cout << core::renderReport(result);
+
+    // Software serving check of the chosen design: instantiate the
+    // final spec (features padded to the block size, the standard
+    // deployment trick), freeze it, and measure batched-session
+    // throughput on this host as the CPU-side reference point.
+    nn::ModelSpec deploy = result.phase1.finalSpec;
+    std::size_t max_block = 1;
+    for (std::size_t l = 0; l < deploy.layerSizes.size(); ++l)
+        max_block = std::max(max_block, deploy.inputBlockFor(l));
+    deploy.inputDim = (deploy.inputDim + max_block - 1) / max_block *
+                      max_block;
+
+    nn::StackedRnn model = nn::buildModel(deploy);
+    Rng rng(5);
+    model.initXavier(rng);
+    const runtime::CompiledModel compiled = runtime::compile(model);
+    runtime::InferenceSession session = compiled.createSession();
+
+    std::vector<nn::Sequence> batch(2);
+    for (auto &utt : batch) {
+        utt.assign(16, Vector(deploy.inputDim));
+        for (auto &f : utt)
+            rng.fillNormal(f, 1.0);
+    }
+    (void)session.run(batch); // warm caches and workspaces
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto served = session.run(batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::size_t frames = 0;
+    for (const auto &utt : served.predictions)
+        frames += utt.size();
+    const Real secs = std::chrono::duration<Real>(t1 - t0).count();
+    std::cout << "\nsoftware serving check: " << compiled.describe()
+              << ", " << frames << " frames in "
+              << fmtReal(secs * 1e3, 1) << " ms ("
+              << fmtGrouped(static_cast<long long>(frames / secs))
+              << " frames/s on this host)\n";
     return 0;
 }

@@ -15,6 +15,7 @@
 #include "hls/interpreter.hh"
 #include "hls/scheduler.hh"
 #include "hls/weight_store.hh"
+#include "runtime/session.hh"
 
 using namespace ernn;
 
@@ -59,7 +60,8 @@ main(int argc, char **argv)
     std::cout << "generated " << code.size() << " bytes of HLS C to "
               << path << "\n";
 
-    // Functional verification through the interpreter.
+    // Functional verification through the interpreter, against the
+    // serving-path reference (compiled model + inference session).
     nn::StackedRnn model = nn::buildModel(spec);
     Rng rng(99);
     model.initXavier(rng);
@@ -70,7 +72,9 @@ main(int argc, char **argv)
     nn::Sequence xs(8, Vector(16));
     for (auto &x : xs)
         rng.fillNormal(x, 1.0);
-    const nn::Sequence expect = model.forwardLogits(xs);
+    const runtime::CompiledModel compiled = runtime::compile(model);
+    runtime::InferenceSession session = compiled.createSession();
+    const nn::Sequence expect = session.logits(xs);
     const nn::Sequence got = interp.run(xs);
     Real worst = 0.0;
     for (std::size_t t = 0; t < got.size(); ++t)

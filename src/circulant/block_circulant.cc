@@ -15,7 +15,7 @@ namespace
  * the transposed matvec, which is a circular convolution).
  */
 void
-accumulatePlainProduct(fft::CVector &acc, const fft::CVector &w,
+accumulatePlainProduct(fft::CVector &acc, const Complex *w,
                        const fft::CVector &x)
 {
     const std::size_t m = acc.size() - 1;
@@ -159,6 +159,16 @@ void
 BlockCirculantMatrix::matvecAcc(const Vector &x, Vector &y,
                                 MatvecMode mode) const
 {
+    // The signature without scratch reuses a thread-local workspace,
+    // so repeated matvecs stay allocation-free.
+    thread_local FftWorkspace ws;
+    matvecAcc(x, y, ws, mode);
+}
+
+void
+BlockCirculantMatrix::matvecAcc(const Vector &x, Vector &y,
+                                FftWorkspace &ws, MatvecMode mode) const
+{
     ernn_assert(x.size() == cols_, "matvec: x size " << x.size()
                 << " != cols " << cols_);
     ernn_assert(y.size() == rows_, "matvec: y size mismatch");
@@ -179,31 +189,52 @@ BlockCirculantMatrix::matvecAcc(const Vector &x, Vector &y,
         return;
     }
 
+    // FFT(x_j) once per input segment (decoupling, Fig. 7): q FFTs,
+    // then frequency-domain accumulation and p IFFTs.
+    computeSegmentSpectra(x, lb, ws);
+    matvecAccFromSpectra(ws.segSpectra, y, ws);
+}
+
+void
+computeSegmentSpectra(const Vector &x, std::size_t block_size,
+                      FftWorkspace &ws)
+{
+    ernn_assert(block_size >= 1 && x.size() % block_size == 0,
+                "computeSegmentSpectra: x size " << x.size()
+                << " not a multiple of block " << block_size);
+    const std::size_t q = x.size() / block_size;
+    if (ws.segSpectra.size() < q)
+        ws.segSpectra.resize(q);
+    for (std::size_t j = 0; j < q; ++j) {
+        ws.seg.assign(x.begin() + j * block_size,
+                      x.begin() + (j + 1) * block_size);
+        fft::rfftInto(ws.seg, ws.segSpectra[j], ws.packed);
+    }
+}
+
+void
+BlockCirculantMatrix::matvecAccFromSpectra(
+    const std::vector<fft::CVector> &xfft, Vector &y,
+    FftWorkspace &ws) const
+{
+    ernn_assert(y.size() == rows_, "matvecAccFromSpectra: y size");
+    ernn_assert(xfft.size() >= blockCols_,
+                "matvecAccFromSpectra: expected >= " << blockCols_
+                << " segment spectra, got " << xfft.size());
     ensureSpectra();
+    const std::size_t lb = blockSize_;
     const std::size_t bins = lb / 2 + 1;
 
-    // FFT(x_j) once per input segment (decoupling, Fig. 7): q FFTs.
-    std::vector<fft::CVector> xfft(blockCols_);
-    Vector seg(lb);
-    for (std::size_t j = 0; j < blockCols_; ++j) {
-        seg.assign(x.begin() + j * lb, x.begin() + (j + 1) * lb);
-        xfft[j] = fft::rfft(seg);
-    }
-
-    // Accumulate in the frequency domain; one IFFT per output
-    // segment: p IFFTs.
-    fft::CVector acc(bins);
     for (std::size_t i = 0; i < blockRows_; ++i) {
-        std::fill(acc.begin(), acc.end(), Complex(0, 0));
+        ws.acc.assign(bins, Complex(0, 0));
         for (std::size_t j = 0; j < blockCols_; ++j) {
             const Complex *w =
                 spectra_.data() + (i * blockCols_ + j) * bins;
-            const fft::CVector wv(w, w + bins);
-            fft::accumulateConjProduct(acc, wv, xfft[j]);
+            fft::accumulateConjProduct(ws.acc, w, xfft[j]);
         }
-        const Vector yi = fft::irfft(acc, lb);
+        fft::irfftInto(ws.acc, lb, ws.outSeg, ws.packed);
         for (std::size_t r = 0; r < lb; ++r)
-            y[i * lb + r] += yi[r];
+            y[i * lb + r] += ws.outSeg[r];
     }
 }
 
@@ -238,8 +269,7 @@ BlockCirculantMatrix::matvecTransposeAcc(const Vector &dy,
         for (std::size_t i = 0; i < blockRows_; ++i) {
             const Complex *w =
                 spectra_.data() + (i * blockCols_ + j) * bins;
-            const fft::CVector wv(w, w + bins);
-            accumulatePlainProduct(acc, wv, dyfft[i]);
+            accumulatePlainProduct(acc, w, dyfft[i]);
         }
         const Vector dxj = fft::irfft(acc, lb);
         for (std::size_t c = 0; c < lb; ++c)

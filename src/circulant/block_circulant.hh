@@ -39,6 +39,30 @@ enum class MatvecMode
     Naive, //!< direct O(rows*cols) evaluation from generators (oracle)
 };
 
+/**
+ * Reusable FFT scratch for the matvec entry points. One workspace
+ * serves matrices of any geometry: every buffer is resized on use and
+ * keeps its capacity, so after a warm-up pass over the shapes in play
+ * the steady-state matvec performs no heap allocation. The runtime's
+ * CirculantFFT inference backend owns one of these per session; the
+ * legacy allocation-free entry points share a thread-local one.
+ */
+struct FftWorkspace
+{
+    std::vector<fft::CVector> segSpectra; //!< FFT(x_j) per input segment
+    fft::CVector acc;                     //!< frequency-domain accumulator
+    fft::CVector packed;                  //!< half-size complex FFT scratch
+    Vector seg;                           //!< real segment staging
+    Vector outSeg;                        //!< IFFT output staging
+};
+
+/**
+ * Stage 1 of the decoupled matvec (Fig. 7): FFT every @p block_size
+ * segment of @p x into ws.segSpectra (the q input FFTs).
+ */
+void computeSegmentSpectra(const Vector &x, std::size_t block_size,
+                           FftWorkspace &ws);
+
 class BlockCirculantMatrix
 {
   public:
@@ -104,6 +128,32 @@ class BlockCirculantMatrix
     /** y += W x. */
     void matvecAcc(const Vector &x, Vector &y,
                    MatvecMode mode = MatvecMode::Fft) const;
+
+    /**
+     * y += W x with caller-owned scratch: the hot-loop form, free of
+     * heap allocation once @p ws has warmed to this geometry.
+     */
+    void matvecAcc(const Vector &x, Vector &y, FftWorkspace &ws,
+                   MatvecMode mode = MatvecMode::Fft) const;
+
+    /**
+     * Stage 2 of the decoupled matvec (Fig. 7): y += W x given the
+     * segment spectra of x already in @p xfft (frequency-domain
+     * accumulation + p IFFTs; @p ws supplies acc/outSeg/packed).
+     * Callers that multiply several matrices of equal geometry by
+     * the same vector — the four gate matrices of an LSTM — compute
+     * the q input FFTs once via computeSegmentSpectra() and share
+     * them, which a per-matrix matvec cannot do.
+     */
+    void matvecAccFromSpectra(const std::vector<fft::CVector> &xfft,
+                              Vector &y, FftWorkspace &ws) const;
+
+    /**
+     * Build the cached generator spectra now (normally lazy). The
+     * runtime compiler calls this so that frozen models never pay the
+     * FFT precompute on the serving path.
+     */
+    void warmSpectra() const { ensureSpectra(); }
 
     /** dx += Wᵀ dy (circular convolution per block, FFT path). */
     void matvecTransposeAcc(const Vector &dy, Vector &dx) const;

@@ -1,8 +1,10 @@
 #include "ernn/phase2.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/logging.hh"
+#include "speech/per.hh"
 
 namespace ernn::core
 {
@@ -74,6 +76,24 @@ Phase2Optimizer::run(const nn::ModelSpec &spec,
     result.simCrossCheck = sim::simulateAccelerator(
         spec, platform_, result.weightBits);
     return result;
+}
+
+Phase2Optimizer::QuantOracle
+measuredQuantOracle(const nn::StackedRnn &model,
+                    const nn::SequenceDataset &data)
+{
+    ernn_assert(!data.empty(), "measuredQuantOracle: empty dataset");
+    // Float serving PER is the degradation reference point.
+    const Real baseline =
+        speech::evaluatePer(runtime::compile(model), data);
+    return [&model, &data, baseline](int bits) -> Real {
+        runtime::CompileOptions opts;
+        opts.backend = runtime::BackendKind::FixedPoint;
+        opts.fixedPointBits = bits;
+        const Real per =
+            speech::evaluatePer(runtime::compile(model, opts), data);
+        return std::max<Real>(0.0, per - baseline);
+    };
 }
 
 } // namespace ernn::core

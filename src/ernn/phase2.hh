@@ -71,6 +71,18 @@ class Phase2Optimizer
     Phase2Config cfg_;
 };
 
+/**
+ * Measured alternative to the built-in analytic degradation model:
+ * freezes @p model with the runtime FixedPoint backend at each
+ * candidate bit width and scores @p data through a batched inference
+ * session, so the bit-width search sees the *deployed* datapath
+ * (quantized weights, quantized values, PWL activation tables)
+ * instead of a fitted curve. The model and dataset must outlive the
+ * returned oracle.
+ */
+Phase2Optimizer::QuantOracle measuredQuantOracle(
+    const nn::StackedRnn &model, const nn::SequenceDataset &data);
+
 } // namespace ernn::core
 
 #endif // ERNN_ERNN_PHASE2_HH

@@ -59,6 +59,18 @@ class GruLayer : public RnnLayer
     LinearOp &wzc() { return *wzc_; }
     LinearOp &wrc() { return *wrc_; }
     LinearOp &wcc() { return *wcc_; }
+    const LinearOp &wzx() const { return *wzx_; }
+    const LinearOp &wrx() const { return *wrx_; }
+    const LinearOp &wcx() const { return *wcx_; }
+    const LinearOp &wzc() const { return *wzc_; }
+    const LinearOp &wrc() const { return *wrc_; }
+    const LinearOp &wcc() const { return *wcc_; }
+    /// @}
+
+    /// @{ Bias accessors (used by the runtime compiler).
+    const Vector &bz() const { return bz_; }
+    const Vector &br() const { return br_; }
+    const Vector &bc() const { return bc_; }
     /// @}
 
   private:

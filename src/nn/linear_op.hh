@@ -53,10 +53,16 @@ class LinearOp
 
     /** Dense weight matrix, or nullptr when not dense. */
     virtual Matrix *denseWeight() { return nullptr; }
+    virtual const Matrix *denseWeight() const { return nullptr; }
     virtual Matrix *denseGrad() { return nullptr; }
 
     /** Circulant weight, or nullptr when dense. */
     virtual circulant::BlockCirculantMatrix *circulantWeight()
+    {
+        return nullptr;
+    }
+    virtual const circulant::BlockCirculantMatrix *
+    circulantWeight() const
     {
         return nullptr;
     }
@@ -81,6 +87,7 @@ class DenseLinear : public LinearOp
     std::size_t paramCount() const override { return w_.size(); }
     std::size_t blockSize() const override { return 1; }
     Matrix *denseWeight() override { return &w_; }
+    const Matrix *denseWeight() const override { return &w_; }
     Matrix *denseGrad() override { return &g_; }
     void initXavier(Rng &rng) override { w_.initXavier(rng); }
 
@@ -114,6 +121,11 @@ class CirculantLinear : public LinearOp
     std::size_t paramCount() const override { return w_.paramCount(); }
     std::size_t blockSize() const override { return w_.blockSize(); }
     circulant::BlockCirculantMatrix *circulantWeight() override
+    {
+        return &w_;
+    }
+    const circulant::BlockCirculantMatrix *
+    circulantWeight() const override
     {
         return &w_;
     }

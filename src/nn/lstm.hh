@@ -83,6 +83,25 @@ class LstmLayer : public RnnLayer
     LinearOp &wcr() { return *wcr_; }
     LinearOp &wor() { return *wor_; }
     LinearOp *wym() { return wym_.get(); }
+    const LinearOp &wix() const { return *wix_; }
+    const LinearOp &wfx() const { return *wfx_; }
+    const LinearOp &wcx() const { return *wcx_; }
+    const LinearOp &wox() const { return *wox_; }
+    const LinearOp &wir() const { return *wir_; }
+    const LinearOp &wfr() const { return *wfr_; }
+    const LinearOp &wcr() const { return *wcr_; }
+    const LinearOp &wor() const { return *wor_; }
+    const LinearOp *wym() const { return wym_.get(); }
+    /// @}
+
+    /// @{ Bias / peephole accessors (used by the runtime compiler).
+    const Vector &bi() const { return bi_; }
+    const Vector &bf() const { return bf_; }
+    const Vector &bc() const { return bc_; }
+    const Vector &bo() const { return bo_; }
+    const Vector &wic() const { return wic_; }
+    const Vector &wfc() const { return wfc_; }
+    const Vector &woc() const { return woc_; }
     /// @}
 
   private:

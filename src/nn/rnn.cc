@@ -112,6 +112,13 @@ StackedRnn::predictFrames(const Sequence &xs)
     return out;
 }
 
+const DenseLinear &
+StackedRnn::classifier() const
+{
+    ernn_assert(classifier_, "classifier not attached");
+    return *classifier_;
+}
+
 ParamRegistry &
 StackedRnn::params()
 {

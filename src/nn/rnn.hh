@@ -3,6 +3,11 @@
  * Stacked RNN acoustic model: a pile of LSTM/GRU layers plus a dense
  * softmax classifier, mirroring the paper's "stack multiple RNN
  * layers to build our network" (Sec. IV).
+ *
+ * This is the *training* surface: forwardLogits() caches every
+ * activation for BPTT. For serving, freeze the trained model with
+ * runtime::compile() and run it through an InferenceSession (batched
+ * or streaming, allocation-free, pluggable backends).
  */
 
 #ifndef ERNN_NN_RNN_HH
@@ -50,8 +55,19 @@ class StackedRnn
     /** BPTT from logit gradients (after forwardLogits). */
     void backwardFromLogits(const Sequence &dlogits);
 
-    /** Greedy per-frame class predictions. */
+    /**
+     * Greedy per-frame class predictions via the training-path
+     * forward (caches every activation for BPTT and allocates per
+     * frame). Kept as the legacy reference that runtime:: backends
+     * are validated and benchmarked against; serving code should
+     * compile the model and use an InferenceSession instead.
+     */
     std::vector<int> predictFrames(const Sequence &xs);
+
+    /// @{ Classifier head accessors (used by the runtime compiler).
+    const DenseLinear &classifier() const;
+    const Vector &classifierBias() const { return classBias_; }
+    /// @}
 
     /**
      * Build (once) and return the parameter registry. The registry

@@ -73,6 +73,17 @@ quantizeInPlace(std::vector<Real> &buf, const FixedPointFormat &fmt)
         0.0 : std::sqrt(sq / static_cast<Real>(buf.size()));
 }
 
+FixedPointFormat
+quantizeWithRangeAnalysis(std::vector<Real> &buf, int bits)
+{
+    Real max_abs = 0.0;
+    for (Real v : buf)
+        max_abs = std::max(max_abs, std::abs(v));
+    const FixedPointFormat fmt = chooseFormat(bits, max_abs);
+    quantizeInPlace(buf, fmt);
+    return fmt;
+}
+
 Real
 QuantReport::worstRmsError() const
 {

@@ -57,6 +57,15 @@ FixedPointFormat chooseFormat(int total_bits, Real max_abs);
 Real quantizeInPlace(std::vector<Real> &buf,
                      const FixedPointFormat &fmt);
 
+/**
+ * The per-tensor quantization recipe used on every parameter view:
+ * range analysis -> chooseFormat -> round-to-nearest in place.
+ * @return the chosen format. Single source of truth for the rounding
+ * the runtime FixedPoint backend must reproduce bit-exactly.
+ */
+FixedPointFormat quantizeWithRangeAnalysis(std::vector<Real> &buf,
+                                           int bits);
+
 /** Per-tensor quantization record. */
 struct TensorQuantReport
 {

@@ -1,0 +1,220 @@
+#include "runtime/backend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ernn::runtime
+{
+
+std::string
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Auto:
+        return "auto";
+      case BackendKind::Dense:
+        return "dense";
+      case BackendKind::CirculantFft:
+        return "circulant-fft";
+      case BackendKind::FixedPoint:
+        return "fixed-point";
+    }
+    return "unknown";
+}
+
+// --- DenseKernel -------------------------------------------------------
+
+DenseKernel::DenseKernel(Matrix w)
+    : w_(std::move(w))
+{
+}
+
+void
+DenseKernel::apply(const Vector &x, Vector &y, KernelScratch &) const
+{
+    ernn_assert(y.size() == w_.rows(), "DenseKernel: y presize");
+    std::fill(y.begin(), y.end(), 0.0);
+    w_.matvecAcc(x, y);
+}
+
+// --- CirculantFftKernel ------------------------------------------------
+
+CirculantFftKernel::CirculantFftKernel(
+    circulant::BlockCirculantMatrix w)
+    : w_(std::move(w))
+{
+    // Generator FFTs are part of the frozen artifact: pay them here,
+    // never on the serving path.
+    w_.warmSpectra();
+}
+
+void
+CirculantFftKernel::apply(const Vector &x, Vector &y,
+                          KernelScratch &scratch) const
+{
+    ernn_assert(y.size() == w_.rows(), "CirculantFftKernel: y presize");
+    std::fill(y.begin(), y.end(), 0.0);
+    w_.matvecAcc(x, y, scratch.fft);
+}
+
+// --- FixedPointKernel --------------------------------------------------
+
+FixedPointKernel::FixedPointKernel(const Matrix &w, int bits)
+    : dense_(w)
+{
+    format_ = quant::quantizeWithRangeAnalysis(dense_.raw(), bits);
+}
+
+FixedPointKernel::FixedPointKernel(
+    const circulant::BlockCirculantMatrix &w, int bits)
+    : circulant_(true), circ_(w)
+{
+    format_ = quant::quantizeWithRangeAnalysis(circ_.raw(), bits);
+    circ_.invalidateSpectra();
+}
+
+std::size_t
+FixedPointKernel::inDim() const
+{
+    return circulant_ ? circ_.cols() : dense_.cols();
+}
+
+std::size_t
+FixedPointKernel::outDim() const
+{
+    return circulant_ ? circ_.rows() : dense_.rows();
+}
+
+std::size_t
+FixedPointKernel::storedParams() const
+{
+    return circulant_ ? circ_.paramCount() : dense_.size();
+}
+
+const std::vector<Real> &
+FixedPointKernel::quantizedWeights() const
+{
+    return circulant_ ? circ_.raw() : dense_.raw();
+}
+
+void
+FixedPointKernel::apply(const Vector &x, Vector &y,
+                        KernelScratch &) const
+{
+    ernn_assert(y.size() == outDim(), "FixedPointKernel: y presize");
+    std::fill(y.begin(), y.end(), 0.0);
+    if (circulant_) {
+        // Time-domain MACs, as the PE array evaluates a circulant
+        // block in fixed point.
+        circ_.matvecAcc(x, y, circulant::MatvecMode::Naive);
+    } else {
+        dense_.matvecAcc(x, y);
+    }
+}
+
+// --- Registry ----------------------------------------------------------
+
+KernelRegistry::KernelRegistry()
+{
+    registerFactory(
+        "dense",
+        [](const nn::LinearOp &op, const CompileOptions &)
+            -> std::unique_ptr<LinearKernel> {
+            if (const auto *circ = op.circulantWeight())
+                return std::make_unique<DenseKernel>(circ->toDense());
+            const auto *w = op.denseWeight();
+            ernn_assert(w, "dense backend: operator exposes no weight");
+            return std::make_unique<DenseKernel>(*w);
+        });
+
+    registerFactory(
+        "circulant-fft",
+        [](const nn::LinearOp &op, const CompileOptions &)
+            -> std::unique_ptr<LinearKernel> {
+            const auto *circ = op.circulantWeight();
+            ernn_assert(circ, "circulant-fft backend: operator has "
+                              "no circulant weight");
+            return std::make_unique<CirculantFftKernel>(*circ);
+        });
+
+    registerFactory(
+        "fixed-point",
+        [](const nn::LinearOp &op, const CompileOptions &opts)
+            -> std::unique_ptr<LinearKernel> {
+            if (const auto *circ = op.circulantWeight())
+                return std::make_unique<FixedPointKernel>(
+                    *circ, opts.fixedPointBits);
+            const auto *w = op.denseWeight();
+            ernn_assert(w, "fixed-point backend: operator exposes no "
+                           "weight");
+            return std::make_unique<FixedPointKernel>(
+                *w, opts.fixedPointBits);
+        });
+}
+
+KernelRegistry &
+KernelRegistry::instance()
+{
+    static KernelRegistry registry;
+    return registry;
+}
+
+void
+KernelRegistry::registerFactory(const std::string &name,
+                                KernelFactory fn)
+{
+    ernn_assert(fn, "KernelRegistry: null factory for " << name);
+    factories_[name] = std::move(fn);
+}
+
+bool
+KernelRegistry::has(const std::string &name) const
+{
+    return factories_.count(name) != 0;
+}
+
+std::vector<std::string>
+KernelRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &kv : factories_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::unique_ptr<LinearKernel>
+KernelRegistry::make(const std::string &name, const nn::LinearOp &op,
+                     const CompileOptions &opts) const
+{
+    auto it = factories_.find(name);
+    ernn_assert(it != factories_.end(),
+                "KernelRegistry: unknown backend '" << name << "'");
+    auto kernel = it->second(op, opts);
+    ernn_assert(kernel, "KernelRegistry: factory '" << name
+                << "' returned nothing");
+    ernn_assert(kernel->inDim() == op.inDim() &&
+                kernel->outDim() == op.outDim(),
+                "KernelRegistry: kernel '" << name
+                << "' shape mismatch");
+    return kernel;
+}
+
+std::string
+resolveBackend(BackendKind kind, const nn::LinearOp &op)
+{
+    switch (kind) {
+      case BackendKind::Dense:
+        return "dense";
+      case BackendKind::FixedPoint:
+        return "fixed-point";
+      case BackendKind::Auto:
+      case BackendKind::CirculantFft:
+        return op.circulantWeight() ? "circulant-fft" : "dense";
+    }
+    return "dense";
+}
+
+} // namespace ernn::runtime

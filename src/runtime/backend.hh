@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Inference kernel backends. A trained nn::LinearOp is *frozen* into
+ * an immutable LinearKernel selected from the backend registry:
+ *
+ *  - Dense        plain row-major matvec (baseline rows, classifier);
+ *  - CirculantFFT the paper's production datapath: precomputed
+ *                 generator FFTs, frequency-domain accumulation, and
+ *                 a reusable per-session workspace so the steady
+ *                 state performs no heap allocation (Fig. 4/7);
+ *  - FixedPoint   the deployed-accelerator datapath: weights rounded
+ *                 bit-exactly as quant::quantizeParams would round
+ *                 them, time-domain MACs like the PE array, with
+ *                 value quantization and the Phase II activation
+ *                 tables applied by the session datapath.
+ *
+ * Kernels are shared by every session of a CompiledModel and hold no
+ * mutable state; all scratch lives in the session's KernelScratch.
+ */
+
+#ifndef ERNN_RUNTIME_BACKEND_HH
+#define ERNN_RUNTIME_BACKEND_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circulant/block_circulant.hh"
+#include "nn/linear_op.hh"
+#include "quant/fixed_point.hh"
+
+namespace ernn::runtime
+{
+
+/** Backend families a model can be compiled against. */
+enum class BackendKind
+{
+    Auto,         //!< per-weight: CirculantFFT where circulant, else Dense
+    Dense,        //!< force dense kernels (circulant weights materialized)
+    CirculantFft, //!< FFT path for circulant weights, dense elsewhere
+    FixedPoint,   //!< bit-accurate deployed datapath
+};
+
+/** Human-readable backend name ("auto", "dense", ...). */
+std::string backendKindName(BackendKind kind);
+
+/** Options fixed at compile() time and immutable afterwards. */
+struct CompileOptions
+{
+    BackendKind backend = BackendKind::Auto;
+
+    /** FixedPoint backend: total bits per weight and per value
+     *  (the paper's 12-bit design point). */
+    int fixedPointBits = 12;
+
+    /** FixedPoint backend: PWL activation table segments and range
+     *  (Phase II's activation implementation, Sec. VIII-B1). */
+    std::size_t activationSegments = 128;
+    Real activationRange = 8.0;
+};
+
+/**
+ * Per-session mutable scratch handed to every kernel call. Buffers
+ * grow to the largest geometry seen and are reused, so the steady
+ * state allocates nothing.
+ */
+struct KernelScratch
+{
+    circulant::FftWorkspace fft;
+};
+
+/** Immutable y = W x kernel, shared across sessions. */
+class LinearKernel
+{
+  public:
+    virtual ~LinearKernel() = default;
+
+    virtual std::size_t inDim() const = 0;
+    virtual std::size_t outDim() const = 0;
+
+    /**
+     * y = W x. @p y must be presized to outDim(); implementations
+     * must not allocate once @p scratch is warm.
+     */
+    virtual void apply(const Vector &x, Vector &y,
+                       KernelScratch &scratch) const = 0;
+
+    /** Registry name of the backend that produced this kernel. */
+    virtual std::string backendName() const = 0;
+
+    /** Stored parameter count (after compression). */
+    virtual std::size_t storedParams() const = 0;
+};
+
+/** Dense kernel: an owned weight copy, row-major matvec. */
+class DenseKernel : public LinearKernel
+{
+  public:
+    explicit DenseKernel(Matrix w);
+
+    std::size_t inDim() const override { return w_.cols(); }
+    std::size_t outDim() const override { return w_.rows(); }
+    void apply(const Vector &x, Vector &y,
+               KernelScratch &scratch) const override;
+    std::string backendName() const override { return "dense"; }
+    std::size_t storedParams() const override { return w_.size(); }
+
+  private:
+    Matrix w_;
+};
+
+/**
+ * Block-circulant FFT kernel: owns the generators with their spectra
+ * precomputed at compile() time; matvecs run the decoupled FFT path
+ * through the session's shared workspace.
+ */
+class CirculantFftKernel : public LinearKernel
+{
+  public:
+    explicit CirculantFftKernel(circulant::BlockCirculantMatrix w);
+
+    std::size_t inDim() const override { return w_.cols(); }
+    std::size_t outDim() const override { return w_.rows(); }
+    void apply(const Vector &x, Vector &y,
+               KernelScratch &scratch) const override;
+    std::string backendName() const override { return "circulant-fft"; }
+    std::size_t storedParams() const override { return w_.paramCount(); }
+
+    const circulant::BlockCirculantMatrix &weight() const { return w_; }
+
+  private:
+    circulant::BlockCirculantMatrix w_;
+};
+
+/**
+ * Fixed-point kernel: weights quantized per-tensor exactly as
+ * quant::quantizeParams rounds them (range analysis -> chooseFormat
+ * -> round-to-nearest with saturation), evaluated with time-domain
+ * MACs as the PE array computes them. Dense and circulant weights
+ * both supported; circulant storage stays compressed (generators).
+ */
+class FixedPointKernel : public LinearKernel
+{
+  public:
+    /** Quantize a dense operator's weights. */
+    FixedPointKernel(const Matrix &w, int bits);
+
+    /** Quantize a circulant operator's generators. */
+    FixedPointKernel(const circulant::BlockCirculantMatrix &w,
+                     int bits);
+
+    std::size_t inDim() const override;
+    std::size_t outDim() const override;
+    void apply(const Vector &x, Vector &y,
+               KernelScratch &scratch) const override;
+    std::string backendName() const override { return "fixed-point"; }
+    std::size_t storedParams() const override;
+
+    /** The per-tensor static scaling chosen by range analysis. */
+    const quant::FixedPointFormat &weightFormat() const
+    {
+        return format_;
+    }
+
+    /** Flat quantized weight storage (dense entries or generators). */
+    const std::vector<Real> &quantizedWeights() const;
+
+  private:
+    quant::FixedPointFormat format_;
+    bool circulant_ = false;
+    Matrix dense_;
+    circulant::BlockCirculantMatrix circ_;
+};
+
+/** Factory: freeze one trained operator into a kernel. */
+using KernelFactory = std::function<std::unique_ptr<LinearKernel>(
+    const nn::LinearOp &op, const CompileOptions &opts)>;
+
+/**
+ * Name -> factory registry the compiler selects kernels from. The
+ * three built-in backends ("dense", "circulant-fft", "fixed-point")
+ * are registered on first use; extensions may add their own.
+ */
+class KernelRegistry
+{
+  public:
+    static KernelRegistry &instance();
+
+    void registerFactory(const std::string &name, KernelFactory fn);
+    bool has(const std::string &name) const;
+    std::vector<std::string> names() const;
+
+    std::unique_ptr<LinearKernel> make(const std::string &name,
+                                       const nn::LinearOp &op,
+                                       const CompileOptions &opts) const;
+
+  private:
+    KernelRegistry();
+    std::map<std::string, KernelFactory> factories_;
+};
+
+/**
+ * Resolve the registry name for one operator under a backend choice:
+ * Auto and CirculantFft pick "circulant-fft" for circulant weights
+ * and "dense" otherwise; Dense materializes everything dense;
+ * FixedPoint quantizes everything.
+ */
+std::string resolveBackend(BackendKind kind, const nn::LinearOp &op);
+
+} // namespace ernn::runtime
+
+#endif // ERNN_RUNTIME_BACKEND_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Immutable deployed-model artifact. runtime::compile() freezes a
+ * trained nn::StackedRnn into a CompiledModel, mirroring the paper's
+ * train -> compress -> quantize -> deploy pipeline: per-layer matvec
+ * kernels are selected from the backend registry, circulant spectra
+ * are precomputed, and (for the FixedPoint backend) weights are
+ * rounded to their per-tensor static scaling and activations replaced
+ * by the Phase II piecewise-linear tables.
+ *
+ * A CompiledModel is shared, read-only state. All mutable buffers
+ * (recurrent state, gate scratch, FFT workspaces) belong to the
+ * InferenceSession objects it creates.
+ */
+
+#ifndef ERNN_RUNTIME_COMPILED_MODEL_HH
+#define ERNN_RUNTIME_COMPILED_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activation.hh"
+#include "nn/rnn.hh"
+#include "runtime/backend.hh"
+
+namespace ernn::runtime
+{
+
+class InferenceSession;
+
+/**
+ * Frozen datapath semantics shared by every compiled layer: exact
+ * arithmetic for the float backends, or value quantization after
+ * every operation plus PWL activation tables for FixedPoint (the
+ * discipline the HLS interpreter applies in hardware mode).
+ */
+struct Datapath
+{
+    bool fixedPoint = false;
+    quant::FixedPointFormat valueFormat{}; //!< used when fixedPoint
+    std::shared_ptr<const nn::PiecewiseLinear> sigmoidTable;
+    std::shared_ptr<const nn::PiecewiseLinear> tanhTable;
+
+    /** Quantize a produced value vector (no-op when exact). */
+    void post(Vector &v) const
+    {
+        if (!fixedPoint)
+            return;
+        for (auto &x : v)
+            x = valueFormat.quantize(x);
+    }
+
+    /** Apply an activation through the configured implementation. */
+    void activate(nn::ActKind kind, Vector &v) const;
+};
+
+/** Per-layer recurrent state: owned by streams, sized by the layer. */
+struct LayerState
+{
+    Vector h; //!< previous output y_{t-1} (empty when unused)
+    Vector c; //!< cell state c_{t-1}
+};
+
+/** Per-layer preallocated step scratch: owned by sessions. */
+struct LayerScratch
+{
+    Vector g1, g2, g3, g4; //!< gate buffers
+    Vector t1, t2, t3;     //!< cell/candidate temporaries
+};
+
+/** One frozen recurrent layer: immutable kernels + step semantics. */
+class CompiledLayer
+{
+  public:
+    virtual ~CompiledLayer() = default;
+
+    virtual std::size_t inputSize() const = 0;
+    virtual std::size_t outputSize() const = 0;
+    virtual std::string kindName() const = 0;
+    virtual std::size_t storedParams() const = 0;
+
+    /** Size (and zero) a state object for this layer. */
+    virtual void initState(LayerState &state) const = 0;
+
+    /** Presize a scratch object for this layer. */
+    virtual void initScratch(LayerScratch &scratch) const = 0;
+
+    /**
+     * One recurrent step: read @p x and @p state (t-1), write the
+     * layer output into the presized @p y, and advance @p state.
+     * Must not allocate once scratch and state are warm.
+     */
+    virtual void step(const Vector &x, LayerState &state, Vector &y,
+                      LayerScratch &scratch, KernelScratch &kernels,
+                      const Datapath &dp) const = 0;
+
+    /** All kernels of this layer (introspection / reporting). */
+    virtual std::vector<const LinearKernel *> kernels() const = 0;
+};
+
+/**
+ * Immutable deployed model; create with runtime::compile(). Pinned
+ * in place once constructed (not movable or copyable): sessions hold
+ * a reference to their model, so moving one would silently dangle
+ * every outstanding session. Wrap in a smart pointer to store in
+ * containers.
+ */
+class CompiledModel
+{
+  public:
+    std::size_t numLayers() const { return layers_.size(); }
+    const CompiledLayer &layer(std::size_t i) const
+    {
+        return *layers_[i];
+    }
+
+    std::size_t inputSize() const;
+    std::size_t numClasses() const
+    {
+        return classifierBias_.size();
+    }
+
+    const LinearKernel &classifier() const { return *classifier_; }
+    const Vector &classifierBias() const { return classifierBias_; }
+
+    const Datapath &datapath() const { return datapath_; }
+    const CompileOptions &options() const { return options_; }
+
+    /** Total stored parameters across kernels and biases. */
+    std::size_t storedParams() const;
+
+    /** e.g. "compiled[circulant-fft] lstm64->lstm64->classes10". */
+    std::string describe() const;
+
+    /**
+     * Create an inference session bound to this model. The session
+     * borrows the model: keep the model alive while sessions run.
+     */
+    InferenceSession createSession() const;
+
+  private:
+    friend CompiledModel compile(const nn::StackedRnn &,
+                                 const CompileOptions &);
+    CompiledModel() = default;
+
+    /** Only compile() may move its result out (NRVO return path);
+     *  callers receive a prvalue, which binds without moving. */
+    CompiledModel(CompiledModel &&) = default;
+    CompiledModel &operator=(CompiledModel &&) = delete;
+
+    std::vector<std::unique_ptr<CompiledLayer>> layers_;
+    std::unique_ptr<LinearKernel> classifier_;
+    Vector classifierBias_;
+    Datapath datapath_;
+    CompileOptions options_;
+};
+
+/**
+ * Freeze a trained model into an immutable serving artifact. The
+ * model is read, never modified; the result shares nothing with it.
+ */
+CompiledModel compile(const nn::StackedRnn &model,
+                      const CompileOptions &opts = {});
+
+} // namespace ernn::runtime
+
+#endif // ERNN_RUNTIME_COMPILED_MODEL_HH

@@ -1,0 +1,134 @@
+#include "runtime/session.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ernn::runtime
+{
+
+void
+StreamState::reset()
+{
+    for (auto &l : layers_) {
+        std::fill(l.h.begin(), l.h.end(), 0.0);
+        std::fill(l.c.begin(), l.c.end(), 0.0);
+    }
+    frames_ = 0;
+}
+
+InferenceSession::InferenceSession(const CompiledModel &model)
+    : model_(model)
+{
+    const std::size_t n = model.numLayers();
+    layerScratch_.resize(n);
+    layerOut_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        model.layer(i).initScratch(layerScratch_[i]);
+        layerOut_[i].assign(model.layer(i).outputSize(), 0.0);
+    }
+    logits_.assign(model.numClasses(), 0.0);
+}
+
+StreamState
+InferenceSession::newStream() const
+{
+    StreamState state;
+    state.layers_.resize(model_.numLayers());
+    for (std::size_t i = 0; i < model_.numLayers(); ++i)
+        model_.layer(i).initState(state.layers_[i]);
+    return state;
+}
+
+const Vector &
+InferenceSession::step(StreamState &state, const Vector &frame)
+{
+    ernn_assert(state.layers_.size() == model_.numLayers(),
+                "step: stream belongs to a different model");
+    ernn_assert(frame.size() == model_.inputSize(),
+                "step: frame dim " << frame.size() << " != input dim "
+                << model_.inputSize());
+
+    const Datapath &dp = model_.datapath();
+    const Vector *cur = &frame;
+    for (std::size_t i = 0; i < model_.numLayers(); ++i) {
+        model_.layer(i).step(*cur, state.layers_[i], layerOut_[i],
+                             layerScratch_[i], kernels_, dp);
+        cur = &layerOut_[i];
+    }
+
+    model_.classifier().apply(*cur, logits_, kernels_);
+    dp.post(logits_);
+    addInPlace(logits_, model_.classifierBias());
+    dp.post(logits_);
+
+    ++state.frames_;
+    return logits_;
+}
+
+BatchResult
+InferenceSession::run(const std::vector<const nn::Sequence *> &batch)
+{
+    const std::size_t b = batch.size();
+    BatchResult out;
+    out.logits.resize(b);
+    out.predictions.resize(b);
+
+    std::size_t max_len = 0;
+    for (std::size_t u = 0; u < b; ++u) {
+        ernn_assert(batch[u], "run: null utterance in batch");
+        out.logits[u].resize(batch[u]->size());
+        out.predictions[u].resize(batch[u]->size());
+        max_len = std::max(max_len, batch[u]->size());
+    }
+
+    // Grow (and rewind) the reusable stream pool.
+    while (streamPool_.size() < b)
+        streamPool_.push_back(newStream());
+    for (std::size_t u = 0; u < b; ++u)
+        streamPool_[u].reset();
+
+    // Frame-lockstep over the batch: utterance u's recurrence only
+    // depends on its own past, so per time step every stream shares
+    // the same (cache-hot) weights.
+    for (std::size_t t = 0; t < max_len; ++t) {
+        for (std::size_t u = 0; u < b; ++u) {
+            if (t >= batch[u]->size())
+                continue;
+            const Vector &lg = step(streamPool_[u], (*batch[u])[t]);
+            out.logits[u][t] = lg;
+            out.predictions[u][t] = static_cast<int>(argmax(lg));
+        }
+    }
+    return out;
+}
+
+BatchResult
+InferenceSession::run(const std::vector<nn::Sequence> &batch)
+{
+    std::vector<const nn::Sequence *> ptrs;
+    ptrs.reserve(batch.size());
+    for (const auto &seq : batch)
+        ptrs.push_back(&seq);
+    return run(ptrs);
+}
+
+nn::Sequence
+InferenceSession::logits(const nn::Sequence &frames)
+{
+    return std::move(run({&frames}).logits.front());
+}
+
+std::vector<int>
+InferenceSession::predictFrames(const nn::Sequence &frames)
+{
+    return std::move(run({&frames}).predictions.front());
+}
+
+InferenceSession
+CompiledModel::createSession() const
+{
+    return InferenceSession(*this);
+}
+
+} // namespace ernn::runtime

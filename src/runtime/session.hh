@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Inference sessions over a CompiledModel: batched multi-utterance
+ * run() for offline scoring / throughput serving, and incremental
+ * StreamState-based step() for streaming ASR. A session owns every
+ * mutable buffer (recurrent state pools, gate scratch, the shared
+ * FFT workspace), so the compiled model stays immutable and
+ * shareable, and the per-frame path performs no heap allocation in
+ * the steady state.
+ */
+
+#ifndef ERNN_RUNTIME_SESSION_HH
+#define ERNN_RUNTIME_SESSION_HH
+
+#include <vector>
+
+#include "runtime/compiled_model.hh"
+
+namespace ernn::runtime
+{
+
+/**
+ * Recurrent state of one utterance (voice stream). Obtain from
+ * InferenceSession::newStream(); feed frames via step(). One session
+ * can serve many concurrent streams, one state object each.
+ */
+class StreamState
+{
+  public:
+    /** Rewind to the start-of-utterance (all-zero) state. */
+    void reset();
+
+    /** Frames consumed since the last reset. */
+    std::size_t framesSeen() const { return frames_; }
+
+  private:
+    friend class InferenceSession;
+    std::vector<LayerState> layers_;
+    std::size_t frames_ = 0;
+};
+
+/** Output of one batched run. */
+struct BatchResult
+{
+    /** Per-utterance logit sequences (frame-aligned). */
+    std::vector<nn::Sequence> logits;
+
+    /** Per-utterance greedy frame predictions (argmax of logits). */
+    std::vector<std::vector<int>> predictions;
+};
+
+class InferenceSession
+{
+  public:
+    explicit InferenceSession(const CompiledModel &model);
+
+    const CompiledModel &model() const { return model_; }
+
+    /** Fresh start-of-utterance state sized for this model. */
+    StreamState newStream() const;
+
+    /**
+     * Incremental streaming inference: consume one frame of one
+     * utterance and return its logits. The returned reference stays
+     * valid until the next step()/run() call on this session.
+     */
+    const Vector &step(StreamState &state, const Vector &frame);
+
+    /**
+     * Batched multi-utterance inference. Utterances are independent
+     * recurrent streams; the session advances them frame-lockstep so
+     * every weight matrix streams through the cache once per time
+     * step instead of once per utterance.
+     */
+    BatchResult run(const std::vector<const nn::Sequence *> &batch);
+    BatchResult run(const std::vector<nn::Sequence> &batch);
+
+    /// @{ Single-utterance conveniences.
+    nn::Sequence logits(const nn::Sequence &frames);
+    std::vector<int> predictFrames(const nn::Sequence &frames);
+    /// @}
+
+  private:
+    const CompiledModel &model_;
+    KernelScratch kernels_;
+    std::vector<LayerScratch> layerScratch_;
+    std::vector<Vector> layerOut_; //!< inter-layer activations
+    Vector logits_;
+    std::vector<StreamState> streamPool_; //!< reused by run()
+};
+
+} // namespace ernn::runtime
+
+#endif // ERNN_RUNTIME_SESSION_HH

@@ -48,13 +48,17 @@ sequencePer(const std::vector<int> &predicted_frames,
 }
 
 Real
-evaluatePer(nn::StackedRnn &model, const nn::SequenceDataset &data)
+evaluatePer(const runtime::CompiledModel &model,
+            const nn::SequenceDataset &data)
 {
+    // One session, scored utterance by utterance: peak memory is one
+    // utterance's logits, not the whole test set's.
+    runtime::InferenceSession session = model.createSession();
     std::size_t errors = 0;
     std::size_t ref_tokens = 0;
     for (const auto &ex : data) {
         const auto hyp =
-            collapseRepeats(model.predictFrames(ex.frames));
+            collapseRepeats(session.predictFrames(ex.frames));
         const auto ref = collapseRepeats(ex.labels);
         errors += editDistance(hyp, ref);
         ref_tokens += ref.size();
@@ -62,6 +66,13 @@ evaluatePer(nn::StackedRnn &model, const nn::SequenceDataset &data)
     ernn_assert(ref_tokens > 0, "PER over empty dataset");
     return 100.0 * static_cast<Real>(errors) /
            static_cast<Real>(ref_tokens);
+}
+
+Real
+evaluatePer(const nn::StackedRnn &model,
+            const nn::SequenceDataset &data)
+{
+    return evaluatePer(runtime::compile(model), data);
 }
 
 } // namespace ernn::speech

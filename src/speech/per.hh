@@ -13,6 +13,7 @@
 
 #include "nn/rnn.hh"
 #include "nn/trainer.hh"
+#include "runtime/session.hh"
 
 namespace ernn::speech
 {
@@ -28,8 +29,18 @@ std::size_t editDistance(const std::vector<int> &a,
 Real sequencePer(const std::vector<int> &predicted_frames,
                  const std::vector<int> &reference_frames);
 
-/** Dataset-level PER of a model, as a percentage (0-100). */
-Real evaluatePer(nn::StackedRnn &model,
+/** Dataset-level PER of a compiled model, as a percentage (0-100),
+ *  scored utterance by utterance through one inference session. */
+Real evaluatePer(const runtime::CompiledModel &model,
+                 const nn::SequenceDataset &data);
+
+/**
+ * Dataset-level PER of a trained model, as a percentage (0-100).
+ * Convenience wrapper: freezes the model with runtime::compile()
+ * (Auto backend) and scores through a batched InferenceSession —
+ * the training-path forward is no longer involved.
+ */
+Real evaluatePer(const nn::StackedRnn &model,
                  const nn::SequenceDataset &data);
 
 } // namespace ernn::speech

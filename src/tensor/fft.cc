@@ -225,27 +225,42 @@ naiveDft(const CVector &a, bool inverse)
 CVector
 rfft(const Vector &x)
 {
+    CVector out, scratch;
+    rfftInto(x, out, scratch);
+    return out;
+}
+
+void
+rfftInto(const Vector &x, CVector &out, CVector &scratch)
+{
     const std::size_t n = x.size();
     ernn_assert(isPowerOfTwo(n), "rfft size " << n
                 << " is not a power of two");
     if (OpCount::enabled())
         OpCount::countFft();
 
-    if (n == 1)
-        return {Complex(x[0], 0)};
-    if (n == 2)
-        return {Complex(x[0] + x[1], 0), Complex(x[0] - x[1], 0)};
+    if (n == 1) {
+        out.assign(1, Complex(x[0], 0));
+        return;
+    }
+    if (n == 2) {
+        out.resize(2);
+        out[0] = Complex(x[0] + x[1], 0);
+        out[1] = Complex(x[0] - x[1], 0);
+        return;
+    }
 
     const std::size_t m = n / 2;
 
     // Pack adjacent real samples into complex values and run a
     // half-size complex FFT (the real-FFT saving of Sec. V-A2).
-    CVector z(m);
+    CVector &z = scratch;
+    z.resize(m);
     for (std::size_t k = 0; k < m; ++k)
         z[k] = Complex(x[2 * k], x[2 * k + 1]);
     fftInPlace(z, false);
 
-    CVector out(m + 1);
+    out.resize(m + 1);
     out[0] = Complex(z[0].real() + z[0].imag(), 0);
     out[m] = Complex(z[0].real() - z[0].imag(), 0);
 
@@ -279,11 +294,20 @@ rfft(const Vector &x)
         OpCount::addComplexMults(cmuls);
         OpCount::addRealMults(4 * cmuls);
     }
-    return out;
 }
 
 Vector
 irfft(const CVector &spectrum, std::size_t n)
+{
+    Vector out;
+    CVector scratch;
+    irfftInto(spectrum, n, out, scratch);
+    return out;
+}
+
+void
+irfftInto(const CVector &spectrum, std::size_t n, Vector &out,
+          CVector &scratch)
 {
     ernn_assert(isPowerOfTwo(n), "irfft size " << n
                 << " is not a power of two");
@@ -293,15 +317,20 @@ irfft(const CVector &spectrum, std::size_t n)
     if (OpCount::enabled())
         OpCount::countIfft();
 
-    if (n == 1)
-        return {spectrum[0].real()};
+    if (n == 1) {
+        out.assign(1, spectrum[0].real());
+        return;
+    }
     if (n == 2) {
-        return {0.5 * (spectrum[0].real() + spectrum[1].real()),
-                0.5 * (spectrum[0].real() - spectrum[1].real())};
+        out.resize(2);
+        out[0] = 0.5 * (spectrum[0].real() + spectrum[1].real());
+        out[1] = 0.5 * (spectrum[0].real() - spectrum[1].real());
+        return;
     }
 
     const std::size_t m = n / 2;
-    CVector z(m);
+    CVector &z = scratch;
+    z.resize(m);
     z[0] = Complex(0.5 * (spectrum[0].real() + spectrum[m].real()),
                    0.5 * (spectrum[0].real() - spectrum[m].real()));
 
@@ -334,7 +363,7 @@ irfft(const CVector &spectrum, std::size_t n)
 
     fftInPlace(z, true);
 
-    Vector out(n);
+    out.resize(n);
     for (std::size_t k = 0; k < m; ++k) {
         out[2 * k] = z[k].real();
         out[2 * k + 1] = z[k].imag();
@@ -344,13 +373,20 @@ irfft(const CVector &spectrum, std::size_t n)
         OpCount::addComplexMults(cmuls);
         OpCount::addRealMults(4 * cmuls);
     }
-    return out;
 }
 
 void
 accumulateConjProduct(CVector &acc, const CVector &w, const CVector &x)
 {
-    ernn_assert(acc.size() == w.size() && w.size() == x.size(),
+    ernn_assert(acc.size() == w.size(),
+                "accumulateConjProduct: bin count mismatch");
+    accumulateConjProduct(acc, w.data(), x);
+}
+
+void
+accumulateConjProduct(CVector &acc, const Complex *w, const CVector &x)
+{
+    ernn_assert(acc.size() == x.size(),
                 "accumulateConjProduct: bin count mismatch");
     const std::size_t bins = acc.size();
     ernn_assert(bins >= 2, "accumulateConjProduct: too few bins");

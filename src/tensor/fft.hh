@@ -104,12 +104,24 @@ CVector naiveDft(const CVector &a, bool inverse);
 CVector rfft(const Vector &x);
 
 /**
+ * rfft into caller-provided buffers: @p out receives the n/2 + 1
+ * bins, @p scratch holds the half-size packed complex FFT. Both are
+ * resized as needed; once they have seen size n, repeated calls
+ * perform no heap allocation (the hot-loop form).
+ */
+void rfftInto(const Vector &x, CVector &out, CVector &scratch);
+
+/**
  * Inverse of rfft: reconstruct n real samples from n/2 + 1 bins.
  *
  * @param spectrum n/2 + 1 bins as produced by rfft
  * @param n        original (power-of-two) length
  */
 Vector irfft(const CVector &spectrum, std::size_t n);
+
+/** irfft into caller-provided buffers (allocation-free once warm). */
+void irfftInto(const CVector &spectrum, std::size_t n, Vector &out,
+               CVector &scratch);
 
 /**
  * acc += conj(w) ⊙ x over packed real-spectrum bins.
@@ -121,6 +133,14 @@ Vector irfft(const CVector &spectrum, std::size_t n);
  * (4 real mults each).
  */
 void accumulateConjProduct(CVector &acc, const CVector &w,
+                           const CVector &x);
+
+/**
+ * Same as above with @p w pointing at acc.size() packed bins inside a
+ * flat spectrum table — the no-copy form used by the block-circulant
+ * matvec hot loop.
+ */
+void accumulateConjProduct(CVector &acc, const Complex *w,
                            const CVector &x);
 
 /**

@@ -15,6 +15,7 @@
 #include "hls/scheduler.hh"
 #include "hls/weight_store.hh"
 #include "nn/model_builder.hh"
+#include "runtime/session.hh"
 
 using namespace ernn;
 using namespace ernn::hls;
@@ -128,8 +129,12 @@ TEST_P(InterpreterEquivalence, MatchesNnForward)
     const WeightStore store = WeightStore::fromModel(model, spec);
     Interpreter interp(graph, store);
 
+    // The serving path (compiled model + session) is the software
+    // reference the interpreter must reproduce.
+    const runtime::CompiledModel compiled = runtime::compile(model);
+    runtime::InferenceSession session = compiled.createSession();
     const nn::Sequence xs = randomFrames(6, spec.inputDim, 7);
-    const nn::Sequence expect = model.forwardLogits(xs);
+    const nn::Sequence expect = session.logits(xs);
     const nn::Sequence got = interp.run(xs);
 
     ASSERT_EQ(got.size(), expect.size());

@@ -4,9 +4,10 @@
  * flow on the synthetic ASR task:
  *
  *   train dense -> ADMM structured training -> hard projection ->
- *   transfer into the compressed model -> quantize -> evaluate PER
- *   -> build the HLS graph -> interpret in hardware mode ->
- *   Phase II hardware mapping.
+ *   transfer into the compressed model -> compile for serving ->
+ *   quantized (FixedPoint backend) PER -> build the HLS graph ->
+ *   interpret in hardware mode -> Phase II hardware mapping with the
+ *   measured (runtime-backed) quantization oracle.
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +19,7 @@
 #include "hls/weight_store.hh"
 #include "nn/model_builder.hh"
 #include "quant/fixed_point.hh"
+#include "runtime/session.hh"
 #include "speech/dataset.hh"
 #include "speech/per.hh"
 
@@ -78,15 +80,23 @@ TEST(Integration, FullErnnDeploymentFlow)
     EXPECT_LT(circ_per, dense_per + 12.0);
     EXPECT_LT(circ_per, 55.0);
 
-    // 5. Quantize weights to 12 bits; PER must barely move.
+    // 5. Deploy at 12 bits via the runtime FixedPoint backend; PER
+    // must barely move vs. float serving.
     const Real pre_quant_per = circ_per;
-    quant::quantizeParams(compressed.params(), 12);
+    runtime::CompileOptions fp_opts;
+    fp_opts.backend = runtime::BackendKind::FixedPoint;
+    fp_opts.fixedPointBits = 12;
+    const runtime::CompiledModel deployed =
+        runtime::compile(compressed, fp_opts);
     const Real post_quant_per =
-        speech::evaluatePer(compressed, data.test);
+        speech::evaluatePer(deployed, data.test);
     EXPECT_NEAR(post_quant_per, pre_quant_per, 3.0);
 
     // 6. HLS path: graph + hardware-mode interpreter agrees with
-    // the nn forward pass on classifications.
+    // the serving path (compiled model + session) on
+    // classifications. Weights quantized in place as the HLS weight
+    // store deploys them.
+    quant::quantizeParams(compressed.params(), 12);
     const hls::OpGraph graph = hls::buildGraph(circ_spec);
     const hls::WeightStore store =
         hls::WeightStore::fromModel(compressed, circ_spec);
@@ -99,10 +109,13 @@ TEST(Integration, FullErnnDeploymentFlow)
     hw_opts.tanhImpl = &th;
     hls::Interpreter interp(graph, store, hw_opts);
 
+    const runtime::CompiledModel serving =
+        runtime::compile(compressed);
+    runtime::InferenceSession session = serving.createSession();
     std::size_t agree = 0, total = 0;
     for (std::size_t u = 0; u < 3; ++u) {
         const auto &ex = data.test[u];
-        const nn::Sequence sw = compressed.forwardLogits(ex.frames);
+        const nn::Sequence sw = session.logits(ex.frames);
         const nn::Sequence hw_out = interp.run(ex.frames);
         for (std::size_t t = 0; t < sw.size(); ++t) {
             agree += argmax(sw[t]) == argmax(hw_out[t]);
@@ -112,7 +125,8 @@ TEST(Integration, FullErnnDeploymentFlow)
     EXPECT_GT(static_cast<Real>(agree) / static_cast<Real>(total),
               0.9);
 
-    // 7. Phase II hardware mapping of the paper-scale analogue.
+    // 7. Phase II hardware mapping of the paper-scale analogue,
+    // using the analytic oracle (no trained paper-scale model).
     nn::ModelSpec deploy = circ_spec;
     deploy.inputDim = 153;
     deploy.layerSizes = {1024};
@@ -122,4 +136,14 @@ TEST(Integration, FullErnnDeploymentFlow)
     const core::Phase2Result r = p2.run(deploy);
     EXPECT_EQ(r.weightBits, 12);
     EXPECT_GT(r.design.fps, 100000.0);
+
+    // 8. Phase II again for the *trained* small model, with the
+    // measured quantization oracle: the bit-width search now runs
+    // real FixedPoint serving sessions over the test set.
+    core::Phase2Optimizer p2_measured(hw::xcku060());
+    const core::Phase2Result rm = p2_measured.run(
+        circ_spec, core::measuredQuantOracle(compressed, data.test));
+    EXPECT_GE(rm.weightBits, 8);
+    EXPECT_LE(rm.weightBits, 16);
+    EXPECT_EQ(rm.bitSweep.size() >= 1, true);
 }

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Runtime (serving) API tests: backend parity against the legacy
+ * StackedRnn forward on randomized specs, batched run() vs
+ * per-utterance loops, streaming step() vs full-sequence run(), the
+ * FixedPoint backend's bit-exact agreement with quant:: rounding, and
+ * registry/immutability contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/lstm.hh"
+#include "nn/model_builder.hh"
+#include "quant/fixed_point.hh"
+#include "runtime/session.hh"
+
+using namespace ernn;
+using namespace ernn::runtime;
+
+namespace
+{
+
+nn::Sequence
+randomFrames(std::size_t t, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Sequence xs(t);
+    for (auto &x : xs) {
+        x.resize(dim);
+        rng.fillNormal(x, 1.0);
+    }
+    return xs;
+}
+
+/** A few structurally diverse specs the parity tests sweep over. */
+std::vector<nn::ModelSpec>
+randomSpecs()
+{
+    std::vector<nn::ModelSpec> specs;
+
+    nn::ModelSpec lstm_circ;
+    lstm_circ.type = nn::ModelType::Lstm;
+    lstm_circ.inputDim = 16;
+    lstm_circ.numClasses = 9;
+    lstm_circ.layerSizes = {32, 32};
+    lstm_circ.blockSizes = {8, 4};
+    lstm_circ.peephole = true;
+    lstm_circ.projectionSize = 16;
+    specs.push_back(lstm_circ);
+
+    nn::ModelSpec gru_circ;
+    gru_circ.type = nn::ModelType::Gru;
+    gru_circ.inputDim = 8;
+    gru_circ.numClasses = 5;
+    gru_circ.layerSizes = {24};
+    gru_circ.blockSizes = {8};
+    specs.push_back(gru_circ);
+
+    nn::ModelSpec lstm_dense;
+    lstm_dense.type = nn::ModelType::Lstm;
+    lstm_dense.inputDim = 12;
+    lstm_dense.numClasses = 7;
+    lstm_dense.layerSizes = {20};
+    specs.push_back(lstm_dense);
+
+    nn::ModelSpec gru_mixed;
+    gru_mixed.type = nn::ModelType::Gru;
+    gru_mixed.inputDim = 16;
+    gru_mixed.numClasses = 6;
+    gru_mixed.layerSizes = {16, 16};
+    gru_mixed.blockSizes = {4, 1}; // circulant then dense
+    specs.push_back(gru_mixed);
+
+    return specs;
+}
+
+nn::StackedRnn
+buildInit(const nn::ModelSpec &spec, std::uint64_t seed)
+{
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(seed);
+    model.initXavier(rng);
+    return model;
+}
+
+void
+expectSequencesNear(const nn::Sequence &a, const nn::Sequence &b,
+                    Real tol)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        ASSERT_EQ(a[t].size(), b[t].size()) << "t=" << t;
+        for (std::size_t k = 0; k < a[t].size(); ++k)
+            EXPECT_NEAR(a[t][k], b[t][k], tol)
+                << "t=" << t << " k=" << k;
+    }
+}
+
+} // namespace
+
+// --- Backend parity against the legacy forward -------------------------
+
+TEST(RuntimeParity, AutoBackendMatchesLegacyForwardExactly)
+{
+    std::uint64_t seed = 100;
+    for (const auto &spec : randomSpecs()) {
+        nn::StackedRnn model = buildInit(spec, seed);
+        const nn::Sequence xs = randomFrames(7, spec.inputDim, seed + 1);
+
+        const nn::Sequence expect = model.forwardLogits(xs);
+        const std::vector<int> expect_preds = model.predictFrames(xs);
+
+        CompiledModel compiled = compile(model);
+        InferenceSession session = compiled.createSession();
+        const nn::Sequence got = session.logits(xs);
+        const std::vector<int> preds = session.predictFrames(xs);
+
+        // Same op order, same FFT path: bitwise-equivalent math.
+        expectSequencesNear(got, expect, 1e-12);
+        EXPECT_EQ(preds, expect_preds) << spec.describe();
+        seed += 10;
+    }
+}
+
+TEST(RuntimeParity, DenseBackendMatchesCirculantFftToFftAccuracy)
+{
+    for (const auto &spec : randomSpecs()) {
+        nn::StackedRnn model = buildInit(spec, 7);
+        const nn::Sequence xs = randomFrames(5, spec.inputDim, 8);
+
+        CompileOptions dense_opts;
+        dense_opts.backend = BackendKind::Dense;
+        CompiledModel dense = compile(model, dense_opts);
+
+        CompileOptions fft_opts;
+        fft_opts.backend = BackendKind::CirculantFft;
+        CompiledModel fft = compile(model, fft_opts);
+
+        InferenceSession ds = dense.createSession();
+        InferenceSession fs = fft.createSession();
+        // Dense materializes the circulant blocks; only FFT roundoff
+        // separates the two backends.
+        expectSequencesNear(ds.logits(xs), fs.logits(xs), 1e-9);
+    }
+}
+
+TEST(RuntimeParity, FixedPointTracksQuantizedLegacyModel)
+{
+    for (const auto &spec : randomSpecs()) {
+        // Reference: the legacy model with its parameters quantized
+        // in place by quant::quantizeParams (exact activations).
+        nn::StackedRnn reference = buildInit(spec, 21);
+        CompileOptions opts;
+        opts.backend = BackendKind::FixedPoint;
+        opts.fixedPointBits = 16;
+        opts.activationSegments = 0; // exact activations
+        CompiledModel compiled = compile(reference, opts);
+
+        quant::quantizeParams(reference.params(),
+                              opts.fixedPointBits);
+        const nn::Sequence xs = randomFrames(6, spec.inputDim, 22);
+        const nn::Sequence expect = reference.forwardLogits(xs);
+
+        InferenceSession session = compiled.createSession();
+        const nn::Sequence got = session.logits(xs);
+
+        // Same quantized weights; the backend additionally rounds
+        // every intermediate value to the 16-bit value grid, so the
+        // logits drift by at most a few quantization steps.
+        expectSequencesNear(got, expect, 0.02);
+    }
+}
+
+// --- FixedPoint bit-exactness vs quant:: -------------------------------
+
+TEST(RuntimeFixedPoint, WeightsBitExactWithQuantRounding)
+{
+    nn::ModelSpec spec = randomSpecs().front();
+    nn::StackedRnn model = buildInit(spec, 33);
+
+    CompileOptions opts;
+    opts.backend = BackendKind::FixedPoint;
+    opts.fixedPointBits = 12;
+    CompiledModel compiled = compile(model, opts);
+
+    // Quantize the training model the official way; every compiled
+    // kernel must hold the byte-identical rounding result.
+    quant::quantizeParams(model.params(), opts.fixedPointBits);
+
+    std::size_t checked = 0;
+    for (std::size_t l = 0; l < compiled.numLayers(); ++l) {
+        for (const LinearKernel *k : compiled.layer(l).kernels()) {
+            const auto *fp = dynamic_cast<const FixedPointKernel *>(k);
+            ASSERT_NE(fp, nullptr) << "non-fixed-point kernel";
+            EXPECT_EQ(fp->weightFormat().totalBits,
+                      opts.fixedPointBits);
+            ++checked;
+        }
+    }
+    EXPECT_GE(checked, 9u); // 8 gate matrices + projection
+
+    // Spot-check one tensor end to end: layer 0's Wix generators.
+    const auto *lstm =
+        dynamic_cast<const nn::LstmLayer *>(&model.layer(0));
+    ASSERT_NE(lstm, nullptr);
+    const auto *circ = lstm->wix().circulantWeight();
+    ASSERT_NE(circ, nullptr);
+    const auto *fp0 = dynamic_cast<const FixedPointKernel *>(
+        compiled.layer(0).kernels()[0]);
+    ASSERT_NE(fp0, nullptr);
+    ASSERT_EQ(fp0->quantizedWeights().size(), circ->raw().size());
+    for (std::size_t i = 0; i < circ->raw().size(); ++i)
+        EXPECT_EQ(fp0->quantizedWeights()[i], circ->raw()[i])
+            << "generator entry " << i;
+}
+
+// --- Batched run() semantics -------------------------------------------
+
+TEST(RuntimeBatch, BatchedRunEqualsPerUtteranceLoops)
+{
+    const nn::ModelSpec spec = randomSpecs().front();
+    nn::StackedRnn model = buildInit(spec, 55);
+    CompiledModel compiled = compile(model);
+    InferenceSession session = compiled.createSession();
+
+    // Ragged batch: different utterance lengths.
+    std::vector<nn::Sequence> batch;
+    batch.push_back(randomFrames(9, spec.inputDim, 60));
+    batch.push_back(randomFrames(3, spec.inputDim, 61));
+    batch.push_back(randomFrames(6, spec.inputDim, 62));
+    batch.push_back(randomFrames(1, spec.inputDim, 63));
+
+    const BatchResult batched = session.run(batch);
+    ASSERT_EQ(batched.logits.size(), batch.size());
+
+    InferenceSession solo = compiled.createSession();
+    for (std::size_t u = 0; u < batch.size(); ++u) {
+        ASSERT_EQ(batched.logits[u].size(), batch[u].size());
+        const nn::Sequence one = solo.logits(batch[u]);
+        expectSequencesNear(batched.logits[u], one, 0.0);
+        EXPECT_EQ(batched.predictions[u], solo.predictFrames(batch[u]));
+    }
+}
+
+// --- Streaming step() semantics ----------------------------------------
+
+TEST(RuntimeStreaming, StepMatchesRunFrameForFrame)
+{
+    for (const auto &spec : randomSpecs()) {
+        nn::StackedRnn model = buildInit(spec, 77);
+        CompiledModel compiled = compile(model);
+        InferenceSession session = compiled.createSession();
+
+        const nn::Sequence xs = randomFrames(8, spec.inputDim, 78);
+        const nn::Sequence whole = session.logits(xs);
+
+        StreamState stream = session.newStream();
+        for (std::size_t t = 0; t < xs.size(); ++t) {
+            const Vector &lg = session.step(stream, xs[t]);
+            ASSERT_EQ(lg.size(), whole[t].size());
+            for (std::size_t k = 0; k < lg.size(); ++k)
+                EXPECT_EQ(lg[k], whole[t][k])
+                    << "t=" << t << " k=" << k;
+        }
+        EXPECT_EQ(stream.framesSeen(), xs.size());
+
+        // reset() rewinds to start-of-utterance exactly.
+        stream.reset();
+        const Vector &again = session.step(stream, xs[0]);
+        for (std::size_t k = 0; k < again.size(); ++k)
+            EXPECT_EQ(again[k], whole[0][k]);
+    }
+}
+
+TEST(RuntimeStreaming, IndependentStreamsDoNotInterfere)
+{
+    const nn::ModelSpec spec = randomSpecs()[1]; // GRU
+    nn::StackedRnn model = buildInit(spec, 91);
+    CompiledModel compiled = compile(model);
+    InferenceSession session = compiled.createSession();
+
+    const nn::Sequence a = randomFrames(5, spec.inputDim, 92);
+    const nn::Sequence b = randomFrames(5, spec.inputDim, 93);
+    const nn::Sequence ea = session.logits(a);
+    const nn::Sequence eb = session.logits(b);
+
+    // Interleave two live streams through one session.
+    StreamState sa = session.newStream();
+    StreamState sb = session.newStream();
+    for (std::size_t t = 0; t < 5; ++t) {
+        const Vector la = session.step(sa, a[t]);
+        const Vector lb = session.step(sb, b[t]);
+        for (std::size_t k = 0; k < la.size(); ++k) {
+            EXPECT_EQ(la[k], ea[t][k]) << "t=" << t;
+            EXPECT_EQ(lb[k], eb[t][k]) << "t=" << t;
+        }
+    }
+}
+
+// --- Registry / artifact contracts -------------------------------------
+
+TEST(RuntimeRegistry, BuiltinBackendsRegistered)
+{
+    auto &reg = KernelRegistry::instance();
+    EXPECT_TRUE(reg.has("dense"));
+    EXPECT_TRUE(reg.has("circulant-fft"));
+    EXPECT_TRUE(reg.has("fixed-point"));
+    EXPECT_GE(reg.names().size(), 3u);
+}
+
+TEST(RuntimeRegistry, KernelSelectionFollowsWeightStructure)
+{
+    const nn::ModelSpec spec = randomSpecs().back(); // circ + dense
+    nn::StackedRnn model = buildInit(spec, 11);
+    CompiledModel compiled = compile(model);
+
+    // Layer 0 is block-circulant, layer 1 dense.
+    for (const LinearKernel *k : compiled.layer(0).kernels())
+        EXPECT_EQ(k->backendName(), "circulant-fft");
+    for (const LinearKernel *k : compiled.layer(1).kernels())
+        EXPECT_EQ(k->backendName(), "dense");
+    EXPECT_EQ(compiled.classifier().backendName(), "dense");
+}
+
+TEST(RuntimeArtifact, CompiledModelIsFrozen)
+{
+    const nn::ModelSpec spec = randomSpecs().front();
+    nn::StackedRnn model = buildInit(spec, 13);
+    CompiledModel compiled = compile(model);
+    InferenceSession session = compiled.createSession();
+
+    const nn::Sequence xs = randomFrames(4, spec.inputDim, 14);
+    const nn::Sequence before = session.logits(xs);
+
+    // Mutating the training model after compile() must not leak into
+    // the frozen artifact.
+    Rng other(999);
+    model.initXavier(other);
+    const nn::Sequence after = session.logits(xs);
+    expectSequencesNear(before, after, 0.0);
+
+    EXPECT_EQ(compiled.storedParams() > 0, true);
+    EXPECT_NE(compiled.describe().find("compiled"), std::string::npos);
+}
