@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Serving throughput/latency bench: InferenceServer vs a single
+ * direct InferenceSession on the paper-scale 2x1024/block-64 LSTM,
+ * swept over worker count and dynamic-batching size for the
+ * Dense / CirculantFFT / FixedPoint backends.
+ *
+ * Quick mode uses a reduced utterance set for the slow (time-domain
+ * MAC) backends; ERNN_FULL=1 runs the complete sweep everywhere.
+ * Worker scaling is bounded by physical cores — the bench prints
+ * std::thread::hardware_concurrency() so results off a many-core
+ * host are interpretable.
+ */
+
+#include <chrono>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "base/strings.hh"
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "serve/inference_server.hh"
+
+using namespace ernn;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+/** The acceptance workload: paper-scale 2x1024 LSTM, block-64. */
+nn::ModelSpec
+servingSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 128;
+    spec.numClasses = 39;
+    spec.layerSizes = {1024, 1024};
+    spec.blockSizes = {64, 64};
+    return spec;
+}
+
+std::vector<nn::Sequence>
+utteranceSet(std::size_t utterances, std::size_t frames,
+             std::size_t dim)
+{
+    Rng rng(29);
+    std::vector<nn::Sequence> set(utterances);
+    for (auto &utt : set) {
+        utt.assign(frames, Vector(dim));
+        for (auto &f : utt)
+            rng.fillNormal(f, 1.0);
+    }
+    return set;
+}
+
+Real
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<Real>(Clock::now() - t0).count();
+}
+
+std::size_t
+totalFrames(const std::vector<nn::Sequence> &set)
+{
+    std::size_t n = 0;
+    for (const auto &utt : set)
+        n += utt.size();
+    return n;
+}
+
+/** Single-thread baseline: one session, sequential maxBatch batches. */
+Real
+directThroughput(const runtime::CompiledModel &model,
+                 const std::vector<nn::Sequence> &set,
+                 std::size_t max_batch)
+{
+    runtime::InferenceSession session = model.createSession();
+    const auto t0 = Clock::now();
+    std::vector<const nn::Sequence *> batch;
+    for (std::size_t u = 0; u < set.size();) {
+        batch.clear();
+        for (; u < set.size() && batch.size() < max_batch; ++u)
+            batch.push_back(&set[u]);
+        const runtime::BatchResult r = session.run(batch);
+        (void)r;
+    }
+    return static_cast<Real>(totalFrames(set)) / secondsSince(t0);
+}
+
+struct ServedRun
+{
+    Real framesPerSec = 0.0;
+    serve::ServerStats stats;
+};
+
+ServedRun
+servedThroughput(const runtime::CompiledModel &model,
+                 const std::vector<nn::Sequence> &set,
+                 std::size_t workers, std::size_t max_batch)
+{
+    serve::ServerOptions opts;
+    opts.workers = workers;
+    opts.maxBatch = max_batch;
+    opts.batchTimeout = std::chrono::microseconds(100);
+    serve::InferenceServer server(model, opts);
+
+    const auto t0 = Clock::now();
+    std::vector<std::future<serve::InferenceReply>> futures;
+    futures.reserve(set.size());
+    for (const auto &utt : set)
+        futures.push_back(server.submit(utt));
+    for (auto &f : futures)
+        f.get();
+    const Real secs = secondsSince(t0);
+
+    ServedRun run;
+    run.framesPerSec = static_cast<Real>(totalFrames(set)) / secs;
+    run.stats = server.stats();
+    return run;
+}
+
+void
+sweepBackend(const std::string &name,
+             const runtime::CompiledModel &model,
+             const std::vector<nn::Sequence> &set,
+             const std::vector<std::size_t> &worker_counts,
+             std::size_t max_batch)
+{
+    const Real direct = directThroughput(model, set, max_batch);
+
+    TextTable table(name + ": " + std::to_string(set.size()) +
+                    " utterances x " +
+                    std::to_string(set.front().size()) +
+                    " frames, maxBatch " + std::to_string(max_batch));
+    table.setHeader({"mode", "frames/s", "speedup", "mean batch",
+                     "mean queue (us)", "mean compute (us)"});
+    table.addRow({"direct session (1 thread)", fmtGrouped(
+                      static_cast<long long>(direct)),
+                  "1.00", "-", "-", "-"});
+    for (std::size_t workers : worker_counts) {
+        const ServedRun run =
+            servedThroughput(model, set, workers, max_batch);
+        table.addRow(
+            {"server, " + std::to_string(workers) + " workers",
+             fmtGrouped(static_cast<long long>(run.framesPerSec)),
+             fmtReal(run.framesPerSec / direct, 2),
+             fmtReal(run.stats.meanBatchSize(), 1),
+             fmtReal(run.stats.queueMicros.mean(), 0),
+             fmtReal(run.stats.computeMicros.mean(), 0)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool full = bench::fullMode();
+    bench::banner(
+        "Serving throughput: InferenceServer vs direct session "
+        "(2x1024/block-64 LSTM)");
+    std::cout << "hardware threads: "
+              << std::thread::hardware_concurrency()
+              << " (worker scaling is bounded by physical cores)\n";
+
+    const nn::ModelSpec spec = servingSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(31);
+    model.initXavier(rng);
+
+    const std::vector<std::size_t> workers =
+        full ? std::vector<std::size_t>{1, 2, 4, 8}
+             : std::vector<std::size_t>{1, 2, 4};
+
+    // The FFT datapath (the paper's production path) gets the full
+    // utterance set; the dense / fixed-point reference datapaths do
+    // O(rows x cols) MACs per frame and run a reduced set in quick
+    // mode.
+    const auto fast_set =
+        utteranceSet(full ? 32 : 16, full ? 20 : 8, spec.inputDim);
+    const auto slow_set =
+        utteranceSet(full ? 16 : 6, full ? 12 : 4, spec.inputDim);
+
+    runtime::CompileOptions fft;
+    fft.backend = runtime::BackendKind::CirculantFft;
+    sweepBackend("CirculantFFT backend", runtime::compile(model, fft),
+                 fast_set, workers, 8);
+
+    // Batch-size sweep on the production backend at fixed workers.
+    {
+        const runtime::CompiledModel compiled =
+            runtime::compile(model, fft);
+        TextTable table("CirculantFFT: dynamic batch size at 4 "
+                        "workers");
+        table.setHeader({"maxBatch", "frames/s", "mean batch",
+                         "mean queue (us)"});
+        for (std::size_t mb : {1u, 4u, 8u, 16u}) {
+            const ServedRun run =
+                servedThroughput(compiled, fast_set, 4, mb);
+            table.addRow(
+                {std::to_string(mb),
+                 fmtGrouped(
+                     static_cast<long long>(run.framesPerSec)),
+                 fmtReal(run.stats.meanBatchSize(), 1),
+                 fmtReal(run.stats.queueMicros.mean(), 0)});
+        }
+        table.print(std::cout);
+    }
+
+    runtime::CompileOptions dense;
+    dense.backend = runtime::BackendKind::Dense;
+    sweepBackend("Dense backend", runtime::compile(model, dense),
+                 slow_set, workers, 8);
+
+    runtime::CompileOptions fp;
+    fp.backend = runtime::BackendKind::FixedPoint;
+    fp.fixedPointBits = 12;
+    sweepBackend("FixedPoint backend", runtime::compile(model, fp),
+                 slow_set, workers, 8);
+
+    if (!full)
+        std::cout << "\n(quick mode; set ERNN_FULL=1 for the full "
+                     "sweep)\n";
+    return 0;
+}

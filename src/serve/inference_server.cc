@@ -1,0 +1,412 @@
+#include "serve/inference_server.hh"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ernn::serve
+{
+
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+Real
+microsBetween(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<Real, std::micro>(to - from).count();
+}
+
+} // namespace
+
+/**
+ * Shared state of one pinned stream. The worker index is written once
+ * at openStream() time; the StreamState itself is created lazily by
+ * the pinned worker (from its own session) and only ever touched on
+ * that worker's thread, so it needs no lock. The slot is kept alive
+ * by the handle and by every queued job referencing it.
+ */
+struct StreamSlot
+{
+    std::size_t worker = 0;
+    std::optional<runtime::StreamState> state;
+};
+
+struct InferenceServer::UtteranceJob
+{
+    nn::Sequence frames;
+    std::promise<InferenceReply> promise;
+    Clock::time_point enqueued;
+};
+
+struct InferenceServer::StreamJob
+{
+    std::shared_ptr<StreamSlot> slot;
+    bool isReset = false;
+    Vector frame;                //!< step payload
+    std::promise<Vector> logits; //!< step reply
+    std::promise<void> done;     //!< reset acknowledgement
+};
+
+InferenceServer::InferenceServer(const runtime::CompiledModel &model,
+                                 ServerOptions opts)
+    : model_(model), opts_(opts)
+{
+    ernn_assert(opts_.workers >= 1, "server needs at least one worker");
+    ernn_assert(opts_.maxBatch >= 1, "maxBatch must be positive");
+    ernn_assert(opts_.queueCapacity >= 1,
+                "queueCapacity must be positive");
+
+    streamQueues_.resize(opts_.workers);
+    workers_.reserve(opts_.workers);
+    for (std::size_t w = 0; w < opts_.workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+std::future<InferenceReply>
+InferenceServer::submit(nn::Sequence frames)
+{
+    UtteranceJob job;
+    job.frames = std::move(frames);
+    std::future<InferenceReply> fut = job.promise.get_future();
+
+    std::size_t depth = 0;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        ++submitWaiters_;
+        spaceCv_.wait(lk, [&] {
+            return shuttingDown_ ||
+                   queue_.size() < opts_.queueCapacity;
+        });
+        --submitWaiters_;
+        if (shuttingDown_) {
+            // Let shutdown() know this thread has left the wait so
+            // it can safely proceed to teardown.
+            waitersCv_.notify_all();
+            throw std::runtime_error(
+                "InferenceServer::submit after shutdown");
+        }
+        job.enqueued = Clock::now();
+        queue_.push_back(std::move(job));
+        depth = queue_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        stats_.queueDepth.add(static_cast<Real>(depth));
+    }
+    workCv_.notify_one();
+    return fut;
+}
+
+bool
+InferenceServer::trySubmit(nn::Sequence frames,
+                           std::future<InferenceReply> &out)
+{
+    UtteranceJob job;
+    job.frames = std::move(frames);
+    std::future<InferenceReply> fut = job.promise.get_future();
+
+    std::size_t depth = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (shuttingDown_)
+            throw std::runtime_error(
+                "InferenceServer::trySubmit after shutdown");
+        if (queue_.size() >= opts_.queueCapacity)
+            return false;
+        job.enqueued = Clock::now();
+        queue_.push_back(std::move(job));
+        depth = queue_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        stats_.queueDepth.add(static_cast<Real>(depth));
+    }
+    workCv_.notify_one();
+    out = std::move(fut);
+    return true;
+}
+
+InferenceReply
+InferenceServer::infer(const nn::Sequence &frames)
+{
+    return submit(frames).get();
+}
+
+InferenceServer::Stream
+InferenceServer::openStream()
+{
+    auto slot = std::make_shared<StreamSlot>();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (shuttingDown_)
+            throw std::runtime_error(
+                "InferenceServer::openStream after shutdown");
+        slot->worker = nextStreamWorker_++ % opts_.workers;
+    }
+    return Stream(this, std::move(slot));
+}
+
+std::size_t
+InferenceServer::pendingRequests() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    std::lock_guard<std::mutex> lk(statsMu_);
+    return stats_;
+}
+
+bool
+InferenceServer::accepting() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return !shuttingDown_;
+}
+
+void
+InferenceServer::shutdown()
+{
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        shuttingDown_ = true;
+        workCv_.notify_all();
+        spaceCv_.notify_all();
+        // Wait until every submit() blocked on backpressure has
+        // left its condition wait: after that, no caller thread can
+        // still be parked on this object's synchronization state, so
+        // the destructor may safely tear it down.
+        waitersCv_.wait(lk, [&] { return submitWaiters_ == 0; });
+    }
+
+    std::lock_guard<std::mutex> join(joinMu_);
+    for (auto &t : workers_)
+        if (t.joinable())
+            t.join();
+}
+
+void
+InferenceServer::enqueueStreamJob(
+    const std::shared_ptr<StreamSlot> &slot, StreamJob job)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (shuttingDown_)
+            throw std::runtime_error(
+                "InferenceServer: stream use after shutdown");
+        streamQueues_[slot->worker].push_back(std::move(job));
+    }
+    // notify_all: the job is pinned, so the one worker whose
+    // predicate became true must be among the woken.
+    workCv_.notify_all();
+}
+
+void
+InferenceServer::workerLoop(std::size_t index)
+{
+    runtime::InferenceSession session = model_.createSession();
+    std::vector<UtteranceJob> batch;
+
+    for (;;) {
+        std::unique_lock<std::mutex> lk(mu_);
+        workCv_.wait(lk, [&] {
+            return shuttingDown_ || !queue_.empty() ||
+                   !streamQueues_[index].empty();
+        });
+
+        // Stream steps first: they are single frames of a live
+        // utterance, the latency-critical path.
+        if (!streamQueues_[index].empty()) {
+            StreamJob job = std::move(streamQueues_[index].front());
+            streamQueues_[index].pop_front();
+            lk.unlock();
+            runStreamJob(session, job);
+            continue;
+        }
+
+        if (queue_.empty()) {
+            if (shuttingDown_)
+                return; // fully drained
+            continue;   // woken but another worker took the job
+        }
+
+        // Dynamic batching: take what is queued, then hold the
+        // partial batch open up to batchTimeout for late arrivals.
+        batch.clear();
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        const auto deadline = Clock::now() + opts_.batchTimeout;
+        while (batch.size() < opts_.maxBatch) {
+            if (!queue_.empty()) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+                continue;
+            }
+            if (shuttingDown_ || !streamQueues_[index].empty())
+                break;
+            if (opts_.batchTimeout.count() == 0)
+                break;
+            if (workCv_.wait_until(lk, deadline) ==
+                std::cv_status::timeout)
+                break;
+        }
+        spaceCv_.notify_all();
+        lk.unlock();
+        runBatch(session, batch, index);
+    }
+}
+
+void
+InferenceServer::runBatch(runtime::InferenceSession &session,
+                          std::vector<UtteranceJob> &batch,
+                          std::size_t worker)
+{
+    std::vector<const nn::Sequence *> ptrs;
+    ptrs.reserve(batch.size());
+    for (const auto &job : batch)
+        ptrs.push_back(&job.frames);
+
+    const auto t0 = Clock::now();
+    runtime::BatchResult result = session.run(ptrs);
+    const auto t1 = Clock::now();
+    const Real compute = microsBetween(t0, t1);
+
+    std::size_t frames = 0;
+    for (const auto &job : batch)
+        frames += job.frames.size();
+
+    // Fold counters in before fulfilling the promises, so a caller
+    // that waits on its future observes its own request in stats().
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        stats_.requestsCompleted += batch.size();
+        stats_.batchesDispatched += 1;
+        stats_.framesProcessed += frames;
+        stats_.computeMicros.add(compute);
+        stats_.batchSize.add(static_cast<Real>(batch.size()));
+        for (const auto &job : batch)
+            stats_.queueMicros.add(microsBetween(job.enqueued, t0));
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        InferenceReply reply;
+        reply.logits = std::move(result.logits[i]);
+        reply.predictions = std::move(result.predictions[i]);
+        reply.timing.queueMicros = microsBetween(batch[i].enqueued, t0);
+        reply.timing.computeMicros = compute;
+        reply.timing.batchSize = batch.size();
+        reply.timing.worker = worker;
+        batch[i].promise.set_value(std::move(reply));
+    }
+}
+
+void
+InferenceServer::runStreamJob(runtime::InferenceSession &session,
+                              StreamJob &job)
+{
+    // Lazily create the recurrent state from this worker's session:
+    // every job of a slot runs on its pinned worker, so the state is
+    // only ever touched by one thread.
+    if (!job.slot->state)
+        job.slot->state.emplace(session.newStream());
+
+    if (job.isReset) {
+        job.slot->state->reset();
+        job.done.set_value();
+        return;
+    }
+
+    const Vector &logits = session.step(*job.slot->state, job.frame);
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        stats_.streamStepsProcessed += 1;
+    }
+    job.logits.set_value(logits);
+}
+
+// --- Stream handle -----------------------------------------------------
+
+InferenceServer::Stream::Stream(InferenceServer *server,
+                                std::shared_ptr<StreamSlot> slot)
+    : server_(server), slot_(std::move(slot))
+{
+}
+
+InferenceServer::Stream::Stream(Stream &&other) noexcept
+    : server_(other.server_), slot_(std::move(other.slot_))
+{
+    other.server_ = nullptr;
+}
+
+InferenceServer::Stream &
+InferenceServer::Stream::operator=(Stream &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        server_ = other.server_;
+        slot_ = std::move(other.slot_);
+        other.server_ = nullptr;
+    }
+    return *this;
+}
+
+std::future<Vector>
+InferenceServer::Stream::step(Vector frame)
+{
+    if (!slot_)
+        throw std::runtime_error("Stream::step on a closed stream");
+    StreamJob job;
+    job.slot = slot_;
+    job.frame = std::move(frame);
+    std::future<Vector> fut = job.logits.get_future();
+    server_->enqueueStreamJob(slot_, std::move(job));
+    return fut;
+}
+
+Vector
+InferenceServer::Stream::stepSync(Vector frame)
+{
+    return step(std::move(frame)).get();
+}
+
+std::future<void>
+InferenceServer::Stream::reset()
+{
+    if (!slot_)
+        throw std::runtime_error("Stream::reset on a closed stream");
+    StreamJob job;
+    job.slot = slot_;
+    job.isReset = true;
+    std::future<void> fut = job.done.get_future();
+    server_->enqueueStreamJob(slot_, std::move(job));
+    return fut;
+}
+
+std::size_t
+InferenceServer::Stream::worker() const
+{
+    if (!slot_)
+        throw std::runtime_error("Stream::worker on a closed stream");
+    return slot_->worker;
+}
+
+void
+InferenceServer::Stream::close()
+{
+    slot_.reset();
+    server_ = nullptr;
+}
+
+} // namespace ernn::serve

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Concurrent inference serving over a CompiledModel: a pool of worker
+ * threads, each owning a private InferenceSession, fed by a bounded
+ * request queue with dynamic batching. Submitted utterances are
+ * coalesced into batches of up to ServerOptions::maxBatch (or until
+ * batchTimeout elapses) and dispatched to a free worker; results come
+ * back through std::future with per-request latency attribution.
+ *
+ * This is the software analogue of the paper's FPGA scheduling: the
+ * accelerator overlaps independent utterances across its PE array to
+ * keep the (shared, read-only) weights streaming; here the immutable
+ * CompiledModel is shared by every worker while all mutable state
+ * stays session-private, so the same overlap is safe under threads.
+ *
+ * Thread-safety contract:
+ *  - CompiledModel is immutable and may be read from any thread.
+ *  - InferenceSession and StreamState are NOT thread-safe; the server
+ *    never shares one across workers.
+ *  - InferenceServer's public API (submit / infer / openStream /
+ *    stats / shutdown) is safe to call from any number of threads.
+ *  - A Stream handle itself must be driven from one thread at a time
+ *    (its frames are ordered), but different Streams may be driven
+ *    concurrently.
+ */
+
+#ifndef ERNN_SERVE_INFERENCE_SERVER_HH
+#define ERNN_SERVE_INFERENCE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/stats.hh"
+#include "runtime/session.hh"
+
+namespace ernn::serve
+{
+
+/** Serving knobs, fixed for the lifetime of a server. */
+struct ServerOptions
+{
+    /** Worker threads; each holds its own InferenceSession. */
+    std::size_t workers = 2;
+
+    /** Largest batch one worker coalesces before dispatching. */
+    std::size_t maxBatch = 8;
+
+    /**
+     * How long a worker holding a partial batch waits for more
+     * requests before dispatching it anyway. Zero dispatches
+     * whatever is instantaneously queued (lowest latency).
+     */
+    std::chrono::microseconds batchTimeout{200};
+
+    /**
+     * Bounded-queue backpressure: submit() blocks once this many
+     * utterances are queued (and tryDispatch via trySubmit fails).
+     */
+    std::size_t queueCapacity = 1024;
+};
+
+/** Latency attribution of one served request. */
+struct RequestTiming
+{
+    Real queueMicros = 0.0;   //!< submit -> batch dispatch
+    Real computeMicros = 0.0; //!< the dispatched batch's compute time
+    std::size_t batchSize = 0; //!< batch the request rode in
+    std::size_t worker = 0;    //!< worker that served it
+};
+
+/** Completed request: same payload as a solo InferenceSession::run. */
+struct InferenceReply
+{
+    nn::Sequence logits;
+    std::vector<int> predictions;
+    RequestTiming timing;
+};
+
+/** Point-in-time copy of the server's aggregate counters. */
+struct ServerStats
+{
+    std::size_t requestsCompleted = 0;
+    std::size_t batchesDispatched = 0;
+    std::size_t framesProcessed = 0;
+    std::size_t streamStepsProcessed = 0;
+
+    RunningStat queueMicros;   //!< per-request time spent queued
+    RunningStat computeMicros; //!< per-batch compute time
+    RunningStat batchSize;     //!< dispatched batch sizes
+    RunningStat queueDepth;    //!< depth sampled at each submit
+
+    /** Mean coalesced batch size (0.0 before any dispatch). */
+    Real meanBatchSize() const
+    {
+        return batchesDispatched ? batchSize.mean() : 0.0;
+    }
+};
+
+/**
+ * Multi-threaded inference server over one immutable CompiledModel.
+ * The model must outlive the server; the server must outlive (or be
+ * shut down after) every outstanding future and Stream.
+ */
+class InferenceServer
+{
+  public:
+    explicit InferenceServer(const runtime::CompiledModel &model,
+                             ServerOptions opts = {});
+
+    /** Drains every queued request, then joins the workers. */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    const runtime::CompiledModel &model() const { return model_; }
+    const ServerOptions &options() const { return opts_; }
+
+    /**
+     * Enqueue one utterance. Blocks while the queue is at capacity
+     * (backpressure); throws std::runtime_error after shutdown().
+     * Futures complete in dispatch order with bit-identical results
+     * to a direct InferenceSession::run on the same utterance.
+     */
+    std::future<InferenceReply> submit(nn::Sequence frames);
+
+    /**
+     * Non-blocking submit: returns false (and leaves @p out empty)
+     * instead of blocking when the queue is full.
+     */
+    bool trySubmit(nn::Sequence frames,
+                   std::future<InferenceReply> &out);
+
+    /** Synchronous convenience: submit and wait. */
+    InferenceReply infer(const nn::Sequence &frames);
+
+    /**
+     * A live utterance pinned to one worker: frames stepped through
+     * this handle run on that worker's session in submission order,
+     * interleaved with its batch work. Movable, not copyable; the
+     * destructor closes the stream.
+     */
+    class Stream
+    {
+      public:
+        Stream() = default;
+        Stream(Stream &&other) noexcept;
+        Stream &operator=(Stream &&other) noexcept;
+        ~Stream() { close(); }
+
+        Stream(const Stream &) = delete;
+        Stream &operator=(const Stream &) = delete;
+
+        /** Logits for the next frame of this utterance. */
+        std::future<Vector> step(Vector frame);
+
+        /** Synchronous convenience: step and wait. */
+        Vector stepSync(Vector frame);
+
+        /** Rewind to start-of-utterance, ordered after prior steps. */
+        std::future<void> reset();
+
+        /** Worker index this stream is pinned to. */
+        std::size_t worker() const;
+
+        bool open() const { return slot_ != nullptr; }
+
+        /** Detach from the server; outstanding steps still finish. */
+        void close();
+
+      private:
+        friend class InferenceServer;
+        Stream(InferenceServer *server,
+               std::shared_ptr<struct StreamSlot> slot);
+
+        InferenceServer *server_ = nullptr;
+        std::shared_ptr<struct StreamSlot> slot_;
+    };
+
+    /**
+     * Open a streaming utterance, pinned round-robin to a worker.
+     * Throws std::runtime_error after shutdown().
+     */
+    Stream openStream();
+
+    /** Utterances queued but not yet dispatched. */
+    std::size_t pendingRequests() const;
+
+    /** Copy of the aggregate serving counters. */
+    ServerStats stats() const;
+
+    /**
+     * Stop accepting work, drain every queued request and stream
+     * step, and join the workers. Every future already obtained
+     * completes normally, and any submit() blocked on backpressure
+     * is woken (it throws) before this returns — so once shutdown()
+     * or the destructor finishes, no caller is left inside the
+     * server. Idempotent; called by the destructor.
+     */
+    void shutdown();
+
+    /** False once shutdown() has begun. */
+    bool accepting() const;
+
+  private:
+    struct UtteranceJob;
+    struct StreamJob;
+
+    void workerLoop(std::size_t index);
+    void runBatch(runtime::InferenceSession &session,
+                  std::vector<UtteranceJob> &batch, std::size_t worker);
+    void runStreamJob(runtime::InferenceSession &session,
+                      StreamJob &job);
+    void enqueueStreamJob(const std::shared_ptr<StreamSlot> &slot,
+                          StreamJob job);
+
+    const runtime::CompiledModel &model_;
+    ServerOptions opts_;
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;  //!< workers wait for jobs
+    std::condition_variable spaceCv_; //!< submitters wait for space
+    std::deque<UtteranceJob> queue_;
+    std::vector<std::deque<StreamJob>> streamQueues_; //!< per worker
+    bool shuttingDown_ = false;
+    std::size_t submitWaiters_ = 0;   //!< blocked in backpressure
+    std::condition_variable waitersCv_; //!< shutdown awaits waiters=0
+
+    mutable std::mutex statsMu_;
+    ServerStats stats_;
+
+    std::mutex joinMu_; //!< serializes concurrent shutdown() calls
+
+    std::size_t nextStreamWorker_ = 0;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace ernn::serve
+
+#endif // ERNN_SERVE_INFERENCE_SERVER_HH

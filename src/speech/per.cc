@@ -1,8 +1,11 @@
 #include "speech/per.hh"
 
 #include <algorithm>
+#include <future>
+#include <vector>
 
 #include "base/logging.hh"
+#include "serve/inference_server.hh"
 
 namespace ernn::speech
 {
@@ -60,6 +63,42 @@ evaluatePer(const runtime::CompiledModel &model,
         const auto hyp =
             collapseRepeats(session.predictFrames(ex.frames));
         const auto ref = collapseRepeats(ex.labels);
+        errors += editDistance(hyp, ref);
+        ref_tokens += ref.size();
+    }
+    ernn_assert(ref_tokens > 0, "PER over empty dataset");
+    return 100.0 * static_cast<Real>(errors) /
+           static_cast<Real>(ref_tokens);
+}
+
+Real
+evaluatePer(const runtime::CompiledModel &model,
+            const nn::SequenceDataset &data,
+            const PerEvalOptions &opts)
+{
+    if (opts.workers == 0)
+        return evaluatePer(model, data);
+
+    serve::ServerOptions sopts;
+    sopts.workers = opts.workers;
+    sopts.maxBatch = std::max<std::size_t>(1, opts.maxBatch);
+    serve::InferenceServer server(model, sopts);
+
+    // Submit everything up front (the bounded queue throttles us),
+    // then score replies in dataset order: predictions are
+    // bit-identical to the serial path, so the PER is deterministic
+    // no matter how the batches were coalesced.
+    std::vector<std::future<serve::InferenceReply>> futures;
+    futures.reserve(data.size());
+    for (const auto &ex : data)
+        futures.push_back(server.submit(ex.frames));
+
+    std::size_t errors = 0;
+    std::size_t ref_tokens = 0;
+    for (std::size_t u = 0; u < data.size(); ++u) {
+        const serve::InferenceReply reply = futures[u].get();
+        const auto hyp = collapseRepeats(reply.predictions);
+        const auto ref = collapseRepeats(data[u].labels);
         errors += editDistance(hyp, ref);
         ref_tokens += ref.size();
     }

@@ -34,6 +34,23 @@ Real sequencePer(const std::vector<int> &predicted_frames,
 Real evaluatePer(const runtime::CompiledModel &model,
                  const nn::SequenceDataset &data);
 
+/** Knobs for the parallel, server-backed PER evaluation. */
+struct PerEvalOptions
+{
+    std::size_t workers = 2;  //!< 0 falls back to the serial path
+    std::size_t maxBatch = 8; //!< dynamic-batching cap per worker
+};
+
+/**
+ * Dataset-level PER scored through a serve::InferenceServer: the
+ * utterances are submitted concurrently and coalesced into batches
+ * across @p opts.workers worker sessions. Per-utterance predictions
+ * are bit-identical to the serial path, so the returned PER is too.
+ */
+Real evaluatePer(const runtime::CompiledModel &model,
+                 const nn::SequenceDataset &data,
+                 const PerEvalOptions &opts);
+
 /**
  * Dataset-level PER of a trained model, as a percentage (0-100).
  * Convenience wrapper: freezes the model with runtime::compile()

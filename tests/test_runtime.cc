@@ -3,11 +3,17 @@
  * Runtime (serving) API tests: backend parity against the legacy
  * StackedRnn forward on randomized specs, batched run() vs
  * per-utterance loops, streaming step() vs full-sequence run(), the
- * FixedPoint backend's bit-exact agreement with quant:: rounding, and
- * registry/immutability contracts.
+ * FixedPoint backend's bit-exact agreement with quant:: rounding,
+ * registry/immutability contracts, StreamState reuse across
+ * utterances, and concurrent sessions sharing one CompiledModel
+ * (run under TSan/ASan in CI).
  */
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "nn/lstm.hh"
 #include "nn/model_builder.hh"
@@ -295,6 +301,75 @@ TEST(RuntimeStreaming, IndependentStreamsDoNotInterfere)
             EXPECT_EQ(lb[k], eb[t][k]) << "t=" << t;
         }
     }
+}
+
+TEST(RuntimeStreaming, StreamStateReuseAcrossUtterances)
+{
+    const nn::ModelSpec spec = randomSpecs().front();
+    nn::StackedRnn model = buildInit(spec, 95);
+    CompiledModel compiled = compile(model);
+    InferenceSession session = compiled.createSession();
+
+    const nn::Sequence a = randomFrames(6, spec.inputDim, 96);
+    const nn::Sequence b = randomFrames(9, spec.inputDim, 97);
+    const nn::Sequence ea = session.logits(a);
+    const nn::Sequence eb = session.logits(b);
+
+    // One state object recycled across utterances: a full pass over
+    // a, reset, a full pass over b — each bit-identical to a fresh
+    // stream's results.
+    StreamState stream = session.newStream();
+    for (int round = 0; round < 3; ++round) {
+        const nn::Sequence &utt = (round % 2 == 0) ? a : b;
+        const nn::Sequence &expect = (round % 2 == 0) ? ea : eb;
+        for (std::size_t t = 0; t < utt.size(); ++t) {
+            const Vector &lg = session.step(stream, utt[t]);
+            for (std::size_t k = 0; k < lg.size(); ++k)
+                EXPECT_EQ(lg[k], expect[t][k])
+                    << "round=" << round << " t=" << t;
+        }
+        EXPECT_EQ(stream.framesSeen(), utt.size());
+        stream.reset();
+        EXPECT_EQ(stream.framesSeen(), 0u);
+    }
+}
+
+TEST(RuntimeConcurrency, ManySessionsFromOneModelAcrossThreads)
+{
+    const nn::ModelSpec spec = randomSpecs().front();
+    nn::StackedRnn model = buildInit(spec, 101);
+    CompiledModel compiled = compile(model);
+
+    // Per-thread utterances and single-threaded reference results.
+    constexpr std::size_t kThreads = 4;
+    std::vector<nn::Sequence> utts;
+    std::vector<nn::Sequence> expect;
+    {
+        InferenceSession reference = compiled.createSession();
+        for (std::size_t i = 0; i < kThreads; ++i) {
+            utts.push_back(
+                randomFrames(5 + i, spec.inputDim, 102 + i));
+            expect.push_back(reference.logits(utts.back()));
+        }
+    }
+
+    // The model is immutable and shared; each thread owns a private
+    // session, so concurrent inference must be race-free (this is
+    // the contract the serve:: worker pool is built on; CI runs it
+    // under ThreadSanitizer).
+    std::atomic<std::size_t> mismatches{0};
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            InferenceSession session = compiled.createSession();
+            for (int rep = 0; rep < 3; ++rep)
+                if (session.logits(utts[i]) != expect[i])
+                    ++mismatches;
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0u);
 }
 
 // --- Registry / artifact contracts -------------------------------------

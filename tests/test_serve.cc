@@ -1,0 +1,468 @@
+/**
+ * @file
+ * InferenceServer tests: bit-exact parity between served results and
+ * direct InferenceSession::run for every backend under any worker
+ * count and batch coalescing; streaming-through-the-server parity;
+ * shutdown/zero-length edge cases; and seeded concurrency stress
+ * suites (named *Stress*, registered under the `stress` ctest label
+ * and meant to run under ThreadSanitizer in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "nn/model_builder.hh"
+#include "serve/inference_server.hh"
+
+using namespace ernn;
+using namespace ernn::serve;
+
+namespace
+{
+
+nn::Sequence
+randomFrames(std::size_t t, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Sequence xs(t);
+    for (auto &x : xs) {
+        x.resize(dim);
+        rng.fillNormal(x, 1.0);
+    }
+    return xs;
+}
+
+nn::ModelSpec
+smallSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 16;
+    spec.numClasses = 7;
+    spec.layerSizes = {24, 24};
+    spec.blockSizes = {8, 4};
+    return spec;
+}
+
+nn::StackedRnn
+buildInit(const nn::ModelSpec &spec, std::uint64_t seed)
+{
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(seed);
+    model.initXavier(rng);
+    return model;
+}
+
+/** Mixed-length utterance pool (includes a zero-length utterance). */
+std::vector<nn::Sequence>
+utterancePool(std::size_t count, std::size_t dim, std::uint64_t seed)
+{
+    std::vector<nn::Sequence> pool;
+    pool.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t len = (i == 0) ? 0 : 1 + (i * 7 + 3) % 10;
+        pool.push_back(randomFrames(len, dim, seed + i));
+    }
+    return pool;
+}
+
+/** Reference results computed through a direct solo session. */
+std::vector<runtime::BatchResult>
+directResults(const runtime::CompiledModel &model,
+              const std::vector<nn::Sequence> &pool)
+{
+    runtime::InferenceSession session = model.createSession();
+    std::vector<runtime::BatchResult> out;
+    out.reserve(pool.size());
+    for (const auto &utt : pool)
+        out.push_back(session.run({&utt}));
+    return out;
+}
+
+void
+expectBitIdentical(const nn::Sequence &got, const nn::Sequence &expect)
+{
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t t = 0; t < got.size(); ++t) {
+        ASSERT_EQ(got[t].size(), expect[t].size()) << "t=" << t;
+        for (std::size_t k = 0; k < got[t].size(); ++k)
+            ASSERT_EQ(got[t][k], expect[t][k])
+                << "t=" << t << " k=" << k;
+    }
+}
+
+} // namespace
+
+// --- Parity: served == direct, bit for bit -----------------------------
+
+TEST(ServeParity, EveryBackendAnyWorkersAnyBatching)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const nn::StackedRnn model = buildInit(spec, 40);
+    const auto pool = utterancePool(10, spec.inputDim, 41);
+
+    const runtime::BackendKind kinds[] = {
+        runtime::BackendKind::Auto, runtime::BackendKind::Dense,
+        runtime::BackendKind::CirculantFft,
+        runtime::BackendKind::FixedPoint};
+
+    for (runtime::BackendKind kind : kinds) {
+        runtime::CompileOptions copts;
+        copts.backend = kind;
+        const runtime::CompiledModel compiled =
+            runtime::compile(model, copts);
+        const auto expect = directResults(compiled, pool);
+
+        for (std::size_t workers : {1u, 2u, 4u}) {
+            for (std::size_t max_batch : {1u, 3u, 8u}) {
+                ServerOptions opts;
+                opts.workers = workers;
+                opts.maxBatch = max_batch;
+                opts.batchTimeout = std::chrono::microseconds(100);
+                InferenceServer server(compiled, opts);
+
+                std::vector<std::future<InferenceReply>> futs;
+                for (const auto &utt : pool)
+                    futs.push_back(server.submit(utt));
+                for (std::size_t u = 0; u < pool.size(); ++u) {
+                    InferenceReply reply = futs[u].get();
+                    expectBitIdentical(reply.logits,
+                                       expect[u].logits.front());
+                    EXPECT_EQ(reply.predictions,
+                              expect[u].predictions.front())
+                        << backendKindName(kind) << " workers="
+                        << workers << " maxBatch=" << max_batch;
+                    EXPECT_EQ(reply.timing.batchSize == 0, false);
+                    EXPECT_LT(reply.timing.worker, workers);
+                }
+            }
+        }
+    }
+}
+
+TEST(ServeParity, InferAndTrySubmitMatchDirect)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 50));
+    const nn::Sequence utt = randomFrames(6, spec.inputDim, 51);
+
+    runtime::InferenceSession direct = compiled.createSession();
+    const runtime::BatchResult expect = direct.run({&utt});
+
+    InferenceServer server(compiled);
+    const InferenceReply sync = server.infer(utt);
+    expectBitIdentical(sync.logits, expect.logits.front());
+
+    std::future<InferenceReply> fut;
+    ASSERT_TRUE(server.trySubmit(utt, fut));
+    expectBitIdentical(fut.get().logits, expect.logits.front());
+}
+
+// --- Streaming through the server --------------------------------------
+
+TEST(ServeStreaming, PinnedStreamsMatchDirectStepAndReset)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 60));
+
+    const nn::Sequence a = randomFrames(6, spec.inputDim, 61);
+    const nn::Sequence b = randomFrames(6, spec.inputDim, 62);
+
+    runtime::InferenceSession direct = compiled.createSession();
+    const nn::Sequence ea = direct.logits(a);
+    const nn::Sequence eb = direct.logits(b);
+
+    ServerOptions opts;
+    opts.workers = 3;
+    InferenceServer server(compiled, opts);
+
+    InferenceServer::Stream sa = server.openStream();
+    InferenceServer::Stream sb = server.openStream();
+    EXPECT_LT(sa.worker(), opts.workers);
+    EXPECT_LT(sb.worker(), opts.workers);
+
+    // Interleaved live streams, each bit-identical to the offline
+    // logits of its own utterance.
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        const Vector la = sa.stepSync(a[t]);
+        const Vector lb = sb.stepSync(b[t]);
+        ASSERT_EQ(la.size(), ea[t].size());
+        for (std::size_t k = 0; k < la.size(); ++k) {
+            ASSERT_EQ(la[k], ea[t][k]) << "t=" << t;
+            ASSERT_EQ(lb[k], eb[t][k]) << "t=" << t;
+        }
+    }
+
+    // reset() rewinds to start-of-utterance: replaying utterance b
+    // on stream a now reproduces its offline logits exactly.
+    sa.reset().get();
+    for (std::size_t t = 0; t < b.size(); ++t) {
+        const Vector lg = sa.stepSync(b[t]);
+        for (std::size_t k = 0; k < lg.size(); ++k)
+            ASSERT_EQ(lg[k], eb[t][k]) << "t=" << t;
+    }
+
+    sa.close();
+    EXPECT_FALSE(sa.open());
+    EXPECT_THROW(sa.stepSync(b[0]), std::runtime_error);
+}
+
+TEST(ServeStreaming, StreamsInterleaveWithBatchTraffic)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 70));
+    const nn::Sequence utt = randomFrames(5, spec.inputDim, 71);
+
+    runtime::InferenceSession direct = compiled.createSession();
+    const nn::Sequence expect = direct.logits(utt);
+
+    ServerOptions opts;
+    opts.workers = 1; // force interleaving on a single session
+    InferenceServer server(compiled, opts);
+    InferenceServer::Stream stream = server.openStream();
+
+    for (std::size_t t = 0; t < utt.size(); ++t) {
+        // Batch work between stream steps must not disturb the
+        // pinned stream's recurrent state.
+        const InferenceReply batch = server.infer(utt);
+        expectBitIdentical(batch.logits, expect);
+        const Vector lg = stream.stepSync(utt[t]);
+        for (std::size_t k = 0; k < lg.size(); ++k)
+            ASSERT_EQ(lg[k], expect[t][k]) << "t=" << t;
+    }
+    EXPECT_GE(server.stats().streamStepsProcessed, utt.size());
+}
+
+// --- Edge cases ---------------------------------------------------------
+
+TEST(ServeEdge, ZeroLengthUtterance)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 80));
+    InferenceServer server(compiled);
+
+    const InferenceReply reply = server.infer(nn::Sequence{});
+    EXPECT_TRUE(reply.logits.empty());
+    EXPECT_TRUE(reply.predictions.empty());
+}
+
+TEST(ServeEdge, ShutdownWhileBusyCompletesEveryFuture)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 81));
+    const auto pool = utterancePool(8, spec.inputDim, 82);
+    const auto expect = directResults(compiled, pool);
+
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.maxBatch = 4;
+    InferenceServer server(compiled, opts);
+
+    std::vector<std::future<InferenceReply>> futs;
+    for (std::size_t r = 0; r < 5; ++r)
+        for (const auto &utt : pool)
+            futs.push_back(server.submit(utt));
+
+    // Shut down with the queue still full: every accepted request
+    // must drain and complete with correct results.
+    server.shutdown();
+    EXPECT_FALSE(server.accepting());
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+        const std::size_t u = i % pool.size();
+        expectBitIdentical(futs[i].get().logits,
+                           expect[u].logits.front());
+    }
+    EXPECT_THROW(server.submit(pool[1]), std::runtime_error);
+    EXPECT_THROW(server.openStream(), std::runtime_error);
+}
+
+TEST(ServeEdge, DestructorWhileBusyCompletesEveryFuture)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 83));
+    const nn::Sequence utt = randomFrames(7, spec.inputDim, 84);
+
+    runtime::InferenceSession direct = compiled.createSession();
+    const nn::Sequence expect = direct.logits(utt);
+
+    std::vector<std::future<InferenceReply>> futs;
+    {
+        InferenceServer server(compiled);
+        for (int i = 0; i < 12; ++i)
+            futs.push_back(server.submit(utt));
+    } // destructor drains
+    for (auto &f : futs)
+        expectBitIdentical(f.get().logits, expect);
+}
+
+TEST(ServeEdge, StatsAccountForEveryRequest)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 85));
+    const auto pool = utterancePool(9, spec.inputDim, 86);
+
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.maxBatch = 4;
+    InferenceServer server(compiled, opts);
+
+    std::size_t frames = 0;
+    std::vector<std::future<InferenceReply>> futs;
+    for (const auto &utt : pool) {
+        futs.push_back(server.submit(utt));
+        frames += utt.size();
+    }
+    for (auto &f : futs)
+        f.get();
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requestsCompleted, pool.size());
+    EXPECT_EQ(stats.framesProcessed, frames);
+    EXPECT_GE(stats.batchesDispatched, 1u);
+    EXPECT_LE(stats.batchesDispatched, pool.size());
+    EXPECT_GE(stats.meanBatchSize(), 1.0);
+    EXPECT_LE(stats.meanBatchSize(),
+              static_cast<Real>(opts.maxBatch));
+    EXPECT_EQ(stats.queueMicros.count(), pool.size());
+    EXPECT_EQ(stats.queueDepth.count(), pool.size());
+    EXPECT_GE(stats.computeMicros.count(), stats.batchesDispatched);
+}
+
+// --- Seeded concurrency stress suites (ctest label: stress) -------------
+
+TEST(ServeStress, ManySubmittersMixedLengthsAndMidFlightStreams)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 90));
+    const auto pool = utterancePool(16, spec.inputDim, 91);
+    const auto expect = directResults(compiled, pool);
+
+    ServerOptions opts;
+    opts.workers = 4;
+    opts.maxBatch = 6;
+    opts.batchTimeout = std::chrono::microseconds(100);
+    opts.queueCapacity = 4; // small: exercises blocking backpressure
+    InferenceServer server(compiled, opts);
+
+    constexpr std::size_t kSubmitters = 6;
+    constexpr std::size_t kPerThread = 25;
+    std::atomic<std::size_t> mismatches{0};
+
+    std::vector<std::thread> submitters;
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            Rng rng(1000 + s);
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                const std::size_t u = rng.index(pool.size());
+                InferenceReply reply = server.submit(pool[u]).get();
+                if (reply.logits != expect[u].logits.front() ||
+                    reply.predictions != expect[u].predictions.front())
+                    ++mismatches;
+            }
+        });
+    }
+
+    // Stream drivers open streams mid-flight, replay an utterance,
+    // reset, and replay another — all interleaved with batch work.
+    std::vector<std::thread> streamers;
+    for (std::size_t s = 0; s < 2; ++s) {
+        streamers.emplace_back([&, s] {
+            Rng rng(2000 + s);
+            for (std::size_t round = 0; round < 4; ++round) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200 * (s + 1)));
+                InferenceServer::Stream stream = server.openStream();
+                for (int rep = 0; rep < 2; ++rep) {
+                    // Skip pool[0], the zero-length utterance.
+                    const std::size_t u =
+                        1 + rng.index(pool.size() - 1);
+                    for (std::size_t t = 0; t < pool[u].size(); ++t) {
+                        const Vector lg =
+                            stream.stepSync(pool[u][t]);
+                        if (lg != expect[u].logits.front()[t])
+                            ++mismatches;
+                    }
+                    stream.reset().get();
+                }
+            }
+        });
+    }
+
+    for (auto &t : submitters)
+        t.join();
+    for (auto &t : streamers)
+        t.join();
+
+    EXPECT_EQ(mismatches.load(), 0u);
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requestsCompleted, kSubmitters * kPerThread);
+    // Bounded queue: the depth sampled at every submit never
+    // exceeded the configured capacity.
+    EXPECT_LE(stats.queueDepth.max(),
+              static_cast<Real>(opts.queueCapacity));
+}
+
+TEST(ServeStress, ShutdownRacesWithActiveSubmitters)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 95));
+    const nn::Sequence utt = randomFrames(5, spec.inputDim, 96);
+
+    runtime::InferenceSession direct = compiled.createSession();
+    const nn::Sequence expect = direct.logits(utt);
+
+    ServerOptions opts;
+    opts.workers = 3;
+    opts.maxBatch = 4;
+    // Tiny capacity: submitters are routinely blocked inside
+    // submit()'s backpressure wait when shutdown() lands, which
+    // must wake them (throwing) before teardown proceeds.
+    opts.queueCapacity = 2;
+    InferenceServer server(compiled, opts);
+
+    constexpr std::size_t kSubmitters = 4;
+    std::atomic<std::size_t> mismatches{0};
+    std::atomic<std::size_t> accepted{0};
+
+    std::vector<std::thread> submitters;
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&] {
+            std::vector<std::future<InferenceReply>> futs;
+            try {
+                for (;;) {
+                    futs.push_back(server.submit(utt));
+                    ++accepted;
+                }
+            } catch (const std::runtime_error &) {
+                // shutdown closed the door; every future accepted
+                // before that must still complete correctly.
+            }
+            for (auto &f : futs)
+                if (f.get().logits != expect)
+                    ++mismatches;
+        });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.shutdown();
+    for (auto &t : submitters)
+        t.join();
+
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_GT(accepted.load(), 0u);
+    EXPECT_EQ(server.stats().requestsCompleted, accepted.load());
+}

@@ -1,12 +1,14 @@
 /**
  * @file
  * Speech substrate tests: dataset determinism and structure, PER
- * machinery (collapse + edit distance), and the calibrated TIMIT
- * oracle (exact table rows, monotonicity, fine-tuning penalties).
+ * machinery (collapse + edit distance), parallel server-backed PER
+ * parity, and the calibrated TIMIT oracle (exact table rows,
+ * monotonicity, fine-tuning penalties).
  */
 
 #include <gtest/gtest.h>
 
+#include "nn/model_builder.hh"
 #include "speech/dataset.hh"
 #include "speech/per.hh"
 #include "speech/timit_oracle.hh"
@@ -115,6 +117,39 @@ TEST(Per, SequencePerCombinesCollapseAndDistance)
     EXPECT_NEAR(sequencePer({1, 1, 2, 2}, {1, 2, 2, 3}), 1.0 / 3.0,
                 1e-12);
     EXPECT_DOUBLE_EQ(sequencePer({7, 7, 7}, {7, 7}), 0.0);
+}
+
+TEST(Per, ParallelServerBackedPerMatchesSerialExactly)
+{
+    AsrDataConfig cfg;
+    cfg.numPhones = 6;
+    cfg.featureDim = 8;
+    cfg.trainUtterances = 1;
+    cfg.testUtterances = 12;
+    const auto data = makeSyntheticAsr(cfg);
+
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Gru;
+    spec.inputDim = cfg.featureDim;
+    spec.numClasses = cfg.numPhones;
+    spec.layerSizes = {16};
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(5);
+    model.initXavier(rng);
+    const runtime::CompiledModel compiled = runtime::compile(model);
+
+    const Real serial = evaluatePer(compiled, data.test);
+    for (std::size_t workers : {1u, 3u}) {
+        PerEvalOptions opts;
+        opts.workers = workers;
+        opts.maxBatch = 4;
+        // Served predictions are bit-identical to the serial path.
+        EXPECT_EQ(evaluatePer(compiled, data.test, opts), serial)
+            << "workers=" << workers;
+    }
+    PerEvalOptions fallback;
+    fallback.workers = 0; // serial fallback path
+    EXPECT_EQ(evaluatePer(compiled, data.test, fallback), serial);
 }
 
 TEST(TimitOracle, ReproducesEveryTableRowExactly)
