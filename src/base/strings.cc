@@ -1,9 +1,13 @@
 #include "base/strings.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+
+#include "base/logging.hh"
 
 namespace ernn
 {
@@ -22,6 +26,37 @@ split(const std::string &s, char delim)
         }
     }
     out.push_back(cur);
+    return out;
+}
+
+std::size_t
+parseUnsigned(const std::string &s, const std::string &what)
+{
+    if (s.empty())
+        ernn_fatal(what << ": empty value where a non-negative "
+                   "integer was expected");
+    for (char c : s)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            ernn_fatal(what << ": bad value '" << s
+                       << "' (expected a non-negative integer)");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || !end || *end != '\0' ||
+        v != static_cast<unsigned long long>(
+                 static_cast<std::size_t>(v)))
+        ernn_fatal(what << ": value '" << s << "' is out of range");
+    return static_cast<std::size_t>(v);
+}
+
+std::vector<std::size_t>
+parseUnsignedList(const std::string &s, const std::string &what)
+{
+    std::vector<std::size_t> out;
+    if (s.empty())
+        return out;
+    for (const std::string &tok : split(s, ','))
+        out.push_back(parseUnsigned(tok, what));
     return out;
 }
 

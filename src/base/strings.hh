@@ -25,6 +25,19 @@ std::string join(const std::vector<std::string> &parts,
 /** Trim ASCII whitespace from both ends. */
 std::string trim(const std::string &s);
 
+/**
+ * Parse a non-negative decimal integer. Fatal — naming @p what — on
+ * empty input, sign characters, trailing garbage, or overflow, so a
+ * value like "-8" can never wrap around to a huge count.
+ */
+std::size_t parseUnsigned(const std::string &s,
+                          const std::string &what);
+
+/** Parse a comma-separated list of non-negative integers (empty
+ *  input yields an empty list); fatal on any malformed element. */
+std::vector<std::size_t> parseUnsignedList(const std::string &s,
+                                           const std::string &what);
+
 /** @return true when @p s starts with @p prefix. */
 bool startsWith(const std::string &s, const std::string &prefix);
 

@@ -115,6 +115,95 @@ ModelSpec::describe() const
     return os.str();
 }
 
+namespace
+{
+
+std::string
+fmtCommaList(const std::vector<std::size_t> &vals)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        os << (i ? "," : "") << vals[i];
+    return os.str();
+}
+
+std::vector<std::size_t>
+parseCommaList(const std::string &s, const std::string &key)
+{
+    return parseUnsignedList(s, "spec key " + key);
+}
+
+std::size_t
+parseSize(const std::string &s, const std::string &key)
+{
+    return parseUnsigned(s, "spec key " + key);
+}
+
+} // namespace
+
+std::string
+formatSpec(const ModelSpec &spec)
+{
+    std::ostringstream os;
+    os << "type=" << (spec.type == ModelType::Lstm ? "lstm" : "gru")
+       << " input=" << spec.inputDim
+       << " classes=" << spec.numClasses
+       << " layers=" << fmtCommaList(spec.layerSizes);
+    if (!spec.blockSizes.empty())
+        os << " blocks=" << fmtCommaList(spec.blockSizes);
+    if (!spec.inputBlockSizes.empty())
+        os << " input-blocks=" << fmtCommaList(spec.inputBlockSizes);
+    if (spec.peephole)
+        os << " peephole=1";
+    if (spec.projectionSize)
+        os << " projection=" << spec.projectionSize;
+    return os.str();
+}
+
+ModelSpec
+parseSpec(const std::string &line)
+{
+    ModelSpec spec;
+    for (const std::string &raw_tok : split(trim(line), ' ')) {
+        const std::string tok = trim(raw_tok);
+        if (tok.empty())
+            continue;
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos)
+            ernn_fatal("spec: expected key=value, got '" << tok
+                       << "'");
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        if (key == "type") {
+            if (val == "lstm")
+                spec.type = ModelType::Lstm;
+            else if (val == "gru")
+                spec.type = ModelType::Gru;
+            else
+                ernn_fatal("spec: unknown model type '" << val
+                           << "' (expected lstm or gru)");
+        } else if (key == "input") {
+            spec.inputDim = parseSize(val, key);
+        } else if (key == "classes") {
+            spec.numClasses = parseSize(val, key);
+        } else if (key == "layers") {
+            spec.layerSizes = parseCommaList(val, key);
+        } else if (key == "blocks") {
+            spec.blockSizes = parseCommaList(val, key);
+        } else if (key == "input-blocks") {
+            spec.inputBlockSizes = parseCommaList(val, key);
+        } else if (key == "peephole") {
+            spec.peephole = val == "1" || val == "true";
+        } else if (key == "projection") {
+            spec.projectionSize = parseSize(val, key);
+        } else {
+            ernn_fatal("spec: unknown key '" << key << "'");
+        }
+    }
+    spec.validate();
+    return spec;
+}
+
 StackedRnn
 buildModel(const ModelSpec &spec)
 {

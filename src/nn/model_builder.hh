@@ -75,6 +75,22 @@ struct ModelSpec
 /** Instantiate a runnable model from a spec (weights zeroed). */
 StackedRnn buildModel(const ModelSpec &spec);
 
+/**
+ * One-line machine-readable encoding of a spec, e.g.
+ * "type=lstm input=16 classes=10 layers=64,64 blocks=8,8 peephole=1
+ * projection=32". parseSpec() round-trips it exactly; the CLI stores
+ * this line next to each checkpoint so `ernn compile` can rebuild
+ * the architecture without the training code that produced it.
+ */
+std::string formatSpec(const ModelSpec &spec);
+
+/**
+ * Parse a formatSpec() line (leading/trailing whitespace ignored).
+ * Fatal on unknown keys, malformed values, or a spec that fails
+ * validate() — a spec file must be usable or rejected loudly.
+ */
+ModelSpec parseSpec(const std::string &line);
+
 /** The role a weight matrix plays (drives hw mapping and Phase I). */
 enum class WeightClass { Input, Recurrent, Projection, Classifier };
 

@@ -1,0 +1,748 @@
+#include "runtime/artifact.hh"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+#include "runtime/compiled_layers.hh"
+
+namespace ernn::runtime
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'E', 'R', 'N', 'N', 'A', 'R', 'T', 'F'};
+
+// Concrete kernel encodings. The tag pins the exact class that will
+// be rehydrated, so a loaded model runs the same datapath code.
+enum KernelTag : std::uint8_t
+{
+    kDense = 0,
+    kCirculantFft = 1,
+    kFixedPointDense = 2,
+    kFixedPointCirculant = 3,
+};
+
+enum LayerTag : std::uint8_t
+{
+    kLstm = 0,
+    kGru = 1,
+};
+
+std::uint64_t
+fnv1a64(const char *data, std::size_t n)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Append-only byte sink for the fixed-width artifact encoding. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void i32(std::int32_t v) { raw(&v, sizeof v); }
+    void f64(double v) { raw(&v, sizeof v); }
+
+    void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void reals(const std::vector<Real> &v)
+    {
+        size(v.size());
+        if (!v.empty())
+            raw(v.data(), v.size() * sizeof(Real));
+    }
+
+    void patchU64(std::size_t offset, std::uint64_t v)
+    {
+        std::memcpy(&buf_[offset], &v, sizeof v);
+    }
+
+    std::size_t tell() const { return buf_.size(); }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    void raw(const void *p, std::size_t n)
+    {
+        buf_.append(static_cast<const char *>(p), n);
+    }
+
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked cursor over artifact bytes. Overruns are fatal and
+ * name what was being read — with a valid checksum they indicate a
+ * writer/reader version bug, not bit rot.
+ */
+class Reader
+{
+  public:
+    Reader(const std::string &buf, std::size_t payload_end)
+        : buf_(buf), end_(payload_end)
+    {
+    }
+
+    std::uint8_t u8(const char *what)
+    {
+        std::uint8_t v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::uint32_t u32(const char *what)
+    {
+        std::uint32_t v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::uint64_t u64(const char *what)
+    {
+        std::uint64_t v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::int32_t i32(const char *what)
+    {
+        std::int32_t v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    double f64(const char *what)
+    {
+        double v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::size_t size(const char *what)
+    {
+        return static_cast<std::size_t>(u64(what));
+    }
+
+    void realsInto(std::vector<Real> &out, const char *what)
+    {
+        const std::size_t n = size(what);
+        ernn_assert(n <= (end_ - pos_) / sizeof(Real),
+                    "artifact payload: " << what << " claims " << n
+                    << " values past the end of the file");
+        out.resize(n);
+        if (n)
+            raw(out.data(), n * sizeof(Real), what);
+    }
+
+    std::size_t pos() const { return pos_; }
+    bool done() const { return pos_ == end_; }
+    std::size_t remainingBytes() const { return end_ - pos_; }
+
+  private:
+    void raw(void *p, std::size_t n, const char *what)
+    {
+        if (end_ - pos_ < n)
+            ernn_fatal("artifact payload ends while reading " << what
+                       << " (offset " << pos_ << " of " << end_
+                       << " payload bytes)");
+        std::memcpy(p, buf_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    const std::string &buf_;
+    std::size_t pos_ = 0;
+    std::size_t end_;
+};
+
+// --- kernels -----------------------------------------------------------
+
+void
+writeFormat(Writer &w, const quant::FixedPointFormat &fmt)
+{
+    w.i32(fmt.totalBits);
+    w.i32(fmt.fracBits);
+}
+
+quant::FixedPointFormat
+readFormat(Reader &r)
+{
+    quant::FixedPointFormat fmt;
+    fmt.totalBits = r.i32("fixed-point total bits");
+    fmt.fracBits = r.i32("fixed-point fraction bits");
+    return fmt;
+}
+
+void
+writeDense(Writer &w, const Matrix &m)
+{
+    w.size(m.rows());
+    w.size(m.cols());
+    w.reals(m.raw());
+}
+
+/**
+ * Dimension sanity bound: far beyond any RNN weight matrix, small
+ * enough that products of checked dimensions cannot overflow and
+ * that a crafted (checksum-valid) payload cannot trigger a giant
+ * allocation — it dies with a named fatal instead of bad_alloc.
+ */
+constexpr std::size_t kMaxDim = std::size_t{1} << 24;
+
+void
+checkGeometry(const Reader &r, std::size_t params,
+              std::size_t rows, std::size_t cols, const char *what)
+{
+    if (rows == 0 || cols == 0 || rows > kMaxDim || cols > kMaxDim)
+        ernn_fatal("artifact payload: implausible " << what
+                   << " geometry " << rows << "x" << cols);
+    if (params > r.remainingBytes() / sizeof(Real))
+        ernn_fatal("artifact payload: " << what << " (" << rows
+                   << "x" << cols << ") needs " << params
+                   << " weights but only " << r.remainingBytes()
+                   << " payload bytes remain");
+}
+
+Matrix
+readDense(Reader &r)
+{
+    const std::size_t rows = r.size("dense kernel rows");
+    const std::size_t cols = r.size("dense kernel cols");
+    checkGeometry(r, rows * cols, rows, cols, "dense kernel");
+    Matrix m(rows, cols);
+    std::vector<Real> vals;
+    r.realsInto(vals, "dense kernel weights");
+    ernn_assert(vals.size() == rows * cols,
+                "artifact payload: dense kernel is " << rows << "x"
+                << cols << " but carries " << vals.size()
+                << " weights");
+    m.raw() = std::move(vals);
+    return m;
+}
+
+void
+writeCirculant(Writer &w, const circulant::BlockCirculantMatrix &m)
+{
+    w.size(m.rows());
+    w.size(m.cols());
+    w.size(m.blockSize());
+    w.reals(m.raw());
+}
+
+circulant::BlockCirculantMatrix
+readCirculant(Reader &r)
+{
+    const std::size_t rows = r.size("circulant kernel rows");
+    const std::size_t cols = r.size("circulant kernel cols");
+    const std::size_t block = r.size("circulant kernel block size");
+    if (block == 0 || rows % block != 0 || cols % block != 0)
+        ernn_fatal("artifact payload: circulant kernel " << rows
+                   << "x" << cols << " not divisible by block "
+                   << block);
+    checkGeometry(r, rows / block * cols, rows, cols,
+                  "circulant kernel");
+    circulant::BlockCirculantMatrix m(rows, cols, block);
+    std::vector<Real> gens;
+    r.realsInto(gens, "circulant kernel generators");
+    ernn_assert(gens.size() == m.paramCount(),
+                "artifact payload: circulant kernel expects "
+                << m.paramCount() << " generators, file carries "
+                << gens.size());
+    m.raw() = std::move(gens);
+    m.invalidateSpectra();
+    return m;
+}
+
+void
+writeKernel(Writer &w, const LinearKernel &kernel)
+{
+    if (const auto *d = dynamic_cast<const DenseKernel *>(&kernel)) {
+        w.u8(kDense);
+        writeDense(w, d->weight());
+        return;
+    }
+    if (const auto *c =
+            dynamic_cast<const CirculantFftKernel *>(&kernel)) {
+        w.u8(kCirculantFft);
+        writeCirculant(w, c->weight());
+        return;
+    }
+    if (const auto *f =
+            dynamic_cast<const FixedPointKernel *>(&kernel)) {
+        if (f->isCirculant()) {
+            w.u8(kFixedPointCirculant);
+            writeFormat(w, f->weightFormat());
+            writeCirculant(w, f->circulantWeight());
+        } else {
+            w.u8(kFixedPointDense);
+            writeFormat(w, f->weightFormat());
+            writeDense(w, f->denseWeight());
+        }
+        return;
+    }
+    // Registry extensions can add serving kernels, but the artifact
+    // format only encodes the built-in family.
+    ernn_fatal("saveArtifact: kernel backend '" << kernel.backendName()
+               << "' has no artifact encoding");
+}
+
+std::unique_ptr<LinearKernel>
+readKernel(Reader &r)
+{
+    const std::uint8_t tag = r.u8("kernel tag");
+    switch (tag) {
+      case kDense:
+        return std::make_unique<DenseKernel>(readDense(r));
+      case kCirculantFft:
+        // The CirculantFftKernel constructor re-derives the generator
+        // spectra (warmSpectra), so they are never stored.
+        return std::make_unique<CirculantFftKernel>(readCirculant(r));
+      case kFixedPointDense: {
+        const quant::FixedPointFormat fmt = readFormat(r);
+        return std::make_unique<FixedPointKernel>(readDense(r), fmt);
+      }
+      case kFixedPointCirculant: {
+        const quant::FixedPointFormat fmt = readFormat(r);
+        return std::make_unique<FixedPointKernel>(readCirculant(r),
+                                                  fmt);
+      }
+      default:
+        ernn_fatal("artifact payload: unknown kernel tag "
+                   << static_cast<int>(tag) << " at offset "
+                   << r.pos());
+    }
+}
+
+// --- vectors and activations -------------------------------------------
+
+void
+writeVector(Writer &w, const Vector &v)
+{
+    w.reals(v);
+}
+
+Vector
+readVector(Reader &r, const char *what)
+{
+    Vector v;
+    r.realsInto(v, what);
+    return v;
+}
+
+std::uint8_t
+actTag(nn::ActKind kind)
+{
+    return kind == nn::ActKind::Sigmoid ? 0 : 1;
+}
+
+nn::ActKind
+readAct(Reader &r, const char *what)
+{
+    const std::uint8_t tag = r.u8(what);
+    ernn_assert(tag <= 1, "artifact payload: bad activation tag "
+                << static_cast<int>(tag) << " for " << what);
+    return tag == 0 ? nn::ActKind::Sigmoid : nn::ActKind::Tanh;
+}
+
+// --- layers ------------------------------------------------------------
+
+void
+writeLstm(Writer &w, const detail::LstmParts &p)
+{
+    w.u8(kLstm);
+    w.size(p.cfg.inputSize);
+    w.size(p.cfg.hiddenSize);
+    w.size(p.cfg.projectionSize);
+    w.u8(p.cfg.peephole ? 1 : 0);
+    w.size(p.cfg.blockSizeInput);
+    w.size(p.cfg.blockSizeRecurrent);
+    w.size(p.cfg.blockSizeProjection);
+    w.u8(actTag(p.cfg.cellInputAct));
+    w.u8(actTag(p.cfg.outputAct));
+
+    const LinearKernel *order[8] = {
+        p.wix.get(), p.wfx.get(), p.wcx.get(), p.wox.get(),
+        p.wir.get(), p.wfr.get(), p.wcr.get(), p.wor.get()};
+    for (const LinearKernel *k : order)
+        writeKernel(w, *k);
+    w.u8(p.wym ? 1 : 0);
+    if (p.wym)
+        writeKernel(w, *p.wym);
+
+    writeVector(w, p.bi);
+    writeVector(w, p.bf);
+    writeVector(w, p.bc);
+    writeVector(w, p.bo);
+    writeVector(w, p.wic);
+    writeVector(w, p.wfc);
+    writeVector(w, p.woc);
+}
+
+std::unique_ptr<CompiledLayer>
+readLstm(Reader &r)
+{
+    detail::LstmParts p;
+    p.cfg.inputSize = r.size("lstm input size");
+    p.cfg.hiddenSize = r.size("lstm hidden size");
+    p.cfg.projectionSize = r.size("lstm projection size");
+    p.cfg.peephole = r.u8("lstm peephole flag") != 0;
+    p.cfg.blockSizeInput = r.size("lstm input block size");
+    p.cfg.blockSizeRecurrent = r.size("lstm recurrent block size");
+    p.cfg.blockSizeProjection = r.size("lstm projection block size");
+    p.cfg.cellInputAct = readAct(r, "lstm cell-input activation");
+    p.cfg.outputAct = readAct(r, "lstm output activation");
+
+    std::unique_ptr<LinearKernel> *order[8] = {
+        &p.wix, &p.wfx, &p.wcx, &p.wox,
+        &p.wir, &p.wfr, &p.wcr, &p.wor};
+    for (auto *slot : order)
+        *slot = readKernel(r);
+    if (r.u8("lstm projection flag"))
+        p.wym = readKernel(r);
+
+    p.bi = readVector(r, "lstm bias bi");
+    p.bf = readVector(r, "lstm bias bf");
+    p.bc = readVector(r, "lstm bias bc");
+    p.bo = readVector(r, "lstm bias bo");
+    p.wic = readVector(r, "lstm peephole wic");
+    p.wfc = readVector(r, "lstm peephole wfc");
+    p.woc = readVector(r, "lstm peephole woc");
+
+    // The parts constructor re-validates every shape, so a crafted
+    // payload that passes the checksum still cannot build a model
+    // with inconsistent geometry.
+    return std::make_unique<detail::CompiledLstmLayer>(std::move(p));
+}
+
+void
+writeGru(Writer &w, const detail::GruParts &p)
+{
+    w.u8(kGru);
+    w.size(p.cfg.inputSize);
+    w.size(p.cfg.hiddenSize);
+    w.size(p.cfg.blockSizeInput);
+    w.size(p.cfg.blockSizeRecurrent);
+    w.u8(actTag(p.cfg.candidateAct));
+
+    const LinearKernel *order[6] = {p.wzx.get(), p.wrx.get(),
+                                    p.wcx.get(), p.wzc.get(),
+                                    p.wrc.get(), p.wcc.get()};
+    for (const LinearKernel *k : order)
+        writeKernel(w, *k);
+
+    writeVector(w, p.bz);
+    writeVector(w, p.br);
+    writeVector(w, p.bc);
+}
+
+std::unique_ptr<CompiledLayer>
+readGru(Reader &r)
+{
+    detail::GruParts p;
+    p.cfg.inputSize = r.size("gru input size");
+    p.cfg.hiddenSize = r.size("gru hidden size");
+    p.cfg.blockSizeInput = r.size("gru input block size");
+    p.cfg.blockSizeRecurrent = r.size("gru recurrent block size");
+    p.cfg.candidateAct = readAct(r, "gru candidate activation");
+
+    std::unique_ptr<LinearKernel> *order[6] = {
+        &p.wzx, &p.wrx, &p.wcx, &p.wzc, &p.wrc, &p.wcc};
+    for (auto *slot : order)
+        *slot = readKernel(r);
+
+    p.bz = readVector(r, "gru bias bz");
+    p.br = readVector(r, "gru bias br");
+    p.bc = readVector(r, "gru bias bc");
+    return std::make_unique<detail::CompiledGruLayer>(std::move(p));
+}
+
+// --- file helpers ------------------------------------------------------
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        ernn_fatal("cannot open artifact file " << path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (!is && !is.eof())
+        ernn_fatal("failed reading artifact file " << path);
+    return buf.str();
+}
+
+/** Header size up to and including totalFileBytes. */
+constexpr std::size_t kHeaderBytes =
+    sizeof kMagic + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+constexpr std::size_t kChecksumBytes = sizeof(std::uint64_t);
+
+} // namespace
+
+std::string
+serializeArtifact(const CompiledModel &model)
+{
+    Writer w;
+    for (char c : kMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kArtifactFormatVersion);
+    const std::size_t size_field = w.tell();
+    w.u64(0); // total file bytes, patched below
+
+    const CompileOptions &opts = model.options();
+    w.u32(static_cast<std::uint32_t>(opts.backend));
+    w.i32(opts.fixedPointBits);
+    w.size(opts.activationSegments);
+    w.f64(opts.activationRange);
+
+    w.u32(static_cast<std::uint32_t>(model.numLayers()));
+    for (std::size_t i = 0; i < model.numLayers(); ++i) {
+        const CompiledLayer &layer = model.layer(i);
+        if (const auto *lstm =
+                dynamic_cast<const detail::CompiledLstmLayer *>(
+                    &layer)) {
+            writeLstm(w, lstm->parts());
+        } else if (const auto *gru =
+                       dynamic_cast<const detail::CompiledGruLayer *>(
+                           &layer)) {
+            writeGru(w, gru->parts());
+        } else {
+            ernn_fatal("saveArtifact: layer kind '"
+                       << layer.kindName()
+                       << "' has no artifact encoding");
+        }
+    }
+
+    writeKernel(w, model.classifier());
+    writeVector(w, model.classifierBias());
+
+    w.patchU64(size_field, w.tell() + kChecksumBytes);
+    std::string bytes = w.take();
+    const std::uint64_t sum = fnv1a64(bytes.data(), bytes.size());
+    bytes.append(reinterpret_cast<const char *>(&sum), sizeof sum);
+    return bytes;
+}
+
+void
+saveArtifact(const CompiledModel &model, const std::string &path)
+{
+    const std::string bytes = serializeArtifact(model);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        ernn_fatal("cannot open artifact file " << path
+                   << " for writing");
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os)
+        ernn_fatal("failed writing artifact " << path);
+}
+
+CompiledModel
+loadArtifactBytes(const std::string &bytes)
+{
+    // Validation order is part of the error contract: magic first
+    // (is this an artifact at all?), then version (can this build
+    // read it?), then declared size (was it truncated?), and only
+    // then the checksum (was it corrupted?).
+    if (bytes.size() < kHeaderBytes + kChecksumBytes)
+        ernn_fatal("truncated artifact: " << bytes.size()
+                   << " bytes is smaller than the "
+                   << kHeaderBytes + kChecksumBytes
+                   << "-byte header");
+    if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+        ernn_fatal("not an E-RNN artifact (bad magic)");
+
+    std::uint32_t version;
+    std::memcpy(&version, bytes.data() + sizeof kMagic,
+                sizeof version);
+    if (version != kArtifactFormatVersion)
+        ernn_fatal("artifact format version " << version
+                   << " is not supported by this build (expected "
+                   << kArtifactFormatVersion << ")");
+
+    std::uint64_t declared;
+    std::memcpy(&declared,
+                bytes.data() + sizeof kMagic + sizeof version,
+                sizeof declared);
+    if (declared != bytes.size()) {
+        if (bytes.size() < declared)
+            ernn_fatal("truncated artifact: header declares "
+                       << declared << " bytes, file has "
+                       << bytes.size());
+        ernn_fatal("artifact has " << bytes.size() - declared
+                   << " trailing bytes past the declared "
+                   << declared << "-byte payload");
+    }
+
+    std::uint64_t stored;
+    std::memcpy(&stored,
+                bytes.data() + bytes.size() - kChecksumBytes,
+                sizeof stored);
+    const std::uint64_t actual =
+        fnv1a64(bytes.data(), bytes.size() - kChecksumBytes);
+    if (stored != actual)
+        ernn_fatal("artifact checksum mismatch (stored 0x" << std::hex
+                   << stored << ", computed 0x" << actual << std::dec
+                   << "): the file is corrupted");
+
+    Reader r(bytes, bytes.size() - kChecksumBytes);
+    // Skip the already-validated header.
+    for (std::size_t i = 0; i < sizeof kMagic; ++i)
+        r.u8("magic");
+    r.u32("format version");
+    r.u64("declared size");
+
+    CompiledModel out;
+    const std::uint32_t backend = r.u32("backend kind");
+    ernn_assert(backend <=
+                    static_cast<std::uint32_t>(
+                        BackendKind::FixedPoint),
+                "artifact payload: unknown backend kind " << backend);
+    out.options_.backend = static_cast<BackendKind>(backend);
+    out.options_.fixedPointBits = r.i32("fixed-point bits");
+    out.options_.activationSegments = r.size("activation segments");
+    out.options_.activationRange = r.f64("activation range");
+    // The datapath is re-derived from these options, so bound them
+    // before makeDatapath can act on them: a crafted checksum-valid
+    // file must die with a named fatal, not a giant PWL allocation.
+    if (out.options_.backend == BackendKind::FixedPoint) {
+        if (out.options_.fixedPointBits < 2 ||
+            out.options_.fixedPointBits > 32)
+            ernn_fatal("artifact payload: fixed-point bit width "
+                       << out.options_.fixedPointBits
+                       << " outside [2, 32]");
+        if (out.options_.activationSegments > (std::size_t{1} << 20))
+            ernn_fatal("artifact payload: implausible PWL segment "
+                       "count " << out.options_.activationSegments);
+        if (!std::isfinite(out.options_.activationRange) ||
+            out.options_.activationRange <= 0.0)
+            ernn_fatal("artifact payload: bad activation range "
+                       << out.options_.activationRange);
+    }
+    // PWL tables and the value format are deterministic functions of
+    // the options; re-derive instead of storing them.
+    out.datapath_ = detail::makeDatapath(out.options_);
+
+    const std::uint32_t layers = r.u32("layer count");
+    ernn_assert(layers > 0, "artifact payload: zero layers");
+    for (std::uint32_t i = 0; i < layers; ++i) {
+        const std::uint8_t tag = r.u8("layer kind tag");
+        std::unique_ptr<CompiledLayer> layer;
+        switch (tag) {
+          case kLstm:
+            layer = readLstm(r);
+            break;
+          case kGru:
+            layer = readGru(r);
+            break;
+          default:
+            ernn_fatal("artifact payload: unknown layer tag "
+                       << static_cast<int>(tag));
+        }
+        if (!out.layers_.empty())
+            ernn_assert(layer->inputSize() ==
+                            out.layers_.back()->outputSize(),
+                        "artifact payload: layer " << i
+                        << " input dim " << layer->inputSize()
+                        << " does not chain from previous output "
+                        << out.layers_.back()->outputSize());
+        out.layers_.push_back(std::move(layer));
+    }
+
+    out.classifier_ = readKernel(r);
+    out.classifierBias_ = readVector(r, "classifier bias");
+    ernn_assert(out.classifier_->outDim() ==
+                    out.classifierBias_.size(),
+                "artifact payload: classifier emits "
+                << out.classifier_->outDim() << " logits but bias has "
+                << out.classifierBias_.size());
+    ernn_assert(out.classifier_->inDim() ==
+                    out.layers_.back()->outputSize(),
+                "artifact payload: classifier consumes "
+                << out.classifier_->inDim()
+                << " features, last layer emits "
+                << out.layers_.back()->outputSize());
+    ernn_assert(r.done(),
+                "artifact payload: " << (bytes.size() - kChecksumBytes
+                                         - r.pos())
+                << " unread bytes after the classifier");
+    return out;
+}
+
+CompiledModel
+loadArtifact(const std::string &path)
+{
+    return loadArtifactBytes(readFileBytes(path));
+}
+
+std::shared_ptr<const CompiledModel>
+loadArtifactShared(const std::string &path)
+{
+    return std::shared_ptr<const CompiledModel>(
+        new CompiledModel(loadArtifact(path)));
+}
+
+std::string
+describeArtifact(const std::string &path)
+{
+    const std::string bytes = readFileBytes(path);
+    const CompiledModel model = loadArtifactBytes(bytes);
+
+    std::ostringstream os;
+    os << path << ": " << model.describe() << "\n";
+    os << "  format v" << kArtifactFormatVersion << ", "
+       << fmtBytes(static_cast<double>(bytes.size()))
+       << ", checksum ok\n";
+    os << "  backend " << backendKindName(model.options().backend)
+       << ", " << fmtGrouped(static_cast<long long>(
+                     model.storedParams()))
+       << " stored params, input dim " << model.inputSize()
+       << ", " << model.numClasses() << " classes\n";
+    if (model.datapath().fixedPoint) {
+        os << "  datapath: " << model.options().fixedPointBits
+           << "-bit values (" << model.datapath().valueFormat.name()
+           << "), PWL tables "
+           << model.options().activationSegments << " segments over [-"
+           << model.options().activationRange << ", "
+           << model.options().activationRange << "]\n";
+    }
+    for (std::size_t i = 0; i < model.numLayers(); ++i) {
+        const CompiledLayer &layer = model.layer(i);
+        os << "  layer " << i << ": " << layer.kindName() << " "
+           << layer.inputSize() << " -> " << layer.outputSize()
+           << ", " << fmtGrouped(static_cast<long long>(
+                         layer.storedParams()))
+           << " params";
+        const auto kernels = layer.kernels();
+        os << ", kernels";
+        for (const LinearKernel *k : kernels) {
+            os << " " << k->backendName();
+            if (const auto *fp =
+                    dynamic_cast<const FixedPointKernel *>(k))
+                os << "(" << fp->weightFormat().name() << ")";
+        }
+        os << "\n";
+    }
+    os << "  classifier: " << model.classifier().backendName() << " "
+       << model.classifier().inDim() << " -> "
+       << model.classifier().outDim();
+    if (const auto *fp = dynamic_cast<const FixedPointKernel *>(
+            &model.classifier()))
+        os << " (" << fp->weightFormat().name() << ")";
+    os << "\n";
+    return os.str();
+}
+
+} // namespace ernn::runtime

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Portable CompiledModel artifacts: the on-disk form of a deployed
+ * model, the persistent half of the paper's train-once / deploy-many
+ * split. saveArtifact() serializes a frozen model — backend choice,
+ * cell configurations, quantization metadata, and every weight blob —
+ * into a single versioned binary file; loadArtifact() rebuilds a
+ * CompiledModel that serves *bit-identically* to the original, with
+ * no training stack involved.
+ *
+ * Format (all integers little-endian on every supported platform —
+ * host-endian, documented as x86-64/AArch64-little):
+ *
+ *     offset 0   magic "ERNNARTF"             (8 bytes)
+ *             8  u32 formatVersion            (currently 1)
+ *            12  u64 totalFileBytes           (incl. trailing checksum)
+ *            20  CompileOptions               (backend kind, fixed-point
+ *                                              bits, PWL segments/range)
+ *               u32 layerCount
+ *               per layer: cell kind tag, cell config, kernels in
+ *                 canonical gate order, frozen bias/peephole vectors
+ *               classifier kernel + frozen classifier bias
+ *     end-8      u64 FNV-1a checksum over every preceding byte
+ *
+ * Each kernel records its concrete backend (dense / circulant-fft /
+ * fixed-point dense / fixed-point circulant), its geometry, its
+ * quantization format where applicable, and its weight payload as
+ * raw f64 — so the round trip is bit-exact by construction. Derived
+ * state is never stored: circulant generator spectra and fixed-point
+ * PWL activation tables are re-derived deterministically on load.
+ *
+ * Error contract: every failure is fatal and informative
+ * (ernn_fatal): unreadable file, bad magic, format version skew,
+ * truncation (declared size vs. actual), checksum mismatch, and
+ * structurally inconsistent payloads each name the file and the
+ * specific defect. A loaded artifact is therefore either fully
+ * usable or the process has already said exactly why not.
+ */
+
+#ifndef ERNN_RUNTIME_ARTIFACT_HH
+#define ERNN_RUNTIME_ARTIFACT_HH
+
+#include <memory>
+#include <string>
+
+#include "runtime/compiled_model.hh"
+
+namespace ernn::runtime
+{
+
+/** Artifact format version this build writes and accepts. */
+constexpr std::uint32_t kArtifactFormatVersion = 1;
+
+/** Serialize a frozen model to its portable byte representation. */
+std::string serializeArtifact(const CompiledModel &model);
+
+/** Write model.serialize bytes to @p path; fatal on I/O failure. */
+void saveArtifact(const CompiledModel &model, const std::string &path);
+
+/**
+ * Rebuild a CompiledModel from artifact bytes. Fatal (with the
+ * specific defect) on bad magic, version skew, truncation, checksum
+ * mismatch, or inconsistent payload. The result serves bit-identically
+ * to the model that was saved.
+ */
+CompiledModel loadArtifactBytes(const std::string &bytes);
+
+/** Load an artifact file; fatal on I/O failure or any format error. */
+CompiledModel loadArtifact(const std::string &path);
+
+/**
+ * Load an artifact into shared ownership — the form a long-lived
+ * server wants: the returned model can outlive the loading scope and
+ * be shared (immutable) across any number of sessions and threads.
+ */
+std::shared_ptr<const CompiledModel>
+loadArtifactShared(const std::string &path);
+
+/** Human-readable multi-line summary of an artifact file (the CLI's
+ *  `ernn info`): backend, layers, kernels, quantization metadata. */
+std::string describeArtifact(const std::string &path);
+
+} // namespace ernn::runtime
+
+#endif // ERNN_RUNTIME_ARTIFACT_HH

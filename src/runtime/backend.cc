@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "base/logging.hh"
 
@@ -73,6 +74,36 @@ FixedPointKernel::FixedPointKernel(
 {
     format_ = quant::quantizeWithRangeAnalysis(circ_.raw(), bits);
     circ_.invalidateSpectra();
+}
+
+FixedPointKernel::FixedPointKernel(Matrix quantized,
+                                   quant::FixedPointFormat fmt)
+    : format_(fmt), dense_(std::move(quantized))
+{
+}
+
+FixedPointKernel::FixedPointKernel(
+    circulant::BlockCirculantMatrix quantized,
+    quant::FixedPointFormat fmt)
+    : format_(fmt), circulant_(true), circ_(std::move(quantized))
+{
+    circ_.invalidateSpectra();
+}
+
+const Matrix &
+FixedPointKernel::denseWeight() const
+{
+    ernn_assert(!circulant_,
+                "FixedPointKernel: dense view of circulant storage");
+    return dense_;
+}
+
+const circulant::BlockCirculantMatrix &
+FixedPointKernel::circulantWeight() const
+{
+    ernn_assert(circulant_,
+                "FixedPointKernel: circulant view of dense storage");
+    return circ_;
 }
 
 std::size_t

@@ -107,6 +107,9 @@ class DenseKernel : public LinearKernel
     std::string backendName() const override { return "dense"; }
     std::size_t storedParams() const override { return w_.size(); }
 
+    /** The owned weight copy (artifact serialization). */
+    const Matrix &weight() const { return w_; }
+
   private:
     Matrix w_;
 };
@@ -151,6 +154,18 @@ class FixedPointKernel : public LinearKernel
     FixedPointKernel(const circulant::BlockCirculantMatrix &w,
                      int bits);
 
+    /**
+     * Rehydrate from *already-quantized* dense weights and the format
+     * range analysis chose for them (artifact load path). No rounding
+     * is applied: the values are trusted to be on the quantization
+     * grid, so a loaded kernel is bit-identical to the saved one.
+     */
+    FixedPointKernel(Matrix quantized, quant::FixedPointFormat fmt);
+
+    /** Rehydrate from already-quantized circulant generators. */
+    FixedPointKernel(circulant::BlockCirculantMatrix quantized,
+                     quant::FixedPointFormat fmt);
+
     std::size_t inDim() const override;
     std::size_t outDim() const override;
     void apply(const Vector &x, Vector &y,
@@ -166,6 +181,12 @@ class FixedPointKernel : public LinearKernel
 
     /** Flat quantized weight storage (dense entries or generators). */
     const std::vector<Real> &quantizedWeights() const;
+
+    /// @{ Storage introspection (artifact serialization).
+    bool isCirculant() const { return circulant_; }
+    const Matrix &denseWeight() const;
+    const circulant::BlockCirculantMatrix &circulantWeight() const;
+    /// @}
 
   private:
     quant::FixedPointFormat format_;

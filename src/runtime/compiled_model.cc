@@ -5,8 +5,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
-#include "nn/gru.hh"
-#include "nn/lstm.hh"
+#include "runtime/compiled_layers.hh"
 
 namespace ernn::runtime
 {
@@ -25,6 +24,412 @@ Datapath::activate(nn::ActKind kind, Vector &v) const
     }
     nn::applyActivation(kind, v);
 }
+
+namespace detail
+{
+
+namespace
+{
+
+/**
+ * The circulant weights of a kernel group when every member runs the
+ * CirculantFFT backend with identical input geometry, else empty.
+ * Such a group multiplies one shared operand (e.g. the four LSTM
+ * gate matrices on x_t), so its segment FFTs are computed once and
+ * shared — extending the paper's FFT decoupling across gates, which
+ * the per-matrix training path cannot do.
+ */
+std::vector<const circulant::BlockCirculantMatrix *>
+fusableGroup(std::initializer_list<const LinearKernel *> group)
+{
+    std::vector<const circulant::BlockCirculantMatrix *> out;
+    for (const LinearKernel *k : group) {
+        const auto *fft = dynamic_cast<const CirculantFftKernel *>(k);
+        if (!fft)
+            return {};
+        const auto &w = fft->weight();
+        if (!out.empty() &&
+            (w.cols() != out.front()->cols() ||
+             w.blockSize() != out.front()->blockSize()))
+            return {};
+        out.push_back(&w);
+    }
+    return out;
+}
+
+void
+checkKernel(const LinearKernel *k, const char *name,
+            std::size_t in_dim, std::size_t out_dim)
+{
+    ernn_assert(k, "compiled layer: missing kernel " << name);
+    ernn_assert(k->inDim() == in_dim && k->outDim() == out_dim,
+                "compiled layer: kernel " << name << " is "
+                << k->outDim() << "x" << k->inDim() << ", expected "
+                << out_dim << "x" << in_dim);
+}
+
+} // namespace
+
+Datapath
+makeDatapath(const CompileOptions &opts)
+{
+    Datapath dp;
+    if (opts.backend != BackendKind::FixedPoint)
+        return dp;
+    dp.fixedPoint = true;
+    dp.valueFormat = quant::chooseFormat(opts.fixedPointBits,
+                                         opts.activationRange);
+    if (opts.activationSegments >= 2) {
+        dp.sigmoidTable = std::make_shared<const nn::PiecewiseLinear>(
+            nn::ActKind::Sigmoid, opts.activationSegments,
+            opts.activationRange);
+        dp.tanhTable = std::make_shared<const nn::PiecewiseLinear>(
+            nn::ActKind::Tanh, opts.activationSegments,
+            opts.activationRange);
+    }
+    return dp;
+}
+
+// --- CompiledLstmLayer -------------------------------------------------
+
+CompiledLstmLayer::CompiledLstmLayer(LstmParts parts)
+    : p_(std::move(parts))
+{
+    const std::size_t in = p_.cfg.inputSize;
+    const std::size_t h = p_.cfg.hiddenSize;
+    const std::size_t out = p_.cfg.outputSize();
+    checkKernel(p_.wix.get(), "wix", in, h);
+    checkKernel(p_.wfx.get(), "wfx", in, h);
+    checkKernel(p_.wcx.get(), "wcx", in, h);
+    checkKernel(p_.wox.get(), "wox", in, h);
+    checkKernel(p_.wir.get(), "wir", out, h);
+    checkKernel(p_.wfr.get(), "wfr", out, h);
+    checkKernel(p_.wcr.get(), "wcr", out, h);
+    checkKernel(p_.wor.get(), "wor", out, h);
+    if (p_.cfg.projectionSize) {
+        checkKernel(p_.wym.get(), "wym", h, out);
+    } else {
+        ernn_assert(!p_.wym,
+                    "compiled lstm: projection kernel without "
+                    "projectionSize");
+    }
+    ernn_assert(p_.bi.size() == h && p_.bf.size() == h &&
+                p_.bc.size() == h && p_.bo.size() == h,
+                "compiled lstm: bias size mismatch");
+    if (p_.cfg.peephole)
+        ernn_assert(p_.wic.size() == h && p_.wfc.size() == h &&
+                    p_.woc.size() == h,
+                    "compiled lstm: peephole size mismatch");
+
+    fusedInput_ = fusableGroup(
+        {p_.wix.get(), p_.wfx.get(), p_.wcx.get(), p_.wox.get()});
+    fusedRec_ = fusableGroup(
+        {p_.wir.get(), p_.wfr.get(), p_.wcr.get(), p_.wor.get()});
+}
+
+std::size_t
+CompiledLstmLayer::inputSize() const
+{
+    return p_.cfg.inputSize;
+}
+
+std::size_t
+CompiledLstmLayer::outputSize() const
+{
+    return p_.cfg.outputSize();
+}
+
+std::size_t
+CompiledLstmLayer::storedParams() const
+{
+    std::size_t n = p_.wix->storedParams() + p_.wfx->storedParams() +
+                    p_.wcx->storedParams() + p_.wox->storedParams() +
+                    p_.wir->storedParams() + p_.wfr->storedParams() +
+                    p_.wcr->storedParams() + p_.wor->storedParams();
+    if (p_.wym)
+        n += p_.wym->storedParams();
+    n += p_.bi.size() + p_.bf.size() + p_.bc.size() + p_.bo.size();
+    n += p_.wic.size() + p_.wfc.size() + p_.woc.size();
+    return n;
+}
+
+void
+CompiledLstmLayer::initState(LayerState &state) const
+{
+    state.h.assign(p_.cfg.outputSize(), 0.0);
+    state.c.assign(p_.cfg.hiddenSize, 0.0);
+}
+
+void
+CompiledLstmLayer::initScratch(LayerScratch &s) const
+{
+    const std::size_t h = p_.cfg.hiddenSize;
+    s.g1.assign(h, 0.0);
+    s.g2.assign(h, 0.0);
+    s.g3.assign(h, 0.0);
+    s.g4.assign(h, 0.0);
+    s.t1.assign(h, 0.0);
+    s.t2.assign(h, 0.0);
+    s.t3.assign(h, 0.0);
+}
+
+void
+CompiledLstmLayer::step(const Vector &x, LayerState &state, Vector &y,
+                        LayerScratch &s, KernelScratch &ks,
+                        const Datapath &dp) const
+{
+    // Gate matvec contributions first: i/f/g/o share x (and
+    // y_{t-1}), so the fused CirculantFFT path computes each
+    // operand's segment FFTs once for all four gates (q FFTs
+    // instead of 4q).
+    Vector *gates[4] = {&s.g1, &s.g2, &s.g3, &s.g4};
+    if (!fusedInput_.empty()) {
+        for (Vector *g : gates)
+            std::fill(g->begin(), g->end(), 0.0);
+        circulant::computeSegmentSpectra(
+            x, fusedInput_.front()->blockSize(), ks.fft);
+        for (std::size_t k = 0; k < 4; ++k)
+            fusedInput_[k]->matvecAccFromSpectra(
+                ks.fft.segSpectra, *gates[k], ks.fft);
+    } else {
+        p_.wix->apply(x, s.g1, ks);
+        dp.post(s.g1);
+        p_.wfx->apply(x, s.g2, ks);
+        dp.post(s.g2);
+        p_.wcx->apply(x, s.g3, ks);
+        dp.post(s.g3);
+        p_.wox->apply(x, s.g4, ks);
+        dp.post(s.g4);
+    }
+    if (!fusedRec_.empty()) {
+        circulant::computeSegmentSpectra(
+            state.h, fusedRec_.front()->blockSize(), ks.fft);
+        for (std::size_t k = 0; k < 4; ++k)
+            fusedRec_[k]->matvecAccFromSpectra(
+                ks.fft.segSpectra, *gates[k], ks.fft);
+    } else {
+        const LinearKernel *recs[4] = {p_.wir.get(), p_.wfr.get(),
+                                       p_.wcr.get(), p_.wor.get()};
+        for (std::size_t k = 0; k < 4; ++k) {
+            recs[k]->apply(state.h, s.t1, ks);
+            dp.post(s.t1);
+            addInPlace(*gates[k], s.t1);
+        }
+    }
+
+    // Input gate: i = sigma(Wix x + Wir y' + wic.c' + bi).
+    if (p_.cfg.peephole)
+        hadamardAcc(s.g1, p_.wic, state.c);
+    addInPlace(s.g1, p_.bi);
+    dp.post(s.g1);
+    dp.activate(nn::ActKind::Sigmoid, s.g1);
+    dp.post(s.g1);
+
+    // Forget gate.
+    if (p_.cfg.peephole)
+        hadamardAcc(s.g2, p_.wfc, state.c);
+    addInPlace(s.g2, p_.bf);
+    dp.post(s.g2);
+    dp.activate(nn::ActKind::Sigmoid, s.g2);
+    dp.post(s.g2);
+
+    // Cell input (no peephole, Eqn. 1c).
+    addInPlace(s.g3, p_.bc);
+    dp.post(s.g3);
+    dp.activate(p_.cfg.cellInputAct, s.g3);
+    dp.post(s.g3);
+
+    // Cell state: c = f.c' + g.i (Eqn. 1d) into t2.
+    std::fill(s.t2.begin(), s.t2.end(), 0.0);
+    hadamardAcc(s.t2, s.g2, state.c);
+    hadamardAcc(s.t2, s.g3, s.g1);
+    dp.post(s.t2);
+
+    // Output gate (peephole reads the *current* c, Eqn. 1e).
+    if (p_.cfg.peephole)
+        hadamardAcc(s.g4, p_.woc, s.t2);
+    addInPlace(s.g4, p_.bo);
+    dp.post(s.g4);
+    dp.activate(nn::ActKind::Sigmoid, s.g4);
+    dp.post(s.g4);
+
+    // Cell output m = o . h(c) (Eqn. 1f) into t3.
+    std::copy(s.t2.begin(), s.t2.end(), s.t3.begin());
+    dp.activate(p_.cfg.outputAct, s.t3);
+    dp.post(s.t3);
+    hadamardInPlace(s.t3, s.g4);
+    dp.post(s.t3);
+
+    // Projected output (Eqn. 1g).
+    if (p_.wym) {
+        p_.wym->apply(s.t3, y, ks);
+        dp.post(y);
+    } else {
+        std::copy(s.t3.begin(), s.t3.end(), y.begin());
+    }
+
+    // Commit state: c_t and y_t become the next step's history.
+    std::swap(state.c, s.t2);
+    std::copy(y.begin(), y.end(), state.h.begin());
+}
+
+std::vector<const LinearKernel *>
+CompiledLstmLayer::kernels() const
+{
+    std::vector<const LinearKernel *> out{
+        p_.wix.get(), p_.wfx.get(), p_.wcx.get(), p_.wox.get(),
+        p_.wir.get(), p_.wfr.get(), p_.wcr.get(), p_.wor.get()};
+    if (p_.wym)
+        out.push_back(p_.wym.get());
+    return out;
+}
+
+// --- CompiledGruLayer --------------------------------------------------
+
+CompiledGruLayer::CompiledGruLayer(GruParts parts)
+    : p_(std::move(parts))
+{
+    const std::size_t in = p_.cfg.inputSize;
+    const std::size_t h = p_.cfg.hiddenSize;
+    checkKernel(p_.wzx.get(), "wzx", in, h);
+    checkKernel(p_.wrx.get(), "wrx", in, h);
+    checkKernel(p_.wcx.get(), "wcx", in, h);
+    checkKernel(p_.wzc.get(), "wzc", h, h);
+    checkKernel(p_.wrc.get(), "wrc", h, h);
+    checkKernel(p_.wcc.get(), "wcc", h, h);
+    ernn_assert(p_.bz.size() == h && p_.br.size() == h &&
+                p_.bc.size() == h,
+                "compiled gru: bias size mismatch");
+
+    fusedInput_ = fusableGroup(
+        {p_.wzx.get(), p_.wrx.get(), p_.wcx.get()});
+    fusedRec_ = fusableGroup({p_.wzc.get(), p_.wrc.get()});
+}
+
+std::size_t
+CompiledGruLayer::inputSize() const
+{
+    return p_.cfg.inputSize;
+}
+
+std::size_t
+CompiledGruLayer::outputSize() const
+{
+    return p_.cfg.hiddenSize;
+}
+
+std::size_t
+CompiledGruLayer::storedParams() const
+{
+    return p_.wzx->storedParams() + p_.wrx->storedParams() +
+           p_.wcx->storedParams() + p_.wzc->storedParams() +
+           p_.wrc->storedParams() + p_.wcc->storedParams() +
+           p_.bz.size() + p_.br.size() + p_.bc.size();
+}
+
+void
+CompiledGruLayer::initState(LayerState &state) const
+{
+    state.h.clear(); // the GRU's output *is* its cell state
+    state.c.assign(p_.cfg.hiddenSize, 0.0);
+}
+
+void
+CompiledGruLayer::initScratch(LayerScratch &s) const
+{
+    const std::size_t h = p_.cfg.hiddenSize;
+    s.g1.assign(h, 0.0);
+    s.g2.assign(h, 0.0);
+    s.g3.assign(h, 0.0);
+    s.g4.clear();
+    s.t1.assign(h, 0.0);
+    s.t2.assign(h, 0.0);
+    s.t3.assign(h, 0.0);
+}
+
+void
+CompiledGruLayer::step(const Vector &x, LayerState &state, Vector &y,
+                       LayerScratch &s, KernelScratch &ks,
+                       const Datapath &dp) const
+{
+    const std::size_t h = p_.cfg.hiddenSize;
+
+    // Gate matvec contributions: z/r/c~ share x, z/r share the
+    // previous state, so the fused CirculantFFT path computes
+    // each shared operand's segment FFTs once.
+    Vector *gates[3] = {&s.g1, &s.g2, &s.g3};
+    if (!fusedInput_.empty()) {
+        for (Vector *g : gates)
+            std::fill(g->begin(), g->end(), 0.0);
+        circulant::computeSegmentSpectra(
+            x, fusedInput_.front()->blockSize(), ks.fft);
+        for (std::size_t k = 0; k < 3; ++k)
+            fusedInput_[k]->matvecAccFromSpectra(
+                ks.fft.segSpectra, *gates[k], ks.fft);
+    } else {
+        p_.wzx->apply(x, s.g1, ks);
+        dp.post(s.g1);
+        p_.wrx->apply(x, s.g2, ks);
+        dp.post(s.g2);
+        p_.wcx->apply(x, s.g3, ks);
+        dp.post(s.g3);
+    }
+    if (!fusedRec_.empty()) {
+        circulant::computeSegmentSpectra(
+            state.c, fusedRec_.front()->blockSize(), ks.fft);
+        for (std::size_t k = 0; k < 2; ++k)
+            fusedRec_[k]->matvecAccFromSpectra(
+                ks.fft.segSpectra, *gates[k], ks.fft);
+    } else {
+        p_.wzc->apply(state.c, s.t1, ks);
+        dp.post(s.t1);
+        addInPlace(s.g1, s.t1);
+        p_.wrc->apply(state.c, s.t1, ks);
+        dp.post(s.t1);
+        addInPlace(s.g2, s.t1);
+    }
+
+    // Update gate (Eqn. 2a).
+    addInPlace(s.g1, p_.bz);
+    dp.post(s.g1);
+    dp.activate(nn::ActKind::Sigmoid, s.g1);
+    dp.post(s.g1);
+
+    // Reset gate (Eqn. 2b).
+    addInPlace(s.g2, p_.br);
+    dp.post(s.g2);
+    dp.activate(nn::ActKind::Sigmoid, s.g2);
+    dp.post(s.g2);
+
+    // Candidate from the reset-gated history (Eqn. 2c).
+    std::fill(s.t2.begin(), s.t2.end(), 0.0);
+    hadamardAcc(s.t2, s.g2, state.c);
+    dp.post(s.t2);
+    p_.wcc->apply(s.t2, s.t1, ks);
+    dp.post(s.t1);
+    addInPlace(s.g3, s.t1);
+    addInPlace(s.g3, p_.bc);
+    dp.post(s.g3);
+    dp.activate(p_.cfg.candidateAct, s.g3);
+    dp.post(s.g3);
+
+    // State blend (Eqn. 2d): c = (1-z).c' + z.c~ into t3.
+    for (std::size_t k = 0; k < h; ++k)
+        s.t3[k] = (1.0 - s.g1[k]) * state.c[k] + s.g1[k] * s.g3[k];
+    dp.post(s.t3);
+
+    std::copy(s.t3.begin(), s.t3.end(), y.begin());
+    std::swap(state.c, s.t3);
+}
+
+std::vector<const LinearKernel *>
+CompiledGruLayer::kernels() const
+{
+    return {p_.wzx.get(), p_.wrx.get(), p_.wcx.get(),
+            p_.wzc.get(), p_.wrc.get(), p_.wcc.get()};
+}
+
+} // namespace detail
 
 namespace
 {
@@ -54,355 +459,49 @@ struct CompileContext
     }
 };
 
-/**
- * The circulant weights of a kernel group when every member runs the
- * CirculantFFT backend with identical input geometry, else empty.
- * Such a group multiplies one shared operand (e.g. the four LSTM
- * gate matrices on x_t), so its segment FFTs are computed once and
- * shared — extending the paper's FFT decoupling across gates, which
- * the per-matrix training path cannot do.
- */
-std::vector<const circulant::BlockCirculantMatrix *>
-fusableGroup(std::initializer_list<const LinearKernel *> group)
+detail::LstmParts
+freezeLstm(const nn::LstmLayer &src, const CompileContext &ctx)
 {
-    std::vector<const circulant::BlockCirculantMatrix *> out;
-    for (const LinearKernel *k : group) {
-        const auto *fft = dynamic_cast<const CirculantFftKernel *>(k);
-        if (!fft)
-            return {};
-        const auto &w = fft->weight();
-        if (!out.empty() &&
-            (w.cols() != out.front()->cols() ||
-             w.blockSize() != out.front()->blockSize()))
-            return {};
-        out.push_back(&w);
+    detail::LstmParts p;
+    p.cfg = src.config();
+    p.wix = ctx.kernel(src.wix());
+    p.wfx = ctx.kernel(src.wfx());
+    p.wcx = ctx.kernel(src.wcx());
+    p.wox = ctx.kernel(src.wox());
+    p.wir = ctx.kernel(src.wir());
+    p.wfr = ctx.kernel(src.wfr());
+    p.wcr = ctx.kernel(src.wcr());
+    p.wor = ctx.kernel(src.wor());
+    if (src.wym())
+        p.wym = ctx.kernel(*src.wym());
+    p.bi = ctx.freeze(src.bi());
+    p.bf = ctx.freeze(src.bf());
+    p.bc = ctx.freeze(src.bc());
+    p.bo = ctx.freeze(src.bo());
+    if (p.cfg.peephole) {
+        p.wic = ctx.freeze(src.wic());
+        p.wfc = ctx.freeze(src.wfc());
+        p.woc = ctx.freeze(src.woc());
     }
-    return out;
+    return p;
 }
 
-class CompiledLstmLayer : public CompiledLayer
+detail::GruParts
+freezeGru(const nn::GruLayer &src, const CompileContext &ctx)
 {
-  public:
-    CompiledLstmLayer(const nn::LstmLayer &src,
-                      const CompileContext &ctx)
-        : cfg_(src.config()),
-          wix_(ctx.kernel(src.wix())), wfx_(ctx.kernel(src.wfx())),
-          wcx_(ctx.kernel(src.wcx())), wox_(ctx.kernel(src.wox())),
-          wir_(ctx.kernel(src.wir())), wfr_(ctx.kernel(src.wfr())),
-          wcr_(ctx.kernel(src.wcr())), wor_(ctx.kernel(src.wor())),
-          bi_(ctx.freeze(src.bi())), bf_(ctx.freeze(src.bf())),
-          bc_(ctx.freeze(src.bc())), bo_(ctx.freeze(src.bo()))
-    {
-        if (src.wym())
-            wym_ = ctx.kernel(*src.wym());
-        if (cfg_.peephole) {
-            wic_ = ctx.freeze(src.wic());
-            wfc_ = ctx.freeze(src.wfc());
-            woc_ = ctx.freeze(src.woc());
-        }
-        fusedInput_ = fusableGroup(
-            {wix_.get(), wfx_.get(), wcx_.get(), wox_.get()});
-        fusedRec_ = fusableGroup(
-            {wir_.get(), wfr_.get(), wcr_.get(), wor_.get()});
-    }
-
-    std::size_t inputSize() const override { return cfg_.inputSize; }
-    std::size_t outputSize() const override
-    {
-        return cfg_.outputSize();
-    }
-    std::string kindName() const override { return "lstm"; }
-
-    std::size_t storedParams() const override
-    {
-        std::size_t n = wix_->storedParams() + wfx_->storedParams() +
-                        wcx_->storedParams() + wox_->storedParams() +
-                        wir_->storedParams() + wfr_->storedParams() +
-                        wcr_->storedParams() + wor_->storedParams();
-        if (wym_)
-            n += wym_->storedParams();
-        n += bi_.size() + bf_.size() + bc_.size() + bo_.size();
-        n += wic_.size() + wfc_.size() + woc_.size();
-        return n;
-    }
-
-    void initState(LayerState &state) const override
-    {
-        state.h.assign(cfg_.outputSize(), 0.0);
-        state.c.assign(cfg_.hiddenSize, 0.0);
-    }
-
-    void initScratch(LayerScratch &s) const override
-    {
-        const std::size_t h = cfg_.hiddenSize;
-        s.g1.assign(h, 0.0);
-        s.g2.assign(h, 0.0);
-        s.g3.assign(h, 0.0);
-        s.g4.assign(h, 0.0);
-        s.t1.assign(h, 0.0);
-        s.t2.assign(h, 0.0);
-        s.t3.assign(h, 0.0);
-    }
-
-    void step(const Vector &x, LayerState &state, Vector &y,
-              LayerScratch &s, KernelScratch &ks,
-              const Datapath &dp) const override
-    {
-        // Gate matvec contributions first: i/f/g/o share x (and
-        // y_{t-1}), so the fused CirculantFFT path computes each
-        // operand's segment FFTs once for all four gates (q FFTs
-        // instead of 4q).
-        Vector *gates[4] = {&s.g1, &s.g2, &s.g3, &s.g4};
-        if (!fusedInput_.empty()) {
-            for (Vector *g : gates)
-                std::fill(g->begin(), g->end(), 0.0);
-            circulant::computeSegmentSpectra(
-                x, fusedInput_.front()->blockSize(), ks.fft);
-            for (std::size_t k = 0; k < 4; ++k)
-                fusedInput_[k]->matvecAccFromSpectra(
-                    ks.fft.segSpectra, *gates[k], ks.fft);
-        } else {
-            wix_->apply(x, s.g1, ks);
-            dp.post(s.g1);
-            wfx_->apply(x, s.g2, ks);
-            dp.post(s.g2);
-            wcx_->apply(x, s.g3, ks);
-            dp.post(s.g3);
-            wox_->apply(x, s.g4, ks);
-            dp.post(s.g4);
-        }
-        if (!fusedRec_.empty()) {
-            circulant::computeSegmentSpectra(
-                state.h, fusedRec_.front()->blockSize(), ks.fft);
-            for (std::size_t k = 0; k < 4; ++k)
-                fusedRec_[k]->matvecAccFromSpectra(
-                    ks.fft.segSpectra, *gates[k], ks.fft);
-        } else {
-            const LinearKernel *recs[4] = {wir_.get(), wfr_.get(),
-                                           wcr_.get(), wor_.get()};
-            for (std::size_t k = 0; k < 4; ++k) {
-                recs[k]->apply(state.h, s.t1, ks);
-                dp.post(s.t1);
-                addInPlace(*gates[k], s.t1);
-            }
-        }
-
-        // Input gate: i = sigma(Wix x + Wir y' + wic.c' + bi).
-        if (cfg_.peephole)
-            hadamardAcc(s.g1, wic_, state.c);
-        addInPlace(s.g1, bi_);
-        dp.post(s.g1);
-        dp.activate(nn::ActKind::Sigmoid, s.g1);
-        dp.post(s.g1);
-
-        // Forget gate.
-        if (cfg_.peephole)
-            hadamardAcc(s.g2, wfc_, state.c);
-        addInPlace(s.g2, bf_);
-        dp.post(s.g2);
-        dp.activate(nn::ActKind::Sigmoid, s.g2);
-        dp.post(s.g2);
-
-        // Cell input (no peephole, Eqn. 1c).
-        addInPlace(s.g3, bc_);
-        dp.post(s.g3);
-        dp.activate(cfg_.cellInputAct, s.g3);
-        dp.post(s.g3);
-
-        // Cell state: c = f.c' + g.i (Eqn. 1d) into t2.
-        std::fill(s.t2.begin(), s.t2.end(), 0.0);
-        hadamardAcc(s.t2, s.g2, state.c);
-        hadamardAcc(s.t2, s.g3, s.g1);
-        dp.post(s.t2);
-
-        // Output gate (peephole reads the *current* c, Eqn. 1e).
-        if (cfg_.peephole)
-            hadamardAcc(s.g4, woc_, s.t2);
-        addInPlace(s.g4, bo_);
-        dp.post(s.g4);
-        dp.activate(nn::ActKind::Sigmoid, s.g4);
-        dp.post(s.g4);
-
-        // Cell output m = o . h(c) (Eqn. 1f) into t3.
-        std::copy(s.t2.begin(), s.t2.end(), s.t3.begin());
-        dp.activate(cfg_.outputAct, s.t3);
-        dp.post(s.t3);
-        hadamardInPlace(s.t3, s.g4);
-        dp.post(s.t3);
-
-        // Projected output (Eqn. 1g).
-        if (wym_) {
-            wym_->apply(s.t3, y, ks);
-            dp.post(y);
-        } else {
-            std::copy(s.t3.begin(), s.t3.end(), y.begin());
-        }
-
-        // Commit state: c_t and y_t become the next step's history.
-        std::swap(state.c, s.t2);
-        std::copy(y.begin(), y.end(), state.h.begin());
-    }
-
-    std::vector<const LinearKernel *> kernels() const override
-    {
-        std::vector<const LinearKernel *> out{
-            wix_.get(), wfx_.get(), wcx_.get(), wox_.get(),
-            wir_.get(), wfr_.get(), wcr_.get(), wor_.get()};
-        if (wym_)
-            out.push_back(wym_.get());
-        return out;
-    }
-
-  private:
-    nn::LstmConfig cfg_;
-    std::unique_ptr<LinearKernel> wix_, wfx_, wcx_, wox_;
-    std::unique_ptr<LinearKernel> wir_, wfr_, wcr_, wor_;
-    std::unique_ptr<LinearKernel> wym_;
-    Vector bi_, bf_, bc_, bo_;
-    Vector wic_, wfc_, woc_;
-
-    /** Shared-operand gate groups (empty = unfused fallback). */
-    std::vector<const circulant::BlockCirculantMatrix *> fusedInput_;
-    std::vector<const circulant::BlockCirculantMatrix *> fusedRec_;
-};
-
-class CompiledGruLayer : public CompiledLayer
-{
-  public:
-    CompiledGruLayer(const nn::GruLayer &src, const CompileContext &ctx)
-        : cfg_(src.config()),
-          wzx_(ctx.kernel(src.wzx())), wrx_(ctx.kernel(src.wrx())),
-          wcx_(ctx.kernel(src.wcx())), wzc_(ctx.kernel(src.wzc())),
-          wrc_(ctx.kernel(src.wrc())), wcc_(ctx.kernel(src.wcc())),
-          bz_(ctx.freeze(src.bz())), br_(ctx.freeze(src.br())),
-          bc_(ctx.freeze(src.bc()))
-    {
-        fusedInput_ = fusableGroup(
-            {wzx_.get(), wrx_.get(), wcx_.get()});
-        fusedRec_ = fusableGroup({wzc_.get(), wrc_.get()});
-    }
-
-    std::size_t inputSize() const override { return cfg_.inputSize; }
-    std::size_t outputSize() const override { return cfg_.hiddenSize; }
-    std::string kindName() const override { return "gru"; }
-
-    std::size_t storedParams() const override
-    {
-        return wzx_->storedParams() + wrx_->storedParams() +
-               wcx_->storedParams() + wzc_->storedParams() +
-               wrc_->storedParams() + wcc_->storedParams() +
-               bz_.size() + br_.size() + bc_.size();
-    }
-
-    void initState(LayerState &state) const override
-    {
-        state.h.clear(); // the GRU's output *is* its cell state
-        state.c.assign(cfg_.hiddenSize, 0.0);
-    }
-
-    void initScratch(LayerScratch &s) const override
-    {
-        const std::size_t h = cfg_.hiddenSize;
-        s.g1.assign(h, 0.0);
-        s.g2.assign(h, 0.0);
-        s.g3.assign(h, 0.0);
-        s.g4.clear();
-        s.t1.assign(h, 0.0);
-        s.t2.assign(h, 0.0);
-        s.t3.assign(h, 0.0);
-    }
-
-    void step(const Vector &x, LayerState &state, Vector &y,
-              LayerScratch &s, KernelScratch &ks,
-              const Datapath &dp) const override
-    {
-        const std::size_t h = cfg_.hiddenSize;
-
-        // Gate matvec contributions: z/r/c~ share x, z/r share the
-        // previous state, so the fused CirculantFFT path computes
-        // each shared operand's segment FFTs once.
-        Vector *gates[3] = {&s.g1, &s.g2, &s.g3};
-        if (!fusedInput_.empty()) {
-            for (Vector *g : gates)
-                std::fill(g->begin(), g->end(), 0.0);
-            circulant::computeSegmentSpectra(
-                x, fusedInput_.front()->blockSize(), ks.fft);
-            for (std::size_t k = 0; k < 3; ++k)
-                fusedInput_[k]->matvecAccFromSpectra(
-                    ks.fft.segSpectra, *gates[k], ks.fft);
-        } else {
-            wzx_->apply(x, s.g1, ks);
-            dp.post(s.g1);
-            wrx_->apply(x, s.g2, ks);
-            dp.post(s.g2);
-            wcx_->apply(x, s.g3, ks);
-            dp.post(s.g3);
-        }
-        if (!fusedRec_.empty()) {
-            circulant::computeSegmentSpectra(
-                state.c, fusedRec_.front()->blockSize(), ks.fft);
-            for (std::size_t k = 0; k < 2; ++k)
-                fusedRec_[k]->matvecAccFromSpectra(
-                    ks.fft.segSpectra, *gates[k], ks.fft);
-        } else {
-            wzc_->apply(state.c, s.t1, ks);
-            dp.post(s.t1);
-            addInPlace(s.g1, s.t1);
-            wrc_->apply(state.c, s.t1, ks);
-            dp.post(s.t1);
-            addInPlace(s.g2, s.t1);
-        }
-
-        // Update gate (Eqn. 2a).
-        addInPlace(s.g1, bz_);
-        dp.post(s.g1);
-        dp.activate(nn::ActKind::Sigmoid, s.g1);
-        dp.post(s.g1);
-
-        // Reset gate (Eqn. 2b).
-        addInPlace(s.g2, br_);
-        dp.post(s.g2);
-        dp.activate(nn::ActKind::Sigmoid, s.g2);
-        dp.post(s.g2);
-
-        // Candidate from the reset-gated history (Eqn. 2c).
-        std::fill(s.t2.begin(), s.t2.end(), 0.0);
-        hadamardAcc(s.t2, s.g2, state.c);
-        dp.post(s.t2);
-        wcc_->apply(s.t2, s.t1, ks);
-        dp.post(s.t1);
-        addInPlace(s.g3, s.t1);
-        addInPlace(s.g3, bc_);
-        dp.post(s.g3);
-        dp.activate(cfg_.candidateAct, s.g3);
-        dp.post(s.g3);
-
-        // State blend (Eqn. 2d): c = (1-z).c' + z.c~ into t3.
-        for (std::size_t k = 0; k < h; ++k)
-            s.t3[k] = (1.0 - s.g1[k]) * state.c[k] +
-                      s.g1[k] * s.g3[k];
-        dp.post(s.t3);
-
-        std::copy(s.t3.begin(), s.t3.end(), y.begin());
-        std::swap(state.c, s.t3);
-    }
-
-    std::vector<const LinearKernel *> kernels() const override
-    {
-        return {wzx_.get(), wrx_.get(), wcx_.get(),
-                wzc_.get(), wrc_.get(), wcc_.get()};
-    }
-
-  private:
-    nn::GruConfig cfg_;
-    std::unique_ptr<LinearKernel> wzx_, wrx_, wcx_;
-    std::unique_ptr<LinearKernel> wzc_, wrc_, wcc_;
-    Vector bz_, br_, bc_;
-
-    /** Shared-operand gate groups (empty = unfused fallback). */
-    std::vector<const circulant::BlockCirculantMatrix *> fusedInput_;
-    std::vector<const circulant::BlockCirculantMatrix *> fusedRec_;
-};
+    detail::GruParts p;
+    p.cfg = src.config();
+    p.wzx = ctx.kernel(src.wzx());
+    p.wrx = ctx.kernel(src.wrx());
+    p.wcx = ctx.kernel(src.wcx());
+    p.wzc = ctx.kernel(src.wzc());
+    p.wrc = ctx.kernel(src.wrc());
+    p.wcc = ctx.kernel(src.wcc());
+    p.bz = ctx.freeze(src.bz());
+    p.br = ctx.freeze(src.br());
+    p.bc = ctx.freeze(src.bc());
+    return p;
+}
 
 } // namespace
 
@@ -446,22 +545,7 @@ compile(const nn::StackedRnn &model, const CompileOptions &opts)
 
     CompiledModel out;
     out.options_ = opts;
-
-    if (opts.backend == BackendKind::FixedPoint) {
-        out.datapath_.fixedPoint = true;
-        out.datapath_.valueFormat = quant::chooseFormat(
-            opts.fixedPointBits, opts.activationRange);
-        if (opts.activationSegments >= 2) {
-            out.datapath_.sigmoidTable =
-                std::make_shared<const nn::PiecewiseLinear>(
-                    nn::ActKind::Sigmoid, opts.activationSegments,
-                    opts.activationRange);
-            out.datapath_.tanhTable =
-                std::make_shared<const nn::PiecewiseLinear>(
-                    nn::ActKind::Tanh, opts.activationSegments,
-                    opts.activationRange);
-        }
-    }
+    out.datapath_ = detail::makeDatapath(opts);
 
     const CompileContext ctx{opts, out.datapath_.fixedPoint};
 
@@ -470,11 +554,13 @@ compile(const nn::StackedRnn &model, const CompileOptions &opts)
         if (const auto *lstm =
                 dynamic_cast<const nn::LstmLayer *>(&src)) {
             out.layers_.push_back(
-                std::make_unique<CompiledLstmLayer>(*lstm, ctx));
+                std::make_unique<detail::CompiledLstmLayer>(
+                    freezeLstm(*lstm, ctx)));
         } else if (const auto *gru =
                        dynamic_cast<const nn::GruLayer *>(&src)) {
             out.layers_.push_back(
-                std::make_unique<CompiledGruLayer>(*gru, ctx));
+                std::make_unique<detail::CompiledGruLayer>(
+                    freezeGru(*gru, ctx)));
         } else {
             ernn_panic("compile: unknown layer kind '"
                        << src.kindName() << "'");

@@ -11,6 +11,11 @@
  * A CompiledModel is shared, read-only state. All mutable buffers
  * (recurrent state, gate scratch, FFT workspaces) belong to the
  * InferenceSession objects it creates.
+ *
+ * A compiled model is also *portable*: runtime/artifact.hh persists
+ * it to a versioned, checksummed binary file and loads it back
+ * bit-exactly, so serving processes (serve::InferenceServer, the
+ * `ernn` CLI) never need the training stack.
  */
 
 #ifndef ERNN_RUNTIME_COMPILED_MODEL_HH
@@ -142,6 +147,9 @@ class CompiledModel
   private:
     friend CompiledModel compile(const nn::StackedRnn &,
                                  const CompileOptions &);
+    /** The artifact loader (runtime/artifact.hh) assembles a model
+     *  directly from deserialized kernels. */
+    friend CompiledModel loadArtifactBytes(const std::string &);
     CompiledModel() = default;
 
     /** Only compile() may move its result out (NRVO return path);

@@ -49,6 +49,13 @@ struct BatchResult
     std::vector<std::vector<int>> predictions;
 };
 
+/**
+ * One inference lane over a shared CompiledModel. The session owns
+ * every mutable buffer, so any number of sessions can serve the same
+ * model concurrently — but a single session is NOT thread-safe and
+ * must be driven by one thread at a time. The model is borrowed and
+ * must outlive the session.
+ */
 class InferenceSession
 {
   public:

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "runtime/artifact.hh"
 
 namespace ernn::serve
 {
@@ -51,9 +52,42 @@ struct InferenceServer::StreamJob
     std::promise<void> done;     //!< reset acknowledgement
 };
 
+namespace
+{
+
+const runtime::CompiledModel &
+derefModel(const std::shared_ptr<const runtime::CompiledModel> &p)
+{
+    ernn_assert(p != nullptr, "InferenceServer: null model");
+    return *p;
+}
+
+} // namespace
+
+InferenceServer::InferenceServer(
+    std::shared_ptr<const runtime::CompiledModel> model,
+    ServerOptions opts)
+    : owned_(std::move(model)), model_(derefModel(owned_)),
+      opts_(opts)
+{
+    startWorkers();
+}
+
+InferenceServer::InferenceServer(const std::string &artifactPath,
+                                 ServerOptions opts)
+    : InferenceServer(runtime::loadArtifactShared(artifactPath), opts)
+{
+}
+
 InferenceServer::InferenceServer(const runtime::CompiledModel &model,
                                  ServerOptions opts)
     : model_(model), opts_(opts)
+{
+    startWorkers();
+}
+
+void
+InferenceServer::startWorkers()
 {
     ernn_assert(opts_.workers >= 1, "server needs at least one worker");
     ernn_assert(opts_.maxBatch >= 1, "maxBatch must be positive");

@@ -114,6 +114,24 @@ class InferenceServer
     explicit InferenceServer(const runtime::CompiledModel &model,
                              ServerOptions opts = {});
 
+    /**
+     * Own a model outright (e.g. one returned by
+     * runtime::loadArtifactShared): the server keeps it alive for
+     * its whole lifetime, so no external model scope is needed.
+     */
+    explicit InferenceServer(
+        std::shared_ptr<const runtime::CompiledModel> model,
+        ServerOptions opts = {});
+
+    /**
+     * Serve straight from an artifact file: load the CompiledModel
+     * from @p artifactPath (fatal with the specific defect on any
+     * format error) and own it. This is the deployment entry point —
+     * a serving process built on it never links the training stack.
+     */
+    explicit InferenceServer(const std::string &artifactPath,
+                             ServerOptions opts = {});
+
     /** Drains every queued request, then joins the workers. */
     ~InferenceServer();
 
@@ -213,6 +231,9 @@ class InferenceServer
     struct UtteranceJob;
     struct StreamJob;
 
+    /** Shared constructor tail: validate options, spawn workers. */
+    void startWorkers();
+
     void workerLoop(std::size_t index);
     void runBatch(runtime::InferenceSession &session,
                   std::vector<UtteranceJob> &batch, std::size_t worker);
@@ -221,6 +242,9 @@ class InferenceServer
     void enqueueStreamJob(const std::shared_ptr<StreamSlot> &slot,
                           StreamJob job);
 
+    /** Set only by the owning constructors; declared before model_
+     *  so the reference can bind to *owned_. */
+    std::shared_ptr<const runtime::CompiledModel> owned_;
     const runtime::CompiledModel &model_;
     ServerOptions opts_;
 

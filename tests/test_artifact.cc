@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Artifact round-trip and error-path tests: a saved+loaded
+ * CompiledModel must serve bit-identically to the original on every
+ * backend (Dense, CirculantFFT with re-derived spectra, FixedPoint
+ * with re-derived PWL tables), and a damaged file must die with the
+ * specific defect named.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "nn/model_builder.hh"
+#include "runtime/artifact.hh"
+#include "runtime/session.hh"
+#include "serve/inference_server.hh"
+
+using namespace ernn;
+
+namespace
+{
+
+nn::ModelSpec
+lstmSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 8;
+    spec.numClasses = 6;
+    spec.layerSizes = {16, 16};
+    spec.blockSizes = {4, 4};
+    spec.peephole = true;
+    spec.projectionSize = 8;
+    return spec;
+}
+
+nn::ModelSpec
+gruSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Gru;
+    spec.inputDim = 8;
+    spec.numClasses = 5;
+    spec.layerSizes = {16};
+    spec.blockSizes = {4};
+    return spec;
+}
+
+nn::StackedRnn
+trainedModel(const nn::ModelSpec &spec, std::uint64_t seed)
+{
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(seed);
+    model.initXavier(rng);
+    return model;
+}
+
+std::vector<nn::Sequence>
+randomBatch(std::size_t utterances, std::size_t dim,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<nn::Sequence> batch(utterances);
+    for (std::size_t u = 0; u < batch.size(); ++u) {
+        batch[u].assign(5 + 2 * u, Vector(dim));
+        for (auto &f : batch[u])
+            rng.fillNormal(f, 1.0);
+    }
+    return batch;
+}
+
+void
+expectIdenticalResults(const runtime::BatchResult &a,
+                       const runtime::BatchResult &b)
+{
+    ASSERT_EQ(a.logits.size(), b.logits.size());
+    for (std::size_t u = 0; u < a.logits.size(); ++u) {
+        ASSERT_EQ(a.logits[u].size(), b.logits[u].size());
+        for (std::size_t t = 0; t < a.logits[u].size(); ++t)
+            for (std::size_t k = 0; k < a.logits[u][t].size(); ++k)
+                // Exact double equality: the artifact stores raw f64
+                // and re-derives only deterministic state.
+                EXPECT_EQ(a.logits[u][t][k], b.logits[u][t][k])
+                    << "utterance " << u << " frame " << t
+                    << " logit " << k;
+    }
+    EXPECT_EQ(a.predictions, b.predictions);
+}
+
+/** Compile, round-trip through bytes, and demand identical serving. */
+void
+checkRoundTrip(const nn::ModelSpec &spec,
+               runtime::BackendKind backend)
+{
+    const nn::StackedRnn model = trainedModel(spec, 11);
+    runtime::CompileOptions opts;
+    opts.backend = backend;
+    const runtime::CompiledModel original =
+        runtime::compile(model, opts);
+
+    const std::string bytes = runtime::serializeArtifact(original);
+    const runtime::CompiledModel loaded =
+        runtime::loadArtifactBytes(bytes);
+
+    EXPECT_EQ(original.describe(), loaded.describe());
+    EXPECT_EQ(original.storedParams(), loaded.storedParams());
+    EXPECT_EQ(original.numLayers(), loaded.numLayers());
+    for (std::size_t i = 0; i < original.numLayers(); ++i) {
+        const auto orig_kernels = original.layer(i).kernels();
+        const auto load_kernels = loaded.layer(i).kernels();
+        ASSERT_EQ(orig_kernels.size(), load_kernels.size());
+        for (std::size_t k = 0; k < orig_kernels.size(); ++k)
+            EXPECT_EQ(orig_kernels[k]->backendName(),
+                      load_kernels[k]->backendName());
+    }
+
+    const auto batch = randomBatch(4, spec.inputDim, 23);
+    runtime::InferenceSession s1 = original.createSession();
+    runtime::InferenceSession s2 = loaded.createSession();
+    expectIdenticalResults(s1.run(batch), s2.run(batch));
+
+    // A second round trip of the loaded model must byte-match: the
+    // format has one canonical encoding per model.
+    EXPECT_EQ(bytes, runtime::serializeArtifact(loaded));
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "ernn_artifact_" + name;
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(os.good());
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+TEST(Artifact, RoundTripDenseLstm)
+{
+    checkRoundTrip(lstmSpec(), runtime::BackendKind::Dense);
+}
+
+TEST(Artifact, RoundTripCirculantFftLstm)
+{
+    checkRoundTrip(lstmSpec(), runtime::BackendKind::CirculantFft);
+}
+
+TEST(Artifact, RoundTripFixedPointLstm)
+{
+    checkRoundTrip(lstmSpec(), runtime::BackendKind::FixedPoint);
+}
+
+TEST(Artifact, RoundTripAutoLstm)
+{
+    checkRoundTrip(lstmSpec(), runtime::BackendKind::Auto);
+}
+
+TEST(Artifact, RoundTripDenseGru)
+{
+    checkRoundTrip(gruSpec(), runtime::BackendKind::Dense);
+}
+
+TEST(Artifact, RoundTripCirculantFftGru)
+{
+    checkRoundTrip(gruSpec(), runtime::BackendKind::CirculantFft);
+}
+
+TEST(Artifact, RoundTripFixedPointGru)
+{
+    checkRoundTrip(gruSpec(), runtime::BackendKind::FixedPoint);
+}
+
+TEST(Artifact, RoundTripDenseOnlyModelWithoutBlocks)
+{
+    nn::ModelSpec spec = lstmSpec();
+    spec.blockSizes.clear();
+    spec.peephole = false;
+    spec.projectionSize = 0;
+    checkRoundTrip(spec, runtime::BackendKind::Auto);
+}
+
+TEST(Artifact, SaveLoadThroughFile)
+{
+    const nn::StackedRnn model = trainedModel(lstmSpec(), 3);
+    const runtime::CompiledModel original = runtime::compile(model);
+    const std::string path = tempPath("file.ernn");
+    runtime::saveArtifact(original, path);
+
+    const runtime::CompiledModel loaded =
+        runtime::loadArtifact(path);
+    const auto batch = randomBatch(3, 8, 5);
+    runtime::InferenceSession s1 = original.createSession();
+    runtime::InferenceSession s2 = loaded.createSession();
+    expectIdenticalResults(s1.run(batch), s2.run(batch));
+    std::remove(path.c_str());
+}
+
+TEST(Artifact, ServerLoadsArtifactWithoutTrainingStack)
+{
+    const nn::StackedRnn model = trainedModel(lstmSpec(), 17);
+    runtime::CompileOptions opts;
+    opts.backend = runtime::BackendKind::FixedPoint;
+    const runtime::CompiledModel original =
+        runtime::compile(model, opts);
+    const std::string path = tempPath("served.ernn");
+    runtime::saveArtifact(original, path);
+
+    const auto batch = randomBatch(4, 8, 31);
+    runtime::InferenceSession session = original.createSession();
+    const runtime::BatchResult want = session.run(batch);
+
+    // The artifact-loading constructor owns its model: no external
+    // CompiledModel scope exists in this block.
+    serve::InferenceServer server(path, serve::ServerOptions{});
+    for (std::size_t u = 0; u < batch.size(); ++u) {
+        const serve::InferenceReply reply = server.infer(batch[u]);
+        EXPECT_EQ(reply.predictions, want.predictions[u]);
+        ASSERT_EQ(reply.logits.size(), want.logits[u].size());
+        for (std::size_t t = 0; t < reply.logits.size(); ++t)
+            for (std::size_t k = 0; k < reply.logits[t].size(); ++k)
+                EXPECT_EQ(reply.logits[t][k], want.logits[u][t][k]);
+    }
+    server.shutdown();
+    std::remove(path.c_str());
+}
+
+TEST(Artifact, InfoSummaryNamesBackendAndQuantization)
+{
+    const nn::StackedRnn model = trainedModel(lstmSpec(), 9);
+    runtime::CompileOptions opts;
+    opts.backend = runtime::BackendKind::FixedPoint;
+    const runtime::CompiledModel compiled =
+        runtime::compile(model, opts);
+    const std::string path = tempPath("info.ernn");
+    runtime::saveArtifact(compiled, path);
+
+    const std::string info = runtime::describeArtifact(path);
+    EXPECT_NE(info.find("fixed-point"), std::string::npos);
+    EXPECT_NE(info.find("checksum ok"), std::string::npos);
+    EXPECT_NE(info.find("PWL"), std::string::npos);
+    EXPECT_NE(info.find("lstm"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// --- error paths -------------------------------------------------------
+
+class ArtifactErrors : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const nn::StackedRnn model = trainedModel(gruSpec(), 2);
+        bytes_ = runtime::serializeArtifact(runtime::compile(model));
+    }
+
+    std::string bytes_;
+};
+
+TEST_F(ArtifactErrors, RejectsGarbageMagic)
+{
+    std::string bad = bytes_;
+    bad[0] = 'X';
+    EXPECT_DEATH(runtime::loadArtifactBytes(bad), "magic");
+}
+
+TEST_F(ArtifactErrors, RejectsVersionSkew)
+{
+    std::string bad = bytes_;
+    bad[8] = static_cast<char>(bad[8] + 1); // u32 version LSB
+    EXPECT_DEATH(runtime::loadArtifactBytes(bad), "version");
+}
+
+TEST_F(ArtifactErrors, RejectsTruncation)
+{
+    const std::string bad = bytes_.substr(0, bytes_.size() - 24);
+    EXPECT_DEATH(runtime::loadArtifactBytes(bad), "truncated");
+}
+
+TEST_F(ArtifactErrors, RejectsTinyFile)
+{
+    EXPECT_DEATH(runtime::loadArtifactBytes("ERNN"), "truncated");
+}
+
+TEST_F(ArtifactErrors, RejectsCorruptedPayload)
+{
+    std::string bad = bytes_;
+    bad[bytes_.size() / 2] ^= 0x20; // flip a bit mid-payload
+    EXPECT_DEATH(runtime::loadArtifactBytes(bad), "checksum");
+}
+
+TEST_F(ArtifactErrors, RejectsTrailingGarbage)
+{
+    EXPECT_DEATH(runtime::loadArtifactBytes(bytes_ + "xx"),
+                 "trailing");
+}
+
+TEST_F(ArtifactErrors, RejectsMissingFile)
+{
+    EXPECT_DEATH(
+        runtime::loadArtifact(tempPath("does_not_exist.ernn")),
+        "cannot open");
+}
+
+TEST_F(ArtifactErrors, FileRoundTripSurvivesErrorChecks)
+{
+    // Sanity: the bytes the error tests mutate do load when intact.
+    const std::string path = tempPath("intact.ernn");
+    writeBytes(path, bytes_);
+    const runtime::CompiledModel loaded =
+        runtime::loadArtifact(path);
+    EXPECT_EQ(loaded.numLayers(), 1u);
+    std::remove(path.c_str());
+}
