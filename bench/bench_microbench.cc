@@ -3,12 +3,23 @@
  * Google-benchmark microbenchmarks of the computational kernels: the
  * FFT engine, dense vs block-circulant matvec across block sizes
  * (the CPU-side analogue of the paper's compression/acceleration
- * trade-off), projection, quantization, activations, and the serving
- * path (legacy training-forward inference vs a batched CirculantFFT
- * InferenceSession on the paper-scale 2x1024/block-64 LSTM).
+ * trade-off), projection, quantization, the fixed-point matvec in
+ * both its native int16 and f64-emulation forms, activations, and
+ * the serving path (legacy training-forward inference vs batched
+ * InferenceSessions per backend on the paper-scale 2x1024/block-64
+ * LSTM — the geometry behind Tables III/IV).
+ *
+ * Every run also writes BENCH_microbench.json (google-benchmark's
+ * JSON reporter) unless --benchmark_out is given explicitly, so CI
+ * and local runs alike leave a machine-readable perf data point.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "base/random.hh"
 #include "circulant/block_circulant.hh"
@@ -131,6 +142,66 @@ BM_Quantize12Bit(benchmark::State &state)
 }
 BENCHMARK(BM_Quantize12Bit)->Arg(1 << 14);
 
+// --- Fixed-point matvec: native int16 vs f64 emulation -----------------
+
+/** Value-grid input vector (what the session feeds the kernels). */
+Vector
+gridVector(std::size_t n, std::uint64_t seed,
+           const quant::FixedPointFormat &vf)
+{
+    Vector x = randomVector(n, seed);
+    for (auto &v : x)
+        v = vf.quantize(v);
+    return x;
+}
+
+/** range(0): n; range(1): block size (0 = dense); range(2): 1 for
+ *  the native int16 path, 0 for the f64 emulation. */
+void
+BM_FixedPointMatvec(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto lb = static_cast<std::size_t>(state.range(1));
+    const bool native = state.range(2) != 0;
+
+    Rng rng(9);
+    std::unique_ptr<runtime::FixedPointKernel> kernel;
+    if (lb == 0) {
+        Matrix w(n, n);
+        w.initXavier(rng);
+        kernel = std::make_unique<runtime::FixedPointKernel>(w, 12);
+    } else {
+        circulant::BlockCirculantMatrix w(n, n, lb);
+        w.initXavier(rng);
+        kernel = std::make_unique<runtime::FixedPointKernel>(w, 12);
+    }
+
+    const quant::FixedPointFormat vf =
+        quant::chooseClampFormat(12, 8.0); // the session's value grid
+    runtime::KernelScratch scratch;
+    if (native)
+        scratch.valueFormat = vf; // arms the int16 datapath
+
+    const Vector x = gridVector(n, 10, vf);
+    Vector y(n, 0.0);
+    for (auto _ : state) {
+        kernel->apply(x, y, scratch);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0) *
+        state.range(0));
+    state.SetLabel(std::string(lb ? "circulant" : "dense") +
+                   (native ? "/int16" : "/f64-emulation"));
+}
+BENCHMARK(BM_FixedPointMatvec)
+    ->Args({1024, 64, 1})
+    ->Args({1024, 64, 0})
+    ->Args({1024, 0, 1})
+    ->Args({1024, 0, 0})
+    ->Args({512, 16, 1})
+    ->Args({512, 16, 0});
+
 // --- Serving path: legacy per-call inference vs batched session ---
 
 /** The acceptance workload: a 2x1024 LSTM with block-64 circulant
@@ -207,6 +278,60 @@ BM_SessionBatchedRun(benchmark::State &state)
 }
 BENCHMARK(BM_SessionBatchedRun)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/**
+ * One batched session per backend on the acceptance geometry. The
+ * fixed-point pair (native vs emulation) is the PR-gating number:
+ * the int16 datapath must be >= 2x faster than the f64 emulation it
+ * is bit-identical to.
+ */
+void
+BM_SessionBackend(benchmark::State &state)
+{
+    const nn::ModelSpec spec = servingSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(18);
+    model.initXavier(rng);
+
+    runtime::CompileOptions opts;
+    const char *label = "";
+    switch (state.range(0)) {
+      case 0:
+        opts.backend = runtime::BackendKind::CirculantFft;
+        label = "circulant-fft";
+        break;
+      case 1:
+        opts.backend = runtime::BackendKind::Dense;
+        label = "dense";
+        break;
+      case 2:
+        opts.backend = runtime::BackendKind::FixedPoint;
+        label = "fixed-point/int16";
+        break;
+      case 3:
+        opts.backend = runtime::BackendKind::FixedPoint;
+        opts.fixedPointEmulation = true;
+        label = "fixed-point/f64-emulation";
+        break;
+    }
+    runtime::CompiledModel compiled = runtime::compile(model, opts);
+    runtime::InferenceSession session = compiled.createSession();
+    const auto batch = servingBatch(4, 4, spec.inputDim);
+
+    for (auto _ : state) {
+        auto result = session.run(batch);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 4 * 4);
+    state.SetLabel(label);
+}
+BENCHMARK(BM_SessionBackend)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ActivationExactVsPwl(benchmark::State &state)
 {
@@ -226,4 +351,36 @@ BENCHMARK(BM_ActivationExactVsPwl)->Arg(0)->Arg(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * BENCHMARK_MAIN with one addition: unless the caller passes its own
+ * --benchmark_out, results are also written to BENCH_microbench.json
+ * (JSON reporter) in the working directory — the machine-readable
+ * perf trail CI uploads per commit.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        // Exactly --benchmark_out or --benchmark_out=...; a bare
+        // --benchmark_out_format must not suppress the default file.
+        if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+            std::strncmp(argv[i], "--benchmark_out=",
+                         std::strlen("--benchmark_out=")) == 0)
+            has_out = true;
+    std::string out_flag = "--benchmark_out=BENCH_microbench.json";
+    std::string format_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(format_flag.data());
+    }
+
+    int patched_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&patched_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(patched_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -52,7 +52,7 @@ Phase2Optimizer::run(const nn::ModelSpec &spec,
     // --- Activation implementation: the smallest PWL segment count
     // whose error hides under the quantization step. ---
     const quant::FixedPointFormat fmt =
-        quant::chooseFormat(result.weightBits, 4.0);
+        quant::chooseClampFormat(result.weightBits, 4.0);
     const Real budget = fmt.step();
     result.activationSegments = cfg_.segmentCandidates.back();
     for (std::size_t segs : cfg_.segmentCandidates) {

@@ -34,6 +34,57 @@ FixedPointFormat::quantize(Real x) const
     return std::clamp(q, minVal(), maxVal());
 }
 
+std::int64_t
+FixedPointFormat::maxQ() const
+{
+    return (std::int64_t{1} << (totalBits - 1)) - 1;
+}
+
+std::int64_t
+FixedPointFormat::minQ() const
+{
+    return -(std::int64_t{1} << (totalBits - 1));
+}
+
+std::int64_t
+FixedPointFormat::toQ(Real x) const
+{
+    return std::llrint(std::ldexp(x, fracBits));
+}
+
+Real
+FixedPointFormat::fromQ(std::int64_t q) const
+{
+    return std::ldexp(static_cast<Real>(q), -fracBits);
+}
+
+std::int64_t
+shiftRoundHalfEven(std::int64_t acc, int shift)
+{
+    ernn_assert(shift >= 0 && shift <= 62,
+                "shiftRoundHalfEven: shift " << shift
+                << " outside [0, 62]");
+    if (shift == 0)
+        return acc;
+    const std::int64_t unit = std::int64_t{1} << shift;
+    const std::int64_t floor = acc >> shift; // arithmetic: floor
+    // Remainder in [0, 2^shift); multiplication, not floor << shift,
+    // because left-shifting a negative value is UB until C++20.
+    const std::int64_t rem = acc - floor * unit;
+    const std::int64_t half = unit >> 1;
+    if (rem > half)
+        return floor + 1;
+    if (rem < half)
+        return floor;
+    return floor + (floor & 1); // exact tie: round to even
+}
+
+std::int64_t
+FixedPointFormat::requantize(std::int64_t acc, int shift) const
+{
+    return std::clamp(shiftRoundHalfEven(acc, shift), minQ(), maxQ());
+}
+
 std::string
 FixedPointFormat::name() const
 {
@@ -42,20 +93,35 @@ FixedPointFormat::name() const
 }
 
 FixedPointFormat
-chooseFormat(int total_bits, Real max_abs)
+chooseClampFormat(int total_bits, Real bound)
 {
     ernn_assert(total_bits >= 2 && total_bits <= 32,
                 "unsupported bit width " << total_bits);
-    // Integer bits needed to represent max_abs (sign bit excluded).
+    // Integer bits for the smallest capacity 2^k >= bound (sign bit
+    // excluded).
     int int_bits = 0;
     Real capacity = 1.0;
-    while (capacity < max_abs && int_bits < total_bits - 1) {
+    while (capacity < bound && int_bits < total_bits - 1) {
         capacity *= 2.0;
         ++int_bits;
     }
     FixedPointFormat fmt;
     fmt.totalBits = total_bits;
     fmt.fracBits = total_bits - 1 - int_bits;
+    return fmt;
+}
+
+FixedPointFormat
+chooseFormat(int total_bits, Real max_abs)
+{
+    FixedPointFormat fmt = chooseClampFormat(total_bits, max_abs);
+    // The largest representable value is capacity - step, so a
+    // max_abs exactly at a power of two (capacity == max_abs) still
+    // clips; give it one more integer bit when one is available
+    // (fracBits > 0 <=> the capacity search stopped short of the
+    // width limit).
+    if (fmt.maxVal() < max_abs && fmt.fracBits > 0)
+        --fmt.fracBits;
     return fmt;
 }
 

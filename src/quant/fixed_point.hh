@@ -14,6 +14,7 @@
 #ifndef ERNN_QUANT_FIXED_POINT_HH
 #define ERNN_QUANT_FIXED_POINT_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -43,15 +44,65 @@ struct FixedPointFormat
     /** Round-to-nearest with saturation. */
     Real quantize(Real x) const;
 
+    /// @{ Integer-code view of the grid: a value v on the grid is the
+    /// code q = v * 2^fracBits, a totalBits-wide two's-complement
+    /// integer in [minQ(), maxQ()]. This is the representation the
+    /// native int16 datapath computes in.
+    std::int64_t maxQ() const; //!< code of maxVal()
+    std::int64_t minQ() const; //!< code of minVal()
+
+    /** Code of an *on-grid, in-range* value (exact; the inverse of
+     *  fromQ). Off-grid inputs are rounded to nearest-even. */
+    std::int64_t toQ(Real x) const;
+
+    /** Value of a code: q * 2^-fracBits (exact). */
+    Real fromQ(std::int64_t q) const;
+    /// @}
+
+    /**
+     * Scale an integer accumulator onto this grid: round acc * 2^-shift
+     * to the nearest integer code (ties to even, matching the default
+     * FP rounding nearbyint() uses) and saturate to [minQ, maxQ].
+     * With acc = sum of weight-code * value-code products and
+     * shift = the weight format's fracBits, this is bit-identical to
+     * quantize() applied to the f64 matvec result.
+     */
+    std::int64_t requantize(std::int64_t acc, int shift) const;
+
     /** e.g. "Q3.8" (integer.fraction, excluding the sign bit). */
     std::string name() const;
 };
 
 /**
+ * acc / 2^shift rounded to the nearest integer, ties to even — the
+ * shift-based requantization step of the integer datapath, equal to
+ * nearbyint(ldexp(acc, -shift)) for every int64 that double represents
+ * exactly. shift must be in [0, 62].
+ */
+std::int64_t shiftRoundHalfEven(std::int64_t acc, int shift);
+
+/**
  * Choose the fractional bit count that covers [-maxAbs, maxAbs]
- * without saturation — the per-tensor static scaling factor.
+ * without saturation — the per-tensor static scaling factor. The
+ * returned format satisfies maxVal() >= max_abs whenever any format
+ * of this width can (in particular at max_abs exactly a power of
+ * two, where the naive integer-bit count would clip to 2^k - step).
+ * Use for *observed* ranges (trained weights, measured features),
+ * where clipping a legitimate extreme value is an error.
  */
 FixedPointFormat chooseFormat(int total_bits, Real max_abs);
+
+/**
+ * Format for a *clamp bound*: the grid [-2^k, 2^k) with the smallest
+ * capacity 2^k >= bound. Unlike chooseFormat, the bound itself need
+ * not be representable (maxVal() may be bound - step) — saturating
+ * at the bound is the intended behavior, so no fraction bit is spent
+ * on covering it. This is the value grid of the fixed-point datapath
+ * (bound = CompileOptions::activationRange): pre-activations at the
+ * bound are deep in sigmoid/tanh saturation, and the kept fraction
+ * bit halves the quantization step of every intermediate value.
+ */
+FixedPointFormat chooseClampFormat(int total_bits, Real bound);
 
 /** Quantize a buffer in place; @return the RMS rounding error. */
 Real quantizeInPlace(std::vector<Real> &buf,

@@ -20,13 +20,18 @@ namespace
 constexpr char kMagic[8] = {'E', 'R', 'N', 'N', 'A', 'R', 'T', 'F'};
 
 // Concrete kernel encodings. The tag pins the exact class that will
-// be rehydrated, so a loaded model runs the same datapath code.
+// be rehydrated, so a loaded model runs the same datapath code. The
+// *Q16 tags (v2) carry int16 grid codes instead of f64 weights; the
+// f64 tags remain the encoding for fixed-point widths above 16 bits
+// and for every kernel of a v1 file.
 enum KernelTag : std::uint8_t
 {
     kDense = 0,
     kCirculantFft = 1,
     kFixedPointDense = 2,
     kFixedPointCirculant = 3,
+    kFixedPointDenseQ16 = 4,
+    kFixedPointCirculantQ16 = 5,
 };
 
 enum LayerTag : std::uint8_t
@@ -64,6 +69,13 @@ class Writer
         size(v.size());
         if (!v.empty())
             raw(v.data(), v.size() * sizeof(Real));
+    }
+
+    void codes(const std::int16_t *p, std::size_t n)
+    {
+        size(n);
+        if (n)
+            raw(p, n * sizeof(std::int16_t));
     }
 
     void patchU64(std::size_t offset, std::uint64_t v)
@@ -147,6 +159,17 @@ class Reader
             raw(out.data(), n * sizeof(Real), what);
     }
 
+    void codesInto(std::vector<std::int16_t> &out, const char *what)
+    {
+        const std::size_t n = size(what);
+        ernn_assert(n <= (end_ - pos_) / sizeof(std::int16_t),
+                    "artifact payload: " << what << " claims " << n
+                    << " codes past the end of the file");
+        out.resize(n);
+        if (n)
+            raw(out.data(), n * sizeof(std::int16_t), what);
+    }
+
     std::size_t pos() const { return pos_; }
     bool done() const { return pos_ == end_; }
     std::size_t remainingBytes() const { return end_ - pos_; }
@@ -182,6 +205,13 @@ readFormat(Reader &r)
     quant::FixedPointFormat fmt;
     fmt.totalBits = r.i32("fixed-point total bits");
     fmt.fracBits = r.i32("fixed-point fraction bits");
+    // Bound the format before any arithmetic on it: a crafted
+    // (checksum-valid) file must die with a named fatal, not drive
+    // ldexp/llrint into undefined territory while rehydrating.
+    if (fmt.totalBits < 2 || fmt.totalBits > 32 ||
+        fmt.fracBits < 0 || fmt.fracBits > 62)
+        ernn_fatal("artifact payload: implausible fixed-point format Q"
+                   << fmt.totalBits << "/" << fmt.fracBits);
     return fmt;
 }
 
@@ -203,12 +233,13 @@ constexpr std::size_t kMaxDim = std::size_t{1} << 24;
 
 void
 checkGeometry(const Reader &r, std::size_t params,
-              std::size_t rows, std::size_t cols, const char *what)
+              std::size_t rows, std::size_t cols, const char *what,
+              std::size_t elem_bytes = sizeof(Real))
 {
     if (rows == 0 || cols == 0 || rows > kMaxDim || cols > kMaxDim)
         ernn_fatal("artifact payload: implausible " << what
                    << " geometry " << rows << "x" << cols);
-    if (params > r.remainingBytes() / sizeof(Real))
+    if (params > r.remainingBytes() / elem_bytes)
         ernn_fatal("artifact payload: " << what << " (" << rows
                    << "x" << cols << ") needs " << params
                    << " weights but only " << r.remainingBytes()
@@ -265,8 +296,27 @@ readCirculant(Reader &r)
     return m;
 }
 
+/**
+ * Storage-order int16 codes of a packed kernel's weights (dense
+ * entries or circulant generators). integerPacked() guarantees the
+ * f64 values are on-grid and in-range, so toQ is exact — and the
+ * serializer stays independent of the kernel's internal compute
+ * layout (doubled generators).
+ */
+std::vector<std::int16_t>
+weightCodes(const FixedPointKernel &f)
+{
+    const std::vector<Real> &vals = f.quantizedWeights();
+    const quant::FixedPointFormat &fmt = f.weightFormat();
+    std::vector<std::int16_t> codes(vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        codes[i] = static_cast<std::int16_t>(fmt.toQ(vals[i]));
+    return codes;
+}
+
 void
-writeKernel(Writer &w, const LinearKernel &kernel)
+writeKernel(Writer &w, const LinearKernel &kernel,
+            std::uint32_t version)
 {
     if (const auto *d = dynamic_cast<const DenseKernel *>(&kernel)) {
         w.u8(kDense);
@@ -281,14 +331,35 @@ writeKernel(Writer &w, const LinearKernel &kernel)
     }
     if (const auto *f =
             dynamic_cast<const FixedPointKernel *>(&kernel)) {
+        // v2 stores int16 grid codes when the kernel is packed (width
+        // <= 16); v1 — and unpacked widths — store the f64 grid values.
+        const bool q16 = version >= 2 && f->integerPacked();
         if (f->isCirculant()) {
-            w.u8(kFixedPointCirculant);
+            w.u8(q16 ? kFixedPointCirculantQ16 : kFixedPointCirculant);
             writeFormat(w, f->weightFormat());
-            writeCirculant(w, f->circulantWeight());
+            if (q16) {
+                const circulant::BlockCirculantMatrix &m =
+                    f->circulantWeight();
+                w.size(m.rows());
+                w.size(m.cols());
+                w.size(m.blockSize());
+                const auto codes = weightCodes(*f);
+                w.codes(codes.data(), codes.size());
+            } else {
+                writeCirculant(w, f->circulantWeight());
+            }
         } else {
-            w.u8(kFixedPointDense);
+            w.u8(q16 ? kFixedPointDenseQ16 : kFixedPointDense);
             writeFormat(w, f->weightFormat());
-            writeDense(w, f->denseWeight());
+            if (q16) {
+                const Matrix &m = f->denseWeight();
+                w.size(m.rows());
+                w.size(m.cols());
+                const auto codes = weightCodes(*f);
+                w.codes(codes.data(), codes.size());
+            } else {
+                writeDense(w, f->denseWeight());
+            }
         }
         return;
     }
@@ -296,6 +367,71 @@ writeKernel(Writer &w, const LinearKernel &kernel)
     // format only encodes the built-in family.
     ernn_fatal("saveArtifact: kernel backend '" << kernel.backendName()
                << "' has no artifact encoding");
+}
+
+/**
+ * Decode int16 grid codes into their exact f64 grid values. The
+ * FixedPointKernel constructor will re-verify these while packing
+ * its compute layout; that second (cold-path) pass is deliberate —
+ * packWeights() is the one authoritative gate on the on-grid
+ * invariant, and it must hold for every construction route (compile,
+ * v1 f64 payloads, these codes), not just this one.
+ */
+void
+decodeCodes(Reader &r, const quant::FixedPointFormat &fmt,
+            std::vector<Real> &out, std::size_t expected,
+            const char *what)
+{
+    if (fmt.totalBits > 16)
+        ernn_fatal("artifact payload: " << what << " stores int16 "
+                   "codes for a " << fmt.totalBits << "-bit format");
+    std::vector<std::int16_t> codes;
+    r.codesInto(codes, what);
+    ernn_assert(codes.size() == expected,
+                "artifact payload: " << what << " expects " << expected
+                << " codes, file carries " << codes.size());
+    const std::int64_t lo = fmt.minQ(), hi = fmt.maxQ();
+    out.resize(codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        const std::int64_t q = codes[i];
+        if (q < lo || q > hi)
+            ernn_fatal("artifact payload: " << what << " code " << q
+                       << " outside [" << lo << ", " << hi << "] of "
+                       << fmt.name());
+        out[i] = fmt.fromQ(q);
+    }
+}
+
+Matrix
+readDenseQ16(Reader &r, const quant::FixedPointFormat &fmt)
+{
+    const std::size_t rows = r.size("dense kernel rows");
+    const std::size_t cols = r.size("dense kernel cols");
+    checkGeometry(r, rows * cols, rows, cols, "dense kernel",
+                  sizeof(std::int16_t));
+    Matrix m(rows, cols);
+    decodeCodes(r, fmt, m.raw(), rows * cols,
+                "dense kernel weight codes");
+    return m;
+}
+
+circulant::BlockCirculantMatrix
+readCirculantQ16(Reader &r, const quant::FixedPointFormat &fmt)
+{
+    const std::size_t rows = r.size("circulant kernel rows");
+    const std::size_t cols = r.size("circulant kernel cols");
+    const std::size_t block = r.size("circulant kernel block size");
+    if (block == 0 || rows % block != 0 || cols % block != 0)
+        ernn_fatal("artifact payload: circulant kernel " << rows
+                   << "x" << cols << " not divisible by block "
+                   << block);
+    checkGeometry(r, rows / block * cols, rows, cols,
+                  "circulant kernel", sizeof(std::int16_t));
+    circulant::BlockCirculantMatrix m(rows, cols, block);
+    decodeCodes(r, fmt, m.raw(), m.paramCount(),
+                "circulant kernel generator codes");
+    m.invalidateSpectra();
+    return m;
 }
 
 std::unique_ptr<LinearKernel>
@@ -317,6 +453,16 @@ readKernel(Reader &r)
         const quant::FixedPointFormat fmt = readFormat(r);
         return std::make_unique<FixedPointKernel>(readCirculant(r),
                                                   fmt);
+      }
+      case kFixedPointDenseQ16: {
+        const quant::FixedPointFormat fmt = readFormat(r);
+        return std::make_unique<FixedPointKernel>(
+            readDenseQ16(r, fmt), fmt);
+      }
+      case kFixedPointCirculantQ16: {
+        const quant::FixedPointFormat fmt = readFormat(r);
+        return std::make_unique<FixedPointKernel>(
+            readCirculantQ16(r, fmt), fmt);
       }
       default:
         ernn_fatal("artifact payload: unknown kernel tag "
@@ -359,7 +505,8 @@ readAct(Reader &r, const char *what)
 // --- layers ------------------------------------------------------------
 
 void
-writeLstm(Writer &w, const detail::LstmParts &p)
+writeLstm(Writer &w, const detail::LstmParts &p,
+          std::uint32_t version)
 {
     w.u8(kLstm);
     w.size(p.cfg.inputSize);
@@ -376,10 +523,10 @@ writeLstm(Writer &w, const detail::LstmParts &p)
         p.wix.get(), p.wfx.get(), p.wcx.get(), p.wox.get(),
         p.wir.get(), p.wfr.get(), p.wcr.get(), p.wor.get()};
     for (const LinearKernel *k : order)
-        writeKernel(w, *k);
+        writeKernel(w, *k, version);
     w.u8(p.wym ? 1 : 0);
     if (p.wym)
-        writeKernel(w, *p.wym);
+        writeKernel(w, *p.wym, version);
 
     writeVector(w, p.bi);
     writeVector(w, p.bf);
@@ -427,7 +574,7 @@ readLstm(Reader &r)
 }
 
 void
-writeGru(Writer &w, const detail::GruParts &p)
+writeGru(Writer &w, const detail::GruParts &p, std::uint32_t version)
 {
     w.u8(kGru);
     w.size(p.cfg.inputSize);
@@ -440,7 +587,7 @@ writeGru(Writer &w, const detail::GruParts &p)
                                     p.wcx.get(), p.wzc.get(),
                                     p.wrc.get(), p.wcc.get()};
     for (const LinearKernel *k : order)
-        writeKernel(w, *k);
+        writeKernel(w, *k, version);
 
     writeVector(w, p.bz);
     writeVector(w, p.br);
@@ -492,12 +639,18 @@ constexpr std::size_t kChecksumBytes = sizeof(std::uint64_t);
 } // namespace
 
 std::string
-serializeArtifact(const CompiledModel &model)
+serializeArtifact(const CompiledModel &model, std::uint32_t version)
 {
+    ernn_assert(version >= kMinArtifactFormatVersion &&
+                    version <= kArtifactFormatVersion,
+                "serializeArtifact: cannot write format version "
+                << version << " (this build writes "
+                << kMinArtifactFormatVersion << ".."
+                << kArtifactFormatVersion << ")");
     Writer w;
     for (char c : kMagic)
         w.u8(static_cast<std::uint8_t>(c));
-    w.u32(kArtifactFormatVersion);
+    w.u32(version);
     const std::size_t size_field = w.tell();
     w.u64(0); // total file bytes, patched below
 
@@ -506,6 +659,8 @@ serializeArtifact(const CompiledModel &model)
     w.i32(opts.fixedPointBits);
     w.size(opts.activationSegments);
     w.f64(opts.activationRange);
+    if (version >= 2)
+        w.u8(opts.fixedPointEmulation ? 1 : 0);
 
     w.u32(static_cast<std::uint32_t>(model.numLayers()));
     for (std::size_t i = 0; i < model.numLayers(); ++i) {
@@ -513,11 +668,11 @@ serializeArtifact(const CompiledModel &model)
         if (const auto *lstm =
                 dynamic_cast<const detail::CompiledLstmLayer *>(
                     &layer)) {
-            writeLstm(w, lstm->parts());
+            writeLstm(w, lstm->parts(), version);
         } else if (const auto *gru =
                        dynamic_cast<const detail::CompiledGruLayer *>(
                            &layer)) {
-            writeGru(w, gru->parts());
+            writeGru(w, gru->parts(), version);
         } else {
             ernn_fatal("saveArtifact: layer kind '"
                        << layer.kindName()
@@ -525,7 +680,7 @@ serializeArtifact(const CompiledModel &model)
         }
     }
 
-    writeKernel(w, model.classifier());
+    writeKernel(w, model.classifier(), version);
     writeVector(w, model.classifierBias());
 
     w.patchU64(size_field, w.tell() + kChecksumBytes);
@@ -567,9 +722,11 @@ loadArtifactBytes(const std::string &bytes)
     std::uint32_t version;
     std::memcpy(&version, bytes.data() + sizeof kMagic,
                 sizeof version);
-    if (version != kArtifactFormatVersion)
+    if (version < kMinArtifactFormatVersion ||
+        version > kArtifactFormatVersion)
         ernn_fatal("artifact format version " << version
-                   << " is not supported by this build (expected "
+                   << " is not supported by this build (reads "
+                   << kMinArtifactFormatVersion << ".."
                    << kArtifactFormatVersion << ")");
 
     std::uint64_t declared;
@@ -614,6 +771,10 @@ loadArtifactBytes(const std::string &bytes)
     out.options_.fixedPointBits = r.i32("fixed-point bits");
     out.options_.activationSegments = r.size("activation segments");
     out.options_.activationRange = r.f64("activation range");
+    // v1 predates the emulation knob: its models take the native
+    // integer datapath, which serves them bit-identically anyway.
+    out.options_.fixedPointEmulation =
+        version >= 2 && r.u8("fixed-point emulation flag") != 0;
     // The datapath is re-derived from these options, so bound them
     // before makeDatapath can act on them: a crafted checksum-valid
     // file must die with a named fatal, not a giant PWL allocation.
@@ -700,9 +861,16 @@ describeArtifact(const std::string &path)
     const std::string bytes = readFileBytes(path);
     const CompiledModel model = loadArtifactBytes(bytes);
 
+    // loadArtifactBytes validated the header; re-read the version it
+    // accepted so the summary reports the *file's* format, not the
+    // build's default.
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + sizeof kMagic,
+                sizeof version);
+
     std::ostringstream os;
     os << path << ": " << model.describe() << "\n";
-    os << "  format v" << kArtifactFormatVersion << ", "
+    os << "  format v" << version << ", "
        << fmtBytes(static_cast<double>(bytes.size()))
        << ", checksum ok\n";
     os << "  backend " << backendKindName(model.options().backend)
@@ -711,7 +879,11 @@ describeArtifact(const std::string &path)
        << " stored params, input dim " << model.inputSize()
        << ", " << model.numClasses() << " classes\n";
     if (model.datapath().fixedPoint) {
-        os << "  datapath: " << model.options().fixedPointBits
+        os << "  datapath: "
+           << (model.datapath().integerDatapath
+                   ? "native int16"
+                   : "f64 emulation")
+           << ", " << model.options().fixedPointBits
            << "-bit values (" << model.datapath().valueFormat.name()
            << "), PWL tables "
            << model.options().activationSegments << " segments over [-"

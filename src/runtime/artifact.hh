@@ -12,10 +12,12 @@
  * host-endian, documented as x86-64/AArch64-little):
  *
  *     offset 0   magic "ERNNARTF"             (8 bytes)
- *             8  u32 formatVersion            (currently 1)
+ *             8  u32 formatVersion            (this build writes 2,
+ *                                              reads 1 and 2)
  *            12  u64 totalFileBytes           (incl. trailing checksum)
  *            20  CompileOptions               (backend kind, fixed-point
- *                                              bits, PWL segments/range)
+ *                                              bits, PWL segments/range;
+ *                                              v2 adds u8 emulation flag)
  *               u32 layerCount
  *               per layer: cell kind tag, cell config, kernels in
  *                 canonical gate order, frozen bias/peephole vectors
@@ -24,10 +26,16 @@
  *
  * Each kernel records its concrete backend (dense / circulant-fft /
  * fixed-point dense / fixed-point circulant), its geometry, its
- * quantization format where applicable, and its weight payload as
- * raw f64 — so the round trip is bit-exact by construction. Derived
- * state is never stored: circulant generator spectra and fixed-point
- * PWL activation tables are re-derived deterministically on load.
+ * quantization format where applicable, and its weight payload — so
+ * the round trip is bit-exact by construction. Version 1 stored every
+ * weight as raw f64; version 2 stores fixed-point weights of width
+ * <= 16 as their int16 grid codes instead (~4x smaller files at the
+ * paper's 12-bit design point — code q means weight q * 2^-fracBits,
+ * an exact reconstruction). Derived state is never stored: circulant
+ * generator spectra, fixed-point PWL activation tables, and the
+ * packed int16 compute layout are re-derived deterministically on
+ * load. Version 1 files remain loadable (and serve through the same
+ * native integer datapath once loaded).
  *
  * Error contract: every failure is fatal and informative
  * (ernn_fatal): unreadable file, bad magic, format version skew,
@@ -48,11 +56,22 @@
 namespace ernn::runtime
 {
 
-/** Artifact format version this build writes and accepts. */
-constexpr std::uint32_t kArtifactFormatVersion = 1;
+/** Artifact format version this build writes by default. */
+constexpr std::uint32_t kArtifactFormatVersion = 2;
 
-/** Serialize a frozen model to its portable byte representation. */
-std::string serializeArtifact(const CompiledModel &model);
+/** Oldest artifact format version this build still reads. */
+constexpr std::uint32_t kMinArtifactFormatVersion = 1;
+
+/**
+ * Serialize a frozen model to its portable byte representation.
+ * @p version selects the on-disk format: 2 (default) packs
+ * fixed-point weights as int16 codes, 1 writes the legacy all-f64
+ * layout (kept so compatibility with old readers stays testable and
+ * scriptable). Both round-trip bit-exactly.
+ */
+std::string serializeArtifact(
+    const CompiledModel &model,
+    std::uint32_t version = kArtifactFormatVersion);
 
 /** Write model.serialize bytes to @p path; fatal on I/O failure. */
 void saveArtifact(const CompiledModel &model, const std::string &path);

@@ -66,6 +66,7 @@ FixedPointKernel::FixedPointKernel(const Matrix &w, int bits)
     : dense_(w)
 {
     format_ = quant::quantizeWithRangeAnalysis(dense_.raw(), bits);
+    packWeights();
 }
 
 FixedPointKernel::FixedPointKernel(
@@ -74,12 +75,14 @@ FixedPointKernel::FixedPointKernel(
 {
     format_ = quant::quantizeWithRangeAnalysis(circ_.raw(), bits);
     circ_.invalidateSpectra();
+    packWeights();
 }
 
 FixedPointKernel::FixedPointKernel(Matrix quantized,
                                    quant::FixedPointFormat fmt)
     : format_(fmt), dense_(std::move(quantized))
 {
+    packWeights();
 }
 
 FixedPointKernel::FixedPointKernel(
@@ -88,6 +91,56 @@ FixedPointKernel::FixedPointKernel(
     : format_(fmt), circulant_(true), circ_(std::move(quantized))
 {
     circ_.invalidateSpectra();
+    packWeights();
+}
+
+void
+FixedPointKernel::packWeights()
+{
+    packed_ = false;
+    qw_.clear();
+    if (format_.totalBits < 2 || format_.totalBits > 16 ||
+        format_.fracBits < 0 || format_.fracBits > 62)
+        return;
+
+    const std::vector<Real> &vals =
+        circulant_ ? circ_.raw() : dense_.raw();
+    const Real lo = static_cast<Real>(format_.minQ());
+    const Real hi = static_cast<Real>(format_.maxQ());
+
+    // Codes in storage order first; verify while converting. The
+    // quantizing constructors produce on-grid values by definition;
+    // only a crafted artifact can fail here, and it falls back to
+    // the emulation instead of dying.
+    std::vector<std::int16_t> codes(vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        const Real scaled = std::ldexp(vals[i], format_.fracBits);
+        if (!(scaled >= lo && scaled <= hi))
+            return;
+        const auto q = static_cast<std::int64_t>(std::llrint(scaled));
+        if (format_.fromQ(q) != vals[i])
+            return; // off the quantization grid
+        codes[i] = static_cast<std::int16_t>(q);
+    }
+
+    if (!circulant_) {
+        qw_ = std::move(codes);
+    } else {
+        // Doubled generators: gd[k] = gen[k % Lb] for k in [0, 2Lb),
+        // so block row r of W (W[r][c] = gen[(c - r) mod Lb]) is the
+        // contiguous slice gd[Lb - r .. 2Lb - r).
+        const std::size_t lb = circ_.blockSize();
+        const std::size_t blocks =
+            circ_.blockRows() * circ_.blockCols();
+        qw_.resize(blocks * 2 * lb);
+        for (std::size_t b = 0; b < blocks; ++b) {
+            const std::int16_t *g = codes.data() + b * lb;
+            std::int16_t *gd = qw_.data() + b * 2 * lb;
+            std::copy(g, g + lb, gd);
+            std::copy(g, g + lb, gd + lb);
+        }
+    }
+    packed_ = true;
 }
 
 const Matrix &
@@ -132,7 +185,19 @@ FixedPointKernel::quantizedWeights() const
 
 void
 FixedPointKernel::apply(const Vector &x, Vector &y,
-                        KernelScratch &) const
+                        KernelScratch &scratch) const
+{
+    ernn_assert(y.size() == outDim(), "FixedPointKernel: y presize");
+    if (packed_ && scratch.valueFormat.totalBits >= 2 &&
+        scratch.valueFormat.totalBits <= 16) {
+        applyInteger(x, y, scratch);
+        return;
+    }
+    applyEmulated(x, y);
+}
+
+void
+FixedPointKernel::applyEmulated(const Vector &x, Vector &y) const
 {
     ernn_assert(y.size() == outDim(), "FixedPointKernel: y presize");
     std::fill(y.begin(), y.end(), 0.0);
@@ -142,6 +207,60 @@ FixedPointKernel::apply(const Vector &x, Vector &y,
         circ_.matvecAcc(x, y, circulant::MatvecMode::Naive);
     } else {
         dense_.matvecAcc(x, y);
+    }
+}
+
+void
+FixedPointKernel::applyInteger(const Vector &x, Vector &y,
+                               KernelScratch &scratch) const
+{
+    const quant::FixedPointFormat &vf = scratch.valueFormat;
+    const int shift = format_.fracBits;
+
+    // Input codes. The session keeps every kernel input on the value
+    // grid (frames included), so the conversion is exact — and the
+    // staging is reused when the same vector feeds several kernels
+    // within one step (epoch-scoped, see KernelScratch::xq).
+    const std::size_t n = x.size();
+    if (scratch.xqSource != x.data() || scratch.xqSize != n ||
+        scratch.xqStampedEpoch != scratch.xqEpoch) {
+        scratch.xq.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            scratch.xq[i] = static_cast<std::int32_t>(vf.toQ(x[i]));
+        scratch.xqSource = x.data();
+        scratch.xqSize = n;
+        scratch.xqStampedEpoch = scratch.xqEpoch;
+    }
+    const std::int32_t *xq = scratch.xq.data();
+
+    if (!circulant_) {
+        const std::size_t rows = dense_.rows();
+        for (std::size_t r = 0; r < rows; ++r) {
+            const std::int16_t *row = qw_.data() + r * n;
+            std::int64_t acc = 0;
+            for (std::size_t c = 0; c < n; ++c)
+                acc += static_cast<std::int64_t>(row[c]) * xq[c];
+            y[r] = vf.fromQ(vf.requantize(acc, shift));
+        }
+        return;
+    }
+
+    const std::size_t lb = circ_.blockSize();
+    const std::size_t p = circ_.blockRows();
+    const std::size_t q = circ_.blockCols();
+    for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t r = 0; r < lb; ++r) {
+            std::int64_t acc = 0;
+            for (std::size_t j = 0; j < q; ++j) {
+                // Contiguous row slice of the doubled generator.
+                const std::int16_t *g =
+                    qw_.data() + (i * q + j) * 2 * lb + (lb - r);
+                const std::int32_t *xs = xq + j * lb;
+                for (std::size_t c = 0; c < lb; ++c)
+                    acc += static_cast<std::int64_t>(g[c]) * xs[c];
+            }
+            y[i * lb + r] = vf.fromQ(vf.requantize(acc, shift));
+        }
     }
 }
 

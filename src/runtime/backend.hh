@@ -10,9 +10,14 @@
  *                 state performs no heap allocation (Fig. 4/7);
  *  - FixedPoint   the deployed-accelerator datapath: weights rounded
  *                 bit-exactly as quant::quantizeParams would round
- *                 them, time-domain MACs like the PE array, with
- *                 value quantization and the Phase II activation
- *                 tables applied by the session datapath.
+ *                 them, then *packed as int16 codes* and evaluated
+ *                 with int64-accumulated integer MACs plus
+ *                 shift-based requantization — the arithmetic the
+ *                 12-bit PE array performs (Sec. VIII). The f64
+ *                 emulation is kept as applyEmulated(), the
+ *                 bit-exactness oracle; both produce identical bits
+ *                 because every product and partial sum is an exact
+ *                 integer multiple of the grid step.
  *
  * Kernels are shared by every session of a CompiledModel and hold no
  * mutable state; all scratch lives in the session's KernelScratch.
@@ -21,6 +26,7 @@
 #ifndef ERNN_RUNTIME_BACKEND_HH
 #define ERNN_RUNTIME_BACKEND_HH
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -59,6 +65,15 @@ struct CompileOptions
      *  (Phase II's activation implementation, Sec. VIII-B1). */
     std::size_t activationSegments = 128;
     Real activationRange = 8.0;
+
+    /**
+     * FixedPoint backend: run the f64 reference emulation instead of
+     * the native int16 datapath. Results are bit-identical by
+     * construction (the emulation is the oracle the integer path is
+     * tested against); emulation is also what widths above 16 bits
+     * fall back to regardless of this flag.
+     */
+    bool fixedPointEmulation = false;
 };
 
 /**
@@ -69,6 +84,30 @@ struct CompileOptions
 struct KernelScratch
 {
     circulant::FftWorkspace fft;
+
+    /**
+     * Armed (totalBits != 0) by sessions over a native-integer
+     * FixedPoint model: the value grid every kernel input arrives on
+     * and every kernel output is requantized to. Unarmed scratch
+     * makes FixedPoint kernels fall back to the f64 emulation, so
+     * non-fixed-point backends and the oracle mode pay nothing.
+     */
+    quant::FixedPointFormat valueFormat{0, 0};
+
+    /**
+     * Input value-code staging, reused across the kernels of one
+     * step: the four LSTM gate matrices all consume the same x (and
+     * the same y_{t-1}), so their conversion is done once. Validity
+     * is scoped by xqEpoch — the session bumps it every step(),
+     * after which the recurrent state mutates under an unchanged
+     * address. Anything driving kernels directly with vectors that
+     * may alias must bump xqEpoch between calls the same way.
+     */
+    std::vector<std::int32_t> xq;
+    const Real *xqSource = nullptr;    //!< address the codes came from
+    std::size_t xqSize = 0;
+    std::uint64_t xqEpoch = 0;         //!< bumped per session step
+    std::uint64_t xqStampedEpoch = ~std::uint64_t{0};
 };
 
 /** Immutable y = W x kernel, shared across sessions. */
@@ -143,6 +182,15 @@ class CirculantFftKernel : public LinearKernel
  * -> round-to-nearest with saturation), evaluated with time-domain
  * MACs as the PE array computes them. Dense and circulant weights
  * both supported; circulant storage stays compressed (generators).
+ *
+ * Weights at width <= 16 are additionally packed as contiguous int16
+ * codes (dense: row-major; circulant: each generator stored doubled,
+ * so every block row is one contiguous 16-bit dot product). apply()
+ * through an armed KernelScratch runs the integer datapath: int64
+ * accumulation of weight-code x value-code products, then
+ * quant::FixedPointFormat::requantize onto the value grid — the
+ * exact bits the f64 emulation followed by Datapath::post produces,
+ * at int16 memory traffic instead of f64.
  */
 class FixedPointKernel : public LinearKernel
 {
@@ -168,10 +216,28 @@ class FixedPointKernel : public LinearKernel
 
     std::size_t inDim() const override;
     std::size_t outDim() const override;
+
+    /**
+     * Integer datapath when @p scratch is armed with a value format
+     * of width <= 16 and the weights are packed; the f64 emulation
+     * otherwise. On the integer path @p y comes back already on the
+     * value grid (requantized), so the session's Datapath::post is
+     * an identity on it; the emulation returns the raw matvec and
+     * relies on post for the rounding — bit-identical end to end.
+     */
     void apply(const Vector &x, Vector &y,
                KernelScratch &scratch) const override;
     std::string backendName() const override { return "fixed-point"; }
     std::size_t storedParams() const override;
+
+    /**
+     * The f64 reference datapath (the bit-exactness oracle): grid
+     * weights stored as doubles, double-precision MACs, output NOT
+     * requantized. Every product and partial sum is an exact integer
+     * multiple of 2^-(wfrac+vfrac), which is what makes the integer
+     * path reproduce it bit-for-bit.
+     */
+    void applyEmulated(const Vector &x, Vector &y) const;
 
     /** The per-tensor static scaling chosen by range analysis. */
     const quant::FixedPointFormat &weightFormat() const
@@ -182,6 +248,10 @@ class FixedPointKernel : public LinearKernel
     /** Flat quantized weight storage (dense entries or generators). */
     const std::vector<Real> &quantizedWeights() const;
 
+    /** True when int16 weight codes are packed (width <= 16 and all
+     *  stored weights verified on-grid and in-range). */
+    bool integerPacked() const { return packed_; }
+
     /// @{ Storage introspection (artifact serialization).
     bool isCirculant() const { return circulant_; }
     const Matrix &denseWeight() const;
@@ -189,10 +259,21 @@ class FixedPointKernel : public LinearKernel
     /// @}
 
   private:
+    /** Pack qw_ from the grid f64 storage; clears packed_ instead of
+     *  dying when a stored weight is off-grid or out of range (only
+     *  possible via a crafted artifact), falling back to emulation. */
+    void packWeights();
+
+    void applyInteger(const Vector &x, Vector &y,
+                      KernelScratch &scratch) const;
+
     quant::FixedPointFormat format_;
     bool circulant_ = false;
     Matrix dense_;
     circulant::BlockCirculantMatrix circ_;
+
+    std::vector<std::int16_t> qw_;
+    bool packed_ = false;
 };
 
 /** Factory: freeze one trained operator into a kernel. */

@@ -14,6 +14,25 @@ void
 Datapath::activate(nn::ActKind kind, Vector &v) const
 {
     if (fixedPoint) {
+        if (integerDatapath) {
+            // Folded activate+post: inputs are on the value grid
+            // (every activate call site posts first), so one lookup
+            // per element replaces the segment search and the
+            // follow-up post becomes an identity.
+            const Vector &lut = kind == nn::ActKind::Sigmoid
+                                    ? *sigmoidLut
+                                    : *tanhLut;
+            const std::int64_t off = -valueFormat.minQ();
+            const auto last =
+                static_cast<std::int64_t>(lut.size()) - 1;
+            for (auto &x : v) {
+                const std::int64_t idx =
+                    std::clamp(valueFormat.toQ(x) + off,
+                               std::int64_t{0}, last);
+                x = lut[static_cast<std::size_t>(idx)];
+            }
+            return;
+        }
         const nn::PiecewiseLinear *table =
             kind == nn::ActKind::Sigmoid ? sigmoidTable.get()
                                          : tanhTable.get();
@@ -77,8 +96,12 @@ makeDatapath(const CompileOptions &opts)
     if (opts.backend != BackendKind::FixedPoint)
         return dp;
     dp.fixedPoint = true;
-    dp.valueFormat = quant::chooseFormat(opts.fixedPointBits,
-                                         opts.activationRange);
+    // activationRange is a clamp bound, not an observed maximum:
+    // values at the bound saturate by design, so the grid spends its
+    // bits on resolution (Q3.8 at the 12-bit/range-8 design point,
+    // not Q4.7).
+    dp.valueFormat = quant::chooseClampFormat(opts.fixedPointBits,
+                                              opts.activationRange);
     if (opts.activationSegments >= 2) {
         dp.sigmoidTable = std::make_shared<const nn::PiecewiseLinear>(
             nn::ActKind::Sigmoid, opts.activationSegments,
@@ -86,6 +109,35 @@ makeDatapath(const CompileOptions &opts)
         dp.tanhTable = std::make_shared<const nn::PiecewiseLinear>(
             nn::ActKind::Tanh, opts.activationSegments,
             opts.activationRange);
+    }
+
+    dp.integerDatapath = !opts.fixedPointEmulation &&
+                         opts.fixedPointBits >= 2 &&
+                         opts.fixedPointBits <= 16;
+    if (dp.integerDatapath) {
+        // One folded activate+post output per value-grid code,
+        // computed through the very objects the emulation evaluates —
+        // equality with the oracle is by construction, not by proof.
+        const auto build = [&dp](nn::ActKind kind,
+                                 const nn::PiecewiseLinear *table) {
+            const quant::FixedPointFormat &vf = dp.valueFormat;
+            auto lut = std::make_shared<Vector>();
+            lut->reserve(
+                static_cast<std::size_t>(vf.maxQ() - vf.minQ() + 1));
+            for (std::int64_t q = vf.minQ(); q <= vf.maxQ(); ++q) {
+                const Real x = vf.fromQ(q);
+                const Real a =
+                    table ? table->eval(x)
+                          : (kind == nn::ActKind::Sigmoid
+                                 ? nn::sigmoid(x)
+                                 : std::tanh(x));
+                lut->push_back(vf.quantize(a));
+            }
+            return lut;
+        };
+        dp.sigmoidLut = build(nn::ActKind::Sigmoid,
+                              dp.sigmoidTable.get());
+        dp.tanhLut = build(nn::ActKind::Tanh, dp.tanhTable.get());
     }
     return dp;
 }
@@ -532,7 +584,8 @@ CompiledModel::describe() const
         os << " " << l->kindName() << l->outputSize();
     os << " -> classes" << numClasses();
     if (datapath_.fixedPoint)
-        os << " @" << options_.fixedPointBits << "-bit";
+        os << " @" << options_.fixedPointBits << "-bit"
+           << (datapath_.integerDatapath ? " int16" : " f64-emulated");
     return os.str();
 }
 

@@ -47,6 +47,26 @@ struct Datapath
     std::shared_ptr<const nn::PiecewiseLinear> sigmoidTable;
     std::shared_ptr<const nn::PiecewiseLinear> tanhTable;
 
+    /**
+     * Native integer datapath armed: FixedPoint kernels run int16
+     * MACs with int64 accumulation and activations resolve through
+     * the integer-indexed LUTs below. False in emulation mode
+     * (CompileOptions::fixedPointEmulation) and above 16 bits, where
+     * the f64 reference semantics run instead — bit-identical either
+     * way.
+     */
+    bool integerDatapath = false;
+
+    /**
+     * Folded activate+post lookup tables for the integer datapath:
+     * one already-requantized output value per value-grid code
+     * (2^totalBits entries, indexed by code - minQ). Precomputed from
+     * the exact same PWL/exact activation + post the emulation runs,
+     * so equality is by construction.
+     */
+    std::shared_ptr<const Vector> sigmoidLut;
+    std::shared_ptr<const Vector> tanhLut;
+
     /** Quantize a produced value vector (no-op when exact). */
     void post(Vector &v) const
     {

@@ -28,6 +28,13 @@ InferenceSession::InferenceSession(const CompiledModel &model)
         layerOut_[i].assign(model.layer(i).outputSize(), 0.0);
     }
     logits_.assign(model.numClasses(), 0.0);
+    frameQ_.assign(model.inputSize(), 0.0);
+    // Arm the scratch for the native integer datapath: FixedPoint
+    // kernels see the value grid their inputs live on and requantize
+    // onto it in integer arithmetic. Left unarmed (emulation mode,
+    // widths > 16 bits, other backends), kernels run the f64 path.
+    if (model.datapath().integerDatapath)
+        kernels_.valueFormat = model.datapath().valueFormat;
 }
 
 StreamState
@@ -50,7 +57,21 @@ InferenceSession::step(StreamState &state, const Vector &frame)
                 << model_.inputSize());
 
     const Datapath &dp = model_.datapath();
+    // New step: recurrent state is about to change under stable
+    // addresses, so retire any staged input codes.
+    ++kernels_.xqEpoch;
     const Vector *cur = &frame;
+    if (dp.fixedPoint) {
+        // The deployed accelerator consumes fixed-point features
+        // (quant::quantizeDataset is the training-side analogue):
+        // pin the incoming frame to the value grid so every kernel
+        // input — not just recurrent state — lives on it. Applied in
+        // native and emulation modes alike; the shared grid is what
+        // makes the integer MACs exact.
+        std::copy(frame.begin(), frame.end(), frameQ_.begin());
+        dp.post(frameQ_);
+        cur = &frameQ_;
+    }
     for (std::size_t i = 0; i < model_.numLayers(); ++i) {
         model_.layer(i).step(*cur, state.layers_[i], layerOut_[i],
                              layerScratch_[i], kernels_, dp);

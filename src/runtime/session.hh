@@ -93,6 +93,7 @@ class InferenceSession
     std::vector<LayerScratch> layerScratch_;
     std::vector<Vector> layerOut_; //!< inter-layer activations
     Vector logits_;
+    Vector frameQ_; //!< value-grid copy of the input frame (fixed point)
     std::vector<StreamState> streamPool_; //!< reused by run()
 };
 

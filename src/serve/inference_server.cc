@@ -1,5 +1,6 @@
 #include "serve/inference_server.hh"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -281,7 +282,14 @@ InferenceServer::workerLoop(std::size_t index)
         batch.clear();
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
-        const auto deadline = Clock::now() + opts_.batchTimeout;
+        // Clamp the hold-open window so Clock::now() + timeout cannot
+        // overflow the clock's representation — an overflowed deadline
+        // lands in the past and would silently disable batching.
+        constexpr auto kMaxHold =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::hours(1));
+        const auto deadline =
+            Clock::now() + std::min(opts_.batchTimeout, kMaxHold);
         while (batch.size() < opts_.maxBatch) {
             if (!queue_.empty()) {
                 batch.push_back(std::move(queue_.front()));
@@ -290,11 +298,19 @@ InferenceServer::workerLoop(std::size_t index)
             }
             if (shuttingDown_ || !streamQueues_[index].empty())
                 break;
-            if (opts_.batchTimeout.count() == 0)
+            if (opts_.batchTimeout.count() <= 0)
                 break;
-            if (workCv_.wait_until(lk, deadline) ==
-                std::cv_status::timeout)
-                break;
+            // Predicated wait: a spurious wakeup — or the notify_all
+            // a stream job pinned to a *different* worker broadcasts —
+            // re-checks inside the wait instead of bouncing this loop
+            // (and its lock hand-off) once per notification until the
+            // deadline.
+            const bool new_work = workCv_.wait_until(lk, deadline, [&] {
+                return shuttingDown_ || !queue_.empty() ||
+                       !streamQueues_[index].empty();
+            });
+            if (!new_work)
+                break; // deadline hit: dispatch the partial batch
         }
         spaceCv_.notify_all();
         lk.unlock();

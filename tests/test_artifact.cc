@@ -124,6 +124,17 @@ checkRoundTrip(const nn::ModelSpec &spec,
     // A second round trip of the loaded model must byte-match: the
     // format has one canonical encoding per model.
     EXPECT_EQ(bytes, runtime::serializeArtifact(loaded));
+
+    // The legacy v1 (all-f64) encoding stays writable and readable:
+    // a v1 file serves bit-identically and re-serializes canonically
+    // in both versions.
+    const std::string v1 = runtime::serializeArtifact(original, 1);
+    const runtime::CompiledModel from_v1 =
+        runtime::loadArtifactBytes(v1);
+    runtime::InferenceSession s3 = from_v1.createSession();
+    expectIdenticalResults(s1.run(batch), s3.run(batch));
+    EXPECT_EQ(v1, runtime::serializeArtifact(from_v1, 1));
+    EXPECT_EQ(bytes, runtime::serializeArtifact(from_v1));
 }
 
 std::string
@@ -232,6 +243,64 @@ TEST(Artifact, ServerLoadsArtifactWithoutTrainingStack)
     std::remove(path.c_str());
 }
 
+TEST(Artifact, V2PacksFixedPointWeightsSmaller)
+{
+    const nn::StackedRnn model = trainedModel(lstmSpec(), 29);
+    runtime::CompileOptions opts;
+    opts.backend = runtime::BackendKind::FixedPoint;
+    const runtime::CompiledModel compiled =
+        runtime::compile(model, opts);
+
+    const std::string v2 = runtime::serializeArtifact(compiled, 2);
+    const std::string v1 = runtime::serializeArtifact(compiled, 1);
+    // int16 codes vs f64 weights: the weight payload shrinks 4x;
+    // headers and f64 biases dilute that a little.
+    EXPECT_LT(v2.size(), v1.size() * 6 / 10)
+        << "v2 " << v2.size() << " bytes vs v1 " << v1.size();
+}
+
+TEST(Artifact, WideFixedPointFallsBackToF64Encoding)
+{
+    // 20-bit weights cannot pack into int16: v2 must keep the f64
+    // encoding and still round-trip bit-exactly.
+    const nn::StackedRnn model = trainedModel(gruSpec(), 31);
+    runtime::CompileOptions opts;
+    opts.backend = runtime::BackendKind::FixedPoint;
+    opts.fixedPointBits = 20;
+    const runtime::CompiledModel original =
+        runtime::compile(model, opts);
+
+    const std::string bytes = runtime::serializeArtifact(original);
+    const runtime::CompiledModel loaded =
+        runtime::loadArtifactBytes(bytes);
+    const auto batch = randomBatch(3, 8, 37);
+    runtime::InferenceSession s1 = original.createSession();
+    runtime::InferenceSession s2 = loaded.createSession();
+    expectIdenticalResults(s1.run(batch), s2.run(batch));
+    EXPECT_EQ(bytes, runtime::serializeArtifact(loaded));
+}
+
+TEST(Artifact, EmulationFlagRoundTrips)
+{
+    const nn::StackedRnn model = trainedModel(lstmSpec(), 41);
+    runtime::CompileOptions opts;
+    opts.backend = runtime::BackendKind::FixedPoint;
+    opts.fixedPointEmulation = true;
+    const runtime::CompiledModel original =
+        runtime::compile(model, opts);
+    ASSERT_FALSE(original.datapath().integerDatapath);
+
+    const runtime::CompiledModel loaded = runtime::loadArtifactBytes(
+        runtime::serializeArtifact(original));
+    EXPECT_TRUE(loaded.options().fixedPointEmulation);
+    EXPECT_FALSE(loaded.datapath().integerDatapath);
+
+    const auto batch = randomBatch(3, 8, 43);
+    runtime::InferenceSession s1 = original.createSession();
+    runtime::InferenceSession s2 = loaded.createSession();
+    expectIdenticalResults(s1.run(batch), s2.run(batch));
+}
+
 TEST(Artifact, InfoSummaryNamesBackendAndQuantization)
 {
     const nn::StackedRnn model = trainedModel(lstmSpec(), 9);
@@ -247,6 +316,25 @@ TEST(Artifact, InfoSummaryNamesBackendAndQuantization)
     EXPECT_NE(info.find("checksum ok"), std::string::npos);
     EXPECT_NE(info.find("PWL"), std::string::npos);
     EXPECT_NE(info.find("lstm"), std::string::npos);
+    EXPECT_NE(info.find("format v2"), std::string::npos);
+    EXPECT_NE(info.find("native int16"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Artifact, InfoReportsTheFileVersionNotTheBuildDefault)
+{
+    const nn::StackedRnn model = trainedModel(gruSpec(), 47);
+    runtime::CompileOptions opts;
+    opts.backend = runtime::BackendKind::FixedPoint;
+    const runtime::CompiledModel compiled =
+        runtime::compile(model, opts);
+    const std::string path = tempPath("v1info.ernn");
+    writeBytes(path, runtime::serializeArtifact(compiled, 1));
+
+    const std::string info = runtime::describeArtifact(path);
+    EXPECT_NE(info.find("format v1"), std::string::npos);
+    // A v1 file still serves through the native integer datapath.
+    EXPECT_NE(info.find("native int16"), std::string::npos);
     std::remove(path.c_str());
 }
 
@@ -274,8 +362,22 @@ TEST_F(ArtifactErrors, RejectsGarbageMagic)
 TEST_F(ArtifactErrors, RejectsVersionSkew)
 {
     std::string bad = bytes_;
-    bad[8] = static_cast<char>(bad[8] + 1); // u32 version LSB
+    bad[8] = static_cast<char>(bad[8] + 1); // u32 version LSB: 2 -> 3
     EXPECT_DEATH(runtime::loadArtifactBytes(bad), "version");
+
+    std::string zero = bytes_;
+    zero[8] = 0; // version 0 predates kMinArtifactFormatVersion
+    EXPECT_DEATH(runtime::loadArtifactBytes(zero), "version");
+}
+
+TEST_F(ArtifactErrors, RejectsUnwritableVersionRequest)
+{
+    const nn::StackedRnn model = trainedModel(gruSpec(), 2);
+    const runtime::CompiledModel compiled = runtime::compile(model);
+    EXPECT_DEATH(runtime::serializeArtifact(compiled, 0),
+                 "cannot write");
+    EXPECT_DEATH(runtime::serializeArtifact(compiled, 3),
+                 "cannot write");
 }
 
 TEST_F(ArtifactErrors, RejectsTruncation)

@@ -268,6 +268,48 @@ TEST_F(CliPipeline, CompileEvalMatchesInProcessPerOnAllBackends)
     }
 }
 
+TEST_F(CliPipeline, FixedPointEmulationOracleMatchesNativeInt16)
+{
+    // The deployed int16 datapath and its f64 emulation oracle must
+    // score identically through the whole CLI pipeline, and `info`
+    // must say which one an artifact freezes.
+    const std::string native_art = *dir_ + "/fp-native.ernn";
+    const std::string oracle_art = *dir_ + "/fp-oracle.ernn";
+    ASSERT_EQ(run("compile --spec " + spec() + " --checkpoint " +
+                  ckpt() + " --backend fixed-point --out " +
+                  native_art)
+                  .exitCode,
+              0);
+    ASSERT_EQ(run("compile --spec " + spec() + " --checkpoint " +
+                  ckpt() + " --backend fixed-point --fp-emulate "
+                  "--out " + oracle_art)
+                  .exitCode,
+              0);
+
+    const CmdResult native_info = run("info " + native_art);
+    EXPECT_NE(native_info.output.find("native int16"),
+              std::string::npos)
+        << native_info.output;
+    EXPECT_NE(native_info.output.find("format v2"), std::string::npos);
+
+    const CmdResult oracle_info = run("info " + oracle_art);
+    EXPECT_NE(oracle_info.output.find("f64 emulation"),
+              std::string::npos)
+        << oracle_info.output;
+
+    const CmdResult native_eval = run("eval --artifact " + native_art +
+                                      " --workers 2 " + kDataFlags);
+    const CmdResult oracle_eval = run("eval --artifact " + oracle_art +
+                                      " --workers 2 " + kDataFlags);
+    ASSERT_EQ(native_eval.exitCode, 0) << native_eval.output;
+    ASSERT_EQ(oracle_eval.exitCode, 0) << oracle_eval.output;
+    EXPECT_EQ(parsePer(native_eval.output),
+              parsePer(oracle_eval.output));
+
+    std::remove(native_art.c_str());
+    std::remove(oracle_art.c_str());
+}
+
 TEST_F(CliPipeline, ServeBenchRunsASweep)
 {
     const CmdResult r = run("serve-bench --artifact " + *dir_ +

@@ -58,7 +58,7 @@ TEST(Phase2, ActivationErrorHidesUnderQuantizationStep)
     Phase2Optimizer opt(hw::xcku060());
     const Phase2Result r = opt.run(compressedGru(8));
     const quant::FixedPointFormat fmt =
-        quant::chooseFormat(r.weightBits, 4.0);
+        quant::chooseClampFormat(r.weightBits, 4.0);
     EXPECT_LE(r.sigmoidMaxError, fmt.step());
     EXPECT_LE(r.tanhMaxError, fmt.step());
     EXPECT_GE(r.activationSegments, 32u);

@@ -61,6 +61,143 @@ TEST(ChooseFormat, CoversTheObservedRange)
               chooseFormat(12, 3.0).fracBits);
 }
 
+TEST(ChooseFormat, PowerOfTwoBoundaryDoesNotClip)
+{
+    // Regression: |w| == 2^k used to clip to 2^k - step because the
+    // integer-bit loop stopped at capacity == max_abs while the
+    // largest representable value is capacity - step.
+    for (int bits : {8, 12, 16}) {
+        for (Real max_abs : {0.5, 1.0, 2.0, 8.0}) {
+            const FixedPointFormat fmt = chooseFormat(bits, max_abs);
+            EXPECT_GE(fmt.maxVal(), max_abs)
+                << bits << " bits, maxAbs " << max_abs;
+            EXPECT_DOUBLE_EQ(fmt.quantize(max_abs), max_abs)
+                << bits << " bits, maxAbs " << max_abs;
+            EXPECT_DOUBLE_EQ(fmt.quantize(-max_abs), -max_abs);
+        }
+    }
+}
+
+TEST(ChooseFormat, CapacityUlpNeighborsAreCovered)
+{
+    const Real capacity = 2.0;
+    const Real below = std::nextafter(capacity, 0.0);
+    const Real above = std::nextafter(capacity, 8.0);
+    for (Real max_abs : {below, capacity, above}) {
+        const FixedPointFormat fmt = chooseFormat(12, max_abs);
+        EXPECT_GE(fmt.maxVal(), max_abs) << "maxAbs " << max_abs;
+    }
+    // Comfortably below the boundary no extra integer bit is spent:
+    // the fix must not cost precision where none is needed. (One ulp
+    // below 2.0 still needs the bump — its maxVal at 10 fractional
+    // bits is 2 - 2^-10, short of covering it.)
+    EXPECT_EQ(chooseFormat(12, 1.9).fracBits,
+              chooseFormat(12, 1.5).fracBits);
+    EXPECT_EQ(chooseFormat(12, 1.9).fracBits, 10);
+}
+
+TEST(ChooseFormat, AllZeroTensorGetsASaneFormat)
+{
+    const FixedPointFormat fmt = chooseFormat(12, 0.0);
+    EXPECT_EQ(fmt.totalBits, 12);
+    EXPECT_EQ(fmt.fracBits, 11); // every bit spent on fraction
+    EXPECT_DOUBLE_EQ(fmt.quantize(0.0), 0.0);
+
+    std::vector<Real> zeros(16, 0.0);
+    const FixedPointFormat chosen =
+        quantizeWithRangeAnalysis(zeros, 12);
+    EXPECT_EQ(chosen.fracBits, 11);
+    for (Real v : zeros)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ChooseFormat, ClampVariantKeepsResolutionAtTheBound)
+{
+    // chooseFormat covers an observed max exactly (the boundary
+    // bugfix); chooseClampFormat treats the bound as a saturation
+    // edge and keeps the fraction bit — the session value grid at
+    // the paper's 12-bit/range-8 design point stays Q3.8.
+    EXPECT_EQ(chooseFormat(12, 8.0).name(), "Q4.7");
+    EXPECT_EQ(chooseClampFormat(12, 8.0).name(), "Q3.8");
+    // Off the power-of-two boundary the two agree.
+    EXPECT_EQ(chooseClampFormat(12, 7.5).fracBits,
+              chooseFormat(12, 7.5).fracBits);
+    // Degenerate bounds stay sane.
+    EXPECT_EQ(chooseClampFormat(12, 0.0).fracBits, 11);
+    EXPECT_EQ(chooseClampFormat(4, 1000.0).fracBits, 0);
+}
+
+TEST(ChooseFormat, SaturatedWidthStillReturnsWidestFormat)
+{
+    // max_abs far beyond what the width can cover: all integer bits
+    // are spent and values saturate — but the format stays legal.
+    const FixedPointFormat fmt = chooseFormat(4, 1000.0);
+    EXPECT_EQ(fmt.totalBits, 4);
+    EXPECT_EQ(fmt.fracBits, 0);
+    EXPECT_DOUBLE_EQ(fmt.quantize(1000.0), fmt.maxVal());
+}
+
+// --- Integer-code helpers (the native datapath's arithmetic) -----------
+
+TEST(IntegerCodes, ToFromQRoundTripTheWholeGrid)
+{
+    const FixedPointFormat fmt = chooseFormat(8, 2.0);
+    for (std::int64_t q = fmt.minQ(); q <= fmt.maxQ(); ++q) {
+        const Real v = fmt.fromQ(q);
+        EXPECT_EQ(fmt.toQ(v), q) << "code " << q;
+        EXPECT_DOUBLE_EQ(fmt.quantize(v), v);
+    }
+    EXPECT_EQ(fmt.fromQ(fmt.maxQ()), fmt.maxVal());
+    EXPECT_EQ(fmt.fromQ(fmt.minQ()), fmt.minVal());
+}
+
+TEST(IntegerCodes, ShiftRoundHalfEvenMatchesNearbyint)
+{
+    // Exhaustive cross-check against the f64 oracle over a dense
+    // range of accumulators and every shift the datapath can see.
+    for (int shift : {0, 1, 3, 7, 15}) {
+        for (std::int64_t acc = -70000; acc <= 70000; acc += 17) {
+            const Real expect =
+                std::nearbyint(std::ldexp(static_cast<Real>(acc),
+                                          -shift));
+            EXPECT_EQ(static_cast<Real>(shiftRoundHalfEven(acc, shift)),
+                      expect)
+                << "acc " << acc << " shift " << shift;
+        }
+        // Exact ties around zero, positive and negative.
+        if (shift > 0) {
+            const std::int64_t half = std::int64_t{1} << (shift - 1);
+            for (std::int64_t k = -5; k <= 5; ++k) {
+                const std::int64_t acc = (k << shift) + half;
+                const Real expect = std::nearbyint(
+                    std::ldexp(static_cast<Real>(acc), -shift));
+                EXPECT_EQ(static_cast<Real>(
+                              shiftRoundHalfEven(acc, shift)),
+                          expect)
+                    << "tie at k " << k << " shift " << shift;
+            }
+        }
+    }
+}
+
+TEST(IntegerCodes, RequantizeEqualsQuantizeOnTheValueGrid)
+{
+    // requantize(acc, wfrac) must be the integer mirror of
+    // quantize(acc * 2^-(wfrac+vfrac)) expressed in value codes.
+    const FixedPointFormat vf = chooseFormat(12, 8.0);
+    const int wfrac = 9;
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const auto acc = static_cast<std::int64_t>(
+            rng.uniform(-4.0e6, 4.0e6));
+        const Real raw = std::ldexp(static_cast<Real>(acc),
+                                    -(wfrac + vf.fracBits));
+        const Real quantized = vf.quantize(raw);
+        EXPECT_EQ(vf.fromQ(vf.requantize(acc, wfrac)), quantized)
+            << "acc " << acc;
+    }
+}
+
 TEST(ChooseFormat, MoreBitsNeverIncreaseError)
 {
     Rng rng(2);

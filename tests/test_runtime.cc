@@ -220,6 +220,219 @@ TEST(RuntimeFixedPoint, WeightsBitExactWithQuantRounding)
             << "generator entry " << i;
 }
 
+// --- Native integer datapath vs the f64 emulation oracle ---------------
+
+namespace
+{
+
+CompiledModel
+compileFixedPoint(const nn::StackedRnn &model, int bits, bool emulate,
+                  std::size_t segments = 128)
+{
+    CompileOptions opts;
+    opts.backend = BackendKind::FixedPoint;
+    opts.fixedPointBits = bits;
+    opts.activationSegments = segments;
+    opts.fixedPointEmulation = emulate;
+    return compile(model, opts);
+}
+
+/** Quantize every frame onto the value grid of @p vf. */
+nn::Sequence
+gridFrames(nn::Sequence xs, const quant::FixedPointFormat &vf)
+{
+    for (auto &frame : xs)
+        for (auto &v : frame)
+            v = vf.quantize(v);
+    return xs;
+}
+
+void
+expectBitIdentical(const BatchResult &a, const BatchResult &b)
+{
+    ASSERT_EQ(a.logits.size(), b.logits.size());
+    for (std::size_t u = 0; u < a.logits.size(); ++u) {
+        ASSERT_EQ(a.logits[u].size(), b.logits[u].size());
+        for (std::size_t t = 0; t < a.logits[u].size(); ++t)
+            for (std::size_t k = 0; k < a.logits[u][t].size(); ++k)
+                EXPECT_EQ(a.logits[u][t][k], b.logits[u][t][k])
+                    << "utterance " << u << " frame " << t
+                    << " logit " << k;
+    }
+    EXPECT_EQ(a.predictions, b.predictions);
+}
+
+/** int16 path through an armed scratch vs emulation + post. */
+void
+checkKernelBitExact(const FixedPointKernel &kernel, int bits,
+                    std::uint64_t seed)
+{
+    ASSERT_TRUE(kernel.integerPacked()) << bits << " bits";
+    // The same grid construction the session datapath uses.
+    const quant::FixedPointFormat vf =
+        quant::chooseClampFormat(bits, 8.0);
+
+    Rng rng(seed);
+    Vector x(kernel.inDim());
+    rng.fillNormal(x, 2.0);
+    for (auto &v : x)
+        v = vf.quantize(v); // kernel inputs live on the value grid
+
+    KernelScratch armed;
+    armed.valueFormat = vf;
+    Vector integer(kernel.outDim(), 0.0);
+    kernel.apply(x, integer, armed);
+
+    Vector emulated(kernel.outDim(), 0.0);
+    kernel.applyEmulated(x, emulated);
+    for (auto &v : emulated)
+        v = vf.quantize(v); // the session's post
+
+    for (std::size_t r = 0; r < integer.size(); ++r)
+        EXPECT_EQ(integer[r], emulated[r])
+            << bits << " bits, row " << r;
+}
+
+} // namespace
+
+TEST(RuntimeIntegerDatapath, DenseKernelBitExactAcrossWidths)
+{
+    Rng rng(401);
+    Matrix w(24, 16);
+    w.initXavier(rng);
+    // Mix in large magnitudes so requantization saturates sometimes.
+    w.raw()[3] = 3.7;
+    w.raw()[40] = -2.9;
+    for (int bits = 2; bits <= 16; ++bits)
+        checkKernelBitExact(FixedPointKernel(w, bits), bits,
+                            500 + static_cast<std::uint64_t>(bits));
+}
+
+TEST(RuntimeIntegerDatapath, CirculantKernelBitExactAcrossWidths)
+{
+    Rng rng(402);
+    circulant::BlockCirculantMatrix w(24, 16, 8);
+    w.initXavier(rng);
+    w.raw()[1] = 2.5;
+    for (int bits = 2; bits <= 16; ++bits)
+        checkKernelBitExact(FixedPointKernel(w, bits), bits,
+                            600 + static_cast<std::uint64_t>(bits));
+}
+
+TEST(RuntimeIntegerDatapath, KernelFallsBackAboveSixteenBits)
+{
+    Rng rng(403);
+    Matrix w(8, 8);
+    w.initXavier(rng);
+    const FixedPointKernel kernel(w, 20);
+    EXPECT_FALSE(kernel.integerPacked());
+
+    // Even through an armed scratch the emulation must run (and the
+    // raw matvec of grid weights is what it returns).
+    KernelScratch armed;
+    armed.valueFormat = quant::chooseClampFormat(16, 8.0);
+    const Vector x(8, 0.25);
+    Vector via_apply(8, 0.0), via_emulated(8, 0.0);
+    kernel.apply(x, via_apply, armed);
+    kernel.applyEmulated(x, via_emulated);
+    for (std::size_t r = 0; r < 8; ++r)
+        EXPECT_EQ(via_apply[r], via_emulated[r]);
+}
+
+TEST(RuntimeIntegerDatapath, ModelBitExactVsEmulationOracle)
+{
+    for (const auto &spec : randomSpecs()) {
+        const nn::StackedRnn model = buildInit(spec, 91);
+        for (int bits : {6, 12, 16}) {
+            const CompiledModel native =
+                compileFixedPoint(model, bits, false);
+            const CompiledModel oracle =
+                compileFixedPoint(model, bits, true);
+            ASSERT_TRUE(native.datapath().integerDatapath);
+            ASSERT_FALSE(oracle.datapath().integerDatapath);
+
+            std::vector<nn::Sequence> batch;
+            batch.push_back(randomFrames(7, spec.inputDim, 92));
+            batch.push_back(randomFrames(4, spec.inputDim, 93));
+            batch.push_back(randomFrames(1, spec.inputDim, 94));
+
+            InferenceSession ns = native.createSession();
+            InferenceSession os = oracle.createSession();
+            expectBitIdentical(ns.run(batch), os.run(batch));
+        }
+    }
+}
+
+TEST(RuntimeIntegerDatapath, ExactActivationsAlsoBitExact)
+{
+    // segments == 0 disables the PWL tables: the integer LUT must
+    // then reproduce the *exact* sigmoid/tanh + post per grid code.
+    const nn::ModelSpec spec = randomSpecs().front();
+    const nn::StackedRnn model = buildInit(spec, 96);
+    const CompiledModel native =
+        compileFixedPoint(model, 12, false, 0);
+    const CompiledModel oracle = compileFixedPoint(model, 12, true, 0);
+
+    const std::vector<nn::Sequence> batch{
+        randomFrames(5, spec.inputDim, 97)};
+    InferenceSession ns = native.createSession();
+    InferenceSession os = oracle.createSession();
+    expectBitIdentical(ns.run(batch), os.run(batch));
+}
+
+TEST(RuntimeIntegerDatapath, StreamingAndEdgeUtterancesMatchOracle)
+{
+    const nn::ModelSpec spec = randomSpecs().front();
+    const nn::StackedRnn model = buildInit(spec, 95);
+    const CompiledModel native = compileFixedPoint(model, 12, false);
+    const CompiledModel oracle = compileFixedPoint(model, 12, true);
+
+    InferenceSession ns = native.createSession();
+    InferenceSession os = oracle.createSession();
+
+    // Zero-length utterance: empty logits from both paths.
+    const nn::Sequence empty;
+    const BatchResult nz = ns.run({&empty});
+    const BatchResult oz = os.run({&empty});
+    EXPECT_TRUE(nz.logits.front().empty());
+    EXPECT_TRUE(oz.logits.front().empty());
+
+    // Single-frame utterance.
+    const nn::Sequence one = randomFrames(1, spec.inputDim, 96);
+    expectBitIdentical(ns.run({&one}), os.run({&one}));
+
+    // Frame-by-frame streaming against the oracle's batched run.
+    const nn::Sequence xs = randomFrames(9, spec.inputDim, 97);
+    const BatchResult whole = os.run({&xs});
+    StreamState stream = ns.newStream();
+    for (std::size_t t = 0; t < xs.size(); ++t) {
+        const Vector &lg = ns.step(stream, xs[t]);
+        ASSERT_EQ(lg.size(), whole.logits.front()[t].size());
+        for (std::size_t k = 0; k < lg.size(); ++k)
+            EXPECT_EQ(lg[k], whole.logits.front()[t][k])
+                << "t=" << t << " k=" << k;
+    }
+}
+
+TEST(RuntimeIntegerDatapath, GridInputsAreServedUnchanged)
+{
+    // Frames already on the value grid are what the deployed
+    // accelerator receives; the session's input pinning must be an
+    // identity on them (native and oracle alike).
+    const nn::ModelSpec spec = randomSpecs()[1]; // GRU
+    const nn::StackedRnn model = buildInit(spec, 98);
+    const CompiledModel native = compileFixedPoint(model, 12, false);
+
+    const quant::FixedPointFormat vf = native.datapath().valueFormat;
+    const nn::Sequence raw = randomFrames(6, spec.inputDim, 99);
+    const nn::Sequence grid = gridFrames(raw, vf);
+
+    InferenceSession session = native.createSession();
+    const nn::Sequence a = session.logits(grid);
+    const nn::Sequence b = session.logits(gridFrames(grid, vf));
+    expectSequencesNear(a, b, 0.0);
+}
+
 // --- Batched run() semantics -------------------------------------------
 
 TEST(RuntimeBatch, BatchedRunEqualsPerUtteranceLoops)

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <ctime>
 #include <future>
 #include <thread>
 #include <vector>
@@ -341,6 +342,179 @@ TEST(ServeEdge, StatsAccountForEveryRequest)
 }
 
 // --- Seeded concurrency stress suites (ctest label: stress) -------------
+
+TEST(ServeEdge, FixedPointIntegerPathServedBitIdentical)
+{
+    // The native int16 datapath through the full serving stack
+    // (batched submits and a pinned stream) against the f64
+    // emulation oracle, including the zero-length and single-frame
+    // utterances in the pool.
+    const nn::ModelSpec spec = smallSpec();
+    const nn::StackedRnn model = buildInit(spec, 140);
+
+    runtime::CompileOptions native_opts;
+    native_opts.backend = runtime::BackendKind::FixedPoint;
+    const runtime::CompiledModel native =
+        runtime::compile(model, native_opts);
+
+    runtime::CompileOptions oracle_opts = native_opts;
+    oracle_opts.fixedPointEmulation = true;
+    const runtime::CompiledModel oracle =
+        runtime::compile(model, oracle_opts);
+    ASSERT_TRUE(native.datapath().integerDatapath);
+    ASSERT_FALSE(oracle.datapath().integerDatapath);
+
+    const auto pool = utterancePool(10, spec.inputDim, 141);
+    const auto expect = directResults(oracle, pool);
+
+    ServerOptions opts;
+    opts.workers = 3;
+    opts.maxBatch = 4;
+    InferenceServer server(native, opts);
+
+    std::vector<std::future<InferenceReply>> futs;
+    for (const auto &utt : pool)
+        futs.push_back(server.submit(utt));
+    for (std::size_t u = 0; u < pool.size(); ++u)
+        expectBitIdentical(futs[u].get().logits,
+                           expect[u].logits.front());
+
+    // Streaming: frame-by-frame through the server vs the oracle.
+    const nn::Sequence xs = randomFrames(6, spec.inputDim, 142);
+    runtime::InferenceSession osession = oracle.createSession();
+    const nn::Sequence want = osession.logits(xs);
+    InferenceServer::Stream stream = server.openStream();
+    for (std::size_t t = 0; t < xs.size(); ++t) {
+        const Vector logits = stream.stepSync(xs[t]);
+        ASSERT_EQ(logits.size(), want[t].size());
+        for (std::size_t k = 0; k < logits.size(); ++k)
+            EXPECT_EQ(logits[k], want[t][k]) << "t=" << t;
+    }
+}
+
+// --- Hold-open loop: no busy behavior on an empty queue ----------------
+
+TEST(ServeHoldOpenStress, EmptyQueueHoldOpenSleepsUntilDeadline)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 150));
+
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.maxBatch = 8;
+    opts.batchTimeout = std::chrono::milliseconds(400);
+    InferenceServer server(compiled, opts);
+
+    const nn::Sequence utt = randomFrames(1, spec.inputDim, 151);
+    const auto wall0 = std::chrono::steady_clock::now();
+    const std::clock_t cpu0 = std::clock();
+
+    // One request, then silence: the worker holds its partial batch
+    // open for the full 400 ms with nothing arriving.
+    const InferenceReply reply = server.submit(utt).get();
+    EXPECT_EQ(reply.timing.batchSize, 1u);
+
+    const std::clock_t cpu1 = std::clock();
+    const auto wall1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(wall1 - wall0)
+            .count();
+    const double cpu_ms = 1000.0 *
+                          static_cast<double>(cpu1 - cpu0) /
+                          CLOCKS_PER_SEC;
+
+    // The batch must have been held to (nearly) the deadline...
+    EXPECT_GE(wall_ms, 250.0);
+    // ...while every thread slept: a worker spinning through the
+    // hold-open loop would burn ~wall_ms of CPU on its own. Process
+    // CPU time is immune to machine load, so the generous bound is
+    // stable in CI.
+    EXPECT_LT(cpu_ms, 250.0);
+}
+
+TEST(ServeHoldOpenStress, NotifyStormDuringHoldOpenStaysCorrect)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const nn::StackedRnn model = buildInit(spec, 152);
+    const runtime::CompiledModel compiled = runtime::compile(model);
+
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.maxBatch = 4;
+    opts.batchTimeout = std::chrono::milliseconds(150);
+    InferenceServer server(compiled, opts);
+
+    runtime::InferenceSession direct = compiled.createSession();
+    const nn::Sequence utt = randomFrames(5, spec.inputDim, 153);
+    const nn::Sequence want_utt = direct.logits(utt);
+
+    // One batch request goes into hold-open on some worker...
+    std::future<InferenceReply> held = server.submit(utt);
+
+    // ...while streams pinned to both workers hammer step traffic —
+    // every step broadcasts on the shared condition variable, so the
+    // holding worker sees a storm of wakeups that are not for it.
+    InferenceServer::Stream s0 = server.openStream();
+    InferenceServer::Stream s1 = server.openStream();
+    const nn::Sequence frames = randomFrames(40, spec.inputDim, 154);
+    runtime::InferenceSession ref0 = compiled.createSession();
+    runtime::StreamState st0 = ref0.newStream();
+    runtime::InferenceSession ref1 = compiled.createSession();
+    runtime::StreamState st1 = ref1.newStream();
+    for (const auto &frame : frames) {
+        const Vector got0 = s0.stepSync(frame);
+        const Vector want0 = ref0.step(st0, frame);
+        for (std::size_t k = 0; k < got0.size(); ++k)
+            ASSERT_EQ(got0[k], want0[k]);
+        const Vector got1 = s1.stepSync(frame);
+        const Vector want1 = ref1.step(st1, frame);
+        for (std::size_t k = 0; k < got1.size(); ++k)
+            ASSERT_EQ(got1[k], want1[k]);
+    }
+
+    // Late arrivals within the window coalesce with the held batch
+    // (or a later one — timing-dependent); results stay bit-exact.
+    std::vector<std::future<InferenceReply>> futs;
+    for (int i = 0; i < 6; ++i)
+        futs.push_back(server.submit(utt));
+    expectBitIdentical(held.get().logits, want_utt);
+    for (auto &f : futs)
+        expectBitIdentical(f.get().logits, want_utt);
+}
+
+TEST(ServeHoldOpenStress, HugeBatchTimeoutDoesNotDisableBatching)
+{
+    // A pathological timeout used to overflow the deadline arithmetic
+    // (now + timeout wrapping negative), making every batch dispatch
+    // instantly. With the clamp the worker simply holds until more
+    // work arrives, and shutdown still drains promptly.
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 156));
+
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatch = 4;
+    opts.batchTimeout = std::chrono::microseconds::max();
+    InferenceServer server(compiled, opts);
+
+    runtime::InferenceSession direct = compiled.createSession();
+    const nn::Sequence utt = randomFrames(3, spec.inputDim, 157);
+    const nn::Sequence want = direct.logits(utt);
+
+    std::vector<std::future<InferenceReply>> futs;
+    for (int i = 0; i < 4; ++i) // == maxBatch: dispatches when full
+        futs.push_back(server.submit(utt));
+    for (auto &f : futs)
+        expectBitIdentical(f.get().logits, want);
+
+    // A lone request below maxBatch is held; shutdown must still
+    // wake the worker and drain it.
+    std::future<InferenceReply> held = server.submit(utt);
+    server.shutdown();
+    expectBitIdentical(held.get().logits, want);
+}
 
 TEST(ServeStress, ManySubmittersMixedLengthsAndMidFlightStreams)
 {

@@ -53,7 +53,8 @@ namespace
 // --- flag parsing ------------------------------------------------------
 
 /** Flags that take no value; everything else is --key <value>. */
-const std::set<std::string> kBoolFlags = {"--peephole", "--quiet"};
+const std::set<std::string> kBoolFlags = {"--peephole", "--quiet",
+                                          "--fp-emulate"};
 
 /**
  * Minimal --key value parser. Every flag must be consumed by the
@@ -222,6 +223,9 @@ compileOptions(Flags &f)
     opts.activationSegments =
         f.num("--segments", opts.activationSegments);
     opts.activationRange = f.real("--range", opts.activationRange);
+    // Debug/oracle escape hatch: freeze the f64 reference emulation
+    // instead of the native int16 datapath (bit-identical results).
+    opts.fixedPointEmulation = f.flag("--fp-emulate");
     return opts;
 }
 
@@ -352,9 +356,13 @@ cmdCompile(Flags &f)
     const runtime::CompiledModel compiled =
         runtime::compile(model, copts);
     runtime::saveArtifact(compiled, out_path);
+    namespace fs = std::filesystem;
     std::cout << "wrote " << out_path << ": " << compiled.describe()
               << " (" << compiled.storedParams()
-              << " stored params)\n";
+              << " stored params, format v"
+              << runtime::kArtifactFormatVersion << ", "
+              << fmtBytes(static_cast<Real>(fs::file_size(out_path)))
+              << ")\n";
     return 0;
 }
 
@@ -484,6 +492,7 @@ usage(std::ostream &os, int code)
           "             [--backend auto|dense|circulant-fft|"
           "fixed-point]\n"
           "             [--bits N] [--segments N] [--range R]\n"
+          "             [--fp-emulate   f64 oracle instead of int16]\n"
           "  ernn info ARTIFACT...\n"
           "  ernn eval --artifact F [--split test|train] "
           "[--workers N]\n"
