@@ -332,6 +332,60 @@ BENCHMARK(BM_SessionBackend)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Batch-major throughput sweep: frames/s of one session's run() per
+ * backend across batch sizes (items_processed = frames, so the JSON
+ * carries items_per_second = frames/s). The PR-gating number is the
+ * batch-16 over batch-1 speedup on the Dense and FixedPoint
+ * backends: dynamic batching must buy compute density (one
+ * GEMM-shaped kernel call per time step), not just queueing.
+ * range(0): backend (0 circulant-fft, 1 dense, 2 fixed-point int16);
+ * range(1): batch size.
+ */
+void
+BM_SessionBatchSweep(benchmark::State &state)
+{
+    const nn::ModelSpec spec = servingSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(18);
+    model.initXavier(rng);
+
+    runtime::CompileOptions opts;
+    const char *label = "";
+    switch (state.range(0)) {
+      case 0:
+        opts.backend = runtime::BackendKind::CirculantFft;
+        label = "circulant-fft";
+        break;
+      case 1:
+        opts.backend = runtime::BackendKind::Dense;
+        label = "dense";
+        break;
+      case 2:
+        opts.backend = runtime::BackendKind::FixedPoint;
+        label = "fixed-point/int16";
+        break;
+    }
+    runtime::CompiledModel compiled = runtime::compile(model, opts);
+    runtime::InferenceSession session = compiled.createSession();
+
+    const auto lanes = static_cast<std::size_t>(state.range(1));
+    const std::size_t frames = 4;
+    const auto batch = servingBatch(lanes, frames, spec.inputDim);
+
+    for (auto _ : state) {
+        auto result = session.run(batch);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(lanes * frames));
+    state.SetLabel(std::string(label) + "/batch" +
+                   std::to_string(lanes));
+}
+BENCHMARK(BM_SessionBatchSweep)
+    ->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}})
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ActivationExactVsPwl(benchmark::State &state)
 {

@@ -213,6 +213,69 @@ computeSegmentSpectra(const Vector &x, std::size_t block_size,
 }
 
 void
+computeSegmentSpectraBatch(const Matrix &x, std::size_t block_size,
+                           FftWorkspace &ws)
+{
+    ernn_assert(block_size >= 1 && x.rows() % block_size == 0,
+                "computeSegmentSpectraBatch: " << x.rows()
+                << " rows not a multiple of block " << block_size);
+    const std::size_t q = x.rows() / block_size;
+    const std::size_t lanes = x.cols();
+    if (ws.laneSpectra.size() < lanes)
+        ws.laneSpectra.resize(lanes);
+    ws.seg.resize(block_size);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        auto &spectra = ws.laneSpectra[l];
+        if (spectra.size() < q)
+            spectra.resize(q);
+        for (std::size_t j = 0; j < q; ++j) {
+            // Gather the lane's segment out of its strided column;
+            // the transform itself is the one the solo path runs.
+            for (std::size_t r = 0; r < block_size; ++r)
+                ws.seg[r] = x.at(j * block_size + r, l);
+            fft::rfftInto(ws.seg, spectra[j], ws.packed);
+        }
+    }
+}
+
+void
+BlockCirculantMatrix::matvecAccFromSpectraBatch(Matrix &y,
+                                                FftWorkspace &ws) const
+{
+    const std::size_t lanes = y.cols();
+    ernn_assert(y.rows() == rows_,
+                "matvecAccFromSpectraBatch: y rows");
+    ernn_assert(ws.laneSpectra.size() >= lanes,
+                "matvecAccFromSpectraBatch: expected >= " << lanes
+                << " lane spectra, got " << ws.laneSpectra.size());
+    ensureSpectra();
+    const std::size_t lb = blockSize_;
+    const std::size_t bins = lb / 2 + 1;
+
+    if (ws.laneAcc.size() < lanes)
+        ws.laneAcc.resize(lanes);
+
+    for (std::size_t i = 0; i < blockRows_; ++i) {
+        for (std::size_t l = 0; l < lanes; ++l)
+            ws.laneAcc[l].assign(bins, Complex(0, 0));
+        for (std::size_t j = 0; j < blockCols_; ++j) {
+            // One pass over the cached generator spectrum serves
+            // every lane (generator-major streaming).
+            const Complex *w =
+                spectra_.data() + (i * blockCols_ + j) * bins;
+            for (std::size_t l = 0; l < lanes; ++l)
+                fft::accumulateConjProduct(ws.laneAcc[l], w,
+                                           ws.laneSpectra[l][j]);
+        }
+        for (std::size_t l = 0; l < lanes; ++l) {
+            fft::irfftInto(ws.laneAcc[l], lb, ws.outSeg, ws.packed);
+            for (std::size_t r = 0; r < lb; ++r)
+                y.at(i * lb + r, l) += ws.outSeg[r];
+        }
+    }
+}
+
+void
 BlockCirculantMatrix::matvecAccFromSpectra(
     const std::vector<fft::CVector> &xfft, Vector &y,
     FftWorkspace &ws) const

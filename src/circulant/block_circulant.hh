@@ -54,6 +54,15 @@ struct FftWorkspace
     fft::CVector packed;                  //!< half-size complex FFT scratch
     Vector seg;                           //!< real segment staging
     Vector outSeg;                        //!< IFFT output staging
+
+    /// @{ Batch-major staging (one utterance lane per column of the
+    /// activation matrix): per-lane segment spectra and per-lane
+    /// frequency-domain accumulators. Sized by the batched entry
+    /// points; like every other buffer here they keep their capacity,
+    /// so a warm workspace serves the batch hot loop allocation-free.
+    std::vector<std::vector<fft::CVector>> laneSpectra;
+    std::vector<fft::CVector> laneAcc;
+    /// @}
 };
 
 /**
@@ -62,6 +71,17 @@ struct FftWorkspace
  */
 void computeSegmentSpectra(const Vector &x, std::size_t block_size,
                            FftWorkspace &ws);
+
+/**
+ * Batch-major form of computeSegmentSpectra: @p x is a (cols x lanes)
+ * activation matrix, one utterance lane per column; every lane's
+ * segment spectra land in ws.laneSpectra[lane]. Each lane runs the
+ * exact transforms the solo entry point runs, so downstream results
+ * stay bit-identical per lane.
+ */
+void computeSegmentSpectraBatch(const Matrix &x,
+                                std::size_t block_size,
+                                FftWorkspace &ws);
 
 class BlockCirculantMatrix
 {
@@ -147,6 +167,18 @@ class BlockCirculantMatrix
      */
     void matvecAccFromSpectra(const std::vector<fft::CVector> &xfft,
                               Vector &y, FftWorkspace &ws) const;
+
+    /**
+     * Batch-major stage 2: Y += W X for every lane at once, given
+     * each lane's segment spectra in ws.laneSpectra (from
+     * computeSegmentSpectraBatch). Y is (rows x lanes). The loop
+     * order is generator-major: each cached generator spectrum is
+     * loaded once per call and accumulated against every lane before
+     * moving on — the weight traffic one solo matvec pays, amortized
+     * over the whole batch. Per lane the accumulation order matches
+     * matvecAccFromSpectra exactly (bit-identical columns).
+     */
+    void matvecAccFromSpectraBatch(Matrix &y, FftWorkspace &ws) const;
 
     /**
      * Build the cached generator spectra now (normally lazy). The

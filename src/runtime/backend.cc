@@ -25,6 +25,34 @@ backendKindName(BackendKind kind)
     return "unknown";
 }
 
+// --- LinearKernel (generic batched fallback) ---------------------------
+
+void
+LinearKernel::applyBatch(const Matrix &x, Matrix &y,
+                         KernelScratch &scratch) const
+{
+    ernn_assert(x.rows() == inDim() && y.rows() == outDim() &&
+                x.cols() == y.cols(),
+                "applyBatch: x is " << x.rows() << "x" << x.cols()
+                << ", y is " << y.rows() << "x" << y.cols()
+                << " for a " << outDim() << "x" << inDim()
+                << " kernel");
+    const std::size_t lanes = x.cols();
+    scratch.laneIn.resize(inDim());
+    scratch.laneOut.resize(outDim());
+    for (std::size_t l = 0; l < lanes; ++l) {
+        for (std::size_t r = 0; r < x.rows(); ++r)
+            scratch.laneIn[r] = x.at(r, l);
+        // The gather buffer is reused across lanes under a stable
+        // address, so any input-code staging from the previous lane
+        // must be retired before apply() sees the new contents.
+        ++scratch.xqEpoch;
+        apply(scratch.laneIn, scratch.laneOut, scratch);
+        for (std::size_t r = 0; r < y.rows(); ++r)
+            y.at(r, l) = scratch.laneOut[r];
+    }
+}
+
 // --- DenseKernel -------------------------------------------------------
 
 DenseKernel::DenseKernel(Matrix w)
@@ -38,6 +66,23 @@ DenseKernel::apply(const Vector &x, Vector &y, KernelScratch &) const
     ernn_assert(y.size() == w_.rows(), "DenseKernel: y presize");
     std::fill(y.begin(), y.end(), 0.0);
     w_.matvecAcc(x, y);
+}
+
+void
+DenseKernel::applyBatch(const Matrix &x, Matrix &y,
+                        KernelScratch &scratch) const
+{
+    ernn_assert(x.rows() == w_.cols() && y.rows() == w_.rows() &&
+                x.cols() == y.cols(),
+                "DenseKernel: batch shape mismatch");
+    if (x.cols() == 1) {
+        // A one-column matrix is a vector; the solo matvec avoids
+        // the lane-tile overhead.
+        apply(x.raw(), y.raw(), scratch);
+        return;
+    }
+    y.setZero();
+    w_.gemmAcc(x, y);
 }
 
 // --- CirculantFftKernel ------------------------------------------------
@@ -58,6 +103,30 @@ CirculantFftKernel::apply(const Vector &x, Vector &y,
     ernn_assert(y.size() == w_.rows(), "CirculantFftKernel: y presize");
     std::fill(y.begin(), y.end(), 0.0);
     w_.matvecAcc(x, y, scratch.fft);
+}
+
+void
+CirculantFftKernel::applyBatch(const Matrix &x, Matrix &y,
+                               KernelScratch &scratch) const
+{
+    // Block size 1 runs the naive path in apply(); keep the batched
+    // form on the same arithmetic via the per-lane fallback.
+    if (w_.blockSize() < 2) {
+        LinearKernel::applyBatch(x, y, scratch);
+        return;
+    }
+    ernn_assert(x.rows() == w_.cols() && y.rows() == w_.rows() &&
+                x.cols() == y.cols(),
+                "CirculantFftKernel: batch shape mismatch");
+    if (x.cols() == 1) {
+        // A one-column matrix is a vector; skip the lane staging.
+        apply(x.raw(), y.raw(), scratch);
+        return;
+    }
+    y.setZero();
+    circulant::computeSegmentSpectraBatch(x, w_.blockSize(),
+                                          scratch.fft);
+    w_.matvecAccFromSpectraBatch(y, scratch.fft);
 }
 
 // --- FixedPointKernel --------------------------------------------------
@@ -197,6 +266,21 @@ FixedPointKernel::apply(const Vector &x, Vector &y,
 }
 
 void
+FixedPointKernel::applyBatch(const Matrix &x, Matrix &y,
+                             KernelScratch &scratch) const
+{
+    if (packed_ && scratch.valueFormat.totalBits >= 2 &&
+        scratch.valueFormat.totalBits <= 16) {
+        applyIntegerBatch(x, y, scratch);
+        return;
+    }
+    // Emulation oracle: route each lane through the exact solo f64
+    // path (the fallback calls apply(), which lands in applyEmulated
+    // whenever the integer path is off).
+    LinearKernel::applyBatch(x, y, scratch);
+}
+
+void
 FixedPointKernel::applyEmulated(const Vector &x, Vector &y) const
 {
     ernn_assert(y.size() == outDim(), "FixedPointKernel: y presize");
@@ -210,6 +294,36 @@ FixedPointKernel::applyEmulated(const Vector &x, Vector &y) const
     }
 }
 
+namespace
+{
+
+/**
+ * Solo-path input-code staging. The session keeps every kernel
+ * input on the value grid (frames included), so the conversion is
+ * exact — and the staging is reused when the same vector feeds
+ * several kernels within one step (epoch-scoped, see
+ * KernelScratch::xq). The batched path stages its own lane-major
+ * int16 transpose (KernelScratch::xqh) instead.
+ */
+const std::int32_t *
+stageInputCodes(const Real *src, std::size_t n,
+                KernelScratch &scratch)
+{
+    const quant::FixedPointFormat &vf = scratch.valueFormat;
+    if (scratch.xqSource != src || scratch.xqSize != n ||
+        scratch.xqStampedEpoch != scratch.xqEpoch) {
+        scratch.xq.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            scratch.xq[i] = static_cast<std::int32_t>(vf.toQ(src[i]));
+        scratch.xqSource = src;
+        scratch.xqSize = n;
+        scratch.xqStampedEpoch = scratch.xqEpoch;
+    }
+    return scratch.xq.data();
+}
+
+} // namespace
+
 void
 FixedPointKernel::applyInteger(const Vector &x, Vector &y,
                                KernelScratch &scratch) const
@@ -217,21 +331,8 @@ FixedPointKernel::applyInteger(const Vector &x, Vector &y,
     const quant::FixedPointFormat &vf = scratch.valueFormat;
     const int shift = format_.fracBits;
 
-    // Input codes. The session keeps every kernel input on the value
-    // grid (frames included), so the conversion is exact — and the
-    // staging is reused when the same vector feeds several kernels
-    // within one step (epoch-scoped, see KernelScratch::xq).
     const std::size_t n = x.size();
-    if (scratch.xqSource != x.data() || scratch.xqSize != n ||
-        scratch.xqStampedEpoch != scratch.xqEpoch) {
-        scratch.xq.resize(n);
-        for (std::size_t i = 0; i < n; ++i)
-            scratch.xq[i] = static_cast<std::int32_t>(vf.toQ(x[i]));
-        scratch.xqSource = x.data();
-        scratch.xqSize = n;
-        scratch.xqStampedEpoch = scratch.xqEpoch;
-    }
-    const std::int32_t *xq = scratch.xq.data();
+    const std::int32_t *xq = stageInputCodes(x.data(), n, scratch);
 
     if (!circulant_) {
         const std::size_t rows = dense_.rows();
@@ -260,6 +361,126 @@ FixedPointKernel::applyInteger(const Vector &x, Vector &y,
                     acc += static_cast<std::int64_t>(g[c]) * xs[c];
             }
             y[i * lb + r] = vf.fromQ(vf.requantize(acc, shift));
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * Exact int16 dot product of @p n code pairs, chunked so every
+ * int32 partial sum is provably overflow-free: |a*b| <= 2^pb, so
+ * chunks of 2^(30-pb) terms fit int32, and the int64 total equals
+ * the term-by-term int64 sum applyInteger computes. The int16*int16
+ * -> int32 accumulation inside a chunk is the widening multiply-add
+ * shape compilers lower to SIMD (pmaddwd and friends), which is
+ * where the batched integer GEMM gets its arithmetic density.
+ */
+std::int64_t
+dotCodes(const std::int16_t *w, const std::int16_t *v,
+         std::size_t n, std::size_t chunk)
+{
+    std::int64_t acc = 0;
+    std::size_t c = 0;
+    while (c < n) {
+        const std::size_t end = std::min(n, c + chunk);
+        std::int32_t a = 0;
+        for (; c < end; ++c)
+            a += static_cast<std::int32_t>(w[c]) *
+                 static_cast<std::int32_t>(v[c]);
+        acc += a;
+    }
+    return acc;
+}
+
+/** Largest chunk length whose int32 partial sums cannot overflow,
+ *  given weight/value formats of wb and vb total bits. */
+std::size_t
+safeChunk(int wb, int vb)
+{
+    const int pb = wb + vb - 2; // |w*v| <= 2^(wb-1) * 2^(vb-1)
+    if (pb >= 30)
+        return 1;
+    return std::size_t{1} << (30 - pb);
+}
+
+} // namespace
+
+void
+FixedPointKernel::applyIntegerBatch(const Matrix &x, Matrix &y,
+                                    KernelScratch &scratch) const
+{
+    ernn_assert(x.rows() == inDim() && y.rows() == outDim() &&
+                x.cols() == y.cols(),
+                "FixedPointKernel: batch shape mismatch");
+    const quant::FixedPointFormat &vf = scratch.valueFormat;
+    const int shift = format_.fracBits;
+    const std::size_t n = x.rows();
+    const std::size_t lanes = x.cols();
+
+    // A single lane is exactly the solo path; skip the transpose.
+    if (lanes == 1) {
+        applyInteger(x.raw(), y.raw(), scratch);
+        return;
+    }
+
+    // Stage the matrix as lane-major int16 codes (epoch-scoped like
+    // the solo staging; the gate kernels sharing this input within
+    // one step reuse the same transpose). Codes fit int16 because
+    // the session pins every input to the <= 16-bit value grid.
+    if (scratch.xqhSource != x.data() ||
+        scratch.xqhSize != n * lanes ||
+        scratch.xqhStampedEpoch != scratch.xqEpoch) {
+        scratch.xqh.resize(n * lanes);
+        const Real *xd = x.data();
+        for (std::size_t l = 0; l < lanes; ++l) {
+            std::int16_t *dst = scratch.xqh.data() + l * n;
+            for (std::size_t c = 0; c < n; ++c)
+                dst[c] = static_cast<std::int16_t>(
+                    vf.toQ(xd[c * lanes + l]));
+        }
+        scratch.xqhSource = x.data();
+        scratch.xqhSize = n * lanes;
+        scratch.xqhStampedEpoch = scratch.xqEpoch;
+    }
+    const std::int16_t *xqh = scratch.xqh.data();
+    const std::size_t chunk = safeChunk(format_.totalBits,
+                                        vf.totalBits);
+    Real *yd = y.data();
+
+    if (!circulant_) {
+        const std::size_t rows = dense_.rows();
+        for (std::size_t r = 0; r < rows; ++r) {
+            // The weight row stays cache-hot across every lane: the
+            // batch streams the weights once per call, not per lane.
+            const std::int16_t *row = qw_.data() + r * n;
+            Real *yr = yd + r * lanes;
+            for (std::size_t l = 0; l < lanes; ++l)
+                yr[l] = vf.fromQ(vf.requantize(
+                    dotCodes(row, xqh + l * n, n, chunk), shift));
+        }
+        return;
+    }
+
+    const std::size_t lb = circ_.blockSize();
+    const std::size_t p = circ_.blockRows();
+    const std::size_t q = circ_.blockCols();
+    for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t r = 0; r < lb; ++r) {
+            Real *yr = yd + (i * lb + r) * lanes;
+            for (std::size_t l = 0; l < lanes; ++l) {
+                const std::int16_t *xh = xqh + l * n;
+                std::int64_t acc = 0;
+                for (std::size_t j = 0; j < q; ++j) {
+                    // Contiguous row slice of the doubled generator
+                    // against the lane's contiguous segment codes.
+                    const std::int16_t *g =
+                        qw_.data() + (i * q + j) * 2 * lb + (lb - r);
+                    acc += dotCodes(g, xh + j * lb, lb, chunk);
+                }
+                yr[l] = vf.fromQ(vf.requantize(acc, shift));
+            }
         }
     }
 }

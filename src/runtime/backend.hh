@@ -108,6 +108,43 @@ struct KernelScratch
     std::size_t xqSize = 0;
     std::uint64_t xqEpoch = 0;         //!< bumped per session step
     std::uint64_t xqStampedEpoch = ~std::uint64_t{0};
+
+    /**
+     * Batched input value-code staging: the (features x lanes)
+     * activation matrix transposed into lane-major int16 codes
+     * (lane l's codes at xqh[l * features], contiguous), so the
+     * integer GEMM runs int16 x int16 dot products over two
+     * contiguous streams — the multiply-accumulate shape compilers
+     * turn into widening-multiply SIMD. Epoch-scoped exactly like
+     * xq; the four gate kernels of one step share one staging.
+     */
+    std::vector<std::int16_t> xqh;
+    const Real *xqhSource = nullptr;
+    std::size_t xqhSize = 0;
+    std::uint64_t xqhStampedEpoch = ~std::uint64_t{0};
+
+    /** Per-lane gather/scatter staging for the generic applyBatch
+     *  fallback (kernels without a native batched path). */
+    Vector laneIn, laneOut;
+
+    /**
+     * Release every lane-proportional staging buffer (the batched
+     * int16 transpose and the per-lane FFT spectra/accumulators).
+     * Called by the session's lane-pool high-water cap so one
+     * oversized batch cannot pin per-lane scratch either.
+     */
+    void releaseLaneStaging()
+    {
+        xqh.clear();
+        xqh.shrink_to_fit();
+        xqhSource = nullptr;
+        xqhSize = 0;
+        xqhStampedEpoch = ~std::uint64_t{0};
+        fft.laneSpectra.clear();
+        fft.laneSpectra.shrink_to_fit();
+        fft.laneAcc.clear();
+        fft.laneAcc.shrink_to_fit();
+    }
 };
 
 /** Immutable y = W x kernel, shared across sessions. */
@@ -126,6 +163,19 @@ class LinearKernel
     virtual void apply(const Vector &x, Vector &y,
                        KernelScratch &scratch) const = 0;
 
+    /**
+     * Batch-major form: Y = W X over a (inDim x lanes) activation
+     * matrix, one utterance lane per column. Every built-in backend
+     * overrides this with a GEMM-shaped kernel that streams the
+     * weights once per call instead of once per lane; the base-class
+     * fallback gathers each lane through apply(), so column l of Y is
+     * bit-identical to apply() on column l of X for every
+     * implementation. @p y must be presized to outDim() x X.cols();
+     * implementations must not allocate once @p scratch is warm.
+     */
+    virtual void applyBatch(const Matrix &x, Matrix &y,
+                            KernelScratch &scratch) const;
+
     /** Registry name of the backend that produced this kernel. */
     virtual std::string backendName() const = 0;
 
@@ -143,6 +193,10 @@ class DenseKernel : public LinearKernel
     std::size_t outDim() const override { return w_.rows(); }
     void apply(const Vector &x, Vector &y,
                KernelScratch &scratch) const override;
+
+    /** Cache-blocked GEMM: one pass over the weights per call. */
+    void applyBatch(const Matrix &x, Matrix &y,
+                    KernelScratch &scratch) const override;
     std::string backendName() const override { return "dense"; }
     std::size_t storedParams() const override { return w_.size(); }
 
@@ -167,6 +221,12 @@ class CirculantFftKernel : public LinearKernel
     std::size_t outDim() const override { return w_.rows(); }
     void apply(const Vector &x, Vector &y,
                KernelScratch &scratch) const override;
+
+    /** Per-lane segment FFTs, then generator-major frequency-domain
+     *  accumulation: each cached generator spectrum is streamed once
+     *  per call and reused across every lane. */
+    void applyBatch(const Matrix &x, Matrix &y,
+                    KernelScratch &scratch) const override;
     std::string backendName() const override { return "circulant-fft"; }
     std::size_t storedParams() const override { return w_.paramCount(); }
 
@@ -227,6 +287,13 @@ class FixedPointKernel : public LinearKernel
      */
     void apply(const Vector &x, Vector &y,
                KernelScratch &scratch) const override;
+
+    /** int16 x int16 -> int64 GEMM with the same round-half-even
+     *  requantization as applyInteger on the armed path; the per-lane
+     *  emulation fallback otherwise. Bit-identical per lane to
+     *  apply() either way. */
+    void applyBatch(const Matrix &x, Matrix &y,
+                    KernelScratch &scratch) const override;
     std::string backendName() const override { return "fixed-point"; }
     std::size_t storedParams() const override;
 
@@ -266,6 +333,9 @@ class FixedPointKernel : public LinearKernel
 
     void applyInteger(const Vector &x, Vector &y,
                       KernelScratch &scratch) const;
+
+    void applyIntegerBatch(const Matrix &x, Matrix &y,
+                           KernelScratch &scratch) const;
 
     quant::FixedPointFormat format_;
     bool circulant_ = false;

@@ -74,6 +74,13 @@ class CompiledLstmLayer : public CompiledLayer
     void step(const Vector &x, LayerState &state, Vector &y,
               LayerScratch &scratch, KernelScratch &kernels,
               const Datapath &dp) const override;
+    void initBatchState(LayerBatchState &state,
+                        std::size_t lanes) const override;
+    void initBatchScratch(LayerBatchScratch &scratch,
+                          std::size_t lanes) const override;
+    void stepBatch(const Matrix &x, LayerBatchState &state, Matrix &y,
+                   LayerBatchScratch &scratch, KernelScratch &kernels,
+                   const Datapath &dp) const override;
     std::vector<const LinearKernel *> kernels() const override;
 
     /** Read-only view of the frozen parts (artifact serialization). */
@@ -103,6 +110,13 @@ class CompiledGruLayer : public CompiledLayer
     void step(const Vector &x, LayerState &state, Vector &y,
               LayerScratch &scratch, KernelScratch &kernels,
               const Datapath &dp) const override;
+    void initBatchState(LayerBatchState &state,
+                        std::size_t lanes) const override;
+    void initBatchScratch(LayerBatchScratch &scratch,
+                          std::size_t lanes) const override;
+    void stepBatch(const Matrix &x, LayerBatchState &state, Matrix &y,
+                   LayerBatchScratch &scratch, KernelScratch &kernels,
+                   const Datapath &dp) const override;
     std::vector<const LinearKernel *> kernels() const override;
 
     /** Read-only view of the frozen parts (artifact serialization). */

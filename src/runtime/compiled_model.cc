@@ -325,6 +325,133 @@ CompiledLstmLayer::step(const Vector &x, LayerState &state, Vector &y,
     std::copy(y.begin(), y.end(), state.h.begin());
 }
 
+void
+CompiledLstmLayer::initBatchState(LayerBatchState &state,
+                                  std::size_t lanes) const
+{
+    state.h.reshape(p_.cfg.outputSize(), lanes);
+    state.c.reshape(p_.cfg.hiddenSize, lanes);
+}
+
+void
+CompiledLstmLayer::initBatchScratch(LayerBatchScratch &s,
+                                    std::size_t lanes) const
+{
+    const std::size_t h = p_.cfg.hiddenSize;
+    s.g1.reshape(h, lanes);
+    s.g2.reshape(h, lanes);
+    s.g3.reshape(h, lanes);
+    s.g4.reshape(h, lanes);
+    s.t1.reshape(h, lanes);
+    s.t2.reshape(h, lanes);
+    s.t3.reshape(h, lanes);
+}
+
+void
+CompiledLstmLayer::stepBatch(const Matrix &x, LayerBatchState &state,
+                             Matrix &y, LayerBatchScratch &s,
+                             KernelScratch &ks,
+                             const Datapath &dp) const
+{
+    // The batched mirror of step(): the same operations in the same
+    // order, over feature x lanes matrices instead of vectors, so
+    // every lane column computes the exact bits the solo path would.
+    // Gate contributions first; each kernel call is one GEMM-shaped
+    // pass over the weights shared by every lane.
+    Matrix *gates[4] = {&s.g1, &s.g2, &s.g3, &s.g4};
+    if (!fusedInput_.empty()) {
+        for (Matrix *g : gates)
+            g->setZero();
+        circulant::computeSegmentSpectraBatch(
+            x, fusedInput_.front()->blockSize(), ks.fft);
+        for (std::size_t k = 0; k < 4; ++k)
+            fusedInput_[k]->matvecAccFromSpectraBatch(*gates[k],
+                                                      ks.fft);
+    } else {
+        p_.wix->applyBatch(x, s.g1, ks);
+        dp.post(s.g1.raw());
+        p_.wfx->applyBatch(x, s.g2, ks);
+        dp.post(s.g2.raw());
+        p_.wcx->applyBatch(x, s.g3, ks);
+        dp.post(s.g3.raw());
+        p_.wox->applyBatch(x, s.g4, ks);
+        dp.post(s.g4.raw());
+    }
+    if (!fusedRec_.empty()) {
+        circulant::computeSegmentSpectraBatch(
+            state.h, fusedRec_.front()->blockSize(), ks.fft);
+        for (std::size_t k = 0; k < 4; ++k)
+            fusedRec_[k]->matvecAccFromSpectraBatch(*gates[k],
+                                                    ks.fft);
+    } else {
+        const LinearKernel *recs[4] = {p_.wir.get(), p_.wfr.get(),
+                                       p_.wcr.get(), p_.wor.get()};
+        for (std::size_t k = 0; k < 4; ++k) {
+            recs[k]->applyBatch(state.h, s.t1, ks);
+            dp.post(s.t1.raw());
+            addInPlace(gates[k]->raw(), s.t1.raw());
+        }
+    }
+
+    // Input gate: i = sigma(Wix x + Wir y' + wic.c' + bi).
+    if (p_.cfg.peephole)
+        hadamardBroadcastAcc(s.g1, p_.wic, state.c);
+    addBiasRows(s.g1, p_.bi);
+    dp.post(s.g1.raw());
+    dp.activate(nn::ActKind::Sigmoid, s.g1.raw());
+    dp.post(s.g1.raw());
+
+    // Forget gate.
+    if (p_.cfg.peephole)
+        hadamardBroadcastAcc(s.g2, p_.wfc, state.c);
+    addBiasRows(s.g2, p_.bf);
+    dp.post(s.g2.raw());
+    dp.activate(nn::ActKind::Sigmoid, s.g2.raw());
+    dp.post(s.g2.raw());
+
+    // Cell input (no peephole, Eqn. 1c).
+    addBiasRows(s.g3, p_.bc);
+    dp.post(s.g3.raw());
+    dp.activate(p_.cfg.cellInputAct, s.g3.raw());
+    dp.post(s.g3.raw());
+
+    // Cell state: c = f.c' + g.i (Eqn. 1d) into t2.
+    s.t2.setZero();
+    hadamardAcc(s.t2.raw(), s.g2.raw(), state.c.raw());
+    hadamardAcc(s.t2.raw(), s.g3.raw(), s.g1.raw());
+    dp.post(s.t2.raw());
+
+    // Output gate (peephole reads the *current* c, Eqn. 1e).
+    if (p_.cfg.peephole)
+        hadamardBroadcastAcc(s.g4, p_.woc, s.t2);
+    addBiasRows(s.g4, p_.bo);
+    dp.post(s.g4.raw());
+    dp.activate(nn::ActKind::Sigmoid, s.g4.raw());
+    dp.post(s.g4.raw());
+
+    // Cell output m = o . h(c) (Eqn. 1f) into t3.
+    std::copy(s.t2.raw().begin(), s.t2.raw().end(),
+              s.t3.raw().begin());
+    dp.activate(p_.cfg.outputAct, s.t3.raw());
+    dp.post(s.t3.raw());
+    hadamardInPlace(s.t3.raw(), s.g4.raw());
+    dp.post(s.t3.raw());
+
+    // Projected output (Eqn. 1g).
+    if (p_.wym) {
+        p_.wym->applyBatch(s.t3, y, ks);
+        dp.post(y.raw());
+    } else {
+        std::copy(s.t3.raw().begin(), s.t3.raw().end(),
+                  y.raw().begin());
+    }
+
+    // Commit state: c_t and y_t become the next step's history.
+    std::swap(state.c, s.t2);
+    std::copy(y.raw().begin(), y.raw().end(),
+              state.h.raw().begin());
+}
+
 std::vector<const LinearKernel *>
 CompiledLstmLayer::kernels() const
 {
@@ -471,6 +598,107 @@ CompiledGruLayer::step(const Vector &x, LayerState &state, Vector &y,
     dp.post(s.t3);
 
     std::copy(s.t3.begin(), s.t3.end(), y.begin());
+    std::swap(state.c, s.t3);
+}
+
+void
+CompiledGruLayer::initBatchState(LayerBatchState &state,
+                                 std::size_t lanes) const
+{
+    state.h.reshape(0, 0); // the GRU's output *is* its cell state
+    state.c.reshape(p_.cfg.hiddenSize, lanes);
+}
+
+void
+CompiledGruLayer::initBatchScratch(LayerBatchScratch &s,
+                                   std::size_t lanes) const
+{
+    const std::size_t h = p_.cfg.hiddenSize;
+    s.g1.reshape(h, lanes);
+    s.g2.reshape(h, lanes);
+    s.g3.reshape(h, lanes);
+    s.g4.reshape(0, 0);
+    s.t1.reshape(h, lanes);
+    s.t2.reshape(h, lanes);
+    s.t3.reshape(h, lanes);
+}
+
+void
+CompiledGruLayer::stepBatch(const Matrix &x, LayerBatchState &state,
+                            Matrix &y, LayerBatchScratch &s,
+                            KernelScratch &ks, const Datapath &dp) const
+{
+    // Batched mirror of step(): identical operation order per lane
+    // column, GEMM-shaped kernel calls across lanes.
+    Matrix *gates[3] = {&s.g1, &s.g2, &s.g3};
+    if (!fusedInput_.empty()) {
+        for (Matrix *g : gates)
+            g->setZero();
+        circulant::computeSegmentSpectraBatch(
+            x, fusedInput_.front()->blockSize(), ks.fft);
+        for (std::size_t k = 0; k < 3; ++k)
+            fusedInput_[k]->matvecAccFromSpectraBatch(*gates[k],
+                                                      ks.fft);
+    } else {
+        p_.wzx->applyBatch(x, s.g1, ks);
+        dp.post(s.g1.raw());
+        p_.wrx->applyBatch(x, s.g2, ks);
+        dp.post(s.g2.raw());
+        p_.wcx->applyBatch(x, s.g3, ks);
+        dp.post(s.g3.raw());
+    }
+    if (!fusedRec_.empty()) {
+        circulant::computeSegmentSpectraBatch(
+            state.c, fusedRec_.front()->blockSize(), ks.fft);
+        for (std::size_t k = 0; k < 2; ++k)
+            fusedRec_[k]->matvecAccFromSpectraBatch(*gates[k],
+                                                    ks.fft);
+    } else {
+        p_.wzc->applyBatch(state.c, s.t1, ks);
+        dp.post(s.t1.raw());
+        addInPlace(s.g1.raw(), s.t1.raw());
+        p_.wrc->applyBatch(state.c, s.t1, ks);
+        dp.post(s.t1.raw());
+        addInPlace(s.g2.raw(), s.t1.raw());
+    }
+
+    // Update gate (Eqn. 2a).
+    addBiasRows(s.g1, p_.bz);
+    dp.post(s.g1.raw());
+    dp.activate(nn::ActKind::Sigmoid, s.g1.raw());
+    dp.post(s.g1.raw());
+
+    // Reset gate (Eqn. 2b).
+    addBiasRows(s.g2, p_.br);
+    dp.post(s.g2.raw());
+    dp.activate(nn::ActKind::Sigmoid, s.g2.raw());
+    dp.post(s.g2.raw());
+
+    // Candidate from the reset-gated history (Eqn. 2c).
+    s.t2.setZero();
+    hadamardAcc(s.t2.raw(), s.g2.raw(), state.c.raw());
+    dp.post(s.t2.raw());
+    p_.wcc->applyBatch(s.t2, s.t1, ks);
+    dp.post(s.t1.raw());
+    addInPlace(s.g3.raw(), s.t1.raw());
+    addBiasRows(s.g3, p_.bc);
+    dp.post(s.g3.raw());
+    dp.activate(p_.cfg.candidateAct, s.g3.raw());
+    dp.post(s.g3.raw());
+
+    // State blend (Eqn. 2d): c = (1-z).c' + z.c~ into t3.
+    {
+        const Vector &z = s.g1.raw();
+        const Vector &cand = s.g3.raw();
+        const Vector &prev = state.c.raw();
+        Vector &out = s.t3.raw();
+        for (std::size_t k = 0; k < out.size(); ++k)
+            out[k] = (1.0 - z[k]) * prev[k] + z[k] * cand[k];
+    }
+    dp.post(s.t3.raw());
+
+    std::copy(s.t3.raw().begin(), s.t3.raw().end(),
+              y.raw().begin());
     std::swap(state.c, s.t3);
 }
 

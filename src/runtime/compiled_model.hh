@@ -94,6 +94,25 @@ struct LayerScratch
     Vector t1, t2, t3;     //!< cell/candidate temporaries
 };
 
+/**
+ * Batch-major recurrent state of one layer: feature x lanes matrices,
+ * one utterance lane per column. Owned by the session's run() pool;
+ * lane l's column holds exactly the bits the per-utterance LayerState
+ * would hold after the same frames.
+ */
+struct LayerBatchState
+{
+    Matrix h; //!< previous outputs y_{t-1} (empty when unused)
+    Matrix c; //!< cell states c_{t-1}
+};
+
+/** Batch-major per-layer step scratch (see LayerScratch). */
+struct LayerBatchScratch
+{
+    Matrix g1, g2, g3, g4; //!< gate buffers
+    Matrix t1, t2, t3;     //!< cell/candidate temporaries
+};
+
 /** One frozen recurrent layer: immutable kernels + step semantics. */
 class CompiledLayer
 {
@@ -119,6 +138,29 @@ class CompiledLayer
     virtual void step(const Vector &x, LayerState &state, Vector &y,
                       LayerScratch &scratch, KernelScratch &kernels,
                       const Datapath &dp) const = 0;
+
+    /** Size (and zero) batch-major state for @p lanes utterances.
+     *  Reuses the matrices' backing storage across calls. */
+    virtual void initBatchState(LayerBatchState &state,
+                                std::size_t lanes) const = 0;
+
+    /** Presize batch-major scratch for @p lanes utterances. */
+    virtual void initBatchScratch(LayerBatchScratch &scratch,
+                                  std::size_t lanes) const = 0;
+
+    /**
+     * One recurrent step over every lane at once: read the
+     * (inputSize x lanes) matrix @p x and @p state (t-1), write the
+     * layer outputs into the presized (outputSize x lanes) @p y, and
+     * advance @p state. Each kernel runs one GEMM-shaped batched call
+     * instead of a matvec per lane; column l of every result is
+     * bit-identical to step() on lane l alone. Must not allocate once
+     * scratch and state are warm.
+     */
+    virtual void stepBatch(const Matrix &x, LayerBatchState &state,
+                           Matrix &y, LayerBatchScratch &scratch,
+                           KernelScratch &kernels,
+                           const Datapath &dp) const = 0;
 
     /** All kernels of this layer (introspection / reporting). */
     virtual std::vector<const LinearKernel *> kernels() const = 0;

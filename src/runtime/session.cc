@@ -87,40 +87,158 @@ InferenceSession::step(StreamState &state, const Vector &frame)
     return logits_;
 }
 
+void
+InferenceSession::preparePool(std::size_t lanes)
+{
+    const std::size_t n = model_.numLayers();
+    batchState_.resize(n);
+    batchScratch_.resize(n);
+    batchOut_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        model_.layer(i).initBatchState(batchState_[i], lanes);
+        model_.layer(i).initBatchScratch(batchScratch_[i], lanes);
+        batchOut_[i].reshape(model_.layer(i).outputSize(), lanes);
+    }
+    batchIn_.reshape(model_.inputSize(), lanes);
+    batchLogits_.reshape(model_.numClasses(), lanes);
+    poolHighWater_ = std::max(poolHighWater_, lanes);
+}
+
+void
+InferenceSession::shrinkPool(std::size_t lanes)
+{
+    // Recurrent state survives retirement (shrinkCols repacks the
+    // leading lanes); scratch and inter-layer buffers are rewritten
+    // every step, so a zero-filling reshape is enough.
+    for (std::size_t i = 0; i < batchState_.size(); ++i) {
+        LayerBatchState &st = batchState_[i];
+        if (st.h.rows() > 0)
+            st.h.shrinkCols(lanes);
+        if (st.c.rows() > 0)
+            st.c.shrinkCols(lanes);
+        LayerBatchScratch &s = batchScratch_[i];
+        for (Matrix *m : {&s.g1, &s.g2, &s.g3, &s.g4, &s.t1, &s.t2,
+                          &s.t3})
+            if (m->rows() > 0)
+                m->reshape(m->rows(), lanes);
+        batchOut_[i].reshape(batchOut_[i].rows(), lanes);
+    }
+    batchIn_.reshape(batchIn_.rows(), lanes);
+    batchLogits_.reshape(batchLogits_.rows(), lanes);
+}
+
+void
+InferenceSession::releasePool()
+{
+    // Destroying the pooled matrices releases their backing storage;
+    // the vectors themselves are tiny and regrown by preparePool().
+    batchState_.clear();
+    batchScratch_.clear();
+    batchOut_.clear();
+    batchIn_ = Matrix();
+    batchLogits_ = Matrix();
+    // The kernel scratch holds lane-proportional staging of its own
+    // (int16 transpose, per-lane FFT spectra); drop that too.
+    kernels_.releaseLaneStaging();
+    poolHighWater_ = 0;
+}
+
 BatchResult
 InferenceSession::run(const std::vector<const nn::Sequence *> &batch)
 {
     const std::size_t b = batch.size();
+    const std::size_t classes = model_.numClasses();
+    const std::size_t in_dim = model_.inputSize();
     BatchResult out;
     out.logits.resize(b);
     out.predictions.resize(b);
 
-    std::size_t max_len = 0;
+    laneOrder_.clear();
     for (std::size_t u = 0; u < b; ++u) {
         ernn_assert(batch[u], "run: null utterance in batch");
-        out.logits[u].resize(batch[u]->size());
-        out.predictions[u].resize(batch[u]->size());
-        max_len = std::max(max_len, batch[u]->size());
+        // Pre-size every frame of the result now: the time loop
+        // scatters kernel output straight into this storage and
+        // performs no steady-state allocation.
+        out.logits[u].assign(batch[u]->size(),
+                             Vector(classes, 0.0));
+        out.predictions[u].assign(batch[u]->size(), 0);
+        if (!batch[u]->empty())
+            laneOrder_.push_back(u);
     }
+    // Longest utterance first: as t passes each length, lanes retire
+    // strictly from the tail, so the active set stays a contiguous
+    // prefix and retirement is a pure column shrink — no shuffling,
+    // and the lane -> utterance map never changes.
+    std::stable_sort(laneOrder_.begin(), laneOrder_.end(),
+                     [&](std::size_t lhs, std::size_t rhs) {
+                         return batch[lhs]->size() >
+                                batch[rhs]->size();
+                     });
 
-    // Grow (and rewind) the reusable stream pool.
-    while (streamPool_.size() < b)
-        streamPool_.push_back(newStream());
-    for (std::size_t u = 0; u < b; ++u)
-        streamPool_[u].reset();
+    std::size_t active = laneOrder_.size();
+    if (active == 0)
+        return out;
+    preparePool(active);
 
-    // Frame-lockstep over the batch: utterance u's recurrence only
-    // depends on its own past, so per time step every stream shares
-    // the same (cache-hot) weights.
-    for (std::size_t t = 0; t < max_len; ++t) {
-        for (std::size_t u = 0; u < b; ++u) {
-            if (t >= batch[u]->size())
-                continue;
-            const Vector &lg = step(streamPool_[u], (*batch[u])[t]);
-            out.logits[u][t] = lg;
-            out.predictions[u][t] = static_cast<int>(argmax(lg));
+    const Datapath &dp = model_.datapath();
+    for (std::size_t t = 0; active > 0; ++t) {
+        // Retire lanes whose utterance ended.
+        std::size_t still = active;
+        while (still > 0 &&
+               batch[laneOrder_[still - 1]]->size() <= t)
+            --still;
+        if (still == 0)
+            break;
+        if (still != active) {
+            shrinkPool(still);
+            active = still;
+        }
+
+        // Gather this step's frames into the input matrix — and pin
+        // them to the value grid, exactly as step() does via frameQ_.
+        for (std::size_t l = 0; l < active; ++l) {
+            const Vector &f = (*batch[laneOrder_[l]])[t];
+            ernn_assert(f.size() == in_dim,
+                        "run: frame dim " << f.size()
+                        << " != input dim " << in_dim);
+            for (std::size_t r = 0; r < in_dim; ++r)
+                batchIn_.at(r, l) = f[r];
+        }
+        if (dp.fixedPoint)
+            dp.post(batchIn_.raw());
+
+        // New step: recurrent state is about to change under stable
+        // addresses, so retire any staged input codes.
+        ++kernels_.xqEpoch;
+        const Matrix *cur = &batchIn_;
+        for (std::size_t i = 0; i < model_.numLayers(); ++i) {
+            model_.layer(i).stepBatch(*cur, batchState_[i],
+                                      batchOut_[i], batchScratch_[i],
+                                      kernels_, dp);
+            cur = &batchOut_[i];
+        }
+
+        model_.classifier().applyBatch(*cur, batchLogits_, kernels_);
+        dp.post(batchLogits_.raw());
+        addBiasRows(batchLogits_, model_.classifierBias());
+        dp.post(batchLogits_.raw());
+
+        // Scatter lane columns into the pre-sized per-utterance
+        // results.
+        for (std::size_t l = 0; l < active; ++l) {
+            const std::size_t u = laneOrder_[l];
+            Vector &dst = out.logits[u][t];
+            for (std::size_t r = 0; r < classes; ++r)
+                dst[r] = batchLogits_.at(r, l);
+            out.predictions[u][t] = static_cast<int>(argmax(dst));
         }
     }
+
+    // One oversized batch must not pin lane-pool memory for the
+    // session's lifetime: past the high-water cap the pool is
+    // released outright and regrown (smaller) by the next run().
+    if (poolHighWater_ > kMaxPooledLanes)
+        releasePool();
     return out;
 }
 

@@ -7,6 +7,13 @@
  * FFT workspace), so the compiled model stays immutable and
  * shareable, and the per-frame path performs no heap allocation in
  * the steady state.
+ *
+ * run() is batch-major: utterances are assigned to lane slots
+ * (columns of feature x lanes activation matrices) and advanced in
+ * frame-lockstep, so every weight tensor streams through the cache
+ * once per time step for the whole batch — one GEMM-shaped kernel
+ * call per gate instead of a memory-bound matvec per lane. Lane
+ * columns are bit-identical to the per-utterance step() path.
  */
 
 #ifndef ERNN_RUNTIME_SESSION_HH
@@ -59,6 +66,14 @@ struct BatchResult
 class InferenceSession
 {
   public:
+    /**
+     * run()'s lane pool (batch-major state and scratch matrices) is
+     * kept warm between calls up to this many lanes; a larger batch
+     * is served, then its pool is released so one oversized batch
+     * cannot pin lane state for the session's lifetime.
+     */
+    static constexpr std::size_t kMaxPooledLanes = 64;
+
     explicit InferenceSession(const CompiledModel &model);
 
     const CompiledModel &model() const { return model_; }
@@ -75,9 +90,12 @@ class InferenceSession
 
     /**
      * Batched multi-utterance inference. Utterances are independent
-     * recurrent streams; the session advances them frame-lockstep so
-     * every weight matrix streams through the cache once per time
-     * step instead of once per utterance.
+     * recurrent streams pooled into batch-major matrices (one lane
+     * per column) and advanced frame-lockstep through one batched
+     * kernel call per weight tensor per time step. Lanes are ordered
+     * longest-utterance-first so ragged batches retire lanes from
+     * the tail (a pure shrink, no shuffling); results are
+     * bit-identical to running each utterance alone through step().
      */
     BatchResult run(const std::vector<const nn::Sequence *> &batch);
     BatchResult run(const std::vector<nn::Sequence> &batch);
@@ -88,13 +106,33 @@ class InferenceSession
     /// @}
 
   private:
+    /** Size the batch-major pool for @p lanes utterance lanes. */
+    void preparePool(std::size_t lanes);
+
+    /** Retire trailing lanes: shrink every pooled matrix to
+     *  @p lanes columns, preserving surviving recurrent state. */
+    void shrinkPool(std::size_t lanes);
+
+    /** Drop the pool's backing storage (high-water cap). */
+    void releasePool();
+
     const CompiledModel &model_;
     KernelScratch kernels_;
     std::vector<LayerScratch> layerScratch_;
     std::vector<Vector> layerOut_; //!< inter-layer activations
     Vector logits_;
     Vector frameQ_; //!< value-grid copy of the input frame (fixed point)
-    std::vector<StreamState> streamPool_; //!< reused by run()
+
+    /// @{ Batch-major lane pool, reused across run() calls (capped at
+    /// kMaxPooledLanes; see releasePool()).
+    std::vector<LayerBatchState> batchState_;
+    std::vector<LayerBatchScratch> batchScratch_;
+    std::vector<Matrix> batchOut_; //!< inter-layer activation matrices
+    Matrix batchIn_;               //!< gathered input frames
+    Matrix batchLogits_;           //!< classifier output
+    std::vector<std::size_t> laneOrder_; //!< lane -> utterance index
+    std::size_t poolHighWater_ = 0; //!< lanes allocated since release
+    /// @}
 };
 
 } // namespace ernn::runtime

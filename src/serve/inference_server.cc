@@ -323,6 +323,11 @@ InferenceServer::runBatch(runtime::InferenceSession &session,
                           std::vector<UtteranceJob> &batch,
                           std::size_t worker)
 {
+    // The coalesced batch goes through run()'s batch-major datapath:
+    // every utterance is a lane column and each weight tensor is one
+    // GEMM-shaped kernel call per time step, so dynamic batching
+    // buys compute density (amortized weight traffic), not just
+    // queueing.
     std::vector<const nn::Sequence *> ptrs;
     ptrs.reserve(batch.size());
     for (const auto &job : batch)

@@ -19,6 +19,32 @@ Matrix::setZero()
 }
 
 void
+Matrix::reshape(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+}
+
+void
+Matrix::shrinkCols(std::size_t new_cols)
+{
+    ernn_assert(new_cols <= cols_, "shrinkCols: " << new_cols
+                << " > current " << cols_);
+    if (new_cols == cols_)
+        return;
+    // Repack rows front-to-back: row r's new home starts before (or
+    // at) its old home, so the leading-column payload is never
+    // clobbered before it is moved.
+    for (std::size_t r = 1; r < rows_; ++r)
+        std::copy(data_.begin() + r * cols_,
+                  data_.begin() + r * cols_ + new_cols,
+                  data_.begin() + r * new_cols);
+    cols_ = new_cols;
+    data_.resize(rows_ * cols_);
+}
+
+void
 Matrix::initXavier(Rng &rng)
 {
     const Real bound =
@@ -47,6 +73,81 @@ Matrix::matvecAcc(const Vector &x, Vector &y) const
         for (std::size_t c = 0; c < cols_; ++c)
             s += row[c] * x[c];
         y[r] += s;
+    }
+}
+
+void
+Matrix::gemmAcc(const Matrix &x, Matrix &y) const
+{
+    ernn_assert(x.rows() == cols_, "gemmAcc: x has " << x.rows()
+                << " rows, expected " << cols_);
+    ernn_assert(y.rows() == rows_ && y.cols() == x.cols(),
+                "gemmAcc: y is " << y.rows() << "x" << y.cols()
+                << ", expected " << rows_ << "x" << x.cols());
+    const std::size_t lanes = x.cols();
+    const Real *xd = x.data();
+    Real *yd = y.data();
+
+    // Register-blocked: a kRowTile x kLaneTile block of accumulators
+    // walks the reduction dimension once, so X streams through the
+    // cache once per *four* weight rows instead of once per row, and
+    // each weight element is reused across every lane in the tile.
+    // Every (r, l) accumulator still sums c ascending in its own
+    // scalar chain — exactly matvecAcc's order — which is what keeps
+    // batched inference bit-identical to the solo path.
+    constexpr std::size_t kRowTile = 4;
+    constexpr std::size_t kLaneTile = 4;
+    Real acc[kRowTile][kLaneTile];
+
+    const std::size_t full_r = rows_ - rows_ % kRowTile;
+    const std::size_t full_l = lanes - lanes % kLaneTile;
+    for (std::size_t r0 = 0; r0 < full_r; r0 += kRowTile) {
+        const Real *w0 = data_.data() + (r0 + 0) * cols_;
+        const Real *w1 = data_.data() + (r0 + 1) * cols_;
+        const Real *w2 = data_.data() + (r0 + 2) * cols_;
+        const Real *w3 = data_.data() + (r0 + 3) * cols_;
+        for (std::size_t l0 = 0; l0 < full_l; l0 += kLaneTile) {
+            for (auto &ar : acc)
+                for (auto &a : ar)
+                    a = 0.0;
+            for (std::size_t c = 0; c < cols_; ++c) {
+                const Real *xr = xd + c * lanes + l0;
+                for (std::size_t l = 0; l < kLaneTile; ++l) {
+                    const Real v = xr[l];
+                    acc[0][l] += w0[c] * v;
+                    acc[1][l] += w1[c] * v;
+                    acc[2][l] += w2[c] * v;
+                    acc[3][l] += w3[c] * v;
+                }
+            }
+            for (std::size_t i = 0; i < kRowTile; ++i) {
+                Real *yr = yd + (r0 + i) * lanes + l0;
+                for (std::size_t l = 0; l < kLaneTile; ++l)
+                    yr[l] += acc[i][l];
+            }
+        }
+    }
+
+    // Remainders (trailing rows, trailing lanes): plain lane-tiled
+    // loops, same per-accumulator order.
+    Real racc[kLaneTile];
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const Real *row = data_.data() + r * cols_;
+        const std::size_t l_start = r < full_r ? full_l : 0;
+        for (std::size_t l0 = l_start; l0 < lanes; l0 += kLaneTile) {
+            const std::size_t lt = std::min(kLaneTile, lanes - l0);
+            for (std::size_t l = 0; l < lt; ++l)
+                racc[l] = 0.0;
+            for (std::size_t c = 0; c < cols_; ++c) {
+                const Real w = row[c];
+                const Real *xr = xd + c * lanes + l0;
+                for (std::size_t l = 0; l < lt; ++l)
+                    racc[l] += w * xr[l];
+            }
+            Real *yr = yd + r * lanes + l0;
+            for (std::size_t l = 0; l < lt; ++l)
+                yr[l] += racc[l];
+        }
     }
 }
 
@@ -109,6 +210,40 @@ Matrix::frobeniusDistance(const Matrix &other) const
         s += d * d;
     }
     return std::sqrt(s);
+}
+
+void
+addBiasRows(Matrix &y, const Vector &b)
+{
+    ernn_assert(b.size() == y.rows(), "addBiasRows: bias has "
+                << b.size() << " entries, expected " << y.rows());
+    const std::size_t lanes = y.cols();
+    Real *yd = y.data();
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+        const Real v = b[r];
+        Real *yr = yd + r * lanes;
+        for (std::size_t l = 0; l < lanes; ++l)
+            yr[l] += v;
+    }
+}
+
+void
+hadamardBroadcastAcc(Matrix &acc, const Vector &a, const Matrix &m)
+{
+    ernn_assert(a.size() == acc.rows(),
+                "hadamardBroadcastAcc: vector size mismatch");
+    ernn_assert(m.rows() == acc.rows() && m.cols() == acc.cols(),
+                "hadamardBroadcastAcc: matrix shape mismatch");
+    const std::size_t lanes = acc.cols();
+    Real *ad = acc.data();
+    const Real *md = m.data();
+    for (std::size_t r = 0; r < acc.rows(); ++r) {
+        const Real v = a[r];
+        Real *ar = ad + r * lanes;
+        const Real *mr = md + r * lanes;
+        for (std::size_t l = 0; l < lanes; ++l)
+            ar[l] += v * mr[l];
+    }
 }
 
 bool

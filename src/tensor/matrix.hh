@@ -1,8 +1,10 @@
 /**
  * @file
  * Row-major dense matrix with exactly the operations the RNN stack
- * needs: matvec, transposed matvec accumulation (for backprop), and
- * outer-product accumulation (for weight gradients).
+ * needs: matvec, transposed matvec accumulation (for backprop),
+ * outer-product accumulation (for weight gradients), and the
+ * batch-major GEMM the inference runtime streams utterance lanes
+ * through (one weight pass per time step, amortized over lanes).
  */
 
 #ifndef ERNN_TENSOR_MATRIX_HH
@@ -46,6 +48,22 @@ class Matrix
     void setZero();
 
     /**
+     * Re-dimension to rows x cols with every entry zeroed. Unlike
+     * constructing a fresh matrix, the backing storage is reused, so
+     * a buffer cycling through geometries it has already seen (the
+     * runtime's lane pools) performs no heap allocation.
+     */
+    void reshape(std::size_t rows, std::size_t cols);
+
+    /**
+     * Drop trailing columns, preserving the leading @p new_cols of
+     * every row (the rows are repacked in place). Used by the
+     * batch-major runtime to retire finished utterance lanes without
+     * disturbing the surviving lanes' recurrent state.
+     */
+    void shrinkCols(std::size_t new_cols);
+
+    /**
      * Glorot/Xavier-style uniform initialization with bound
      * sqrt(6 / (rows + cols)), the init used for all RNN weights.
      */
@@ -56,6 +74,16 @@ class Matrix
 
     /** y += A x. */
     void matvecAcc(const Vector &x, Vector &y) const;
+
+    /**
+     * Y += A X (batch-major GEMM): X is cols() x lanes, Y rows() x
+     * lanes, one column per utterance lane. Lane-tiled so each weight
+     * row streams through the cache once for every lane, and each
+     * lane's dot product accumulates in the exact order matvecAcc
+     * uses — column l of Y is bit-identical to matvecAcc on column l
+     * of X.
+     */
+    void gemmAcc(const Matrix &x, Matrix &y) const;
 
     /** dx += Aᵀ dy (backprop through a linear map). */
     void matvecTransposeAcc(const Vector &dy, Vector &dx) const;
@@ -80,6 +108,19 @@ class Matrix
     std::size_t cols_ = 0;
     std::vector<Real> data_;
 };
+
+/// @{ Batch-major (feature x lanes) elementwise helpers. Each mirrors
+/// the corresponding per-lane Vector op entry-for-entry, so a lane
+/// column computes the exact bits the solo path computes.
+
+/** y[r][l] += b[r] — broadcast a bias over every lane. */
+void addBiasRows(Matrix &y, const Vector &b);
+
+/** acc[r][l] += a[r] * m[r][l] — broadcast-Hadamard (peepholes). */
+void hadamardBroadcastAcc(Matrix &acc, const Vector &a,
+                          const Matrix &m);
+
+/// @}
 
 } // namespace ernn
 

@@ -461,6 +461,170 @@ TEST(RuntimeBatch, BatchedRunEqualsPerUtteranceLoops)
     }
 }
 
+// --- Batch-major parity ------------------------------------------------
+
+namespace
+{
+
+/** Solo oracle: one utterance, frame by frame, through step(). */
+nn::Sequence
+soloLogits(InferenceSession &session, const nn::Sequence &utt)
+{
+    StreamState stream = session.newStream();
+    nn::Sequence out(utt.size());
+    for (std::size_t t = 0; t < utt.size(); ++t)
+        out[t] = session.step(stream, utt[t]);
+    return out;
+}
+
+/** Ragged lengths (zero-length and single-frame mixed in). */
+std::vector<std::size_t>
+raggedLengths(std::size_t batch)
+{
+    static const std::size_t pattern[] = {5, 1, 9, 0, 3, 12, 7, 2};
+    std::vector<std::size_t> out(batch);
+    for (std::size_t u = 0; u < batch; ++u)
+        out[u] = pattern[u % (sizeof(pattern) / sizeof(pattern[0]))];
+    return out;
+}
+
+} // namespace
+
+/**
+ * The tentpole contract: batched run() routes every lane through the
+ * GEMM-shaped batch-major datapath, and each lane must reproduce the
+ * per-utterance step() path bit for bit — across backends, batch
+ * sizes, and ragged lengths (mid-run lane retirement included).
+ */
+TEST(RuntimeBatchMajor, BatchedBitIdenticalToSoloAcrossBackends)
+{
+    struct BackendCase
+    {
+        CompileOptions opts;
+        const char *name;
+    };
+    const auto makeCase = [](BackendKind kind, bool emulate,
+                             const char *name) {
+        BackendCase bc{{}, name};
+        bc.opts.backend = kind;
+        bc.opts.fixedPointEmulation = emulate;
+        return bc;
+    };
+    const std::vector<BackendCase> backends = {
+        makeCase(BackendKind::Auto, false, "auto"),
+        makeCase(BackendKind::Dense, false, "dense"),
+        makeCase(BackendKind::CirculantFft, false, "circulant-fft"),
+        makeCase(BackendKind::FixedPoint, false, "fixed-point"),
+        makeCase(BackendKind::FixedPoint, true,
+                 "fixed-point-emulation"),
+    };
+
+    const std::vector<nn::ModelSpec> specs = randomSpecs();
+    // LSTM (peephole + projection) and GRU, both with circulant
+    // weights, cover every stepBatch code path.
+    for (const nn::ModelSpec *spec : {&specs[0], &specs[1]}) {
+        nn::StackedRnn model = buildInit(*spec, 131);
+        for (const BackendCase &bc : backends) {
+            CompiledModel compiled = compile(model, bc.opts);
+            InferenceSession batched = compiled.createSession();
+            InferenceSession solo = compiled.createSession();
+
+            for (std::size_t bs : {1u, 2u, 7u, 16u, 64u}) {
+                const auto lens = raggedLengths(bs);
+                std::vector<nn::Sequence> batch;
+                batch.reserve(bs);
+                for (std::size_t u = 0; u < bs; ++u)
+                    batch.push_back(randomFrames(
+                        lens[u], spec->inputDim, 1000 + 17 * u));
+
+                const BatchResult result = batched.run(batch);
+                ASSERT_EQ(result.logits.size(), bs);
+                ASSERT_EQ(result.predictions.size(), bs);
+                for (std::size_t u = 0; u < bs; ++u) {
+                    SCOPED_TRACE(std::string(bc.name) + " batch=" +
+                                 std::to_string(bs) + " u=" +
+                                 std::to_string(u));
+                    ASSERT_EQ(result.logits[u].size(), lens[u]);
+                    ASSERT_EQ(result.predictions[u].size(), lens[u]);
+                    const nn::Sequence expect =
+                        soloLogits(solo, batch[u]);
+                    expectSequencesNear(result.logits[u], expect,
+                                        0.0);
+                    for (std::size_t t = 0; t < lens[u]; ++t)
+                        EXPECT_EQ(result.predictions[u][t],
+                                  static_cast<int>(argmax(expect[t])))
+                            << "t=" << t;
+                }
+            }
+        }
+    }
+}
+
+/** Streaming step() interleaved with batched run() on one session:
+ *  the stream's state must be untouched by the lane pool, and the
+ *  batch must be unaffected by the live stream. */
+TEST(RuntimeBatchMajor, StreamingInterleavedWithRun)
+{
+    const nn::ModelSpec spec = randomSpecs().front();
+    nn::StackedRnn model = buildInit(spec, 141);
+    CompiledModel compiled = compile(model);
+    InferenceSession session = compiled.createSession();
+    InferenceSession oracle = compiled.createSession();
+
+    const nn::Sequence utt = randomFrames(10, spec.inputDim, 142);
+    const nn::Sequence expect = soloLogits(oracle, utt);
+
+    std::vector<nn::Sequence> batch;
+    for (std::size_t u = 0; u < 7; ++u)
+        batch.push_back(
+            randomFrames(1 + 2 * u, spec.inputDim, 150 + u));
+
+    StreamState stream = session.newStream();
+    for (std::size_t t = 0; t < utt.size(); ++t) {
+        const Vector &lg = session.step(stream, utt[t]);
+        for (std::size_t k = 0; k < lg.size(); ++k)
+            EXPECT_EQ(lg[k], expect[t][k]) << "t=" << t;
+        // A batched run between every stream step: neither side may
+        // perturb the other.
+        const BatchResult result = session.run(batch);
+        for (std::size_t u = 0; u < batch.size(); ++u)
+            expectSequencesNear(result.logits[u],
+                                soloLogits(oracle, batch[u]), 0.0);
+    }
+    EXPECT_EQ(stream.framesSeen(), utt.size());
+}
+
+/** An oversized batch releases the lane pool afterwards (high-water
+ *  cap); later runs regrow it and stay bit-exact. */
+TEST(RuntimeBatchMajor, OversizedBatchReleasesPoolAndStaysExact)
+{
+    const nn::ModelSpec spec = randomSpecs()[1]; // GRU
+    nn::StackedRnn model = buildInit(spec, 161);
+    CompiledModel compiled = compile(model);
+    InferenceSession session = compiled.createSession();
+    InferenceSession solo = compiled.createSession();
+
+    const std::size_t oversized =
+        InferenceSession::kMaxPooledLanes + 9;
+    std::vector<nn::Sequence> big;
+    for (std::size_t u = 0; u < oversized; ++u)
+        big.push_back(randomFrames(1 + u % 5, spec.inputDim,
+                                   170 + u));
+    const BatchResult bigResult = session.run(big);
+    for (std::size_t u = 0; u < big.size(); ++u)
+        expectSequencesNear(bigResult.logits[u],
+                            soloLogits(solo, big[u]), 0.0);
+
+    // The pool was released; a small follow-up run regrows it.
+    std::vector<nn::Sequence> small;
+    for (std::size_t u = 0; u < 3; ++u)
+        small.push_back(randomFrames(4, spec.inputDim, 180 + u));
+    const BatchResult smallResult = session.run(small);
+    for (std::size_t u = 0; u < small.size(); ++u)
+        expectSequencesNear(smallResult.logits[u],
+                            soloLogits(solo, small[u]), 0.0);
+}
+
 // --- Streaming step() semantics ----------------------------------------
 
 TEST(RuntimeStreaming, StepMatchesRunFrameForFrame)

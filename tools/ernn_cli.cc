@@ -439,9 +439,13 @@ cmdServeBench(Flags &f)
             rng.fillNormal(frame, 1.0);
     }
 
+    // frames/s rides the batch-major run() datapath: every coalesced
+    // batch is one GEMM-shaped kernel call per weight per time step,
+    // so "compute us/frame" falls as "mean batch" rises (compute
+    // density, not just queueing).
     std::cout << padRight("workers", 9) << padRight("maxBatch", 10)
               << padRight("frames/s", 12) << padRight("mean batch", 12)
-              << "\n";
+              << padRight("compute us/frame", 17) << "\n";
     for (std::size_t w : workers) {
         for (std::size_t b : batches) {
             serve::ServerOptions sopts;
@@ -469,6 +473,15 @@ cmdServeBench(Flags &f)
                              12)
                       << padRight(fmtReal(stats.meanBatchSize(), 2),
                                   12)
+                      << padRight(
+                             fmtReal(stats.framesProcessed
+                                         ? stats.computeMicros.sum() /
+                                               static_cast<Real>(
+                                                   stats
+                                                       .framesProcessed)
+                                         : 0.0,
+                                     1),
+                             17)
                       << "\n";
         }
     }
