@@ -12,9 +12,12 @@
  * host are interpretable.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <iostream>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -22,6 +25,7 @@
 #include "base/table.hh"
 #include "bench_util.hh"
 #include "serve/inference_server.hh"
+#include "serve/registry.hh"
 
 using namespace ernn;
 using Clock = std::chrono::steady_clock;
@@ -154,6 +158,209 @@ sweepBackend(const std::string &name,
     table.print(std::cout);
 }
 
+// --- Fleet layer: mixed traffic through a ModelRegistry -----------
+
+/** Fleet-bench geometry: the fleet section measures scheduling and
+ *  hot-swap latency, not kernel speed, so it runs a reduced LSTM
+ *  (2x256, block 32) that keeps both schedulers well off the
+ *  compute-bound regime. */
+nn::ModelSpec
+fleetSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 64;
+    spec.numClasses = 16;
+    spec.layerSizes = {256, 256};
+    spec.blockSizes = {32, 32};
+    return spec;
+}
+
+std::shared_ptr<const runtime::CompiledModel>
+fleetModel(std::uint64_t seed, runtime::BackendKind backend)
+{
+    nn::StackedRnn model = nn::buildModel(fleetSpec());
+    Rng rng(seed);
+    model.initXavier(rng);
+    runtime::CompileOptions opts;
+    opts.backend = backend;
+    return runtime::compileShared(model, opts);
+}
+
+Real
+percentile(std::vector<Real> v, Real p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<Real>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+}
+
+/** Per-model latency samples, filled by every submitter thread. */
+struct LatencySamples
+{
+    std::mutex mu;
+    std::vector<Real> queueUs;
+    std::vector<Real> computeUs;
+
+    void add(const serve::RequestTiming &t)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        queueUs.push_back(static_cast<Real>(t.queueMicros));
+        computeUs.push_back(static_cast<Real>(t.computeMicros));
+    }
+};
+
+/**
+ * Mixed traffic against a two-model registry: batch submitters and a
+ * streaming client per id, with a hot swap of model A mid-run. The
+ * table reports per-id p50/p99 queue and compute latency — queue
+ * latency is where the scheduler shows (continuous admission refills
+ * lanes the moment one retires; hold-open waits for the batch), and
+ * the swap must contribute zero rejected submissions.
+ */
+void
+fleetBench(bool continuous, bool full)
+{
+    const std::size_t requests_per_model = full ? 192 : 64;
+    const std::size_t submitters_per_model = 2;
+
+    serve::ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.maxBatch = 8;
+    sopts.queueCapacity = 32;
+    sopts.scheduler = continuous ? serve::SchedulerMode::Continuous
+                                 : serve::SchedulerMode::HoldOpen;
+
+    serve::ModelRegistry registry;
+    registry.publish("asr-a", 1,
+                     fleetModel(11, runtime::BackendKind::CirculantFft),
+                     sopts);
+    registry.publish("asr-b", 1,
+                     fleetModel(13, runtime::BackendKind::FixedPoint),
+                     sopts);
+    const char *ids[2] = {"asr-a", "asr-b"};
+
+    LatencySamples samples[2];
+    std::atomic<std::size_t> completed{0};
+    std::atomic<std::size_t> rejected{0};
+    std::atomic<bool> stop{false};
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+
+    // Batch submitters: ragged utterances, blocking admission.
+    std::size_t total_frames = 0;
+    const std::size_t per_thread =
+        requests_per_model / submitters_per_model;
+    for (std::size_t m = 0; m < 2; ++m) {
+        for (std::size_t s = 0; s < submitters_per_model; ++s) {
+            Rng rng(100 * m + s);
+            std::vector<nn::Sequence> load(per_thread);
+            for (auto &utt : load) {
+                utt.assign(4 + rng.index(12),
+                           Vector(fleetSpec().inputDim));
+                for (auto &f : utt)
+                    rng.fillNormal(f, 1.0);
+                total_frames += utt.size();
+            }
+            threads.emplace_back([&, m, load = std::move(load)] {
+                for (const auto &utt : load) {
+                    std::future<serve::InferenceReply> fut;
+                    if (registry.submit(ids[m], utt, fut) !=
+                        serve::SubmitStatus::Ok) {
+                        rejected.fetch_add(1);
+                        continue;
+                    }
+                    samples[m].add(fut.get().timing);
+                    completed.fetch_add(1);
+                }
+            });
+        }
+    }
+
+    // One streaming client per id; a hot swap retires its pinned
+    // version mid-utterance and it reopens on the new one. Steps are
+    // paced at 1 kHz like a real-time feature stream — an unthrottled
+    // loop would be an open-loop generator soaking up every spare
+    // core and drowning the batch-path comparison.
+    std::atomic<std::size_t> streamSteps{0};
+    std::atomic<std::size_t> streamReopens{0};
+    for (std::size_t m = 0; m < 2; ++m) {
+        threads.emplace_back([&, m] {
+            Rng rng(50 + m);
+            Vector frame(fleetSpec().inputDim);
+            serve::ModelStream stream = registry.openStream(ids[m]);
+            while (!stop.load()) {
+                rng.fillNormal(frame, 1.0);
+                try {
+                    stream.stepSync(frame);
+                    streamSteps.fetch_add(1);
+                } catch (const std::exception &) {
+                    stream = registry.openStream(ids[m]);
+                    streamReopens.fetch_add(1);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    }
+
+    // Swap model A one third of the way through the run; in-flight
+    // requests drain on v1 while new submissions land on v2.
+    std::thread swapper([&] {
+        const std::size_t third = (2 * requests_per_model) / 3;
+        while (completed.load() < third && !stop.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        registry.publish(
+            "asr-a", 2,
+            fleetModel(12, runtime::BackendKind::CirculantFft), sopts);
+    });
+
+    for (std::size_t t = 0;
+         t < submitters_per_model * 2; ++t)
+        threads[t].join();
+    stop.store(true);
+    swapper.join();
+    for (std::size_t t = submitters_per_model * 2;
+         t < threads.size(); ++t)
+        threads[t].join();
+    const Real secs = secondsSince(t0);
+
+    TextTable table(std::string("fleet mixed traffic, ") +
+                    (continuous ? "continuous" : "hold-open") +
+                    " scheduler: 2 models, " +
+                    std::to_string(2 * requests_per_model) +
+                    " requests + streams, hot swap mid-run");
+    table.setHeader({"model", "version", "requests", "queue p50 (us)",
+                     "queue p99 (us)", "compute p50 (us)",
+                     "compute p99 (us)"});
+    for (std::size_t m = 0; m < 2; ++m) {
+        std::lock_guard<std::mutex> lk(samples[m].mu);
+        table.addRow(
+            {ids[m],
+             "v" + std::to_string(registry.activeVersion(ids[m])) +
+                 " (gen " +
+                 std::to_string(
+                     registry.models()[m].generations) + ")",
+             std::to_string(samples[m].queueUs.size()),
+             fmtReal(percentile(samples[m].queueUs, 0.50), 0),
+             fmtReal(percentile(samples[m].queueUs, 0.99), 0),
+             fmtReal(percentile(samples[m].computeUs, 0.50), 0),
+             fmtReal(percentile(samples[m].computeUs, 0.99), 0)});
+    }
+    table.print(std::cout);
+    std::cout << "  " << fmtGrouped(static_cast<long long>(
+                     static_cast<Real>(total_frames) / secs))
+              << " frames/s aggregate, " << streamSteps.load()
+              << " stream steps (" << streamReopens.load()
+              << " reopens across the swap), " << rejected.load()
+              << " rejected submissions (must be 0)\n";
+    registry.shutdown();
+}
+
 } // namespace
 
 int
@@ -221,6 +428,12 @@ main()
     fp.fixedPointBits = 12;
     sweepBackend("FixedPoint backend", runtime::compile(model, fp),
                  slow_set, workers, 8);
+
+    bench::banner(
+        "Fleet layer: two-model registry, mixed batch+stream "
+        "traffic, hot swap mid-bench");
+    fleetBench(false, full);
+    fleetBench(true, full);
 
     if (!full)
         std::cout << "\n(quick mode; set ERNN_FULL=1 for the full "

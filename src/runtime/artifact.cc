@@ -7,12 +7,69 @@
 #include <sstream>
 #include <utility>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "runtime/compiled_layers.hh"
 
 namespace ernn::runtime
 {
+
+namespace detail
+{
+
+/**
+ * Private-access key (friended by CompiledModel) that lets the
+ * loaders in this translation unit assemble models in place — the
+ * mmap path needs to construct into shared ownership and attach the
+ * mapping that owns its borrowed weight blobs.
+ */
+struct ArtifactAccess
+{
+    static std::shared_ptr<CompiledModel> makeShared()
+    {
+        return std::shared_ptr<CompiledModel>(new CompiledModel());
+    }
+
+    static std::vector<std::unique_ptr<CompiledLayer>> &
+    layers(CompiledModel &m)
+    {
+        return m.layers_;
+    }
+
+    static std::unique_ptr<LinearKernel> &classifier(CompiledModel &m)
+    {
+        return m.classifier_;
+    }
+
+    static Vector &classifierBias(CompiledModel &m)
+    {
+        return m.classifierBias_;
+    }
+
+    static Datapath &datapath(CompiledModel &m)
+    {
+        return m.datapath_;
+    }
+
+    static CompileOptions &options(CompiledModel &m)
+    {
+        return m.options_;
+    }
+
+    static std::shared_ptr<const void> &mapping(CompiledModel &m)
+    {
+        return m.mapping_;
+    }
+};
+
+} // namespace detail
 
 namespace
 {
@@ -103,7 +160,7 @@ class Writer
 class Reader
 {
   public:
-    Reader(const std::string &buf, std::size_t payload_end)
+    Reader(const char *buf, std::size_t payload_end)
         : buf_(buf), end_(payload_end)
     {
     }
@@ -181,13 +238,55 @@ class Reader
             ernn_fatal("artifact payload ends while reading " << what
                        << " (offset " << pos_ << " of " << end_
                        << " payload bytes)");
-        std::memcpy(p, buf_.data() + pos_, n);
+        std::memcpy(p, buf_ + pos_, n);
         pos_ += n;
     }
 
-    const std::string &buf_;
+    const char *buf_;
     std::size_t pos_ = 0;
     std::size_t end_;
+};
+
+/** Next multiple of the v3 blob alignment at or past @p off. */
+constexpr std::size_t
+align64(std::size_t off)
+{
+    return (off + kArtifactBlobAlign - 1) & ~(kArtifactBlobAlign - 1);
+}
+
+/**
+ * v3 writer side: kernels register their weight payloads here and
+ * write a placeholder descriptor into the metadata stream; once the
+ * metadata is complete the blob section is laid out, every
+ * descriptor is patched (offset, byte count, FNV-1a of the blob),
+ * and the blobs are appended 64-byte aligned.
+ */
+class V3BlobTable
+{
+  public:
+    struct Entry
+    {
+        const void *data;
+        std::size_t bytes;
+        std::size_t patch;  //!< descriptor position in the metadata
+        std::size_t offset; //!< assigned blob offset (layout pass)
+    };
+
+    /** Register @p bytes of payload; writes the placeholder
+     *  descriptor. @p data must stay valid until serialization
+     *  finishes (it points into the kernel being saved). */
+    void add(Writer &w, const void *data, std::size_t bytes)
+    {
+        entries_.push_back(Entry{data, bytes, w.tell(), 0});
+        w.u64(0); // offset
+        w.u64(0); // bytes
+        w.u64(0); // fnv1a
+    }
+
+    std::vector<Entry> &entries() { return entries_; }
+
+  private:
+    std::vector<Entry> entries_;
 };
 
 // --- kernels -----------------------------------------------------------
@@ -316,28 +415,61 @@ weightCodes(const FixedPointKernel &f)
 
 void
 writeKernel(Writer &w, const LinearKernel &kernel,
-            std::uint32_t version)
+            std::uint32_t version, V3BlobTable *blobs)
 {
     if (const auto *d = dynamic_cast<const DenseKernel *>(&kernel)) {
         w.u8(kDense);
-        writeDense(w, d->weight());
+        if (blobs) {
+            w.size(d->outDim());
+            w.size(d->inDim());
+            blobs->add(w, d->weightData(),
+                       d->outDim() * d->inDim() * sizeof(Real));
+        } else {
+            writeDense(w, d->weight());
+        }
         return;
     }
     if (const auto *c =
             dynamic_cast<const CirculantFftKernel *>(&kernel)) {
         w.u8(kCirculantFft);
-        writeCirculant(w, c->weight());
+        if (blobs) {
+            const circulant::BlockCirculantMatrix &m = c->weight();
+            w.size(m.rows());
+            w.size(m.cols());
+            w.size(m.blockSize());
+            blobs->add(w, m.raw().data(),
+                       m.raw().size() * sizeof(Real));
+        } else {
+            writeCirculant(w, c->weight());
+        }
         return;
     }
     if (const auto *f =
             dynamic_cast<const FixedPointKernel *>(&kernel)) {
-        // v2 stores int16 grid codes when the kernel is packed (width
+        // v2+ stores int16 grid codes when the kernel is packed (width
         // <= 16); v1 — and unpacked widths — store the f64 grid values.
         const bool q16 = version >= 2 && f->integerPacked();
         if (f->isCirculant()) {
             w.u8(q16 ? kFixedPointCirculantQ16 : kFixedPointCirculant);
             writeFormat(w, f->weightFormat());
-            if (q16) {
+            if (blobs) {
+                w.size(f->outDim());
+                w.size(f->inDim());
+                w.size(f->circulantBlockSize());
+                if (q16) {
+                    // v3 stores the *compute layout* (doubled
+                    // generators) so a mapped kernel serves the blob
+                    // in place without repacking.
+                    blobs->add(w, f->packedCodes(),
+                               f->packedCodeCount() *
+                                   sizeof(std::int16_t));
+                } else {
+                    const std::vector<Real> &gens =
+                        f->quantizedWeights();
+                    blobs->add(w, gens.data(),
+                               gens.size() * sizeof(Real));
+                }
+            } else if (q16) {
                 const circulant::BlockCirculantMatrix &m =
                     f->circulantWeight();
                 w.size(m.rows());
@@ -351,7 +483,20 @@ writeKernel(Writer &w, const LinearKernel &kernel,
         } else {
             w.u8(q16 ? kFixedPointDenseQ16 : kFixedPointDense);
             writeFormat(w, f->weightFormat());
-            if (q16) {
+            if (blobs) {
+                w.size(f->outDim());
+                w.size(f->inDim());
+                if (q16) {
+                    blobs->add(w, f->packedCodes(),
+                               f->packedCodeCount() *
+                                   sizeof(std::int16_t));
+                } else {
+                    const std::vector<Real> &vals =
+                        f->quantizedWeights();
+                    blobs->add(w, vals.data(),
+                               vals.size() * sizeof(Real));
+                }
+            } else if (q16) {
                 const Matrix &m = f->denseWeight();
                 w.size(m.rows());
                 w.size(m.cols());
@@ -434,9 +579,244 @@ readCirculantQ16(Reader &r, const quant::FixedPointFormat &fmt)
     return m;
 }
 
-std::unique_ptr<LinearKernel>
-readKernel(Reader &r)
+/**
+ * v3 reader side: resolves blob descriptors against the file bytes.
+ * Every fetch validates the descriptor (byte count against the
+ * metadata geometry, 64-byte alignment, file bounds, and — unless
+ * verification is off — the blob's FNV-1a checksum), then returns a
+ * pointer into the file. In zero-copy mode the caller hands that
+ * pointer straight to a borrowing kernel; in copy mode it memcpys.
+ */
+struct V3Resolver
 {
+    const char *base = nullptr;
+    std::size_t fileSize = 0;
+    std::size_t blobStart = 0; //!< first legal blob offset
+    bool zeroCopy = false;
+    bool verify = true;
+
+    /** Layout record per blob, in metadata order (`ernn info`). */
+    struct BlobInfo
+    {
+        const char *what;
+        std::uint64_t offset;
+        std::uint64_t bytes;
+        bool inPlace; //!< served zero-copy under loadArtifactMapped
+    };
+    std::vector<BlobInfo> report;
+
+    const char *fetch(Reader &r, std::size_t expect_bytes,
+                      const char *what, bool in_place_eligible)
+    {
+        const std::uint64_t off = r.u64("blob offset");
+        const std::uint64_t len = r.u64("blob byte count");
+        const std::uint64_t sum = r.u64("blob checksum");
+        if (len != expect_bytes)
+            ernn_fatal("artifact blob: " << what << " declares "
+                       << len << " bytes but the metadata geometry "
+                       "needs " << expect_bytes);
+        if (off % kArtifactBlobAlign != 0)
+            ernn_fatal("artifact blob: " << what << " at offset "
+                       << off << " is misaligned (every v3 blob "
+                       "starts " << kArtifactBlobAlign
+                       << "-byte aligned)");
+        if (off < blobStart || off > fileSize ||
+            len > fileSize - off)
+            ernn_fatal("artifact blob: " << what << " at [" << off
+                       << ", +" << len << ") lies outside the blob "
+                       "section of the " << fileSize << "-byte file "
+                       "(truncated?)");
+        const char *p = base + off;
+        if (verify) {
+            const std::uint64_t actual = fnv1a64(p, len);
+            if (actual != sum)
+                ernn_fatal("artifact blob: " << what
+                           << " checksum mismatch (stored 0x"
+                           << std::hex << sum << ", computed 0x"
+                           << actual << std::dec
+                           << "): the file is corrupted");
+        }
+        report.push_back(BlobInfo{what, off, len, in_place_eligible});
+        return p;
+    }
+};
+
+/** Die if any code lies outside the format's representable range. */
+void
+checkCodeRange(const std::int16_t *codes, std::size_t n,
+               const quant::FixedPointFormat &fmt, const char *what)
+{
+    const std::int64_t lo = fmt.minQ(), hi = fmt.maxQ();
+    for (std::size_t i = 0; i < n; ++i)
+        if (codes[i] < lo || codes[i] > hi)
+            ernn_fatal("artifact blob: " << what << " code "
+                       << codes[i] << " outside [" << lo << ", "
+                       << hi << "] of " << fmt.name());
+}
+
+void
+checkDims(std::size_t rows, std::size_t cols, const char *what)
+{
+    if (rows == 0 || cols == 0 || rows > kMaxDim || cols > kMaxDim)
+        ernn_fatal("artifact payload: implausible " << what
+                   << " geometry " << rows << "x" << cols);
+}
+
+std::unique_ptr<LinearKernel>
+readKernelV3(Reader &r, V3Resolver &v3)
+{
+    const std::uint8_t tag = r.u8("kernel tag");
+    switch (tag) {
+      case kDense: {
+        const std::size_t rows = r.size("dense kernel rows");
+        const std::size_t cols = r.size("dense kernel cols");
+        checkDims(rows, cols, "dense kernel");
+        const char *p = v3.fetch(r, rows * cols * sizeof(Real),
+                                 "dense f64 weights", true);
+        if (v3.zeroCopy)
+            return std::make_unique<DenseKernel>(
+                reinterpret_cast<const Real *>(p), rows, cols);
+        Matrix m(rows, cols);
+        std::memcpy(m.data(), p, rows * cols * sizeof(Real));
+        return std::make_unique<DenseKernel>(std::move(m));
+      }
+      case kCirculantFft: {
+        const std::size_t rows = r.size("circulant kernel rows");
+        const std::size_t cols = r.size("circulant kernel cols");
+        const std::size_t block =
+            r.size("circulant kernel block size");
+        checkDims(rows, cols, "circulant kernel");
+        if (block == 0 || rows % block != 0 || cols % block != 0)
+            ernn_fatal("artifact payload: circulant kernel " << rows
+                       << "x" << cols << " not divisible by block "
+                       << block);
+        const std::size_t gens = rows / block * cols;
+        // Generator spectra must be re-derived on load regardless,
+        // so the FFT backend copies its generators even when mapped.
+        const char *p = v3.fetch(r, gens * sizeof(Real),
+                                 "circulant f64 generators", false);
+        circulant::BlockCirculantMatrix m(rows, cols, block);
+        std::memcpy(m.raw().data(), p, gens * sizeof(Real));
+        m.invalidateSpectra();
+        return std::make_unique<CirculantFftKernel>(std::move(m));
+      }
+      case kFixedPointDense: {
+        const quant::FixedPointFormat fmt = readFormat(r);
+        const std::size_t rows = r.size("dense kernel rows");
+        const std::size_t cols = r.size("dense kernel cols");
+        checkDims(rows, cols, "dense kernel");
+        const char *p =
+            v3.fetch(r, rows * cols * sizeof(Real),
+                     "fixed-point f64 weights (unpacked)", false);
+        Matrix m(rows, cols);
+        std::memcpy(m.data(), p, rows * cols * sizeof(Real));
+        return std::make_unique<FixedPointKernel>(std::move(m), fmt);
+      }
+      case kFixedPointCirculant: {
+        const quant::FixedPointFormat fmt = readFormat(r);
+        const std::size_t rows = r.size("circulant kernel rows");
+        const std::size_t cols = r.size("circulant kernel cols");
+        const std::size_t block =
+            r.size("circulant kernel block size");
+        checkDims(rows, cols, "circulant kernel");
+        if (block == 0 || rows % block != 0 || cols % block != 0)
+            ernn_fatal("artifact payload: circulant kernel " << rows
+                       << "x" << cols << " not divisible by block "
+                       << block);
+        const std::size_t gens = rows / block * cols;
+        const char *p =
+            v3.fetch(r, gens * sizeof(Real),
+                     "fixed-point f64 generators (unpacked)", false);
+        circulant::BlockCirculantMatrix m(rows, cols, block);
+        std::memcpy(m.raw().data(), p, gens * sizeof(Real));
+        m.invalidateSpectra();
+        return std::make_unique<FixedPointKernel>(std::move(m), fmt);
+      }
+      case kFixedPointDenseQ16: {
+        const quant::FixedPointFormat fmt = readFormat(r);
+        if (fmt.totalBits > 16)
+            ernn_fatal("artifact payload: dense kernel stores int16 "
+                       "codes for a " << fmt.totalBits
+                       << "-bit format");
+        const std::size_t rows = r.size("dense kernel rows");
+        const std::size_t cols = r.size("dense kernel cols");
+        checkDims(rows, cols, "dense kernel");
+        const std::size_t n = rows * cols;
+        const char *p = v3.fetch(r, n * sizeof(std::int16_t),
+                                 "dense int16 weight codes", true);
+        const auto *codes = reinterpret_cast<const std::int16_t *>(p);
+        if (v3.verify || !v3.zeroCopy)
+            checkCodeRange(codes, n, fmt,
+                           "dense int16 weight codes");
+        if (v3.zeroCopy)
+            return std::make_unique<FixedPointKernel>(
+                FixedPointKernel::Borrowed{}, codes, rows, cols, fmt);
+        // Copy load: decode onto the grid; the rehydrating
+        // constructor re-verifies while packing its compute layout.
+        Matrix m(rows, cols);
+        for (std::size_t i = 0; i < n; ++i)
+            m.data()[i] = fmt.fromQ(codes[i]);
+        return std::make_unique<FixedPointKernel>(std::move(m), fmt);
+      }
+      case kFixedPointCirculantQ16: {
+        const quant::FixedPointFormat fmt = readFormat(r);
+        if (fmt.totalBits > 16)
+            ernn_fatal("artifact payload: circulant kernel stores "
+                       "int16 codes for a " << fmt.totalBits
+                       << "-bit format");
+        const std::size_t rows = r.size("circulant kernel rows");
+        const std::size_t cols = r.size("circulant kernel cols");
+        const std::size_t block =
+            r.size("circulant kernel block size");
+        checkDims(rows, cols, "circulant kernel");
+        if (block == 0 || rows % block != 0 || cols % block != 0)
+            ernn_fatal("artifact payload: circulant kernel " << rows
+                       << "x" << cols << " not divisible by block "
+                       << block);
+        const std::size_t blocks = rows / block * (cols / block);
+        const std::size_t n = blocks * 2 * block;
+        const char *p =
+            v3.fetch(r, n * sizeof(std::int16_t),
+                     "circulant int16 generator codes", true);
+        const auto *codes = reinterpret_cast<const std::int16_t *>(p);
+        if (v3.verify || !v3.zeroCopy) {
+            checkCodeRange(codes, n, fmt,
+                           "circulant int16 generator codes");
+            // The blob is the doubled compute layout; both halves of
+            // every generator must agree or the blob was tampered
+            // with (the second half would silently win for some rows).
+            for (std::size_t b = 0; b < blocks; ++b)
+                for (std::size_t j = 0; j < block; ++j)
+                    if (codes[b * 2 * block + j] !=
+                        codes[b * 2 * block + block + j])
+                        ernn_fatal("artifact blob: inconsistent "
+                                   "doubled generator codes in block "
+                                   << b);
+        }
+        if (v3.zeroCopy)
+            return std::make_unique<FixedPointKernel>(
+                FixedPointKernel::Borrowed{}, codes, rows, cols,
+                block, fmt);
+        circulant::BlockCirculantMatrix m(rows, cols, block);
+        for (std::size_t b = 0; b < blocks; ++b)
+            for (std::size_t j = 0; j < block; ++j)
+                m.raw()[b * block + j] =
+                    fmt.fromQ(codes[b * 2 * block + j]);
+        m.invalidateSpectra();
+        return std::make_unique<FixedPointKernel>(std::move(m), fmt);
+      }
+      default:
+        ernn_fatal("artifact payload: unknown kernel tag "
+                   << static_cast<int>(tag) << " at offset "
+                   << r.pos());
+    }
+}
+
+std::unique_ptr<LinearKernel>
+readKernel(Reader &r, V3Resolver *v3)
+{
+    if (v3)
+        return readKernelV3(r, *v3);
     const std::uint8_t tag = r.u8("kernel tag");
     switch (tag) {
       case kDense:
@@ -506,7 +886,7 @@ readAct(Reader &r, const char *what)
 
 void
 writeLstm(Writer &w, const detail::LstmParts &p,
-          std::uint32_t version)
+          std::uint32_t version, V3BlobTable *blobs)
 {
     w.u8(kLstm);
     w.size(p.cfg.inputSize);
@@ -523,10 +903,10 @@ writeLstm(Writer &w, const detail::LstmParts &p,
         p.wix.get(), p.wfx.get(), p.wcx.get(), p.wox.get(),
         p.wir.get(), p.wfr.get(), p.wcr.get(), p.wor.get()};
     for (const LinearKernel *k : order)
-        writeKernel(w, *k, version);
+        writeKernel(w, *k, version, blobs);
     w.u8(p.wym ? 1 : 0);
     if (p.wym)
-        writeKernel(w, *p.wym, version);
+        writeKernel(w, *p.wym, version, blobs);
 
     writeVector(w, p.bi);
     writeVector(w, p.bf);
@@ -538,7 +918,7 @@ writeLstm(Writer &w, const detail::LstmParts &p,
 }
 
 std::unique_ptr<CompiledLayer>
-readLstm(Reader &r)
+readLstm(Reader &r, V3Resolver *v3)
 {
     detail::LstmParts p;
     p.cfg.inputSize = r.size("lstm input size");
@@ -555,9 +935,9 @@ readLstm(Reader &r)
         &p.wix, &p.wfx, &p.wcx, &p.wox,
         &p.wir, &p.wfr, &p.wcr, &p.wor};
     for (auto *slot : order)
-        *slot = readKernel(r);
+        *slot = readKernel(r, v3);
     if (r.u8("lstm projection flag"))
-        p.wym = readKernel(r);
+        p.wym = readKernel(r, v3);
 
     p.bi = readVector(r, "lstm bias bi");
     p.bf = readVector(r, "lstm bias bf");
@@ -574,7 +954,8 @@ readLstm(Reader &r)
 }
 
 void
-writeGru(Writer &w, const detail::GruParts &p, std::uint32_t version)
+writeGru(Writer &w, const detail::GruParts &p, std::uint32_t version,
+         V3BlobTable *blobs)
 {
     w.u8(kGru);
     w.size(p.cfg.inputSize);
@@ -587,7 +968,7 @@ writeGru(Writer &w, const detail::GruParts &p, std::uint32_t version)
                                     p.wcx.get(), p.wzc.get(),
                                     p.wrc.get(), p.wcc.get()};
     for (const LinearKernel *k : order)
-        writeKernel(w, *k, version);
+        writeKernel(w, *k, version, blobs);
 
     writeVector(w, p.bz);
     writeVector(w, p.br);
@@ -595,7 +976,7 @@ writeGru(Writer &w, const detail::GruParts &p, std::uint32_t version)
 }
 
 std::unique_ptr<CompiledLayer>
-readGru(Reader &r)
+readGru(Reader &r, V3Resolver *v3)
 {
     detail::GruParts p;
     p.cfg.inputSize = r.size("gru input size");
@@ -607,7 +988,7 @@ readGru(Reader &r)
     std::unique_ptr<LinearKernel> *order[6] = {
         &p.wzx, &p.wrx, &p.wcx, &p.wzc, &p.wrc, &p.wcc};
     for (auto *slot : order)
-        *slot = readKernel(r);
+        *slot = readKernel(r, v3);
 
     p.bz = readVector(r, "gru bias bz");
     p.br = readVector(r, "gru bias br");
@@ -636,6 +1017,269 @@ constexpr std::size_t kHeaderBytes =
 
 constexpr std::size_t kChecksumBytes = sizeof(std::uint64_t);
 
+// --- shared parse path -------------------------------------------------
+
+/**
+ * Parse the model payload (options, layers, classifier) out of @p r.
+ * Shared by every format version: a v3 caller passes @p v3 so kernel
+ * reads resolve blob descriptors; legacy callers pass nullptr and the
+ * kernels read their inline weight payloads.
+ */
+void
+parseModel(CompiledModel &out, Reader &r, std::uint32_t version,
+           V3Resolver *v3)
+{
+    CompileOptions &options = detail::ArtifactAccess::options(out);
+    const std::uint32_t backend = r.u32("backend kind");
+    ernn_assert(backend <=
+                    static_cast<std::uint32_t>(
+                        BackendKind::FixedPoint),
+                "artifact payload: unknown backend kind " << backend);
+    options.backend = static_cast<BackendKind>(backend);
+    options.fixedPointBits = r.i32("fixed-point bits");
+    options.activationSegments = r.size("activation segments");
+    options.activationRange = r.f64("activation range");
+    // v1 predates the emulation knob: its models take the native
+    // integer datapath, which serves them bit-identically anyway.
+    options.fixedPointEmulation =
+        version >= 2 && r.u8("fixed-point emulation flag") != 0;
+    // The datapath is re-derived from these options, so bound them
+    // before makeDatapath can act on them: a crafted checksum-valid
+    // file must die with a named fatal, not a giant PWL allocation.
+    if (options.backend == BackendKind::FixedPoint) {
+        if (options.fixedPointBits < 2 || options.fixedPointBits > 32)
+            ernn_fatal("artifact payload: fixed-point bit width "
+                       << options.fixedPointBits << " outside [2, 32]");
+        if (options.activationSegments > (std::size_t{1} << 20))
+            ernn_fatal("artifact payload: implausible PWL segment "
+                       "count " << options.activationSegments);
+        if (!std::isfinite(options.activationRange) ||
+            options.activationRange <= 0.0)
+            ernn_fatal("artifact payload: bad activation range "
+                       << options.activationRange);
+    }
+    // PWL tables and the value format are deterministic functions of
+    // the options; re-derive instead of storing them.
+    detail::ArtifactAccess::datapath(out) =
+        detail::makeDatapath(options);
+
+    auto &outLayers = detail::ArtifactAccess::layers(out);
+    const std::uint32_t layers = r.u32("layer count");
+    ernn_assert(layers > 0, "artifact payload: zero layers");
+    for (std::uint32_t i = 0; i < layers; ++i) {
+        const std::uint8_t tag = r.u8("layer kind tag");
+        std::unique_ptr<CompiledLayer> layer;
+        switch (tag) {
+          case kLstm:
+            layer = readLstm(r, v3);
+            break;
+          case kGru:
+            layer = readGru(r, v3);
+            break;
+          default:
+            ernn_fatal("artifact payload: unknown layer tag "
+                       << static_cast<int>(tag));
+        }
+        if (!outLayers.empty())
+            ernn_assert(layer->inputSize() ==
+                            outLayers.back()->outputSize(),
+                        "artifact payload: layer " << i
+                        << " input dim " << layer->inputSize()
+                        << " does not chain from previous output "
+                        << outLayers.back()->outputSize());
+        outLayers.push_back(std::move(layer));
+    }
+
+    auto &classifier = detail::ArtifactAccess::classifier(out);
+    Vector &classifierBias =
+        detail::ArtifactAccess::classifierBias(out);
+    classifier = readKernel(r, v3);
+    classifierBias = readVector(r, "classifier bias");
+    ernn_assert(classifier->outDim() == classifierBias.size(),
+                "artifact payload: classifier emits "
+                << classifier->outDim() << " logits but bias has "
+                << classifierBias.size());
+    ernn_assert(classifier->inDim() ==
+                    outLayers.back()->outputSize(),
+                "artifact payload: classifier consumes "
+                << classifier->inDim()
+                << " features, last layer emits "
+                << outLayers.back()->outputSize());
+    ernn_assert(r.done(),
+                "artifact payload: " << r.remainingBytes()
+                << " unread bytes after the classifier");
+}
+
+/**
+ * Validate and parse a complete artifact byte image into @p out.
+ * Validation order is part of the error contract: magic first (is
+ * this an artifact at all?), then version (can this build read it?),
+ * then declared size (was it truncated?), and only then the checksum
+ * — the whole file for v1/v2, the metadata stream for v3 (each v3
+ * blob carries its own checksum, verified as it is fetched unless
+ * @p verifyBlobs is off). Returns the file's format version.
+ */
+std::uint32_t
+parseArtifact(CompiledModel &out, const char *data, std::size_t size,
+              bool zeroCopy, bool verifyBlobs,
+              std::vector<V3Resolver::BlobInfo> *blobReport = nullptr)
+{
+    if (size < kHeaderBytes + kChecksumBytes)
+        ernn_fatal("truncated artifact: " << size
+                   << " bytes is smaller than the "
+                   << kHeaderBytes + kChecksumBytes
+                   << "-byte header");
+    if (std::memcmp(data, kMagic, sizeof kMagic) != 0)
+        ernn_fatal("not an E-RNN artifact (bad magic)");
+
+    std::uint32_t version;
+    std::memcpy(&version, data + sizeof kMagic, sizeof version);
+    if (version < kMinArtifactFormatVersion ||
+        version > kArtifactFormatVersion)
+        ernn_fatal("artifact format version " << version
+                   << " is not supported by this build (reads "
+                   << kMinArtifactFormatVersion << ".."
+                   << kArtifactFormatVersion << ")");
+
+    std::uint64_t declared;
+    std::memcpy(&declared, data + sizeof kMagic + sizeof version,
+                sizeof declared);
+    if (declared != size) {
+        if (size < declared)
+            ernn_fatal("truncated artifact: header declares "
+                       << declared << " bytes, file has " << size);
+        ernn_fatal("artifact has " << size - declared
+                   << " trailing bytes past the declared "
+                   << declared << "-byte payload");
+    }
+
+    if (version < 3) {
+        std::uint64_t stored;
+        std::memcpy(&stored, data + size - kChecksumBytes,
+                    sizeof stored);
+        const std::uint64_t actual =
+            fnv1a64(data, size - kChecksumBytes);
+        if (stored != actual)
+            ernn_fatal("artifact checksum mismatch (stored 0x"
+                       << std::hex << stored << ", computed 0x"
+                       << actual << std::dec
+                       << "): the file is corrupted");
+
+        Reader r(data, size - kChecksumBytes);
+        // Skip the already-validated header.
+        for (std::size_t i = 0; i < sizeof kMagic; ++i)
+            r.u8("magic");
+        r.u32("format version");
+        r.u64("declared size");
+        parseModel(out, r, version, nullptr);
+        return version;
+    }
+
+    // v3: the metadata stream [0, metaEnd) carries its own checksum
+    // at metaEnd; the blob section past it is covered per blob.
+    constexpr std::size_t v3Header =
+        kHeaderBytes + sizeof(std::uint64_t);
+    std::uint64_t metaEnd = 0;
+    if (size >= v3Header)
+        std::memcpy(&metaEnd, data + kHeaderBytes, sizeof metaEnd);
+    if (size < v3Header + kChecksumBytes || metaEnd < v3Header ||
+        metaEnd > size - kChecksumBytes)
+        ernn_fatal("truncated artifact: metadata end " << metaEnd
+                   << " out of range of the " << size
+                   << "-byte v3 file");
+
+    std::uint64_t stored;
+    std::memcpy(&stored, data + metaEnd, sizeof stored);
+    const std::uint64_t actual =
+        fnv1a64(data, static_cast<std::size_t>(metaEnd));
+    if (stored != actual)
+        ernn_fatal("artifact metadata checksum mismatch (stored 0x"
+                   << std::hex << stored << ", computed 0x" << actual
+                   << std::dec << "): the file is corrupted");
+
+    V3Resolver v3;
+    v3.base = data;
+    v3.fileSize = size;
+    v3.blobStart =
+        align64(static_cast<std::size_t>(metaEnd) + kChecksumBytes);
+    v3.zeroCopy = zeroCopy;
+    v3.verify = verifyBlobs;
+
+    Reader r(data, static_cast<std::size_t>(metaEnd));
+    for (std::size_t i = 0; i < sizeof kMagic; ++i)
+        r.u8("magic");
+    r.u32("format version");
+    r.u64("declared size");
+    r.u64("metadata end");
+    parseModel(out, r, version, &v3);
+    if (blobReport)
+        *blobReport = std::move(v3.report);
+    return version;
+}
+
+/**
+ * Owns one read-only file mapping — the storage a zero-copy loaded
+ * model borrows its weight blobs from. Falls back to a heap read on
+ * platforms without mmap (and for empty files, which the parser then
+ * rejects with the usual truncation fatal).
+ */
+class ArtifactMapping
+{
+  public:
+    explicit ArtifactMapping(const std::string &path)
+    {
+#ifndef _WIN32
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            ernn_fatal("cannot open artifact file " << path);
+        struct stat st;
+        if (::fstat(fd, &st) != 0) {
+            ::close(fd);
+            ernn_fatal("cannot stat artifact file " << path);
+        }
+        size_ = static_cast<std::size_t>(st.st_size);
+        if (size_ == 0) {
+            ::close(fd);
+            return;
+        }
+        void *p =
+            ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (p == MAP_FAILED)
+            ernn_fatal("cannot mmap artifact file " << path);
+        map_ = p;
+        data_ = static_cast<const char *>(p);
+#else
+        fallback_ = readFileBytes(path);
+        data_ = fallback_.data();
+        size_ = fallback_.size();
+#endif
+    }
+
+    ~ArtifactMapping()
+    {
+#ifndef _WIN32
+        if (map_)
+            ::munmap(map_, size_);
+#endif
+    }
+
+    ArtifactMapping(const ArtifactMapping &) = delete;
+    ArtifactMapping &operator=(const ArtifactMapping &) = delete;
+
+    const char *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    const char *data_ = nullptr;
+    std::size_t size_ = 0;
+#ifndef _WIN32
+    void *map_ = nullptr;
+#else
+    std::string fallback_;
+#endif
+};
+
 } // namespace
 
 std::string
@@ -653,6 +1297,13 @@ serializeArtifact(const CompiledModel &model, std::uint32_t version)
     w.u32(version);
     const std::size_t size_field = w.tell();
     w.u64(0); // total file bytes, patched below
+    std::size_t meta_end_field = 0;
+    if (version >= 3) {
+        meta_end_field = w.tell();
+        w.u64(0); // metadata end, patched below
+    }
+    V3BlobTable table;
+    V3BlobTable *const blobs = version >= 3 ? &table : nullptr;
 
     const CompileOptions &opts = model.options();
     w.u32(static_cast<std::uint32_t>(opts.backend));
@@ -668,11 +1319,11 @@ serializeArtifact(const CompiledModel &model, std::uint32_t version)
         if (const auto *lstm =
                 dynamic_cast<const detail::CompiledLstmLayer *>(
                     &layer)) {
-            writeLstm(w, lstm->parts(), version);
+            writeLstm(w, lstm->parts(), version, blobs);
         } else if (const auto *gru =
                        dynamic_cast<const detail::CompiledGruLayer *>(
                            &layer)) {
-            writeGru(w, gru->parts(), version);
+            writeGru(w, gru->parts(), version, blobs);
         } else {
             ernn_fatal("saveArtifact: layer kind '"
                        << layer.kindName()
@@ -680,20 +1331,55 @@ serializeArtifact(const CompiledModel &model, std::uint32_t version)
         }
     }
 
-    writeKernel(w, model.classifier(), version);
+    writeKernel(w, model.classifier(), version, blobs);
     writeVector(w, model.classifierBias());
 
-    w.patchU64(size_field, w.tell() + kChecksumBytes);
+    if (version < 3) {
+        w.patchU64(size_field, w.tell() + kChecksumBytes);
+        std::string bytes = w.take();
+        const std::uint64_t sum =
+            fnv1a64(bytes.data(), bytes.size());
+        bytes.append(reinterpret_cast<const char *>(&sum),
+                     sizeof sum);
+        return bytes;
+    }
+
+    // v3: the metadata stream ends here; lay out the blob section
+    // (every blob 64-byte aligned) and patch each descriptor with
+    // its final offset, byte count, and payload checksum.
+    const std::size_t meta_end = w.tell();
+    w.patchU64(meta_end_field, meta_end);
+    std::size_t off = align64(meta_end + kChecksumBytes);
+    for (auto &e : table.entries()) {
+        e.offset = off;
+        w.patchU64(e.patch, e.offset);
+        w.patchU64(e.patch + sizeof(std::uint64_t), e.bytes);
+        w.patchU64(e.patch + 2 * sizeof(std::uint64_t),
+                   fnv1a64(static_cast<const char *>(e.data),
+                           e.bytes));
+        off = align64(off + e.bytes);
+    }
+    const std::size_t total =
+        table.entries().empty()
+            ? meta_end + kChecksumBytes
+            : table.entries().back().offset +
+                  table.entries().back().bytes;
+    w.patchU64(size_field, total);
+
     std::string bytes = w.take();
-    const std::uint64_t sum = fnv1a64(bytes.data(), bytes.size());
+    const std::uint64_t sum = fnv1a64(bytes.data(), meta_end);
     bytes.append(reinterpret_cast<const char *>(&sum), sizeof sum);
+    bytes.resize(total, '\0'); // alignment padding + blob space
+    for (const auto &e : table.entries())
+        std::memcpy(&bytes[e.offset], e.data, e.bytes);
     return bytes;
 }
 
 void
-saveArtifact(const CompiledModel &model, const std::string &path)
+saveArtifact(const CompiledModel &model, const std::string &path,
+             std::uint32_t version)
 {
-    const std::string bytes = serializeArtifact(model);
+    const std::string bytes = serializeArtifact(model, version);
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     if (!os)
         ernn_fatal("cannot open artifact file " << path
@@ -707,138 +1393,9 @@ saveArtifact(const CompiledModel &model, const std::string &path)
 CompiledModel
 loadArtifactBytes(const std::string &bytes)
 {
-    // Validation order is part of the error contract: magic first
-    // (is this an artifact at all?), then version (can this build
-    // read it?), then declared size (was it truncated?), and only
-    // then the checksum (was it corrupted?).
-    if (bytes.size() < kHeaderBytes + kChecksumBytes)
-        ernn_fatal("truncated artifact: " << bytes.size()
-                   << " bytes is smaller than the "
-                   << kHeaderBytes + kChecksumBytes
-                   << "-byte header");
-    if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
-        ernn_fatal("not an E-RNN artifact (bad magic)");
-
-    std::uint32_t version;
-    std::memcpy(&version, bytes.data() + sizeof kMagic,
-                sizeof version);
-    if (version < kMinArtifactFormatVersion ||
-        version > kArtifactFormatVersion)
-        ernn_fatal("artifact format version " << version
-                   << " is not supported by this build (reads "
-                   << kMinArtifactFormatVersion << ".."
-                   << kArtifactFormatVersion << ")");
-
-    std::uint64_t declared;
-    std::memcpy(&declared,
-                bytes.data() + sizeof kMagic + sizeof version,
-                sizeof declared);
-    if (declared != bytes.size()) {
-        if (bytes.size() < declared)
-            ernn_fatal("truncated artifact: header declares "
-                       << declared << " bytes, file has "
-                       << bytes.size());
-        ernn_fatal("artifact has " << bytes.size() - declared
-                   << " trailing bytes past the declared "
-                   << declared << "-byte payload");
-    }
-
-    std::uint64_t stored;
-    std::memcpy(&stored,
-                bytes.data() + bytes.size() - kChecksumBytes,
-                sizeof stored);
-    const std::uint64_t actual =
-        fnv1a64(bytes.data(), bytes.size() - kChecksumBytes);
-    if (stored != actual)
-        ernn_fatal("artifact checksum mismatch (stored 0x" << std::hex
-                   << stored << ", computed 0x" << actual << std::dec
-                   << "): the file is corrupted");
-
-    Reader r(bytes, bytes.size() - kChecksumBytes);
-    // Skip the already-validated header.
-    for (std::size_t i = 0; i < sizeof kMagic; ++i)
-        r.u8("magic");
-    r.u32("format version");
-    r.u64("declared size");
-
     CompiledModel out;
-    const std::uint32_t backend = r.u32("backend kind");
-    ernn_assert(backend <=
-                    static_cast<std::uint32_t>(
-                        BackendKind::FixedPoint),
-                "artifact payload: unknown backend kind " << backend);
-    out.options_.backend = static_cast<BackendKind>(backend);
-    out.options_.fixedPointBits = r.i32("fixed-point bits");
-    out.options_.activationSegments = r.size("activation segments");
-    out.options_.activationRange = r.f64("activation range");
-    // v1 predates the emulation knob: its models take the native
-    // integer datapath, which serves them bit-identically anyway.
-    out.options_.fixedPointEmulation =
-        version >= 2 && r.u8("fixed-point emulation flag") != 0;
-    // The datapath is re-derived from these options, so bound them
-    // before makeDatapath can act on them: a crafted checksum-valid
-    // file must die with a named fatal, not a giant PWL allocation.
-    if (out.options_.backend == BackendKind::FixedPoint) {
-        if (out.options_.fixedPointBits < 2 ||
-            out.options_.fixedPointBits > 32)
-            ernn_fatal("artifact payload: fixed-point bit width "
-                       << out.options_.fixedPointBits
-                       << " outside [2, 32]");
-        if (out.options_.activationSegments > (std::size_t{1} << 20))
-            ernn_fatal("artifact payload: implausible PWL segment "
-                       "count " << out.options_.activationSegments);
-        if (!std::isfinite(out.options_.activationRange) ||
-            out.options_.activationRange <= 0.0)
-            ernn_fatal("artifact payload: bad activation range "
-                       << out.options_.activationRange);
-    }
-    // PWL tables and the value format are deterministic functions of
-    // the options; re-derive instead of storing them.
-    out.datapath_ = detail::makeDatapath(out.options_);
-
-    const std::uint32_t layers = r.u32("layer count");
-    ernn_assert(layers > 0, "artifact payload: zero layers");
-    for (std::uint32_t i = 0; i < layers; ++i) {
-        const std::uint8_t tag = r.u8("layer kind tag");
-        std::unique_ptr<CompiledLayer> layer;
-        switch (tag) {
-          case kLstm:
-            layer = readLstm(r);
-            break;
-          case kGru:
-            layer = readGru(r);
-            break;
-          default:
-            ernn_fatal("artifact payload: unknown layer tag "
-                       << static_cast<int>(tag));
-        }
-        if (!out.layers_.empty())
-            ernn_assert(layer->inputSize() ==
-                            out.layers_.back()->outputSize(),
-                        "artifact payload: layer " << i
-                        << " input dim " << layer->inputSize()
-                        << " does not chain from previous output "
-                        << out.layers_.back()->outputSize());
-        out.layers_.push_back(std::move(layer));
-    }
-
-    out.classifier_ = readKernel(r);
-    out.classifierBias_ = readVector(r, "classifier bias");
-    ernn_assert(out.classifier_->outDim() ==
-                    out.classifierBias_.size(),
-                "artifact payload: classifier emits "
-                << out.classifier_->outDim() << " logits but bias has "
-                << out.classifierBias_.size());
-    ernn_assert(out.classifier_->inDim() ==
-                    out.layers_.back()->outputSize(),
-                "artifact payload: classifier consumes "
-                << out.classifier_->inDim()
-                << " features, last layer emits "
-                << out.layers_.back()->outputSize());
-    ernn_assert(r.done(),
-                "artifact payload: " << (bytes.size() - kChecksumBytes
-                                         - r.pos())
-                << " unread bytes after the classifier");
+    parseArtifact(out, bytes.data(), bytes.size(),
+                  /*zeroCopy=*/false, /*verifyBlobs=*/true);
     return out;
 }
 
@@ -855,24 +1412,42 @@ loadArtifactShared(const std::string &path)
         new CompiledModel(loadArtifact(path)));
 }
 
+std::shared_ptr<const CompiledModel>
+loadArtifactMapped(const std::string &path, MapOptions opts)
+{
+    auto mapping = std::make_shared<ArtifactMapping>(path);
+    std::shared_ptr<CompiledModel> out =
+        detail::ArtifactAccess::makeShared();
+    const std::uint32_t version =
+        parseArtifact(*out, mapping->data(), mapping->size(),
+                      /*zeroCopy=*/true, opts.verifyBlobs);
+    // Legacy formats parse through the copying path: nothing borrows
+    // from the mapping, so it is released right here. A v3 model
+    // keeps the mapping alive as long as it lives.
+    if (version >= 3)
+        detail::ArtifactAccess::mapping(*out) = std::move(mapping);
+    return out;
+}
+
 std::string
 describeArtifact(const std::string &path)
 {
     const std::string bytes = readFileBytes(path);
-    const CompiledModel model = loadArtifactBytes(bytes);
-
-    // loadArtifactBytes validated the header; re-read the version it
-    // accepted so the summary reports the *file's* format, not the
-    // build's default.
-    std::uint32_t version = 0;
-    std::memcpy(&version, bytes.data() + sizeof kMagic,
-                sizeof version);
+    auto modelPtr = detail::ArtifactAccess::makeShared();
+    std::vector<V3Resolver::BlobInfo> blobs;
+    const std::uint32_t version =
+        parseArtifact(*modelPtr, bytes.data(), bytes.size(),
+                      /*zeroCopy=*/false, /*verifyBlobs=*/true,
+                      &blobs);
+    const CompiledModel &model = *modelPtr;
 
     std::ostringstream os;
     os << path << ": " << model.describe() << "\n";
     os << "  format v" << version << ", "
-       << fmtBytes(static_cast<double>(bytes.size()))
-       << ", checksum ok\n";
+       << fmtBytes(static_cast<double>(bytes.size())) << ", "
+       << (version >= 3 ? "metadata and blob checksums ok"
+                        : "checksum ok")
+       << "\n";
     os << "  backend " << backendKindName(model.options().backend)
        << ", " << fmtGrouped(static_cast<long long>(
                      model.storedParams()))
@@ -914,6 +1489,17 @@ describeArtifact(const std::string &path)
             &model.classifier()))
         os << " (" << fp->weightFormat().name() << ")";
     os << "\n";
+    if (version >= 3) {
+        os << "  blob section: " << blobs.size() << " blobs, every "
+           << "offset " << kArtifactBlobAlign << "-byte aligned\n";
+        for (const auto &b : blobs)
+            os << "    [" << std::setw(10) << b.offset << ", +"
+               << b.bytes << ") " << b.what << ": "
+               << (b.inPlace ? "mapped in place under "
+                               "loadArtifactMapped"
+                             : "copied on load")
+               << "\n";
+    }
     return os.str();
 }
 

@@ -11,9 +11,9 @@
  * Format (all integers little-endian on every supported platform —
  * host-endian, documented as x86-64/AArch64-little):
  *
+ *   v1/v2 (legacy, still read):
  *     offset 0   magic "ERNNARTF"             (8 bytes)
- *             8  u32 formatVersion            (this build writes 2,
- *                                              reads 1 and 2)
+ *             8  u32 formatVersion
  *            12  u64 totalFileBytes           (incl. trailing checksum)
  *            20  CompileOptions               (backend kind, fixed-point
  *                                              bits, PWL segments/range;
@@ -24,6 +24,31 @@
  *               classifier kernel + frozen classifier bias
  *     end-8      u64 FNV-1a checksum over every preceding byte
  *
+ *   v3 (this build's default) splits metadata from weight payloads
+ *   so a model can be served straight out of an mmap with zero copy:
+ *     offset 0   magic "ERNNARTF"             (8 bytes)
+ *             8  u32 formatVersion = 3
+ *            12  u64 totalFileBytes
+ *            20  u64 metaEnd                  (offset of metaChecksum)
+ *            28  metadata stream: CompileOptions, layerCount, layers
+ *               and classifier as in v2 — except every kernel stores
+ *               its dims plus a *blob descriptor* {u64 offset, u64
+ *               bytes, u64 fnv1a} instead of an inline weight payload
+ *               (biases stay inline: they are copied anyway)
+ *     metaEnd    u64 FNV-1a checksum over bytes [0, metaEnd)
+ *               zero padding to a 64-byte boundary
+ *               blob section: each blob starts 64-byte aligned,
+ *               zero-padded in between; totalFileBytes ends the last
+ *
+ *   v3 blob payloads are stored in *compute layout*: dense f64
+ *   weights row-major (served in place by a borrowing DenseKernel),
+ *   packed fixed-point weights as int16 codes (dense: row-major;
+ *   circulant: doubled generators, each block row one contiguous
+ *   slice) served in place by a borrowing FixedPointKernel.
+ *   Circulant-FFT generators are still copied on load (their spectra
+ *   must be re-derived regardless), as are unpacked (> 16-bit)
+ *   fixed-point weights.
+ *
  * Each kernel records its concrete backend (dense / circulant-fft /
  * fixed-point dense / fixed-point circulant), its geometry, its
  * quantization format where applicable, and its weight payload — so
@@ -32,17 +57,19 @@
  * <= 16 as their int16 grid codes instead (~4x smaller files at the
  * paper's 12-bit design point — code q means weight q * 2^-fracBits,
  * an exact reconstruction). Derived state is never stored: circulant
- * generator spectra, fixed-point PWL activation tables, and the
- * packed int16 compute layout are re-derived deterministically on
- * load. Version 1 files remain loadable (and serve through the same
- * native integer datapath once loaded).
+ * generator spectra and fixed-point PWL activation tables are
+ * re-derived deterministically on load. Versions 1 and 2 remain
+ * loadable (and serve through the same native integer datapath once
+ * loaded).
  *
  * Error contract: every failure is fatal and informative
  * (ernn_fatal): unreadable file, bad magic, format version skew,
  * truncation (declared size vs. actual), checksum mismatch, and
  * structurally inconsistent payloads each name the file and the
- * specific defect. A loaded artifact is therefore either fully
- * usable or the process has already said exactly why not.
+ * specific defect — v3 adds out-of-bounds, misaligned, and
+ * checksum-mismatched blob descriptors to the list. A loaded
+ * artifact is therefore either fully usable or the process has
+ * already said exactly why not.
  */
 
 #ifndef ERNN_RUNTIME_ARTIFACT_HH
@@ -57,24 +84,30 @@ namespace ernn::runtime
 {
 
 /** Artifact format version this build writes by default. */
-constexpr std::uint32_t kArtifactFormatVersion = 2;
+constexpr std::uint32_t kArtifactFormatVersion = 3;
 
 /** Oldest artifact format version this build still reads. */
 constexpr std::uint32_t kMinArtifactFormatVersion = 1;
 
+/** Alignment of every v3 weight blob (cache-line sized, and enough
+ *  for any element type the blobs carry). */
+constexpr std::size_t kArtifactBlobAlign = 64;
+
 /**
  * Serialize a frozen model to its portable byte representation.
- * @p version selects the on-disk format: 2 (default) packs
- * fixed-point weights as int16 codes, 1 writes the legacy all-f64
- * layout (kept so compatibility with old readers stays testable and
- * scriptable). Both round-trip bit-exactly.
+ * @p version selects the on-disk format: 3 (default) appends an
+ * aligned zero-copy blob section, 2 packs fixed-point weights as
+ * inline int16 codes, 1 writes the legacy all-f64 layout (kept so
+ * compatibility with old readers stays testable and scriptable).
+ * All round-trip bit-exactly.
  */
 std::string serializeArtifact(
     const CompiledModel &model,
     std::uint32_t version = kArtifactFormatVersion);
 
-/** Write model.serialize bytes to @p path; fatal on I/O failure. */
-void saveArtifact(const CompiledModel &model, const std::string &path);
+/** Write serialized bytes to @p path; fatal on I/O failure. */
+void saveArtifact(const CompiledModel &model, const std::string &path,
+                  std::uint32_t version = kArtifactFormatVersion);
 
 /**
  * Rebuild a CompiledModel from artifact bytes. Fatal (with the
@@ -95,8 +128,34 @@ CompiledModel loadArtifact(const std::string &path);
 std::shared_ptr<const CompiledModel>
 loadArtifactShared(const std::string &path);
 
+/** Knobs for the zero-copy load path. */
+struct MapOptions
+{
+    /**
+     * Verify every blob's FNV-1a checksum while mapping (one
+     * sequential read of the weight bytes). Off, the load trusts the
+     * blob section entirely — microseconds to first inference for a
+     * model store that was already verified at publish time.
+     */
+    bool verifyBlobs = true;
+};
+
+/**
+ * Memory-map an artifact and serve straight out of the mapping: a v3
+ * file's dense f64 and packed int16 weight blobs are *borrowed* by
+ * the kernels (zero copy — a cold model is ready to serve in
+ * milliseconds), and the returned model owns the mapping for its
+ * whole lifetime. v1/v2 files fall back to the copying loader, so
+ * callers can use this unconditionally. Fatal on any format error,
+ * with the same named-defect contract as loadArtifact.
+ */
+std::shared_ptr<const CompiledModel>
+loadArtifactMapped(const std::string &path, MapOptions opts = {});
+
 /** Human-readable multi-line summary of an artifact file (the CLI's
- *  `ernn info`): backend, layers, kernels, quantization metadata. */
+ *  `ernn info`): backend, layers, kernels, quantization metadata —
+ *  and, for v3 files, the blob section layout (offset, size,
+ *  alignment, mapped-in-place vs copied-on-load). */
 std::string describeArtifact(const std::string &path);
 
 } // namespace ernn::runtime

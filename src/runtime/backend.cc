@@ -56,23 +56,45 @@ LinearKernel::applyBatch(const Matrix &x, Matrix &y,
 // --- DenseKernel -------------------------------------------------------
 
 DenseKernel::DenseKernel(Matrix w)
-    : w_(std::move(w))
+    : w_(std::move(w)), wd_(w_.data()), rows_(w_.rows()),
+      cols_(w_.cols())
 {
+}
+
+DenseKernel::DenseKernel(const Real *w, std::size_t rows,
+                         std::size_t cols)
+    : wd_(w), rows_(rows), cols_(cols), borrowed_(true)
+{
+    ernn_assert(w != nullptr && rows > 0 && cols > 0,
+                "DenseKernel: null or empty borrowed weights");
+}
+
+const Matrix &
+DenseKernel::weight() const
+{
+    std::call_once(materialize_, [this] {
+        if (!borrowed_)
+            return;
+        Matrix m(rows_, cols_);
+        std::copy(wd_, wd_ + rows_ * cols_, m.data());
+        w_ = std::move(m);
+    });
+    return w_;
 }
 
 void
 DenseKernel::apply(const Vector &x, Vector &y, KernelScratch &) const
 {
-    ernn_assert(y.size() == w_.rows(), "DenseKernel: y presize");
+    ernn_assert(y.size() == rows_, "DenseKernel: y presize");
     std::fill(y.begin(), y.end(), 0.0);
-    w_.matvecAcc(x, y);
+    matvecAccRaw(wd_, rows_, cols_, x, y);
 }
 
 void
 DenseKernel::applyBatch(const Matrix &x, Matrix &y,
                         KernelScratch &scratch) const
 {
-    ernn_assert(x.rows() == w_.cols() && y.rows() == w_.rows() &&
+    ernn_assert(x.rows() == cols_ && y.rows() == rows_ &&
                 x.cols() == y.cols(),
                 "DenseKernel: batch shape mismatch");
     if (x.cols() == 1) {
@@ -82,7 +104,7 @@ DenseKernel::applyBatch(const Matrix &x, Matrix &y,
         return;
     }
     y.setZero();
-    w_.gemmAcc(x, y);
+    gemmAccRaw(wd_, rows_, cols_, x, y);
 }
 
 // --- CirculantFftKernel ------------------------------------------------
@@ -132,7 +154,7 @@ CirculantFftKernel::applyBatch(const Matrix &x, Matrix &y,
 // --- FixedPointKernel --------------------------------------------------
 
 FixedPointKernel::FixedPointKernel(const Matrix &w, int bits)
-    : dense_(w)
+    : dense_(w), rows_(dense_.rows()), cols_(dense_.cols())
 {
     format_ = quant::quantizeWithRangeAnalysis(dense_.raw(), bits);
     packWeights();
@@ -140,7 +162,8 @@ FixedPointKernel::FixedPointKernel(const Matrix &w, int bits)
 
 FixedPointKernel::FixedPointKernel(
     const circulant::BlockCirculantMatrix &w, int bits)
-    : circulant_(true), circ_(w)
+    : circulant_(true), circ_(w), rows_(circ_.rows()),
+      cols_(circ_.cols()), block_(circ_.blockSize())
 {
     format_ = quant::quantizeWithRangeAnalysis(circ_.raw(), bits);
     circ_.invalidateSpectra();
@@ -149,7 +172,8 @@ FixedPointKernel::FixedPointKernel(
 
 FixedPointKernel::FixedPointKernel(Matrix quantized,
                                    quant::FixedPointFormat fmt)
-    : format_(fmt), dense_(std::move(quantized))
+    : format_(fmt), dense_(std::move(quantized)),
+      rows_(dense_.rows()), cols_(dense_.cols())
 {
     packWeights();
 }
@@ -157,10 +181,77 @@ FixedPointKernel::FixedPointKernel(Matrix quantized,
 FixedPointKernel::FixedPointKernel(
     circulant::BlockCirculantMatrix quantized,
     quant::FixedPointFormat fmt)
-    : format_(fmt), circulant_(true), circ_(std::move(quantized))
+    : format_(fmt), circulant_(true), circ_(std::move(quantized)),
+      rows_(circ_.rows()), cols_(circ_.cols()),
+      block_(circ_.blockSize())
 {
     circ_.invalidateSpectra();
     packWeights();
+}
+
+FixedPointKernel::FixedPointKernel(Borrowed,
+                                   const std::int16_t *codes,
+                                   std::size_t rows,
+                                   std::size_t cols,
+                                   quant::FixedPointFormat fmt)
+    : format_(fmt), qwData_(codes), qwCount_(rows * cols),
+      rows_(rows), cols_(cols), packed_(true), borrowed_(true)
+{
+    ernn_assert(codes != nullptr && rows > 0 && cols > 0,
+                "FixedPointKernel: null or empty borrowed codes");
+    ernn_assert(format_.totalBits >= 2 && format_.totalBits <= 16,
+                "FixedPointKernel: borrowed codes need a packed "
+                "width, got " << format_.totalBits << " bits");
+}
+
+FixedPointKernel::FixedPointKernel(Borrowed,
+                                   const std::int16_t *doubledCodes,
+                                   std::size_t rows,
+                                   std::size_t cols,
+                                   std::size_t block,
+                                   quant::FixedPointFormat fmt)
+    : format_(fmt), circulant_(true), qwData_(doubledCodes),
+      rows_(rows), cols_(cols), block_(block), packed_(true),
+      borrowed_(true)
+{
+    ernn_assert(doubledCodes != nullptr && block > 0 &&
+                rows % block == 0 && cols % block == 0,
+                "FixedPointKernel: bad borrowed circulant geometry "
+                << rows << "x" << cols << " block " << block);
+    ernn_assert(format_.totalBits >= 2 && format_.totalBits <= 16,
+                "FixedPointKernel: borrowed codes need a packed "
+                "width, got " << format_.totalBits << " bits");
+    qwCount_ = (rows_ / block_) * (cols_ / block_) * 2 * block_;
+}
+
+void
+FixedPointKernel::ensureF64() const
+{
+    std::call_once(materialize_, [this] {
+        if (!borrowed_)
+            return;
+        // Decode the grid values back out of the codes. Exact: every
+        // code maps to one grid point, so a materialize -> re-pack
+        // round trip reproduces the codes bit-for-bit.
+        if (!circulant_) {
+            Matrix m(rows_, cols_);
+            for (std::size_t i = 0; i < rows_ * cols_; ++i)
+                m.data()[i] = format_.fromQ(qwData_[i]);
+            dense_ = std::move(m);
+            return;
+        }
+        // The doubled layout repeats each generator twice; the first
+        // block_ entries of each 2*block_ slice are the generator.
+        circulant::BlockCirculantMatrix c(rows_, cols_, block_);
+        const std::size_t blocks =
+            (rows_ / block_) * (cols_ / block_);
+        for (std::size_t b = 0; b < blocks; ++b)
+            for (std::size_t j = 0; j < block_; ++j)
+                c.raw()[b * block_ + j] =
+                    format_.fromQ(qwData_[b * 2 * block_ + j]);
+        c.invalidateSpectra();
+        circ_ = std::move(c);
+    });
 }
 
 void
@@ -168,6 +259,8 @@ FixedPointKernel::packWeights()
 {
     packed_ = false;
     qw_.clear();
+    qwData_ = nullptr;
+    qwCount_ = 0;
     if (format_.totalBits < 2 || format_.totalBits > 16 ||
         format_.fracBits < 0 || format_.fracBits > 62)
         return;
@@ -209,6 +302,8 @@ FixedPointKernel::packWeights()
             std::copy(g, g + lb, gd + lb);
         }
     }
+    qwData_ = qw_.data();
+    qwCount_ = qw_.size();
     packed_ = true;
 }
 
@@ -217,6 +312,7 @@ FixedPointKernel::denseWeight() const
 {
     ernn_assert(!circulant_,
                 "FixedPointKernel: dense view of circulant storage");
+    ensureF64();
     return dense_;
 }
 
@@ -225,30 +321,32 @@ FixedPointKernel::circulantWeight() const
 {
     ernn_assert(circulant_,
                 "FixedPointKernel: circulant view of dense storage");
+    ensureF64();
     return circ_;
 }
 
 std::size_t
 FixedPointKernel::inDim() const
 {
-    return circulant_ ? circ_.cols() : dense_.cols();
+    return cols_;
 }
 
 std::size_t
 FixedPointKernel::outDim() const
 {
-    return circulant_ ? circ_.rows() : dense_.rows();
+    return rows_;
 }
 
 std::size_t
 FixedPointKernel::storedParams() const
 {
-    return circulant_ ? circ_.paramCount() : dense_.size();
+    return circulant_ ? rows_ * cols_ / block_ : rows_ * cols_;
 }
 
 const std::vector<Real> &
 FixedPointKernel::quantizedWeights() const
 {
+    ensureF64();
     return circulant_ ? circ_.raw() : dense_.raw();
 }
 
@@ -284,6 +382,7 @@ void
 FixedPointKernel::applyEmulated(const Vector &x, Vector &y) const
 {
     ernn_assert(y.size() == outDim(), "FixedPointKernel: y presize");
+    ensureF64();
     std::fill(y.begin(), y.end(), 0.0);
     if (circulant_) {
         // Time-domain MACs, as the PE array evaluates a circulant
@@ -335,9 +434,8 @@ FixedPointKernel::applyInteger(const Vector &x, Vector &y,
     const std::int32_t *xq = stageInputCodes(x.data(), n, scratch);
 
     if (!circulant_) {
-        const std::size_t rows = dense_.rows();
-        for (std::size_t r = 0; r < rows; ++r) {
-            const std::int16_t *row = qw_.data() + r * n;
+        for (std::size_t r = 0; r < rows_; ++r) {
+            const std::int16_t *row = qwData_ + r * n;
             std::int64_t acc = 0;
             for (std::size_t c = 0; c < n; ++c)
                 acc += static_cast<std::int64_t>(row[c]) * xq[c];
@@ -346,16 +444,16 @@ FixedPointKernel::applyInteger(const Vector &x, Vector &y,
         return;
     }
 
-    const std::size_t lb = circ_.blockSize();
-    const std::size_t p = circ_.blockRows();
-    const std::size_t q = circ_.blockCols();
+    const std::size_t lb = block_;
+    const std::size_t p = rows_ / lb;
+    const std::size_t q = cols_ / lb;
     for (std::size_t i = 0; i < p; ++i) {
         for (std::size_t r = 0; r < lb; ++r) {
             std::int64_t acc = 0;
             for (std::size_t j = 0; j < q; ++j) {
                 // Contiguous row slice of the doubled generator.
                 const std::int16_t *g =
-                    qw_.data() + (i * q + j) * 2 * lb + (lb - r);
+                    qwData_ + (i * q + j) * 2 * lb + (lb - r);
                 const std::int32_t *xs = xq + j * lb;
                 for (std::size_t c = 0; c < lb; ++c)
                     acc += static_cast<std::int64_t>(g[c]) * xs[c];
@@ -450,11 +548,10 @@ FixedPointKernel::applyIntegerBatch(const Matrix &x, Matrix &y,
     Real *yd = y.data();
 
     if (!circulant_) {
-        const std::size_t rows = dense_.rows();
-        for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t r = 0; r < rows_; ++r) {
             // The weight row stays cache-hot across every lane: the
             // batch streams the weights once per call, not per lane.
-            const std::int16_t *row = qw_.data() + r * n;
+            const std::int16_t *row = qwData_ + r * n;
             Real *yr = yd + r * lanes;
             for (std::size_t l = 0; l < lanes; ++l)
                 yr[l] = vf.fromQ(vf.requantize(
@@ -463,9 +560,9 @@ FixedPointKernel::applyIntegerBatch(const Matrix &x, Matrix &y,
         return;
     }
 
-    const std::size_t lb = circ_.blockSize();
-    const std::size_t p = circ_.blockRows();
-    const std::size_t q = circ_.blockCols();
+    const std::size_t lb = block_;
+    const std::size_t p = rows_ / lb;
+    const std::size_t q = cols_ / lb;
     for (std::size_t i = 0; i < p; ++i) {
         for (std::size_t r = 0; r < lb; ++r) {
             Real *yr = yd + (i * lb + r) * lanes;
@@ -476,7 +573,7 @@ FixedPointKernel::applyIntegerBatch(const Matrix &x, Matrix &y,
                     // Contiguous row slice of the doubled generator
                     // against the lane's contiguous segment codes.
                     const std::int16_t *g =
-                        qw_.data() + (i * q + j) * 2 * lb + (lb - r);
+                        qwData_ + (i * q + j) * 2 * lb + (lb - r);
                     acc += dotCodes(g, xh + j * lb, lb, chunk);
                 }
                 yr[l] = vf.fromQ(vf.requantize(acc, shift));

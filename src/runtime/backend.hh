@@ -30,6 +30,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -183,14 +184,23 @@ class LinearKernel
     virtual std::size_t storedParams() const = 0;
 };
 
-/** Dense kernel: an owned weight copy, row-major matvec. */
+/**
+ * Dense kernel: row-major matvec over weights it either owns or
+ * *borrows*. A borrowed kernel points straight into an artifact v3
+ * mapping (zero copy; the mapping must outlive the kernel) and runs
+ * the exact arithmetic of the owned form — both delegate to the same
+ * raw matvec/GEMM cores.
+ */
 class DenseKernel : public LinearKernel
 {
   public:
     explicit DenseKernel(Matrix w);
 
-    std::size_t inDim() const override { return w_.cols(); }
-    std::size_t outDim() const override { return w_.rows(); }
+    /** Borrow a row-major rows x cols weight blob (no copy). */
+    DenseKernel(const Real *w, std::size_t rows, std::size_t cols);
+
+    std::size_t inDim() const override { return cols_; }
+    std::size_t outDim() const override { return rows_; }
     void apply(const Vector &x, Vector &y,
                KernelScratch &scratch) const override;
 
@@ -198,13 +208,25 @@ class DenseKernel : public LinearKernel
     void applyBatch(const Matrix &x, Matrix &y,
                     KernelScratch &scratch) const override;
     std::string backendName() const override { return "dense"; }
-    std::size_t storedParams() const override { return w_.size(); }
+    std::size_t storedParams() const override { return rows_ * cols_; }
 
-    /** The owned weight copy (artifact serialization). */
-    const Matrix &weight() const { return w_; }
+    /** The weight matrix; a borrowed kernel materializes a private
+     *  copy on first use (serialization/introspection only — the
+     *  serving path never calls this). Thread-safe. */
+    const Matrix &weight() const;
+
+    /** Row-major weight data, owned or borrowed. */
+    const Real *weightData() const { return wd_; }
+
+    /** True when the weights point into an external mapping. */
+    bool borrowed() const { return borrowed_; }
 
   private:
-    Matrix w_;
+    mutable Matrix w_;
+    mutable std::once_flag materialize_;
+    const Real *wd_ = nullptr;
+    std::size_t rows_ = 0, cols_ = 0;
+    bool borrowed_ = false;
 };
 
 /**
@@ -274,6 +296,32 @@ class FixedPointKernel : public LinearKernel
     FixedPointKernel(circulant::BlockCirculantMatrix quantized,
                      quant::FixedPointFormat fmt);
 
+    /** Tag selecting the zero-copy (borrowed-codes) constructors. */
+    struct Borrowed
+    {
+    };
+
+    /**
+     * Serve dense int16 weight codes *in place* (artifact v3 blob,
+     * row-major, already validated in-range for @p fmt): no copy, no
+     * re-verification. The codes must outlive the kernel. The f64
+     * grid weights are materialized lazily and only if something
+     * asks for them (emulation, re-serialization, introspection).
+     */
+    FixedPointKernel(Borrowed, const std::int16_t *codes,
+                     std::size_t rows, std::size_t cols,
+                     quant::FixedPointFormat fmt);
+
+    /**
+     * Serve circulant codes in place. @p doubledCodes is the compute
+     * layout packWeights builds: per block, the generator codes
+     * repeated twice (2*block entries), so each block row is one
+     * contiguous slice.
+     */
+    FixedPointKernel(Borrowed, const std::int16_t *doubledCodes,
+                     std::size_t rows, std::size_t cols,
+                     std::size_t block, quant::FixedPointFormat fmt);
+
     std::size_t inDim() const override;
     std::size_t outDim() const override;
 
@@ -319,7 +367,21 @@ class FixedPointKernel : public LinearKernel
      *  stored weights verified on-grid and in-range). */
     bool integerPacked() const { return packed_; }
 
-    /// @{ Storage introspection (artifact serialization).
+    /** True when the codes point into an external mapping. */
+    bool borrowed() const { return borrowed_; }
+
+    /** The packed int16 codes in compute layout (dense: row-major;
+     *  circulant: doubled generators). Null when not packed. */
+    const std::int16_t *packedCodes() const { return qwData_; }
+    std::size_t packedCodeCount() const { return qwCount_; }
+
+    /** Circulant block size (0 for dense storage). Available without
+     *  materializing the f64 weights. */
+    std::size_t circulantBlockSize() const { return block_; }
+
+    /// @{ Storage introspection (artifact serialization). A borrowed
+    /// kernel materializes the f64 grid weights on first call
+    /// (thread-safe); the serving path never needs them.
     bool isCirculant() const { return circulant_; }
     const Matrix &denseWeight() const;
     const circulant::BlockCirculantMatrix &circulantWeight() const;
@@ -331,6 +393,9 @@ class FixedPointKernel : public LinearKernel
      *  possible via a crafted artifact), falling back to emulation. */
     void packWeights();
 
+    /** Borrowed mode: decode the f64 grid weights from the codes. */
+    void ensureF64() const;
+
     void applyInteger(const Vector &x, Vector &y,
                       KernelScratch &scratch) const;
 
@@ -339,11 +404,16 @@ class FixedPointKernel : public LinearKernel
 
     quant::FixedPointFormat format_;
     bool circulant_ = false;
-    Matrix dense_;
-    circulant::BlockCirculantMatrix circ_;
+    mutable Matrix dense_;
+    mutable circulant::BlockCirculantMatrix circ_;
+    mutable std::once_flag materialize_;
 
     std::vector<std::int16_t> qw_;
+    const std::int16_t *qwData_ = nullptr;
+    std::size_t qwCount_ = 0;
+    std::size_t rows_ = 0, cols_ = 0, block_ = 0;
     bool packed_ = false;
+    bool borrowed_ = false;
 };
 
 /** Factory: freeze one trained operator into a kernel. */

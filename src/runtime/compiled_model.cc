@@ -855,4 +855,14 @@ compile(const nn::StackedRnn &model, const CompileOptions &opts)
     return out;
 }
 
+std::shared_ptr<const CompiledModel>
+compileShared(const nn::StackedRnn &model, const CompileOptions &opts)
+{
+    // Friend access: the move constructor is private so arbitrary
+    // callers cannot scatter half-moved models, but hoisting the
+    // freshly compiled value onto the heap is exactly its purpose.
+    return std::shared_ptr<const CompiledModel>(
+        new CompiledModel(compile(model, opts)));
+}
+
 } // namespace ernn::runtime

@@ -34,6 +34,11 @@ namespace ernn::runtime
 
 class InferenceSession;
 
+namespace detail
+{
+struct ArtifactAccess;
+} // namespace detail
+
 /**
  * Frozen datapath semantics shared by every compiled layer: exact
  * arithmetic for the float backends, or value quantization after
@@ -206,12 +211,25 @@ class CompiledModel
      */
     InferenceSession createSession() const;
 
+    /**
+     * True when this model serves weights borrowed from an mmapped
+     * artifact (v3 zero-copy load). The model owns the mapping, so
+     * no extra caller-side lifetime management is needed.
+     */
+    bool mapped() const { return mapping_ != nullptr; }
+
   private:
     friend CompiledModel compile(const nn::StackedRnn &,
                                  const CompileOptions &);
+    friend std::shared_ptr<const CompiledModel>
+    compileShared(const nn::StackedRnn &, const CompileOptions &);
     /** The artifact loader (runtime/artifact.hh) assembles a model
      *  directly from deserialized kernels. */
     friend CompiledModel loadArtifactBytes(const std::string &);
+    /** Private-access key for the mmap loader (runtime/artifact.cc):
+     *  assembles a model in place and attaches the mapping that owns
+     *  its borrowed weight blobs. */
+    friend struct detail::ArtifactAccess;
     CompiledModel() = default;
 
     /** Only compile() may move its result out (NRVO return path);
@@ -224,6 +242,10 @@ class CompiledModel
     Vector classifierBias_;
     Datapath datapath_;
     CompileOptions options_;
+
+    /** Keeps an mmapped artifact alive for the life of the model
+     *  when kernels borrow their weight blobs from it. */
+    std::shared_ptr<const void> mapping_;
 };
 
 /**
@@ -232,6 +254,15 @@ class CompiledModel
  */
 CompiledModel compile(const nn::StackedRnn &model,
                       const CompileOptions &opts = {});
+
+/**
+ * compile() onto the heap under shared ownership — the form the
+ * fleet layer wants: a serve::ModelRegistry (or InferenceServer)
+ * keeps the model alive exactly as long as something serves it.
+ */
+std::shared_ptr<const CompiledModel>
+compileShared(const nn::StackedRnn &model,
+              const CompileOptions &opts = {});
 
 } // namespace ernn::runtime
 

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Continuous batching engine: the admission-side mirror of run()'s
+ * ragged retirement. InferenceSession::run() serves one closed batch
+ * — every utterance is known up front, lanes only ever *retire* as
+ * utterances end. A serving process sees the opposite shape: requests
+ * arrive while the batch is in flight, and holding them until the
+ * current batch drains wastes the very lanes that just freed up.
+ *
+ * ContinuousBatch keeps one live batch-major lane pool and lets the
+ * scheduler admit a new utterance between any two time steps: the
+ * state matrices grow one zeroed column (Matrix::growCols — the
+ * start-of-utterance state), the new lane joins the next stepAll(),
+ * and when a lane's utterance ends it is retired immediately — the
+ * last live column is swapped into its slot (Matrix::swapCols) and
+ * the pool shrinks, so the pool never carries a dead lane for even
+ * one step.
+ *
+ * Column independence is what makes this sound: every batched kernel
+ * computes column l from column l alone, in the exact arithmetic
+ * order of the per-utterance path, so each lane's logits are
+ * bit-identical to running its utterance alone through
+ * InferenceSession::step() — regardless of what was admitted or
+ * retired around it. The engine is single-threaded, like
+ * InferenceSession: one scheduler thread drives admit()/stepAll().
+ */
+
+#ifndef ERNN_RUNTIME_CONTINUOUS_BATCH_HH
+#define ERNN_RUNTIME_CONTINUOUS_BATCH_HH
+
+#include <functional>
+#include <vector>
+
+#include "runtime/compiled_model.hh"
+
+namespace ernn::runtime
+{
+
+/**
+ * Live lane pool with mid-flight admission. Borrow the model (it
+ * must outlive the engine) and the admitted frame sequences (each
+ * must stay valid until its lane's DoneSink fires).
+ */
+class ContinuousBatch
+{
+  public:
+    /**
+     * Per-frame delivery: frame index within the utterance, that
+     * frame's logits, and their argmax. The logits reference is only
+     * valid for the duration of the call. Invoked from stepAll(), in
+     * lane order; sinks must not call back into the engine.
+     */
+    using FrameSink = std::function<void(
+        std::size_t frame, const Vector &logits, int prediction)>;
+
+    /** Invoked once after a lane's last frame was delivered (or
+     *  immediately on admission of an empty utterance). */
+    using DoneSink = std::function<void()>;
+
+    /** Lane-pool high-water cap, as InferenceSession::run(): once
+     *  the pool drains, storage beyond this is released. */
+    static constexpr std::size_t kMaxPooledLanes = 64;
+
+    explicit ContinuousBatch(const CompiledModel &model);
+
+    const CompiledModel &model() const { return model_; }
+
+    /**
+     * Admit one utterance as a fresh lane starting at the all-zero
+     * start-of-utterance state. Callable between any two stepAll()
+     * calls; the lane serves its first frame on the next stepAll().
+     * An empty utterance completes immediately and occupies no lane.
+     */
+    void admit(const nn::Sequence *frames, FrameSink onFrame,
+               DoneSink onDone);
+
+    /** Lanes currently in flight. */
+    std::size_t activeLanes() const { return lanes_.size(); }
+
+    bool idle() const { return lanes_.empty(); }
+
+    /**
+     * Advance every live lane one time step: one batched kernel call
+     * per weight tensor, per-lane logits delivered through each
+     * lane's FrameSink, completed lanes retired in place. No-op when
+     * idle.
+     */
+    void stepAll();
+
+  private:
+    struct Lane
+    {
+        const nn::Sequence *frames;
+        std::size_t next; //!< next frame index to serve
+        FrameSink onFrame;
+        DoneSink onDone;
+    };
+
+    /** Re-dimension the pool to @p lanes columns. Recurrent state
+     *  columns are preserved (grown with zeroed new columns /
+     *  shrunk); scratch and I/O matrices are rewritten every step
+     *  and simply reshaped. */
+    void setLaneCount(std::size_t lanes);
+
+    /** Drop the pool's backing storage (high-water cap). */
+    void releasePool();
+
+    const CompiledModel &model_;
+    KernelScratch kernels_;
+    std::vector<LayerBatchState> state_;
+    std::vector<LayerBatchScratch> scratch_;
+    std::vector<Matrix> out_; //!< inter-layer activation matrices
+    Matrix in_;               //!< gathered input frames
+    Matrix logits_;           //!< classifier output
+    Vector laneLogits_;       //!< per-lane delivery staging
+    std::vector<Lane> lanes_; //!< lane l <-> column l
+    std::vector<DoneSink> finished_; //!< staged completion callbacks
+    std::size_t poolHighWater_ = 0;
+};
+
+} // namespace ernn::runtime
+
+#endif // ERNN_RUNTIME_CONTINUOUS_BATCH_HH

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "base/logging.hh"
 #include "runtime/artifact.hh"
+#include "runtime/continuous_batch.hh"
 
 namespace ernn::serve
 {
@@ -22,7 +24,66 @@ microsBetween(Clock::time_point from, Clock::time_point to)
     return std::chrono::duration<Real, std::micro>(to - from).count();
 }
 
+void
+jsonStat(std::ostream &os, const char *key, const RunningStat &s)
+{
+    os << '"' << key << "\":{\"count\":" << s.count()
+       << ",\"mean\":" << s.mean() << ",\"min\":" << s.min()
+       << ",\"max\":" << s.max() << ",\"stddev\":" << s.stddev()
+       << '}';
+}
+
 } // namespace
+
+const char *
+submitStatusName(SubmitStatus status)
+{
+    switch (status) {
+    case SubmitStatus::Ok: return "ok";
+    case SubmitStatus::Shutdown: return "shutdown";
+    case SubmitStatus::Overloaded: return "overloaded";
+    case SubmitStatus::NoSuchModel: return "no-such-model";
+    }
+    return "?";
+}
+
+void
+ServerStats::merge(const ServerStats &other)
+{
+    requestsCompleted += other.requestsCompleted;
+    batchesDispatched += other.batchesDispatched;
+    framesProcessed += other.framesProcessed;
+    streamStepsProcessed += other.streamStepsProcessed;
+    requestsShed += other.requestsShed;
+    requestsRejectedShutdown += other.requestsRejectedShutdown;
+    queueMicros.merge(other.queueMicros);
+    computeMicros.merge(other.computeMicros);
+    batchSize.merge(other.batchSize);
+    queueDepth.merge(other.queueDepth);
+}
+
+std::string
+ServerStats::toJson() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"requests_completed\":" << requestsCompleted
+       << ",\"batches_dispatched\":" << batchesDispatched
+       << ",\"frames_processed\":" << framesProcessed
+       << ",\"stream_steps_processed\":" << streamStepsProcessed
+       << ",\"requests_shed\":" << requestsShed
+       << ",\"requests_rejected_shutdown\":" << requestsRejectedShutdown
+       << ",\"mean_batch_size\":" << meanBatchSize() << ',';
+    jsonStat(os, "queue_micros", queueMicros);
+    os << ',';
+    jsonStat(os, "compute_micros", computeMicros);
+    os << ',';
+    jsonStat(os, "batch_size", batchSize);
+    os << ',';
+    jsonStat(os, "queue_depth", queueDepth);
+    os << '}';
+    return os.str();
+}
 
 /**
  * Shared state of one pinned stream. The worker index is written once
@@ -51,6 +112,19 @@ struct InferenceServer::StreamJob
     Vector frame;                //!< step payload
     std::promise<Vector> logits; //!< step reply
     std::promise<void> done;     //!< reset acknowledgement
+};
+
+/**
+ * One live continuous-batching lane: owns the request for the
+ * lane's whole residency (the engine borrows job.frames by pointer)
+ * and accumulates the reply frame by frame. Kept alive by the
+ * engine's sink closures until the DoneSink fires.
+ */
+struct InferenceServer::LaneCtx
+{
+    UtteranceJob job;
+    InferenceReply reply;
+    Clock::time_point admitted;
 };
 
 namespace
@@ -97,8 +171,20 @@ InferenceServer::startWorkers()
 
     streamQueues_.resize(opts_.workers);
     workers_.reserve(opts_.workers);
-    for (std::size_t w = 0; w < opts_.workers; ++w)
-        workers_.emplace_back([this, w] { workerLoop(w); });
+    for (std::size_t w = 0; w < opts_.workers; ++w) {
+        if (opts_.scheduler == SchedulerMode::Continuous && w == 0) {
+            // The engine thread: owns the lane pool and the whole
+            // request queue (plus its own pinned streams).
+            workers_.emplace_back([this] { continuousLoop(0); });
+        } else {
+            // In Continuous mode the other workers must not race the
+            // engine for queued utterances; they serve streams only.
+            const bool batches =
+                opts_.scheduler == SchedulerMode::HoldOpen;
+            workers_.emplace_back(
+                [this, w, batches] { workerLoop(w, batches); });
+        }
+    }
 }
 
 InferenceServer::~InferenceServer()
@@ -109,6 +195,24 @@ InferenceServer::~InferenceServer()
 std::future<InferenceReply>
 InferenceServer::submit(nn::Sequence frames)
 {
+    std::future<InferenceReply> fut;
+    switch (submit(std::move(frames), fut)) {
+    case SubmitStatus::Ok:
+        return fut;
+    case SubmitStatus::Overloaded:
+        throw std::runtime_error(
+            "InferenceServer::submit: queue at capacity (shed)");
+    case SubmitStatus::Shutdown:
+    default:
+        throw std::runtime_error(
+            "InferenceServer::submit after shutdown");
+    }
+}
+
+SubmitStatus
+InferenceServer::submit(nn::Sequence frames,
+                        std::future<InferenceReply> &out)
+{
     UtteranceJob job;
     job.frames = std::move(frames);
     std::future<InferenceReply> fut = job.promise.get_future();
@@ -116,6 +220,14 @@ InferenceServer::submit(nn::Sequence frames)
     std::size_t depth = 0;
     {
         std::unique_lock<std::mutex> lk(mu_);
+        if (!shuttingDown_ &&
+            opts_.admission == AdmissionPolicy::Shed &&
+            queue_.size() >= opts_.queueCapacity) {
+            lk.unlock();
+            std::lock_guard<std::mutex> slk(statsMu_);
+            ++stats_.requestsShed;
+            return SubmitStatus::Overloaded;
+        }
         ++submitWaiters_;
         spaceCv_.wait(lk, [&] {
             return shuttingDown_ ||
@@ -123,11 +235,15 @@ InferenceServer::submit(nn::Sequence frames)
         });
         --submitWaiters_;
         if (shuttingDown_) {
+            // Fail fast: a submitter parked on backpressure must
+            // never outlive the server's willingness to serve it.
             // Let shutdown() know this thread has left the wait so
             // it can safely proceed to teardown.
             waitersCv_.notify_all();
-            throw std::runtime_error(
-                "InferenceServer::submit after shutdown");
+            lk.unlock();
+            std::lock_guard<std::mutex> slk(statsMu_);
+            ++stats_.requestsRejectedShutdown;
+            return SubmitStatus::Shutdown;
         }
         job.enqueued = Clock::now();
         queue_.push_back(std::move(job));
@@ -137,8 +253,22 @@ InferenceServer::submit(nn::Sequence frames)
         std::lock_guard<std::mutex> lk(statsMu_);
         stats_.queueDepth.add(static_cast<Real>(depth));
     }
-    workCv_.notify_one();
-    return fut;
+    notifyQueueWork();
+    out = std::move(fut);
+    return SubmitStatus::Ok;
+}
+
+void
+InferenceServer::notifyQueueWork()
+{
+    // HoldOpen: any worker can take the job, waking one suffices.
+    // Continuous: only the engine thread's predicate watches the
+    // queue — notify_one could wake (and be swallowed by) a
+    // stream-only worker, leaving queued work unserved forever.
+    if (opts_.scheduler == SchedulerMode::Continuous)
+        workCv_.notify_all();
+    else
+        workCv_.notify_one();
 }
 
 bool
@@ -151,12 +281,16 @@ InferenceServer::trySubmit(nn::Sequence frames,
 
     std::size_t depth = 0;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        std::unique_lock<std::mutex> lk(mu_);
         if (shuttingDown_)
             throw std::runtime_error(
                 "InferenceServer::trySubmit after shutdown");
-        if (queue_.size() >= opts_.queueCapacity)
+        if (queue_.size() >= opts_.queueCapacity) {
+            lk.unlock();
+            std::lock_guard<std::mutex> slk(statsMu_);
+            ++stats_.requestsShed;
             return false;
+        }
         job.enqueued = Clock::now();
         queue_.push_back(std::move(job));
         depth = queue_.size();
@@ -165,7 +299,7 @@ InferenceServer::trySubmit(nn::Sequence frames,
         std::lock_guard<std::mutex> lk(statsMu_);
         stats_.queueDepth.add(static_cast<Real>(depth));
     }
-    workCv_.notify_one();
+    notifyQueueWork();
     out = std::move(fut);
     return true;
 }
@@ -249,7 +383,7 @@ InferenceServer::enqueueStreamJob(
 }
 
 void
-InferenceServer::workerLoop(std::size_t index)
+InferenceServer::workerLoop(std::size_t index, bool takeBatches)
 {
     runtime::InferenceSession session = model_.createSession();
     std::vector<UtteranceJob> batch;
@@ -257,7 +391,8 @@ InferenceServer::workerLoop(std::size_t index)
     for (;;) {
         std::unique_lock<std::mutex> lk(mu_);
         workCv_.wait(lk, [&] {
-            return shuttingDown_ || !queue_.empty() ||
+            return shuttingDown_ ||
+                   (takeBatches && !queue_.empty()) ||
                    !streamQueues_[index].empty();
         });
 
@@ -271,7 +406,7 @@ InferenceServer::workerLoop(std::size_t index)
             continue;
         }
 
-        if (queue_.empty()) {
+        if (!takeBatches || queue_.empty()) {
             if (shuttingDown_)
                 return; // fully drained
             continue;   // woken but another worker took the job
@@ -315,6 +450,109 @@ InferenceServer::workerLoop(std::size_t index)
         spaceCv_.notify_all();
         lk.unlock();
         runBatch(session, batch, index);
+    }
+}
+
+void
+InferenceServer::admitLane(runtime::ContinuousBatch &engine,
+                           std::size_t worker)
+{
+    auto ctx = std::make_shared<LaneCtx>();
+    ctx->job = std::move(queue_.front());
+    queue_.pop_front();
+    ctx->admitted = Clock::now();
+    ctx->reply.timing.queueMicros =
+        microsBetween(ctx->job.enqueued, ctx->admitted);
+    ctx->reply.timing.batchSize = engine.activeLanes() + 1;
+    ctx->reply.timing.worker = worker;
+    engine.admit(
+        &ctx->job.frames,
+        [ctx](std::size_t, const Vector &logits, int prediction) {
+            ctx->reply.logits.push_back(logits);
+            ctx->reply.predictions.push_back(prediction);
+        },
+        [this, ctx] { finishLane(*ctx); });
+}
+
+void
+InferenceServer::finishLane(LaneCtx &ctx)
+{
+    ctx.reply.timing.computeMicros =
+        microsBetween(ctx.admitted, Clock::now());
+    // Fold counters in before fulfilling the promise, so a caller
+    // that waits on its future observes its own request in stats().
+    {
+        std::lock_guard<std::mutex> lk(statsMu_);
+        stats_.requestsCompleted += 1;
+        stats_.framesProcessed += ctx.job.frames.size();
+        stats_.queueMicros.add(ctx.reply.timing.queueMicros);
+    }
+    ctx.job.promise.set_value(std::move(ctx.reply));
+}
+
+void
+InferenceServer::continuousLoop(std::size_t index)
+{
+    runtime::InferenceSession session = model_.createSession();
+    runtime::ContinuousBatch engine(model_);
+
+    for (;;) {
+        std::optional<StreamJob> stream;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            // A live lane pool is runnable work in itself: with
+            // lanes in flight the predicate is already true and the
+            // engine steps without sleeping.
+            workCv_.wait(lk, [&] {
+                return shuttingDown_ || !queue_.empty() ||
+                       !streamQueues_[index].empty() ||
+                       !engine.idle();
+            });
+
+            if (!streamQueues_[index].empty()) {
+                stream.emplace(
+                    std::move(streamQueues_[index].front()));
+                streamQueues_[index].pop_front();
+            } else {
+                // Admit queued utterances into free lanes — the
+                // continuous-batching move: between any two time
+                // steps, never only at batch boundaries. An empty
+                // utterance's DoneSink fires inside admit();
+                // finishLane never touches mu_, so that is safe
+                // under the lock.
+                bool admitted = false;
+                while (!queue_.empty() &&
+                       engine.activeLanes() < opts_.maxBatch) {
+                    admitLane(engine, index);
+                    admitted = true;
+                }
+                if (admitted)
+                    spaceCv_.notify_all();
+                if (engine.idle()) {
+                    if (shuttingDown_ && queue_.empty())
+                        return; // fully drained
+                    continue;   // nothing runnable yet
+                }
+            }
+        }
+
+        if (stream) {
+            runStreamJob(session, *stream);
+            continue;
+        }
+
+        // One time step for every live lane, off the lock; completed
+        // lanes retire and their futures complete inside stepAll().
+        const std::size_t lanes = engine.activeLanes();
+        const auto t0 = Clock::now();
+        engine.stepAll();
+        const Real compute = microsBetween(t0, Clock::now());
+        {
+            std::lock_guard<std::mutex> lk(statsMu_);
+            stats_.batchesDispatched += 1;
+            stats_.batchSize.add(static_cast<Real>(lanes));
+            stats_.computeMicros.add(compute);
+        }
     }
 }
 

@@ -2,10 +2,17 @@
  * @file
  * Concurrent inference serving over a CompiledModel: a pool of worker
  * threads, each owning a private InferenceSession, fed by a bounded
- * request queue with dynamic batching. Submitted utterances are
- * coalesced into batches of up to ServerOptions::maxBatch (or until
- * batchTimeout elapses) and dispatched to a free worker; results come
- * back through std::future with per-request latency attribution.
+ * request queue with dynamic batching. Under SchedulerMode::HoldOpen,
+ * submitted utterances are coalesced into batches of up to
+ * ServerOptions::maxBatch (or until batchTimeout elapses) and
+ * dispatched to a free worker; under SchedulerMode::Continuous one
+ * engine thread drives a runtime::ContinuousBatch lane pool and
+ * admits queued utterances between time steps. Either way results
+ * come back through std::future with per-request latency attribution,
+ * bit-identical to a solo InferenceSession::run. Admission to the
+ * bounded queue is governed by AdmissionPolicy: Block parks the
+ * submitter (backpressure), Shed rejects with SubmitStatus::Overloaded
+ * and counts the shed in ServerStats.
  *
  * This is the software analogue of the paper's FPGA scheduling: the
  * accelerator overlaps independent utterances across its PE array to
@@ -34,44 +41,100 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "base/stats.hh"
 #include "runtime/session.hh"
 
+namespace ernn::runtime
+{
+class ContinuousBatch;
+}
+
 namespace ernn::serve
 {
+
+/** Outcome of a status-returning submission. */
+enum class SubmitStatus
+{
+    Ok,          //!< accepted; the reply future will complete
+    Shutdown,    //!< server is (or began) shutting down; not enqueued
+    Overloaded,  //!< queue at capacity under AdmissionPolicy::Shed
+    NoSuchModel, //!< registry routing: no model published under id
+};
+
+const char *submitStatusName(SubmitStatus status);
+
+/** What a submission does when the bounded queue is at capacity. */
+enum class AdmissionPolicy
+{
+    Block, //!< backpressure: park the submitter until space frees
+    Shed,  //!< load-shed: reject immediately with Overloaded
+};
+
+/** How workers turn the request queue into kernel calls. */
+enum class SchedulerMode
+{
+    /** Coalesce up to maxBatch requests (holding a partial batch
+     *  open for batchTimeout), then run the batch to completion. */
+    HoldOpen,
+
+    /** Continuous batching: one engine thread keeps a live lane
+     *  pool (runtime::ContinuousBatch) and admits queued requests
+     *  between any two time steps, so a lane freed by a short
+     *  utterance is refilled immediately instead of idling until
+     *  the whole batch drains. maxBatch bounds the live lanes. */
+    Continuous,
+};
 
 /** Serving knobs, fixed for the lifetime of a server. */
 struct ServerOptions
 {
-    /** Worker threads; each holds its own InferenceSession. */
+    /** Worker threads; each holds its own InferenceSession. In
+     *  Continuous mode worker 0 is the engine thread (it owns the
+     *  lane pool and the request queue) and the remaining workers
+     *  serve pinned streams only. */
     std::size_t workers = 2;
 
-    /** Largest batch one worker coalesces before dispatching. */
+    /** Largest batch one worker coalesces before dispatching
+     *  (HoldOpen), or the live-lane cap (Continuous). */
     std::size_t maxBatch = 8;
 
     /**
      * How long a worker holding a partial batch waits for more
      * requests before dispatching it anyway. Zero dispatches
      * whatever is instantaneously queued (lowest latency).
+     * HoldOpen only; the continuous engine never holds work.
      */
     std::chrono::microseconds batchTimeout{200};
 
     /**
-     * Bounded-queue backpressure: submit() blocks once this many
-     * utterances are queued (and tryDispatch via trySubmit fails).
+     * Bounded-queue admission cap: at this depth submissions block
+     * (AdmissionPolicy::Block) or shed (AdmissionPolicy::Shed).
      */
     std::size_t queueCapacity = 1024;
+
+    /** Full-queue behavior of the submit paths. */
+    AdmissionPolicy admission = AdmissionPolicy::Block;
+
+    /** Batching discipline of the worker pool. */
+    SchedulerMode scheduler = SchedulerMode::HoldOpen;
 };
 
-/** Latency attribution of one served request. */
+/**
+ * Latency attribution of one served request. Under HoldOpen,
+ * computeMicros is the dispatched batch's compute time and batchSize
+ * the coalesced batch. Under Continuous, computeMicros is the wall
+ * time the request's lane was live in the engine and batchSize the
+ * lane count at admission.
+ */
 struct RequestTiming
 {
-    Real queueMicros = 0.0;   //!< submit -> batch dispatch
-    Real computeMicros = 0.0; //!< the dispatched batch's compute time
-    std::size_t batchSize = 0; //!< batch the request rode in
+    Real queueMicros = 0.0;   //!< submit -> dispatch/lane admission
+    Real computeMicros = 0.0; //!< batch compute / lane residency
+    std::size_t batchSize = 0; //!< batch (or lane pool) it rode in
     std::size_t worker = 0;    //!< worker that served it
 };
 
@@ -90,10 +153,12 @@ struct ServerStats
     std::size_t batchesDispatched = 0;
     std::size_t framesProcessed = 0;
     std::size_t streamStepsProcessed = 0;
+    std::size_t requestsShed = 0; //!< rejected: queue at capacity
+    std::size_t requestsRejectedShutdown = 0; //!< rejected: shutdown
 
     RunningStat queueMicros;   //!< per-request time spent queued
-    RunningStat computeMicros; //!< per-batch compute time
-    RunningStat batchSize;     //!< dispatched batch sizes
+    RunningStat computeMicros; //!< per-batch (or per-step) compute
+    RunningStat batchSize;     //!< batch sizes / live-lane counts
     RunningStat queueDepth;    //!< depth sampled at each submit
 
     /** Mean coalesced batch size (0.0 before any dispatch). */
@@ -101,6 +166,15 @@ struct ServerStats
     {
         return batchesDispatched ? batchSize.mean() : 0.0;
     }
+
+    /** Fold another server's counters in (registry aggregation:
+     *  a drained version's final stats merge into its successor's
+     *  cumulative view). */
+    void merge(const ServerStats &other);
+
+    /** Serialize every counter as one self-contained JSON object
+     *  (machine-readable mirror of the bench/CLI text output). */
+    std::string toJson() const;
 };
 
 /**
@@ -143,11 +217,23 @@ class InferenceServer
 
     /**
      * Enqueue one utterance. Blocks while the queue is at capacity
-     * (backpressure); throws std::runtime_error after shutdown().
-     * Futures complete in dispatch order with bit-identical results
-     * to a direct InferenceSession::run on the same utterance.
+     * under AdmissionPolicy::Block; throws std::runtime_error after
+     * shutdown() or when AdmissionPolicy::Shed rejects. Futures
+     * complete with bit-identical results to a direct
+     * InferenceSession::run on the same utterance.
      */
     std::future<InferenceReply> submit(nn::Sequence frames);
+
+    /**
+     * Status-returning submit: never throws. On Ok, @p out holds the
+     * reply future; on any rejection @p out is untouched. Under
+     * AdmissionPolicy::Block a full queue parks the caller, and a
+     * shutdown() racing that wait wakes it to return Shutdown
+     * immediately — the fail-fast guarantee: no submitter is ever
+     * left blocked on a server that will not take its request.
+     */
+    SubmitStatus submit(nn::Sequence frames,
+                        std::future<InferenceReply> &out);
 
     /**
      * Non-blocking submit: returns false (and leaves @p out empty)
@@ -230,11 +316,24 @@ class InferenceServer
   private:
     struct UtteranceJob;
     struct StreamJob;
+    struct LaneCtx;
 
     /** Shared constructor tail: validate options, spawn workers. */
     void startWorkers();
 
-    void workerLoop(std::size_t index);
+    /** Wake whoever serves queue_ after an enqueue (scheduler-aware:
+     *  in Continuous mode only the engine thread watches the queue,
+     *  so a targeted notify_one could get lost on a stream worker). */
+    void notifyQueueWork();
+
+    void workerLoop(std::size_t index, bool takeBatches);
+    void continuousLoop(std::size_t index);
+    /** Pop queue_.front() into a fresh engine lane. Called with mu_
+     *  held by the engine thread. */
+    void admitLane(runtime::ContinuousBatch &engine,
+                   std::size_t worker);
+    /** Lane completion: fold stats, fulfill the promise. */
+    void finishLane(LaneCtx &ctx);
     void runBatch(runtime::InferenceSession &session,
                   std::vector<UtteranceJob> &batch, std::size_t worker);
     void runStreamJob(runtime::InferenceSession &session,

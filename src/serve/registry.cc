@@ -1,0 +1,335 @@
+#include "serve/registry.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ernn::serve
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping for model ids. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+// --- ModelRegistry ------------------------------------------------------
+
+ModelRegistry::Entry *
+ModelRegistry::entryFor(const std::string &id)
+{
+    std::unique_lock<std::shared_mutex> lk(mapMu_);
+    if (shutdown_)
+        throw std::runtime_error(
+            "ModelRegistry::publish after shutdown");
+    std::unique_ptr<Entry> &slot = entries_[id];
+    if (!slot)
+        slot = std::make_unique<Entry>();
+    return slot.get();
+}
+
+const ModelRegistry::Entry *
+ModelRegistry::findEntry(const std::string &id) const
+{
+    std::shared_lock<std::shared_mutex> lk(mapMu_);
+    const auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : it->second.get();
+}
+
+void
+ModelRegistry::swapIn(Entry &entry, std::uint64_t version,
+                      std::shared_ptr<InferenceServer> next)
+{
+    std::shared_ptr<InferenceServer> old;
+    {
+        std::unique_lock<std::shared_mutex> lk(entry.mu);
+        old = std::move(entry.server);
+        entry.server = std::move(next);
+        entry.version = entry.server ? version : 0;
+        if (entry.server)
+            ++entry.generations;
+    }
+    // From here every new submission routes to the new version; the
+    // old one only has the requests it already accepted.
+    if (!old)
+        return;
+    // Drain: shutdown() completes every accepted future and wakes
+    // any submitter parked on the old queue's backpressure (none can
+    // exist — registry submitters hold the entry lock across their
+    // whole submit call, so the unique lock above waited them out).
+    old->shutdown();
+    {
+        std::unique_lock<std::shared_mutex> lk(entry.mu);
+        entry.retiredStats.merge(old->stats());
+    }
+    // `old` — and the CompiledModel it owns — is released here,
+    // unless a ModelStream handle still pins it.
+}
+
+void
+ModelRegistry::publish(
+    const std::string &id, std::uint64_t version,
+    std::shared_ptr<const runtime::CompiledModel> model,
+    ServerOptions opts)
+{
+    // Build the replacement outside every lock: the old version
+    // serves at full rate while the new one spins up.
+    auto next =
+        std::make_shared<InferenceServer>(std::move(model), opts);
+    swapIn(*entryFor(id), version, std::move(next));
+}
+
+void
+ModelRegistry::publishArtifact(const std::string &id,
+                               std::uint64_t version,
+                               const std::string &artifactPath,
+                               ServerOptions opts,
+                               runtime::MapOptions mapOpts)
+{
+    publish(id, version,
+            runtime::loadArtifactMapped(artifactPath, mapOpts),
+            opts);
+}
+
+SubmitStatus
+ModelRegistry::submit(const std::string &id, nn::Sequence frames,
+                      std::future<InferenceReply> &out)
+{
+    const Entry *entry = findEntry(id);
+    if (entry) {
+        // Hold the entry shared for the whole underlying submit: a
+        // concurrent publish cannot begin draining this server until
+        // the request is safely in its queue, so a registry
+        // submitter never sees SubmitStatus::Shutdown from a swap.
+        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        if (entry->server)
+            return entry->server->submit(std::move(frames), out);
+    }
+    std::shared_lock<std::shared_mutex> lk(mapMu_);
+    return shutdown_ ? SubmitStatus::Shutdown
+                     : SubmitStatus::NoSuchModel;
+}
+
+InferenceReply
+ModelRegistry::infer(const std::string &id, const nn::Sequence &frames)
+{
+    std::future<InferenceReply> fut;
+    const SubmitStatus status = submit(id, frames, fut);
+    if (status != SubmitStatus::Ok)
+        throw std::runtime_error("ModelRegistry::infer(\"" + id +
+                                 "\"): " + submitStatusName(status));
+    return fut.get();
+}
+
+ModelStream
+ModelRegistry::openStream(const std::string &id)
+{
+    if (const Entry *entry = findEntry(id)) {
+        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        if (entry->server) {
+            std::shared_ptr<InferenceServer> server = entry->server;
+            InferenceServer::Stream stream = server->openStream();
+            return ModelStream(std::move(server), std::move(stream));
+        }
+    }
+    throw std::runtime_error("ModelRegistry::openStream: \"" + id +
+                             "\" is not serving");
+}
+
+bool
+ModelRegistry::serving(const std::string &id) const
+{
+    if (const Entry *entry = findEntry(id)) {
+        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        return entry->server != nullptr;
+    }
+    return false;
+}
+
+std::uint64_t
+ModelRegistry::activeVersion(const std::string &id) const
+{
+    if (const Entry *entry = findEntry(id)) {
+        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        return entry->version;
+    }
+    return 0;
+}
+
+ServerStats
+ModelRegistry::entryStats(const Entry &entry)
+{
+    std::shared_lock<std::shared_mutex> lk(entry.mu);
+    ServerStats out = entry.retiredStats;
+    if (entry.server)
+        out.merge(entry.server->stats());
+    return out;
+}
+
+ServerStats
+ModelRegistry::stats(const std::string &id) const
+{
+    if (const Entry *entry = findEntry(id))
+        return entryStats(*entry);
+    return {};
+}
+
+std::vector<ModelInfo>
+ModelRegistry::models() const
+{
+    // Entries are never destroyed while the registry lives, so the
+    // pointers stay valid after the map lock drops.
+    std::vector<std::pair<const std::string *, const Entry *>> items;
+    {
+        std::shared_lock<std::shared_mutex> lk(mapMu_);
+        items.reserve(entries_.size());
+        for (const auto &kv : entries_)
+            items.emplace_back(&kv.first, kv.second.get());
+    }
+    std::vector<ModelInfo> out;
+    out.reserve(items.size());
+    for (const auto &[id, entry] : items) {
+        ModelInfo info;
+        info.id = *id;
+        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        info.version = entry->version;
+        info.serving = entry->server != nullptr;
+        info.generations = entry->generations;
+        info.pendingRequests =
+            entry->server ? entry->server->pendingRequests() : 0;
+        info.stats = entry->retiredStats;
+        if (entry->server)
+            info.stats.merge(entry->server->stats());
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+std::string
+ModelRegistry::statsJson() const
+{
+    std::ostringstream os;
+    os << "{\"models\":[";
+    bool first = true;
+    for (const ModelInfo &m : models()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"id\":\"" << jsonEscape(m.id)
+           << "\",\"version\":" << m.version << ",\"serving\":"
+           << (m.serving ? "true" : "false")
+           << ",\"pending\":" << m.pendingRequests
+           << ",\"generations\":" << m.generations
+           << ",\"stats\":" << m.stats.toJson() << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
+void
+ModelRegistry::retire(const std::string &id)
+{
+    // findEntry, not entryFor: retiring an unknown id must not
+    // create a route for it.
+    if (const Entry *entry = findEntry(id))
+        swapIn(const_cast<Entry &>(*entry), 0, nullptr);
+}
+
+void
+ModelRegistry::shutdown()
+{
+    std::vector<Entry *> entries;
+    {
+        std::unique_lock<std::shared_mutex> lk(mapMu_);
+        shutdown_ = true;
+        entries.reserve(entries_.size());
+        for (auto &kv : entries_)
+            entries.push_back(kv.second.get());
+    }
+    for (Entry *entry : entries)
+        swapIn(*entry, 0, nullptr);
+}
+
+// --- RegistryServer -----------------------------------------------------
+
+RegistryServer::RegistryServer(RegistryServerOptions opts)
+    : opts_(std::move(opts))
+{
+    if (!opts_.statsSink)
+        opts_.statsSink = [](const std::string &json) {
+            ernn_inform("registry stats " << json);
+        };
+    if (opts_.statsInterval.count() > 0)
+        dumper_ = std::thread([this] { dumpLoop(); });
+}
+
+RegistryServer::~RegistryServer()
+{
+    shutdown();
+}
+
+void
+RegistryServer::dumpLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (cv_.wait_for(lk, opts_.statsInterval,
+                         [this] { return stopping_; }))
+            return;
+        lk.unlock();
+        opts_.statsSink(registry_.statsJson());
+        lk.lock();
+    }
+}
+
+void
+RegistryServer::shutdown()
+{
+    bool hadDumper = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    {
+        // Serialize concurrent shutdown() calls over the join. Must
+        // not hold mu_ here: the waking dump thread needs it to
+        // leave its wait.
+        std::lock_guard<std::mutex> lk(joinMu_);
+        if (dumper_.joinable()) {
+            dumper_.join();
+            hadDumper = true;
+        }
+    }
+    registry_.shutdown();
+    // One final dump so the sink records the fleet's end state.
+    if (hadDumper)
+        opts_.statsSink(registry_.statsJson());
+}
+
+} // namespace ernn::serve

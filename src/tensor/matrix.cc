@@ -45,6 +45,38 @@ Matrix::shrinkCols(std::size_t new_cols)
 }
 
 void
+Matrix::growCols(std::size_t new_cols)
+{
+    ernn_assert(new_cols >= cols_, "growCols: " << new_cols
+                << " < current " << cols_);
+    if (new_cols == cols_)
+        return;
+    data_.resize(rows_ * new_cols);
+    // Repack rows back-to-front: row r's new home starts at (or
+    // after) its old home, and rows above r have already vacated the
+    // region, so no payload is clobbered before it is moved.
+    for (std::size_t r = rows_; r-- > 0;) {
+        std::copy_backward(data_.begin() + r * cols_,
+                           data_.begin() + (r + 1) * cols_,
+                           data_.begin() + r * new_cols + cols_);
+        std::fill(data_.begin() + r * new_cols + cols_,
+                  data_.begin() + r * new_cols + new_cols, 0.0);
+    }
+    cols_ = new_cols;
+}
+
+void
+Matrix::swapCols(std::size_t a, std::size_t b)
+{
+    ernn_assert(a < cols_ && b < cols_, "swapCols: " << a << ", " << b
+                << " out of range for " << cols_ << " cols");
+    if (a == b)
+        return;
+    for (std::size_t r = 0; r < rows_; ++r)
+        std::swap(data_[r * cols_ + a], data_[r * cols_ + b]);
+}
+
+void
 Matrix::initXavier(Rng &rng)
 {
     const Real bound =
@@ -63,27 +95,41 @@ Matrix::matvec(const Vector &x) const
 void
 Matrix::matvecAcc(const Vector &x, Vector &y) const
 {
-    ernn_assert(x.size() == cols_, "matvec: x has " << x.size()
-                << " entries, expected " << cols_);
-    ernn_assert(y.size() == rows_, "matvec: y has " << y.size()
-                << " entries, expected " << rows_);
-    for (std::size_t r = 0; r < rows_; ++r) {
-        const Real *row = data_.data() + r * cols_;
+    matvecAccRaw(data_.data(), rows_, cols_, x, y);
+}
+
+void
+Matrix::gemmAcc(const Matrix &x, Matrix &y) const
+{
+    gemmAccRaw(data_.data(), rows_, cols_, x, y);
+}
+
+void
+matvecAccRaw(const Real *w, std::size_t rows, std::size_t cols,
+             const Vector &x, Vector &y)
+{
+    ernn_assert(x.size() == cols, "matvec: x has " << x.size()
+                << " entries, expected " << cols);
+    ernn_assert(y.size() == rows, "matvec: y has " << y.size()
+                << " entries, expected " << rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const Real *row = w + r * cols;
         Real s = 0.0;
-        for (std::size_t c = 0; c < cols_; ++c)
+        for (std::size_t c = 0; c < cols; ++c)
             s += row[c] * x[c];
         y[r] += s;
     }
 }
 
 void
-Matrix::gemmAcc(const Matrix &x, Matrix &y) const
+gemmAccRaw(const Real *w, std::size_t rows, std::size_t cols,
+           const Matrix &x, Matrix &y)
 {
-    ernn_assert(x.rows() == cols_, "gemmAcc: x has " << x.rows()
-                << " rows, expected " << cols_);
-    ernn_assert(y.rows() == rows_ && y.cols() == x.cols(),
+    ernn_assert(x.rows() == cols, "gemmAcc: x has " << x.rows()
+                << " rows, expected " << cols);
+    ernn_assert(y.rows() == rows && y.cols() == x.cols(),
                 "gemmAcc: y is " << y.rows() << "x" << y.cols()
-                << ", expected " << rows_ << "x" << x.cols());
+                << ", expected " << rows << "x" << x.cols());
     const std::size_t lanes = x.cols();
     const Real *xd = x.data();
     Real *yd = y.data();
@@ -99,18 +145,18 @@ Matrix::gemmAcc(const Matrix &x, Matrix &y) const
     constexpr std::size_t kLaneTile = 4;
     Real acc[kRowTile][kLaneTile];
 
-    const std::size_t full_r = rows_ - rows_ % kRowTile;
+    const std::size_t full_r = rows - rows % kRowTile;
     const std::size_t full_l = lanes - lanes % kLaneTile;
     for (std::size_t r0 = 0; r0 < full_r; r0 += kRowTile) {
-        const Real *w0 = data_.data() + (r0 + 0) * cols_;
-        const Real *w1 = data_.data() + (r0 + 1) * cols_;
-        const Real *w2 = data_.data() + (r0 + 2) * cols_;
-        const Real *w3 = data_.data() + (r0 + 3) * cols_;
+        const Real *w0 = w + (r0 + 0) * cols;
+        const Real *w1 = w + (r0 + 1) * cols;
+        const Real *w2 = w + (r0 + 2) * cols;
+        const Real *w3 = w + (r0 + 3) * cols;
         for (std::size_t l0 = 0; l0 < full_l; l0 += kLaneTile) {
             for (auto &ar : acc)
                 for (auto &a : ar)
                     a = 0.0;
-            for (std::size_t c = 0; c < cols_; ++c) {
+            for (std::size_t c = 0; c < cols; ++c) {
                 const Real *xr = xd + c * lanes + l0;
                 for (std::size_t l = 0; l < kLaneTile; ++l) {
                     const Real v = xr[l];
@@ -131,18 +177,18 @@ Matrix::gemmAcc(const Matrix &x, Matrix &y) const
     // Remainders (trailing rows, trailing lanes): plain lane-tiled
     // loops, same per-accumulator order.
     Real racc[kLaneTile];
-    for (std::size_t r = 0; r < rows_; ++r) {
-        const Real *row = data_.data() + r * cols_;
+    for (std::size_t r = 0; r < rows; ++r) {
+        const Real *row = w + r * cols;
         const std::size_t l_start = r < full_r ? full_l : 0;
         for (std::size_t l0 = l_start; l0 < lanes; l0 += kLaneTile) {
             const std::size_t lt = std::min(kLaneTile, lanes - l0);
             for (std::size_t l = 0; l < lt; ++l)
                 racc[l] = 0.0;
-            for (std::size_t c = 0; c < cols_; ++c) {
-                const Real w = row[c];
+            for (std::size_t c = 0; c < cols; ++c) {
+                const Real wv = row[c];
                 const Real *xr = xd + c * lanes + l0;
                 for (std::size_t l = 0; l < lt; ++l)
-                    racc[l] += w * xr[l];
+                    racc[l] += wv * xr[l];
             }
             Real *yr = yd + r * lanes + l0;
             for (std::size_t l = 0; l < lt; ++l)

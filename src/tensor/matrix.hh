@@ -64,6 +64,21 @@ class Matrix
     void shrinkCols(std::size_t new_cols);
 
     /**
+     * Append zeroed trailing columns, preserving every existing
+     * entry (the inverse of shrinkCols). Continuous batching admits
+     * a new utterance lane mid-flight by growing the state matrices
+     * one column without disturbing the live lanes.
+     */
+    void growCols(std::size_t new_cols);
+
+    /**
+     * Exchange columns @p a and @p b in place. Lets the continuous
+     * batcher retire an interior lane: swap it with the last column,
+     * then shrinkCols by one.
+     */
+    void swapCols(std::size_t a, std::size_t b);
+
+    /**
      * Glorot/Xavier-style uniform initialization with bound
      * sqrt(6 / (rows + cols)), the init used for all RNN weights.
      */
@@ -119,6 +134,22 @@ void addBiasRows(Matrix &y, const Vector &b);
 /** acc[r][l] += a[r] * m[r][l] — broadcast-Hadamard (peepholes). */
 void hadamardBroadcastAcc(Matrix &acc, const Vector &a,
                           const Matrix &m);
+
+/// @}
+
+/// @{ Raw-pointer cores of matvecAcc / gemmAcc. @p w is a row-major
+/// rows x cols weight array. Matrix delegates here, and kernels that
+/// *borrow* their weights (e.g. blobs pointing into an mmapped
+/// artifact) call these directly — one arithmetic path, so borrowed
+/// and owned weights produce bit-identical results.
+
+/** y += W x for a borrowed row-major weight array. */
+void matvecAccRaw(const Real *w, std::size_t rows, std::size_t cols,
+                  const Vector &x, Vector &y);
+
+/** Y += W X (batch-major) for a borrowed row-major weight array. */
+void gemmAccRaw(const Real *w, std::size_t rows, std::size_t cols,
+                const Matrix &x, Matrix &y);
 
 /// @}
 

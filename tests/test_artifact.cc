@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <gtest/gtest.h>
 
@@ -313,11 +314,15 @@ TEST(Artifact, InfoSummaryNamesBackendAndQuantization)
 
     const std::string info = runtime::describeArtifact(path);
     EXPECT_NE(info.find("fixed-point"), std::string::npos);
-    EXPECT_NE(info.find("checksum ok"), std::string::npos);
+    EXPECT_NE(info.find("metadata and blob checksums ok"),
+              std::string::npos);
     EXPECT_NE(info.find("PWL"), std::string::npos);
     EXPECT_NE(info.find("lstm"), std::string::npos);
-    EXPECT_NE(info.find("format v2"), std::string::npos);
+    EXPECT_NE(info.find("format v3"), std::string::npos);
     EXPECT_NE(info.find("native int16"), std::string::npos);
+    // v3 summaries list the blob section layout.
+    EXPECT_NE(info.find("blob section"), std::string::npos);
+    EXPECT_NE(info.find("mapped in place"), std::string::npos);
     std::remove(path.c_str());
 }
 
@@ -376,7 +381,7 @@ TEST_F(ArtifactErrors, RejectsUnwritableVersionRequest)
     const runtime::CompiledModel compiled = runtime::compile(model);
     EXPECT_DEATH(runtime::serializeArtifact(compiled, 0),
                  "cannot write");
-    EXPECT_DEATH(runtime::serializeArtifact(compiled, 3),
+    EXPECT_DEATH(runtime::serializeArtifact(compiled, 4),
                  "cannot write");
 }
 
@@ -419,5 +424,279 @@ TEST_F(ArtifactErrors, FileRoundTripSurvivesErrorChecks)
     const runtime::CompiledModel loaded =
         runtime::loadArtifact(path);
     EXPECT_EQ(loaded.numLayers(), 1u);
+    std::remove(path.c_str());
+}
+
+// --- v3 zero-copy (mmap) loads -----------------------------------------
+
+namespace
+{
+
+std::uint64_t
+fnv64(const char *data, std::size_t n)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+readU64(const std::string &bytes, std::size_t off)
+{
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data() + off, sizeof v);
+    return v;
+}
+
+void
+writeU64(std::string &bytes, std::size_t off, std::uint64_t v)
+{
+    std::memcpy(&bytes[off], &v, sizeof v);
+}
+
+/** Offset of the first 8-byte-aligned u64 equal to @p needle in
+ *  [@p from, @p to), or npos. Finds blob descriptor fields by their
+ *  known values without hard-coding the metadata layout. */
+std::size_t
+findU64(const std::string &bytes, std::size_t from, std::size_t to,
+        std::uint64_t needle)
+{
+    for (std::size_t off = from; off + sizeof needle <= to; ++off)
+        if (readU64(bytes, off) == needle)
+            return off;
+    return std::string::npos;
+}
+
+/** Save v3, map it back, and demand bit-identical serving. */
+void
+checkMappedRoundTrip(const nn::ModelSpec &spec,
+                     runtime::BackendKind backend)
+{
+    const nn::StackedRnn model = trainedModel(spec, 17);
+    runtime::CompileOptions opts;
+    opts.backend = backend;
+    const runtime::CompiledModel original =
+        runtime::compile(model, opts);
+
+    const std::string path = tempPath("mapped.ernn");
+    runtime::saveArtifact(original, path);
+    const std::shared_ptr<const runtime::CompiledModel> mapped =
+        runtime::loadArtifactMapped(path);
+    // The file can be unlinked while mapped: the model owns the
+    // mapping, not the directory entry.
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(mapped->mapped());
+    EXPECT_EQ(original.describe(), mapped->describe());
+    EXPECT_EQ(original.storedParams(), mapped->storedParams());
+
+    const auto batch = randomBatch(4, spec.inputDim, 29);
+    runtime::InferenceSession s1 = original.createSession();
+    runtime::InferenceSession s2 = mapped->createSession();
+    expectIdenticalResults(s1.run(batch), s2.run(batch));
+
+    // The mapped model re-serializes byte-identically, which also
+    // exercises every lazy f64 materialization path of the borrowed
+    // kernels (the writer walks denseWeight()/circulantWeight()).
+    EXPECT_EQ(runtime::serializeArtifact(original),
+              runtime::serializeArtifact(*mapped));
+}
+
+} // namespace
+
+TEST(ArtifactV3, MappedRoundTripDenseLstm)
+{
+    checkMappedRoundTrip(lstmSpec(), runtime::BackendKind::Dense);
+}
+
+TEST(ArtifactV3, MappedRoundTripCirculantFftLstm)
+{
+    checkMappedRoundTrip(lstmSpec(),
+                         runtime::BackendKind::CirculantFft);
+}
+
+TEST(ArtifactV3, MappedRoundTripFixedPointLstm)
+{
+    checkMappedRoundTrip(lstmSpec(),
+                         runtime::BackendKind::FixedPoint);
+}
+
+TEST(ArtifactV3, MappedRoundTripDenseGru)
+{
+    checkMappedRoundTrip(gruSpec(), runtime::BackendKind::Dense);
+}
+
+TEST(ArtifactV3, MappedRoundTripFixedPointGru)
+{
+    checkMappedRoundTrip(gruSpec(),
+                         runtime::BackendKind::FixedPoint);
+}
+
+TEST(ArtifactV3, TrustedMapSkipsBlobVerificationBitExactly)
+{
+    const nn::StackedRnn model = trainedModel(lstmSpec(), 31);
+    runtime::CompileOptions opts;
+    opts.backend = runtime::BackendKind::FixedPoint;
+    const runtime::CompiledModel original =
+        runtime::compile(model, opts);
+
+    const std::string path = tempPath("trusted.ernn");
+    runtime::saveArtifact(original, path);
+    runtime::MapOptions mo;
+    mo.verifyBlobs = false;
+    const auto mapped = runtime::loadArtifactMapped(path, mo);
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(mapped->mapped());
+    const auto batch = randomBatch(3, 8, 37);
+    runtime::InferenceSession s1 = original.createSession();
+    runtime::InferenceSession s2 = mapped->createSession();
+    expectIdenticalResults(s1.run(batch), s2.run(batch));
+}
+
+TEST(ArtifactV3, MappedLoadFallsBackForLegacyFormats)
+{
+    const nn::StackedRnn model = trainedModel(gruSpec(), 41);
+    runtime::CompileOptions opts;
+    opts.backend = runtime::BackendKind::FixedPoint;
+    const runtime::CompiledModel original =
+        runtime::compile(model, opts);
+    const auto batch = randomBatch(3, 8, 43);
+    runtime::InferenceSession s1 = original.createSession();
+
+    for (std::uint32_t version : {1u, 2u}) {
+        const std::string path = tempPath("legacy.ernn");
+        runtime::saveArtifact(original, path, version);
+        const auto loaded = runtime::loadArtifactMapped(path);
+        std::remove(path.c_str());
+        // Legacy formats copy on load; no mapping is retained.
+        EXPECT_FALSE(loaded->mapped());
+        runtime::InferenceSession s2 = loaded->createSession();
+        expectIdenticalResults(s1.run(batch), s2.run(batch));
+    }
+}
+
+class ArtifactV3Errors : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        const nn::StackedRnn model = trainedModel(lstmSpec(), 2);
+        runtime::CompileOptions opts;
+        opts.backend = runtime::BackendKind::FixedPoint;
+        bytes_ =
+            runtime::serializeArtifact(runtime::compile(model, opts));
+        metaEnd_ = readU64(bytes_, 20);
+        firstBlob_ = (metaEnd_ + 8 + 63) & ~std::uint64_t{63};
+    }
+
+    /** Re-seal the metadata stream after a deliberate mutation so
+     *  the error under test is the one that fires, not the metadata
+     *  checksum. */
+    void resealMetadata(std::string &bytes) const
+    {
+        writeU64(bytes, static_cast<std::size_t>(metaEnd_),
+                 fnv64(bytes.data(),
+                       static_cast<std::size_t>(metaEnd_)));
+    }
+
+    /** Death check through the real mmap path. */
+    void expectMapDeath(const std::string &bytes,
+                        const char *pattern) const
+    {
+        const std::string path = tempPath("v3bad.ernn");
+        writeBytes(path, bytes);
+        EXPECT_DEATH(runtime::loadArtifactMapped(path), pattern);
+        std::remove(path.c_str());
+    }
+
+    std::string bytes_;
+    std::uint64_t metaEnd_ = 0;
+    std::uint64_t firstBlob_ = 0;
+};
+
+TEST_F(ArtifactV3Errors, RejectsTruncatedBlobSection)
+{
+    expectMapDeath(bytes_.substr(0, bytes_.size() - 64),
+                   "truncated");
+}
+
+TEST_F(ArtifactV3Errors, RejectsMetaEndOutOfRange)
+{
+    std::string bad = bytes_;
+    writeU64(bad, 20, bytes_.size() + 4096);
+    expectMapDeath(bad, "metadata end");
+}
+
+TEST_F(ArtifactV3Errors, RejectsCorruptedMetadata)
+{
+    std::string bad = bytes_;
+    bad[40] ^= 0x01; // inside the metadata stream
+    expectMapDeath(bad, "metadata checksum mismatch");
+}
+
+TEST_F(ArtifactV3Errors, RejectsCorruptedBlob)
+{
+    std::string bad = bytes_;
+    bad[bad.size() - 1] ^= 0x01; // last byte of the last blob
+    expectMapDeath(bad, "checksum mismatch");
+}
+
+TEST_F(ArtifactV3Errors, RejectsMisalignedBlobDescriptor)
+{
+    std::string bad = bytes_;
+    const std::size_t desc =
+        findU64(bad, 28, static_cast<std::size_t>(metaEnd_),
+                firstBlob_);
+    ASSERT_NE(desc, std::string::npos);
+    writeU64(bad, desc, firstBlob_ + 8); // 8-byte aligned only
+    resealMetadata(bad);
+    expectMapDeath(bad, "misaligned");
+}
+
+TEST_F(ArtifactV3Errors, RejectsBlobPastEndOfFile)
+{
+    std::string bad = bytes_;
+    const std::size_t desc =
+        findU64(bad, 28, static_cast<std::size_t>(metaEnd_),
+                firstBlob_);
+    ASSERT_NE(desc, std::string::npos);
+    const std::uint64_t past =
+        (bytes_.size() + 63) & ~std::uint64_t{63};
+    writeU64(bad, desc, past);
+    resealMetadata(bad);
+    expectMapDeath(bad, "outside the blob section");
+}
+
+TEST_F(ArtifactV3Errors, TrustedLoadStillChecksStructure)
+{
+    // verifyBlobs=false skips payload checksums, never the
+    // structural descriptor checks.
+    std::string bad = bytes_;
+    const std::size_t desc =
+        findU64(bad, 28, static_cast<std::size_t>(metaEnd_),
+                firstBlob_);
+    ASSERT_NE(desc, std::string::npos);
+    writeU64(bad, desc, firstBlob_ + 8);
+    resealMetadata(bad);
+    const std::string path = tempPath("v3trustbad.ernn");
+    writeBytes(path, bad);
+    runtime::MapOptions mo;
+    mo.verifyBlobs = false;
+    EXPECT_DEATH(runtime::loadArtifactMapped(path, mo),
+                 "misaligned");
+    std::remove(path.c_str());
+}
+
+TEST_F(ArtifactV3Errors, IntactFileSurvivesEveryErrorCheck)
+{
+    const std::string path = tempPath("v3intact.ernn");
+    writeBytes(path, bytes_);
+    const auto loaded = runtime::loadArtifactMapped(path);
+    EXPECT_TRUE(loaded->mapped());
+    EXPECT_EQ(loaded->numLayers(), 2u);
     std::remove(path.c_str());
 }

@@ -204,8 +204,10 @@ TEST_F(CliPipeline, InfoValidatesAndSummarizes)
 {
     const CmdResult r = run("info " + *dir_ + "/model.ernn");
     EXPECT_EQ(r.exitCode, 0) << r.output;
-    EXPECT_NE(r.output.find("checksum ok"), std::string::npos);
+    EXPECT_NE(r.output.find("checksums ok"), std::string::npos);
     EXPECT_NE(r.output.find("lstm"), std::string::npos);
+    // The default format is v3: info lists the blob section layout.
+    EXPECT_NE(r.output.find("blob section"), std::string::npos);
 }
 
 TEST_F(CliPipeline, InfoRejectsCorruptedArtifact)
@@ -290,7 +292,7 @@ TEST_F(CliPipeline, FixedPointEmulationOracleMatchesNativeInt16)
     EXPECT_NE(native_info.output.find("native int16"),
               std::string::npos)
         << native_info.output;
-    EXPECT_NE(native_info.output.find("format v2"), std::string::npos);
+    EXPECT_NE(native_info.output.find("format v3"), std::string::npos);
 
     const CmdResult oracle_info = run("info " + oracle_art);
     EXPECT_NE(oracle_info.output.find("f64 emulation"),
@@ -317,4 +319,70 @@ TEST_F(CliPipeline, ServeBenchRunsASweep)
                             "--utterances 8 --frames 6");
     EXPECT_EQ(r.exitCode, 0) << r.output;
     EXPECT_NE(r.output.find("frames/s"), std::string::npos);
+}
+
+TEST_F(CliPipeline, CompileFormatFlagWritesEveryVersion)
+{
+    // v1/v2 stay writable for older deployments; v3 (the default)
+    // adds the mmap blob section. All three must load and score
+    // identically — the format only changes the container.
+    double pers[3] = {0, 0, 0};
+    for (int format = 1; format <= 3; ++format) {
+        const std::string art =
+            *dir_ + "/fmt" + std::to_string(format) + ".ernn";
+        const CmdResult compile = run(
+            "compile --spec " + spec() + " --checkpoint " + ckpt() +
+            " --format " + std::to_string(format) + " --out " + art);
+        ASSERT_EQ(compile.exitCode, 0) << compile.output;
+        EXPECT_NE(compile.output.find(
+                      "format v" + std::to_string(format)),
+                  std::string::npos)
+            << compile.output;
+
+        const CmdResult info = run("info " + art);
+        EXPECT_EQ(info.exitCode, 0) << info.output;
+        // Only v3 carries the aligned blob section layout.
+        EXPECT_EQ(info.output.find("blob section") !=
+                      std::string::npos,
+                  format == 3)
+            << info.output;
+
+        const CmdResult eval = run("eval --artifact " + art + " " +
+                                   kDataFlags);
+        ASSERT_EQ(eval.exitCode, 0) << eval.output;
+        pers[format - 1] = parsePer(eval.output);
+        std::remove(art.c_str());
+    }
+    EXPECT_EQ(pers[0], pers[1]);
+    EXPECT_EQ(pers[1], pers[2]);
+
+    const CmdResult bad = run(
+        "compile --spec " + spec() + " --checkpoint " + ckpt() +
+        " --format 4 --out " + *dir_ + "/never.ernn");
+    EXPECT_NE(bad.exitCode, 0);
+    EXPECT_NE(bad.output.find("--format"), std::string::npos)
+        << bad.output;
+}
+
+TEST_F(CliPipeline, ServeBenchStatsJsonBothSchedulers)
+{
+    for (const std::string sched : {"hold-open", "continuous"}) {
+        const CmdResult r = run(
+            "serve-bench --artifact " + *dir_ +
+            "/model.ernn --workers 2 --max-batch 4 --utterances 8 "
+            "--frames 6 --scheduler " + sched + " --stats-json");
+        ASSERT_EQ(r.exitCode, 0) << r.output;
+        // One machine-readable document, no human table around it.
+        EXPECT_EQ(r.output.find("frames/s"), std::string::npos)
+            << r.output;
+        EXPECT_NE(r.output.find("\"scheduler\":\"" + sched + "\""),
+                  std::string::npos)
+            << r.output;
+        for (const char *key :
+             {"\"frames_per_sec\":", "\"requests_completed\":8",
+              "\"batches_dispatched\":", "\"compute_micros\":",
+              "\"queue_micros\":", "\"mean_batch_size\":"})
+            EXPECT_NE(r.output.find(key), std::string::npos)
+                << key << " missing from " << r.output;
+    }
 }

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * ModelRegistry / RegistryServer tests: id-routed serving parity,
+ * zero-downtime hot swap (drain correctness, cumulative stats,
+ * version retargeting), artifact-backed publishes over the mmap
+ * path, the registry-wide JSON export, and seeded stress suites
+ * (named *Stress*, registered under the `stress` ctest label) — the
+ * hot-swap-under-concurrent-submitters drain proof and a scalable
+ * soak that honors ERNN_SOAK_REQUESTS for CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/model_builder.hh"
+#include "runtime/artifact.hh"
+#include "serve/registry.hh"
+
+using namespace ernn;
+using namespace ernn::serve;
+
+namespace
+{
+
+nn::Sequence
+randomFrames(std::size_t t, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Sequence xs(t);
+    for (auto &x : xs) {
+        x.resize(dim);
+        rng.fillNormal(x, 1.0);
+    }
+    return xs;
+}
+
+nn::ModelSpec
+smallSpec()
+{
+    nn::ModelSpec spec;
+    spec.type = nn::ModelType::Lstm;
+    spec.inputDim = 16;
+    spec.numClasses = 5;
+    spec.layerSizes = {16, 16};
+    spec.blockSizes = {8, 4};
+    return spec;
+}
+
+std::shared_ptr<const runtime::CompiledModel>
+compileShared(const nn::ModelSpec &spec, std::uint64_t seed)
+{
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(seed);
+    model.initXavier(rng);
+    return runtime::compileShared(model);
+}
+
+/** Reference logits of one utterance on one model. */
+nn::Sequence
+directLogits(const runtime::CompiledModel &model,
+             const nn::Sequence &utt)
+{
+    runtime::InferenceSession session = model.createSession();
+    return session.logits(utt);
+}
+
+void
+expectBitIdentical(const nn::Sequence &got, const nn::Sequence &expect)
+{
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t t = 0; t < got.size(); ++t)
+        for (std::size_t k = 0; k < got[t].size(); ++k)
+            ASSERT_EQ(got[t][k], expect[t][k]) << "t=" << t;
+}
+
+} // namespace
+
+// --- Routing and lifecycle ----------------------------------------------
+
+TEST(Registry, RoutesByIdBitIdenticalToDirect)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const auto modelA = compileShared(spec, 10);
+    const auto modelB = compileShared(spec, 11);
+    const nn::Sequence utt = randomFrames(7, spec.inputDim, 12);
+
+    ModelRegistry registry;
+    registry.publish("asr-en", 1, modelA);
+    registry.publish("asr-de", 1, modelB);
+
+    expectBitIdentical(registry.infer("asr-en", utt).logits,
+                       directLogits(*modelA, utt));
+    expectBitIdentical(registry.infer("asr-de", utt).logits,
+                       directLogits(*modelB, utt));
+
+    EXPECT_TRUE(registry.serving("asr-en"));
+    EXPECT_EQ(registry.activeVersion("asr-en"), 1u);
+    EXPECT_EQ(registry.activeVersion("nope"), 0u);
+
+    const auto models = registry.models();
+    ASSERT_EQ(models.size(), 2u);
+    for (const ModelInfo &m : models) {
+        EXPECT_TRUE(m.serving);
+        EXPECT_EQ(m.version, 1u);
+        EXPECT_EQ(m.generations, 1u);
+        EXPECT_EQ(m.stats.requestsCompleted, 1u);
+    }
+}
+
+TEST(Registry, UnknownIdAndShutdownRejectWithStatus)
+{
+    const nn::ModelSpec spec = smallSpec();
+    ModelRegistry registry;
+    registry.publish("m", 1, compileShared(spec, 20));
+
+    std::future<InferenceReply> fut;
+    EXPECT_EQ(registry.submit("ghost", {}, fut),
+              SubmitStatus::NoSuchModel);
+    EXPECT_FALSE(fut.valid());
+    EXPECT_THROW(registry.infer("ghost", {}), std::runtime_error);
+    EXPECT_THROW(registry.openStream("ghost"), std::runtime_error);
+
+    registry.shutdown();
+    EXPECT_EQ(registry.submit("m", {}, fut), SubmitStatus::Shutdown);
+    EXPECT_EQ(registry.submit("ghost", {}, fut),
+              SubmitStatus::Shutdown);
+    EXPECT_THROW(registry.publish("m", 2, compileShared(spec, 21)),
+                 std::runtime_error);
+}
+
+TEST(Registry, RetireStopsServingAndDrains)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const auto model = compileShared(spec, 30);
+    const nn::Sequence utt = randomFrames(5, spec.inputDim, 31);
+
+    ModelRegistry registry;
+    registry.publish("m", 3, model);
+    registry.infer("m", utt);
+    registry.retire("m");
+
+    EXPECT_FALSE(registry.serving("m"));
+    EXPECT_EQ(registry.activeVersion("m"), 0u);
+    std::future<InferenceReply> fut;
+    EXPECT_EQ(registry.submit("m", utt, fut),
+              SubmitStatus::NoSuchModel);
+    // Retiring an unknown id must not create a route.
+    registry.retire("ghost");
+    EXPECT_EQ(registry.models().size(), 1u);
+    // Final stats survive the retire.
+    EXPECT_EQ(registry.stats("m").requestsCompleted, 1u);
+}
+
+// --- Hot swap ------------------------------------------------------------
+
+TEST(Registry, HotSwapRetargetsDrainsAndAccumulatesStats)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const auto v1 = compileShared(spec, 40);
+    const auto v2 = compileShared(spec, 41);
+    const nn::Sequence utt = randomFrames(6, spec.inputDim, 42);
+    const nn::Sequence want1 = directLogits(*v1, utt);
+    const nn::Sequence want2 = directLogits(*v2, utt);
+
+    ModelRegistry registry;
+    ServerOptions opts;
+    opts.workers = 1;
+    registry.publish("m", 1, v1, opts);
+
+    // Load v1's queue, then swap with futures still outstanding:
+    // publish must drain them all on v1 before releasing it.
+    std::vector<std::future<InferenceReply>> futs;
+    for (int i = 0; i < 10; ++i)
+        futs.push_back([&] {
+            std::future<InferenceReply> f;
+            EXPECT_EQ(registry.submit("m", utt, f), SubmitStatus::Ok);
+            return f;
+        }());
+
+    registry.publish("m", 2, v2, opts);
+    EXPECT_EQ(registry.activeVersion("m"), 2u);
+
+    for (auto &f : futs)
+        expectBitIdentical(f.get().logits, want1);
+    expectBitIdentical(registry.infer("m", utt).logits, want2);
+
+    // Cumulative stats: the drained v1 requests and the v2 one.
+    const ServerStats stats = registry.stats("m");
+    EXPECT_EQ(stats.requestsCompleted, futs.size() + 1);
+    const auto models = registry.models();
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(models[0].generations, 2u);
+}
+
+TEST(Registry, StreamsPinTheVersionTheyOpenedOn)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const auto v1 = compileShared(spec, 50);
+    const auto v2 = compileShared(spec, 51);
+    const nn::Sequence utt = randomFrames(6, spec.inputDim, 52);
+    const nn::Sequence want1 = directLogits(*v1, utt);
+    const nn::Sequence want2 = directLogits(*v2, utt);
+
+    ModelRegistry registry;
+    registry.publish("m", 1, v1);
+
+    ModelStream stream = registry.openStream("m");
+    for (std::size_t t = 0; t < 3; ++t) {
+        const Vector lg = stream.stepSync(utt[t]);
+        for (std::size_t k = 0; k < lg.size(); ++k)
+            ASSERT_EQ(lg[k], want1[t][k]);
+    }
+
+    // The swap retires v1; the pinned stream breaks cleanly (no
+    // dangle — the handle keeps the old server alive) and a fresh
+    // stream serves v2.
+    registry.publish("m", 2, v2);
+    EXPECT_THROW(stream.stepSync(utt[3]), std::runtime_error);
+    stream.close();
+    EXPECT_FALSE(stream.open());
+
+    ModelStream fresh = registry.openStream("m");
+    for (std::size_t t = 0; t < utt.size(); ++t) {
+        const Vector lg = fresh.stepSync(utt[t]);
+        for (std::size_t k = 0; k < lg.size(); ++k)
+            ASSERT_EQ(lg[k], want2[t][k]);
+    }
+}
+
+TEST(Registry, PublishArtifactServesFromTheMapping)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const auto v1 = compileShared(spec, 60);
+    const auto v2 = compileShared(spec, 61);
+    const nn::Sequence utt = randomFrames(6, spec.inputDim, 62);
+
+    const std::string pathA =
+        testing::TempDir() + "registry_a.ernn";
+    const std::string pathB =
+        testing::TempDir() + "registry_b.ernn";
+    runtime::saveArtifact(*v1, pathA);
+    runtime::saveArtifact(*v2, pathB);
+
+    ModelRegistry registry;
+    registry.publishArtifact("m", 1, pathA);
+    expectBitIdentical(registry.infer("m", utt).logits,
+                       directLogits(*v1, utt));
+
+    // Hot swap straight from a v3 artifact file.
+    registry.publishArtifact("m", 2, pathB);
+    expectBitIdentical(registry.infer("m", utt).logits,
+                       directLogits(*v2, utt));
+
+    std::remove(pathA.c_str());
+    std::remove(pathB.c_str());
+}
+
+// --- JSON export and the RegistryServer façade --------------------------
+
+TEST(Registry, StatsJsonListsEveryModel)
+{
+    const nn::ModelSpec spec = smallSpec();
+    ModelRegistry registry;
+    registry.publish("alpha", 1, compileShared(spec, 70));
+    registry.publish("beta", 2, compileShared(spec, 71));
+    registry.infer("alpha", randomFrames(4, spec.inputDim, 72));
+
+    const std::string json = registry.statsJson();
+    EXPECT_NE(json.find("\"id\":\"alpha\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"id\":\"beta\""), std::string::npos);
+    EXPECT_NE(json.find("\"version\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"requests_completed\":1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"serving\":true"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RegistryServer, PeriodicDumpAndFinalDumpReachTheSink)
+{
+    const nn::ModelSpec spec = smallSpec();
+
+    std::mutex mu;
+    std::vector<std::string> dumps;
+    RegistryServerOptions opts;
+    opts.statsInterval = std::chrono::milliseconds(5);
+    opts.statsSink = [&](const std::string &json) {
+        std::lock_guard<std::mutex> lk(mu);
+        dumps.push_back(json);
+    };
+
+    RegistryServer server(opts);
+    server.registry().publish("m", 1, compileShared(spec, 80));
+    server.infer("m", randomFrames(3, spec.inputDim, 81));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.shutdown();
+
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_GE(dumps.size(), 2u); // periodic dumps + the final one
+    EXPECT_NE(dumps.back().find("\"requests_completed\":1"),
+              std::string::npos)
+        << dumps.back();
+    EXPECT_NE(dumps.back().find("\"serving\":false"),
+              std::string::npos)
+        << dumps.back(); // final dump records the drained end state
+}
+
+// --- Seeded stress suites (ctest label: stress) --------------------------
+
+TEST(RegistryStress, HotSwapDrainsWithZeroFailedSubmissions)
+{
+    // THE hot-swap acceptance criterion: concurrent submitters
+    // hammer one id through repeated swaps; every submission must be
+    // accepted (Block admission, no Shutdown/NoSuchModel ever leaks
+    // from a swap) and every reply must be bit-identical to one of
+    // the two live versions.
+    const nn::ModelSpec spec = smallSpec();
+    const auto vA = compileShared(spec, 90);
+    const auto vB = compileShared(spec, 91);
+    const nn::Sequence utt = randomFrames(5, spec.inputDim, 92);
+    const nn::Sequence wantA = directLogits(*vA, utt);
+    const nn::Sequence wantB = directLogits(*vB, utt);
+
+    ModelRegistry registry;
+    ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.maxBatch = 4;
+    sopts.queueCapacity = 8; // small: swaps race live backpressure
+    registry.publish("m", 1, vA, sopts);
+
+    constexpr std::size_t kSubmitters = 4;
+    constexpr std::size_t kPerThread = 60;
+    std::atomic<std::size_t> rejected{0};
+    std::atomic<std::size_t> mismatches{0};
+
+    std::vector<std::thread> submitters;
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&] {
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                std::future<InferenceReply> fut;
+                if (registry.submit("m", utt, fut) !=
+                    SubmitStatus::Ok) {
+                    ++rejected;
+                    continue;
+                }
+                const nn::Sequence got = fut.get().logits;
+                if (got != wantA && got != wantB)
+                    ++mismatches;
+            }
+        });
+    }
+
+    // Swap back and forth while the submitters run; each publish
+    // drains the outgoing version completely before returning.
+    std::uint64_t version = 1;
+    std::thread swapper([&] {
+        for (int swap = 0; swap < 6; ++swap) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+            ++version;
+            registry.publish("m", version,
+                             (version % 2) ? vA : vB, sopts);
+        }
+    });
+
+    for (auto &t : submitters)
+        t.join();
+    swapper.join();
+
+    EXPECT_EQ(rejected.load(), 0u);
+    EXPECT_EQ(mismatches.load(), 0u);
+    const ServerStats stats = registry.stats("m");
+    EXPECT_EQ(stats.requestsCompleted, kSubmitters * kPerThread);
+    EXPECT_EQ(stats.requestsRejectedShutdown, 0u);
+    EXPECT_EQ(registry.activeVersion("m"), version);
+}
+
+TEST(RegistryStress, SoakTwoModelFleetWithMidRunSwaps)
+{
+    // The CI soak: ERNN_SOAK_REQUESTS scales the request count (CI
+    // pushes ~1M through the plain build; the default keeps a local
+    // `ctest -L stress` quick). Two ids, mixed batch + stream
+    // traffic, hot swaps firing throughout; sampled bit-exactness.
+    std::size_t total = 20000;
+    if (const char *env = std::getenv("ERNN_SOAK_REQUESTS"))
+        total = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+
+    const nn::ModelSpec spec = smallSpec();
+    const auto enA = compileShared(spec, 100);
+    const auto enB = compileShared(spec, 101);
+    const auto deA = compileShared(spec, 102);
+    const auto deB = compileShared(spec, 103);
+
+    std::vector<nn::Sequence> utts;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        utts.push_back(
+            randomFrames(1 + i % 5, spec.inputDim, 110 + i));
+    // Reference logits per (model, utterance).
+    auto wants = [&](const runtime::CompiledModel &m) {
+        std::vector<nn::Sequence> out;
+        for (const auto &u : utts)
+            out.push_back(directLogits(m, u));
+        return out;
+    };
+    const auto wantEnA = wants(*enA), wantEnB = wants(*enB);
+    const auto wantDeA = wants(*deA), wantDeB = wants(*deB);
+
+    ModelRegistry registry;
+    ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.maxBatch = 8;
+    sopts.scheduler = SchedulerMode::Continuous;
+    registry.publish("asr-en", 1, enA, sopts);
+    registry.publish("asr-de", 1, deA, sopts);
+
+    constexpr std::size_t kSubmitters = 4;
+    const std::size_t perThread = total / kSubmitters;
+    std::atomic<std::size_t> accepted{0};
+    std::atomic<std::size_t> rejected{0};
+    std::atomic<std::size_t> mismatches{0};
+    std::atomic<bool> swapping{true};
+
+    std::vector<std::thread> submitters;
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            Rng rng(7000 + s);
+            std::vector<std::future<InferenceReply>> inflight;
+            std::vector<std::size_t> inflightUtt;
+            const char *id = (s % 2) ? "asr-en" : "asr-de";
+            const bool en = (s % 2) != 0;
+            for (std::size_t i = 0; i < perThread; ++i) {
+                const std::size_t u = rng.index(utts.size());
+                std::future<InferenceReply> fut;
+                if (registry.submit(id, utts[u], fut) !=
+                    SubmitStatus::Ok) {
+                    ++rejected;
+                    continue;
+                }
+                ++accepted;
+                inflight.push_back(std::move(fut));
+                inflightUtt.push_back(u);
+                if (inflight.size() >= 32) {
+                    // Verify a sample of each drained window.
+                    const nn::Sequence got =
+                        inflight.front().get().logits;
+                    const std::size_t uu = inflightUtt.front();
+                    const bool okA =
+                        got == (en ? wantEnA : wantDeA)[uu];
+                    const bool okB =
+                        got == (en ? wantEnB : wantDeB)[uu];
+                    if (!okA && !okB)
+                        ++mismatches;
+                    for (std::size_t k = 1; k < inflight.size(); ++k)
+                        inflight[k].get();
+                    inflight.clear();
+                    inflightUtt.clear();
+                }
+            }
+            for (auto &f : inflight)
+                f.get();
+        });
+    }
+
+    std::thread swapper([&] {
+        std::uint64_t v = 1;
+        while (swapping.load()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            ++v;
+            registry.publish("asr-en", v, (v % 2) ? enA : enB,
+                             sopts);
+            registry.publish("asr-de", v, (v % 2) ? deA : deB,
+                             sopts);
+        }
+    });
+
+    for (auto &t : submitters)
+        t.join();
+    swapping.store(false);
+    swapper.join();
+
+    EXPECT_EQ(rejected.load(), 0u);
+    EXPECT_EQ(mismatches.load(), 0u);
+    ServerStats fleet = registry.stats("asr-en");
+    fleet.merge(registry.stats("asr-de"));
+    EXPECT_EQ(fleet.requestsCompleted, accepted.load());
+    EXPECT_EQ(fleet.requestsRejectedShutdown, 0u);
+    EXPECT_EQ(fleet.requestsShed, 0u);
+}

@@ -640,3 +640,308 @@ TEST(ServeStress, ShutdownRacesWithActiveSubmitters)
     EXPECT_GT(accepted.load(), 0u);
     EXPECT_EQ(server.stats().requestsCompleted, accepted.load());
 }
+
+// --- Admission control: status submit, load shedding --------------------
+
+TEST(ServeAdmission, StatusSubmitAfterShutdownFailsFastWithoutThrowing)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 160));
+    InferenceServer server(compiled);
+    server.shutdown();
+
+    // The fail-fast contract: a rejected status submit returns
+    // Shutdown immediately and never throws, and the out-future is
+    // left untouched.
+    std::future<InferenceReply> fut;
+    EXPECT_EQ(server.submit(randomFrames(3, spec.inputDim, 161), fut),
+              SubmitStatus::Shutdown);
+    EXPECT_FALSE(fut.valid());
+    EXPECT_EQ(server.stats().requestsRejectedShutdown, 1u);
+    EXPECT_STREQ(submitStatusName(SubmitStatus::Shutdown), "shutdown");
+}
+
+TEST(ServeAdmission, ShedPolicyRejectsWithOverloadedWhenQueueFull)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 162));
+
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatch = 1;
+    opts.batchTimeout = std::chrono::microseconds(0);
+    opts.queueCapacity = 1;
+    opts.admission = AdmissionPolicy::Shed;
+    InferenceServer server(compiled, opts);
+
+    // Long utterances keep the single worker busy for milliseconds
+    // while the submissions below race it by microseconds.
+    const nn::Sequence heavy = randomFrames(3000, spec.inputDim, 163);
+
+    // Accept until one request is computing and one fills the queue.
+    std::vector<std::future<InferenceReply>> futs;
+    while (futs.size() < 2) {
+        std::future<InferenceReply> fut;
+        if (server.submit(heavy, fut) == SubmitStatus::Ok)
+            futs.push_back(std::move(fut));
+    }
+
+    // Worker busy + queue at capacity: Shed rejects instead of
+    // blocking, and the shed is counted.
+    std::future<InferenceReply> extra;
+    EXPECT_EQ(server.submit(heavy, extra), SubmitStatus::Overloaded);
+    EXPECT_FALSE(extra.valid());
+    EXPECT_FALSE(server.trySubmit(heavy, extra));
+    EXPECT_GE(server.stats().requestsShed, 2u);
+
+    // The blocking overload surfaces the shed as an exception.
+    EXPECT_THROW(server.submit(heavy), std::runtime_error);
+
+    for (auto &f : futs)
+        EXPECT_EQ(f.get().logits.size(), heavy.size());
+}
+
+TEST(ServeAdmission, StatsExportAsJson)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 164));
+    InferenceServer server(compiled);
+    server.infer(randomFrames(4, spec.inputDim, 165));
+
+    const std::string json = server.stats().toJson();
+    EXPECT_NE(json.find("\"requests_completed\":1"),
+              std::string::npos) << json;
+    EXPECT_NE(json.find("\"frames_processed\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"requests_shed\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_micros\":{\"count\":1"),
+              std::string::npos) << json;
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+
+    // merge() is what the registry aggregates swaps with.
+    ServerStats sum = server.stats();
+    sum.merge(server.stats());
+    EXPECT_EQ(sum.requestsCompleted, 2u);
+    EXPECT_EQ(sum.queueMicros.count(), 2u);
+}
+
+// --- Continuous batching through the server -----------------------------
+
+TEST(ServeContinuous, EveryBackendBitIdenticalToDirect)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const nn::StackedRnn model = buildInit(spec, 170);
+    const auto pool = utterancePool(12, spec.inputDim, 171);
+
+    const runtime::BackendKind kinds[] = {
+        runtime::BackendKind::Auto, runtime::BackendKind::Dense,
+        runtime::BackendKind::CirculantFft,
+        runtime::BackendKind::FixedPoint};
+
+    for (runtime::BackendKind kind : kinds) {
+        runtime::CompileOptions copts;
+        copts.backend = kind;
+        const runtime::CompiledModel compiled =
+            runtime::compile(model, copts);
+        const auto expect = directResults(compiled, pool);
+
+        for (std::size_t workers : {1u, 2u}) {
+            for (std::size_t max_lanes : {1u, 3u, 8u}) {
+                ServerOptions opts;
+                opts.scheduler = SchedulerMode::Continuous;
+                opts.workers = workers;
+                opts.maxBatch = max_lanes;
+                InferenceServer server(compiled, opts);
+
+                std::vector<std::future<InferenceReply>> futs;
+                for (const auto &utt : pool)
+                    futs.push_back(server.submit(utt));
+                for (std::size_t u = 0; u < pool.size(); ++u) {
+                    InferenceReply reply = futs[u].get();
+                    expectBitIdentical(reply.logits,
+                                       expect[u].logits.front());
+                    EXPECT_EQ(reply.predictions,
+                              expect[u].predictions.front())
+                        << backendKindName(kind)
+                        << " lanes=" << max_lanes;
+                    EXPECT_GE(reply.timing.batchSize, 1u);
+                    EXPECT_LE(reply.timing.batchSize, max_lanes);
+                }
+
+                const ServerStats stats = server.stats();
+                EXPECT_EQ(stats.requestsCompleted, pool.size());
+                EXPECT_LE(stats.batchSize.max(),
+                          static_cast<Real>(max_lanes));
+            }
+        }
+    }
+}
+
+TEST(ServeContinuous, StreamsCoexistWithTheEngineThread)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 172));
+    const nn::Sequence utt = randomFrames(6, spec.inputDim, 173);
+
+    runtime::InferenceSession direct = compiled.createSession();
+    const nn::Sequence expect = direct.logits(utt);
+
+    ServerOptions opts;
+    opts.scheduler = SchedulerMode::Continuous;
+    opts.workers = 1; // the engine thread itself serves the stream
+    InferenceServer server(compiled, opts);
+
+    InferenceServer::Stream stream = server.openStream();
+    for (std::size_t t = 0; t < utt.size(); ++t) {
+        const InferenceReply batch = server.infer(utt);
+        expectBitIdentical(batch.logits, expect);
+        const Vector lg = stream.stepSync(utt[t]);
+        for (std::size_t k = 0; k < lg.size(); ++k)
+            ASSERT_EQ(lg[k], expect[t][k]) << "t=" << t;
+    }
+}
+
+TEST(ServeContinuous, ShutdownDrainsLiveLanesAndZeroLengthCompletes)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 174));
+    const auto pool = utterancePool(8, spec.inputDim, 175);
+    const auto expect = directResults(compiled, pool);
+
+    ServerOptions opts;
+    opts.scheduler = SchedulerMode::Continuous;
+    opts.workers = 2;
+    opts.maxBatch = 3;
+    InferenceServer server(compiled, opts);
+
+    std::vector<std::future<InferenceReply>> futs;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (const auto &utt : pool)
+            futs.push_back(server.submit(utt));
+    server.shutdown();
+    for (std::size_t i = 0; i < futs.size(); ++i)
+        expectBitIdentical(futs[i].get().logits,
+                           expect[i % pool.size()].logits.front());
+}
+
+TEST(ServeContinuousStress, ManySubmittersUnderBackpressure)
+{
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 180));
+    const auto pool = utterancePool(16, spec.inputDim, 181);
+    const auto expect = directResults(compiled, pool);
+
+    ServerOptions opts;
+    opts.scheduler = SchedulerMode::Continuous;
+    opts.workers = 3; // engine + two stream-only workers
+    opts.maxBatch = 6;
+    opts.queueCapacity = 4; // small: exercises blocking backpressure
+    InferenceServer server(compiled, opts);
+
+    constexpr std::size_t kSubmitters = 6;
+    constexpr std::size_t kPerThread = 25;
+    std::atomic<std::size_t> mismatches{0};
+
+    std::vector<std::thread> submitters;
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&, s] {
+            Rng rng(3000 + s);
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                const std::size_t u = rng.index(pool.size());
+                InferenceReply reply = server.submit(pool[u]).get();
+                if (reply.logits != expect[u].logits.front() ||
+                    reply.predictions != expect[u].predictions.front())
+                    ++mismatches;
+            }
+        });
+    }
+
+    // Streams pinned across the pool (including the engine thread)
+    // must stay bit-exact while lanes churn.
+    std::thread streamer([&] {
+        for (int round = 0; round < 3; ++round) {
+            InferenceServer::Stream stream = server.openStream();
+            const std::size_t u = 1 + (round * 5) % (pool.size() - 1);
+            for (std::size_t t = 0; t < pool[u].size(); ++t) {
+                const Vector lg = stream.stepSync(pool[u][t]);
+                if (lg != expect[u].logits.front()[t])
+                    ++mismatches;
+            }
+        }
+    });
+
+    for (auto &t : submitters)
+        t.join();
+    streamer.join();
+
+    EXPECT_EQ(mismatches.load(), 0u);
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requestsCompleted, kSubmitters * kPerThread);
+    EXPECT_LE(stats.queueDepth.max(),
+              static_cast<Real>(opts.queueCapacity));
+    EXPECT_LE(stats.batchSize.max(),
+              static_cast<Real>(opts.maxBatch));
+}
+
+TEST(ServeStress, ShutdownFailsFastForBlockedStatusSubmitters)
+{
+    // Regression: a submitter parked on a full queue used to depend
+    // on being woken into a throw; the status path must wake it to a
+    // clean SubmitStatus::Shutdown, never leaving it blocked.
+    const nn::ModelSpec spec = smallSpec();
+    const runtime::CompiledModel compiled =
+        runtime::compile(buildInit(spec, 190));
+
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.maxBatch = 1;
+    opts.batchTimeout = std::chrono::microseconds(0);
+    opts.queueCapacity = 1; // submitters park almost immediately
+    InferenceServer server(compiled, opts);
+
+    const nn::Sequence heavy = randomFrames(1500, spec.inputDim, 191);
+
+    constexpr std::size_t kSubmitters = 6;
+    std::atomic<std::size_t> okCount{0};
+    std::atomic<std::size_t> shutdownCount{0};
+    std::atomic<std::size_t> failures{0};
+
+    std::vector<std::thread> submitters;
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&] {
+            std::future<InferenceReply> fut;
+            const SubmitStatus status = server.submit(heavy, fut);
+            if (status == SubmitStatus::Ok) {
+                ++okCount;
+                if (fut.get().logits.size() != heavy.size())
+                    ++failures;
+            } else if (status == SubmitStatus::Shutdown) {
+                ++shutdownCount;
+                if (fut.valid())
+                    ++failures; // rejected submit must not touch out
+            } else {
+                ++failures; // Block policy never sheds
+            }
+        });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    // The regression's trigger: shutdown with the queue full and
+    // submitters parked. Every thread must return promptly — a hang
+    // here is the bug this test pins down.
+    server.shutdown();
+    for (auto &t : submitters)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(okCount.load() + shutdownCount.load(), kSubmitters);
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requestsCompleted, okCount.load());
+    EXPECT_EQ(stats.requestsRejectedShutdown, shutdownCount.load());
+}

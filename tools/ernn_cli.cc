@@ -54,7 +54,8 @@ namespace
 
 /** Flags that take no value; everything else is --key <value>. */
 const std::set<std::string> kBoolFlags = {"--peephole", "--quiet",
-                                          "--fp-emulate"};
+                                          "--fp-emulate",
+                                          "--stats-json"};
 
 /**
  * Minimal --key value parser. Every flag must be consumed by the
@@ -349,18 +350,26 @@ cmdCompile(Flags &f)
     const std::string spec_path = f.required("--spec");
     const std::string ckpt_path = f.required("--checkpoint");
     const std::string out_path = f.required("--out");
+    // v3 is the mmap-ready default; v1/v2 remain writable so older
+    // deployments can be fed from a current toolchain.
+    const std::size_t format =
+        f.num("--format", runtime::kArtifactFormatVersion);
+    if (format < 1 || format > runtime::kArtifactFormatVersion)
+        ernn_fatal("--format must be in [1, "
+                   << runtime::kArtifactFormatVersion << "], got "
+                   << format);
     const runtime::CompileOptions copts = compileOptions(f);
     f.finish();
 
     const nn::StackedRnn model = loadModel(spec_path, ckpt_path);
     const runtime::CompiledModel compiled =
         runtime::compile(model, copts);
-    runtime::saveArtifact(compiled, out_path);
+    runtime::saveArtifact(compiled, out_path,
+                          static_cast<std::uint32_t>(format));
     namespace fs = std::filesystem;
     std::cout << "wrote " << out_path << ": " << compiled.describe()
               << " (" << compiled.storedParams()
-              << " stored params, format v"
-              << runtime::kArtifactFormatVersion << ", "
+              << " stored params, format v" << format << ", "
               << fmtBytes(static_cast<Real>(fs::file_size(out_path)))
               << ")\n";
     return 0;
@@ -423,13 +432,20 @@ cmdServeBench(Flags &f)
     const std::size_t utterances = f.num("--utterances", 64);
     const std::size_t frames = f.num("--frames", 40);
     const std::size_t seed = f.num("--seed", 42);
+    const bool continuous =
+        !parseChoice(f.str("--scheduler", "hold-open"), "--scheduler",
+                     "hold-open", "continuous");
+    const bool stats_json = f.flag("--stats-json");
     f.finish();
 
     const auto model = runtime::loadArtifactShared(art_path);
-    std::cout << "serve-bench " << model->describe() << ", "
-              << utterances << " utterances x " << frames
-              << " frames (hardware concurrency "
-              << std::thread::hardware_concurrency() << ")\n";
+    if (!stats_json)
+        std::cout << "serve-bench " << model->describe() << ", "
+                  << utterances << " utterances x " << frames
+                  << " frames, "
+                  << (continuous ? "continuous" : "hold-open")
+                  << " scheduler (hardware concurrency "
+                  << std::thread::hardware_concurrency() << ")\n";
 
     Rng rng(seed);
     std::vector<nn::Sequence> load(utterances);
@@ -442,15 +458,28 @@ cmdServeBench(Flags &f)
     // frames/s rides the batch-major run() datapath: every coalesced
     // batch is one GEMM-shaped kernel call per weight per time step,
     // so "compute us/frame" falls as "mean batch" rises (compute
-    // density, not just queueing).
-    std::cout << padRight("workers", 9) << padRight("maxBatch", 10)
-              << padRight("frames/s", 12) << padRight("mean batch", 12)
-              << padRight("compute us/frame", 17) << "\n";
+    // density, not just queueing). --stats-json swaps the table for
+    // one machine-readable document carrying the full ServerStats.
+    if (!stats_json)
+        std::cout << padRight("workers", 9) << padRight("maxBatch", 10)
+                  << padRight("frames/s", 12)
+                  << padRight("mean batch", 12)
+                  << padRight("compute us/frame", 17) << "\n";
+    std::ostringstream json;
+    fullPrecision(json) << "{\"scheduler\":\""
+                        << (continuous ? "continuous" : "hold-open")
+                        << "\",\"utterances\":" << utterances
+                        << ",\"frames\":" << frames
+                        << ",\"configs\":[";
+    bool first = true;
     for (std::size_t w : workers) {
         for (std::size_t b : batches) {
             serve::ServerOptions sopts;
             sopts.workers = w;
             sopts.maxBatch = b;
+            sopts.scheduler = continuous
+                                  ? serve::SchedulerMode::Continuous
+                                  : serve::SchedulerMode::HoldOpen;
             serve::InferenceServer server(*model, sopts);
             const auto t0 = std::chrono::steady_clock::now();
             std::vector<std::future<serve::InferenceReply>> futs;
@@ -463,14 +492,19 @@ cmdServeBench(Flags &f)
             const Real secs =
                 std::chrono::duration<Real>(t1 - t0).count();
             const serve::ServerStats stats = server.stats();
+            const Real fps =
+                static_cast<Real>(utterances * frames) / secs;
+            if (stats_json) {
+                json << (first ? "" : ",") << "{\"workers\":" << w
+                     << ",\"max_batch\":" << b
+                     << ",\"frames_per_sec\":" << fps
+                     << ",\"stats\":" << stats.toJson() << "}";
+                first = false;
+                continue;
+            }
             std::cout << padRight(std::to_string(w), 9)
                       << padRight(std::to_string(b), 10)
-                      << padRight(
-                             fmtReal(static_cast<Real>(
-                                         utterances * frames) /
-                                         secs,
-                                     0),
-                             12)
+                      << padRight(fmtReal(fps, 0), 12)
                       << padRight(fmtReal(stats.meanBatchSize(), 2),
                                   12)
                       << padRight(
@@ -485,6 +519,9 @@ cmdServeBench(Flags &f)
                       << "\n";
         }
     }
+    json << "]}";
+    if (stats_json)
+        std::cout << json.str() << "\n";
     return 0;
 }
 
@@ -506,6 +543,8 @@ usage(std::ostream &os, int code)
           "fixed-point]\n"
           "             [--bits N] [--segments N] [--range R]\n"
           "             [--fp-emulate   f64 oracle instead of int16]\n"
+          "             [--format 1|2|3  artifact version (3 = "
+          "mmap)]\n"
           "  ernn info ARTIFACT...\n"
           "  ernn eval --artifact F [--split test|train] "
           "[--workers N]\n"
@@ -513,6 +552,8 @@ usage(std::ostream &os, int code)
           "  ernn serve-bench --artifact F [--workers 1,2,4]\n"
           "             [--max-batch 1,8] [--utterances N] "
           "[--frames N]\n"
+          "             [--scheduler hold-open|continuous] "
+          "[--stats-json]\n"
           "\n"
           "data flags (shared by train/eval; both sides must match "
           "for\n"
