@@ -33,6 +33,7 @@
 #include "serve/inference_server.hh"
 #include "tensor/fft.hh"
 #include "tensor/matrix.hh"
+#include "tensor/simd.hh"
 
 using namespace ernn;
 
@@ -388,6 +389,119 @@ BM_SessionBatchSweep(benchmark::State &state)
 }
 BENCHMARK(BM_SessionBatchSweep)
     ->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * SIMD dispatch toggle on the int16 fixed-point matvec (the paper's
+ * deployed kernel). range(0): n; range(1): block size (0 = dense);
+ * range(2): 0 forces the scalar oracle, 1 the best detected level.
+ * The PR-gating number: on AVX2 hardware the dispatched dense int16
+ * matvec must be >= 2x the scalar oracle it is bit-identical to
+ * (perf-smoke computes the ratio from the labels).
+ */
+void
+BM_SimdLevelMatvec(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto lb = static_cast<std::size_t>(state.range(1));
+    const bool best = state.range(2) != 0;
+    const simd::Level level = best ? simd::detect()
+                                   : simd::Level::Scalar;
+    const simd::Level saved = simd::active();
+    simd::setActive(level);
+
+    Rng rng(9);
+    std::unique_ptr<runtime::FixedPointKernel> kernel;
+    if (lb == 0) {
+        Matrix w(n, n);
+        w.initXavier(rng);
+        kernel = std::make_unique<runtime::FixedPointKernel>(w, 12);
+    } else {
+        circulant::BlockCirculantMatrix w(n, n, lb);
+        w.initXavier(rng);
+        kernel = std::make_unique<runtime::FixedPointKernel>(w, 12);
+    }
+
+    const quant::FixedPointFormat vf = quant::chooseClampFormat(12, 8.0);
+    runtime::KernelScratch scratch;
+    scratch.valueFormat = vf; // native int16 datapath
+
+    const Vector x = gridVector(n, 10, vf);
+    Vector y(n, 0.0);
+    for (auto _ : state) {
+        kernel->apply(x, y, scratch);
+        benchmark::DoNotOptimize(y.data());
+    }
+    simd::setActive(saved);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0) *
+        state.range(0));
+    state.SetLabel(std::string(lb ? "circulant" : "dense") + "/simd-" +
+                   simd::levelName(level));
+}
+// n = 512 dense (512 KB of codes) stays cache-resident — that pair
+// is the kernel-speedup ratio; n = 1024 dense (2 MB) streams from
+// memory and shows the bandwidth ceiling instead.
+BENCHMARK(BM_SimdLevelMatvec)
+    ->Args({512, 0, 0})
+    ->Args({512, 0, 1})
+    ->Args({1024, 0, 0})
+    ->Args({1024, 0, 1})
+    ->Args({1024, 64, 0})
+    ->Args({1024, 64, 1});
+
+/**
+ * Intra-session multicore scaling: run() at batch 64 on the
+ * acceptance geometry with the session's compute pool at 1..N
+ * threads. Row ranges of each timestep GEMM are split across the
+ * pool; results are bit-identical at any thread count (see
+ * test_simd), so items_per_second is a pure scaling curve.
+ * perf-smoke reports the N-thread over 1-thread ratio. range(0):
+ * backend (1 dense, 2 fixed-point int16); range(1): threads.
+ */
+void
+BM_SessionThreadSweep(benchmark::State &state)
+{
+    const nn::ModelSpec spec = servingSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(18);
+    model.initXavier(rng);
+
+    runtime::CompileOptions opts;
+    const char *label = "";
+    switch (state.range(0)) {
+      case 1:
+        opts.backend = runtime::BackendKind::Dense;
+        label = "dense";
+        break;
+      case 2:
+        opts.backend = runtime::BackendKind::FixedPoint;
+        label = "fixed-point/int16";
+        break;
+    }
+    runtime::CompiledModel compiled = runtime::compile(model, opts);
+    const auto threads = static_cast<std::size_t>(state.range(1));
+    runtime::InferenceSession session =
+        compiled.createSession(threads);
+
+    const std::size_t lanes = 64, frames = 4;
+    const auto batch = servingBatch(lanes, frames, spec.inputDim);
+
+    for (auto _ : state) {
+        auto result = session.run(batch);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(lanes * frames));
+    state.SetLabel(std::string(label) + "/threads" +
+                   std::to_string(threads));
+}
+// UseRealTime: work moves onto pool workers, so the main thread's
+// CPU clock would overstate the scaling; wall clock is the honest
+// frames/s basis.
+BENCHMARK(BM_SessionThreadSweep)
+    ->ArgsProduct({{1, 2}, {1, 2, 4}})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void

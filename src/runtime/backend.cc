@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "runtime/thread_pool.hh"
+#include "tensor/simd.hh"
 
 namespace ernn::runtime
 {
@@ -53,12 +55,44 @@ LinearKernel::applyBatch(const Matrix &x, Matrix &y,
     }
 }
 
+namespace
+{
+
+/**
+ * f32 input staging for dense f32 kernels: the input narrowed to
+ * float once, epoch-scoped and address-keyed like the fixed-point
+ * code staging, so the gate kernels sharing one step's input convert
+ * it once.
+ */
+const float *
+stageInputF32(const Real *src, std::size_t count,
+              KernelScratch &scratch)
+{
+    if (scratch.xfSource != src || scratch.xfSize != count ||
+        scratch.xfStampedEpoch != scratch.xqEpoch) {
+        scratch.xf.resize(count);
+        for (std::size_t i = 0; i < count; ++i)
+            scratch.xf[i] = static_cast<float>(src[i]);
+        scratch.xfSource = src;
+        scratch.xfSize = count;
+        scratch.xfStampedEpoch = scratch.xqEpoch;
+    }
+    return scratch.xf.data();
+}
+
+} // namespace
+
 // --- DenseKernel -------------------------------------------------------
 
-DenseKernel::DenseKernel(Matrix w)
+DenseKernel::DenseKernel(Matrix w, DensePrecision prec)
     : w_(std::move(w)), wd_(w_.data()), rows_(w_.rows()),
-      cols_(w_.cols())
+      cols_(w_.cols()), f32_(prec == DensePrecision::F32)
 {
+    if (f32_) {
+        wf_.resize(rows_ * cols_);
+        for (std::size_t i = 0; i < wf_.size(); ++i)
+            wf_[i] = static_cast<float>(wd_[i]);
+    }
 }
 
 DenseKernel::DenseKernel(const Real *w, std::size_t rows,
@@ -83,9 +117,18 @@ DenseKernel::weight() const
 }
 
 void
-DenseKernel::apply(const Vector &x, Vector &y, KernelScratch &) const
+DenseKernel::apply(const Vector &x, Vector &y,
+                   KernelScratch &scratch) const
 {
     ernn_assert(y.size() == rows_, "DenseKernel: y presize");
+    if (f32_) {
+        // The one-lane GEMM runs each row as a single ascending
+        // float chain — the same chain a batch lane runs, so solo
+        // and batch stay bit-identical within f32.
+        const float *xf = stageInputF32(x.data(), cols_, scratch);
+        simd::gemmF32Fn()(wf_.data(), rows_, cols_, xf, y.data(), 1);
+        return;
+    }
     std::fill(y.begin(), y.end(), 0.0);
     matvecAccRaw(wd_, rows_, cols_, x, y);
 }
@@ -97,14 +140,48 @@ DenseKernel::applyBatch(const Matrix &x, Matrix &y,
     ernn_assert(x.rows() == cols_ && y.rows() == rows_ &&
                 x.cols() == y.cols(),
                 "DenseKernel: batch shape mismatch");
-    if (x.cols() == 1) {
+    const std::size_t lanes = x.cols();
+    if (lanes == 1) {
         // A one-column matrix is a vector; the solo matvec avoids
         // the lane-tile overhead.
         apply(x.raw(), y.raw(), scratch);
         return;
     }
+
+    if (f32_) {
+        // Stage the float input serially, then split output rows
+        // across the pool: every row's chains are untouched by the
+        // partition, so 1 thread and N threads agree bitwise.
+        const float *xf =
+            stageInputF32(x.data(), cols_ * lanes, scratch);
+        const simd::GemmF32Fn gemm = simd::gemmF32Fn();
+        const float *wf = wf_.data();
+        Real *yd = y.data();
+        const std::size_t cols = cols_;
+        auto rows = [&](std::size_t r0, std::size_t r1) {
+            gemm(wf + r0 * cols, r1 - r0, cols, xf,
+                 yd + r0 * lanes, lanes);
+        };
+        if (scratch.pool)
+            scratch.pool->parallelFor(rows_, rows);
+        else
+            rows(0, rows_);
+        return;
+    }
+
     y.setZero();
-    gemmAccRaw(wd_, rows_, cols_, x, y);
+    const simd::GemmF64Fn gemm = simd::gemmAccF64Fn();
+    const Real *xd = x.data();
+    Real *yd = y.data();
+    const std::size_t cols = cols_;
+    auto rows = [&](std::size_t r0, std::size_t r1) {
+        gemm(wd_ + r0 * cols, r1 - r0, cols, xd, yd + r0 * lanes,
+             lanes);
+    };
+    if (scratch.pool)
+        scratch.pool->parallelFor(rows_, rows);
+    else
+        rows(0, rows_);
 }
 
 // --- CirculantFftKernel ------------------------------------------------
@@ -404,7 +481,7 @@ namespace
  * KernelScratch::xq). The batched path stages its own lane-major
  * int16 transpose (KernelScratch::xqh) instead.
  */
-const std::int32_t *
+const std::int16_t *
 stageInputCodes(const Real *src, std::size_t n,
                 KernelScratch &scratch)
 {
@@ -412,8 +489,11 @@ stageInputCodes(const Real *src, std::size_t n,
     if (scratch.xqSource != src || scratch.xqSize != n ||
         scratch.xqStampedEpoch != scratch.xqEpoch) {
         scratch.xq.resize(n);
+        // Codes fit int16 because the session pins every kernel
+        // input to the <= 16-bit value grid — the same argument the
+        // batched staging relies on.
         for (std::size_t i = 0; i < n; ++i)
-            scratch.xq[i] = static_cast<std::int32_t>(vf.toQ(src[i]));
+            scratch.xq[i] = static_cast<std::int16_t>(vf.toQ(src[i]));
         scratch.xqSource = src;
         scratch.xqSize = n;
         scratch.xqStampedEpoch = scratch.xqEpoch;
@@ -431,16 +511,20 @@ FixedPointKernel::applyInteger(const Vector &x, Vector &y,
     const int shift = format_.fracBits;
 
     const std::size_t n = x.size();
-    const std::int32_t *xq = stageInputCodes(x.data(), n, scratch);
+    const std::int16_t *xq = stageInputCodes(x.data(), n, scratch);
+    const std::size_t chunk =
+        simd::safeChunkLen(format_.totalBits, vf.totalBits);
+    const simd::DotCodesFn dot = simd::dotCodesFn();
 
     if (!circulant_) {
-        for (std::size_t r = 0; r < rows_; ++r) {
-            const std::int16_t *row = qwData_ + r * n;
-            std::int64_t acc = 0;
-            for (std::size_t c = 0; c < n; ++c)
-                acc += static_cast<std::int64_t>(row[c]) * xq[c];
-            y[r] = vf.fromQ(vf.requantize(acc, shift));
-        }
+        // Row-blocked matvec: the vector levels share each x load
+        // across four weight rows (the single-row dot is load-port
+        // bound). Same per-row sums, so same bits at every level.
+        scratch.yq.resize(rows_);
+        simd::matvecCodesFn()(qwData_, rows_, n, xq,
+                              scratch.yq.data(), chunk);
+        for (std::size_t r = 0; r < rows_; ++r)
+            y[r] = vf.fromQ(vf.requantize(scratch.yq[r], shift));
         return;
     }
 
@@ -454,56 +538,12 @@ FixedPointKernel::applyInteger(const Vector &x, Vector &y,
                 // Contiguous row slice of the doubled generator.
                 const std::int16_t *g =
                     qwData_ + (i * q + j) * 2 * lb + (lb - r);
-                const std::int32_t *xs = xq + j * lb;
-                for (std::size_t c = 0; c < lb; ++c)
-                    acc += static_cast<std::int64_t>(g[c]) * xs[c];
+                acc += dot(g, xq + j * lb, lb, chunk);
             }
             y[i * lb + r] = vf.fromQ(vf.requantize(acc, shift));
         }
     }
 }
-
-namespace
-{
-
-/**
- * Exact int16 dot product of @p n code pairs, chunked so every
- * int32 partial sum is provably overflow-free: |a*b| <= 2^pb, so
- * chunks of 2^(30-pb) terms fit int32, and the int64 total equals
- * the term-by-term int64 sum applyInteger computes. The int16*int16
- * -> int32 accumulation inside a chunk is the widening multiply-add
- * shape compilers lower to SIMD (pmaddwd and friends), which is
- * where the batched integer GEMM gets its arithmetic density.
- */
-std::int64_t
-dotCodes(const std::int16_t *w, const std::int16_t *v,
-         std::size_t n, std::size_t chunk)
-{
-    std::int64_t acc = 0;
-    std::size_t c = 0;
-    while (c < n) {
-        const std::size_t end = std::min(n, c + chunk);
-        std::int32_t a = 0;
-        for (; c < end; ++c)
-            a += static_cast<std::int32_t>(w[c]) *
-                 static_cast<std::int32_t>(v[c]);
-        acc += a;
-    }
-    return acc;
-}
-
-/** Largest chunk length whose int32 partial sums cannot overflow,
- *  given weight/value formats of wb and vb total bits. */
-std::size_t
-safeChunk(int wb, int vb)
-{
-    const int pb = wb + vb - 2; // |w*v| <= 2^(wb-1) * 2^(vb-1)
-    if (pb >= 30)
-        return 1;
-    return std::size_t{1} << (30 - pb);
-}
-
-} // namespace
 
 void
 FixedPointKernel::applyIntegerBatch(const Matrix &x, Matrix &y,
@@ -543,43 +583,63 @@ FixedPointKernel::applyIntegerBatch(const Matrix &x, Matrix &y,
         scratch.xqhStampedEpoch = scratch.xqEpoch;
     }
     const std::int16_t *xqh = scratch.xqh.data();
-    const std::size_t chunk = safeChunk(format_.totalBits,
-                                        vf.totalBits);
+    const std::size_t chunk = simd::safeChunkLen(format_.totalBits,
+                                                 vf.totalBits);
+    const simd::DotCodesFn dot = simd::dotCodesFn();
     Real *yd = y.data();
 
     if (!circulant_) {
-        for (std::size_t r = 0; r < rows_; ++r) {
-            // The weight row stays cache-hot across every lane: the
-            // batch streams the weights once per call, not per lane.
-            const std::int16_t *row = qwData_ + r * n;
-            Real *yr = yd + r * lanes;
-            for (std::size_t l = 0; l < lanes; ++l)
-                yr[l] = vf.fromQ(vf.requantize(
-                    dotCodes(row, xqh + l * n, n, chunk), shift));
-        }
+        // Staging done, the rest is embarrassingly parallel over
+        // output rows: each row writes its own y slice, so the pool
+        // split changes nothing about the arithmetic.
+        auto rowRange = [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t r = r0; r < r1; ++r) {
+                // The weight row stays cache-hot across every lane:
+                // the batch streams the weights once per call, not
+                // per lane.
+                const std::int16_t *row = qwData_ + r * n;
+                Real *yr = yd + r * lanes;
+                for (std::size_t l = 0; l < lanes; ++l)
+                    yr[l] = vf.fromQ(vf.requantize(
+                        dot(row, xqh + l * n, n, chunk), shift));
+            }
+        };
+        if (scratch.pool)
+            scratch.pool->parallelFor(rows_, rowRange);
+        else
+            rowRange(0, rows_);
         return;
     }
 
     const std::size_t lb = block_;
     const std::size_t p = rows_ / lb;
     const std::size_t q = cols_ / lb;
-    for (std::size_t i = 0; i < p; ++i) {
-        for (std::size_t r = 0; r < lb; ++r) {
-            Real *yr = yd + (i * lb + r) * lanes;
-            for (std::size_t l = 0; l < lanes; ++l) {
-                const std::int16_t *xh = xqh + l * n;
-                std::int64_t acc = 0;
-                for (std::size_t j = 0; j < q; ++j) {
-                    // Contiguous row slice of the doubled generator
-                    // against the lane's contiguous segment codes.
-                    const std::int16_t *g =
-                        qwData_ + (i * q + j) * 2 * lb + (lb - r);
-                    acc += dotCodes(g, xh + j * lb, lb, chunk);
+    // Parallel over block rows: block row i owns y rows
+    // [i*lb, (i+1)*lb), so ranges of i write disjoint output.
+    auto blockRange = [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            for (std::size_t r = 0; r < lb; ++r) {
+                Real *yr = yd + (i * lb + r) * lanes;
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    const std::int16_t *xh = xqh + l * n;
+                    std::int64_t acc = 0;
+                    for (std::size_t j = 0; j < q; ++j) {
+                        // Contiguous row slice of the doubled
+                        // generator against the lane's contiguous
+                        // segment codes.
+                        const std::int16_t *g =
+                            qwData_ + (i * q + j) * 2 * lb + (lb - r);
+                        acc += dot(g, xh + j * lb, lb, chunk);
+                    }
+                    yr[l] = vf.fromQ(vf.requantize(acc, shift));
                 }
-                yr[l] = vf.fromQ(vf.requantize(acc, shift));
             }
         }
-    }
+    };
+    if (scratch.pool)
+        scratch.pool->parallelFor(p, blockRange);
+    else
+        blockRange(0, p);
 }
 
 // --- Registry ----------------------------------------------------------
@@ -588,13 +648,15 @@ KernelRegistry::KernelRegistry()
 {
     registerFactory(
         "dense",
-        [](const nn::LinearOp &op, const CompileOptions &)
+        [](const nn::LinearOp &op, const CompileOptions &opts)
             -> std::unique_ptr<LinearKernel> {
             if (const auto *circ = op.circulantWeight())
-                return std::make_unique<DenseKernel>(circ->toDense());
+                return std::make_unique<DenseKernel>(
+                    circ->toDense(), opts.densePrecision);
             const auto *w = op.denseWeight();
             ernn_assert(w, "dense backend: operator exposes no weight");
-            return std::make_unique<DenseKernel>(*w);
+            return std::make_unique<DenseKernel>(
+                *w, opts.densePrecision);
         });
 
     registerFactory(

@@ -53,6 +53,16 @@ enum class BackendKind
 /** Human-readable backend name ("auto", "dense", ...). */
 std::string backendKindName(BackendKind kind);
 
+class ThreadPool;
+
+/** Arithmetic width of the Dense backend's kernels. */
+enum class DensePrecision
+{
+    F64, //!< double weights and accumulation (the default)
+    F32, //!< float weights and accumulation (opt-in, approximate
+         //!< vs F64; scalar and SIMD f32 are bit-identical)
+};
+
 /** Options fixed at compile() time and immutable afterwards. */
 struct CompileOptions
 {
@@ -75,6 +85,25 @@ struct CompileOptions
      * fall back to regardless of this flag.
      */
     bool fixedPointEmulation = false;
+
+    /**
+     * Dense backend: arithmetic width of owned dense kernels. F32
+     * halves the weight footprint and doubles the SIMD lane count;
+     * outputs differ from F64 within float rounding. Kernels that
+     * *borrow* their weights (mmap artifacts) always serve f64.
+     * Runtime-only: NOT serialized into artifacts — a loaded
+     * artifact rehydrates with the default (F64).
+     */
+    DensePrecision densePrecision = DensePrecision::F64;
+
+    /**
+     * Default intra-session parallelism: how many threads each
+     * InferenceSession splits its per-timestep kernel row blocks
+     * across. 1 = serial (today's behavior). Sessions and servers
+     * can override per instance (createSession / ServerOptions).
+     * Runtime-only: NOT serialized into artifacts.
+     */
+    std::size_t computeThreads = 1;
 };
 
 /**
@@ -85,6 +114,16 @@ struct CompileOptions
 struct KernelScratch
 {
     circulant::FftWorkspace fft;
+
+    /**
+     * The session's compute pool (owned by the session, null = run
+     * serial). Kernels with independent output-row blocks split them
+     * across the pool; outputs are bit-identical either way because
+     * every row keeps its own accumulation chain. Kernels must stage
+     * shared inputs (xq/xqh/xf) *before* entering the pool — staging
+     * is not thread-safe.
+     */
+    ThreadPool *pool = nullptr;
 
     /**
      * Armed (totalBits != 0) by sessions over a native-integer
@@ -104,11 +143,16 @@ struct KernelScratch
      * address. Anything driving kernels directly with vectors that
      * may alias must bump xqEpoch between calls the same way.
      */
-    std::vector<std::int32_t> xq;
+    std::vector<std::int16_t> xq;
     const Real *xqSource = nullptr;    //!< address the codes came from
     std::size_t xqSize = 0;
     std::uint64_t xqEpoch = 0;         //!< bumped per session step
     std::uint64_t xqStampedEpoch = ~std::uint64_t{0};
+
+    /** Raw int64 row accumulators of one solo integer matvec (the
+     *  simd::matvecCodes output, requantized into y right after).
+     *  Plain scratch — no staging/epoch semantics. */
+    std::vector<std::int64_t> yq;
 
     /**
      * Batched input value-code staging: the (features x lanes)
@@ -123,6 +167,17 @@ struct KernelScratch
     const Real *xqhSource = nullptr;
     std::size_t xqhSize = 0;
     std::uint64_t xqhStampedEpoch = ~std::uint64_t{0};
+
+    /**
+     * f32 input staging for the opt-in dense f32 mode: the input
+     * narrowed to float once per step (feature-major, the f64
+     * layout), shared by the gate kernels exactly like xq/xqh.
+     * Epoch-scoped the same way.
+     */
+    std::vector<float> xf;
+    const Real *xfSource = nullptr;
+    std::size_t xfSize = 0;
+    std::uint64_t xfStampedEpoch = ~std::uint64_t{0};
 
     /** Per-lane gather/scatter staging for the generic applyBatch
      *  fallback (kernels without a native batched path). */
@@ -141,6 +196,11 @@ struct KernelScratch
         xqhSource = nullptr;
         xqhSize = 0;
         xqhStampedEpoch = ~std::uint64_t{0};
+        xf.clear();
+        xf.shrink_to_fit();
+        xfSource = nullptr;
+        xfSize = 0;
+        xfStampedEpoch = ~std::uint64_t{0};
         fft.laneSpectra.clear();
         fft.laneSpectra.shrink_to_fit();
         fft.laneAcc.clear();
@@ -194,9 +254,14 @@ class LinearKernel
 class DenseKernel : public LinearKernel
 {
   public:
-    explicit DenseKernel(Matrix w);
+    /** Own the weights; F32 additionally materializes a float copy
+     *  and runs the f32 datapath (see CompileOptions::densePrecision). */
+    explicit DenseKernel(Matrix w,
+                         DensePrecision prec = DensePrecision::F64);
 
-    /** Borrow a row-major rows x cols weight blob (no copy). */
+    /** Borrow a row-major rows x cols weight blob (no copy). Always
+     *  f64: the blob is the artifact's, so there is nowhere to put a
+     *  float copy without defeating zero-copy. */
     DenseKernel(const Real *w, std::size_t rows, std::size_t cols);
 
     std::size_t inDim() const override { return cols_; }
@@ -221,12 +286,19 @@ class DenseKernel : public LinearKernel
     /** True when the weights point into an external mapping. */
     bool borrowed() const { return borrowed_; }
 
+    /** True when this kernel runs the f32 datapath. */
+    bool f32() const { return f32_; }
+
   private:
     mutable Matrix w_;
     mutable std::once_flag materialize_;
     const Real *wd_ = nullptr;
     std::size_t rows_ = 0, cols_ = 0;
     bool borrowed_ = false;
+
+    /** f32 mode: float weight copy (row-major) and the flag. */
+    std::vector<float> wf_;
+    bool f32_ = false;
 };
 
 /**

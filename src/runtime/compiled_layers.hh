@@ -18,6 +18,12 @@
  *
  * This header is internal to src/runtime — user code should only see
  * CompiledLayer through CompiledModel::layer().
+ *
+ * Threading: stepBatch() runs each gate's batch GEMM through the
+ * compute pool the session lends via KernelScratch::pool (null =
+ * serial). Layers never spawn threads themselves, and the row/block
+ * partition inside each kernel never reorders an accumulation chain,
+ * so any thread count produces the serial bits.
  */
 
 #ifndef ERNN_RUNTIME_COMPILED_LAYERS_HH

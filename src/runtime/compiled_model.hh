@@ -209,7 +209,9 @@ class CompiledModel
      * Create an inference session bound to this model. The session
      * borrows the model: keep the model alive while sessions run.
      */
-    InferenceSession createSession() const;
+    /** @p computeThreads 0 inherits options().computeThreads; any
+     *  other value overrides it for this session alone. */
+    InferenceSession createSession(std::size_t computeThreads = 0) const;
 
     /**
      * True when this model serves weights borrowed from an mmapped

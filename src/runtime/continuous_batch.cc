@@ -8,9 +8,17 @@
 namespace ernn::runtime
 {
 
-ContinuousBatch::ContinuousBatch(const CompiledModel &model)
+ContinuousBatch::ContinuousBatch(const CompiledModel &model,
+                                 std::size_t computeThreads)
     : model_(model)
 {
+    const std::size_t threads = computeThreads != 0
+        ? computeThreads : model.options().computeThreads;
+    if (threads > 1) {
+        pool_ = std::make_unique<ThreadPool>(threads);
+        kernels_.pool = pool_.get();
+    }
+
     const std::size_t n = model.numLayers();
     state_.resize(n);
     scratch_.resize(n);

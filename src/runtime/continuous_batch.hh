@@ -29,9 +29,11 @@
 #define ERNN_RUNTIME_CONTINUOUS_BATCH_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "runtime/compiled_model.hh"
+#include "runtime/thread_pool.hh"
 
 namespace ernn::runtime
 {
@@ -61,7 +63,10 @@ class ContinuousBatch
      *  the pool drains, storage beyond this is released. */
     static constexpr std::size_t kMaxPooledLanes = 64;
 
-    explicit ContinuousBatch(const CompiledModel &model);
+    /** @p computeThreads as InferenceSession: 0 inherits the model's
+     *  CompileOptions::computeThreads, N > 1 owns a pool of N lanes. */
+    explicit ContinuousBatch(const CompiledModel &model,
+                             std::size_t computeThreads = 0);
 
     const CompiledModel &model() const { return model_; }
 
@@ -106,6 +111,7 @@ class ContinuousBatch
     void releasePool();
 
     const CompiledModel &model_;
+    std::unique_ptr<ThreadPool> pool_; //!< compute pool (null = serial)
     KernelScratch kernels_;
     std::vector<LayerBatchState> state_;
     std::vector<LayerBatchScratch> scratch_;

@@ -17,9 +17,17 @@ StreamState::reset()
     frames_ = 0;
 }
 
-InferenceSession::InferenceSession(const CompiledModel &model)
+InferenceSession::InferenceSession(const CompiledModel &model,
+                                   std::size_t computeThreads)
     : model_(model)
 {
+    const std::size_t threads = computeThreads != 0
+        ? computeThreads : model.options().computeThreads;
+    if (threads > 1) {
+        pool_ = std::make_unique<ThreadPool>(threads);
+        kernels_.pool = pool_.get();
+    }
+
     const std::size_t n = model.numLayers();
     layerScratch_.resize(n);
     layerOut_.resize(n);
@@ -265,9 +273,9 @@ InferenceSession::predictFrames(const nn::Sequence &frames)
 }
 
 InferenceSession
-CompiledModel::createSession() const
+CompiledModel::createSession(std::size_t computeThreads) const
 {
-    return InferenceSession(*this);
+    return InferenceSession(*this, computeThreads);
 }
 
 } // namespace ernn::runtime

@@ -19,9 +19,11 @@
 #ifndef ERNN_RUNTIME_SESSION_HH
 #define ERNN_RUNTIME_SESSION_HH
 
+#include <memory>
 #include <vector>
 
 #include "runtime/compiled_model.hh"
+#include "runtime/thread_pool.hh"
 
 namespace ernn::runtime
 {
@@ -74,7 +76,15 @@ class InferenceSession
      */
     static constexpr std::size_t kMaxPooledLanes = 64;
 
-    explicit InferenceSession(const CompiledModel &model);
+    /**
+     * @p computeThreads: intra-session parallelism for the batched
+     * kernel calls — 0 inherits the model's
+     * CompileOptions::computeThreads, 1 runs serial, N > 1 owns a
+     * ThreadPool of N lanes (including the driving thread). Outputs
+     * are bit-identical at any thread count.
+     */
+    explicit InferenceSession(const CompiledModel &model,
+                              std::size_t computeThreads = 0);
 
     const CompiledModel &model() const { return model_; }
 
@@ -117,6 +127,12 @@ class InferenceSession
     void releasePool();
 
     const CompiledModel &model_;
+
+    /** Compute pool for the batched kernels (null = serial). Owned
+     *  here; kernels_.pool borrows it, which survives session moves
+     *  because the pool's address is stable under unique_ptr. */
+    std::unique_ptr<ThreadPool> pool_;
+
     KernelScratch kernels_;
     std::vector<LayerScratch> layerScratch_;
     std::vector<Vector> layerOut_; //!< inter-layer activations

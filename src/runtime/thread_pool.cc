@@ -1,0 +1,95 @@
+#include "runtime/thread_pool.hh"
+
+#include <algorithm>
+
+namespace ernn::runtime
+{
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t workers = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    jobCv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::run(std::size_t n, RangeFn fn, void *ctx)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        fn(0, n, ctx);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = fn;
+        ctx_ = ctx;
+        jobN_ = n;
+        parts_ = std::min(threads(), n);
+        nextPart_.store(0, std::memory_order_relaxed);
+        pending_ = workers_.size();
+        ++generation_;
+    }
+    jobCv_.notify_all();
+    work();
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void
+ThreadPool::work()
+{
+    for (;;) {
+        const std::size_t part =
+            nextPart_.fetch_add(1, std::memory_order_relaxed);
+        if (part >= parts_)
+            return;
+        // Fixed arithmetic split: the first (jobN_ % parts_) ranges
+        // take one extra index, so the partition never depends on
+        // which thread claims which range.
+        const std::size_t base = jobN_ / parts_;
+        const std::size_t rem = jobN_ % parts_;
+        const std::size_t begin =
+            part * base + std::min<std::size_t>(part, rem);
+        const std::size_t end = begin + base + (part < rem ? 1 : 0);
+        fn_(begin, end, ctx_);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            jobCv_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        work();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--pending_ == 0)
+                doneCv_.notify_one();
+        }
+    }
+}
+
+} // namespace ernn::runtime

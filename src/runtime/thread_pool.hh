@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A small work-stealing-free thread pool for intra-session kernel
+ * parallelism: one pool per InferenceSession / ContinuousBatch
+ * engine (never shared), splitting the row blocks of each timestep
+ * GEMM across cores.
+ *
+ * Design constraints, in order:
+ *
+ *  - determinism: run() splits [0, n) into at most threads()
+ *    contiguous ranges with a fixed arithmetic, so which thread runs
+ *    a range can vary but the ranges themselves never do. Kernels
+ *    keep bit-identical outputs because each output row is written
+ *    by exactly one range.
+ *  - zero steady-state allocation: jobs are a raw function pointer
+ *    plus a context pointer (parallelFor wraps a lambda without
+ *    touching the heap), and range claiming is one atomic counter.
+ *  - caller participation: a pool of N threads holds N-1 workers;
+ *    the calling thread executes ranges too, so computeThreads = 1
+ *    costs no synchronization at all (run() degenerates to a direct
+ *    call).
+ *
+ * The pool is deliberately not work-stealing: kernel row blocks are
+ * uniform, so static contiguous partitions lose nothing and keep the
+ * claiming logic one fetch_add.
+ */
+
+#ifndef ERNN_RUNTIME_THREAD_POOL_HH
+#define ERNN_RUNTIME_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ernn::runtime
+{
+
+class ThreadPool
+{
+  public:
+    /** A pool of @p threads total lanes of execution (including the
+     *  caller): threads - 1 workers are spawned. 0 and 1 both mean
+     *  "no workers". */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total execution lanes (workers + the calling thread). */
+    std::size_t threads() const { return workers_.size() + 1; }
+
+    /** One contiguous index range of a job. */
+    using RangeFn = void (*)(std::size_t begin, std::size_t end,
+                             void *ctx);
+
+    /**
+     * Split [0, n) into min(threads(), n) contiguous ranges and run
+     * @p fn over every range, on the workers plus the calling
+     * thread. Blocks until all ranges completed. Not reentrant: one
+     * job at a time per pool (sessions are single-threaded drivers,
+     * so this never constrains them).
+     */
+    void run(std::size_t n, RangeFn fn, void *ctx);
+
+    /** run() with a callable (no heap allocation: the callable lives
+     *  on the caller's stack for the duration of the job). */
+    template <typename F>
+    void
+    parallelFor(std::size_t n, F &&f)
+    {
+        using Fn = typename std::remove_reference<F>::type;
+        run(n,
+            [](std::size_t begin, std::size_t end, void *ctx) {
+                (*static_cast<Fn *>(ctx))(begin, end);
+            },
+            &f);
+    }
+
+  private:
+    void workerLoop();
+
+    /** Claim and execute ranges of the current job until exhausted. */
+    void work();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable jobCv_;  //!< a new job was published
+    std::condition_variable doneCv_; //!< all workers drained the job
+    std::uint64_t generation_ = 0;   //!< job publication counter
+    std::size_t pending_ = 0;        //!< workers still on the job
+    bool stop_ = false;
+
+    // Current job (written under mu_ before publication; workers
+    // observe the write via the generation_ handshake).
+    RangeFn fn_ = nullptr;
+    void *ctx_ = nullptr;
+    std::size_t jobN_ = 0;
+    std::size_t parts_ = 0;
+    std::atomic<std::size_t> nextPart_{0};
+};
+
+} // namespace ernn::runtime
+
+#endif // ERNN_RUNTIME_THREAD_POOL_HH

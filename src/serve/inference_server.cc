@@ -168,6 +168,8 @@ InferenceServer::startWorkers()
     ernn_assert(opts_.maxBatch >= 1, "maxBatch must be positive");
     ernn_assert(opts_.queueCapacity >= 1,
                 "queueCapacity must be positive");
+    // computeThreads needs no floor: 0 means "model default" and the
+    // session clamps 0/1 to serial.
 
     streamQueues_.resize(opts_.workers);
     workers_.reserve(opts_.workers);
@@ -385,7 +387,8 @@ InferenceServer::enqueueStreamJob(
 void
 InferenceServer::workerLoop(std::size_t index, bool takeBatches)
 {
-    runtime::InferenceSession session = model_.createSession();
+    runtime::InferenceSession session =
+        model_.createSession(opts_.computeThreads);
     std::vector<UtteranceJob> batch;
 
     for (;;) {
@@ -493,8 +496,9 @@ InferenceServer::finishLane(LaneCtx &ctx)
 void
 InferenceServer::continuousLoop(std::size_t index)
 {
-    runtime::InferenceSession session = model_.createSession();
-    runtime::ContinuousBatch engine(model_);
+    runtime::InferenceSession session =
+        model_.createSession(opts_.computeThreads);
+    runtime::ContinuousBatch engine(model_, opts_.computeThreads);
 
     for (;;) {
         std::optional<StreamJob> stream;

@@ -121,6 +121,17 @@ struct ServerOptions
 
     /** Batching discipline of the worker pool. */
     SchedulerMode scheduler = SchedulerMode::HoldOpen;
+
+    /**
+     * Intra-session parallelism of each worker's session (and the
+     * Continuous engine's lane pool): every worker splits its
+     * per-timestep kernel row blocks across this many threads.
+     * 0 inherits the model's CompileOptions::computeThreads; 1 is
+     * serial. Total thread footprint is roughly workers x
+     * computeThreads — prefer more workers for many small requests
+     * and more computeThreads for few large batches.
+     */
+    std::size_t computeThreads = 0;
 };
 
 /**

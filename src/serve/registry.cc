@@ -69,6 +69,12 @@ ModelRegistry::swapIn(Entry &entry, std::uint64_t version,
     {
         std::unique_lock<std::shared_mutex> lk(entry.mu);
         old = std::move(entry.server);
+        // Keep the outgoing version visible to stats readers while
+        // it drains: without this, its counters disappear from the
+        // cumulative view between the retarget and the post-drain
+        // merge below, and a periodic dump racing the swap reports
+        // totals that go *backwards*.
+        entry.draining = old;
         entry.server = std::move(next);
         entry.version = entry.server ? version : 0;
         if (entry.server)
@@ -84,8 +90,13 @@ ModelRegistry::swapIn(Entry &entry, std::uint64_t version,
     // whole submit call, so the unique lock above waited them out).
     old->shutdown();
     {
+        // Fold-and-clear under one unique lock: a reader either sees
+        // the drained server (and merges its final counters itself)
+        // or sees them inside retiredStats — never both, never
+        // neither.
         std::unique_lock<std::shared_mutex> lk(entry.mu);
         entry.retiredStats.merge(old->stats());
+        entry.draining.reset();
     }
     // `old` — and the CompiledModel it owns — is released here,
     // unless a ModelStream handle still pins it.
@@ -186,6 +197,8 @@ ModelRegistry::entryStats(const Entry &entry)
 {
     std::shared_lock<std::shared_mutex> lk(entry.mu);
     ServerStats out = entry.retiredStats;
+    if (entry.draining)
+        out.merge(entry.draining->stats());
     if (entry.server)
         out.merge(entry.server->stats());
     return out;
@@ -223,6 +236,8 @@ ModelRegistry::models() const
         info.pendingRequests =
             entry->server ? entry->server->pendingRequests() : 0;
         info.stats = entry->retiredStats;
+        if (entry->draining)
+            info.stats.merge(entry->draining->stats());
         if (entry->server)
             info.stats.merge(entry->server->stats());
         out.push_back(std::move(info));

@@ -196,6 +196,15 @@ class ModelRegistry
         std::size_t generations = 0;
         /** Final counters of drained versions, merged. */
         ServerStats retiredStats;
+        /**
+         * The version currently draining during a swap. Readers fold
+         * its live counters into cumulative views so a stats snapshot
+         * taken mid-swap never sees the old version's work vanish
+         * (it re-appears in retiredStats only after the drain, and
+         * the hand-off happens under one unique lock — no window
+         * where the counters are double-counted or missing).
+         */
+        std::shared_ptr<InferenceServer> draining;
     };
 
     /** Find (or create) the entry for @p id. Entries live as long

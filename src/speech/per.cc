@@ -82,6 +82,7 @@ evaluatePer(const runtime::CompiledModel &model,
     serve::ServerOptions sopts;
     sopts.workers = opts.workers;
     sopts.maxBatch = std::max<std::size_t>(1, opts.maxBatch);
+    sopts.computeThreads = opts.computeThreads;
     serve::InferenceServer server(model, sopts);
 
     // Submit everything up front (the bounded queue throttles us),

@@ -39,6 +39,9 @@ struct PerEvalOptions
 {
     std::size_t workers = 2;  //!< 0 falls back to the serial path
     std::size_t maxBatch = 8; //!< dynamic-batching cap per worker
+    /** Compute threads per worker session (0 inherits the model's
+     *  CompileOptions::computeThreads). Bit-identical at any count. */
+    std::size_t computeThreads = 0;
 };
 
 /**

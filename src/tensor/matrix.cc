@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "tensor/simd.hh"
 
 namespace ernn
 {
@@ -130,71 +131,11 @@ gemmAccRaw(const Real *w, std::size_t rows, std::size_t cols,
     ernn_assert(y.rows() == rows && y.cols() == x.cols(),
                 "gemmAcc: y is " << y.rows() << "x" << y.cols()
                 << ", expected " << rows << "x" << x.cols());
-    const std::size_t lanes = x.cols();
-    const Real *xd = x.data();
-    Real *yd = y.data();
-
-    // Register-blocked: a kRowTile x kLaneTile block of accumulators
-    // walks the reduction dimension once, so X streams through the
-    // cache once per *four* weight rows instead of once per row, and
-    // each weight element is reused across every lane in the tile.
-    // Every (r, l) accumulator still sums c ascending in its own
-    // scalar chain — exactly matvecAcc's order — which is what keeps
-    // batched inference bit-identical to the solo path.
-    constexpr std::size_t kRowTile = 4;
-    constexpr std::size_t kLaneTile = 4;
-    Real acc[kRowTile][kLaneTile];
-
-    const std::size_t full_r = rows - rows % kRowTile;
-    const std::size_t full_l = lanes - lanes % kLaneTile;
-    for (std::size_t r0 = 0; r0 < full_r; r0 += kRowTile) {
-        const Real *w0 = w + (r0 + 0) * cols;
-        const Real *w1 = w + (r0 + 1) * cols;
-        const Real *w2 = w + (r0 + 2) * cols;
-        const Real *w3 = w + (r0 + 3) * cols;
-        for (std::size_t l0 = 0; l0 < full_l; l0 += kLaneTile) {
-            for (auto &ar : acc)
-                for (auto &a : ar)
-                    a = 0.0;
-            for (std::size_t c = 0; c < cols; ++c) {
-                const Real *xr = xd + c * lanes + l0;
-                for (std::size_t l = 0; l < kLaneTile; ++l) {
-                    const Real v = xr[l];
-                    acc[0][l] += w0[c] * v;
-                    acc[1][l] += w1[c] * v;
-                    acc[2][l] += w2[c] * v;
-                    acc[3][l] += w3[c] * v;
-                }
-            }
-            for (std::size_t i = 0; i < kRowTile; ++i) {
-                Real *yr = yd + (r0 + i) * lanes + l0;
-                for (std::size_t l = 0; l < kLaneTile; ++l)
-                    yr[l] += acc[i][l];
-            }
-        }
-    }
-
-    // Remainders (trailing rows, trailing lanes): plain lane-tiled
-    // loops, same per-accumulator order.
-    Real racc[kLaneTile];
-    for (std::size_t r = 0; r < rows; ++r) {
-        const Real *row = w + r * cols;
-        const std::size_t l_start = r < full_r ? full_l : 0;
-        for (std::size_t l0 = l_start; l0 < lanes; l0 += kLaneTile) {
-            const std::size_t lt = std::min(kLaneTile, lanes - l0);
-            for (std::size_t l = 0; l < lt; ++l)
-                racc[l] = 0.0;
-            for (std::size_t c = 0; c < cols; ++c) {
-                const Real wv = row[c];
-                const Real *xr = xd + c * lanes + l0;
-                for (std::size_t l = 0; l < lt; ++l)
-                    racc[l] += wv * xr[l];
-            }
-            Real *yr = yd + r * lanes + l0;
-            for (std::size_t l = 0; l < lt; ++l)
-                yr[l] += racc[l];
-        }
-    }
+    // The register-blocked core moved to tensor/simd.cc (where it is
+    // the scalar oracle for the vectorized forms); this entry point
+    // keeps the shape checks and picks the active dispatch level.
+    simd::gemmAccF64Fn()(w, rows, cols, x.data(), y.data(),
+                         x.cols());
 }
 
 void

@@ -147,7 +147,10 @@ void hadamardBroadcastAcc(Matrix &acc, const Vector &a,
 void matvecAccRaw(const Real *w, std::size_t rows, std::size_t cols,
                   const Vector &x, Vector &y);
 
-/** Y += W X (batch-major) for a borrowed row-major weight array. */
+/** Y += W X (batch-major) for a borrowed row-major weight array.
+ *  Dispatches through tensor/simd.hh: the vectorized cores are
+ *  bit-identical to the scalar oracle, so callers never observe the
+ *  selected level. */
 void gemmAccRaw(const Real *w, std::size_t rows, std::size_t cols,
                 const Matrix &x, Matrix &y);
 

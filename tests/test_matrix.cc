@@ -87,3 +87,81 @@ TEST(Matrix, XavierBoundRespected)
         EXPECT_GE(v, -bound);
     }
 }
+
+// --- lane repack (batch-major runtime support) --------------------------
+
+namespace
+{
+
+/** Fill with a value that encodes its own (row, col) position. */
+void
+fillCoords(ernn::Matrix &m)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m.at(r, c) = static_cast<ernn::Real>(100 * r + c);
+}
+
+} // namespace
+
+TEST(MatrixRepack, ShrinkKeepsTheLeadingColumnsOfEveryRow)
+{
+    Matrix m(3, 5);
+    fillCoords(m);
+    m.shrinkCols(2);
+    ASSERT_EQ(m.rows(), 3u);
+    ASSERT_EQ(m.cols(), 2u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(m.at(r, c),
+                             static_cast<Real>(100 * r + c))
+                << "r=" << r << " c=" << c;
+}
+
+TEST(MatrixRepack, GrowZeroesOnlyTheNewColumns)
+{
+    Matrix m(3, 2);
+    fillCoords(m);
+    m.growCols(5);
+    ASSERT_EQ(m.cols(), 5u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(m.at(r, c),
+                             static_cast<Real>(100 * r + c));
+        for (std::size_t c = 2; c < 5; ++c)
+            EXPECT_DOUBLE_EQ(m.at(r, c), 0.0);
+    }
+}
+
+TEST(MatrixRepack, SwapThenShrinkRetiresAnInteriorLane)
+{
+    // The continuous batcher's retirement idiom: swap the retiring
+    // column with the last live one, then drop the tail.
+    Matrix m(2, 4);
+    fillCoords(m);
+    m.swapCols(1, 3); // retire lane 1, lane 3 takes its slot
+    m.shrinkCols(3);
+    for (std::size_t r = 0; r < 2; ++r) {
+        EXPECT_DOUBLE_EQ(m.at(r, 0), static_cast<Real>(100 * r + 0));
+        EXPECT_DOUBLE_EQ(m.at(r, 1), static_cast<Real>(100 * r + 3));
+        EXPECT_DOUBLE_EQ(m.at(r, 2), static_cast<Real>(100 * r + 2));
+    }
+}
+
+TEST(MatrixRepack, ShrinkThenGrowRoundTripsTheSurvivors)
+{
+    // Retire-then-admit on the same step: the vacated storage must
+    // come back zeroed, never carrying a retired lane's state.
+    Matrix m(4, 6);
+    fillCoords(m);
+    m.shrinkCols(3);
+    m.growCols(6);
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m.at(r, c),
+                             static_cast<Real>(100 * r + c));
+        for (std::size_t c = 3; c < 6; ++c)
+            EXPECT_DOUBLE_EQ(m.at(r, c), 0.0)
+                << "stale state in readmitted column " << c;
+    }
+}

@@ -199,6 +199,100 @@ TEST(Registry, HotSwapRetargetsDrainsAndAccumulatesStats)
     EXPECT_EQ(models[0].generations, 2u);
 }
 
+TEST(Registry, RunningStatMergeIsOrderIndependent)
+{
+    // merge() must commute and associate (up to fp roundoff) so the
+    // registry's cumulative view doesn't depend on which order a
+    // reader folds retiredStats / draining / live counters.
+    Rng rng(1234);
+    RunningStat a, b, c, all;
+    for (int i = 0; i < 57; ++i) {
+        const Real x = rng.normal(3.0, 2.0);
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+        all.add(x);
+    }
+
+    RunningStat ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab.count(), ba.count());
+    EXPECT_DOUBLE_EQ(ab.sum(), ba.sum());
+    EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+    EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+    EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+    EXPECT_NEAR(ab.variance(), ba.variance(), 1e-9);
+
+    RunningStat abc = ab, cab = c;
+    abc.merge(c);
+    cab.merge(ab);
+    EXPECT_EQ(abc.count(), all.count());
+    EXPECT_EQ(cab.count(), all.count());
+    EXPECT_NEAR(abc.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(cab.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(abc.variance(), all.variance(), 1e-9);
+    EXPECT_NEAR(cab.variance(), all.variance(), 1e-9);
+
+    // Merging an empty accumulator is the identity, both ways.
+    RunningStat empty, aCopy = a;
+    aCopy.merge(empty);
+    EXPECT_EQ(aCopy.count(), a.count());
+    EXPECT_DOUBLE_EQ(aCopy.mean(), a.mean());
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), a.count());
+    EXPECT_DOUBLE_EQ(empty.mean(), a.mean());
+}
+
+TEST(Registry, StatsNeverGoBackwardsAcrossAHotSwap)
+{
+    // Regression: a stats dump racing publish() used to catch the
+    // window between the retarget (old server no longer in the
+    // entry) and the post-drain fold into retiredStats — the old
+    // version's counters vanished and cumulative requestsCompleted
+    // went backwards. The entry now exposes the draining server to
+    // readers until its final counters land in retiredStats, under
+    // one lock, so the cumulative view is monotone. Run under TSan
+    // in CI (sanitizers job builds test_registry).
+    const nn::ModelSpec spec = smallSpec();
+    const nn::Sequence utt = randomFrames(4, spec.inputDim, 62);
+
+    ModelRegistry registry;
+    ServerOptions opts;
+    opts.workers = 1;
+    registry.publish("m", 1, compileShared(spec, 60), opts);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> dropsSeen{0};
+    std::thread reader([&] {
+        std::size_t prev = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t cur =
+                registry.stats("m").requestsCompleted;
+            if (cur < prev)
+                ++dropsSeen;
+            prev = std::max(prev, cur);
+            // models() exercises the second reader path.
+            for (const auto &info : registry.models())
+                if (info.id == "m" &&
+                    info.stats.requestsCompleted < prev)
+                    ++dropsSeen;
+        }
+    });
+
+    std::size_t expected = 0;
+    for (std::uint64_t version = 2; version <= 8; ++version) {
+        for (int i = 0; i < 6; ++i, ++expected)
+            registry.infer("m", utt);
+        registry.publish("m", version, compileShared(spec, 60 + version),
+                         opts);
+    }
+    stop = true;
+    reader.join();
+
+    EXPECT_EQ(dropsSeen.load(), 0u)
+        << "cumulative stats went backwards during a hot swap";
+    EXPECT_EQ(registry.stats("m").requestsCompleted, expected);
+}
+
 TEST(Registry, StreamsPinTheVersionTheyOpenedOn)
 {
     const nn::ModelSpec spec = smallSpec();

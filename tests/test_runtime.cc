@@ -882,6 +882,58 @@ TEST(ContinuousBatching, BitIdenticalToSoloRunsAcrossBackends)
     }
 }
 
+TEST(ContinuousBatching, RetireThenAdmitSameStepRepacksLanes)
+{
+    // Regression for the lane-repack path: a lane retires at tick t
+    // (its column vacated, the last live column swapped in via
+    // Matrix::swapCols + shrinkCols) and a new utterance is admitted
+    // before the next stepAll(), so the new lane lands in the column
+    // the swap just freed. The swapped survivor and the newcomer must
+    // both stay bit-identical to solo runs — a repack bug shows up as
+    // the newcomer inheriting the retired lane's recurrent state or
+    // the survivor's state tearing.
+    for (BackendKind backend :
+         {BackendKind::Dense, BackendKind::FixedPoint}) {
+        nn::StackedRnn model = buildInit(randomSpecs()[0], 1200);
+        CompileOptions opts;
+        opts.backend = backend;
+        const CompiledModel compiled = compile(model, opts);
+        const std::size_t dim = randomSpecs()[0].inputDim;
+
+        // Lane 0 ends after 2 frames; lanes 1..2 run long. At the
+        // tick lane 0 retires, admit two fresh lanes back-to-back —
+        // one fills the swap-vacated column, one grows the pool.
+        const std::size_t lengths[] = {2, 8, 7, 6, 5};
+        constexpr std::size_t n = std::size(lengths);
+        std::vector<nn::Sequence> utts(n);
+        for (std::size_t u = 0; u < n; ++u)
+            utts[u] = randomFrames(lengths[u], dim, 1300 + u);
+
+        ContinuousBatch engine(compiled);
+        std::vector<nn::Sequence> got(n);
+        auto admit = [&](std::size_t u) {
+            engine.admit(&utts[u],
+                         [&got, u](std::size_t, const Vector &lg,
+                                   int) { got[u].push_back(lg); },
+                         nullptr);
+        };
+        admit(0);
+        admit(1);
+        admit(2);
+        engine.stepAll(); // frame 0
+        engine.stepAll(); // frame 1: lane 0 retires, lane 2 swaps in
+        ASSERT_EQ(engine.activeLanes(), 2u);
+        admit(3); // occupies the column the retirement vacated
+        admit(4); // grows the pool past its previous width
+        while (!engine.idle())
+            engine.stepAll();
+
+        InferenceSession session = compiled.createSession();
+        for (std::size_t u = 0; u < n; ++u)
+            expectSequencesEqual(got[u], session.logits(utts[u]));
+    }
+}
+
 TEST(ContinuousBatching, EmptyUtteranceCompletesWithoutALane)
 {
     nn::StackedRnn model = buildInit(randomSpecs()[1], 5);

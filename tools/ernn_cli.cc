@@ -399,6 +399,7 @@ cmdEval(Flags &f)
     speech::PerEvalOptions popts;
     popts.workers = f.num("--workers", popts.workers);
     popts.maxBatch = f.num("--max-batch", popts.maxBatch);
+    popts.computeThreads = f.num("--threads", popts.computeThreads);
     f.finish();
 
     const auto model = runtime::loadArtifactShared(art_path);
@@ -432,6 +433,7 @@ cmdServeBench(Flags &f)
     const std::size_t utterances = f.num("--utterances", 64);
     const std::size_t frames = f.num("--frames", 40);
     const std::size_t seed = f.num("--seed", 42);
+    const std::size_t threads = f.num("--threads", 0);
     const bool continuous =
         !parseChoice(f.str("--scheduler", "hold-open"), "--scheduler",
                      "hold-open", "continuous");
@@ -477,6 +479,7 @@ cmdServeBench(Flags &f)
             serve::ServerOptions sopts;
             sopts.workers = w;
             sopts.maxBatch = b;
+            sopts.computeThreads = threads;
             sopts.scheduler = continuous
                                   ? serve::SchedulerMode::Continuous
                                   : serve::SchedulerMode::HoldOpen;
@@ -548,10 +551,12 @@ usage(std::ostream &os, int code)
           "  ernn info ARTIFACT...\n"
           "  ernn eval --artifact F [--split test|train] "
           "[--workers N]\n"
-          "             [--max-batch N] [data flags]\n"
+          "             [--max-batch N] [--threads N] [data flags]\n"
           "  ernn serve-bench --artifact F [--workers 1,2,4]\n"
           "             [--max-batch 1,8] [--utterances N] "
           "[--frames N]\n"
+          "             [--threads N    compute threads per "
+          "session]\n"
           "             [--scheduler hold-open|continuous] "
           "[--stats-json]\n"
           "\n"
