@@ -31,6 +31,9 @@
 #include "runtime/artifact.hh"
 #include "runtime/session.hh"
 #include "serve/inference_server.hh"
+#include "speech/ctc_decoder.hh"
+#include "speech/frontend.hh"
+#include "speech/per.hh"
 #include "tensor/fft.hh"
 #include "tensor/matrix.hh"
 #include "tensor/simd.hh"
@@ -678,6 +681,77 @@ BENCHMARK(BM_ServeScheduler)
     ->Arg(1)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Acoustic frontend throughput: raw 16 kHz samples -> log-mel frames
+ * through the streaming push() path (the per-stream steady state,
+ * allocation-free once warm). items_per_second counts emitted
+ * frames; one frame represents 10 ms of audio, so frames/s / 100 is
+ * the number of real-time streams one core can front-end.
+ */
+void
+BM_Frontend(benchmark::State &state)
+{
+    speech::FrontendConfig cfg; // 16 kHz / 25 ms / 10 ms / 16 bands
+    const speech::AcousticFrontend fe(cfg);
+    Rng rng(13);
+    Vector samples(cfg.sampleRate); // one second of audio
+    rng.fillNormal(samples, 0.25);
+
+    speech::FrontendState st = fe.newState();
+    std::size_t frames = 0;
+    const auto count = [&](const Vector &) { ++frames; };
+    for (auto _ : state) {
+        fe.reset(st);
+        frames = 0;
+        fe.push(st, samples.data(), samples.size(), count);
+        benchmark::DoNotOptimize(frames);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(frames));
+}
+BENCHMARK(BM_Frontend)->Unit(benchmark::kMillisecond);
+
+/**
+ * CTC decode cost over one utterance of paper-ish logits (200 frames
+ * x 40 classes). Arg = beam width: 0 is the greedy argmax + collapse
+ * baseline, 1 the beam decoder's parity point (its overhead over
+ * greedy), 4 the accuracy setting `ernn eval --beam 4` serves.
+ * items_per_second counts decoded frames.
+ */
+void
+BM_BeamDecode(benchmark::State &state)
+{
+    const std::size_t beam =
+        static_cast<std::size_t>(state.range(0));
+    Rng rng(17);
+    nn::Sequence logits(200);
+    for (auto &frame : logits) {
+        frame.resize(40);
+        rng.fillNormal(frame, 2.0);
+    }
+
+    for (auto _ : state) {
+        if (beam == 0) {
+            std::vector<int> preds;
+            preds.reserve(logits.size());
+            for (const auto &frame : logits)
+                preds.push_back(static_cast<int>(argmax(frame)));
+            benchmark::DoNotOptimize(
+                speech::collapseRepeats(preds));
+        } else {
+            speech::CtcDecodeOptions opts;
+            opts.beamWidth = beam;
+            benchmark::DoNotOptimize(
+                speech::ctcDecode(logits, opts).labels);
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(logits.size()));
+    state.SetLabel(beam == 0 ? "greedy"
+                             : "beam-" + std::to_string(beam));
+}
+BENCHMARK(BM_BeamDecode)->Arg(0)->Arg(1)->Arg(4);
 
 } // namespace
 

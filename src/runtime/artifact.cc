@@ -17,6 +17,7 @@
 #include "base/logging.hh"
 #include "base/strings.hh"
 #include "runtime/compiled_layers.hh"
+#include "runtime/wire.hh"
 
 namespace ernn::runtime
 {
@@ -97,155 +98,11 @@ enum LayerTag : std::uint8_t
     kGru = 1,
 };
 
-std::uint64_t
-fnv1a64(const char *data, std::size_t n)
-{
-    std::uint64_t h = 14695981039346656037ull;
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= static_cast<unsigned char>(data[i]);
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
-/** Append-only byte sink for the fixed-width artifact encoding. */
-class Writer
-{
-  public:
-    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-
-    void u32(std::uint32_t v) { raw(&v, sizeof v); }
-    void u64(std::uint64_t v) { raw(&v, sizeof v); }
-    void i32(std::int32_t v) { raw(&v, sizeof v); }
-    void f64(double v) { raw(&v, sizeof v); }
-
-    void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
-
-    void reals(const std::vector<Real> &v)
-    {
-        size(v.size());
-        if (!v.empty())
-            raw(v.data(), v.size() * sizeof(Real));
-    }
-
-    void codes(const std::int16_t *p, std::size_t n)
-    {
-        size(n);
-        if (n)
-            raw(p, n * sizeof(std::int16_t));
-    }
-
-    void patchU64(std::size_t offset, std::uint64_t v)
-    {
-        std::memcpy(&buf_[offset], &v, sizeof v);
-    }
-
-    std::size_t tell() const { return buf_.size(); }
-    std::string take() { return std::move(buf_); }
-
-  private:
-    void raw(const void *p, std::size_t n)
-    {
-        buf_.append(static_cast<const char *>(p), n);
-    }
-
-    std::string buf_;
-};
-
-/**
- * Bounds-checked cursor over artifact bytes. Overruns are fatal and
- * name what was being read — with a valid checksum they indicate a
- * writer/reader version bug, not bit rot.
- */
-class Reader
-{
-  public:
-    Reader(const char *buf, std::size_t payload_end)
-        : buf_(buf), end_(payload_end)
-    {
-    }
-
-    std::uint8_t u8(const char *what)
-    {
-        std::uint8_t v;
-        raw(&v, sizeof v, what);
-        return v;
-    }
-
-    std::uint32_t u32(const char *what)
-    {
-        std::uint32_t v;
-        raw(&v, sizeof v, what);
-        return v;
-    }
-
-    std::uint64_t u64(const char *what)
-    {
-        std::uint64_t v;
-        raw(&v, sizeof v, what);
-        return v;
-    }
-
-    std::int32_t i32(const char *what)
-    {
-        std::int32_t v;
-        raw(&v, sizeof v, what);
-        return v;
-    }
-
-    double f64(const char *what)
-    {
-        double v;
-        raw(&v, sizeof v, what);
-        return v;
-    }
-
-    std::size_t size(const char *what)
-    {
-        return static_cast<std::size_t>(u64(what));
-    }
-
-    void realsInto(std::vector<Real> &out, const char *what)
-    {
-        const std::size_t n = size(what);
-        ernn_assert(n <= (end_ - pos_) / sizeof(Real),
-                    "artifact payload: " << what << " claims " << n
-                    << " values past the end of the file");
-        out.resize(n);
-        if (n)
-            raw(out.data(), n * sizeof(Real), what);
-    }
-
-    void codesInto(std::vector<std::int16_t> &out, const char *what)
-    {
-        const std::size_t n = size(what);
-        ernn_assert(n <= (end_ - pos_) / sizeof(std::int16_t),
-                    "artifact payload: " << what << " claims " << n
-                    << " codes past the end of the file");
-        out.resize(n);
-        if (n)
-            raw(out.data(), n * sizeof(std::int16_t), what);
-    }
-
-    std::size_t pos() const { return pos_; }
-    bool done() const { return pos_ == end_; }
-    std::size_t remainingBytes() const { return end_ - pos_; }
-
-  private:
-    void raw(void *p, std::size_t n, const char *what)
-    {
-        if (end_ - pos_ < n)
-            ernn_fatal("artifact payload ends while reading " << what
-                       << " (offset " << pos_ << " of " << end_
-                       << " payload bytes)");
-        std::memcpy(p, buf_ + pos_, n);
-        pos_ += n;
-    }
-
-    const char *buf_;
-    std::size_t pos_ = 0;
-    std::size_t end_;
-};
+// Byte-level helpers (fnv1a64, Writer, Reader) are shared with the
+// stream checkpoint encoder — see runtime/wire.hh.
+using detail::fnv1a64;
+using detail::Reader;
+using detail::Writer;
 
 /** Next multiple of the v3 blob alignment at or past @p off. */
 constexpr std::size_t

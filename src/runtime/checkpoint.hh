@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Stream checkpoint/restore: serialize the live recurrent state of
+ * one utterance stream (StreamState) to a versioned, checksummed
+ * blob and restore it bit-exactly — into a fresh stream, a fresh
+ * session, or a fresh process. This is what makes hour-long
+ * utterances cuttable: a serving node can persist a stream
+ * mid-utterance, hand it to another node (or survive a restart), and
+ * continue producing bit-identical logits to the uninterrupted run.
+ *
+ * Format (version 1, little-endian, shared Writer/Reader encoding
+ * from runtime/wire.hh):
+ *
+ *     char[8]  magic "ERNNCKPT"
+ *     u32      format version (1)
+ *     u64      total blob bytes (self-describing truncation check)
+ *     u64      model fingerprint (see modelFingerprint())
+ *     u64      frames consumed since reset
+ *     u32      layer count
+ *     per layer: reals h, reals c   (length-prefixed f64 vectors)
+ *     bytes    aux payload (length-prefixed, opaque to the runtime —
+ *              the speech layer rides its frontend overlap state
+ *              here; empty when unused)
+ *     u64      FNV-1a checksum over every preceding byte
+ *
+ * Error contract (mirrors the artifact loader): every malformed blob
+ * is rejected with a fatal, named diagnostic — bad magic, unsupported
+ * version, truncation, checksum mismatch, fingerprint mismatch, or
+ * geometry that disagrees with the model. A restore either succeeds
+ * completely or aborts; it never leaves the target stream partially
+ * overwritten, and a rejected blob can never reach a kernel (the
+ * out-of-bounds hazard a mis-sized recurrent vector would cause).
+ *
+ * Fixed-point models additionally pin restored values to the value
+ * grid (Datapath::post) before committing: a legitimate checkpoint
+ * is already on-grid (identity), and a hand-forged blob cannot smuggle
+ * off-grid values past the integer LUT indexing discipline.
+ */
+
+#ifndef ERNN_RUNTIME_CHECKPOINT_HH
+#define ERNN_RUNTIME_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/session.hh"
+
+namespace ernn::runtime
+{
+
+/** Checkpoint blob format version written by checkpointStream(). */
+constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/**
+ * Structural fingerprint of the state geometry + datapath a stream
+ * belongs to: per-layer kind and dimensions, model input/class
+ * sizes, and the value-quantization semantics (fixed-point flag and
+ * format). Weights are deliberately NOT hashed — recurrent state is
+ * pure values, so any model with identical geometry and datapath can
+ * continue a stream (Dense and CirculantFFT compilations of the same
+ * spec share a fingerprint: same f64 value semantics, logits equal to
+ * FFT roundoff; FixedPoint differs because its value grid does).
+ */
+std::uint64_t modelFingerprint(const CompiledModel &model);
+
+/**
+ * Serialize @p state (a live stream of @p model) to a checkpoint
+ * blob. @p aux is an opaque caller payload carried verbatim (e.g. a
+ * serialized speech::FrontendState); it rides inside the checksum.
+ */
+std::string checkpointStream(const CompiledModel &model,
+                             const StreamState &state,
+                             const std::string &aux = {});
+
+/**
+ * Restore @p blob into @p state, which then continues on @p model
+ * bit-identically to the stream that was checkpointed. @p state may
+ * be fresh (default-constructed or newStream()) or in use — its
+ * previous contents are fully replaced. When @p aux is non-null the
+ * blob's aux payload is copied out. Fatal on any malformed or
+ * wrong-model blob (see the error contract above).
+ */
+void restoreStream(const CompiledModel &model, StreamState &state,
+                   const std::string &blob,
+                   std::string *aux = nullptr);
+
+/** Parsed checkpoint header (validation without a model). */
+struct CheckpointInfo
+{
+    std::uint32_t version = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t frames = 0;
+    std::size_t layers = 0;
+    std::size_t stateValues = 0; //!< total h+c values across layers
+    std::size_t auxBytes = 0;
+    std::size_t totalBytes = 0;
+};
+
+/**
+ * Validate @p blob's framing and checksum and return its header.
+ * Fatal on malformed blobs; does not check model compatibility.
+ */
+CheckpointInfo describeCheckpoint(const std::string &blob);
+
+} // namespace ernn::runtime
+
+#endif // ERNN_RUNTIME_CHECKPOINT_HH

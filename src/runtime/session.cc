@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "runtime/checkpoint.hh"
 
 namespace ernn::runtime
 {
@@ -19,7 +20,7 @@ StreamState::reset()
 
 InferenceSession::InferenceSession(const CompiledModel &model,
                                    std::size_t computeThreads)
-    : model_(model)
+    : model_(model), fingerprint_(modelFingerprint(model))
 {
     const std::size_t threads = computeThreads != 0
         ? computeThreads : model.options().computeThreads;
@@ -52,13 +53,19 @@ InferenceSession::newStream() const
     state.layers_.resize(model_.numLayers());
     for (std::size_t i = 0; i < model_.numLayers(); ++i)
         model_.layer(i).initState(state.layers_[i]);
+    state.model_ = fingerprint_;
     return state;
 }
 
 const Vector &
 InferenceSession::step(StreamState &state, const Vector &frame)
 {
-    ernn_assert(state.layers_.size() == model_.numLayers(),
+    // The fingerprint stamp covers per-layer state geometry and the
+    // datapath's value grid: a state created for (or restored into)
+    // a structurally different model must never reach the kernels,
+    // whose inner loops trust these dimensions.
+    ernn_assert(state.model_ == fingerprint_ &&
+                state.layers_.size() == model_.numLayers(),
                 "step: stream belongs to a different model");
     ernn_assert(frame.size() == model_.inputSize(),
                 "step: frame dim " << frame.size() << " != input dim "

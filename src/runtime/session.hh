@@ -19,6 +19,7 @@
 #ifndef ERNN_RUNTIME_SESSION_HH
 #define ERNN_RUNTIME_SESSION_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -28,24 +29,44 @@
 namespace ernn::runtime
 {
 
+namespace detail
+{
+struct StreamStateAccess;
+} // namespace detail
+
 /**
  * Recurrent state of one utterance (voice stream). Obtain from
  * InferenceSession::newStream(); feed frames via step(). One session
  * can serve many concurrent streams, one state object each.
+ *
+ * Every state is stamped with the structural fingerprint of the
+ * model that created (or restored) it, and step() refuses a state
+ * whose stamp disagrees with its session's model: a mis-sized
+ * recurrent vector would otherwise reach the kernels, whose matvec
+ * inner loops trust the state dimensions (out-of-bounds reads, or —
+ * on the fixed-point grid — silent divergence). States move freely
+ * between sessions *of structurally identical models*; see
+ * runtime::modelFingerprint() (checkpoint.hh) for what that means.
  */
 class StreamState
 {
   public:
-    /** Rewind to the start-of-utterance (all-zero) state. */
+    /** Rewind to the start-of-utterance (all-zero) state. Keeps the
+     *  model stamp: resetting a restored stream yields exactly the
+     *  fresh stream newStream() would have produced. */
     void reset();
 
-    /** Frames consumed since the last reset. */
+    /** Frames consumed since the last reset (or carried over from
+     *  the checkpoint this state was restored from). */
     std::size_t framesSeen() const { return frames_; }
 
   private:
     friend class InferenceSession;
+    /** Checkpoint/restore (runtime/checkpoint.cc). */
+    friend struct detail::StreamStateAccess;
     std::vector<LayerState> layers_;
     std::size_t frames_ = 0;
+    std::uint64_t model_ = 0; //!< modelFingerprint() stamp
 };
 
 /** Output of one batched run. */
@@ -127,6 +148,7 @@ class InferenceSession
     void releasePool();
 
     const CompiledModel &model_;
+    std::uint64_t fingerprint_; //!< modelFingerprint(model_), cached
 
     /** Compute pool for the batched kernels (null = serial). Owned
      *  here; kernels_.pool borrows it, which survives session moves

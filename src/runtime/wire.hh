@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Shared byte-level serialization helpers for the runtime's on-disk
+ * and over-the-wire encodings: the model artifact (artifact.cc) and
+ * the stream checkpoint blob (checkpoint.cc). Both formats are
+ * little-endian fixed-width fields guarded by an FNV-1a checksum;
+ * keeping the Writer/Reader pair in one place keeps their error
+ * contracts identical — every malformed input is fatal and names
+ * what was being read.
+ */
+
+#ifndef ERNN_RUNTIME_WIRE_HH
+#define ERNN_RUNTIME_WIRE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "tensor/vector_ops.hh"
+
+namespace ernn::runtime::detail
+{
+
+/** FNV-1a over @p n bytes — the artifact/checkpoint checksum. */
+inline std::uint64_t
+fnv1a64(const char *data, std::size_t n)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Append-only byte sink for the fixed-width encodings. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void i32(std::int32_t v) { raw(&v, sizeof v); }
+    void f64(double v) { raw(&v, sizeof v); }
+
+    void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void reals(const std::vector<Real> &v)
+    {
+        size(v.size());
+        if (!v.empty())
+            raw(v.data(), v.size() * sizeof(Real));
+    }
+
+    void codes(const std::int16_t *p, std::size_t n)
+    {
+        size(n);
+        if (n)
+            raw(p, n * sizeof(std::int16_t));
+    }
+
+    void bytes(const std::string &v)
+    {
+        size(v.size());
+        if (!v.empty())
+            raw(v.data(), v.size());
+    }
+
+    void patchU64(std::size_t offset, std::uint64_t v)
+    {
+        std::memcpy(&buf_[offset], &v, sizeof v);
+    }
+
+    std::size_t tell() const { return buf_.size(); }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    void raw(const void *p, std::size_t n)
+    {
+        buf_.append(static_cast<const char *>(p), n);
+    }
+
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked cursor over serialized bytes. Overruns are fatal
+ * and name what was being read — with a valid checksum they indicate
+ * a writer/reader version bug, not bit rot. @p context prefixes
+ * every diagnostic ("artifact payload", "stream checkpoint", ...).
+ */
+class Reader
+{
+  public:
+    Reader(const char *buf, std::size_t payload_end,
+           const char *context = "artifact payload")
+        : buf_(buf), end_(payload_end), context_(context)
+    {
+    }
+
+    std::uint8_t u8(const char *what)
+    {
+        std::uint8_t v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::uint32_t u32(const char *what)
+    {
+        std::uint32_t v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::uint64_t u64(const char *what)
+    {
+        std::uint64_t v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::int32_t i32(const char *what)
+    {
+        std::int32_t v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    double f64(const char *what)
+    {
+        double v;
+        raw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::size_t size(const char *what)
+    {
+        return static_cast<std::size_t>(u64(what));
+    }
+
+    void realsInto(std::vector<Real> &out, const char *what)
+    {
+        const std::size_t n = size(what);
+        ernn_assert(n <= (end_ - pos_) / sizeof(Real),
+                    context_ << ": " << what << " claims " << n
+                    << " values past the end of the payload");
+        out.resize(n);
+        if (n)
+            raw(out.data(), n * sizeof(Real), what);
+    }
+
+    void codesInto(std::vector<std::int16_t> &out, const char *what)
+    {
+        const std::size_t n = size(what);
+        ernn_assert(n <= (end_ - pos_) / sizeof(std::int16_t),
+                    context_ << ": " << what << " claims " << n
+                    << " codes past the end of the payload");
+        out.resize(n);
+        if (n)
+            raw(out.data(), n * sizeof(std::int16_t), what);
+    }
+
+    void bytesInto(std::string &out, const char *what)
+    {
+        const std::size_t n = size(what);
+        ernn_assert(n <= end_ - pos_,
+                    context_ << ": " << what << " claims " << n
+                    << " bytes past the end of the payload");
+        out.resize(n);
+        if (n)
+            raw(&out[0], n, what);
+    }
+
+    std::size_t pos() const { return pos_; }
+    bool done() const { return pos_ == end_; }
+    std::size_t remainingBytes() const { return end_ - pos_; }
+
+  private:
+    void raw(void *p, std::size_t n, const char *what)
+    {
+        if (end_ - pos_ < n)
+            ernn_fatal(context_ << " ends while reading " << what
+                       << " (offset " << pos_ << " of " << end_
+                       << " payload bytes)");
+        std::memcpy(p, buf_ + pos_, n);
+        pos_ += n;
+    }
+
+    const char *buf_;
+    std::size_t pos_ = 0;
+    std::size_t end_;
+    const char *context_;
+};
+
+} // namespace ernn::runtime::detail
+
+#endif // ERNN_RUNTIME_WIRE_HH

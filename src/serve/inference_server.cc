@@ -8,6 +8,7 @@
 
 #include "base/logging.hh"
 #include "runtime/artifact.hh"
+#include "runtime/checkpoint.hh"
 #include "runtime/continuous_batch.hh"
 
 namespace ernn::serve
@@ -107,11 +108,23 @@ struct InferenceServer::UtteranceJob
 
 struct InferenceServer::StreamJob
 {
+    /** What the pinned worker does with the slot's state. */
+    enum class Op
+    {
+        Step,       //!< consume frame, reply logits
+        Reset,      //!< rewind to start-of-utterance, reply done
+        Checkpoint, //!< serialize state (+ aux), reply bytes
+        Restore,    //!< replace state from blob, reply done
+    };
+
     std::shared_ptr<StreamSlot> slot;
-    bool isReset = false;
-    Vector frame;                //!< step payload
-    std::promise<Vector> logits; //!< step reply
-    std::promise<void> done;     //!< reset acknowledgement
+    Op op = Op::Step;
+    Vector frame;     //!< Step payload
+    std::string blob; //!< Restore payload (checkpoint bytes)
+    std::string aux;  //!< Checkpoint aux payload (carried verbatim)
+    std::promise<Vector> logits;     //!< Step reply
+    std::promise<void> done;         //!< Reset/Restore acknowledgement
+    std::promise<std::string> bytes; //!< Checkpoint reply
 };
 
 /**
@@ -615,14 +628,26 @@ InferenceServer::runStreamJob(runtime::InferenceSession &session,
 {
     // Lazily create the recurrent state from this worker's session:
     // every job of a slot runs on its pinned worker, so the state is
-    // only ever touched by one thread.
+    // only ever touched by one thread. Checkpoint/restore before the
+    // first step see (or replace) the fresh start-of-utterance state.
     if (!job.slot->state)
         job.slot->state.emplace(session.newStream());
 
-    if (job.isReset) {
+    switch (job.op) {
+      case StreamJob::Op::Reset:
         job.slot->state->reset();
         job.done.set_value();
         return;
+      case StreamJob::Op::Checkpoint:
+        job.bytes.set_value(runtime::checkpointStream(
+            model_, *job.slot->state, job.aux));
+        return;
+      case StreamJob::Op::Restore:
+        runtime::restoreStream(model_, *job.slot->state, job.blob);
+        job.done.set_value();
+        return;
+      case StreamJob::Op::Step:
+        break;
     }
 
     const Vector &logits = session.step(*job.slot->state, job.frame);
@@ -685,10 +710,51 @@ InferenceServer::Stream::reset()
         throw std::runtime_error("Stream::reset on a closed stream");
     StreamJob job;
     job.slot = slot_;
-    job.isReset = true;
+    job.op = StreamJob::Op::Reset;
     std::future<void> fut = job.done.get_future();
     server_->enqueueStreamJob(slot_, std::move(job));
     return fut;
+}
+
+std::future<std::string>
+InferenceServer::Stream::checkpoint(std::string aux)
+{
+    if (!slot_)
+        throw std::runtime_error(
+            "Stream::checkpoint on a closed stream");
+    StreamJob job;
+    job.slot = slot_;
+    job.op = StreamJob::Op::Checkpoint;
+    job.aux = std::move(aux);
+    std::future<std::string> fut = job.bytes.get_future();
+    server_->enqueueStreamJob(slot_, std::move(job));
+    return fut;
+}
+
+std::string
+InferenceServer::Stream::checkpointSync(std::string aux)
+{
+    return checkpoint(std::move(aux)).get();
+}
+
+std::future<void>
+InferenceServer::Stream::restore(std::string blob)
+{
+    if (!slot_)
+        throw std::runtime_error("Stream::restore on a closed stream");
+    StreamJob job;
+    job.slot = slot_;
+    job.op = StreamJob::Op::Restore;
+    job.blob = std::move(blob);
+    std::future<void> fut = job.done.get_future();
+    server_->enqueueStreamJob(slot_, std::move(job));
+    return fut;
+}
+
+void
+InferenceServer::Stream::restoreSync(std::string blob)
+{
+    restore(std::move(blob)).get();
 }
 
 std::size_t

@@ -282,6 +282,33 @@ class InferenceServer
         /** Rewind to start-of-utterance, ordered after prior steps. */
         std::future<void> reset();
 
+        /**
+         * Serialize this stream's live recurrent state to a stream
+         * checkpoint blob (runtime/checkpoint.hh), ordered after
+         * prior steps — cut an hour-long utterance here, persist the
+         * blob, and resume later via restore() on any stream of a
+         * structurally identical model. @p aux is an opaque caller
+         * payload carried inside the blob (e.g. a serialized
+         * speech::FrontendState).
+         */
+        std::future<std::string> checkpoint(std::string aux = {});
+
+        /** Synchronous convenience: checkpoint and wait. */
+        std::string checkpointSync(std::string aux = {});
+
+        /**
+         * Replace this stream's state with @p blob's, ordered after
+         * prior steps; subsequent steps continue the checkpointed
+         * utterance bit-identically to an uninterrupted run. The
+         * stream may be fresh or mid-utterance (its previous state
+         * is fully discarded). Malformed or wrong-model blobs are
+         * rejected fatally (the checkpoint error contract).
+         */
+        std::future<void> restore(std::string blob);
+
+        /** Synchronous convenience: restore and wait. */
+        void restoreSync(std::string blob);
+
         /** Worker index this stream is pinned to. */
         std::size_t worker() const;
 

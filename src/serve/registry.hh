@@ -85,6 +85,32 @@ class ModelStream
 
     std::future<void> reset() { return stream_.reset(); }
 
+    /** Checkpoint this stream's live state (see
+     *  InferenceServer::Stream::checkpoint) — the blob restores into
+     *  any stream of a structurally identical model, including a
+     *  later published version with the same geometry. */
+    std::future<std::string> checkpoint(std::string aux = {})
+    {
+        return stream_.checkpoint(std::move(aux));
+    }
+
+    std::string checkpointSync(std::string aux = {})
+    {
+        return stream_.checkpointSync(std::move(aux));
+    }
+
+    /** Restore a checkpoint blob into this stream (see
+     *  InferenceServer::Stream::restore). */
+    std::future<void> restore(std::string blob)
+    {
+        return stream_.restore(std::move(blob));
+    }
+
+    void restoreSync(std::string blob)
+    {
+        stream_.restoreSync(std::move(blob));
+    }
+
     bool open() const { return stream_.open(); }
 
     /** Drop the pin: the retired server may now be released. */

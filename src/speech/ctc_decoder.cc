@@ -1,0 +1,169 @@
+#include "speech/ctc_decoder.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace ernn::speech
+{
+
+namespace
+{
+
+const Real kNegInf = -std::numeric_limits<Real>::infinity();
+
+/** Search bookkeeping of one live prefix. */
+struct Cand
+{
+    Real pb = kNegInf;  //!< log P(prefix, alignment ends in blank)
+    Real pnb = kNegInf; //!< log P(prefix, alignment ends in a label)
+
+    /** Smallest symbol index that contributed probability to this
+     *  prefix during the current frame — the deterministic tie-break
+     *  (argmax's first-maximum convention at beamWidth 1). */
+    int tieSym = std::numeric_limits<int>::max();
+
+    Real score() const { return logAdd(pb, pnb); }
+
+    void addBlankPath(Real lp, int sym)
+    {
+        pb = logAdd(pb, lp);
+        tieSym = std::min(tieSym, sym);
+    }
+
+    void addLabelPath(Real lp, int sym)
+    {
+        pnb = logAdd(pnb, lp);
+        tieSym = std::min(tieSym, sym);
+    }
+};
+
+/** In-place log-softmax: subtract the frame's log-sum-exp. */
+void
+logSoftmax(const Vector &logits, Vector &lp)
+{
+    Real m = kNegInf;
+    for (Real x : logits)
+        m = std::max(m, x);
+    Real sum = 0.0;
+    for (Real x : logits)
+        sum += std::exp(x - m);
+    const Real lse = m + std::log(sum);
+    lp.resize(logits.size());
+    for (std::size_t c = 0; c < logits.size(); ++c)
+        lp[c] = logits[c] - lse;
+}
+
+} // namespace
+
+Real
+logAdd(Real a, Real b)
+{
+    if (a == kNegInf)
+        return b;
+    if (b == kNegInf)
+        return a;
+    const Real hi = std::max(a, b);
+    const Real lo = std::min(a, b);
+    return hi + std::log1p(std::exp(lo - hi));
+}
+
+std::vector<CtcHypothesis>
+ctcDecodeBeam(const nn::Sequence &logits, const CtcDecodeOptions &opts)
+{
+    ernn_assert(opts.beamWidth > 0, "ctc decode: beam width must be > 0");
+
+    // std::map keys the beam by prefix, so duplicate prefixes merge
+    // by construction, and its deterministic (lexicographic)
+    // iteration order makes every log-sum-exp accumulation order —
+    // hence every returned bit — a pure function of the input.
+    using Beam = std::map<std::vector<int>, Cand>;
+    Beam beam;
+    Cand root;
+    root.pb = 0.0; // empty alignment: probability 1
+    beam.emplace(std::vector<int>{}, root);
+
+    Vector lp;
+    for (const Vector &frame : logits) {
+        ernn_assert(!frame.empty(), "ctc decode: empty logit frame");
+        ernn_assert(opts.blank < static_cast<int>(frame.size()),
+                    "ctc decode: blank class " << opts.blank
+                    << " outside " << frame.size() << " classes");
+        logSoftmax(frame, lp);
+
+        Beam next;
+        for (const auto &[prefix, cand] : beam) {
+            const Real total = cand.score();
+            const int last = prefix.empty() ? -1 : prefix.back();
+            for (int c = 0; c < static_cast<int>(lp.size()); ++c) {
+                if (c == opts.blank) {
+                    // Blank extends the alignment, not the prefix.
+                    next[prefix].addBlankPath(total + lp[c], c);
+                } else if (c == last) {
+                    // A repeat merges into the same prefix...
+                    if (cand.pnb != kNegInf)
+                        next[prefix].addLabelPath(cand.pnb + lp[c], c);
+                    // ...unless a blank separated it: then it is a
+                    // genuine new token.
+                    if (cand.pb != kNegInf) {
+                        auto ext = prefix;
+                        ext.push_back(c);
+                        next[ext].addLabelPath(cand.pb + lp[c], c);
+                    }
+                } else {
+                    auto ext = prefix;
+                    ext.push_back(c);
+                    next[ext].addLabelPath(total + lp[c], c);
+                }
+            }
+        }
+
+        // Prune to the beam width. Deterministic order: score
+        // descending, then smallest contributing symbol, then
+        // lexicographic prefix — see the header's parity contract.
+        std::vector<std::pair<const std::vector<int> *, const Cand *>>
+            order;
+        order.reserve(next.size());
+        for (const auto &entry : next)
+            order.emplace_back(&entry.first, &entry.second);
+        std::stable_sort(
+            order.begin(), order.end(),
+            [](const auto &a, const auto &b) {
+                if (a.second->score() != b.second->score())
+                    return a.second->score() > b.second->score();
+                if (a.second->tieSym != b.second->tieSym)
+                    return a.second->tieSym < b.second->tieSym;
+                return *a.first < *b.first;
+            });
+        if (order.size() > opts.beamWidth)
+            order.resize(opts.beamWidth);
+
+        Beam pruned;
+        for (const auto &[prefix, cand] : order)
+            pruned.emplace(*prefix, *cand);
+        beam = std::move(pruned);
+    }
+
+    std::vector<CtcHypothesis> out;
+    out.reserve(beam.size());
+    for (const auto &[prefix, cand] : beam)
+        out.push_back(CtcHypothesis{prefix, cand.score()});
+    std::stable_sort(out.begin(), out.end(),
+                     [](const CtcHypothesis &a, const CtcHypothesis &b) {
+                         if (a.logProb != b.logProb)
+                             return a.logProb > b.logProb;
+                         return a.labels < b.labels;
+                     });
+    return out;
+}
+
+CtcHypothesis
+ctcDecode(const nn::Sequence &logits, const CtcDecodeOptions &opts)
+{
+    return ctcDecodeBeam(logits, opts).front();
+}
+
+} // namespace ernn::speech

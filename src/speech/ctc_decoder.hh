@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CTC-style prefix beam-search decoding over per-frame logits.
+ *
+ * The decoder searches over *collapsed* label sequences (prefixes),
+ * summing — via log-sum-exp — the probability of every frame-level
+ * alignment that maps to each prefix: consecutive repeats merge into
+ * one token, and (when a blank class is configured) blank frames
+ * separate genuine repeats and are dropped from the output. With no
+ * blank (blank < 0, the native mode for this repo's framewise
+ * models), the alignment model is exactly speech::collapseRepeats.
+ *
+ * Parity oracle: at beamWidth == 1 the decoder is bit-identical to
+ * the existing greedy path — collapseRepeats(argmax per frame) —
+ * including tie-breaks. This holds by construction:
+ *  - log-softmax is monotone, so per-frame candidate ranking equals
+ *    logit ranking;
+ *  - with a single surviving prefix, each candidate corresponds to a
+ *    distinct symbol c (extend with c, or merge a repeat of the last
+ *    token), scored prefixScore + logp[c];
+ *  - ties select the smallest contributing symbol index, matching
+ *    argmax's first-maximum convention.
+ * tests/test_ctc.cc proves the equality on all three backends and
+ * fuzzes the search invariants on random logit tensors.
+ */
+
+#ifndef ERNN_SPEECH_CTC_DECODER_HH
+#define ERNN_SPEECH_CTC_DECODER_HH
+
+#include <vector>
+
+#include "nn/trainer.hh"
+
+namespace ernn::speech
+{
+
+/** Decoding knobs. */
+struct CtcDecodeOptions
+{
+    /** Live prefixes kept per frame; 1 == greedy (see file docs). */
+    std::size_t beamWidth = 1;
+
+    /** Logit row of the CTC blank class, or -1 when the model has no
+     *  blank (this repo's framewise phone models). */
+    int blank = -1;
+};
+
+/** One decoded hypothesis: a collapsed label sequence + its score. */
+struct CtcHypothesis
+{
+    std::vector<int> labels;
+
+    /** Total log probability mass (log-sum-exp over all frame-level
+     *  alignments that map to @p labels). Always <= 0 + rounding. */
+    Real logProb = 0.0;
+};
+
+/** Numerically stable log(exp(a) + exp(b)). */
+Real logAdd(Real a, Real b);
+
+/**
+ * Decode the full final beam, best hypothesis first. The per-frame
+ * search keeps the opts.beamWidth best prefixes; duplicate prefixes
+ * are merged (never listed twice), and the returned scores are a
+ * partition of disjoint events, so their probabilities sum to <= 1.
+ */
+std::vector<CtcHypothesis> ctcDecodeBeam(const nn::Sequence &logits,
+                                         const CtcDecodeOptions &opts);
+
+/** Best hypothesis only. Empty input decodes to the empty sequence. */
+CtcHypothesis ctcDecode(const nn::Sequence &logits,
+                        const CtcDecodeOptions &opts = {});
+
+} // namespace ernn::speech
+
+#endif // ERNN_SPEECH_CTC_DECODER_HH

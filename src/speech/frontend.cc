@@ -1,0 +1,434 @@
+#include "speech/frontend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "runtime/wire.hh"
+
+namespace ernn::speech
+{
+
+namespace
+{
+
+using runtime::detail::fnv1a64;
+using runtime::detail::Reader;
+using runtime::detail::Writer;
+
+constexpr Real kPi = 3.14159265358979323846;
+
+} // namespace
+
+Real
+hzToMel(Real hz)
+{
+    return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+Real
+melToHz(Real mel)
+{
+    return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+AcousticFrontend::AcousticFrontend(const FrontendConfig &cfg)
+    : cfg_(cfg)
+{
+    ernn_assert(cfg.sampleRate > 0, "frontend: sample rate must be > 0");
+    ernn_assert(cfg.frameLength >= 2,
+                "frontend: frame length " << cfg.frameLength
+                << " too small");
+    ernn_assert(cfg.frameShift > 0 && cfg.frameShift <= cfg.frameLength,
+                "frontend: frame shift " << cfg.frameShift
+                << " outside (0, " << cfg.frameLength << "]");
+    ernn_assert(fft::isPowerOfTwo(cfg.fftSize) &&
+                cfg.fftSize >= cfg.frameLength,
+                "frontend: FFT size " << cfg.fftSize
+                << " must be a power of two >= frame length "
+                << cfg.frameLength);
+    ernn_assert(cfg.melBands >= 2,
+                "frontend: need >= 2 mel bands, got " << cfg.melBands);
+    ernn_assert(cfg.numCepstra <= cfg.melBands,
+                "frontend: " << cfg.numCepstra << " cepstra exceed "
+                << cfg.melBands << " mel bands");
+    ernn_assert(cfg.logFloor > 0.0, "frontend: log floor must be > 0");
+
+    // Hamming window — the paper-era default for speech framing.
+    window_.resize(cfg.frameLength);
+    for (std::size_t n = 0; n < cfg.frameLength; ++n)
+        window_[n] = 0.54 - 0.46 * std::cos(2.0 * kPi * Real(n) /
+                                            Real(cfg.frameLength - 1));
+
+    // Triangular mel filterbank: melBands + 2 edge points equally
+    // spaced on the mel scale between the low and high edges, each
+    // filter a triangle over the power-spectrum bins.
+    const Real nyquist = Real(cfg.sampleRate) / 2.0;
+    const Real highHz = cfg.melHighHz > 0.0 ? cfg.melHighHz : nyquist;
+    ernn_assert(cfg.melLowHz >= 0.0 && cfg.melLowHz < highHz &&
+                highHz <= nyquist,
+                "frontend: mel range [" << cfg.melLowHz << ", "
+                << highHz << "] Hz invalid for sample rate "
+                << cfg.sampleRate);
+    const Real melLo = hzToMel(cfg.melLowHz);
+    const Real melHi = hzToMel(highHz);
+    const std::size_t bins = numBins();
+    const Real hzPerBin = Real(cfg.sampleRate) / Real(cfg.fftSize);
+    std::vector<Real> edges(cfg.melBands + 2);
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        edges[i] = melToHz(melLo + (melHi - melLo) * Real(i) /
+                           Real(cfg.melBands + 1));
+    mel_.resize(cfg.melBands);
+    for (std::size_t b = 0; b < cfg.melBands; ++b) {
+        const Real lo = edges[b], mid = edges[b + 1], hi = edges[b + 2];
+        MelFilter &f = mel_[b];
+        std::size_t first = bins, last = 0;
+        for (std::size_t k = 0; k < bins; ++k) {
+            const Real hz = Real(k) * hzPerBin;
+            if (hz <= lo || hz >= hi)
+                continue;
+            if (first == bins)
+                first = k;
+            last = k;
+        }
+        if (first == bins) {
+            // Degenerate (very narrow) filter: keep an explicit
+            // zero-weight single-bin triangle so every band exists.
+            first = std::min(
+                bins - 1,
+                static_cast<std::size_t>(mid / hzPerBin));
+            last = first;
+        }
+        f.firstBin = first;
+        f.weights.assign(last - first + 1, 0.0);
+        for (std::size_t k = first; k <= last; ++k) {
+            const Real hz = Real(k) * hzPerBin;
+            if (hz <= lo || hz >= hi)
+                continue;
+            f.weights[k - first] = hz <= mid
+                ? (hz - lo) / (mid - lo)
+                : (hi - hz) / (hi - mid);
+        }
+    }
+
+    // DCT-II rows (orthonormal scaling) mapping melBands log energies
+    // to numCepstra coefficients.
+    if (cfg.numCepstra > 0) {
+        const Real m = Real(cfg.melBands);
+        dct_.resize(cfg.numCepstra);
+        for (std::size_t k = 0; k < cfg.numCepstra; ++k) {
+            dct_[k].resize(cfg.melBands);
+            const Real scale =
+                std::sqrt((k == 0 ? 1.0 : 2.0) / m);
+            for (std::size_t j = 0; j < cfg.melBands; ++j)
+                dct_[k][j] = scale * std::cos(kPi * Real(k) *
+                                              (Real(j) + 0.5) / m);
+        }
+    }
+
+    // Configuration fingerprint: stamped into serialized states so a
+    // payload written under a different framing cannot restore here.
+    Writer w;
+    w.bytes("ernn-frontend-fingerprint-v1");
+    w.size(cfg.sampleRate);
+    w.size(cfg.frameLength);
+    w.size(cfg.frameShift);
+    w.size(cfg.fftSize);
+    w.size(cfg.melBands);
+    w.size(cfg.numCepstra);
+    w.f64(cfg.preEmphasis);
+    w.f64(cfg.melLowHz);
+    w.f64(cfg.melHighHz);
+    w.f64(cfg.logFloor);
+    const std::string bytes = w.take();
+    fingerprint_ = fnv1a64(bytes.data(), bytes.size());
+}
+
+std::size_t
+AcousticFrontend::featureDim() const
+{
+    return cfg_.numCepstra > 0 ? cfg_.numCepstra : cfg_.melBands;
+}
+
+std::size_t
+AcousticFrontend::framesForSamples(std::size_t n) const
+{
+    if (n < cfg_.frameLength)
+        return 0;
+    return 1 + (n - cfg_.frameLength) / cfg_.frameShift;
+}
+
+FrontendState
+AcousticFrontend::newState() const
+{
+    FrontendState s;
+    s.pending_.reserve(cfg_.frameLength);
+    s.windowed_.assign(cfg_.fftSize, 0.0);
+    s.power_.assign(numBins(), 0.0);
+    s.mel_.assign(cfg_.melBands, 0.0);
+    s.feature_.assign(featureDim(), 0.0);
+    return s;
+}
+
+void
+AcousticFrontend::reset(FrontendState &state) const
+{
+    state.pending_.clear();
+    state.preEmphMem_ = 0.0;
+    state.samplesSeen_ = 0;
+    state.framesEmitted_ = 0;
+}
+
+void
+AcousticFrontend::emitFrame(FrontendState &state,
+                            const FrameSink &sink) const
+{
+    // Window + zero-pad to the FFT size.
+    for (std::size_t n = 0; n < cfg_.frameLength; ++n)
+        state.windowed_[n] = state.pending_[n] * window_[n];
+    std::fill(state.windowed_.begin() + cfg_.frameLength,
+              state.windowed_.end(), 0.0);
+
+    fft::rfftInto(state.windowed_, state.spectrum_, state.fftScratch_);
+    state.power_.resize(numBins());
+    for (std::size_t k = 0; k < state.power_.size(); ++k) {
+        const Complex &b = state.spectrum_[k];
+        state.power_[k] = b.real() * b.real() + b.imag() * b.imag();
+    }
+
+    for (std::size_t b = 0; b < cfg_.melBands; ++b) {
+        const MelFilter &f = mel_[b];
+        Real acc = 0.0;
+        for (std::size_t j = 0; j < f.weights.size(); ++j)
+            acc += f.weights[j] * state.power_[f.firstBin + j];
+        state.mel_[b] = std::log(std::max(cfg_.logFloor, acc));
+    }
+
+    if (cfg_.numCepstra > 0) {
+        for (std::size_t k = 0; k < cfg_.numCepstra; ++k) {
+            Real acc = 0.0;
+            for (std::size_t j = 0; j < cfg_.melBands; ++j)
+                acc += dct_[k][j] * state.mel_[j];
+            state.feature_[k] = acc;
+        }
+        sink(state.feature_);
+    } else {
+        sink(state.mel_);
+    }
+    ++state.framesEmitted_;
+
+    // Slide the analysis window: drop frameShift samples, keep the
+    // overlap. memmove-style shift keeps pending_'s capacity.
+    state.pending_.erase(state.pending_.begin(),
+                         state.pending_.begin() +
+                         static_cast<std::ptrdiff_t>(cfg_.frameShift));
+}
+
+void
+AcousticFrontend::push(FrontendState &state, const Real *samples,
+                       std::size_t n, const FrameSink &sink) const
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const Real x = samples[i];
+        state.pending_.push_back(x - cfg_.preEmphasis *
+                                 state.preEmphMem_);
+        state.preEmphMem_ = x;
+        ++state.samplesSeen_;
+        if (state.pending_.size() == cfg_.frameLength)
+            emitFrame(state, sink);
+    }
+}
+
+void
+AcousticFrontend::push(FrontendState &state, const Vector &chunk,
+                       nn::Sequence &out) const
+{
+    push(state, chunk.data(), chunk.size(),
+         [&out](const Vector &frame) { out.push_back(frame); });
+}
+
+nn::Sequence
+AcousticFrontend::process(const Vector &samples) const
+{
+    FrontendState state = newState();
+    nn::Sequence out;
+    out.reserve(framesForSamples(samples.size()));
+    push(state, samples, out);
+    return out;
+}
+
+std::string
+AcousticFrontend::serializeState(const FrontendState &state) const
+{
+    Writer w;
+    w.bytes("FESTATE1");
+    w.u64(fingerprint_);
+    w.f64(state.preEmphMem_);
+    w.size(state.samplesSeen_);
+    w.size(state.framesEmitted_);
+    w.reals(state.pending_);
+    return w.take();
+}
+
+void
+AcousticFrontend::restoreState(FrontendState &state,
+                               const std::string &payload) const
+{
+    Reader r(payload.data(), payload.size(), "frontend state");
+    std::string tag;
+    r.bytesInto(tag, "format tag");
+    if (tag != "FESTATE1")
+        ernn_fatal("frontend state payload has unknown format tag '"
+                   << tag << "'");
+    const std::uint64_t fp = r.u64("frontend fingerprint");
+    if (fp != fingerprint_)
+        ernn_fatal("frontend state belongs to a different frontend "
+                   "configuration (fingerprint 0x" << std::hex << fp
+                   << ", this frontend is 0x" << fingerprint_
+                   << std::dec << "): refusing to restore");
+    const Real mem = r.f64("pre-emphasis memory");
+    const std::size_t seen = r.size("samples seen");
+    const std::size_t emitted = r.size("frames emitted");
+    Vector pending;
+    r.realsInto(pending, "overlap buffer");
+    if (!r.done())
+        ernn_fatal("frontend state payload has " << r.remainingBytes()
+                   << " undecoded bytes: writer/reader version bug");
+    if (pending.size() >= cfg_.frameLength)
+        ernn_fatal("frontend state overlap buffer holds "
+                   << pending.size() << " samples, must be < frame "
+                   "length " << cfg_.frameLength);
+
+    // Commit only after full validation; keep warm scratch, restore
+    // the reserve newState() guarantees.
+    state.pending_ = std::move(pending);
+    state.pending_.reserve(cfg_.frameLength);
+    state.preEmphMem_ = mem;
+    state.samplesSeen_ = seen;
+    state.framesEmitted_ = emitted;
+}
+
+// --- synthetic waveform ground truth ------------------------------------
+
+namespace
+{
+
+/** Deterministic two-tone signature of a phone class. */
+struct PhoneTone
+{
+    Real f1, f2; //!< "formant" pair, Hz
+    Real a1, a2; //!< amplitudes
+};
+
+PhoneTone
+phoneTone(int phone, std::size_t numPhones, std::size_t sampleRate)
+{
+    // Spread the first tone low and the second tone high, both well
+    // under Nyquist, with per-phone spacing wide enough that mel
+    // filters separate neighbouring phones.
+    const Real nyquist = Real(sampleRate) / 2.0;
+    const Real span = std::min<Real>(nyquist * 0.85, 6800.0);
+    const Real lo = 150.0;
+    const Real stepHz = (span - lo) / Real(2 * numPhones + 1);
+    PhoneTone t;
+    t.f1 = lo + stepHz * (Real(phone) + 0.5);
+    t.f2 = lo + stepHz * (Real(numPhones + phone) + 1.0);
+    t.a1 = 0.6;
+    t.a2 = 0.4;
+    return t;
+}
+
+} // namespace
+
+WaveDataset
+makeSyntheticWaves(const WaveAsrConfig &cfg)
+{
+    ernn_assert(cfg.numPhones >= 2 && cfg.utterances > 0,
+                "wave generator: need >= 2 phones and > 0 utterances");
+    ernn_assert(cfg.minSegments > 0 &&
+                cfg.minSegments <= cfg.maxSegments,
+                "wave generator: bad segment count range");
+    ernn_assert(cfg.minSegmentMs > 0 &&
+                cfg.minSegmentMs <= cfg.maxSegmentMs,
+                "wave generator: bad segment duration range");
+
+    Rng rng(cfg.seed);
+    WaveDataset data(cfg.utterances);
+    for (auto &utt : data) {
+        const std::size_t segs =
+            cfg.minSegments +
+            rng.index(cfg.maxSegments - cfg.minSegments + 1);
+        int prev = -1;
+        std::size_t at = 0;
+        for (std::size_t s = 0; s < segs; ++s) {
+            // No immediate repeats: makes collapsed label sequences
+            // equal the segment phone sequence.
+            int phone =
+                static_cast<int>(rng.index(cfg.numPhones - (s > 0)));
+            if (s > 0 && phone >= prev)
+                ++phone;
+            const std::size_t ms =
+                cfg.minSegmentMs +
+                rng.index(cfg.maxSegmentMs - cfg.minSegmentMs + 1);
+            const std::size_t len = ms * cfg.sampleRate / 1000;
+            utt.segments.push_back(
+                WaveSegment{phone, at, at + len});
+            at += len;
+            prev = phone;
+        }
+        utt.samples.resize(at);
+        for (const WaveSegment &seg : utt.segments) {
+            const PhoneTone t = phoneTone(seg.phone, cfg.numPhones,
+                                          cfg.sampleRate);
+            for (std::size_t i = seg.begin; i < seg.end; ++i) {
+                // Global-time phase keeps the waveform continuous
+                // in frequency content across segment boundaries.
+                const Real ts = Real(i) / Real(cfg.sampleRate);
+                utt.samples[i] =
+                    t.a1 * std::sin(2.0 * kPi * t.f1 * ts) +
+                    t.a2 * std::sin(2.0 * kPi * t.f2 * ts) +
+                    cfg.noise * rng.normal();
+            }
+        }
+    }
+    return data;
+}
+
+std::vector<int>
+frameLabels(const WaveUtterance &utt, const FrontendConfig &cfg)
+{
+    std::vector<int> labels;
+    const std::size_t n = utt.samples.size();
+    if (n < cfg.frameLength)
+        return labels;
+    const std::size_t frames =
+        1 + (n - cfg.frameLength) / cfg.frameShift;
+    labels.reserve(frames);
+    for (std::size_t t = 0; t < frames; ++t) {
+        const std::size_t center =
+            t * cfg.frameShift + cfg.frameLength / 2;
+        int phone = utt.segments.empty() ? 0 : utt.segments.back().phone;
+        for (const WaveSegment &seg : utt.segments)
+            if (center >= seg.begin && center < seg.end) {
+                phone = seg.phone;
+                break;
+            }
+        labels.push_back(phone);
+    }
+    return labels;
+}
+
+nn::SequenceExample
+frontendExample(const AcousticFrontend &fe, const WaveUtterance &utt)
+{
+    nn::SequenceExample ex;
+    ex.frames = fe.process(utt.samples);
+    ex.labels = frameLabels(utt, fe.config());
+    ernn_assert(ex.frames.size() == ex.labels.size(),
+                "frontendExample: " << ex.frames.size()
+                << " frames vs " << ex.labels.size() << " labels");
+    return ex;
+}
+
+} // namespace ernn::speech

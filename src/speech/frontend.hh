@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Acoustic frontend: raw f64 waveform samples -> model input frames.
+ * This is the stage the synthetic feature datasets (speech/dataset.hh)
+ * skip — with it, the serving stack runs the paper's full speech path
+ * end to end: samples -> pre-emphasis -> windowed framing -> power
+ * spectrum (the repo's own fft:: machinery) -> mel filterbank ->
+ * log / MFCC (DCT-II) -> RNN -> CTC decode -> PER.
+ *
+ * Design rules:
+ *  - Deterministic: identical samples produce identical frames, on
+ *    any chunking — the streaming push() path and the batch
+ *    process() path are bit-identical by construction (process() is
+ *    one big push), and tests sweep chunk sizes to prove it.
+ *  - Allocation-free in steady state: the frontend itself is
+ *    immutable and shareable; every mutable buffer (overlap window,
+ *    FFT workspaces, filterbank scratch) lives in the per-stream
+ *    FrontendState and is warm after the first frame. The sink-based
+ *    push() performs no heap allocation once warm.
+ *  - Checkpointable: a FrontendState serializes to an opaque byte
+ *    payload that rides in the stream checkpoint's aux section
+ *    (runtime/checkpoint.hh), so a long-form stream can be cut and
+ *    resumed mid-window bit-identically.
+ *
+ * The file also hosts the sample-level synthetic waveform generator —
+ * the waveform-domain sibling of speech::makeSyntheticAsr and the
+ * timit_oracle tables: each phone is a deterministic two-tone
+ * "formant" signature, so end-to-end tests have sample-accurate
+ * ground-truth segmentations to score against.
+ */
+
+#ifndef ERNN_SPEECH_FRONTEND_HH
+#define ERNN_SPEECH_FRONTEND_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hh"
+#include "tensor/fft.hh"
+
+namespace ernn::speech
+{
+
+/** Frontend configuration; defaults are the classic 16 kHz / 25 ms /
+ *  10 ms log-mel setup scaled to this repo's small feature dims. */
+struct FrontendConfig
+{
+    std::size_t sampleRate = 16000; //!< Hz
+    std::size_t frameLength = 400;  //!< samples per window (25 ms)
+    std::size_t frameShift = 160;   //!< hop in samples (10 ms)
+    std::size_t fftSize = 512;      //!< power of two >= frameLength
+    std::size_t melBands = 16;      //!< filterbank size
+    /** 0 emits log-mel energies (featureDim = melBands); k > 0 emits
+     *  the first k MFCCs via DCT-II (featureDim = k, k <= melBands). */
+    std::size_t numCepstra = 0;
+    Real preEmphasis = 0.97; //!< y[t] = x[t] - a*x[t-1]; 0 disables
+    Real melLowHz = 0.0;     //!< filterbank low edge
+    Real melHighHz = 0.0;    //!< filterbank high edge; 0 = Nyquist
+    Real logFloor = 1e-10;   //!< clamp before log
+};
+
+class AcousticFrontend;
+
+/**
+ * Per-stream mutable state: the pre-emphasis memory, the overlap
+ * buffer of samples awaiting a full window, and every scratch buffer
+ * the per-frame analysis needs. One AcousticFrontend serves any
+ * number of concurrent states.
+ */
+class FrontendState
+{
+  public:
+    /** Raw samples consumed since reset. */
+    std::size_t samplesSeen() const { return samplesSeen_; }
+
+    /** Feature frames emitted since reset. */
+    std::size_t framesEmitted() const { return framesEmitted_; }
+
+  private:
+    friend class AcousticFrontend;
+
+    Vector pending_;         //!< pre-emphasized samples, < frameLength
+    Real preEmphMem_ = 0.0;  //!< previous raw sample
+    std::size_t samplesSeen_ = 0;
+    std::size_t framesEmitted_ = 0;
+
+    /// @{ Analysis scratch (warm after the first frame; never
+    /// checkpointed — rebuilt from zero on restore).
+    Vector windowed_;        //!< fftSize, zero-padded windowed frame
+    fft::CVector spectrum_;  //!< fftSize/2 + 1 bins
+    fft::CVector fftScratch_;
+    Vector power_;           //!< per-bin |X|^2
+    Vector mel_;             //!< filterbank energies
+    Vector feature_;         //!< emitted frame (log-mel or MFCC)
+    /// @}
+};
+
+/** One triangular mel filter: weights over a contiguous bin range. */
+struct MelFilter
+{
+    std::size_t firstBin = 0;
+    Vector weights; //!< weight per bin starting at firstBin
+};
+
+/**
+ * Immutable, shareable frontend: precomputed window, mel filterbank
+ * and DCT-II basis. All per-stream mutation lives in FrontendState.
+ */
+class AcousticFrontend
+{
+  public:
+    /** Receives each completed frame; the reference is valid only
+     *  for the duration of the call (it aliases state scratch). */
+    using FrameSink = std::function<void(const Vector &)>;
+
+    explicit AcousticFrontend(const FrontendConfig &cfg = {});
+
+    const FrontendConfig &config() const { return cfg_; }
+
+    /** Emitted frame size: numCepstra when set, else melBands. */
+    std::size_t featureDim() const;
+
+    /** Non-redundant spectrum bins per frame (fftSize/2 + 1). */
+    std::size_t numBins() const { return cfg_.fftSize / 2 + 1; }
+
+    /** Completed frames a run over @p n total samples emits. */
+    std::size_t framesForSamples(std::size_t n) const;
+
+    /** Fresh start-of-stream state sized for this frontend. */
+    FrontendState newState() const;
+
+    /** Rewind @p state to start-of-stream (keeps warm scratch). */
+    void reset(FrontendState &state) const;
+
+    /**
+     * Streaming: consume @p n samples and invoke @p sink once per
+     * completed frame, in order. Allocation-free once @p state is
+     * warm. Any chunking of the same samples yields bit-identical
+     * frames.
+     */
+    void push(FrontendState &state, const Real *samples,
+              std::size_t n, const FrameSink &sink) const;
+
+    /** Streaming convenience: append completed frames to @p out. */
+    void push(FrontendState &state, const Vector &chunk,
+              nn::Sequence &out) const;
+
+    /** Batch convenience: all frames of a whole utterance. Defined
+     *  as one push() over a fresh state, so batch == streaming
+     *  bit-for-bit by construction. */
+    nn::Sequence process(const Vector &samples) const;
+
+    /// @{ Introspection for golden tests.
+    const Vector &window() const { return window_; }
+    const std::vector<MelFilter> &filterbank() const { return mel_; }
+    /** DCT-II basis; row k dots with the log-mel vector. Empty when
+     *  numCepstra == 0. */
+    const std::vector<Vector> &dctBasis() const { return dct_; }
+    /// @}
+
+    /// @{ Checkpoint support: serialize the stream-progress part of
+    /// @p state (overlap buffer, pre-emphasis memory, counters) to an
+    /// opaque payload for the stream checkpoint's aux section, and
+    /// restore it. Restore is fatal on malformed payloads or on a
+    /// payload written under a different FrontendConfig.
+    std::string serializeState(const FrontendState &state) const;
+    void restoreState(FrontendState &state,
+                      const std::string &payload) const;
+    /// @}
+
+    /** Structural fingerprint of the configuration (stamped into
+     *  serialized states; mismatches are rejected by restoreState). */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+  private:
+    void emitFrame(FrontendState &state, const FrameSink &sink) const;
+
+    FrontendConfig cfg_;
+    Vector window_;              //!< Hamming, frameLength points
+    std::vector<MelFilter> mel_; //!< melBands triangular filters
+    std::vector<Vector> dct_;    //!< numCepstra DCT-II rows
+    std::uint64_t fingerprint_ = 0;
+};
+
+/** Convert frequency in Hz to the mel scale (HTK convention). */
+Real hzToMel(Real hz);
+
+/** Inverse of hzToMel. */
+Real melToHz(Real mel);
+
+// --- synthetic waveform ground truth ------------------------------------
+
+/** Waveform generator configuration; defaults give sub-second
+ *  utterances that frontend + tiny models can score in tests. */
+struct WaveAsrConfig
+{
+    std::size_t numPhones = 8;
+    std::size_t utterances = 8;
+    std::size_t minSegments = 3; //!< phone segments per utterance
+    std::size_t maxSegments = 6;
+    std::size_t minSegmentMs = 80; //!< per-segment duration
+    std::size_t maxSegmentMs = 200;
+    Real noise = 0.02;             //!< additive Gaussian, sample level
+    std::size_t sampleRate = 16000;
+    std::uint64_t seed = 20190216; //!< HPCA'19 :-)
+};
+
+/** Ground-truth phone segment: samples [begin, end) carry @p phone. */
+struct WaveSegment
+{
+    int phone = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/** One generated utterance with its sample-accurate segmentation. */
+struct WaveUtterance
+{
+    Vector samples;
+    std::vector<WaveSegment> segments;
+};
+
+using WaveDataset = std::vector<WaveUtterance>;
+
+/**
+ * Deterministically generate waveform utterances. Each phone class
+ * is a fixed two-tone signature (distinct "formant" pair, continuous
+ * phase across segment boundaries) plus seeded Gaussian noise — so
+ * the per-sample phone identity is known exactly and the mel
+ * energies of different phones are linearly separable, giving
+ * end-to-end frontend tests a ground truth without training.
+ */
+WaveDataset makeSyntheticWaves(const WaveAsrConfig &cfg);
+
+/**
+ * Frame-aligned labels for @p utt under @p cfg's framing: frame t is
+ * labeled with the phone active at its center sample. Length equals
+ * framesForSamples(utt.samples.size()).
+ */
+std::vector<int> frameLabels(const WaveUtterance &utt,
+                             const FrontendConfig &cfg);
+
+/** Run @p fe over @p utt and pair frames with frame-aligned labels. */
+nn::SequenceExample frontendExample(const AcousticFrontend &fe,
+                                    const WaveUtterance &utt);
+
+} // namespace ernn::speech
+
+#endif // ERNN_SPEECH_FRONTEND_HH

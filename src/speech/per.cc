@@ -6,9 +6,30 @@
 
 #include "base/logging.hh"
 #include "serve/inference_server.hh"
+#include "speech/ctc_decoder.hh"
 
 namespace ernn::speech
 {
+
+namespace
+{
+
+/** Hypothesis labels for one utterance: greedy argmax predictions
+ *  (beamWidth == 0) or the CTC beam decode of its logits. Both
+ *  return already-collapsed sequences. */
+std::vector<int>
+hypothesis(const serve::InferenceReply &reply,
+           const PerEvalOptions &opts)
+{
+    if (opts.beamWidth == 0)
+        return collapseRepeats(reply.predictions);
+    CtcDecodeOptions dopts;
+    dopts.beamWidth = opts.beamWidth;
+    dopts.blank = opts.blank;
+    return ctcDecode(reply.logits, dopts).labels;
+}
+
+} // namespace
 
 std::vector<int>
 collapseRepeats(const std::vector<int> &labels)
@@ -76,8 +97,29 @@ evaluatePer(const runtime::CompiledModel &model,
             const nn::SequenceDataset &data,
             const PerEvalOptions &opts)
 {
-    if (opts.workers == 0)
-        return evaluatePer(model, data);
+    if (opts.workers == 0) {
+        if (opts.beamWidth == 0)
+            return evaluatePer(model, data);
+        // Serial beam-decoded path: one session, decode per
+        // utterance from its logits.
+        CtcDecodeOptions dopts;
+        dopts.beamWidth = opts.beamWidth;
+        dopts.blank = opts.blank;
+        runtime::InferenceSession session =
+            model.createSession(opts.computeThreads);
+        std::size_t errors = 0;
+        std::size_t ref_tokens = 0;
+        for (const auto &ex : data) {
+            const auto hyp =
+                ctcDecode(session.logits(ex.frames), dopts).labels;
+            const auto ref = collapseRepeats(ex.labels);
+            errors += editDistance(hyp, ref);
+            ref_tokens += ref.size();
+        }
+        ernn_assert(ref_tokens > 0, "PER over empty dataset");
+        return 100.0 * static_cast<Real>(errors) /
+               static_cast<Real>(ref_tokens);
+    }
 
     serve::ServerOptions sopts;
     sopts.workers = opts.workers;
@@ -98,7 +140,7 @@ evaluatePer(const runtime::CompiledModel &model,
     std::size_t ref_tokens = 0;
     for (std::size_t u = 0; u < data.size(); ++u) {
         const serve::InferenceReply reply = futures[u].get();
-        const auto hyp = collapseRepeats(reply.predictions);
+        const auto hyp = hypothesis(reply, opts);
         const auto ref = collapseRepeats(data[u].labels);
         errors += editDistance(hyp, ref);
         ref_tokens += ref.size();

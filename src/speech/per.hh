@@ -42,6 +42,19 @@ struct PerEvalOptions
     /** Compute threads per worker session (0 inherits the model's
      *  CompileOptions::computeThreads). Bit-identical at any count. */
     std::size_t computeThreads = 0;
+
+    /**
+     * CTC prefix beam width (speech/ctc_decoder.hh). 0 scores the
+     * historical greedy argmax path; 1 runs the beam decoder, which
+     * is bit-identical to greedy (same PER, same per-utterance label
+     * sequences — the parity oracle); N > 1 searches wider.
+     */
+    std::size_t beamWidth = 0;
+
+    /** Blank class for the beam decoder; -1 = no blank (the native
+     *  mode for this repo's framewise models). Ignored when
+     *  beamWidth == 0. */
+    int blank = -1;
 };
 
 /**

@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Acoustic frontend tests: hand-computed filterbank / MFCC golden
+ * references (against a naive O(n^2) DFT written independently of the
+ * fft:: machinery), Parseval energy sanity on the power spectrum,
+ * framing edge cases, streaming-vs-batch bit-identity across chunk
+ * sweeps, checkpoint (serializeState/restoreState) round-trips and
+ * rejection, and the synthetic waveform generator's ground-truth
+ * guarantees (determinism, exact segment cover, nearest-prototype
+ * separability of the emitted log-mel frames).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <numeric>
+
+#include "base/random.hh"
+#include "speech/frontend.hh"
+
+using namespace ernn;
+using namespace ernn::speech;
+
+namespace
+{
+
+/** A config tiny enough to verify by hand: one 8-point window. */
+FrontendConfig
+tinyConfig()
+{
+    FrontendConfig cfg;
+    cfg.sampleRate = 8000;
+    cfg.frameLength = 8;
+    cfg.frameShift = 4;
+    cfg.fftSize = 8;
+    cfg.melBands = 3;
+    cfg.preEmphasis = 0.0; // keep the hand computation simple
+    return cfg;
+}
+
+Vector
+randomSamples(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vector x(n);
+    rng.fillNormal(x, 1.0);
+    return x;
+}
+
+/** Naive DFT power spectrum of the windowed, zero-padded frame —
+ *  written against the definition, independent of fft::. */
+Vector
+naivePower(const Vector &frame, const Vector &window,
+           std::size_t fft_size)
+{
+    Vector padded(fft_size, 0.0);
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        padded[i] = frame[i] * window[i];
+    Vector power(fft_size / 2 + 1);
+    for (std::size_t k = 0; k < power.size(); ++k) {
+        Real re = 0.0, im = 0.0;
+        for (std::size_t n = 0; n < fft_size; ++n) {
+            const Real ang = -2.0 * M_PI * static_cast<Real>(k * n) /
+                             static_cast<Real>(fft_size);
+            re += padded[n] * std::cos(ang);
+            im += padded[n] * std::sin(ang);
+        }
+        power[k] = re * re + im * im;
+    }
+    return power;
+}
+
+/** The frontend's whole per-frame analysis, recomputed by hand from
+ *  its published window / filterbank / DCT tables. */
+Vector
+handFrame(const AcousticFrontend &fe, const Vector &frame)
+{
+    const auto &cfg = fe.config();
+    const Vector power = naivePower(frame, fe.window(), cfg.fftSize);
+    Vector logmel(cfg.melBands);
+    for (std::size_t m = 0; m < cfg.melBands; ++m) {
+        const MelFilter &f = fe.filterbank()[m];
+        Real acc = 0.0;
+        for (std::size_t j = 0; j < f.weights.size(); ++j)
+            acc += f.weights[j] * power[f.firstBin + j];
+        logmel[m] = std::log(std::max(cfg.logFloor, acc));
+    }
+    if (cfg.numCepstra == 0)
+        return logmel;
+    Vector mfcc(cfg.numCepstra);
+    for (std::size_t k = 0; k < cfg.numCepstra; ++k)
+        mfcc[k] = std::inner_product(logmel.begin(), logmel.end(),
+                                     fe.dctBasis()[k].begin(), 0.0);
+    return mfcc;
+}
+
+} // namespace
+
+// --- construction and precomputed tables --------------------------------
+
+TEST(Frontend, MelScaleRoundTripsAndIsMonotone)
+{
+    for (Real hz : {0.0, 100.0, 700.0, 1000.0, 4000.0, 7999.0}) {
+        EXPECT_NEAR(melToHz(hzToMel(hz)), hz, 1e-9 * (1.0 + hz));
+        EXPECT_LT(hzToMel(hz), hzToMel(hz + 1.0));
+    }
+    // HTK convention anchor: 1000 Hz is ~999.99 mel.
+    EXPECT_NEAR(hzToMel(1000.0), 2595.0 * std::log10(1000.0 / 700.0 + 1.0),
+                1e-12);
+}
+
+TEST(Frontend, HammingWindowMatchesDefinition)
+{
+    const AcousticFrontend fe(tinyConfig());
+    const Vector &w = fe.window();
+    ASSERT_EQ(w.size(), 8u);
+    for (std::size_t n = 0; n < w.size(); ++n)
+        EXPECT_NEAR(w[n],
+                    0.54 - 0.46 * std::cos(2.0 * M_PI *
+                                           static_cast<Real>(n) / 7.0),
+                    1e-15);
+}
+
+TEST(Frontend, FilterbankPartitionsTheBandAndPeaksAtOne)
+{
+    FrontendConfig cfg; // defaults: 16 kHz, 512-pt FFT, 16 bands
+    const AcousticFrontend fe(cfg);
+    ASSERT_EQ(fe.filterbank().size(), cfg.melBands);
+    Real maxw = 0.0;
+    for (const auto &f : fe.filterbank()) {
+        ASSERT_FALSE(f.weights.empty());
+        EXPECT_LE(f.firstBin + f.weights.size(), fe.numBins());
+        for (Real w : f.weights) {
+            EXPECT_GE(w, 0.0);
+            EXPECT_LE(w, 1.0 + 1e-12);
+            maxw = std::max(maxw, w);
+        }
+    }
+    // Triangles are unit height at their center bin (some filter
+    // must actually hit it with 512 bins over 16 bands).
+    EXPECT_NEAR(maxw, 1.0, 0.05);
+    // Neighboring filters overlap: filter m starts before m-1 ends.
+    for (std::size_t m = 1; m < cfg.melBands; ++m) {
+        const auto &a = fe.filterbank()[m - 1];
+        const auto &b = fe.filterbank()[m];
+        EXPECT_LE(b.firstBin, a.firstBin + a.weights.size());
+        EXPECT_GE(b.firstBin, a.firstBin);
+    }
+}
+
+TEST(Frontend, DctBasisIsOrthonormal)
+{
+    FrontendConfig cfg = tinyConfig();
+    cfg.melBands = 6;
+    cfg.numCepstra = 6;
+    const AcousticFrontend fe(cfg);
+    const auto &dct = fe.dctBasis();
+    ASSERT_EQ(dct.size(), 6u);
+    for (std::size_t i = 0; i < dct.size(); ++i)
+        for (std::size_t j = 0; j < dct.size(); ++j) {
+            const Real dot = std::inner_product(
+                dct[i].begin(), dct[i].end(), dct[j].begin(), 0.0);
+            EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-12)
+                << "rows " << i << "," << j;
+        }
+}
+
+// --- golden per-frame analysis -------------------------------------------
+
+TEST(Frontend, LogMelFrameMatchesHandComputation)
+{
+    const AcousticFrontend fe(tinyConfig());
+    const Vector x = randomSamples(8, 11);
+    const nn::Sequence frames = fe.process(x);
+    ASSERT_EQ(frames.size(), 1u);
+    const Vector expect = handFrame(fe, x);
+    ASSERT_EQ(frames[0].size(), expect.size());
+    for (std::size_t k = 0; k < expect.size(); ++k)
+        EXPECT_NEAR(frames[0][k], expect[k], 1e-9) << "band " << k;
+}
+
+TEST(Frontend, MfccFrameMatchesHandComputation)
+{
+    FrontendConfig cfg = tinyConfig();
+    cfg.melBands = 4;
+    cfg.numCepstra = 3;
+    const AcousticFrontend fe(cfg);
+    EXPECT_EQ(fe.featureDim(), 3u);
+    const Vector x = randomSamples(8, 12);
+    const nn::Sequence frames = fe.process(x);
+    ASSERT_EQ(frames.size(), 1u);
+    const Vector expect = handFrame(fe, x);
+    for (std::size_t k = 0; k < expect.size(); ++k)
+        EXPECT_NEAR(frames[0][k], expect[k], 1e-9) << "cep " << k;
+}
+
+TEST(Frontend, PreEmphasisIsFirstOrderHighPassAcrossChunks)
+{
+    FrontendConfig cfg = tinyConfig();
+    cfg.preEmphasis = 0.97;
+    const AcousticFrontend fe(cfg);
+    const Vector x = randomSamples(8, 13);
+    // Hand-apply y[t] = x[t] - 0.97 x[t-1] (x[-1] = 0), then run the
+    // filtered samples through a no-pre-emphasis frontend: same frame.
+    Vector y(x.size());
+    for (std::size_t t = 0; t < x.size(); ++t)
+        y[t] = x[t] - 0.97 * (t ? x[t - 1] : 0.0);
+    const AcousticFrontend plain(tinyConfig());
+    const nn::Sequence a = fe.process(x);
+    const nn::Sequence b = plain.process(y);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(Frontend, PowerSpectrumSatisfiesParseval)
+{
+    // Mel summation aside, the power stage must conserve energy:
+    // sum_k w_k |X_k|^2 = N * sum_n x_w[n]^2 with w = 2 for interior
+    // bins (conjugate-symmetric halves) and 1 for DC / Nyquist.
+    const FrontendConfig cfg = tinyConfig();
+    const AcousticFrontend fe(cfg);
+    const Vector x = randomSamples(8, 14);
+    const Vector power = naivePower(x, fe.window(), cfg.fftSize);
+    Real lhs = 0.0;
+    for (std::size_t k = 0; k < power.size(); ++k) {
+        const bool edge = k == 0 || k == power.size() - 1;
+        lhs += (edge ? 1.0 : 2.0) * power[k];
+    }
+    Real rhs = 0.0;
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        const Real xw = x[n] * fe.window()[n];
+        rhs += xw * xw;
+    }
+    rhs *= static_cast<Real>(cfg.fftSize);
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::abs(rhs));
+    // And the frontend's own analysis uses exactly this spectrum:
+    // already covered by LogMelFrameMatchesHandComputation.
+}
+
+// --- framing edge cases ----------------------------------------------------
+
+TEST(Frontend, ShortInputEmitsNoFrames)
+{
+    const AcousticFrontend fe(tinyConfig());
+    EXPECT_EQ(fe.framesForSamples(0), 0u);
+    EXPECT_EQ(fe.framesForSamples(7), 0u);
+    EXPECT_TRUE(fe.process(randomSamples(7, 15)).empty());
+    EXPECT_TRUE(fe.process({}).empty());
+}
+
+TEST(Frontend, FramesForSamplesMatchesActualEmission)
+{
+    const AcousticFrontend fe(tinyConfig());
+    for (std::size_t n = 0; n <= 40; ++n) {
+        const nn::Sequence frames = fe.process(randomSamples(n, 16));
+        EXPECT_EQ(frames.size(), fe.framesForSamples(n)) << "n=" << n;
+    }
+    // Exact boundary arithmetic: 8 samples -> 1 frame, 11 -> 1,
+    // 12 -> 2 (window 8, hop 4).
+    EXPECT_EQ(fe.framesForSamples(8), 1u);
+    EXPECT_EQ(fe.framesForSamples(11), 1u);
+    EXPECT_EQ(fe.framesForSamples(12), 2u);
+}
+
+TEST(Frontend, OverlapIsSharedBetweenConsecutiveFrames)
+{
+    // With hop < window, frame 1 re-analyzes the tail of frame 0's
+    // samples: changing a sample inside the overlap changes both.
+    const AcousticFrontend fe(tinyConfig());
+    Vector x = randomSamples(12, 17);
+    const nn::Sequence base = fe.process(x);
+    ASSERT_EQ(base.size(), 2u);
+    x[6] += 1.0; // sample 6 lives in frame 0 ([0,8)) and frame 1 ([4,12))
+    const nn::Sequence bumped = fe.process(x);
+    EXPECT_NE(base[0], bumped[0]);
+    EXPECT_NE(base[1], bumped[1]);
+}
+
+// --- streaming == batch, bit for bit ---------------------------------------
+
+TEST(Frontend, StreamingMatchesBatchForEveryChunking)
+{
+    FrontendConfig cfg; // real-sized defaults
+    cfg.melBands = 8;
+    const AcousticFrontend fe(cfg);
+    const Vector x = randomSamples(3 * cfg.frameLength + 57, 18);
+    const nn::Sequence batch = fe.process(x);
+    ASSERT_EQ(batch.size(), fe.framesForSamples(x.size()));
+
+    for (std::size_t chunk :
+         {std::size_t(1), std::size_t(3), std::size_t(7),
+          cfg.frameShift, cfg.frameShift + 1, cfg.frameLength,
+          x.size()}) {
+        FrontendState st = fe.newState();
+        nn::Sequence streamed;
+        for (std::size_t i = 0; i < x.size(); i += chunk) {
+            const std::size_t n = std::min(chunk, x.size() - i);
+            fe.push(st, Vector(x.begin() + static_cast<long>(i),
+                               x.begin() + static_cast<long>(i + n)),
+                    streamed);
+        }
+        ASSERT_EQ(streamed.size(), batch.size()) << "chunk=" << chunk;
+        for (std::size_t t = 0; t < batch.size(); ++t)
+            EXPECT_EQ(streamed[t], batch[t])
+                << "chunk=" << chunk << " t=" << t;
+        EXPECT_EQ(st.samplesSeen(), x.size());
+        EXPECT_EQ(st.framesEmitted(), batch.size());
+    }
+}
+
+TEST(Frontend, ResetRewindsToStartOfStream)
+{
+    const AcousticFrontend fe(tinyConfig());
+    const Vector x = randomSamples(20, 19);
+    FrontendState st = fe.newState();
+    nn::Sequence first;
+    fe.push(st, x, first);
+    fe.reset(st);
+    EXPECT_EQ(st.samplesSeen(), 0u);
+    EXPECT_EQ(st.framesEmitted(), 0u);
+    nn::Sequence second;
+    fe.push(st, x, second);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t t = 0; t < first.size(); ++t)
+        EXPECT_EQ(first[t], second[t]);
+}
+
+// --- checkpoint round-trip and rejection -----------------------------------
+
+TEST(Frontend, StateRoundTripsMidWindowBitIdentically)
+{
+    FrontendConfig cfg;
+    cfg.melBands = 8;
+    const AcousticFrontend fe(cfg);
+    const Vector x = randomSamples(2 * cfg.frameLength + 123, 20);
+
+    // Cut at every phase of the hop cycle, including mid-window.
+    for (std::size_t cut : {std::size_t(0), std::size_t(1),
+                            cfg.frameShift - 1, cfg.frameShift,
+                            cfg.frameLength + 5}) {
+        nn::Sequence whole;
+        FrontendState ref = fe.newState();
+        fe.push(ref, x, whole);
+
+        FrontendState live = fe.newState();
+        nn::Sequence got;
+        fe.push(live, Vector(x.begin(), x.begin() + static_cast<long>(cut)),
+                got);
+        const std::string blob = fe.serializeState(live);
+
+        FrontendState resumed = fe.newState();
+        fe.restoreState(resumed, blob);
+        EXPECT_EQ(resumed.samplesSeen(), cut);
+        fe.push(resumed, Vector(x.begin() + static_cast<long>(cut), x.end()),
+                got);
+
+        ASSERT_EQ(got.size(), whole.size()) << "cut=" << cut;
+        for (std::size_t t = 0; t < whole.size(); ++t)
+            EXPECT_EQ(got[t], whole[t]) << "cut=" << cut << " t=" << t;
+    }
+}
+
+TEST(FrontendDeath, RejectsCorruptTruncatedAndForeignPayloads)
+{
+    const AcousticFrontend fe(tinyConfig());
+    FrontendState st = fe.newState();
+    nn::Sequence sink;
+    fe.push(st, randomSamples(13, 21), sink);
+    const std::string good = fe.serializeState(st);
+
+    FrontendState fresh = fe.newState();
+    std::string bad = good;
+    bad[0] ^= 0x40; // tag
+    EXPECT_DEATH(fe.restoreState(fresh, bad), "frontend");
+
+    EXPECT_DEATH(fe.restoreState(fresh, good.substr(0, good.size() - 3)),
+                 "frontend");
+    EXPECT_DEATH(fe.restoreState(fresh, good + "xx"), "frontend");
+    EXPECT_DEATH(fe.restoreState(fresh, ""), "frontend");
+
+    // A payload from a structurally different frontend is refused.
+    FrontendConfig other = tinyConfig();
+    other.melBands = 4;
+    const AcousticFrontend fe2(other);
+    EXPECT_NE(fe.fingerprint(), fe2.fingerprint());
+    EXPECT_DEATH(fe2.restoreState(fresh, good), "frontend");
+}
+
+// --- synthetic waveform ground truth ---------------------------------------
+
+TEST(SyntheticWaves, DeterministicAndStructurallyValid)
+{
+    WaveAsrConfig cfg;
+    cfg.utterances = 4;
+    const WaveDataset a = makeSyntheticWaves(cfg);
+    const WaveDataset b = makeSyntheticWaves(cfg);
+    ASSERT_EQ(a.size(), 4u);
+    ASSERT_EQ(b.size(), 4u);
+    for (std::size_t u = 0; u < a.size(); ++u) {
+        EXPECT_EQ(a[u].samples, b[u].samples);
+        ASSERT_FALSE(a[u].segments.empty());
+        EXPECT_GE(a[u].segments.size(), cfg.minSegments);
+        EXPECT_LE(a[u].segments.size(), cfg.maxSegments);
+        // Segments exactly tile [0, samples.size()) in order, with no
+        // immediate phone repeats (repeats would be invisible to the
+        // collapsed-label PER metric).
+        std::size_t at = 0;
+        int prev = -1;
+        for (const auto &seg : a[u].segments) {
+            EXPECT_EQ(seg.begin, at);
+            EXPECT_GT(seg.end, seg.begin);
+            EXPECT_GE(seg.phone, 0);
+            EXPECT_LT(seg.phone, static_cast<int>(cfg.numPhones));
+            EXPECT_NE(seg.phone, prev);
+            const std::size_t len = seg.end - seg.begin;
+            EXPECT_GE(len, cfg.minSegmentMs * cfg.sampleRate / 1000);
+            EXPECT_LE(len, cfg.maxSegmentMs * cfg.sampleRate / 1000 + 1);
+            at = seg.end;
+            prev = seg.phone;
+        }
+        EXPECT_EQ(at, a[u].samples.size());
+        for (Real s : a[u].samples)
+            EXPECT_LT(std::abs(s), 4.0); // two unit tones + 2% noise
+    }
+    WaveAsrConfig cfg2 = cfg;
+    cfg2.seed += 1;
+    const WaveDataset c = makeSyntheticWaves(cfg2);
+    EXPECT_NE(a[0].samples, c[0].samples);
+}
+
+TEST(SyntheticWaves, FrameLabelsFollowSegmentCenters)
+{
+    WaveAsrConfig wcfg;
+    wcfg.utterances = 2;
+    const WaveDataset data = makeSyntheticWaves(wcfg);
+    FrontendConfig fcfg;
+    const AcousticFrontend fe(fcfg);
+    for (const auto &utt : data) {
+        const auto labels = frameLabels(utt, fcfg);
+        EXPECT_EQ(labels.size(),
+                  fe.framesForSamples(utt.samples.size()));
+        for (std::size_t t = 0; t < labels.size(); ++t) {
+            const std::size_t center =
+                t * fcfg.frameShift + fcfg.frameLength / 2;
+            int expect = -1;
+            for (const auto &seg : utt.segments)
+                if (center >= seg.begin && center < seg.end)
+                    expect = seg.phone;
+            EXPECT_EQ(labels[t], expect) << "t=" << t;
+        }
+    }
+}
+
+TEST(SyntheticWaves, LogMelFramesAreNearestPrototypeSeparable)
+{
+    // The end-to-end ground-truth guarantee: phones are identifiable
+    // from single log-mel frames by nearest class mean. Frames whose
+    // window straddles a segment boundary are excluded (their label
+    // is genuinely ambiguous).
+    WaveAsrConfig wcfg;
+    wcfg.utterances = 6;
+    const WaveDataset data = makeSyntheticWaves(wcfg);
+    FrontendConfig fcfg;
+    fcfg.melBands = 16;
+    const AcousticFrontend fe(fcfg);
+
+    struct Tagged
+    {
+        Vector frame;
+        int phone;
+    };
+    std::vector<Tagged> pure;
+    for (const auto &utt : data) {
+        const nn::Sequence frames = fe.process(utt.samples);
+        for (std::size_t t = 0; t < frames.size(); ++t) {
+            const std::size_t lo = t * fcfg.frameShift;
+            const std::size_t hi = lo + fcfg.frameLength;
+            for (const auto &seg : utt.segments)
+                if (lo >= seg.begin && hi <= seg.end)
+                    pure.push_back({frames[t], seg.phone});
+        }
+    }
+    ASSERT_GT(pure.size(), 50u);
+
+    std::map<int, Vector> mean;
+    std::map<int, std::size_t> count;
+    for (const auto &p : pure) {
+        auto &m = mean[p.phone];
+        if (m.empty())
+            m.assign(p.frame.size(), 0.0);
+        for (std::size_t k = 0; k < p.frame.size(); ++k)
+            m[k] += p.frame[k];
+        ++count[p.phone];
+    }
+    for (auto &[phone, m] : mean)
+        for (Real &v : m)
+            v /= static_cast<Real>(count[phone]);
+    ASSERT_GE(mean.size(), 3u); // several phones actually appeared
+
+    std::size_t correct = 0;
+    for (const auto &p : pure) {
+        int best = -1;
+        Real bestDist = 0.0;
+        for (const auto &[phone, m] : mean) {
+            Real d = 0.0;
+            for (std::size_t k = 0; k < m.size(); ++k)
+                d += (p.frame[k] - m[k]) * (p.frame[k] - m[k]);
+            if (best < 0 || d < bestDist) {
+                best = phone;
+                bestDist = d;
+            }
+        }
+        correct += best == p.phone;
+    }
+    // Two-tone signatures are designed to be linearly separable in
+    // mel energy; demand near-perfect nearest-mean accuracy.
+    EXPECT_GE(static_cast<Real>(correct),
+              0.97 * static_cast<Real>(pure.size()))
+        << correct << "/" << pure.size();
+}
+
+TEST(SyntheticWaves, FrontendExamplePairsFramesWithLabels)
+{
+    WaveAsrConfig wcfg;
+    wcfg.utterances = 1;
+    const WaveDataset data = makeSyntheticWaves(wcfg);
+    const AcousticFrontend fe{FrontendConfig{}};
+    const nn::SequenceExample ex = frontendExample(fe, data[0]);
+    EXPECT_EQ(ex.frames.size(), ex.labels.size());
+    EXPECT_EQ(ex.frames.size(),
+              fe.framesForSamples(data[0].samples.size()));
+    for (const auto &f : ex.frames)
+        EXPECT_EQ(f.size(), fe.featureDim());
+}

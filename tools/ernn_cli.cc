@@ -10,7 +10,14 @@
  *   ernn info        validate an artifact and dump its summary
  *   ernn eval        PER over a dataset, served concurrently through
  *                    a serve::InferenceServer loaded from an artifact
+ *                    (--beam N swaps greedy argmax for CTC prefix
+ *                    beam search; --beam 1 is bit-identical to greedy)
  *   ernn serve-bench throughput sweep over workers x batch size
+ *   ernn stream-bench long-form streaming scenario: live pinned
+ *                    streams mixed with batch traffic, periodically
+ *                    cut via stream checkpoints and resumed on fresh
+ *                    streams, verified bit-identical to an
+ *                    uninterrupted in-process reference
  *
  * The train -> compile -> eval path is the paper's train-once /
  * deploy-many flow as a shell pipeline: `eval` and `serve-bench`
@@ -20,6 +27,7 @@
  * this for all three backends).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -40,6 +48,7 @@
 #include "nn/serialize.hh"
 #include "nn/trainer.hh"
 #include "runtime/artifact.hh"
+#include "runtime/checkpoint.hh"
 #include "runtime/session.hh"
 #include "serve/inference_server.hh"
 #include "speech/dataset.hh"
@@ -400,6 +409,9 @@ cmdEval(Flags &f)
     popts.workers = f.num("--workers", popts.workers);
     popts.maxBatch = f.num("--max-batch", popts.maxBatch);
     popts.computeThreads = f.num("--threads", popts.computeThreads);
+    // 0 keeps the historical greedy argmax path; --beam 1 runs the
+    // CTC decoder, bit-identical to greedy (the parity oracle).
+    popts.beamWidth = f.num("--beam", popts.beamWidth);
     f.finish();
 
     const auto model = runtime::loadArtifactShared(art_path);
@@ -412,7 +424,10 @@ cmdEval(Flags &f)
         frames += ex.frames.size();
     std::cout << model->describe() << " on " << set.size() << " "
               << split << " utterances (" << frames << " frames), "
-              << popts.workers << " workers\n";
+              << popts.workers << " workers";
+    if (popts.beamWidth > 0)
+        std::cout << ", ctc beam " << popts.beamWidth;
+    std::cout << "\n";
 
     // The serve-backed evaluation coalesces utterances into batches
     // across worker sessions; results are bit-identical to the
@@ -529,6 +544,131 @@ cmdServeBench(Flags &f)
 }
 
 int
+cmdStreamBench(Flags &f)
+{
+    const std::string art_path = f.required("--artifact");
+    const std::size_t streams = f.num("--streams", 4);
+    const std::size_t frames = f.num("--frames", 240);
+    const std::size_t ckpt_every = f.num("--checkpoint-every", 60);
+    const std::size_t batch_utts = f.num("--batch-utts", 16);
+    const std::size_t batch_frames = f.num("--batch-frames", 40);
+    const std::size_t workers = f.num("--workers", 2);
+    const std::size_t threads = f.num("--threads", 0);
+    const std::size_t seed = f.num("--seed", 42);
+    f.finish();
+    if (streams == 0 || frames == 0)
+        ernn_fatal("stream-bench: --streams and --frames must be > 0");
+    if (ckpt_every == 0)
+        ernn_fatal("stream-bench: --checkpoint-every must be > 0");
+
+    const auto model = runtime::loadArtifactShared(art_path);
+    serve::ServerOptions sopts;
+    sopts.workers = workers;
+    sopts.computeThreads = threads;
+    serve::InferenceServer server(*model, sopts);
+
+    std::cout << "stream-bench " << model->describe() << ": "
+              << streams << " live streams x " << frames
+              << " frames (checkpoint/resume every " << ckpt_every
+              << "), " << batch_utts << " batch utterances x "
+              << batch_frames << " frames, " << workers
+              << " workers\n";
+
+    // Deterministic load: per-stream frame sequences plus background
+    // batch traffic submitted up front so stream steps contend with
+    // batch dispatches on the same workers throughout.
+    Rng rng(seed);
+    std::vector<nn::Sequence> streamFrames(streams);
+    for (auto &seq : streamFrames) {
+        seq.assign(frames, Vector(model->inputSize()));
+        for (auto &frame : seq)
+            rng.fillNormal(frame, 1.0);
+    }
+    std::vector<std::future<serve::InferenceReply>> batchFuts;
+    batchFuts.reserve(batch_utts);
+    for (std::size_t u = 0; u < batch_utts; ++u) {
+        nn::Sequence utt(batch_frames, Vector(model->inputSize()));
+        for (auto &frame : utt)
+            rng.fillNormal(frame, 1.0);
+        batchFuts.push_back(server.submit(std::move(utt)));
+    }
+
+    // Shadow oracle: the same frames through an uninterrupted
+    // in-process session. Every served logit vector must match it
+    // bit for bit across every cut/persist/resume.
+    runtime::InferenceSession ref = model->createSession();
+    std::vector<runtime::StreamState> refStates;
+    refStates.reserve(streams);
+    std::vector<serve::InferenceServer::Stream> live;
+    live.reserve(streams);
+    for (std::size_t s = 0; s < streams; ++s) {
+        refStates.push_back(ref.newStream());
+        live.push_back(server.openStream());
+    }
+
+    std::vector<Real> stepMicros;
+    stepMicros.reserve(streams * frames);
+    std::size_t checkpoints = 0, ckptBytes = 0, mismatches = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < frames; ++t) {
+        for (std::size_t s = 0; s < streams; ++s) {
+            if (t > 0 && t % ckpt_every == 0) {
+                // Cut: serialize the live stream, abandon it, and
+                // resume the blob on a brand-new stream (possibly a
+                // different worker) — the long-form lifecycle.
+                std::string blob = live[s].checkpointSync();
+                ++checkpoints;
+                ckptBytes += blob.size();
+                serve::InferenceServer::Stream fresh =
+                    server.openStream();
+                fresh.restoreSync(std::move(blob));
+                live[s] = std::move(fresh);
+            }
+            const auto a = std::chrono::steady_clock::now();
+            const Vector got = live[s].stepSync(streamFrames[s][t]);
+            const auto b = std::chrono::steady_clock::now();
+            stepMicros.push_back(
+                std::chrono::duration<Real, std::micro>(b - a)
+                    .count());
+            const Vector &want = ref.step(refStates[s],
+                                          streamFrames[s][t]);
+            if (got != want)
+                ++mismatches;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    for (auto &fut : batchFuts)
+        fut.get();
+
+    const Real secs = std::chrono::duration<Real>(t1 - t0).count();
+    std::sort(stepMicros.begin(), stepMicros.end());
+    const auto pct = [&](Real p) {
+        const std::size_t i = static_cast<std::size_t>(
+            p * static_cast<Real>(stepMicros.size() - 1));
+        return stepMicros[i];
+    };
+    const serve::ServerStats stats = server.stats();
+    std::cout << "stream steps/s "
+              << fmtReal(static_cast<Real>(streams * frames) / secs, 0)
+              << " (p50 " << fmtReal(pct(0.5), 1) << " us, p99 "
+              << fmtReal(pct(0.99), 1) << " us per step)\n";
+    std::cout << "checkpoints " << checkpoints << " (mean "
+              << fmtBytes(checkpoints
+                              ? static_cast<Real>(ckptBytes) /
+                                    static_cast<Real>(checkpoints)
+                              : 0.0)
+              << " each), batch requests " << stats.requestsCompleted
+              << " (" << stats.framesProcessed << " frames)\n";
+    if (mismatches)
+        ernn_fatal("stream-bench: " << mismatches << " of "
+                   << streams * frames << " served steps diverged "
+                   "from the uninterrupted reference");
+    std::cout << "bit-identity vs uninterrupted reference: OK ("
+              << streams * frames << " steps)\n";
+    return 0;
+}
+
+int
 usage(std::ostream &os, int code)
 {
     os << "ernn — E-RNN train/compile/serve pipeline\n"
@@ -552,6 +692,9 @@ usage(std::ostream &os, int code)
           "  ernn eval --artifact F [--split test|train] "
           "[--workers N]\n"
           "             [--max-batch N] [--threads N] [data flags]\n"
+          "             [--beam N    CTC prefix beam search (1 is\n"
+          "                          bit-identical to greedy "
+          "argmax)]\n"
           "  ernn serve-bench --artifact F [--workers 1,2,4]\n"
           "             [--max-batch 1,8] [--utterances N] "
           "[--frames N]\n"
@@ -559,6 +702,12 @@ usage(std::ostream &os, int code)
           "session]\n"
           "             [--scheduler hold-open|continuous] "
           "[--stats-json]\n"
+          "  ernn stream-bench --artifact F [--streams N] "
+          "[--frames N]\n"
+          "             [--checkpoint-every K  cut/persist/resume "
+          "cadence]\n"
+          "             [--batch-utts N] [--batch-frames N]\n"
+          "             [--workers N] [--threads N] [--seed N]\n"
           "\n"
           "data flags (shared by train/eval; both sides must match "
           "for\n"
@@ -593,6 +742,8 @@ main(int argc, char **argv)
         return cmdEval(flags);
     if (cmd == "serve-bench")
         return cmdServeBench(flags);
+    if (cmd == "stream-bench")
+        return cmdStreamBench(flags);
 
     std::cerr << "unknown subcommand '" << cmd << "'\n\n";
     return usage(std::cerr, 2);
