@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Compile-time-checked synchronization primitives: Clang
+ * -Wthread-safety capability analysis wired through drop-in wrappers
+ * for the std mutex types.
+ *
+ * The E-RNN paper's stance is that correctness guarantees belong at
+ * design time, not in after-the-fact measurement (block-circulant
+ * structure is proven, not sampled). This header applies the same
+ * philosophy to the serving stack's locking discipline: every lock
+ * contract that used to live in a doc comment ("guarded by mu_",
+ * "call with the entry lock held") becomes a machine-checked
+ * attribute, so a lock-discipline regression is a build failure under
+ * `clang++ -Werror=thread-safety`, not a soak-test lottery win.
+ *
+ * Usage:
+ *  - declare lock members as base::Mutex / base::SharedMutex;
+ *  - annotate every field a lock protects with ERNN_GUARDED_BY(mu_);
+ *  - annotate private methods that assume a held lock with
+ *    ERNN_REQUIRES(mu_) (exclusive) or ERNN_REQUIRES_SHARED(mu_);
+ *  - take locks through the scoped guards (MutexLock / UniqueLock /
+ *    ReaderLock / WriterLock) — never bare lock()/unlock() pairs;
+ *  - condition waits go through base::CondVar, which operates on a
+ *    relockable UniqueLock. Write predicate waits as explicit loops
+ *    (`while (!pred()) cv.wait(lk);`) so the analysis sees the
+ *    guarded predicate reads in a context that provably holds the
+ *    lock — a lambda predicate would be analyzed as a separate
+ *    function without the capability.
+ *
+ * Everything is a zero-overhead veneer: same footprint as the std
+ * type (enforced by static_asserts in tests/test_sync.cc), all
+ * methods inline, and a native() escape hatch exposes the underlying
+ * std object for the rare interop case (tag such uses with a
+ * `// lint: native-sync(<why>)` waiver — tools/ernn_lint.py flags
+ * naked std synchronization outside src/base/).
+ *
+ * On GCC (and anything else without the capability attributes) every
+ * macro expands to nothing and the wrappers are plain forwarding
+ * shims, so the default build is unchanged; the clang CI leg is where
+ * the analysis runs with -Werror=thread-safety.
+ */
+
+#ifndef ERNN_BASE_SYNC_HH
+#define ERNN_BASE_SYNC_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "base/logging.hh"
+
+// --- Capability attribute macros ---------------------------------------
+//
+// Thin spellings of Clang's thread-safety attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Only Clang
+// defines them; elsewhere they vanish.
+
+#if defined(__clang__) && !defined(SWIG)
+#define ERNN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ERNN_THREAD_ANNOTATION_(x) // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability (argument names its kind). */
+#define ERNN_CAPABILITY(x) ERNN_THREAD_ANNOTATION_(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define ERNN_SCOPED_CAPABILITY ERNN_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Field may only be touched while holding the named capability. */
+#define ERNN_GUARDED_BY(x) ERNN_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Pointee may only be touched while holding the named capability. */
+#define ERNN_PT_GUARDED_BY(x) ERNN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** Caller must hold the capability exclusively. */
+#define ERNN_REQUIRES(...) \
+    ERNN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the capability at least shared. */
+#define ERNN_REQUIRES_SHARED(...) \
+    ERNN_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability exclusively (holds on return). */
+#define ERNN_ACQUIRE(...) \
+    ERNN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function acquires the capability shared. */
+#define ERNN_ACQUIRE_SHARED(...) \
+    ERNN_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the (exclusively held) capability. */
+#define ERNN_RELEASE(...) \
+    ERNN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function releases the shared-held capability. */
+#define ERNN_RELEASE_SHARED(...) \
+    ERNN_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/** Function releases a capability held either way (scoped guards). */
+#define ERNN_RELEASE_GENERIC(...) \
+    ERNN_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/** Function acquires exclusively iff it returns the given value. */
+#define ERNN_TRY_ACQUIRE(...) \
+    ERNN_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/** Function acquires shared iff it returns the given value. */
+#define ERNN_TRY_ACQUIRE_SHARED(...) \
+    ERNN_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (self-deadlock guard). */
+#define ERNN_EXCLUDES(...) \
+    ERNN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define ERNN_RETURN_CAPABILITY(x) \
+    ERNN_THREAD_ANNOTATION_(lock_returned(x))
+
+/**
+ * Escape hatch: skip analysis of one function. Reserved for code
+ * whose synchronization is real but inexpressible (e.g. adopting a
+ * native handle inside base::CondVar); every use outside base/ needs
+ * a comment defending it, per the ARCHITECTURE.md waiver policy.
+ */
+#define ERNN_NO_THREAD_SAFETY_ANALYSIS \
+    ERNN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace ernn::base
+{
+
+/**
+ * Annotated drop-in for std::mutex. Same footprint, all calls
+ * inline; prefer the MutexLock / UniqueLock guards over calling
+ * lock()/unlock() directly.
+ */
+class ERNN_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ERNN_ACQUIRE() { mu_.lock(); }
+    void unlock() ERNN_RELEASE() { mu_.unlock(); }
+    bool try_lock() ERNN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /** The wrapped std::mutex, for interop the analysis cannot see
+     *  (tag call sites with a `// lint: native-sync(...)` waiver). */
+    std::mutex &native() ERNN_RETURN_CAPABILITY(this) { return mu_; }
+
+  private:
+    std::mutex mu_;
+};
+
+/**
+ * Annotated drop-in for std::shared_mutex: exclusive writers, shared
+ * readers. Take it through WriterLock / ReaderLock.
+ */
+class ERNN_CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    SharedMutex() = default;
+
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    void lock() ERNN_ACQUIRE() { mu_.lock(); }
+    void unlock() ERNN_RELEASE() { mu_.unlock(); }
+    bool try_lock() ERNN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    void lock_shared() ERNN_ACQUIRE_SHARED() { mu_.lock_shared(); }
+    void unlock_shared() ERNN_RELEASE_SHARED() { mu_.unlock_shared(); }
+    bool try_lock_shared() ERNN_TRY_ACQUIRE_SHARED(true)
+    {
+        return mu_.try_lock_shared();
+    }
+
+    /** The wrapped std::shared_mutex (see Mutex::native()). */
+    std::shared_mutex &native() ERNN_RETURN_CAPABILITY(this)
+    {
+        return mu_;
+    }
+
+  private:
+    std::shared_mutex mu_;
+};
+
+/** Scoped exclusive lock on a Mutex (std::lock_guard shape). */
+class ERNN_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ERNN_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    ~MutexLock() ERNN_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Scoped exclusive lock on a Mutex that can be dropped and retaken
+ * (std::unique_lock shape) — the form CondVar waits on, and the form
+ * to use when a critical section ends before the scope does.
+ */
+class ERNN_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mu) ERNN_ACQUIRE(mu)
+        : mu_(mu), held_(true)
+    {
+        mu_.lock();
+    }
+
+    ~UniqueLock() ERNN_RELEASE()
+    {
+        if (held_)
+            mu_.unlock();
+    }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    /** Drop the lock before end of scope. */
+    void unlock() ERNN_RELEASE()
+    {
+        mu_.unlock();
+        held_ = false;
+    }
+
+    /** Retake the lock after unlock(). */
+    void lock() ERNN_ACQUIRE()
+    {
+        mu_.lock();
+        held_ = true;
+    }
+
+    bool ownsLock() const { return held_; }
+
+  private:
+    friend class CondVar;
+    Mutex &mu_;
+    bool held_;
+};
+
+/** Scoped shared (reader) lock on a SharedMutex. */
+class ERNN_SCOPED_CAPABILITY ReaderLock
+{
+  public:
+    explicit ReaderLock(SharedMutex &mu) ERNN_ACQUIRE_SHARED(mu)
+        : mu_(mu)
+    {
+        mu_.lock_shared();
+    }
+
+    // RELEASE (not RELEASE_SHARED): a scoped guard's destructor
+    // releases whatever mode it holds — this is the canonical
+    // spelling from the Clang thread-safety docs.
+    ~ReaderLock() ERNN_RELEASE() { mu_.unlock_shared(); }
+
+    ReaderLock(const ReaderLock &) = delete;
+    ReaderLock &operator=(const ReaderLock &) = delete;
+
+  private:
+    SharedMutex &mu_;
+};
+
+/** Scoped exclusive (writer) lock on a SharedMutex. */
+class ERNN_SCOPED_CAPABILITY WriterLock
+{
+  public:
+    explicit WriterLock(SharedMutex &mu) ERNN_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    ~WriterLock() ERNN_RELEASE() { mu_.unlock(); }
+
+    WriterLock(const WriterLock &) = delete;
+    WriterLock &operator=(const WriterLock &) = delete;
+
+  private:
+    SharedMutex &mu_;
+};
+
+/**
+ * Condition variable over base::Mutex via a relockable UniqueLock.
+ *
+ * Deliberately predicate-free: write waits as explicit loops,
+ *
+ *     base::UniqueLock lk(mu_);
+ *     while (!runnable())        // guarded reads, analyzably locked
+ *         cv_.wait(lk);
+ *
+ * which is exactly what std::condition_variable::wait(lk, pred)
+ * expands to — but the predicate now lives in the enclosing function
+ * body, where the analysis can prove the lock is held. waitUntil /
+ * waitFor return std::cv_status so deadline loops keep the same
+ * shape (see InferenceServer::workerLoop's hold-open window).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void notifyOne() noexcept { cv_.notify_one(); }
+    void notifyAll() noexcept { cv_.notify_all(); }
+
+    /**
+     * Atomically release @p lk's mutex and sleep; the mutex is held
+     * again on return. @p lk must be locked (as std requires).
+     */
+    void wait(UniqueLock &lk) ERNN_NO_THREAD_SAFETY_ANALYSIS
+    {
+        ernn_assert(lk.ownsLock(), "CondVar::wait on unlocked mutex");
+        // Adopt the already-held native mutex for the duration of
+        // the wait, then give ownership back to the guard: zero
+        // overhead, and the guard's held_ flag stays true throughout
+        // (the capability is conceptually held across a wait).
+        std::unique_lock<std::mutex> native(lk.mu_.native(),
+                                            std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    /** wait() with a deadline; std::cv_status::timeout on expiry. */
+    template <typename Clock, typename Duration>
+    std::cv_status
+    waitUntil(UniqueLock &lk,
+              const std::chrono::time_point<Clock, Duration> &deadline)
+        ERNN_NO_THREAD_SAFETY_ANALYSIS
+    {
+        ernn_assert(lk.ownsLock(),
+                    "CondVar::waitUntil on unlocked mutex");
+        std::unique_lock<std::mutex> native(lk.mu_.native(),
+                                            std::adopt_lock);
+        const std::cv_status status = cv_.wait_until(native, deadline);
+        native.release();
+        return status;
+    }
+
+    /** wait() with a timeout; std::cv_status::timeout on expiry. */
+    template <typename Rep, typename Period>
+    std::cv_status
+    waitFor(UniqueLock &lk,
+            const std::chrono::duration<Rep, Period> &timeout)
+        ERNN_NO_THREAD_SAFETY_ANALYSIS
+    {
+        ernn_assert(lk.ownsLock(),
+                    "CondVar::waitFor on unlocked mutex");
+        std::unique_lock<std::mutex> native(lk.mu_.native(),
+                                            std::adopt_lock);
+        const std::cv_status status = cv_.wait_for(native, timeout);
+        native.release();
+        return status;
+    }
+
+    /** The wrapped std::condition_variable (see Mutex::native()). */
+    std::condition_variable &native() { return cv_; }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace ernn::base
+
+#endif // ERNN_BASE_SYNC_HH

@@ -23,6 +23,14 @@
  * InferenceSession::step() — regardless of what was admitted or
  * retired around it. The engine is single-threaded, like
  * InferenceSession: one scheduler thread drives admit()/stepAll().
+ *
+ * Concurrency contract: the engine holds no locks of its own — it is
+ * externally synchronized by construction. InferenceServer's engine
+ * thread is the only caller, and it enters admit() with the server's
+ * mu_ held (InferenceServer::admitLane carries ERNN_REQUIRES(mu_),
+ * so that discipline is machine-checked on the clang CI leg) and
+ * drives stepAll() off-lock. The owned ThreadPool (base/sync.hh
+ * primitives) is the one internally-locked component.
  */
 
 #ifndef ERNN_RUNTIME_CONTINUOUS_BATCH_HH

@@ -14,6 +14,14 @@
  * once per time step for the whole batch — one GEMM-shaped kernel
  * call per gate instead of a memory-bound matvec per lane. Lane
  * columns are bit-identical to the per-utterance step() path.
+ *
+ * Concurrency contract: sessions and StreamStates are deliberately
+ * lock-free single-driver objects — all cross-thread discipline
+ * lives one layer up in serve::InferenceServer, whose lock ownership
+ * is machine-checked via base/sync.hh annotations. A session's one
+ * internally-locked component is its optional ThreadPool; its
+ * stream bookkeeping (the lane pool, laneOrder_, StreamState
+ * stamps) must only ever be touched by the driving thread.
  */
 
 #ifndef ERNN_RUNTIME_SESSION_HH

@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        base::MutexLock lock(mu_);
         stop_ = true;
     }
-    jobCv_.notify_all();
+    jobCv_.notifyAll();
     for (auto &t : workers_)
         t.join();
 }
@@ -33,39 +33,38 @@ ThreadPool::run(std::size_t n, RangeFn fn, void *ctx)
         fn(0, n, ctx);
         return;
     }
+    const Job job{fn, ctx, n, std::min(threads(), n)};
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        fn_ = fn;
-        ctx_ = ctx;
-        jobN_ = n;
-        parts_ = std::min(threads(), n);
+        base::MutexLock lock(mu_);
+        job_ = job;
         nextPart_.store(0, std::memory_order_relaxed);
         pending_ = workers_.size();
         ++generation_;
     }
-    jobCv_.notify_all();
-    work();
-    std::unique_lock<std::mutex> lock(mu_);
-    doneCv_.wait(lock, [this] { return pending_ == 0; });
+    jobCv_.notifyAll();
+    work(job);
+    base::UniqueLock lock(mu_);
+    while (pending_ != 0)
+        doneCv_.wait(lock);
 }
 
 void
-ThreadPool::work()
+ThreadPool::work(const Job &job)
 {
     for (;;) {
         const std::size_t part =
             nextPart_.fetch_add(1, std::memory_order_relaxed);
-        if (part >= parts_)
+        if (part >= job.parts)
             return;
-        // Fixed arithmetic split: the first (jobN_ % parts_) ranges
-        // take one extra index, so the partition never depends on
-        // which thread claims which range.
-        const std::size_t base = jobN_ / parts_;
-        const std::size_t rem = jobN_ % parts_;
+        // Fixed arithmetic split: the first (n % parts) ranges take
+        // one extra index, so the partition never depends on which
+        // thread claims which range.
+        const std::size_t base = job.n / job.parts;
+        const std::size_t rem = job.n % job.parts;
         const std::size_t begin =
             part * base + std::min<std::size_t>(part, rem);
         const std::size_t end = begin + base + (part < rem ? 1 : 0);
-        fn_(begin, end, ctx_);
+        job.fn(begin, end, job.ctx);
     }
 }
 
@@ -74,20 +73,23 @@ ThreadPool::workerLoop()
 {
     std::uint64_t seen = 0;
     for (;;) {
+        Job job;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            jobCv_.wait(lock, [this, seen] {
-                return stop_ || generation_ != seen;
-            });
+            base::UniqueLock lock(mu_);
+            while (!stop_ && generation_ == seen)
+                jobCv_.wait(lock);
             if (stop_)
                 return;
             seen = generation_;
+            // Copy the job out under the lock; execution below works
+            // from the private copy so job_ itself stays guarded.
+            job = job_;
         }
-        work();
+        work(job);
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            base::MutexLock lock(mu_);
             if (--pending_ == 0)
-                doneCv_.notify_one();
+                doneCv_.notifyOne();
         }
     }
 }

@@ -29,13 +29,13 @@
 #define ERNN_RUNTIME_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "base/sync.hh"
 
 namespace ernn::runtime
 {
@@ -83,27 +83,37 @@ class ThreadPool
     }
 
   private:
+    /** One published job: every worker copies it out under mu_ and
+     *  then executes from its private copy, so the shared fields are
+     *  only ever touched with the lock held — the publication
+     *  protocol is provable by the capability analysis instead of
+     *  being a documented convention. */
+    struct Job
+    {
+        RangeFn fn = nullptr;
+        void *ctx = nullptr;
+        std::size_t n = 0;
+        std::size_t parts = 0;
+    };
+
     void workerLoop();
 
-    /** Claim and execute ranges of the current job until exhausted. */
-    void work();
+    /** Claim and execute ranges of @p job until exhausted. Reads
+     *  only the caller's private copy plus the nextPart_ atomic. */
+    void work(const Job &job);
 
-    std::vector<std::thread> workers_;
+    // Spawned by the constructor, joined by the destructor, sized
+    // (threads()) immutably in between — no lock needed.
+    std::vector<std::thread> workers_; // lint: thread-spawn(pool workers)
 
-    std::mutex mu_;
-    std::condition_variable jobCv_;  //!< a new job was published
-    std::condition_variable doneCv_; //!< all workers drained the job
-    std::uint64_t generation_ = 0;   //!< job publication counter
-    std::size_t pending_ = 0;        //!< workers still on the job
-    bool stop_ = false;
-
-    // Current job (written under mu_ before publication; workers
-    // observe the write via the generation_ handshake).
-    RangeFn fn_ = nullptr;
-    void *ctx_ = nullptr;
-    std::size_t jobN_ = 0;
-    std::size_t parts_ = 0;
-    std::atomic<std::size_t> nextPart_{0};
+    base::Mutex mu_;
+    base::CondVar jobCv_;  //!< a new job was published
+    base::CondVar doneCv_; //!< all workers drained the job
+    std::uint64_t generation_ ERNN_GUARDED_BY(mu_) = 0; //!< publications
+    std::size_t pending_ ERNN_GUARDED_BY(mu_) = 0; //!< workers on job
+    bool stop_ ERNN_GUARDED_BY(mu_) = false;
+    Job job_ ERNN_GUARDED_BY(mu_); //!< current job (copied out by workers)
+    std::atomic<std::size_t> nextPart_{0}; //!< range claim counter
 };
 
 } // namespace ernn::runtime

@@ -184,7 +184,13 @@ InferenceServer::startWorkers()
     // computeThreads needs no floor: 0 means "model default" and the
     // session clamps 0/1 to serial.
 
-    streamQueues_.resize(opts_.workers);
+    {
+        base::MutexLock lk(mu_);
+        streamQueues_.resize(opts_.workers);
+    }
+    // Uncontended (constructor tail), taken for the capability
+    // analysis: workers_ is guarded by joinMu_.
+    base::MutexLock join(joinMu_);
     workers_.reserve(opts_.workers);
     for (std::size_t w = 0; w < opts_.workers; ++w) {
         if (opts_.scheduler == SchedulerMode::Continuous && w == 0) {
@@ -234,29 +240,27 @@ InferenceServer::submit(nn::Sequence frames,
 
     std::size_t depth = 0;
     {
-        std::unique_lock<std::mutex> lk(mu_);
+        base::UniqueLock lk(mu_);
         if (!shuttingDown_ &&
             opts_.admission == AdmissionPolicy::Shed &&
             queue_.size() >= opts_.queueCapacity) {
             lk.unlock();
-            std::lock_guard<std::mutex> slk(statsMu_);
+            base::MutexLock slk(statsMu_);
             ++stats_.requestsShed;
             return SubmitStatus::Overloaded;
         }
         ++submitWaiters_;
-        spaceCv_.wait(lk, [&] {
-            return shuttingDown_ ||
-                   queue_.size() < opts_.queueCapacity;
-        });
+        while (!shuttingDown_ && queue_.size() >= opts_.queueCapacity)
+            spaceCv_.wait(lk);
         --submitWaiters_;
         if (shuttingDown_) {
             // Fail fast: a submitter parked on backpressure must
             // never outlive the server's willingness to serve it.
             // Let shutdown() know this thread has left the wait so
             // it can safely proceed to teardown.
-            waitersCv_.notify_all();
+            waitersCv_.notifyAll();
             lk.unlock();
-            std::lock_guard<std::mutex> slk(statsMu_);
+            base::MutexLock slk(statsMu_);
             ++stats_.requestsRejectedShutdown;
             return SubmitStatus::Shutdown;
         }
@@ -265,7 +269,7 @@ InferenceServer::submit(nn::Sequence frames,
         depth = queue_.size();
     }
     {
-        std::lock_guard<std::mutex> lk(statsMu_);
+        base::MutexLock lk(statsMu_);
         stats_.queueDepth.add(static_cast<Real>(depth));
     }
     notifyQueueWork();
@@ -281,9 +285,9 @@ InferenceServer::notifyQueueWork()
     // queue — notify_one could wake (and be swallowed by) a
     // stream-only worker, leaving queued work unserved forever.
     if (opts_.scheduler == SchedulerMode::Continuous)
-        workCv_.notify_all();
+        workCv_.notifyAll();
     else
-        workCv_.notify_one();
+        workCv_.notifyOne();
 }
 
 bool
@@ -296,13 +300,13 @@ InferenceServer::trySubmit(nn::Sequence frames,
 
     std::size_t depth = 0;
     {
-        std::unique_lock<std::mutex> lk(mu_);
+        base::UniqueLock lk(mu_);
         if (shuttingDown_)
             throw std::runtime_error(
                 "InferenceServer::trySubmit after shutdown");
         if (queue_.size() >= opts_.queueCapacity) {
             lk.unlock();
-            std::lock_guard<std::mutex> slk(statsMu_);
+            base::MutexLock slk(statsMu_);
             ++stats_.requestsShed;
             return false;
         }
@@ -311,7 +315,7 @@ InferenceServer::trySubmit(nn::Sequence frames,
         depth = queue_.size();
     }
     {
-        std::lock_guard<std::mutex> lk(statsMu_);
+        base::MutexLock lk(statsMu_);
         stats_.queueDepth.add(static_cast<Real>(depth));
     }
     notifyQueueWork();
@@ -330,7 +334,7 @@ InferenceServer::openStream()
 {
     auto slot = std::make_shared<StreamSlot>();
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::MutexLock lk(mu_);
         if (shuttingDown_)
             throw std::runtime_error(
                 "InferenceServer::openStream after shutdown");
@@ -342,21 +346,21 @@ InferenceServer::openStream()
 std::size_t
 InferenceServer::pendingRequests() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::MutexLock lk(mu_);
     return queue_.size();
 }
 
 ServerStats
 InferenceServer::stats() const
 {
-    std::lock_guard<std::mutex> lk(statsMu_);
+    base::MutexLock lk(statsMu_);
     return stats_;
 }
 
 bool
 InferenceServer::accepting() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    base::MutexLock lk(mu_);
     return !shuttingDown_;
 }
 
@@ -364,18 +368,19 @@ void
 InferenceServer::shutdown()
 {
     {
-        std::unique_lock<std::mutex> lk(mu_);
+        base::UniqueLock lk(mu_);
         shuttingDown_ = true;
-        workCv_.notify_all();
-        spaceCv_.notify_all();
+        workCv_.notifyAll();
+        spaceCv_.notifyAll();
         // Wait until every submit() blocked on backpressure has
         // left its condition wait: after that, no caller thread can
         // still be parked on this object's synchronization state, so
         // the destructor may safely tear it down.
-        waitersCv_.wait(lk, [&] { return submitWaiters_ == 0; });
+        while (submitWaiters_ != 0)
+            waitersCv_.wait(lk);
     }
 
-    std::lock_guard<std::mutex> join(joinMu_);
+    base::MutexLock join(joinMu_);
     for (auto &t : workers_)
         if (t.joinable())
             t.join();
@@ -386,7 +391,7 @@ InferenceServer::enqueueStreamJob(
     const std::shared_ptr<StreamSlot> &slot, StreamJob job)
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::MutexLock lk(mu_);
         if (shuttingDown_)
             throw std::runtime_error(
                 "InferenceServer: stream use after shutdown");
@@ -394,7 +399,7 @@ InferenceServer::enqueueStreamJob(
     }
     // notify_all: the job is pinned, so the one worker whose
     // predicate became true must be among the woken.
-    workCv_.notify_all();
+    workCv_.notifyAll();
 }
 
 void
@@ -405,12 +410,10 @@ InferenceServer::workerLoop(std::size_t index, bool takeBatches)
     std::vector<UtteranceJob> batch;
 
     for (;;) {
-        std::unique_lock<std::mutex> lk(mu_);
-        workCv_.wait(lk, [&] {
-            return shuttingDown_ ||
-                   (takeBatches && !queue_.empty()) ||
-                   !streamQueues_[index].empty();
-        });
+        base::UniqueLock lk(mu_);
+        while (!(shuttingDown_ || (takeBatches && !queue_.empty()) ||
+                 !streamQueues_[index].empty()))
+            workCv_.wait(lk);
 
         // Stream steps first: they are single frames of a live
         // utterance, the latency-critical path.
@@ -451,19 +454,28 @@ InferenceServer::workerLoop(std::size_t index, bool takeBatches)
                 break;
             if (opts_.batchTimeout.count() <= 0)
                 break;
-            // Predicated wait: a spurious wakeup — or the notify_all
-            // a stream job pinned to a *different* worker broadcasts —
-            // re-checks inside the wait instead of bouncing this loop
-            // (and its lock hand-off) once per notification until the
-            // deadline.
-            const bool new_work = workCv_.wait_until(lk, deadline, [&] {
-                return shuttingDown_ || !queue_.empty() ||
-                       !streamQueues_[index].empty();
-            });
+            // Predicated deadline wait, written as the explicit loop
+            // std::condition_variable::wait_until(lk, deadline, pred)
+            // expands to, so the guarded predicate reads stay in a
+            // provably-locked context. A spurious wakeup — or the
+            // notify_all a stream job pinned to a *different* worker
+            // broadcasts — re-checks here instead of bouncing the
+            // outer loop (and its lock hand-off) once per
+            // notification until the deadline.
+            bool new_work = true;
+            while (!(shuttingDown_ || !queue_.empty() ||
+                     !streamQueues_[index].empty())) {
+                if (workCv_.waitUntil(lk, deadline) ==
+                    std::cv_status::timeout) {
+                    new_work = shuttingDown_ || !queue_.empty() ||
+                               !streamQueues_[index].empty();
+                    break;
+                }
+            }
             if (!new_work)
                 break; // deadline hit: dispatch the partial batch
         }
-        spaceCv_.notify_all();
+        spaceCv_.notifyAll();
         lk.unlock();
         runBatch(session, batch, index);
     }
@@ -498,7 +510,7 @@ InferenceServer::finishLane(LaneCtx &ctx)
     // Fold counters in before fulfilling the promise, so a caller
     // that waits on its future observes its own request in stats().
     {
-        std::lock_guard<std::mutex> lk(statsMu_);
+        base::MutexLock lk(statsMu_);
         stats_.requestsCompleted += 1;
         stats_.framesProcessed += ctx.job.frames.size();
         stats_.queueMicros.add(ctx.reply.timing.queueMicros);
@@ -516,15 +528,13 @@ InferenceServer::continuousLoop(std::size_t index)
     for (;;) {
         std::optional<StreamJob> stream;
         {
-            std::unique_lock<std::mutex> lk(mu_);
+            base::UniqueLock lk(mu_);
             // A live lane pool is runnable work in itself: with
             // lanes in flight the predicate is already true and the
             // engine steps without sleeping.
-            workCv_.wait(lk, [&] {
-                return shuttingDown_ || !queue_.empty() ||
-                       !streamQueues_[index].empty() ||
-                       !engine.idle();
-            });
+            while (!(shuttingDown_ || !queue_.empty() ||
+                     !streamQueues_[index].empty() || !engine.idle()))
+                workCv_.wait(lk);
 
             if (!streamQueues_[index].empty()) {
                 stream.emplace(
@@ -544,7 +554,7 @@ InferenceServer::continuousLoop(std::size_t index)
                     admitted = true;
                 }
                 if (admitted)
-                    spaceCv_.notify_all();
+                    spaceCv_.notifyAll();
                 if (engine.idle()) {
                     if (shuttingDown_ && queue_.empty())
                         return; // fully drained
@@ -565,7 +575,7 @@ InferenceServer::continuousLoop(std::size_t index)
         engine.stepAll();
         const Real compute = microsBetween(t0, Clock::now());
         {
-            std::lock_guard<std::mutex> lk(statsMu_);
+            base::MutexLock lk(statsMu_);
             stats_.batchesDispatched += 1;
             stats_.batchSize.add(static_cast<Real>(lanes));
             stats_.computeMicros.add(compute);
@@ -600,7 +610,7 @@ InferenceServer::runBatch(runtime::InferenceSession &session,
     // Fold counters in before fulfilling the promises, so a caller
     // that waits on its future observes its own request in stats().
     {
-        std::lock_guard<std::mutex> lk(statsMu_);
+        base::MutexLock lk(statsMu_);
         stats_.requestsCompleted += batch.size();
         stats_.batchesDispatched += 1;
         stats_.framesProcessed += frames;
@@ -652,7 +662,7 @@ InferenceServer::runStreamJob(runtime::InferenceSession &session,
 
     const Vector &logits = session.step(*job.slot->state, job.frame);
     {
-        std::lock_guard<std::mutex> lk(statsMu_);
+        base::MutexLock lk(statsMu_);
         stats_.streamStepsProcessed += 1;
     }
     job.logits.set_value(logits);

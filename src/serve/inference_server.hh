@@ -35,17 +35,16 @@
 #define ERNN_SERVE_INFERENCE_SERVER_HH
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/stats.hh"
+#include "base/sync.hh"
 #include "runtime/session.hh"
 
 namespace ernn::runtime
@@ -366,18 +365,21 @@ class InferenceServer
 
     void workerLoop(std::size_t index, bool takeBatches);
     void continuousLoop(std::size_t index);
-    /** Pop queue_.front() into a fresh engine lane. Called with mu_
-     *  held by the engine thread. */
-    void admitLane(runtime::ContinuousBatch &engine,
-                   std::size_t worker);
-    /** Lane completion: fold stats, fulfill the promise. */
-    void finishLane(LaneCtx &ctx);
+    /** Pop queue_.front() into a fresh engine lane. Called by the
+     *  engine thread with mu_ held (machine-checked). */
+    void admitLane(runtime::ContinuousBatch &engine, std::size_t worker)
+        ERNN_REQUIRES(mu_);
+    /** Lane completion: fold stats, fulfill the promise. May run
+     *  with mu_ held (empty utterances complete inside admit()), so
+     *  it must never take mu_ itself — statsMu_ only. */
+    void finishLane(LaneCtx &ctx) ERNN_EXCLUDES(statsMu_);
     void runBatch(runtime::InferenceSession &session,
-                  std::vector<UtteranceJob> &batch, std::size_t worker);
+                  std::vector<UtteranceJob> &batch, std::size_t worker)
+        ERNN_EXCLUDES(mu_, statsMu_);
     void runStreamJob(runtime::InferenceSession &session,
-                      StreamJob &job);
+                      StreamJob &job) ERNN_EXCLUDES(mu_, statsMu_);
     void enqueueStreamJob(const std::shared_ptr<StreamSlot> &slot,
-                          StreamJob job);
+                          StreamJob job) ERNN_EXCLUDES(mu_);
 
     /** Set only by the owning constructors; declared before model_
      *  so the reference can bind to *owned_. */
@@ -385,22 +387,31 @@ class InferenceServer
     const runtime::CompiledModel &model_;
     ServerOptions opts_;
 
-    mutable std::mutex mu_;
-    std::condition_variable workCv_;  //!< workers wait for jobs
-    std::condition_variable spaceCv_; //!< submitters wait for space
-    std::deque<UtteranceJob> queue_;
-    std::vector<std::deque<StreamJob>> streamQueues_; //!< per worker
-    bool shuttingDown_ = false;
-    std::size_t submitWaiters_ = 0;   //!< blocked in backpressure
-    std::condition_variable waitersCv_; //!< shutdown awaits waiters=0
+    /** Queue/lifecycle lock. Ordering: mu_ is never held while
+     *  taking statsMu_ is *allowed* (finishLane under admit), but
+     *  statsMu_ is a leaf — nothing is acquired under it. */
+    mutable base::Mutex mu_;
+    base::CondVar workCv_;  //!< workers wait for jobs
+    base::CondVar spaceCv_; //!< submitters wait for space
+    std::deque<UtteranceJob> queue_ ERNN_GUARDED_BY(mu_);
+    /** Per-worker pinned stream jobs. */
+    std::vector<std::deque<StreamJob>> streamQueues_
+        ERNN_GUARDED_BY(mu_);
+    bool shuttingDown_ ERNN_GUARDED_BY(mu_) = false;
+    /** Submitters blocked in backpressure. */
+    std::size_t submitWaiters_ ERNN_GUARDED_BY(mu_) = 0;
+    base::CondVar waitersCv_; //!< shutdown awaits waiters=0
+    std::size_t nextStreamWorker_ ERNN_GUARDED_BY(mu_) = 0;
 
-    mutable std::mutex statsMu_;
-    ServerStats stats_;
+    /** Leaf lock for the aggregate counters (see mu_ ordering). */
+    mutable base::Mutex statsMu_;
+    ServerStats stats_ ERNN_GUARDED_BY(statsMu_);
 
-    std::mutex joinMu_; //!< serializes concurrent shutdown() calls
-
-    std::size_t nextStreamWorker_ = 0;
-    std::vector<std::thread> workers_;
+    base::Mutex joinMu_; //!< serializes concurrent shutdown() calls
+    /** Spawned in startWorkers() (single-threaded constructor tail),
+     *  joined under joinMu_ by shutdown(). */
+    // lint: thread-spawn(worker pool; see ARCHITECTURE.md concurrency contract)
+    std::vector<std::thread> workers_ ERNN_GUARDED_BY(joinMu_);
 };
 
 } // namespace ernn::serve

@@ -43,7 +43,7 @@ jsonEscape(const std::string &s)
 ModelRegistry::Entry *
 ModelRegistry::entryFor(const std::string &id)
 {
-    std::unique_lock<std::shared_mutex> lk(mapMu_);
+    base::WriterLock lk(mapMu_);
     if (shutdown_)
         throw std::runtime_error(
             "ModelRegistry::publish after shutdown");
@@ -56,7 +56,7 @@ ModelRegistry::entryFor(const std::string &id)
 const ModelRegistry::Entry *
 ModelRegistry::findEntry(const std::string &id) const
 {
-    std::shared_lock<std::shared_mutex> lk(mapMu_);
+    base::ReaderLock lk(mapMu_);
     const auto it = entries_.find(id);
     return it == entries_.end() ? nullptr : it->second.get();
 }
@@ -67,7 +67,7 @@ ModelRegistry::swapIn(Entry &entry, std::uint64_t version,
 {
     std::shared_ptr<InferenceServer> old;
     {
-        std::unique_lock<std::shared_mutex> lk(entry.mu);
+        base::WriterLock lk(entry.mu);
         old = std::move(entry.server);
         // Keep the outgoing version visible to stats readers while
         // it drains: without this, its counters disappear from the
@@ -94,7 +94,7 @@ ModelRegistry::swapIn(Entry &entry, std::uint64_t version,
         // the drained server (and merges its final counters itself)
         // or sees them inside retiredStats — never both, never
         // neither.
-        std::unique_lock<std::shared_mutex> lk(entry.mu);
+        base::WriterLock lk(entry.mu);
         entry.retiredStats.merge(old->stats());
         entry.draining.reset();
     }
@@ -137,11 +137,11 @@ ModelRegistry::submit(const std::string &id, nn::Sequence frames,
         // concurrent publish cannot begin draining this server until
         // the request is safely in its queue, so a registry
         // submitter never sees SubmitStatus::Shutdown from a swap.
-        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        base::ReaderLock lk(entry->mu);
         if (entry->server)
             return entry->server->submit(std::move(frames), out);
     }
-    std::shared_lock<std::shared_mutex> lk(mapMu_);
+    base::ReaderLock lk(mapMu_);
     return shutdown_ ? SubmitStatus::Shutdown
                      : SubmitStatus::NoSuchModel;
 }
@@ -161,7 +161,7 @@ ModelStream
 ModelRegistry::openStream(const std::string &id)
 {
     if (const Entry *entry = findEntry(id)) {
-        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        base::ReaderLock lk(entry->mu);
         if (entry->server) {
             std::shared_ptr<InferenceServer> server = entry->server;
             InferenceServer::Stream stream = server->openStream();
@@ -176,7 +176,7 @@ bool
 ModelRegistry::serving(const std::string &id) const
 {
     if (const Entry *entry = findEntry(id)) {
-        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        base::ReaderLock lk(entry->mu);
         return entry->server != nullptr;
     }
     return false;
@@ -186,7 +186,7 @@ std::uint64_t
 ModelRegistry::activeVersion(const std::string &id) const
 {
     if (const Entry *entry = findEntry(id)) {
-        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        base::ReaderLock lk(entry->mu);
         return entry->version;
     }
     return 0;
@@ -195,7 +195,7 @@ ModelRegistry::activeVersion(const std::string &id) const
 ServerStats
 ModelRegistry::entryStats(const Entry &entry)
 {
-    std::shared_lock<std::shared_mutex> lk(entry.mu);
+    base::ReaderLock lk(entry.mu);
     ServerStats out = entry.retiredStats;
     if (entry.draining)
         out.merge(entry.draining->stats());
@@ -219,7 +219,7 @@ ModelRegistry::models() const
     // pointers stay valid after the map lock drops.
     std::vector<std::pair<const std::string *, const Entry *>> items;
     {
-        std::shared_lock<std::shared_mutex> lk(mapMu_);
+        base::ReaderLock lk(mapMu_);
         items.reserve(entries_.size());
         for (const auto &kv : entries_)
             items.emplace_back(&kv.first, kv.second.get());
@@ -229,7 +229,7 @@ ModelRegistry::models() const
     for (const auto &[id, entry] : items) {
         ModelInfo info;
         info.id = *id;
-        std::shared_lock<std::shared_mutex> lk(entry->mu);
+        base::ReaderLock lk(entry->mu);
         info.version = entry->version;
         info.serving = entry->server != nullptr;
         info.generations = entry->generations;
@@ -280,7 +280,7 @@ ModelRegistry::shutdown()
 {
     std::vector<Entry *> entries;
     {
-        std::unique_lock<std::shared_mutex> lk(mapMu_);
+        base::WriterLock lk(mapMu_);
         shutdown_ = true;
         entries.reserve(entries_.size());
         for (auto &kv : entries_)
@@ -299,8 +299,10 @@ RegistryServer::RegistryServer(RegistryServerOptions opts)
         opts_.statsSink = [](const std::string &json) {
             ernn_inform("registry stats " << json);
         };
-    if (opts_.statsInterval.count() > 0)
+    if (opts_.statsInterval.count() > 0) {
+        // lint: thread-spawn(dump thread start; member waived in registry.hh)
         dumper_ = std::thread([this] { dumpLoop(); });
+    }
 }
 
 RegistryServer::~RegistryServer()
@@ -311,10 +313,19 @@ RegistryServer::~RegistryServer()
 void
 RegistryServer::dumpLoop()
 {
-    std::unique_lock<std::mutex> lk(mu_);
+    base::UniqueLock lk(mu_);
     for (;;) {
-        if (cv_.wait_for(lk, opts_.statsInterval,
-                         [this] { return stopping_; }))
+        // Predicated interval wait, expanded so the stopping_ reads
+        // stay in a provably-locked context (see base::CondVar).
+        const auto deadline =
+            std::chrono::steady_clock::now() + opts_.statsInterval;
+        for (;;) {
+            if (stopping_)
+                return;
+            if (cv_.waitUntil(lk, deadline) == std::cv_status::timeout)
+                break;
+        }
+        if (stopping_)
             return;
         lk.unlock();
         opts_.statsSink(registry_.statsJson());
@@ -327,15 +338,15 @@ RegistryServer::shutdown()
 {
     bool hadDumper = false;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        base::MutexLock lk(mu_);
         stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     {
         // Serialize concurrent shutdown() calls over the join. Must
         // not hold mu_ here: the waking dump thread needs it to
         // leave its wait.
-        std::lock_guard<std::mutex> lk(joinMu_);
+        base::MutexLock lk(joinMu_);
         if (dumper_.joinable()) {
             dumper_.join();
             hadDumper = true;

@@ -20,9 +20,10 @@
  * Thread-safety contract:
  *  - Every ModelRegistry / RegistryServer public method is safe to
  *    call concurrently from any number of threads.
- *  - Entry routing state is guarded by a per-id std::shared_mutex:
+ *  - Entry routing state is guarded by a per-id base::SharedMutex
+ *    (machine-checked: every routed field carries ERNN_GUARDED_BY):
  *    submissions and stats reads share it, publish/retire take it
- *    exclusively. The id -> entry map has its own shared_mutex;
+ *    exclusively. The id -> entry map has its own SharedMutex;
  *    entries are never destroyed while the registry lives, so an
  *    Entry pointer obtained under the map lock stays valid after it
  *    is released.
@@ -38,11 +39,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/sync.hh"
 #include "runtime/artifact.hh"
 #include "serve/inference_server.hh"
 
@@ -216,12 +217,13 @@ class ModelRegistry
     struct Entry
     {
         /** Readers: submit/stats (shared). Writer: swap (unique). */
-        mutable std::shared_mutex mu;
-        std::shared_ptr<InferenceServer> server; //!< null once retired
-        std::uint64_t version = 0;
-        std::size_t generations = 0;
+        mutable base::SharedMutex mu;
+        /** Current version's server; null once retired. */
+        std::shared_ptr<InferenceServer> server ERNN_GUARDED_BY(mu);
+        std::uint64_t version ERNN_GUARDED_BY(mu) = 0;
+        std::size_t generations ERNN_GUARDED_BY(mu) = 0;
         /** Final counters of drained versions, merged. */
-        ServerStats retiredStats;
+        ServerStats retiredStats ERNN_GUARDED_BY(mu);
         /**
          * The version currently draining during a swap. Readers fold
          * its live counters into cumulative views so a stats snapshot
@@ -230,7 +232,7 @@ class ModelRegistry
          * the hand-off happens under one unique lock — no window
          * where the counters are double-counted or missing).
          */
-        std::shared_ptr<InferenceServer> draining;
+        std::shared_ptr<InferenceServer> draining ERNN_GUARDED_BY(mu);
     };
 
     /** Find (or create) the entry for @p id. Entries live as long
@@ -238,16 +240,23 @@ class ModelRegistry
     Entry *entryFor(const std::string &id);
     const Entry *findEntry(const std::string &id) const;
 
-    /** Swap @p next in as (version) of @p entry, drain the old. */
+    /** Swap @p next in as (version) of @p entry, drain the old.
+     *  Takes entry.mu exclusively twice: the retarget and the
+     *  post-drain stats fold (the drain itself runs unlocked). */
     void swapIn(Entry &entry, std::uint64_t version,
-                std::shared_ptr<InferenceServer> next);
+                std::shared_ptr<InferenceServer> next)
+        ERNN_EXCLUDES(entry.mu);
 
     /** Cumulative stats of one entry (caller holds no entry lock). */
-    static ServerStats entryStats(const Entry &entry);
+    static ServerStats entryStats(const Entry &entry)
+        ERNN_EXCLUDES(entry.mu);
 
-    mutable std::shared_mutex mapMu_; //!< guards entries_ + shutdown_
-    std::map<std::string, std::unique_ptr<Entry>> entries_;
-    bool shutdown_ = false;
+    /** Guards entries_ + shutdown_. Ordering: mapMu_ is released
+     *  before any entry's mu is taken (entry pointers outlive it). */
+    mutable base::SharedMutex mapMu_;
+    std::map<std::string, std::unique_ptr<Entry>> entries_
+        ERNN_GUARDED_BY(mapMu_);
+    bool shutdown_ ERNN_GUARDED_BY(mapMu_) = false;
 };
 
 /** Knobs of the RegistryServer façade. */
@@ -300,16 +309,18 @@ class RegistryServer
     void shutdown();
 
   private:
-    void dumpLoop();
+    void dumpLoop() ERNN_EXCLUDES(mu_);
 
     RegistryServerOptions opts_;
     ModelRegistry registry_;
 
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
-    std::mutex joinMu_; //!< serializes concurrent shutdown() joins
-    std::thread dumper_;
+    base::Mutex mu_;
+    base::CondVar cv_;
+    bool stopping_ ERNN_GUARDED_BY(mu_) = false;
+    base::Mutex joinMu_; //!< serializes concurrent shutdown() joins
+    /** Spawned by the constructor, joined under joinMu_. */
+    // lint: thread-spawn(periodic stats dump thread)
+    std::thread dumper_ ERNN_GUARDED_BY(joinMu_);
 };
 
 } // namespace ernn::serve

@@ -149,11 +149,17 @@ dotCodesScalar(const std::int16_t *w, const std::int16_t *v,
     std::size_t c = 0;
     while (c < n) {
         const std::size_t end = std::min(n, c + chunk);
-        std::int32_t a = 0;
+        // Accumulate the chunk partial in uint32 so an out-of-spec
+        // chunk (beyond safeChunkLen) wraps modularly — exactly what
+        // the vector kernels' epi32 adds do — instead of hitting
+        // signed-overflow UB. In-spec the partial never overflows
+        // and the bits are identical either way.
+        std::uint32_t a = 0;
         for (; c < end; ++c)
-            a += static_cast<std::int32_t>(w[c]) *
-                 static_cast<std::int32_t>(v[c]);
-        acc += a;
+            a += static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(w[c]) *
+                static_cast<std::int32_t>(v[c]));
+        acc += static_cast<std::int32_t>(a);
     }
     return acc;
 }

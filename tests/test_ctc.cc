@@ -406,13 +406,15 @@ TEST(CtcFuzz, InvariantsHoldOnRandomLogits)
             for (std::size_t i = 0; i < hyps.size(); ++i) {
                 EXPECT_TRUE(seen.insert(hyps[i].labels).second)
                     << "duplicate prefix, iter " << iter;
-                if (i > 0)
+                if (i > 0) {
                     EXPECT_LE(hyps[i].logProb,
                               hyps[i - 1].logProb + 1e-12);
+                }
                 EXPECT_LE(hyps[i].logProb, 1e-9);
-                if (useBlank)
+                if (useBlank) {
                     for (int l : hyps[i].labels)
                         EXPECT_NE(l, 0);
+                }
                 mass += std::exp(hyps[i].logProb);
             }
             EXPECT_LE(mass, 1.0 + 1e-9) << "iter " << iter;

@@ -168,7 +168,10 @@ TEST(IntegerCodes, ShiftRoundHalfEvenMatchesNearbyint)
         if (shift > 0) {
             const std::int64_t half = std::int64_t{1} << (shift - 1);
             for (std::int64_t k = -5; k <= 5; ++k) {
-                const std::int64_t acc = (k << shift) + half;
+                // k * 2^shift, spelled as a multiply: << on a
+                // negative left operand is UB.
+                const std::int64_t acc =
+                    k * (std::int64_t{1} << shift) + half;
                 const Real expect = std::nearbyint(
                     std::ldexp(static_cast<Real>(acc), -shift));
                 EXPECT_EQ(static_cast<Real>(

@@ -212,13 +212,14 @@ TEST(SimdParity, DotCodesMatchesScalarOnRandomCodes)
             // Integer wrap is UB in the scalar int32 accumulation, so
             // stay on the safe side: compare at chunk 1 and 2 with
             // clamped 12-bit codes below instead.
-            if (chunk == 1)
+            if (chunk == 1) {
                 for (simd::Level level : supportedLevels())
                     EXPECT_EQ(simd::dotCodesFnFor(level)(
                                   w.data(), v.data(), n, chunk),
                               want)
                         << "n=" << n
                         << " level=" << simd::levelName(level);
+            }
         }
         // Clamp to a 12-bit grid and sweep every chunk size legally.
         for (auto *vec : {&w, &v})

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * base/sync.hh wrapper-semantics tests: the annotated Mutex /
+ * SharedMutex / CondVar veneers must behave exactly like the std
+ * types they wrap (the annotations themselves are checked by the
+ * clang -Werror=thread-safety CI leg, not here), stay the same size
+ * (zero-overhead claim), and interoperate through native(). The
+ * multithreaded cases double as TSan fodder for the wrappers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "base/sync.hh"
+
+using namespace ernn;
+using namespace std::chrono_literals;
+
+// The wrappers advertise themselves as zero-overhead drop-ins; a
+// grown footprint would mean an accidental extra member.
+static_assert(sizeof(base::Mutex) == sizeof(std::mutex),
+              "base::Mutex must add nothing to std::mutex");
+static_assert(sizeof(base::SharedMutex) == sizeof(std::shared_mutex),
+              "base::SharedMutex must add nothing to std::shared_mutex");
+static_assert(sizeof(base::CondVar) == sizeof(std::condition_variable),
+              "base::CondVar must add nothing to std::condition_variable");
+
+TEST(Sync, MutexLockUnlockTryLock)
+{
+    base::Mutex mu;
+    EXPECT_TRUE(mu.try_lock());
+    // Held: a second claim from another thread must fail.
+    bool tookWhileHeld = true;
+    std::thread probe([&] { tookWhileHeld = mu.try_lock(); });
+    probe.join();
+    EXPECT_FALSE(tookWhileHeld);
+    mu.unlock();
+    mu.lock();
+    mu.unlock();
+    EXPECT_TRUE(mu.try_lock());
+    mu.unlock();
+}
+
+TEST(Sync, MutexLockGuardsCriticalSection)
+{
+    base::Mutex mu;
+    long count = 0;
+    std::vector<std::thread> threads;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 5000;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                base::MutexLock lk(mu);
+                ++count;
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(count, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Sync, UniqueLockDropAndRetake)
+{
+    base::Mutex mu;
+    base::UniqueLock lk(mu);
+    EXPECT_TRUE(lk.ownsLock());
+
+    lk.unlock();
+    EXPECT_FALSE(lk.ownsLock());
+    // Dropped: another thread can take and release it.
+    std::thread probe([&] {
+        base::MutexLock inner(mu);
+    });
+    probe.join();
+
+    lk.lock();
+    EXPECT_TRUE(lk.ownsLock());
+    // Retaken: the destructor must release it (deadlock here = hang).
+}
+
+TEST(Sync, UniqueLockDestructorSkipsReleasedLock)
+{
+    base::Mutex mu;
+    {
+        base::UniqueLock lk(mu);
+        lk.unlock();
+        // Destructor runs on an unowned guard — must not unlock.
+    }
+    EXPECT_TRUE(mu.try_lock());
+    mu.unlock();
+}
+
+TEST(Sync, SharedMutexReadersShareWriterExcludes)
+{
+    base::SharedMutex mu;
+
+    // Two concurrent readers.
+    mu.lock_shared();
+    EXPECT_TRUE(mu.try_lock_shared());
+    // A writer must be locked out while readers hold it.
+    EXPECT_FALSE(mu.try_lock());
+    mu.unlock_shared();
+    mu.unlock_shared();
+
+    // A writer excludes both kinds.
+    mu.lock();
+    bool readerGotIn = true;
+    bool writerGotIn = true;
+    std::thread probe([&] {
+        readerGotIn = mu.try_lock_shared();
+        writerGotIn = mu.try_lock();
+    });
+    probe.join();
+    EXPECT_FALSE(readerGotIn);
+    EXPECT_FALSE(writerGotIn);
+    mu.unlock();
+}
+
+TEST(Sync, ReaderWriterLockGuards)
+{
+    base::SharedMutex mu;
+    int value = 0;
+    std::atomic<int> readsDone{0};
+    constexpr int kWriters = 4;
+    constexpr int kIters = 2000;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kWriters; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                base::WriterLock lk(mu);
+                ++value;
+            }
+        });
+    threads.emplace_back([&] {
+        int last = 0;
+        while (last < kWriters * kIters) {
+            base::ReaderLock lk(mu);
+            // Monotone under the lock: no torn/regressing reads.
+            EXPECT_GE(value, last);
+            last = value;
+            ++readsDone;
+        }
+    });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(value, kWriters * kIters);
+    EXPECT_GT(readsDone.load(), 0);
+}
+
+TEST(Sync, CondVarWaitNotify)
+{
+    base::Mutex mu;
+    base::CondVar cv;
+    bool ready = false;
+    int observed = -1;
+
+    std::thread waiter([&] {
+        base::UniqueLock lk(mu);
+        while (!ready)
+            cv.wait(lk);
+        observed = 42;
+    });
+    {
+        base::MutexLock lk(mu);
+        ready = true;
+    }
+    cv.notifyOne();
+    waiter.join();
+    EXPECT_EQ(observed, 42);
+}
+
+TEST(Sync, CondVarWaitForTimesOut)
+{
+    base::Mutex mu;
+    base::CondVar cv;
+    base::UniqueLock lk(mu);
+    // Nobody signals: the deadline must fire and the lock must be
+    // held again on return.
+    EXPECT_EQ(cv.waitFor(lk, 10ms), std::cv_status::timeout);
+    EXPECT_TRUE(lk.ownsLock());
+}
+
+TEST(Sync, CondVarWaitUntilHonorsDeadlineLoop)
+{
+    base::Mutex mu;
+    base::CondVar cv;
+    bool done = false;
+
+    // The repo's canonical deadline-wait shape (see
+    // InferenceServer::workerLoop): explicit predicate loop around
+    // waitUntil.
+    std::thread signaller([&] {
+        std::this_thread::sleep_for(20ms);
+        {
+            base::MutexLock lk(mu);
+            done = true;
+        }
+        cv.notifyAll();
+    });
+
+    bool sawDone = false;
+    {
+        base::UniqueLock lk(mu);
+        const auto deadline = std::chrono::steady_clock::now() + 5s;
+        while (!done) {
+            if (cv.waitUntil(lk, deadline) == std::cv_status::timeout)
+                break;
+        }
+        sawDone = done;
+    }
+    signaller.join();
+    EXPECT_TRUE(sawDone);
+}
+
+TEST(Sync, NativeEscapeHatchInteroperates)
+{
+    base::Mutex mu;
+    base::CondVar cv;
+    bool fired = false;
+
+    // Interop path: std machinery waiting on the wrapped primitives
+    // through native(). This is what the escape hatch exists for.
+    std::thread waiter([&] {
+        // lint: native-sync(exercising the documented interop path)
+        std::unique_lock<std::mutex> lk(mu.native());
+        cv.native().wait(lk, [&] { return fired; });
+    });
+    {
+        base::MutexLock lk(mu);
+        fired = true;
+    }
+    cv.notifyAll();
+    waiter.join();
+    SUCCEED();
+}
+
+TEST(Sync, ManyWaitersAllWake)
+{
+    base::Mutex mu;
+    base::CondVar cv;
+    bool go = false;
+    std::atomic<int> woke{0};
+    constexpr int kWaiters = 6;
+
+    std::vector<std::thread> waiters;
+    for (int i = 0; i < kWaiters; ++i)
+        waiters.emplace_back([&] {
+            base::UniqueLock lk(mu);
+            while (!go)
+                cv.wait(lk);
+            ++woke;
+        });
+    {
+        base::MutexLock lk(mu);
+        go = true;
+    }
+    cv.notifyAll();
+    for (auto &t : waiters)
+        t.join();
+    EXPECT_EQ(woke.load(), kWaiters);
+}

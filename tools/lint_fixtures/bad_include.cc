@@ -1,0 +1,11 @@
+// Fixture: INC001 — library code reaching into its consumers. A
+// src/ file including tests/ (or tools/) inverts the dependency
+// arrow; the cycle only shows up later as an unbuildable install
+// target.
+
+#include "tests/test_util.hh"    // expect-lint: INC001
+#include "../tools/gen_table.hh" // expect-lint: INC001
+
+namespace ernn::serve
+{
+} // namespace ernn::serve

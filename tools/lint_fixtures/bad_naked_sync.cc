@@ -1,0 +1,28 @@
+// Fixture: TS002/TS003 — std synchronization primitives used
+// directly outside src/base/. These bypass the base/sync.hh wrappers,
+// so clang's capability analysis cannot see the locking at all.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace ernn::serve
+{
+
+class NakedSync
+{
+  public:
+    void touch()
+    {
+        std::lock_guard<std::mutex> lk(mu_); // expect-lint: TS002
+        ++count_;
+    }
+
+  private:
+    std::mutex mu_;               // expect-lint: TS002
+    std::condition_variable cv_;  // expect-lint: TS002
+    std::thread worker_;          // expect-lint: TS003
+    int count_ = 0;
+};
+
+} // namespace ernn::serve

@@ -1,0 +1,42 @@
+// Fixture: ND001 — ambient nondeterminism outside src/base/random.
+// Every random / wall-clock source must flow through base::Rng (or a
+// caller-supplied seed) so two runs of the same workload are
+// bit-identical.
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace ernn::serve
+{
+
+inline int
+badJitter()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr))); // expect-lint: ND001
+    return std::rand(); // expect-lint: ND001
+}
+
+inline unsigned
+badSeed()
+{
+    std::random_device rd; // expect-lint: ND001
+    return rd();
+}
+
+// The string below must NOT fire: literals are stripped before the
+// rules run.
+inline const char *
+docString()
+{
+    return "call rand() at your peril";
+}
+
+// Identifiers merely *containing* the tokens must not fire either.
+inline double
+runtimeEstimate(double runtime(double), double x)
+{
+    return runtime(x);
+}
+
+} // namespace ernn::serve

@@ -1,0 +1,17 @@
+// Fixture: WIRE001 — constructs a wire.hh Reader but never checks
+// for trailing bytes, so "valid prefix + garbage tail" parses as
+// success.
+
+#include "runtime/wire.hh"
+
+namespace ernn::serve
+{
+
+inline int
+parseLoose(const std::string &blob)
+{
+    runtime::wire::Reader r(blob); // expect-lint: WIRE001
+    return static_cast<int>(r.u32());
+}
+
+} // namespace ernn::serve

@@ -1,0 +1,30 @@
+// Fixture: TS001 — a mutex member that guards nothing. Nothing in
+// this file carries ERNN_GUARDED_BY(orphanMu_) and there is no
+// waiver, so the mutex is dead weight (or, worse, the author believes
+// it protects something the analysis cannot see).
+
+#include "base/sync.hh"
+
+namespace ernn::serve
+{
+
+class BadServer
+{
+  public:
+    void bump()
+    {
+        base::MutexLock lk(orphanMu_);
+        ++count_; // count_ is NOT annotated as guarded
+    }
+
+  private:
+    base::Mutex orphanMu_; // expect-lint: TS001
+    int count_ = 0;
+
+    // A waiver with no reason is itself a finding: the "why" is the
+    // whole point of the waiver trail.
+    // lint: unguarded() // expect-lint: LINT001
+    base::Mutex bareWaiverMu_;
+};
+
+} // namespace ernn::serve

@@ -1,0 +1,48 @@
+// Fixture: a file that exercises every rule's *happy* path. The
+// self-test requires ernn-lint to report nothing here — any finding
+// in this file is an over-firing rule.
+
+#include "base/sync.hh"
+#include "runtime/wire.hh"
+
+namespace ernn::serve
+{
+
+class GoodServer
+{
+  public:
+    void bump()
+    {
+        base::MutexLock lk(mu_);
+        ++count_;
+    }
+
+  private:
+    base::Mutex mu_;
+    int count_ ERNN_GUARDED_BY(mu_) = 0;
+
+    // A waived mutex is also fine: the reason is recorded.
+    // lint: unguarded(protects a side table declared in the .cc)
+    base::Mutex sideMu_;
+
+    // Waived spawn site, reason given inline.
+    std::thread worker_; // lint: thread-spawn(single sanctioned worker)
+};
+
+inline bool
+parseBlob(const std::string &blob)
+{
+    runtime::wire::Reader r(blob);
+    // ... field reads elided ...
+    return r.done(); // trailing bytes are a parse error
+}
+
+// std::this_thread is not std::thread — sleep/yield helpers must not
+// trip TS003.
+inline void
+backoff()
+{
+    std::this_thread::yield();
+}
+
+} // namespace ernn::serve
