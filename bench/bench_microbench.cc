@@ -27,6 +27,7 @@
 #include "circulant/block_circulant.hh"
 #include "nn/activation.hh"
 #include "nn/model_builder.hh"
+#include "nn/trainer.hh"
 #include "quant/fixed_point.hh"
 #include "runtime/artifact.hh"
 #include "runtime/session.hh"
@@ -504,6 +505,74 @@ BM_SessionThreadSweep(benchmark::State &state)
 // frames/s basis.
 BENCHMARK(BM_SessionThreadSweep)
     ->ArgsProduct({{1, 2}, {1, 2, 4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Training datapath sweep on the acceptance geometry: one epoch over
+ * 16 synthetic utterances, vector-at-a-time oracle vs batch-major
+ * pooled lanes at several group sizes and thread counts. perf-smoke
+ * reports the batch-16-over-batch-1 and 4-thread-over-1-thread
+ * epoch-throughput ratios. range(0): lanes per gradient group (0 =
+ * the vector oracle datapath, i.e. one lane at a time); range(1):
+ * trainer threads.
+ */
+void
+BM_TrainerBatchSweep(benchmark::State &state)
+{
+    const nn::ModelSpec spec = servingSpec();
+    nn::StackedRnn model = nn::buildModel(spec);
+    Rng rng(18);
+    model.initXavier(rng);
+
+    const std::size_t utts = 16, frames = 8;
+    nn::SequenceDataset data(utts);
+    Rng drng(23);
+    for (auto &ex : data) {
+        ex.frames.assign(frames, Vector(spec.inputDim));
+        for (auto &f : ex.frames)
+            drng.fillNormal(f, 1.0);
+        ex.labels.resize(frames);
+        for (auto &l : ex.labels)
+            l = static_cast<int>(drng.index(spec.numClasses));
+    }
+
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batchSize = utts;
+    tc.optimizer = nn::TrainConfig::Opt::Sgd;
+    // Tiny step: epoch timing must not drift as weights evolve
+    // across benchmark iterations.
+    tc.lr = 1e-6;
+    const auto lanes = static_cast<std::size_t>(state.range(0));
+    const auto threads = static_cast<std::size_t>(state.range(1));
+    tc.threads = threads;
+    if (lanes == 0) {
+        tc.datapath = nn::TrainConfig::Datapath::Vector;
+    } else {
+        tc.datapath = nn::TrainConfig::Datapath::Batched;
+        tc.batchLanes = lanes;
+    }
+
+    nn::Trainer trainer(model, tc);
+    for (auto _ : state) {
+        auto log = trainer.train(data);
+        benchmark::DoNotOptimize(log);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(utts * frames));
+    state.SetLabel((lanes == 0 ? std::string("vector")
+                               : "lanes" + std::to_string(lanes)) +
+                   "/threads" + std::to_string(threads));
+}
+// UseRealTime for the same reason as the session sweep: gradient
+// groups run on pool workers.
+BENCHMARK(BM_TrainerBatchSweep)
+    ->Args({0, 1})  // vector oracle: the batch-1 baseline
+    ->Args({1, 1})  // batched machinery at 1 lane (overhead floor)
+    ->Args({16, 1}) // one GEMM group of 16 lanes
+    ->Args({4, 1})  // 4 groups of 4 lanes, serial
+    ->Args({4, 4})  // 4 groups of 4 lanes, 4 threads
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -87,6 +87,12 @@ AdmmTrainer::run(const nn::SequenceDataset &data)
 
     nn::TrainConfig tc = cfg_.train;
     tc.epochs = cfg_.epochsPerIteration;
+    // The inner subproblem-1 run is re-entered every ADMM iteration;
+    // epoch checkpointing would make iteration k+1 resume past its
+    // own epochs and train nothing. Checkpointing an ADMM run is the
+    // driver's concern, not the inner trainer's.
+    tc.checkpointPath.clear();
+    tc.resume = false;
     nn::Trainer trainer(model_, tc);
     trainer.setGradHook(
         [this](nn::ParamRegistry &reg) { gradHook(reg); });

@@ -123,4 +123,24 @@ Rng::fork()
     return Rng(nextU64());
 }
 
+RngState
+Rng::saveState() const
+{
+    RngState st;
+    for (std::size_t i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.hasSpare = hasSpare_;
+    st.spare = spare_;
+    return st;
+}
+
+void
+Rng::restoreState(const RngState &state)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    hasSpare_ = state.hasSpare;
+    spare_ = state.spare;
+}
+
 } // namespace ernn

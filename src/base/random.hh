@@ -19,6 +19,19 @@ namespace ernn
 {
 
 /**
+ * Complete serialized state of an Rng: the xoshiro256** core plus the
+ * Box-Muller spare cache. Restoring it resumes the stream exactly
+ * where it was captured — the training checkpoint persists one of
+ * these so a resumed run shuffles identically to an uninterrupted one.
+ */
+struct RngState
+{
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool hasSpare = false;
+    Real spare = 0.0;
+};
+
+/**
  * Small, fast, seedable PRNG (xoshiro256** core).
  *
  * We avoid std::mt19937_64 + std::normal_distribution because their
@@ -60,6 +73,12 @@ class Rng
 
     /** Derive an independent child stream (for per-component seeding). */
     Rng fork();
+
+    /** Capture the complete generator state. */
+    RngState saveState() const;
+
+    /** Resume the stream exactly where @p state was captured. */
+    void restoreState(const RngState &state);
 
   private:
     std::uint64_t s_[4];

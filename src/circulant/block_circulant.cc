@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "tensor/simd.hh"
 
 namespace ernn::circulant
 {
@@ -18,16 +19,32 @@ void
 accumulatePlainProduct(fft::CVector &acc, const Complex *w,
                        const fft::CVector &x)
 {
-    const std::size_t m = acc.size() - 1;
-    acc[0] += Complex(w[0].real() * x[0].real(), 0);
-    acc[m] += Complex(w[m].real() * x[m].real(), 0);
-    for (std::size_t k = 1; k < m; ++k) {
-        const Real wr = w[k].real(), wi = w[k].imag();
-        const Real xr = x[k].real(), xi = x[k].imag();
-        acc[k] += Complex(wr * xr - wi * xi, wr * xi + wi * xr);
-    }
+    simd::plainMacLanesFn()(
+        reinterpret_cast<Real *>(acc.data()),
+        reinterpret_cast<const Real *>(w),
+        reinterpret_cast<const Real *>(x.data()), 1, acc.size());
     if (fft::OpCount::enabled())
-        fft::OpCount::addEltwiseMults(2 + 4 * (m - 1));
+        fft::OpCount::addEltwiseMults(2 + 4 * (acc.size() - 2));
+}
+
+/**
+ * Lane-contiguous form of accumulatePlainProduct: acc and x hold
+ * [lane][bin] runs, w is one generator spectrum shared by every lane.
+ * Per lane the arithmetic and order match the scalar form exactly.
+ */
+void
+accumulatePlainProductLanes(Complex *acc, const Complex *w,
+                            const Complex *x, std::size_t lanes,
+                            std::size_t bins)
+{
+    // std::complex<Real> is layout-compatible with Real[2]; the SIMD
+    // core runs the scalar per-bin arithmetic at every level.
+    simd::plainMacLanesFn()(reinterpret_cast<Real *>(acc),
+                            reinterpret_cast<const Real *>(w),
+                            reinterpret_cast<const Real *>(x), lanes,
+                            bins);
+    if (fft::OpCount::enabled())
+        fft::OpCount::addEltwiseMults(lanes * (2 + 4 * (bins - 2)));
 }
 
 } // namespace
@@ -221,19 +238,21 @@ computeSegmentSpectraBatch(const Matrix &x, std::size_t block_size,
                 << " rows not a multiple of block " << block_size);
     const std::size_t q = x.rows() / block_size;
     const std::size_t lanes = x.cols();
-    if (ws.laneSpectra.size() < lanes)
-        ws.laneSpectra.resize(lanes);
+    const std::size_t bins = block_size / 2 + 1;
+    ws.laneSpec.resize(q * lanes * bins);
+    ws.laneSpecLanes = lanes;
+    ws.laneSpecSegs = q;
+    ws.laneSpecBins = bins;
     ws.seg.resize(block_size);
-    for (std::size_t l = 0; l < lanes; ++l) {
-        auto &spectra = ws.laneSpectra[l];
-        if (spectra.size() < q)
-            spectra.resize(q);
-        for (std::size_t j = 0; j < q; ++j) {
+    for (std::size_t j = 0; j < q; ++j) {
+        for (std::size_t l = 0; l < lanes; ++l) {
             // Gather the lane's segment out of its strided column;
             // the transform itself is the one the solo path runs.
             for (std::size_t r = 0; r < block_size; ++r)
                 ws.seg[r] = x.at(j * block_size + r, l);
-            fft::rfftInto(ws.seg, spectra[j], ws.packed);
+            fft::rfftInto(ws.seg,
+                          ws.laneSpec.data() + (j * lanes + l) * bins,
+                          ws.packed);
         }
     }
 }
@@ -245,30 +264,32 @@ BlockCirculantMatrix::matvecAccFromSpectraBatch(Matrix &y,
     const std::size_t lanes = y.cols();
     ernn_assert(y.rows() == rows_,
                 "matvecAccFromSpectraBatch: y rows");
-    ernn_assert(ws.laneSpectra.size() >= lanes,
-                "matvecAccFromSpectraBatch: expected >= " << lanes
-                << " lane spectra, got " << ws.laneSpectra.size());
-    ensureSpectra();
     const std::size_t lb = blockSize_;
     const std::size_t bins = lb / 2 + 1;
+    ernn_assert(ws.laneSpecLanes == lanes &&
+                ws.laneSpecSegs == blockCols_ &&
+                ws.laneSpecBins == bins,
+                "matvecAccFromSpectraBatch: lane spectra were built "
+                "for a different geometry");
+    ensureSpectra();
 
-    if (ws.laneAcc.size() < lanes)
-        ws.laneAcc.resize(lanes);
+    ws.laneAcc.resize(lanes * bins);
 
     for (std::size_t i = 0; i < blockRows_; ++i) {
-        for (std::size_t l = 0; l < lanes; ++l)
-            ws.laneAcc[l].assign(bins, Complex(0, 0));
+        std::fill(ws.laneAcc.begin(), ws.laneAcc.end(), Complex(0, 0));
         for (std::size_t j = 0; j < blockCols_; ++j) {
             // One pass over the cached generator spectrum serves
-            // every lane (generator-major streaming).
+            // every lane (generator-major streaming over the
+            // lane-contiguous spectra of segment j).
             const Complex *w =
                 spectra_.data() + (i * blockCols_ + j) * bins;
-            for (std::size_t l = 0; l < lanes; ++l)
-                fft::accumulateConjProduct(ws.laneAcc[l], w,
-                                           ws.laneSpectra[l][j]);
+            fft::accumulateConjProductLanes(
+                ws.laneAcc.data(), w,
+                ws.laneSpec.data() + j * lanes * bins, lanes, bins);
         }
         for (std::size_t l = 0; l < lanes; ++l) {
-            fft::irfftInto(ws.laneAcc[l], lb, ws.outSeg, ws.packed);
+            fft::irfftInto(ws.laneAcc.data() + l * bins, lb, ws.outSeg,
+                           ws.packed);
             for (std::size_t r = 0; r < lb; ++r)
                 y.at(i * lb + r, l) += ws.outSeg[r];
         }
@@ -380,6 +401,92 @@ BlockCirculantMatrix::generatorGradAcc(const Vector &x,
             Real *gptr = grad.generator(i, j);
             for (std::size_t d = 0; d < lb; ++d)
                 gptr[d] += g[d];
+        }
+    }
+    grad.invalidateSpectra();
+}
+
+void
+BlockCirculantMatrix::matvecTransposeAccFromSpectraBatch(
+    Matrix &dx, FftWorkspace &ws) const
+{
+    const std::size_t lanes = dx.cols();
+    ernn_assert(blockSize_ > 1,
+                "matvecTransposeAccFromSpectraBatch: block size 1 "
+                "goes through the direct per-lane path");
+    ernn_assert(dx.rows() == cols_,
+                "matvecTransposeAccFromSpectraBatch: dx rows");
+    const std::size_t lb = blockSize_;
+    const std::size_t bins = lb / 2 + 1;
+    ernn_assert(ws.laneSpecLanes == lanes &&
+                ws.laneSpecSegs == blockRows_ &&
+                ws.laneSpecBins == bins,
+                "matvecTransposeAccFromSpectraBatch: lane spectra "
+                "were built for a different geometry");
+    ensureSpectra();
+
+    ws.laneAcc.resize(lanes * bins);
+
+    for (std::size_t j = 0; j < blockCols_; ++j) {
+        std::fill(ws.laneAcc.begin(), ws.laneAcc.end(), Complex(0, 0));
+        for (std::size_t i = 0; i < blockRows_; ++i) {
+            // Generator-major: one pass over the cached spectrum of
+            // block (i, j) serves every lane, mirroring the batched
+            // forward's weight-traffic amortization.
+            const Complex *w =
+                spectra_.data() + (i * blockCols_ + j) * bins;
+            accumulatePlainProductLanes(
+                ws.laneAcc.data(), w,
+                ws.laneSpec.data() + i * lanes * bins, lanes, bins);
+        }
+        for (std::size_t l = 0; l < lanes; ++l) {
+            fft::irfftInto(ws.laneAcc.data() + l * bins, lb, ws.outSeg,
+                           ws.packed);
+            for (std::size_t c = 0; c < lb; ++c)
+                dx.at(j * lb + c, l) += ws.outSeg[c];
+        }
+    }
+}
+
+void
+BlockCirculantMatrix::generatorGradAccFromSpectraBatch(
+    FftWorkspace &wsX, FftWorkspace &wsDy, std::size_t lanes,
+    BlockCirculantMatrix &grad) const
+{
+    ernn_assert(blockSize_ > 1,
+                "generatorGradAccFromSpectraBatch: block size 1 "
+                "goes through the direct per-lane path");
+    ernn_assert(grad.rows_ == rows_ && grad.cols_ == cols_ &&
+                grad.blockSize_ == blockSize_,
+                "generatorGradAccFromSpectraBatch: grad shape");
+    const std::size_t lb = blockSize_;
+    const std::size_t bins = lb / 2 + 1;
+    ernn_assert(wsX.laneSpecLanes == lanes &&
+                wsX.laneSpecSegs == blockCols_ &&
+                wsX.laneSpecBins == bins,
+                "generatorGradAccFromSpectraBatch: input spectra "
+                "were built for a different geometry");
+    ernn_assert(wsDy.laneSpecLanes == lanes &&
+                wsDy.laneSpecSegs == blockRows_ &&
+                wsDy.laneSpecBins == bins,
+                "generatorGradAccFromSpectraBatch: gradient spectra "
+                "were built for a different geometry");
+
+    for (std::size_t i = 0; i < blockRows_; ++i) {
+        const Complex *dyBase =
+            wsDy.laneSpec.data() + i * lanes * bins;
+        for (std::size_t j = 0; j < blockCols_; ++j) {
+            const Complex *xBase =
+                wsX.laneSpec.data() + j * lanes * bins;
+            wsX.acc.assign(bins, Complex(0, 0));
+            for (std::size_t l = 0; l < lanes; ++l)
+                fft::accumulateConjProduct(wsX.acc.data(),
+                                           dyBase + l * bins,
+                                           xBase + l * bins, bins);
+            fft::irfftInto(wsX.acc, lb, wsX.outSeg, wsX.packed);
+            Real *gptr = grad.generator(i, j);
+            for (std::size_t d = 0; d < lb; ++d)
+                gptr[d] += wsX.outSeg[d];
         }
     }
     grad.invalidateSpectra();

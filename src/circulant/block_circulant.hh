@@ -56,12 +56,19 @@ struct FftWorkspace
     Vector outSeg;                        //!< IFFT output staging
 
     /// @{ Batch-major staging (one utterance lane per column of the
-    /// activation matrix): per-lane segment spectra and per-lane
-    /// frequency-domain accumulators. Sized by the batched entry
-    /// points; like every other buffer here they keep their capacity,
-    /// so a warm workspace serves the batch hot loop allocation-free.
-    std::vector<std::vector<fft::CVector>> laneSpectra;
-    std::vector<fft::CVector> laneAcc;
+    /// activation matrix). laneSpec is one flat seg-major table of
+    /// every lane's segment spectra, laid out [seg][lane][bin] so the
+    /// generator-major MAC kernels stream lane-contiguous runs while
+    /// one cached generator spectrum stays hot; laneAcc holds the
+    /// per-lane frequency-domain accumulators as [lane][bin]. Sized
+    /// by the batched entry points; like every other buffer here they
+    /// keep their capacity, so a warm workspace serves the batch hot
+    /// loop allocation-free.
+    fft::CVector laneSpec;
+    fft::CVector laneAcc;
+    std::size_t laneSpecLanes = 0; //!< lanes captured in laneSpec
+    std::size_t laneSpecSegs = 0;  //!< segments captured in laneSpec
+    std::size_t laneSpecBins = 0;  //!< packed bins per segment
     /// @}
 };
 
@@ -197,6 +204,34 @@ class BlockCirculantMatrix
      */
     void generatorGradAcc(const Vector &x, const Vector &dy,
                           BlockCirculantMatrix &grad) const;
+
+    /**
+     * Batch-major transpose backprop: dX += Wᵀ dY for every lane at
+     * once, given each lane's dY segment spectra in ws.laneSpectra
+     * (from computeSegmentSpectraBatch on the upstream-gradient
+     * matrix). dX is (cols x lanes). Generator-major like the batched
+     * forward; per lane the block accumulation runs in the exact
+     * order matvecTransposeAcc uses. Callers route block size 1
+     * through the direct per-lane path (no spectra exist there).
+     */
+    void matvecTransposeAccFromSpectraBatch(Matrix &dx,
+                                            FftWorkspace &ws) const;
+
+    /**
+     * Batch-major generator gradient: grad.gen += the lane sum of the
+     * circular correlation of dy_i with x_j, with per-lane input
+     * spectra in wsX.laneSpectra and upstream-gradient spectra in
+     * wsDy.laneSpectra. The lane sum accumulates in the frequency
+     * domain (ascending lane order), so each block pays one IFFT per
+     * batch instead of one per lane; the IFFT is linear, so this
+     * equals the per-lane solo sum up to rounding. wsX also lends the
+     * acc/outSeg/packed scratch.
+     */
+    void generatorGradAccFromSpectraBatch(FftWorkspace &wsX,
+                                          FftWorkspace &wsDy,
+                                          std::size_t lanes,
+                                          BlockCirculantMatrix &grad)
+        const;
 
     /** Frobenius distance ‖this - dense‖_F without materializing. */
     Real distanceFromDense(const Matrix &dense) const;

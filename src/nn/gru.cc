@@ -142,6 +142,248 @@ GruLayer::backward(const Sequence &dys)
     return dxs;
 }
 
+BatchSequence
+GruLayer::forwardBatch(const BatchSequence &xs)
+{
+    const std::size_t h = cfg_.hiddenSize;
+
+    batchCache_.clear();
+    batchCache_.reserve(xs.size());
+
+    BatchSequence ys;
+    ys.reserve(xs.size());
+
+    // FFT each distinct activation once per timestep and share the
+    // spectra across the gate operators reading it (bit-identical to
+    // each operator transforming it itself): x feeds wzx/wrx/wcx and
+    // c' feeds wzc/wrc. The reset-gated s feeds only wcc, so it has
+    // nothing to share with.
+    const bool share_in = wzx_->sharesSpectra() &&
+                          wrx_->sharesSpectra() &&
+                          wcx_->sharesSpectra();
+    const bool share_rec =
+        wzc_->sharesSpectra() && wrc_->sharesSpectra();
+
+    for (std::size_t t = 0; t < xs.size(); ++t) {
+        const Matrix &x = xs[t];
+        ernn_assert(x.rows() == cfg_.inputSize,
+                    "GRU batch input dim mismatch");
+        const std::size_t lanes = x.cols();
+        ernn_assert(t == 0 || lanes <= xs[t - 1].cols(),
+                    "GRU batch lanes must be non-increasing "
+                    "(longest-first pooling)");
+        BatchStepCache st;
+        st.x = x;
+        if (t == 0)
+            st.cPrev.reshape(h, lanes);
+        else
+            copyLeadingCols(st.cPrev, batchCache_[t - 1].c, lanes);
+
+        if (share_in)
+            circulant::computeSegmentSpectraBatch(
+                x, wzx_->blockSize(), bwsIn_);
+        if (share_rec)
+            circulant::computeSegmentSpectraBatch(
+                st.cPrev, wzc_->blockSize(), bwsRec_);
+
+        // Update gate (Eqn. 2a). Per lane the gemm accumulation
+        // mirrors the solo forward()+addInPlace pairing exactly.
+        st.z.reshape(h, lanes);
+        if (share_in)
+            wzx_->forwardBatchAccFromSpectra(bwsIn_, st.z);
+        else
+            wzx_->forwardBatchAcc(x, st.z);
+        if (share_rec)
+            wzc_->forwardBatchAccFromSpectra(bwsRec_, st.z);
+        else
+            wzc_->forwardBatchAcc(st.cPrev, st.z);
+        addBiasRows(st.z, bz_);
+        applyActivation(ActKind::Sigmoid, st.z.raw());
+
+        // Reset gate (Eqn. 2b).
+        st.r.reshape(h, lanes);
+        if (share_in)
+            wrx_->forwardBatchAccFromSpectra(bwsIn_, st.r);
+        else
+            wrx_->forwardBatchAcc(x, st.r);
+        if (share_rec)
+            wrc_->forwardBatchAccFromSpectra(bwsRec_, st.r);
+        else
+            wrc_->forwardBatchAcc(st.cPrev, st.r);
+        addBiasRows(st.r, br_);
+        applyActivation(ActKind::Sigmoid, st.r.raw());
+
+        // Candidate state from the reset-gated history (Eqn. 2c).
+        st.s.reshape(h, lanes);
+        hadamardAcc(st.s.raw(), st.r.raw(), st.cPrev.raw());
+        st.cand.reshape(h, lanes);
+        if (share_in)
+            wcx_->forwardBatchAccFromSpectra(bwsIn_, st.cand);
+        else
+            wcx_->forwardBatchAcc(x, st.cand);
+        wcc_->forwardBatchAcc(st.s, st.cand);
+        addBiasRows(st.cand, bc_);
+        applyActivation(cfg_.candidateAct, st.cand.raw());
+
+        // State blend (Eqn. 2d): c = (1-z).c' + z.c~
+        st.c.reshape(h, lanes);
+        {
+            Vector &cv = st.c.raw();
+            const Vector &zv = st.z.raw();
+            const Vector &pv = st.cPrev.raw();
+            const Vector &dv = st.cand.raw();
+            for (std::size_t k = 0; k < cv.size(); ++k)
+                cv[k] = (1.0 - zv[k]) * pv[k] + zv[k] * dv[k];
+        }
+
+        ys.push_back(st.c);
+        batchCache_.push_back(std::move(st));
+    }
+    return ys;
+}
+
+BatchSequence
+GruLayer::backwardBatch(const BatchSequence &dys)
+{
+    ernn_assert(dys.size() == batchCache_.size(),
+                "GRU backwardBatch: sequence length mismatch "
+                "(forwardBatch must precede backwardBatch)");
+    const std::size_t h = cfg_.hiddenSize;
+    const std::size_t t_len = batchCache_.size();
+
+    BatchSequence dxs(t_len);
+    Matrix dc_rec(h, 0);
+
+    // Same spectra-sharing scheme as forwardBatch, plus each gate's
+    // pre-activation gradient is read by its W*x / W*c pair: one
+    // staging serves both when the two block sizes agree. Statement
+    // order is unchanged, so every gradient buffer accumulates its
+    // contributions exactly as the un-shared path does.
+    const bool share_in = wzx_->sharesSpectra() &&
+                          wrx_->sharesSpectra() &&
+                          wcx_->sharesSpectra();
+    const bool share_rec =
+        wzc_->sharesSpectra() && wrc_->sharesSpectra();
+
+    for (std::size_t ti = t_len; ti-- > 0;) {
+        const BatchStepCache &st = batchCache_[ti];
+        const std::size_t lanes = st.x.cols();
+        ernn_assert(dys[ti].rows() == h && dys[ti].cols() == lanes,
+                    "GRU backwardBatch: dy shape mismatch");
+
+        Matrix dc = dys[ti];
+        addLeadingColsAcc(dc, dc_rec);
+
+        // c = (1-z).c' + z.c~
+        Matrix dz(h, lanes), dcand(h, lanes), dc_prev(h, lanes);
+        {
+            Vector &dzv = dz.raw();
+            Vector &dcv = dcand.raw();
+            Vector &dpv = dc_prev.raw();
+            const Vector &dv = dc.raw();
+            const Vector &zv = st.z.raw();
+            const Vector &cv = st.cand.raw();
+            const Vector &pv = st.cPrev.raw();
+            for (std::size_t k = 0; k < dzv.size(); ++k) {
+                dzv[k] = dv[k] * (cv[k] - pv[k]);
+                dcv[k] = dv[k] * zv[k];
+                dpv[k] = dv[k] * (1.0 - zv[k]);
+            }
+        }
+
+        // Candidate pre-activation.
+        Matrix dcand_pre(h, lanes);
+        {
+            Vector &dov = dcand_pre.raw();
+            const Vector &dcv = dcand.raw();
+            const Vector &cv = st.cand.raw();
+            for (std::size_t k = 0; k < dov.size(); ++k)
+                dov[k] = dcv[k] *
+                    actDerivFromOutput(cfg_.candidateAct, cv[k]);
+        }
+
+        if (share_in)
+            circulant::computeSegmentSpectraBatch(
+                st.x, wzx_->blockSize(), bwsIn_);
+        if (share_rec)
+            circulant::computeSegmentSpectraBatch(
+                st.cPrev, wzc_->blockSize(), bwsRec_);
+
+        Matrix dx(cfg_.inputSize, lanes);
+        Matrix ds(h, lanes);
+        if (share_in) {
+            circulant::computeSegmentSpectraBatch(
+                dcand_pre, wcx_->blockSize(), bwsDy_);
+            wcx_->backwardBatchFromSpectra(bwsIn_, bwsDy_, lanes,
+                                           &dx);
+        } else {
+            wcx_->backwardBatch(st.x, dcand_pre, &dx);
+        }
+        if (share_in && wcc_->sharesSpectra() &&
+            wcc_->blockSize() == wcx_->blockSize()) {
+            // wcc reads s, which no other operator shares, but its
+            // upstream gradient staging can still be reused from the
+            // wcx call above.
+            circulant::computeSegmentSpectraBatch(
+                st.s, wcc_->blockSize(), bwsAux_);
+            wcc_->backwardBatchFromSpectra(bwsAux_, bwsDy_, lanes,
+                                           &ds);
+        } else {
+            wcc_->backwardBatch(st.s, dcand_pre, &ds);
+        }
+        rowSumAcc(dbc_, dcand_pre);
+
+        // s = r . c'
+        Matrix dr(h, lanes);
+        hadamardAcc(dr.raw(), ds.raw(), st.cPrev.raw());
+        hadamardAcc(dc_prev.raw(), ds.raw(), st.r.raw());
+
+        Matrix dz_pre(h, lanes), dr_pre(h, lanes);
+        {
+            Vector &dzp = dz_pre.raw();
+            Vector &drp = dr_pre.raw();
+            const Vector &dzv = dz.raw();
+            const Vector &drv = dr.raw();
+            const Vector &zv = st.z.raw();
+            const Vector &rv = st.r.raw();
+            for (std::size_t k = 0; k < dzp.size(); ++k) {
+                dzp[k] = dzv[k] * zv[k] * (1.0 - zv[k]);
+                drp[k] = drv[k] * rv[k] * (1.0 - rv[k]);
+            }
+        }
+
+        auto gate_bwd = [&](LinearOp &wx, LinearOp &wc,
+                            const Matrix &dpre) {
+            if (share_in) {
+                circulant::computeSegmentSpectraBatch(
+                    dpre, wx.blockSize(), bwsDy_);
+                wx.backwardBatchFromSpectra(bwsIn_, bwsDy_, lanes,
+                                            &dx);
+            } else {
+                wx.backwardBatch(st.x, dpre, &dx);
+            }
+            if (share_rec) {
+                if (!share_in || wc.blockSize() != wx.blockSize())
+                    circulant::computeSegmentSpectraBatch(
+                        dpre, wc.blockSize(), bwsDy_);
+                wc.backwardBatchFromSpectra(bwsRec_, bwsDy_, lanes,
+                                            &dc_prev);
+            } else {
+                wc.backwardBatch(st.cPrev, dpre, &dc_prev);
+            }
+        };
+        gate_bwd(*wzx_, *wzc_, dz_pre);
+        rowSumAcc(dbz_, dz_pre);
+
+        gate_bwd(*wrx_, *wrc_, dr_pre);
+        rowSumAcc(dbr_, dr_pre);
+
+        dxs[ti] = std::move(dx);
+        dc_rec = std::move(dc_prev);
+    }
+    return dxs;
+}
+
 void
 GruLayer::registerParams(ParamRegistry &reg, const std::string &prefix)
 {

@@ -43,6 +43,12 @@ class GruLayer : public RnnLayer
 
     Sequence forward(const Sequence &xs) override;
     Sequence backward(const Sequence &dys) override;
+    BatchSequence forwardBatch(const BatchSequence &xs) override;
+    BatchSequence backwardBatch(const BatchSequence &dys) override;
+    std::unique_ptr<RnnLayer> cloneArchitecture() const override
+    {
+        return std::make_unique<GruLayer>(cfg_);
+    }
 
     void registerParams(ParamRegistry &reg,
                         const std::string &prefix) override;
@@ -80,6 +86,13 @@ class GruLayer : public RnnLayer
         Vector z, r, s, cand, c;
     };
 
+    /** Batch-major twin of StepCache: (rows x lanes_t) matrices. */
+    struct BatchStepCache
+    {
+        Matrix x, cPrev;
+        Matrix z, r, s, cand, c;
+    };
+
     GruConfig cfg_;
 
     std::unique_ptr<LinearOp> wzx_, wrx_, wcx_;
@@ -89,6 +102,18 @@ class GruLayer : public RnnLayer
     Vector dbz_, dbr_, dbc_;
 
     std::vector<StepCache> cache_;
+    std::vector<BatchStepCache> batchCache_;
+
+    /**
+     * Batched-path spectra staging, one workspace per distinct
+     * activation read by several gate operators in a timestep: the
+     * input x (wzx/wrx/wcx), the previous state c' (wzc/wrc), the
+     * per-gate upstream gradient (shared by each W*x / W*c pair in
+     * backwardBatch), and the reset-gated state s when wcc joins a
+     * shared-gradient backward call. Layer-owned so replicated
+     * models train in parallel without contending.
+     */
+    circulant::FftWorkspace bwsIn_, bwsRec_, bwsDy_, bwsAux_;
 };
 
 } // namespace ernn::nn

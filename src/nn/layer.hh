@@ -9,11 +9,13 @@
 #ifndef ERNN_NN_LAYER_HH
 #define ERNN_NN_LAYER_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/random.hh"
 #include "nn/param.hh"
+#include "tensor/matrix.hh"
 #include "tensor/vector_ops.hh"
 
 namespace ernn::nn
@@ -21,6 +23,15 @@ namespace ernn::nn
 
 /** A sequence is a vector of per-frame feature vectors. */
 using Sequence = std::vector<Vector>;
+
+/**
+ * Batch-major sequence: one (features x lanes) matrix per timestep,
+ * one pooled utterance lane per column. The trainer pools lanes
+ * longest-first (mirroring the serving runtime's ragged-tail
+ * retirement), so the lane count is non-increasing over time and the
+ * lanes alive at step t are the leading columns of step t-1.
+ */
+using BatchSequence = std::vector<Matrix>;
 
 class RnnLayer
 {
@@ -43,6 +54,32 @@ class RnnLayer
      * @return gradient w.r.t. each input frame
      */
     virtual Sequence backward(const Sequence &dys) = 0;
+
+    /**
+     * Batch-major forward over pooled lanes, caching activations for
+     * backwardBatch(). Lane l of every step computes the exact bits
+     * forward() computes on the corresponding solo sequence — the
+     * vector path stays the oracle. Uses a cache separate from the
+     * solo path, so oracle comparisons may interleave the two.
+     */
+    virtual BatchSequence forwardBatch(const BatchSequence &xs) = 0;
+
+    /**
+     * Batch-major BPTT through the cached forwardBatch(). Weight
+     * gradients accumulate each step's lane sum in ascending lane
+     * order — deterministic for a fixed lane layout, equal to the
+     * solo per-sequence sum up to rounding.
+     */
+    virtual BatchSequence backwardBatch(const BatchSequence &dys) = 0;
+
+    /**
+     * A freshly constructed layer of identical architecture
+     * (zero-initialized weights, empty caches). The trainer clones
+     * one model replica per gradient group and syncs parameters from
+     * the master, so groups backprop concurrently without sharing
+     * mutable state.
+     */
+    virtual std::unique_ptr<RnnLayer> cloneArchitecture() const = 0;
 
     /** Register every trainable buffer. */
     virtual void registerParams(ParamRegistry &reg,

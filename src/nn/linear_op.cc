@@ -1,9 +1,27 @@
 #include "nn/linear_op.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace ernn::nn
 {
+
+void
+LinearOp::forwardBatchAccFromSpectra(circulant::FftWorkspace &, Matrix &)
+{
+    ernn_fatal("forwardBatchAccFromSpectra called on an operator "
+               "that does not share spectra");
+}
+
+void
+LinearOp::backwardBatchFromSpectra(circulant::FftWorkspace &,
+                                   circulant::FftWorkspace &,
+                                   std::size_t, Matrix *)
+{
+    ernn_fatal("backwardBatchFromSpectra called on an operator that "
+               "does not share spectra");
+}
 
 DenseLinear::DenseLinear(std::size_t out_dim, std::size_t in_dim)
     : w_(out_dim, in_dim), g_(out_dim, in_dim)
@@ -23,6 +41,21 @@ DenseLinear::backward(const Vector &x, const Vector &dy, Vector *dx)
     g_.outerAcc(dy, x);
     if (dx)
         w_.matvecTransposeAcc(dy, *dx);
+}
+
+void
+DenseLinear::forwardBatchAcc(const Matrix &x, Matrix &y)
+{
+    w_.gemmAcc(x, y);
+}
+
+void
+DenseLinear::backwardBatch(const Matrix &x, const Matrix &dy,
+                           Matrix *dx)
+{
+    g_.outerAccBatch(dy, x);
+    if (dx)
+        w_.gemmTransposeAcc(dy, *dx);
 }
 
 void
@@ -63,6 +96,85 @@ CirculantLinear::backward(const Vector &x, const Vector &dy, Vector *dx)
     w_.generatorGradAcc(x, dy, g_);
     if (dx)
         w_.matvecTransposeAcc(dy, *dx);
+}
+
+void
+CirculantLinear::forwardBatchAcc(const Matrix &x, Matrix &y)
+{
+    const std::size_t lb = w_.blockSize();
+    if (mode_ == circulant::MatvecMode::Naive || lb == 1) {
+        // No spectra at block size 1, and the naive oracle is
+        // per-lane by definition: gather each lane, run the solo
+        // matvec, scatter back (bit-identical to forward()).
+        const std::size_t lanes = x.cols();
+        xLane_.resize(x.rows());
+        yLane_.resize(y.rows());
+        for (std::size_t l = 0; l < lanes; ++l) {
+            for (std::size_t r = 0; r < x.rows(); ++r)
+                xLane_[r] = x.at(r, l);
+            std::fill(yLane_.begin(), yLane_.end(), 0.0);
+            w_.matvecAcc(xLane_, yLane_, wsX_, mode_);
+            for (std::size_t r = 0; r < y.rows(); ++r)
+                y.at(r, l) += yLane_[r];
+        }
+        return;
+    }
+    circulant::computeSegmentSpectraBatch(x, lb, wsX_);
+    w_.matvecAccFromSpectraBatch(y, wsX_);
+}
+
+void
+CirculantLinear::backwardBatch(const Matrix &x, const Matrix &dy,
+                               Matrix *dx)
+{
+    const std::size_t lb = w_.blockSize();
+    if (lb == 1) {
+        // Per-lane solo backward (ascending lane order, so the
+        // generator-gradient lane sum stays deterministic).
+        const std::size_t lanes = x.cols();
+        xLane_.resize(x.rows());
+        dyLane_.resize(dy.rows());
+        for (std::size_t l = 0; l < lanes; ++l) {
+            for (std::size_t r = 0; r < x.rows(); ++r)
+                xLane_[r] = x.at(r, l);
+            for (std::size_t r = 0; r < dy.rows(); ++r)
+                dyLane_[r] = dy.at(r, l);
+            w_.generatorGradAcc(xLane_, dyLane_, g_);
+            if (dx) {
+                dxLane_.assign(dx->rows(), 0.0);
+                w_.matvecTransposeAcc(dyLane_, dxLane_);
+                for (std::size_t r = 0; r < dx->rows(); ++r)
+                    dx->at(r, l) += dxLane_[r];
+            }
+        }
+        return;
+    }
+    // Like the solo backward, the FFT path serves regardless of
+    // mode_ (the naive mode is a forward-only oracle).
+    circulant::computeSegmentSpectraBatch(x, lb, wsX_);
+    circulant::computeSegmentSpectraBatch(dy, lb, wsDy_);
+    if (dx)
+        w_.matvecTransposeAccFromSpectraBatch(*dx, wsDy_);
+    w_.generatorGradAccFromSpectraBatch(wsX_, wsDy_, x.cols(), g_);
+}
+
+void
+CirculantLinear::forwardBatchAccFromSpectra(
+    circulant::FftWorkspace &xspec, Matrix &y)
+{
+    w_.matvecAccFromSpectraBatch(y, xspec);
+}
+
+void
+CirculantLinear::backwardBatchFromSpectra(
+    circulant::FftWorkspace &xspec, circulant::FftWorkspace &dyspec,
+    std::size_t lanes, Matrix *dx)
+{
+    // Same operation order as backwardBatch: dX first, then the
+    // generator gradient.
+    if (dx)
+        w_.matvecTransposeAccFromSpectraBatch(*dx, dyspec);
+    w_.generatorGradAccFromSpectraBatch(xspec, dyspec, lanes, g_);
 }
 
 void

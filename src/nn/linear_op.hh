@@ -41,6 +41,58 @@ class LinearOp
     virtual void backward(const Vector &x, const Vector &dy,
                           Vector *dx) = 0;
 
+    /**
+     * Batch-major forward: Y += W X, one utterance lane per column
+     * (X is inDim x lanes, Y outDim x lanes; the caller zeroes Y).
+     * Non-const because the circulant form stages per-lane spectra
+     * in member workspaces. Column l of Y computes the exact bits
+     * forward() computes on column l of X — the training parity
+     * contract against the vector-at-a-time oracle rests on this.
+     */
+    virtual void forwardBatchAcc(const Matrix &x, Matrix &y) = 0;
+
+    /**
+     * Batch-major backward: accumulate the weight gradient from
+     * (X, dY) — each weight entry sums its lane contributions in
+     * ascending lane order, a fixed function of the lane layout — and
+     * when @p dx is non-null, dX += Wᵀ dY (per-lane deterministic
+     * like forwardBatchAcc).
+     */
+    virtual void backwardBatch(const Matrix &x, const Matrix &dy,
+                               Matrix *dx) = 0;
+
+    /**
+     * True when the batched entry points run the circulant FFT path
+     * and can therefore consume pre-staged lane spectra of their
+     * operands (block size > 1, FFT mode). The RNN cells use this to
+     * FFT each distinct activation once per timestep and share the
+     * spectra across every gate operator that reads it — the serving
+     * runtime's fused-gate idiom, applied to the training datapath.
+     * Sharing is bit-identical to each operator transforming the
+     * operand itself: the transforms are deterministic, and the
+     * downstream accumulation chains don't change.
+     */
+    virtual bool sharesSpectra() const { return false; }
+
+    /**
+     * forwardBatchAcc from shared spectra: Y += W X where the lane
+     * spectra of X are already staged in @p xspec by
+     * circulant::computeSegmentSpectraBatch. Only callable when
+     * sharesSpectra() is true.
+     */
+    virtual void forwardBatchAccFromSpectra(
+        circulant::FftWorkspace &xspec, Matrix &y);
+
+    /**
+     * backwardBatch from shared spectra: input spectra in @p xspec,
+     * upstream-gradient spectra in @p dyspec, summed over @p lanes
+     * lanes. Only callable when sharesSpectra() is true.
+     */
+    virtual void backwardBatchFromSpectra(
+        circulant::FftWorkspace &xspec,
+        circulant::FftWorkspace &dyspec, std::size_t lanes,
+        Matrix *dx);
+
     /** Register trainable buffers under the given name prefix. */
     virtual void registerParams(ParamRegistry &reg,
                                 const std::string &prefix) = 0;
@@ -82,6 +134,9 @@ class DenseLinear : public LinearOp
     void forward(const Vector &x, Vector &y) const override;
     void backward(const Vector &x, const Vector &dy,
                   Vector *dx) override;
+    void forwardBatchAcc(const Matrix &x, Matrix &y) override;
+    void backwardBatch(const Matrix &x, const Matrix &dy,
+                       Matrix *dx) override;
     void registerParams(ParamRegistry &reg,
                         const std::string &prefix) override;
     std::size_t paramCount() const override { return w_.size(); }
@@ -116,6 +171,20 @@ class CirculantLinear : public LinearOp
     void forward(const Vector &x, Vector &y) const override;
     void backward(const Vector &x, const Vector &dy,
                   Vector *dx) override;
+    void forwardBatchAcc(const Matrix &x, Matrix &y) override;
+    void backwardBatch(const Matrix &x, const Matrix &dy,
+                       Matrix *dx) override;
+    bool sharesSpectra() const override
+    {
+        return mode_ == circulant::MatvecMode::Fft &&
+               w_.blockSize() > 1;
+    }
+    void forwardBatchAccFromSpectra(circulant::FftWorkspace &xspec,
+                                    Matrix &y) override;
+    void backwardBatchFromSpectra(circulant::FftWorkspace &xspec,
+                                  circulant::FftWorkspace &dyspec,
+                                  std::size_t lanes,
+                                  Matrix *dx) override;
     void registerParams(ParamRegistry &reg,
                         const std::string &prefix) override;
     std::size_t paramCount() const override { return w_.paramCount(); }
@@ -138,6 +207,15 @@ class CirculantLinear : public LinearOp
     circulant::BlockCirculantMatrix w_;
     circulant::BlockCirculantMatrix g_;
     circulant::MatvecMode mode_ = circulant::MatvecMode::Fft;
+
+    // Batched-path scratch: per-lane segment spectra of the input
+    // (wsX_) and of the upstream gradient (wsDy_), plus per-lane
+    // vector staging for the block-size-1 / naive fallbacks. Member
+    // (not shared) so replicated models train in parallel without
+    // contending — each training group owns its op instances.
+    circulant::FftWorkspace wsX_;
+    circulant::FftWorkspace wsDy_;
+    Vector xLane_, yLane_, dyLane_, dxLane_;
 };
 
 /**

@@ -215,6 +215,283 @@ LstmLayer::backward(const Sequence &dys)
     return dxs;
 }
 
+BatchSequence
+LstmLayer::forwardBatch(const BatchSequence &xs)
+{
+    const std::size_t h = cfg_.hiddenSize;
+    const std::size_t out_dim = cfg_.outputSize();
+
+    batchCache_.clear();
+    batchCache_.reserve(xs.size());
+
+    BatchSequence ys;
+    ys.reserve(xs.size());
+
+    // FFT each distinct activation once per timestep and share the
+    // spectra across the four gate operators reading it (bit-identical
+    // to each operator transforming it: same transforms, same
+    // downstream accumulation chains).
+    const bool share_in =
+        wix_->sharesSpectra() && wfx_->sharesSpectra() &&
+        wcx_->sharesSpectra() && wox_->sharesSpectra();
+    const bool share_rec =
+        wir_->sharesSpectra() && wfr_->sharesSpectra() &&
+        wcr_->sharesSpectra() && wor_->sharesSpectra();
+
+    for (std::size_t t = 0; t < xs.size(); ++t) {
+        const Matrix &x = xs[t];
+        ernn_assert(x.rows() == cfg_.inputSize,
+                    "LSTM batch input dim mismatch");
+        const std::size_t lanes = x.cols();
+        ernn_assert(t == 0 || lanes <= xs[t - 1].cols(),
+                    "LSTM batch lanes must be non-increasing "
+                    "(longest-first pooling)");
+        BatchStepCache st;
+        st.x = x;
+        if (t == 0) {
+            st.yPrev.reshape(out_dim, lanes);
+            st.cPrev.reshape(h, lanes);
+        } else {
+            // Lanes retire longest-first, so the lanes alive now are
+            // the leading columns of the previous step's state.
+            copyLeadingCols(st.yPrev, ys[t - 1], lanes);
+            copyLeadingCols(st.cPrev, batchCache_[t - 1].c, lanes);
+        }
+
+        if (share_in)
+            circulant::computeSegmentSpectraBatch(
+                x, wix_->blockSize(), bwsIn_);
+        if (share_rec)
+            circulant::computeSegmentSpectraBatch(
+                st.yPrev, wir_->blockSize(), bwsRec_);
+        auto gate_fwd = [&](LinearOp &wx, LinearOp &wr, Matrix &gate) {
+            gate.reshape(h, lanes);
+            if (share_in)
+                wx.forwardBatchAccFromSpectra(bwsIn_, gate);
+            else
+                wx.forwardBatchAcc(x, gate);
+            if (share_rec)
+                wr.forwardBatchAccFromSpectra(bwsRec_, gate);
+            else
+                wr.forwardBatchAcc(st.yPrev, gate);
+        };
+
+        // Input gate: i = sigma(Wix x + Wir y' + wic.c' + bi). Each
+        // lane column runs the exact arithmetic forward() runs: the
+        // two gemms accumulate onto the zeroed gate in the order the
+        // solo path's forward()+addInPlace pairing uses.
+        gate_fwd(*wix_, *wir_, st.i);
+        if (cfg_.peephole)
+            hadamardBroadcastAcc(st.i, wic_, st.cPrev);
+        addBiasRows(st.i, bi_);
+        applyActivation(ActKind::Sigmoid, st.i.raw());
+
+        // Forget gate.
+        gate_fwd(*wfx_, *wfr_, st.f);
+        if (cfg_.peephole)
+            hadamardBroadcastAcc(st.f, wfc_, st.cPrev);
+        addBiasRows(st.f, bf_);
+        applyActivation(ActKind::Sigmoid, st.f.raw());
+
+        // Cell input (no peephole, Eqn. 1c).
+        gate_fwd(*wcx_, *wcr_, st.g);
+        addBiasRows(st.g, bc_);
+        applyActivation(cfg_.cellInputAct, st.g.raw());
+
+        // Cell state: c = f.c' + g.i (elementwise on the raw
+        // storage, which per entry is the solo hadamardAcc).
+        st.c.reshape(h, lanes);
+        hadamardAcc(st.c.raw(), st.f.raw(), st.cPrev.raw());
+        hadamardAcc(st.c.raw(), st.g.raw(), st.i.raw());
+
+        // Output gate (peephole reads the *current* c, Eqn. 1e).
+        gate_fwd(*wox_, *wor_, st.o);
+        if (cfg_.peephole)
+            hadamardBroadcastAcc(st.o, woc_, st.c);
+        addBiasRows(st.o, bo_);
+        applyActivation(ActKind::Sigmoid, st.o.raw());
+
+        // Cell output m = o . h(c) (Eqn. 1f).
+        st.hc = st.c;
+        applyActivation(cfg_.outputAct, st.hc.raw());
+        st.m.reshape(h, lanes);
+        hadamardAcc(st.m.raw(), st.o.raw(), st.hc.raw());
+
+        // Projected output (Eqn. 1g).
+        Matrix y;
+        if (wym_) {
+            y.reshape(out_dim, lanes);
+            wym_->forwardBatchAcc(st.m, y);
+        } else {
+            y = st.m;
+        }
+        ys.push_back(std::move(y));
+        batchCache_.push_back(std::move(st));
+    }
+    return ys;
+}
+
+BatchSequence
+LstmLayer::backwardBatch(const BatchSequence &dys)
+{
+    ernn_assert(dys.size() == batchCache_.size(),
+                "LSTM backwardBatch: sequence length mismatch "
+                "(forwardBatch must precede backwardBatch)");
+    const std::size_t h = cfg_.hiddenSize;
+    const std::size_t out_dim = cfg_.outputSize();
+    const std::size_t t_len = batchCache_.size();
+
+    BatchSequence dxs(t_len);
+    Matrix dy_rec(out_dim, 0);
+    Matrix dc_rec(h, 0);
+
+    // Same spectra-sharing scheme as forwardBatch: x and y' are each
+    // read by four gate operators, and each gate's pre-activation
+    // gradient is read by its W*x / W*r pair (one staging serves both
+    // when the two block sizes agree). Interleaving the pairs keeps
+    // dX receiving its contributions in (wix, wfx, wcx, wox) order
+    // and dY' in (wir, wfr, wcr, wor) order — the two buffers take
+    // disjoint contributions, so this matches the un-shared path
+    // bit for bit.
+    const bool share_in =
+        wix_->sharesSpectra() && wfx_->sharesSpectra() &&
+        wcx_->sharesSpectra() && wox_->sharesSpectra();
+    const bool share_rec =
+        wir_->sharesSpectra() && wfr_->sharesSpectra() &&
+        wcr_->sharesSpectra() && wor_->sharesSpectra();
+
+    for (std::size_t ti = t_len; ti-- > 0;) {
+        const BatchStepCache &st = batchCache_[ti];
+        const std::size_t lanes = st.x.cols();
+        ernn_assert(dys[ti].rows() == out_dim &&
+                    dys[ti].cols() == lanes,
+                    "LSTM backwardBatch: dy shape mismatch");
+
+        // Walking backward the lane count grows; the recurrent
+        // gradient of the surviving lanes lands on the leading
+        // columns of this wider step.
+        Matrix dy = dys[ti];
+        addLeadingColsAcc(dy, dy_rec);
+
+        // Through the projection.
+        Matrix dm;
+        if (wym_) {
+            dm.reshape(h, lanes);
+            wym_->backwardBatch(st.m, dy, &dm);
+        } else {
+            dm = std::move(dy);
+        }
+
+        // m = o . h(c)
+        Matrix do_gate(h, lanes);
+        hadamardAcc(do_gate.raw(), dm.raw(), st.hc.raw());
+        Matrix dc(h, lanes);
+        {
+            Vector &dcr = dc.raw();
+            const Vector &dmr = dm.raw();
+            const Vector &ov = st.o.raw();
+            const Vector &hcv = st.hc.raw();
+            for (std::size_t k = 0; k < dcr.size(); ++k)
+                dcr[k] = dmr[k] * ov[k] *
+                         actDerivFromOutput(cfg_.outputAct, hcv[k]);
+        }
+        addLeadingColsAcc(dc, dc_rec);
+
+        // Output gate pre-activation; its peephole feeds back into
+        // dc at the *same* timestep (o_t reads c_t).
+        Matrix do_pre(h, lanes);
+        {
+            Vector &dpv = do_pre.raw();
+            const Vector &dgv = do_gate.raw();
+            const Vector &ov = st.o.raw();
+            for (std::size_t k = 0; k < dpv.size(); ++k)
+                dpv[k] = dgv[k] * ov[k] * (1.0 - ov[k]);
+        }
+        if (cfg_.peephole) {
+            hadamardRowSumAcc(dwoc_, do_pre, st.c);
+            hadamardBroadcastAcc(dc, woc_, do_pre);
+        }
+
+        // c = f.c' + g.i
+        Matrix di(h, lanes), dg(h, lanes), df(h, lanes);
+        Matrix dc_prev(h, lanes);
+        hadamardAcc(di.raw(), dc.raw(), st.g.raw());
+        hadamardAcc(dg.raw(), dc.raw(), st.i.raw());
+        hadamardAcc(df.raw(), dc.raw(), st.cPrev.raw());
+        hadamardAcc(dc_prev.raw(), dc.raw(), st.f.raw());
+
+        Matrix di_pre(h, lanes), df_pre(h, lanes), dg_pre(h, lanes);
+        {
+            Vector &div = di_pre.raw();
+            Vector &dfv = df_pre.raw();
+            Vector &dgv = dg_pre.raw();
+            const Vector &iv = st.i.raw();
+            const Vector &fv = st.f.raw();
+            const Vector &gv = st.g.raw();
+            const Vector &rdi = di.raw();
+            const Vector &rdf = df.raw();
+            const Vector &rdg = dg.raw();
+            for (std::size_t k = 0; k < div.size(); ++k) {
+                div[k] = rdi[k] * iv[k] * (1.0 - iv[k]);
+                dfv[k] = rdf[k] * fv[k] * (1.0 - fv[k]);
+                dgv[k] = rdg[k] *
+                         actDerivFromOutput(cfg_.cellInputAct, gv[k]);
+            }
+        }
+
+        if (cfg_.peephole) {
+            hadamardRowSumAcc(dwic_, di_pre, st.cPrev);
+            hadamardRowSumAcc(dwfc_, df_pre, st.cPrev);
+            hadamardBroadcastAcc(dc_prev, wic_, di_pre);
+            hadamardBroadcastAcc(dc_prev, wfc_, df_pre);
+        }
+
+        rowSumAcc(dbi_, di_pre);
+        rowSumAcc(dbf_, df_pre);
+        rowSumAcc(dbc_, dg_pre);
+        rowSumAcc(dbo_, do_pre);
+
+        if (share_in)
+            circulant::computeSegmentSpectraBatch(
+                st.x, wix_->blockSize(), bwsIn_);
+        if (share_rec)
+            circulant::computeSegmentSpectraBatch(
+                st.yPrev, wir_->blockSize(), bwsRec_);
+
+        Matrix dx(cfg_.inputSize, lanes);
+        Matrix dy_prev(out_dim, lanes);
+        auto gate_bwd = [&](LinearOp &wx, LinearOp &wr,
+                            const Matrix &dpre) {
+            if (share_in) {
+                circulant::computeSegmentSpectraBatch(
+                    dpre, wx.blockSize(), bwsDy_);
+                wx.backwardBatchFromSpectra(bwsIn_, bwsDy_, lanes,
+                                            &dx);
+            } else {
+                wx.backwardBatch(st.x, dpre, &dx);
+            }
+            if (share_rec) {
+                if (!share_in || wr.blockSize() != wx.blockSize())
+                    circulant::computeSegmentSpectraBatch(
+                        dpre, wr.blockSize(), bwsDy_);
+                wr.backwardBatchFromSpectra(bwsRec_, bwsDy_, lanes,
+                                            &dy_prev);
+            } else {
+                wr.backwardBatch(st.yPrev, dpre, &dy_prev);
+            }
+        };
+        gate_bwd(*wix_, *wir_, di_pre);
+        gate_bwd(*wfx_, *wfr_, df_pre);
+        gate_bwd(*wcx_, *wcr_, dg_pre);
+        gate_bwd(*wox_, *wor_, do_pre);
+
+        dxs[ti] = std::move(dx);
+        dy_rec = std::move(dy_prev);
+        dc_rec = std::move(dc_prev);
+    }
+    return dxs;
+}
+
 void
 LstmLayer::registerParams(ParamRegistry &reg, const std::string &prefix)
 {

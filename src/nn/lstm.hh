@@ -64,6 +64,12 @@ class LstmLayer : public RnnLayer
 
     Sequence forward(const Sequence &xs) override;
     Sequence backward(const Sequence &dys) override;
+    BatchSequence forwardBatch(const BatchSequence &xs) override;
+    BatchSequence backwardBatch(const BatchSequence &dys) override;
+    std::unique_ptr<RnnLayer> cloneArchitecture() const override
+    {
+        return std::make_unique<LstmLayer>(cfg_);
+    }
 
     void registerParams(ParamRegistry &reg,
                         const std::string &prefix) override;
@@ -111,6 +117,13 @@ class LstmLayer : public RnnLayer
         Vector i, f, g, o, c, hc, m;
     };
 
+    /** Batch-major twin of StepCache: (rows x lanes_t) matrices. */
+    struct BatchStepCache
+    {
+        Matrix x, yPrev, cPrev;
+        Matrix i, f, g, o, c, hc, m;
+    };
+
     LstmConfig cfg_;
 
     std::unique_ptr<LinearOp> wix_, wfx_, wcx_, wox_;
@@ -124,6 +137,17 @@ class LstmLayer : public RnnLayer
     Vector dwic_, dwfc_, dwoc_;
 
     std::vector<StepCache> cache_;
+    std::vector<BatchStepCache> batchCache_;
+
+    /**
+     * Batched-path spectra staging, one workspace per distinct
+     * activation read by several gate operators in a timestep: the
+     * input x (four W*x gates), the recurrent y' (four W*r gates),
+     * and the per-gate upstream gradient (shared by the W*x / W*r
+     * pair in backwardBatch). Layer-owned so replicated models train
+     * in parallel without contending.
+     */
+    circulant::FftWorkspace bwsIn_, bwsRec_, bwsDy_;
 };
 
 } // namespace ernn::nn

@@ -23,6 +23,19 @@ ensureState(std::vector<std::vector<Real>> &state,
         state[i].assign(reg.views()[i].size, 0.0);
 }
 
+/** Validate an imported slot block against the registry layout. */
+void
+checkSlotShapes(const std::vector<std::vector<Real>> &slots,
+                std::size_t offset, const ParamRegistry &reg)
+{
+    for (std::size_t i = 0; i < reg.views().size(); ++i)
+        ernn_assert(slots[offset + i].size() == reg.views()[i].size,
+                    "optimizer state slot " << offset + i << " has "
+                    << slots[offset + i].size() << " entries, registry"
+                    " view '" << reg.views()[i].name << "' expects "
+                    << reg.views()[i].size);
+}
+
 } // namespace
 
 Sgd::Sgd(Real lr, Real momentum)
@@ -44,6 +57,30 @@ Sgd::step(ParamRegistry &reg)
         if (p.onUpdate)
             p.onUpdate();
     }
+}
+
+OptimizerState
+Sgd::exportState() const
+{
+    OptimizerState st;
+    st.steps = 0;
+    st.slots = velocity_;
+    return st;
+}
+
+void
+Sgd::importState(const OptimizerState &state, const ParamRegistry &reg)
+{
+    if (state.slots.empty()) {
+        velocity_.clear();
+        return;
+    }
+    ernn_assert(state.slots.size() == reg.views().size(),
+                "sgd state has " << state.slots.size()
+                << " slots, registry has " << reg.views().size()
+                << " views");
+    checkSlotShapes(state.slots, 0, reg);
+    velocity_ = state.slots;
 }
 
 Adam::Adam(Real lr, Real beta1, Real beta2, Real eps)
@@ -74,6 +111,38 @@ Adam::step(ParamRegistry &reg)
         if (p.onUpdate)
             p.onUpdate();
     }
+}
+
+OptimizerState
+Adam::exportState() const
+{
+    OptimizerState st;
+    st.steps = t_;
+    st.slots.reserve(m_.size() + v_.size());
+    st.slots.insert(st.slots.end(), m_.begin(), m_.end());
+    st.slots.insert(st.slots.end(), v_.begin(), v_.end());
+    return st;
+}
+
+void
+Adam::importState(const OptimizerState &state, const ParamRegistry &reg)
+{
+    if (state.slots.empty()) {
+        m_.clear();
+        v_.clear();
+        t_ = 0;
+        return;
+    }
+    ernn_assert(state.slots.size() == 2 * reg.views().size(),
+                "adam state has " << state.slots.size()
+                << " slots, expected 2x" << reg.views().size());
+    checkSlotShapes(state.slots, 0, reg);
+    checkSlotShapes(state.slots, reg.views().size(), reg);
+    m_.assign(state.slots.begin(),
+              state.slots.begin() + reg.views().size());
+    v_.assign(state.slots.begin() + reg.views().size(),
+              state.slots.end());
+    t_ = state.steps;
 }
 
 Real

@@ -18,6 +18,19 @@
 namespace ernn::nn
 {
 
+/**
+ * Serialized optimizer state: the step counter plus every per-view
+ * moment buffer, in registry order (Sgd: velocity; Adam: m then v).
+ * Empty slots mean "fresh optimizer, no steps taken". The training
+ * checkpoint persists one of these so a resumed run takes bit-wise
+ * the same update steps as an uninterrupted one.
+ */
+struct OptimizerState
+{
+    std::uint64_t steps = 0;
+    std::vector<std::vector<Real>> slots;
+};
+
 class Optimizer
 {
   public:
@@ -25,6 +38,20 @@ class Optimizer
 
     /** Apply one update from the accumulated gradients. */
     virtual void step(ParamRegistry &reg) = 0;
+
+    /** Serialization tag ("sgd" / "adam"), checked on restore. */
+    virtual const char *kindName() const = 0;
+
+    /** Capture step counter + moments for checkpointing. */
+    virtual OptimizerState exportState() const = 0;
+
+    /**
+     * Restore a state captured by exportState(). Slot shapes must
+     * match @p reg (which must be the registry this optimizer steps);
+     * an empty slot list resets to a fresh optimizer.
+     */
+    virtual void importState(const OptimizerState &state,
+                             const ParamRegistry &reg) = 0;
 
     Real learningRate() const { return lr_; }
     void setLearningRate(Real lr) { lr_ = lr; }
@@ -40,6 +67,10 @@ class Sgd : public Optimizer
   public:
     explicit Sgd(Real lr, Real momentum = 0.9);
     void step(ParamRegistry &reg) override;
+    const char *kindName() const override { return "sgd"; }
+    OptimizerState exportState() const override;
+    void importState(const OptimizerState &state,
+                     const ParamRegistry &reg) override;
 
   private:
     Real momentum_;
@@ -53,6 +84,10 @@ class Adam : public Optimizer
     explicit Adam(Real lr, Real beta1 = 0.9, Real beta2 = 0.999,
                   Real eps = 1e-8);
     void step(ParamRegistry &reg) override;
+    const char *kindName() const override { return "adam"; }
+    OptimizerState exportState() const override;
+    void importState(const OptimizerState &state,
+                     const ParamRegistry &reg) override;
 
   private:
     Real beta1_, beta2_, eps_;

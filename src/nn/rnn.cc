@@ -1,5 +1,7 @@
 #include "nn/rnn.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace ernn::nn
@@ -100,6 +102,78 @@ StackedRnn::backwardFromLogits(const Sequence &dlogits)
     Sequence grad = std::move(dtop);
     for (std::size_t li = layers_.size(); li-- > 0;)
         grad = layers_[li]->backward(grad);
+}
+
+BatchSequence
+StackedRnn::forwardLogitsBatch(const BatchSequence &xs)
+{
+    ernn_assert(classifier_, "classifier not attached");
+    lastBatchOutputs_.clear();
+    lastBatchOutputs_.reserve(layers_.size());
+
+    const BatchSequence *cur = &xs;
+    for (auto &l : layers_) {
+        lastBatchOutputs_.push_back(l->forwardBatch(*cur));
+        cur = &lastBatchOutputs_.back();
+    }
+
+    BatchSequence logits(cur->size());
+    for (std::size_t t = 0; t < cur->size(); ++t) {
+        logits[t].reshape(numClasses_, (*cur)[t].cols());
+        classifier_->forwardBatchAcc((*cur)[t], logits[t]);
+        addBiasRows(logits[t], classBias_);
+    }
+    return logits;
+}
+
+void
+StackedRnn::backwardFromLogitsBatch(const BatchSequence &dlogits)
+{
+    ernn_assert(classifier_, "classifier not attached");
+    ernn_assert(!lastBatchOutputs_.empty() &&
+                dlogits.size() == lastBatchOutputs_.back().size(),
+                "backwardFromLogitsBatch without matching forward");
+
+    const BatchSequence &top = lastBatchOutputs_.back();
+    BatchSequence dtop(dlogits.size());
+    for (std::size_t t = 0; t < dlogits.size(); ++t) {
+        dtop[t].reshape(top[t].rows(), top[t].cols());
+        classifier_->backwardBatch(top[t], dlogits[t], &dtop[t]);
+        rowSumAcc(dClassBias_, dlogits[t]);
+    }
+
+    BatchSequence grad = std::move(dtop);
+    for (std::size_t li = layers_.size(); li-- > 0;)
+        grad = layers_[li]->backwardBatch(grad);
+}
+
+StackedRnn
+StackedRnn::cloneArchitecture() const
+{
+    StackedRnn out;
+    for (const auto &l : layers_)
+        out.addLayer(l->cloneArchitecture());
+    if (classifier_)
+        out.setClassifier(numClasses_);
+    return out;
+}
+
+void
+StackedRnn::copyParamsFrom(StackedRnn &src)
+{
+    auto &dst_views = params().views();
+    auto &src_views = src.params().views();
+    ernn_assert(dst_views.size() == src_views.size(),
+                "copyParamsFrom: registry shape mismatch");
+    for (std::size_t i = 0; i < dst_views.size(); ++i) {
+        auto &d = dst_views[i];
+        const auto &s = src_views[i];
+        ernn_assert(d.name == s.name && d.size == s.size,
+                    "copyParamsFrom: view mismatch at " << d.name);
+        std::copy(s.data, s.data + s.size, d.data);
+        if (d.onUpdate)
+            d.onUpdate();
+    }
 }
 
 std::vector<int>

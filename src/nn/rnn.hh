@@ -56,6 +56,31 @@ class StackedRnn
     void backwardFromLogits(const Sequence &dlogits);
 
     /**
+     * Batch-major forward over pooled utterance lanes: one logit
+     * matrix per timestep. Lane l computes the exact bits
+     * forwardLogits() computes on the corresponding solo sequence.
+     * Caches are separate from the solo path's.
+     */
+    BatchSequence forwardLogitsBatch(const BatchSequence &xs);
+
+    /** Batch-major BPTT (after forwardLogitsBatch). */
+    void backwardFromLogitsBatch(const BatchSequence &dlogits);
+
+    /**
+     * A freshly constructed model of identical architecture (same
+     * layer configs and classifier head, zero weights). The trainer
+     * clones one replica per gradient group and syncs weights with
+     * copyParamsFrom, so groups backprop concurrently.
+     */
+    StackedRnn cloneArchitecture() const;
+
+    /**
+     * Copy every parameter buffer from @p src (a model of identical
+     * architecture) into this model and fire the update hooks.
+     */
+    void copyParamsFrom(StackedRnn &src);
+
+    /**
      * Greedy per-frame class predictions via the training-path
      * forward (caches every activation for BPTT and allocates per
      * frame). Kept as the legacy reference that runtime:: backends
@@ -85,6 +110,9 @@ class StackedRnn
     /** Per-layer outputs of the last forward (inputs to the next). */
     std::vector<Sequence> lastOutputs_;
     Sequence lastInput_;
+
+    /** Batch-major twin of lastOutputs_ (forwardLogitsBatch). */
+    std::vector<BatchSequence> lastBatchOutputs_;
 
     ParamRegistry registry_;
     bool registryBuilt_ = false;

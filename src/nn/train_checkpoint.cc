@@ -1,0 +1,259 @@
+#include "nn/train_checkpoint.hh"
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "runtime/wire.hh"
+
+namespace ernn::nn
+{
+
+namespace
+{
+
+using runtime::detail::fnv1a64;
+using runtime::detail::Reader;
+using runtime::detail::Writer;
+
+constexpr char kMagic[8] = {'E', 'R', 'N', 'N', 'T', 'R', 'S', 'T'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+// magic + version + total bytes; the trailing checksum is 8 more.
+constexpr std::size_t kHeaderBytes =
+    sizeof kMagic + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+constexpr std::size_t kChecksumBytes = sizeof(std::uint64_t);
+
+const char *
+optKindName(TrainConfig::Opt opt)
+{
+    return opt == TrainConfig::Opt::Sgd ? "sgd" : "adam";
+}
+
+const char *
+datapathName(TrainConfig::Datapath dp)
+{
+    return dp == TrainConfig::Datapath::Batched ? "batched" : "vector";
+}
+
+/**
+ * Validate @p blob's framing and checksum and return a Reader
+ * positioned past the header. Mirrors the stream checkpoint's
+ * validation order (magic, version, declared size, checksum) so the
+ * two formats fail the same way for the same class of damage.
+ */
+Reader
+openTrainCheckpoint(const std::string &blob)
+{
+    const char *data = blob.data();
+    const std::size_t size = blob.size();
+    if (size < kHeaderBytes + kChecksumBytes)
+        ernn_fatal("truncated training checkpoint: " << size
+                   << " bytes is smaller than the "
+                   << kHeaderBytes + kChecksumBytes
+                   << "-byte header");
+    if (std::memcmp(data, kMagic, sizeof kMagic) != 0)
+        ernn_fatal("not a training checkpoint (bad magic)");
+
+    std::uint32_t version;
+    std::memcpy(&version, data + sizeof kMagic, sizeof version);
+    if (version != kFormatVersion)
+        ernn_fatal("training checkpoint format version " << version
+                   << " is not supported by this build (reads "
+                   << kFormatVersion << ")");
+
+    std::uint64_t declared;
+    std::memcpy(&declared, data + sizeof kMagic + sizeof version,
+                sizeof declared);
+    if (declared != size) {
+        if (size < declared)
+            ernn_fatal("truncated training checkpoint: header declares "
+                       << declared << " bytes, file has " << size);
+        ernn_fatal("training checkpoint has " << size - declared
+                   << " trailing bytes past the declared " << declared
+                   << "-byte payload");
+    }
+
+    std::uint64_t stored;
+    std::memcpy(&stored, data + size - kChecksumBytes, sizeof stored);
+    const std::uint64_t actual = fnv1a64(data, size - kChecksumBytes);
+    if (stored != actual)
+        ernn_fatal("training checkpoint checksum mismatch (stored 0x"
+                   << std::hex << stored << ", computed 0x" << actual
+                   << std::dec << "): the file is corrupted");
+
+    Reader r(data, size - kChecksumBytes, "training checkpoint");
+    for (std::size_t i = 0; i < sizeof kMagic; ++i)
+        r.u8("magic");
+    r.u32("format version");
+    r.u64("declared size");
+    return r;
+}
+
+} // namespace
+
+std::uint64_t
+trainingFingerprint(const ParamRegistry &reg, const TrainConfig &cfg)
+{
+    // Canonical string encoding; any change to a field here is a
+    // deliberate compatibility break.
+    std::ostringstream os;
+    os << "ernn-train-fingerprint-v1;";
+    for (const ParamView &v : reg.views())
+        os << v.name << ":" << v.size << ";";
+    os << "opt=" << optKindName(cfg.optimizer)
+       << ";batch=" << cfg.batchSize
+       << ";lanes=" << cfg.groupLanes()
+       << ";seed=" << cfg.shuffleSeed
+       << ";datapath=" << datapathName(cfg.datapath)
+       << ";clip=" << std::setprecision(17) << cfg.clipNorm;
+    const std::string bytes = os.str();
+    return fnv1a64(bytes.data(), bytes.size());
+}
+
+void
+saveTrainState(const std::string &path, const TrainState &state,
+               const ParamRegistry &reg, std::uint64_t fingerprint)
+{
+    Writer w;
+    for (char c : kMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kFormatVersion);
+    const std::size_t totalPatch = w.tell();
+    w.u64(0); // total bytes, patched below
+    w.u64(fingerprint);
+
+    w.u64(state.nextEpoch);
+    w.size(state.epochs.size());
+    for (const EpochLog &e : state.epochs) {
+        w.f64(e.trainLoss);
+        w.f64(e.gradNorm);
+        w.f64(e.wallMs);
+        w.f64(e.framesPerSec);
+        w.size(e.frames);
+    }
+
+    for (std::uint64_t s : state.shuffleRng.s)
+        w.u64(s);
+    w.u8(state.shuffleRng.hasSpare ? 1 : 0);
+    w.f64(state.shuffleRng.spare);
+
+    w.bytes(state.optimizerKind);
+    w.u64(state.optimizer.steps);
+    w.size(state.optimizer.slots.size());
+    for (const std::vector<Real> &slot : state.optimizer.slots)
+        w.reals(slot);
+
+    w.size(reg.views().size());
+    for (const ParamView &v : reg.views()) {
+        w.bytes(v.name);
+        w.reals(std::vector<Real>(v.data, v.data + v.size));
+    }
+
+    w.patchU64(totalPatch, w.tell() + kChecksumBytes);
+    // The checksum covers every preceding byte, total-bytes included.
+    std::string blob = w.take();
+    const std::uint64_t checksum = fnv1a64(blob.data(), blob.size());
+    blob.append(reinterpret_cast<const char *>(&checksum),
+                sizeof checksum);
+
+    // Write-then-rename so a crash mid-save never clobbers the last
+    // good checkpoint with a torn file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        ernn_assert(out.good(),
+                    "cannot open '" << tmp << "' for writing");
+        out.write(blob.data(),
+                  static_cast<std::streamsize>(blob.size()));
+        ernn_assert(out.good(), "short write to '" << tmp << "'");
+    }
+    ernn_assert(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename '" << tmp << "' to '" << path << "'");
+}
+
+bool
+loadTrainState(const std::string &path, TrainState &state,
+               ParamRegistry &reg, std::uint64_t fingerprint)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false; // no checkpoint yet: fresh start
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string blob = buf.str();
+
+    Reader r = openTrainCheckpoint(blob);
+
+    const std::uint64_t stored = r.u64("training fingerprint");
+    if (stored != fingerprint)
+        ernn_fatal("training checkpoint '" << path << "' belongs to a "
+                   "different model or training setup (fingerprint 0x"
+                   << std::hex << stored << ", this run is 0x"
+                   << fingerprint << std::dec << "): refusing to "
+                   "restore");
+
+    // Decode into a staging area first: a restore either succeeds
+    // completely or aborts, never leaving the model half-overwritten.
+    TrainState staged;
+    staged.nextEpoch = r.u64("epoch cursor");
+    const std::size_t epochs = r.size("epoch log count");
+    staged.epochs.resize(epochs);
+    for (EpochLog &e : staged.epochs) {
+        e.trainLoss = r.f64("epoch train loss");
+        e.gradNorm = r.f64("epoch grad norm");
+        e.wallMs = r.f64("epoch wall ms");
+        e.framesPerSec = r.f64("epoch frames/s");
+        e.frames = r.size("epoch frame count");
+    }
+
+    for (std::uint64_t &s : staged.shuffleRng.s)
+        s = r.u64("shuffle rng word");
+    staged.shuffleRng.hasSpare = r.u8("shuffle rng spare flag") != 0;
+    staged.shuffleRng.spare = r.f64("shuffle rng spare value");
+
+    r.bytesInto(staged.optimizerKind, "optimizer kind");
+    staged.optimizer.steps = r.u64("optimizer step counter");
+    const std::size_t slots = r.size("optimizer slot count");
+    staged.optimizer.slots.resize(slots);
+    for (std::vector<Real> &slot : staged.optimizer.slots)
+        r.realsInto(slot, "optimizer slot");
+
+    const std::size_t viewCount = r.size("parameter view count");
+    if (viewCount != reg.views().size())
+        ernn_fatal("training checkpoint carries " << viewCount
+                   << " parameter views, model has "
+                   << reg.views().size());
+    std::vector<std::vector<Real>> params(viewCount);
+    for (std::size_t i = 0; i < viewCount; ++i) {
+        std::string name;
+        r.bytesInto(name, "parameter view name");
+        const ParamView &v = reg.views()[i];
+        if (name != v.name)
+            ernn_fatal("training checkpoint view " << i << " is '"
+                       << name << "', model expects '" << v.name
+                       << "'");
+        r.realsInto(params[i], "parameter values");
+        if (params[i].size() != v.size)
+            ernn_fatal("training checkpoint view '" << name
+                       << "' carries " << params[i].size()
+                       << " values, model expects " << v.size);
+    }
+
+    if (!r.done())
+        ernn_fatal("training checkpoint has " << r.remainingBytes()
+                   << " undecoded payload bytes: writer/reader "
+                   "version bug");
+
+    // Commit.
+    for (std::size_t i = 0; i < viewCount; ++i)
+        std::memcpy(reg.views()[i].data, params[i].data(),
+                    params[i].size() * sizeof(Real));
+    reg.notifyUpdated();
+    state = std::move(staged);
+    return true;
+}
+
+} // namespace ernn::nn

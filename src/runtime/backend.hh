@@ -201,8 +201,9 @@ struct KernelScratch
         xfSource = nullptr;
         xfSize = 0;
         xfStampedEpoch = ~std::uint64_t{0};
-        fft.laneSpectra.clear();
-        fft.laneSpectra.shrink_to_fit();
+        fft.laneSpec.clear();
+        fft.laneSpec.shrink_to_fit();
+        fft.laneSpecLanes = fft.laneSpecSegs = fft.laneSpecBins = 0;
         fft.laneAcc.clear();
         fft.laneAcc.shrink_to_fit();
     }

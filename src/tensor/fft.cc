@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "base/logging.hh"
+#include "tensor/simd.hh"
 
 namespace ernn::fft
 {
@@ -233,6 +234,13 @@ rfft(const Vector &x)
 void
 rfftInto(const Vector &x, CVector &out, CVector &scratch)
 {
+    out.resize(x.size() / 2 + 1);
+    rfftInto(x, out.data(), scratch);
+}
+
+void
+rfftInto(const Vector &x, Complex *out, CVector &scratch)
+{
     const std::size_t n = x.size();
     ernn_assert(isPowerOfTwo(n), "rfft size " << n
                 << " is not a power of two");
@@ -240,11 +248,10 @@ rfftInto(const Vector &x, CVector &out, CVector &scratch)
         OpCount::countFft();
 
     if (n == 1) {
-        out.assign(1, Complex(x[0], 0));
+        out[0] = Complex(x[0], 0);
         return;
     }
     if (n == 2) {
-        out.resize(2);
         out[0] = Complex(x[0] + x[1], 0);
         out[1] = Complex(x[0] - x[1], 0);
         return;
@@ -260,7 +267,6 @@ rfftInto(const Vector &x, CVector &out, CVector &scratch)
         z[k] = Complex(x[2 * k], x[2 * k + 1]);
     fftInPlace(z, false);
 
-    out.resize(m + 1);
     out[0] = Complex(z[0].real() + z[0].imag(), 0);
     out[m] = Complex(z[0].real() - z[0].imag(), 0);
 
@@ -309,11 +315,18 @@ void
 irfftInto(const CVector &spectrum, std::size_t n, Vector &out,
           CVector &scratch)
 {
-    ernn_assert(isPowerOfTwo(n), "irfft size " << n
-                << " is not a power of two");
     ernn_assert(spectrum.size() == n / 2 + 1,
                 "irfft: expected " << (n / 2 + 1) << " bins, got "
                 << spectrum.size());
+    irfftInto(spectrum.data(), n, out, scratch);
+}
+
+void
+irfftInto(const Complex *spectrum, std::size_t n, Vector &out,
+          CVector &scratch)
+{
+    ernn_assert(isPowerOfTwo(n), "irfft size " << n
+                << " is not a power of two");
     if (OpCount::enabled())
         OpCount::countIfft();
 
@@ -405,6 +418,38 @@ accumulateConjProduct(CVector &acc, const Complex *w, const CVector &x)
 
     if (OpCount::enabled())
         OpCount::addEltwiseMults(2 + 4 * (m - 1));
+}
+
+void
+accumulateConjProduct(Complex *acc, const Complex *w, const Complex *x,
+                      std::size_t bins)
+{
+    ernn_assert(bins >= 2, "accumulateConjProduct: too few bins");
+    // std::complex<Real> is layout-compatible with Real[2], so the
+    // SIMD core works on the raw interleaved (re, im) storage. Every
+    // level is bit-identical to the scalar oracle (see simd.hh).
+    simd::conjMacLanesFn()(reinterpret_cast<Real *>(acc),
+                           reinterpret_cast<const Real *>(w),
+                           reinterpret_cast<const Real *>(x), 1,
+                           bins);
+
+    if (OpCount::enabled())
+        OpCount::addEltwiseMults(2 + 4 * (bins - 2));
+}
+
+void
+accumulateConjProductLanes(Complex *acc, const Complex *w,
+                           const Complex *x, std::size_t lanes,
+                           std::size_t bins)
+{
+    ernn_assert(bins >= 2, "accumulateConjProductLanes: too few bins");
+    simd::conjMacLanesFn()(reinterpret_cast<Real *>(acc),
+                           reinterpret_cast<const Real *>(w),
+                           reinterpret_cast<const Real *>(x), lanes,
+                           bins);
+
+    if (OpCount::enabled())
+        OpCount::addEltwiseMults(lanes * (2 + 4 * (bins - 2)));
 }
 
 std::uint64_t

@@ -112,6 +112,12 @@ CVector rfft(const Vector &x);
 void rfftInto(const Vector &x, CVector &out, CVector &scratch);
 
 /**
+ * Raw-pointer form of rfftInto: @p out must provide n/2 + 1 slots
+ * (e.g. one segment's bins inside a flat lane-spectra table).
+ */
+void rfftInto(const Vector &x, Complex *out, CVector &scratch);
+
+/**
  * Inverse of rfft: reconstruct n real samples from n/2 + 1 bins.
  *
  * @param spectrum n/2 + 1 bins as produced by rfft
@@ -121,6 +127,13 @@ Vector irfft(const CVector &spectrum, std::size_t n);
 
 /** irfft into caller-provided buffers (allocation-free once warm). */
 void irfftInto(const CVector &spectrum, std::size_t n, Vector &out,
+               CVector &scratch);
+
+/**
+ * Raw-pointer form of irfftInto: @p spectrum points at n/2 + 1
+ * packed bins (e.g. one lane's accumulator inside a flat table).
+ */
+void irfftInto(const Complex *spectrum, std::size_t n, Vector &out,
                CVector &scratch);
 
 /**
@@ -142,6 +155,22 @@ void accumulateConjProduct(CVector &acc, const CVector &w,
  */
 void accumulateConjProduct(CVector &acc, const Complex *w,
                            const CVector &x);
+
+/** All-raw form over @p bins packed bins (flat-workspace hot loop). */
+void accumulateConjProduct(Complex *acc, const Complex *w,
+                           const Complex *x, std::size_t bins);
+
+/**
+ * acc += conj(w) ⊙ x for @p lanes lanes at once: @p acc and @p x hold
+ * lane-contiguous [lane][bin] runs of @p bins packed bins each, and
+ * @p w is one generator spectrum shared by every lane. Per lane this
+ * runs exactly accumulateConjProduct, in ascending lane order — the
+ * batched matvec stays bit-identical per lane while the shared @p w
+ * and the contiguous streams keep the hot loop in cache.
+ */
+void accumulateConjProductLanes(Complex *acc, const Complex *w,
+                                const Complex *x, std::size_t lanes,
+                                std::size_t bins);
 
 /**
  * Number of real multiplications one complex FFT of size n performs

@@ -154,6 +154,35 @@ Matrix::matvecTransposeAcc(const Vector &dy, Vector &dx) const
 }
 
 void
+Matrix::gemmTransposeAcc(const Matrix &dy, Matrix &dx) const
+{
+    ernn_assert(dy.rows() == rows_, "gemmT: dy has " << dy.rows()
+                << " rows, expected " << rows_);
+    ernn_assert(dx.rows() == cols_ && dx.cols() == dy.cols(),
+                "gemmT: dx is " << dx.rows() << "x" << dx.cols()
+                << ", expected " << cols_ << "x" << dy.cols());
+    const std::size_t lanes = dy.cols();
+    const Real *dyd = dy.data();
+    Real *dxd = dx.data();
+    // Same loop nest as matvecTransposeAcc with the lane loop
+    // innermost: per lane, row r's contribution lands on dx in the
+    // order the solo path uses, so each lane accumulates row-by-row
+    // exactly like matvecTransposeAcc on that lane.
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const Real *row = data_.data() + r * cols_;
+        const Real *dyr = dyd + r * lanes;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            const Real w = row[c];
+            if (w == 0.0)
+                continue;
+            Real *dxr = dxd + c * lanes;
+            for (std::size_t l = 0; l < lanes; ++l)
+                dxr[l] += w * dyr[l];
+        }
+    }
+}
+
+void
 Matrix::outerAcc(const Vector &dy, const Vector &x)
 {
     ernn_assert(dy.size() == rows_, "outerAcc: dy size mismatch");
@@ -165,6 +194,35 @@ Matrix::outerAcc(const Vector &dy, const Vector &x)
             continue;
         for (std::size_t c = 0; c < cols_; ++c)
             row[c] += g * x[c];
+    }
+}
+
+void
+Matrix::outerAccBatch(const Matrix &dy, const Matrix &x)
+{
+    ernn_assert(dy.rows() == rows_, "outerAccBatch: dy has "
+                << dy.rows() << " rows, expected " << rows_);
+    ernn_assert(x.rows() == cols_, "outerAccBatch: x has " << x.rows()
+                << " rows, expected " << cols_);
+    ernn_assert(dy.cols() == x.cols(),
+                "outerAccBatch: lane mismatch " << dy.cols() << " vs "
+                << x.cols());
+    const std::size_t lanes = dy.cols();
+    const Real *dyd = dy.data();
+    const Real *xd = x.data();
+    // Each weight entry sums its lane contributions in ascending lane
+    // order with the lane loop innermost, so the result depends only
+    // on the lane layout, never on tiling or thread count.
+    for (std::size_t r = 0; r < rows_; ++r) {
+        Real *row = data_.data() + r * cols_;
+        const Real *dyr = dyd + r * lanes;
+        for (std::size_t c = 0; c < cols_; ++c) {
+            const Real *xr = xd + c * lanes;
+            Real s = 0.0;
+            for (std::size_t l = 0; l < lanes; ++l)
+                s += dyr[l] * xr[l];
+            row[c] += s;
+        }
     }
 }
 
@@ -231,6 +289,72 @@ hadamardBroadcastAcc(Matrix &acc, const Vector &a, const Matrix &m)
         for (std::size_t l = 0; l < lanes; ++l)
             ar[l] += v * mr[l];
     }
+}
+
+void
+rowSumAcc(Vector &acc, const Matrix &m)
+{
+    ernn_assert(acc.size() == m.rows(), "rowSumAcc: acc has "
+                << acc.size() << " entries, expected " << m.rows());
+    const std::size_t lanes = m.cols();
+    const Real *md = m.data();
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const Real *mr = md + r * lanes;
+        Real s = 0.0;
+        for (std::size_t l = 0; l < lanes; ++l)
+            s += mr[l];
+        acc[r] += s;
+    }
+}
+
+void
+hadamardRowSumAcc(Vector &acc, const Matrix &a, const Matrix &b)
+{
+    ernn_assert(acc.size() == a.rows(),
+                "hadamardRowSumAcc: acc size mismatch");
+    ernn_assert(a.rows() == b.rows() && a.cols() == b.cols(),
+                "hadamardRowSumAcc: shape mismatch");
+    const std::size_t lanes = a.cols();
+    const Real *ad = a.data();
+    const Real *bd = b.data();
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        const Real *ar = ad + r * lanes;
+        const Real *br = bd + r * lanes;
+        Real s = 0.0;
+        for (std::size_t l = 0; l < lanes; ++l)
+            s += ar[l] * br[l];
+        acc[r] += s;
+    }
+}
+
+void
+copyLeadingCols(Matrix &dst, const Matrix &src, std::size_t cols)
+{
+    ernn_assert(cols <= src.cols(), "copyLeadingCols: " << cols
+                << " > source " << src.cols());
+    dst.reshape(src.rows(), cols);
+    const std::size_t sl = src.cols();
+    const Real *sd = src.data();
+    Real *dd = dst.data();
+    for (std::size_t r = 0; r < src.rows(); ++r)
+        for (std::size_t l = 0; l < cols; ++l)
+            dd[r * cols + l] = sd[r * sl + l];
+}
+
+void
+addLeadingColsAcc(Matrix &dst, const Matrix &src)
+{
+    ernn_assert(dst.rows() == src.rows(),
+                "addLeadingColsAcc: row mismatch");
+    ernn_assert(src.cols() <= dst.cols(), "addLeadingColsAcc: src has "
+                << src.cols() << " lanes, dst only " << dst.cols());
+    const std::size_t sl = src.cols();
+    const std::size_t dl = dst.cols();
+    const Real *sd = src.data();
+    Real *dd = dst.data();
+    for (std::size_t r = 0; r < src.rows(); ++r)
+        for (std::size_t l = 0; l < sl; ++l)
+            dd[r * dl + l] += sd[r * sl + l];
 }
 
 bool

@@ -103,8 +103,24 @@ class Matrix
     /** dx += Aᵀ dy (backprop through a linear map). */
     void matvecTransposeAcc(const Vector &dy, Vector &dx) const;
 
+    /**
+     * dX += Aᵀ dY (batch-major backprop): dY is rows() x lanes, dX
+     * cols() x lanes, one utterance lane per column. Per lane the
+     * weight rows stream in the order matvecTransposeAcc uses, so
+     * the training backward stays deterministic at any batch width.
+     */
+    void gemmTransposeAcc(const Matrix &dy, Matrix &dx) const;
+
     /** this += dy xᵀ (gradient of a linear map wrt its weights). */
     void outerAcc(const Vector &dy, const Vector &x);
+
+    /**
+     * this += dY Xᵀ (batch-major weight gradient): dY is rows() x
+     * lanes, X cols() x lanes. Equivalent to lanes rank-1 outerAcc
+     * updates; the lane sum of each weight entry accumulates in lane
+     * order, so the result is a fixed function of the lane layout.
+     */
+    void outerAccBatch(const Matrix &dy, const Matrix &x);
 
     /** this += a * other (same shape). */
     void axpy(Real a, const Matrix &other);
@@ -134,6 +150,25 @@ void addBiasRows(Matrix &y, const Vector &b);
 /** acc[r][l] += a[r] * m[r][l] — broadcast-Hadamard (peepholes). */
 void hadamardBroadcastAcc(Matrix &acc, const Vector &a,
                           const Matrix &m);
+
+/** acc[r] += sum_l m[r][l] — lane reduction (bias gradients). */
+void rowSumAcc(Vector &acc, const Matrix &m);
+
+/** acc[r] += sum_l a[r][l] * b[r][l] — Hadamard lane reduction
+ *  (diagonal peephole gradients). */
+void hadamardRowSumAcc(Vector &acc, const Matrix &a, const Matrix &b);
+
+/** dst := the leading @p cols columns of src (dst is re-dimensioned).
+ *  The batched BPTT state hand-off: lanes are pooled longest-first,
+ *  so the lanes alive at step t are exactly the leading columns of
+ *  the step t-1 state. */
+void copyLeadingCols(Matrix &dst, const Matrix &src, std::size_t cols);
+
+/** dst[:, :src.cols()] += src (src has at most dst.cols() lanes).
+ *  The reverse-time hand-off: walking backward the lane count grows,
+ *  and the recurrent gradient of the surviving lanes lands on the
+ *  leading columns of the wider step. */
+void addLeadingColsAcc(Matrix &dst, const Matrix &src);
 
 /// @}
 

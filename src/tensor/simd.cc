@@ -593,6 +593,163 @@ gemmAccF64Fn()
     return &gemmAccF64Scalar;
 }
 
+// --- complex spectra MACs ----------------------------------------------
+
+void
+conjMacLanesScalar(Real *acc, const Real *w, const Real *x,
+                   std::size_t lanes, std::size_t bins)
+{
+    const std::size_t m = bins - 1;
+    const Real w0 = w[0], wm = w[2 * m];
+    for (std::size_t l = 0; l < lanes; ++l) {
+        Real *a = acc + 2 * l * bins;
+        const Real *xs = x + 2 * l * bins;
+        a[0] += w0 * xs[0];
+        a[1] += 0.0;
+        a[2 * m] += wm * xs[2 * m];
+        a[2 * m + 1] += 0.0;
+        for (std::size_t k = 1; k < m; ++k) {
+            const Real wr = w[2 * k], wi = w[2 * k + 1];
+            const Real xr = xs[2 * k], xi = xs[2 * k + 1];
+            // conj(w) * x
+            a[2 * k] += wr * xr + wi * xi;
+            a[2 * k + 1] += wr * xi - wi * xr;
+        }
+    }
+}
+
+void
+plainMacLanesScalar(Real *acc, const Real *w, const Real *x,
+                    std::size_t lanes, std::size_t bins)
+{
+    const std::size_t m = bins - 1;
+    const Real w0 = w[0], wm = w[2 * m];
+    for (std::size_t l = 0; l < lanes; ++l) {
+        Real *a = acc + 2 * l * bins;
+        const Real *xs = x + 2 * l * bins;
+        a[0] += w0 * xs[0];
+        a[1] += 0.0;
+        a[2 * m] += wm * xs[2 * m];
+        a[2 * m + 1] += 0.0;
+        for (std::size_t k = 1; k < m; ++k) {
+            const Real wr = w[2 * k], wi = w[2 * k + 1];
+            const Real xr = xs[2 * k], xi = xs[2 * k + 1];
+            a[2 * k] += wr * xr - wi * xi;
+            a[2 * k + 1] += wr * xi + wi * xr;
+        }
+    }
+}
+
+#if ERNN_SIMD_X86
+
+namespace
+{
+
+/**
+ * Two complex bins per 256-bit vector: t1 = [wr*xr, wr*xi],
+ * t2 = [wi*xi, wi*xr]. The conj result is [t1.re + t2.re,
+ * t1.im - t2.im] = addsub(t1, -t2), the plain result
+ * [t1.re - t2.re, t1.im + t2.im] = addsub(t1, t2); both keep the
+ * scalar's one-mul-one-add chain per component.
+ */
+__attribute__((target("avx2"))) void
+conjMacLanesAvx2(Real *acc, const Real *w, const Real *x,
+                 std::size_t lanes, std::size_t bins)
+{
+    const std::size_t m = bins - 1;
+    const Real w0 = w[0], wm = w[2 * m];
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        Real *a = acc + 2 * l * bins;
+        const Real *xs = x + 2 * l * bins;
+        a[0] += w0 * xs[0];
+        a[1] += 0.0;
+        a[2 * m] += wm * xs[2 * m];
+        a[2 * m + 1] += 0.0;
+        std::size_t k = 1;
+        for (; k + 1 < m; k += 2) {
+            const __m256d wv = _mm256_loadu_pd(w + 2 * k);
+            const __m256d xv = _mm256_loadu_pd(xs + 2 * k);
+            const __m256d t1 =
+                _mm256_mul_pd(_mm256_movedup_pd(wv), xv);
+            const __m256d t2 =
+                _mm256_mul_pd(_mm256_permute_pd(wv, 0xF),
+                              _mm256_permute_pd(xv, 0x5));
+            const __m256d r =
+                _mm256_addsub_pd(t1, _mm256_xor_pd(t2, sign));
+            _mm256_storeu_pd(
+                a + 2 * k,
+                _mm256_add_pd(_mm256_loadu_pd(a + 2 * k), r));
+        }
+        for (; k < m; ++k) {
+            const Real wr = w[2 * k], wi = w[2 * k + 1];
+            const Real xr = xs[2 * k], xi = xs[2 * k + 1];
+            a[2 * k] += wr * xr + wi * xi;
+            a[2 * k + 1] += wr * xi - wi * xr;
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void
+plainMacLanesAvx2(Real *acc, const Real *w, const Real *x,
+                  std::size_t lanes, std::size_t bins)
+{
+    const std::size_t m = bins - 1;
+    const Real w0 = w[0], wm = w[2 * m];
+    for (std::size_t l = 0; l < lanes; ++l) {
+        Real *a = acc + 2 * l * bins;
+        const Real *xs = x + 2 * l * bins;
+        a[0] += w0 * xs[0];
+        a[1] += 0.0;
+        a[2 * m] += wm * xs[2 * m];
+        a[2 * m + 1] += 0.0;
+        std::size_t k = 1;
+        for (; k + 1 < m; k += 2) {
+            const __m256d wv = _mm256_loadu_pd(w + 2 * k);
+            const __m256d xv = _mm256_loadu_pd(xs + 2 * k);
+            const __m256d t1 =
+                _mm256_mul_pd(_mm256_movedup_pd(wv), xv);
+            const __m256d t2 =
+                _mm256_mul_pd(_mm256_permute_pd(wv, 0xF),
+                              _mm256_permute_pd(xv, 0x5));
+            const __m256d r = _mm256_addsub_pd(t1, t2);
+            _mm256_storeu_pd(
+                a + 2 * k,
+                _mm256_add_pd(_mm256_loadu_pd(a + 2 * k), r));
+        }
+        for (; k < m; ++k) {
+            const Real wr = w[2 * k], wi = w[2 * k + 1];
+            const Real xr = xs[2 * k], xi = xs[2 * k + 1];
+            a[2 * k] += wr * xr - wi * xi;
+            a[2 * k + 1] += wr * xi + wi * xr;
+        }
+    }
+}
+
+} // namespace
+
+#endif // ERNN_SIMD_X86
+
+CplxMacLanesFn
+conjMacLanesFn()
+{
+#if ERNN_SIMD_X86
+    if (active() == Level::Avx2)
+        return &conjMacLanesAvx2;
+#endif
+    return &conjMacLanesScalar;
+}
+
+CplxMacLanesFn
+plainMacLanesFn()
+{
+#if ERNN_SIMD_X86
+    if (active() == Level::Avx2)
+        return &plainMacLanesAvx2;
+#endif
+    return &plainMacLanesScalar;
+}
+
 // --- f32 GEMM ----------------------------------------------------------
 
 namespace

@@ -154,6 +154,41 @@ void gemmAccF64Scalar(const Real *w, std::size_t rows,
 /** gemmAccF64 for the active() level. */
 GemmF64Fn gemmAccF64Fn();
 
+// --- complex spectra MACs (block-circulant FFT datapath) ---------------
+
+/**
+ * Per-lane multiply-accumulate over packed real-FFT spectra stored as
+ * interleaved (re, im) doubles: @p acc and @p x hold @p lanes
+ * lane-contiguous runs of @p bins pairs, @p w is one generator
+ * spectrum shared by every lane. The conj form runs
+ * acc += conj(w) . x (the circulant matvec / generator gradient), the
+ * plain form acc += w . x (the transpose matvec). Bins 0 and bins-1
+ * of a real spectrum are purely real and accumulate real-only.
+ *
+ * Every (lane, bin) accumulator is independent, and each level runs
+ * the scalar per-bin products and adds verbatim (mul then add, never
+ * fmadd; the AVX2 addsub consumes a negated operand, and IEEE
+ * a - (-b) is exactly a + b), so every level is bit-identical to the
+ * scalar oracle.
+ */
+using CplxMacLanesFn = void (*)(Real *acc, const Real *w,
+                                const Real *x, std::size_t lanes,
+                                std::size_t bins);
+
+/** The scalar conj oracle (kept verbatim from the pre-SIMD code). */
+void conjMacLanesScalar(Real *acc, const Real *w, const Real *x,
+                        std::size_t lanes, std::size_t bins);
+
+/** The scalar plain oracle. */
+void plainMacLanesScalar(Real *acc, const Real *w, const Real *x,
+                         std::size_t lanes, std::size_t bins);
+
+/** conjMacLanes for the active() level. */
+CplxMacLanesFn conjMacLanesFn();
+
+/** plainMacLanes for the active() level. */
+CplxMacLanesFn plainMacLanesFn();
+
 // --- f32 GEMM (opt-in dense f32 mode) ----------------------------------
 
 /**

@@ -300,6 +300,48 @@ TEST(SimdParity, GemmF32MatchesScalarBitwise)
     }
 }
 
+TEST(SimdParity, ComplexMacLanesMatchScalarBitwise)
+{
+    // The conj/plain spectra MACs: every (lane, bin) accumulator is
+    // independent, so vector levels must reproduce the scalar bits
+    // exactly — including the real-only edge bins and ragged interior
+    // bin counts that leave a scalar tail after the 2-bin vectors.
+    Rng rng(74);
+    for (const std::size_t lanes : {1u, 2u, 3u, 7u, 16u}) {
+        for (const std::size_t bins : {2u, 3u, 6u, 17u, 33u}) {
+            std::vector<Real> w(2 * bins), x(2 * lanes * bins),
+                acc0(2 * lanes * bins);
+            rng.fillNormal(w, 1.0);
+            rng.fillNormal(x, 1.0);
+            rng.fillNormal(acc0, 1.0); // accumulate onto noise
+            std::vector<Real> wantC = acc0, wantP = acc0;
+            simd::conjMacLanesScalar(wantC.data(), w.data(), x.data(),
+                                     lanes, bins);
+            simd::plainMacLanesScalar(wantP.data(), w.data(),
+                                      x.data(), lanes, bins);
+            for (simd::Level level : supportedLevels()) {
+                LevelGuard guard;
+                simd::setActive(level);
+                std::vector<Real> gotC = acc0, gotP = acc0;
+                simd::conjMacLanesFn()(gotC.data(), w.data(),
+                                       x.data(), lanes, bins);
+                simd::plainMacLanesFn()(gotP.data(), w.data(),
+                                        x.data(), lanes, bins);
+                for (std::size_t i = 0; i < gotC.size(); ++i) {
+                    ASSERT_EQ(gotC[i], wantC[i])
+                        << "conj lanes=" << lanes << " bins=" << bins
+                        << " i=" << i
+                        << " level=" << simd::levelName(level);
+                    ASSERT_EQ(gotP[i], wantP[i])
+                        << "plain lanes=" << lanes << " bins=" << bins
+                        << " i=" << i
+                        << " level=" << simd::levelName(level);
+                }
+            }
+        }
+    }
+}
+
 // --- end-to-end parity: sessions across backends and batch shapes -------
 
 namespace

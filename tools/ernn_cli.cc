@@ -63,6 +63,7 @@ namespace
 
 /** Flags that take no value; everything else is --key <value>. */
 const std::set<std::string> kBoolFlags = {"--peephole", "--quiet",
+                                          "--resume",
                                           "--fp-emulate",
                                           "--stats-json"};
 
@@ -310,10 +311,23 @@ cmdTrain(Flags &f)
                                "--optimizer", "sgd", "adam")
                        ? nn::TrainConfig::Opt::Sgd
                        : nn::TrainConfig::Opt::Adam;
+    tc.datapath = parseChoice(f.str("--datapath", "batched"),
+                              "--datapath", "vector", "batched")
+                      ? nn::TrainConfig::Datapath::Vector
+                      : nn::TrainConfig::Datapath::Batched;
+    tc.threads = f.num("--threads", 1);
+    tc.batchLanes = f.num("--batch-lanes", 0);
+    tc.resume = f.flag("--resume");
     const std::size_t seed = f.num("--seed", 1);
 
     const runtime::CompileOptions copts = compileOptions(f);
     f.finish();
+
+    // The checkpoint lands in the output directory, so it must exist
+    // before the first epoch completes (not just before export).
+    namespace fs = std::filesystem;
+    fs::create_directories(out_dir);
+    tc.checkpointPath = out_dir + "/train.state";
 
     const auto data = speech::makeSyntheticAsr(dcfg);
     nn::StackedRnn model = nn::buildModel(spec);
@@ -327,9 +341,13 @@ cmdTrain(Flags &f)
         nn::Trainer(model, tc).train(data.train);
     std::cout << "final loss " << fmtReal(log.finalLoss(), 4)
               << " after " << tc.epochs << " epochs\n";
+    if (!log.epochs.empty()) {
+        const nn::EpochLog &last = log.epochs.back();
+        std::cout << "last epoch " << fmtReal(last.wallMs, 1)
+                  << " ms (" << fmtReal(last.framesPerSec, 0)
+                  << " frames/s)\n";
+    }
 
-    namespace fs = std::filesystem;
-    fs::create_directories(out_dir);
     const std::string spec_path = out_dir + "/model.spec";
     const std::string ckpt_path = out_dir + "/model.ckpt";
     const std::string art_path = out_dir + "/model.ernn";
@@ -680,6 +698,10 @@ usage(std::ostream &os, int code)
           "             [--projection N] [--epochs N] [--lr R]\n"
           "             [--batch-size N] [--optimizer adam|sgd] "
           "[--seed N]\n"
+          "             [--datapath batched|vector] [--threads N]\n"
+          "             [--batch-lanes N  utterances per gradient "
+          "group]\n"
+          "             [--resume   continue from DIR/train.state]\n"
           "             [--backend B] [--bits N] [data flags]\n"
           "  ernn compile --spec F --checkpoint F --out F\n"
           "             [--backend auto|dense|circulant-fft|"
